@@ -1,0 +1,77 @@
+// bench_control_faults — the paper's foremost future-work item (§7):
+// "convert the entire processor cell, including the router and
+// alu-control modules, into lookup tables ... and analyze the effect of
+// high fault rates on control logic." We sweep fault rates over the
+// LUT-implemented control decisions (valid/pending votes and the 5-way
+// routing comparison) for each bit-level coding and report the corrupted-
+// decision rate, then show the end-to-end effect on a grid run.
+#include <iostream>
+
+#include "cell/control_logic.hpp"
+#include "grid/control_processor.hpp"
+#include "sim/table_render.hpp"
+#include "workload/image_ops.hpp"
+
+int main() {
+  using namespace nbx;
+  const std::vector<double> percents = {0.0, 0.5, 1.0, 2.0, 5.0,
+                                        10.0, 20.0};
+
+  std::cout << "Control-logic fault injection (future work 1)\n\n";
+  std::cout << "Corrupted-decision rate per coding (10k aluctrl decisions "
+               "+ 10k routing decisions each):\n\n";
+  TextTable t({"coding", "fault%", "corrupted %", "sites"});
+  for (const LutCoding coding :
+       {LutCoding::kNone, LutCoding::kHamming, LutCoding::kTmr}) {
+    for (const double pct : percents) {
+      ControlLogic ctl(coding, pct, 97);
+      MemoryWord w;
+      w.set_valid(true);
+      w.set_pending(true);
+      for (int i = 0; i < 10000; ++i) {
+        (void)ctl.should_compute(w);
+        (void)ctl.route(CellId{3, 3},
+                        CellId{static_cast<std::uint8_t>(i % 8),
+                               static_cast<std::uint8_t>((i / 8) % 8)});
+      }
+      const double rate = 100.0 *
+                          static_cast<double>(ctl.corrupted_decisions()) /
+                          static_cast<double>(ctl.decisions());
+      t.add_row({std::string(lut_coding_suffix(coding)), fmt_double(pct, 1),
+                 fmt_double(rate, 2), std::to_string(ctl.fault_sites())});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nEnd-to-end grid effect (2x2 grid, paper image, reverse "
+               "video; ideal ALUs, faulty control):\n\n";
+  TextTable g({"control coding", "fault%", "% pixels correct",
+               "corrupted decisions"});
+  for (const LutCoding coding : {LutCoding::kNone, LutCoding::kTmr}) {
+    for (const double pct : {0.0, 2.0, 5.0, 10.0}) {
+      CellConfig cfg;
+      cfg.control_coding = coding;
+      cfg.control_fault_percent = pct;
+      NanoBoxGrid grid(2, 2, cfg);
+      ControlProcessor cp(grid);
+      GridRunOptions opt;
+      opt.compute_cycles = 400;
+      GridRunReport report;
+      (void)cp.run_image_op(Bitmap::paper_test_image(), reverse_video_op(),
+                            opt, &report);
+      std::uint64_t corrupted = 0;
+      for (ProcessorCell* c : grid.all_cells()) {
+        corrupted += c->control().corrupted_decisions();
+      }
+      g.add_row({std::string(lut_coding_suffix(coding)), fmt_double(pct, 1),
+                 fmt_double(report.percent_correct, 2),
+                 std::to_string(corrupted)});
+    }
+  }
+  g.print(std::cout);
+  std::cout << "\nReading: TMR-coded control LUTs hold decision corruption "
+               "near zero through 5% fault rates; uncoded control logic "
+               "corrupts scheduling and routing decisions, which skips or "
+               "recomputes instructions.\n";
+  return 0;
+}

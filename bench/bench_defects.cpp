@@ -1,0 +1,93 @@
+// bench_defects — manufacturing defects (extension). The paper's
+// abstract motivates "large numbers of inherent device defects" but its
+// evaluation injects only transients; this bench supplies the other
+// half:
+//   1. accuracy vs stuck-at defect density (no transients);
+//   2. the time-vs-space asymmetry: a time-redundant module reuses ONE
+//      physical datapath, so manufacturing defects ride through all
+//      three passes and the vote cannot mask them — space redundancy,
+//      with three independently manufactured replicas, can;
+//   3. defects and transients combined, at the paper's headline 3%
+//      transient point.
+// Each data point averages 5 independently manufactured chips per
+// workload (10 samples), mirroring the paper's trial structure.
+#include <iostream>
+
+#include "alu/alu_factory.hpp"
+#include "fault/sweep.hpp"
+#include "sim/experiment.hpp"
+#include "sim/table_render.hpp"
+
+int main() {
+  using namespace nbx;
+  const auto streams = paper_streams(2026);
+  const std::vector<double> densities = {0.0,   0.001, 0.002, 0.005,
+                                         0.01,  0.02,  0.05,  0.1};
+  const std::vector<std::string> alus = {"alunn", "aluns", "alutn",
+                                         "aluts", "alusn", "aluss"};
+
+  std::cout << "1. Accuracy vs stuck-at defect density (no transient "
+               "faults; 5 chips x 2 workloads per point)\n\n";
+  std::vector<std::string> header{"density"};
+  for (const auto& a : alus) {
+    header.push_back(a);
+  }
+  TextTable t(std::move(header));
+  for (const double d : densities) {
+    std::vector<std::string> row{fmt_double(d * 100.0, 2) + "%"};
+    for (const auto& name : alus) {
+      const auto alu = make_alu(name);
+      DefectConfig cfg;
+      cfg.defect_density = d;
+      row.push_back(fmt_double(
+          run_defect_point(*alu, streams, cfg, kPaperTrialsPerWorkload, 91)
+              .mean_percent_correct,
+          2));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+
+  std::cout << "\n2. Time vs space redundancy under pure defects. With "
+               "uncoded LUTs the asymmetry is bare; with TMR LUTs the "
+               "bit-level triplication absorbs sparse defects first:\n\n";
+  TextTable ts({"density", "alutn (time)", "alusn (space)", "gap",
+                "aluts (time)", "aluss (space)"});
+  for (const double d : {0.005, 0.01, 0.02, 0.05, 0.1}) {
+    DefectConfig cfg;
+    cfg.defect_density = d;
+    const auto acc = [&](const char* name) {
+      return run_defect_point(*make_alu(name), streams, cfg, 10, 92)
+          .mean_percent_correct;
+    };
+    const double tn = acc("alutn");
+    const double sn = acc("alusn");
+    ts.add_row({fmt_double(d * 100.0, 1) + "%", fmt_double(tn, 2),
+                fmt_double(sn, 2), fmt_double(sn - tn, 2),
+                fmt_double(acc("aluts"), 2), fmt_double(acc("aluss"), 2)});
+  }
+  ts.print(std::cout);
+
+  std::cout << "\n3. Defects + transients combined (aluss, 3% transient "
+               "faults — the paper's headline point):\n\n";
+  TextTable c({"density", "% correct"});
+  for (const double d : densities) {
+    DefectConfig cfg;
+    cfg.defect_density = d;
+    cfg.transient_percent = 3.0;
+    c.add_row({fmt_double(d * 100.0, 2) + "%",
+               fmt_double(run_defect_point(*make_alu("aluss"), streams, cfg,
+                                           kPaperTrialsPerWorkload, 93)
+                              .mean_percent_correct,
+                          2)});
+  }
+  c.print(std::cout);
+
+  std::cout << "\nReading: space redundancy tolerates defect densities an "
+               "order of magnitude beyond time redundancy because its "
+               "replicas fail independently; a defective time-redundant "
+               "datapath agrees with itself on the wrong answer. This "
+               "extends the paper's transient-only evaluation to the "
+               "defect half of its motivation.\n";
+  return 0;
+}

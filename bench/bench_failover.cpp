@@ -1,0 +1,68 @@
+// bench_failover — system-level fault tolerance (paper §2.3 + future
+// work 2): heartbeat monitoring, watchdog-driven cell disable, and
+// salvage of outstanding work to neighbouring cells. Sweeps the number of
+// killed cells and compares watchdog-on vs watchdog-off outcomes.
+#include <iostream>
+
+#include "grid/control_processor.hpp"
+#include "sim/table_render.hpp"
+#include "workload/image_ops.hpp"
+
+int main() {
+  using namespace nbx;
+  Rng rng(11);
+  const Bitmap image = Bitmap::random(16, 8, rng);  // 128 pixels on 3x3
+
+  std::cout << "Failover & salvage: killing cells mid-compute on a 3x3 "
+               "grid (128 pixels, routers survive)\n\n";
+  TextTable t({"kills", "watchdog", "% correct", "missing", "salvaged",
+               "lost", "disabled"});
+  const std::vector<CellId> victims = {
+      CellId{1, 1}, CellId{2, 0}, CellId{0, 2}, CellId{1, 0}};
+  for (std::size_t kills = 0; kills <= victims.size(); ++kills) {
+    for (const bool watchdog : {true, false}) {
+      NanoBoxGrid grid(3, 3, CellConfig{});
+      ControlProcessor cp(grid);
+      GridRunOptions opt;
+      opt.enable_watchdog = watchdog;
+      opt.watchdog_interval = 16;
+      opt.compute_cycles = 600;
+      for (std::size_t k = 0; k < kills; ++k) {
+        opt.kills.push_back(KillEvent{victims[k], 4 + 2 * k, true});
+      }
+      GridRunReport report;
+      (void)cp.run_image_op(image, reverse_video_op(), opt, &report);
+      t.add_row({std::to_string(kills), watchdog ? "on" : "off",
+                 fmt_double(report.percent_correct, 2),
+                 std::to_string(report.results_missing),
+                 std::to_string(report.watchdog.words_salvaged),
+                 std::to_string(report.watchdog.words_lost),
+                 std::to_string(report.watchdog.cells_disabled)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nDead-router variant (memory unsalvageable):\n\n";
+  TextTable d({"kills", "% correct", "missing", "lost"});
+  for (std::size_t kills = 0; kills <= 2; ++kills) {
+    NanoBoxGrid grid(3, 3, CellConfig{});
+    ControlProcessor cp(grid);
+    GridRunOptions opt;
+    opt.watchdog_interval = 16;
+    opt.compute_cycles = 600;
+    for (std::size_t k = 0; k < kills; ++k) {
+      opt.kills.push_back(KillEvent{victims[k], 4, false});
+    }
+    GridRunReport report;
+    (void)cp.run_image_op(image, reverse_video_op(), opt, &report);
+    d.add_row({std::to_string(kills), fmt_double(report.percent_correct, 2),
+               std::to_string(report.results_missing),
+               std::to_string(report.watchdog.words_lost)});
+  }
+  d.print(std::cout);
+  std::cout << "\nReading: with the watchdog on and routers alive, salvage "
+               "keeps accuracy at 100% despite multiple mid-compute cell "
+               "deaths; without it, each dead cell's unfinished block is "
+               "lost. Dead routers bound what any recovery can achieve.\n";
+  return 0;
+}

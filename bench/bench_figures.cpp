@@ -1,0 +1,79 @@
+// bench_figures — regenerates one of the paper's result figures (7, 8 or
+// 9) with the full paper protocol: 18 injected-fault percentages, two
+// image workloads (reverse video, hue shift), five trials each, mean of
+// ten samples per point. Compile with -DNBX_FIGURE={7,8,9}.
+//
+// Output: the figure as a table (rows = fault %, columns = the four ALU
+// series), the per-point standard deviations, a CSV block for plotting,
+// and a paper-vs-measured check of every §5 prose anchor for this figure.
+#include <iostream>
+
+#include "fault/sweep.hpp"
+#include "sim/figure.hpp"
+#include "sim/table_render.hpp"
+
+#ifndef NBX_FIGURE
+#define NBX_FIGURE 7
+#endif
+
+int main() {
+  using namespace nbx;
+  const FigureSpec spec = NBX_FIGURE == 7   ? figure7_spec()
+                          : NBX_FIGURE == 8 ? figure8_spec()
+                                            : figure9_spec();
+  std::cout << "Reproducing " << spec.id << " — " << spec.title << "\n";
+  std::cout << "Protocol: " << kPaperFaultPercentages.size()
+            << " fault percentages x 2 workloads x "
+            << kPaperTrialsPerWorkload
+            << " trials (10 samples per point), 64 instructions each\n\n";
+
+  const FigureResult fig =
+      run_figure(spec, paper_sweep(), kPaperTrialsPerWorkload, 2026);
+  print_figure(std::cout, fig);
+
+  // Standard-deviation digest (the paper: stddev < 10 points for all but
+  // six of the 216 points, max 24.51).
+  double max_sd = 0.0;
+  int above_10 = 0;
+  for (const auto& series : fig.series) {
+    for (const DataPoint& p : series) {
+      max_sd = std::max(max_sd, p.stddev);
+      if (p.stddev > 10.0) {
+        ++above_10;
+      }
+    }
+  }
+  std::cout << "\nStddev digest: max " << fmt_double(max_sd, 2) << ", "
+            << above_10 << "/" << 4 * fig.percents.size()
+            << " points above 10.0 (paper: max 24.51, 6/216 across all "
+               "figures)\n";
+
+  std::cout << "\nPaper-vs-measured anchors (" << spec.id << "):\n";
+  TextTable anchors(
+      {"alu", "fault%", "measured", "paper band", "ok", "claim"});
+  bool all_ok = true;
+  for (const PaperAnchor& a : paper_anchors()) {
+    if (a.figure != spec.id) {
+      continue;
+    }
+    double measured = 0.0;
+    if (!lookup_measured(fig, a, &measured)) {
+      continue;
+    }
+    const bool ok = measured >= a.min_percent_correct &&
+                    measured <= a.max_percent_correct;
+    all_ok = all_ok && ok;
+    anchors.add_row({a.alu, fmt_double(a.fault_percent, 2),
+                     fmt_double(measured, 2),
+                     "[" + fmt_double(a.min_percent_correct, 0) + "," +
+                         fmt_double(a.max_percent_correct, 0) + "]",
+                     ok ? "yes" : "NO", a.claim});
+  }
+  anchors.print(std::cout);
+
+  std::cout << "\nCSV:\n";
+  write_figure_csv(std::cout, fig);
+  std::cout << "\nAll anchors within band: " << (all_ok ? "yes" : "NO")
+            << "\n";
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// bench_fit_rates — reproduces the paper's §4 fault-percentage-to-FIT
+// translation, including the worked example (1% of aluss's 5040 sites =
+// 50 faults per 0.5 ns clock = FIT 3.6e23) and the full translation table
+// for every Table 2 ALU at every swept percentage.
+#include <iostream>
+
+#include "alu/alu_factory.hpp"
+#include "fault/fit.hpp"
+#include "fault/mask_generator.hpp"
+#include "fault/sweep.hpp"
+#include "sim/table_render.hpp"
+
+int main() {
+  using namespace nbx;
+  std::cout << "FIT-rate translation (0.5 ns clock, i.e. 2 GHz; paper §4)\n\n";
+
+  const MaskGenerator example(5040, 1.0);
+  std::cout << "Worked example from the paper:\n";
+  std::cout << "  aluss, 5040 sites, 1% faults -> "
+            << example.faults_per_computation()
+            << " faults per 0.5 ns cycle -> FIT "
+            << fmt_sci(fit_from_faults_per_cycle(
+                   static_cast<double>(example.faults_per_computation())),
+                       2)
+            << " (paper: 50 faults, FIT 3.6e23)\n\n";
+
+  TextTable t({"ALU", "sites", "fault%", "faults/cycle", "FIT",
+               "orders above CMOS (5e4 FIT)"});
+  for (const AluSpec& spec : table2_specs()) {
+    for (const double pct : {0.05, 1.0, 3.0, 10.0, 75.0}) {
+      const double k =
+          static_cast<double>(spec.expected_sites) * pct / 100.0;
+      const double fit = fit_from_percent(spec.expected_sites, pct);
+      t.add_row({spec.name, std::to_string(spec.expected_sites),
+                 fmt_double(pct, 2), fmt_double(k, 1), fmt_sci(fit, 2),
+                 fmt_double(orders_of_magnitude_above_cmos(fit), 1)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nHeadline thresholds:\n";
+  std::cout << "  aluss @ 1%: FIT " << fmt_sci(fit_from_percent(5040, 1.0), 2)
+            << " (paper: ~3.6e23 — 100% correct regime)\n";
+  std::cout << "  aluss @ 3%: FIT " << fmt_sci(fit_from_percent(5040, 3.0), 2)
+            << " (paper: >1e24 — 98% correct regime)\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// bench_grid — cycle-accurate full-system characterization (future work
+// 3): phase latencies and throughput of the NanoBox grid as it scales,
+// plus end-to-end image accuracy versus per-cell ALU fault rate.
+#include <cmath>
+#include <iostream>
+
+#include "grid/control_processor.hpp"
+#include "sim/table_render.hpp"
+#include "workload/image_metrics.hpp"
+#include "workload/image_ops.hpp"
+
+int main() {
+  using namespace nbx;
+  std::cout << "Grid scaling: phase cycle counts for a full image pass "
+               "(shift-in / compute / shift-out)\n\n";
+  TextTable t({"grid", "pixels", "shift-in", "compute", "shift-out",
+               "fwd packets", "% correct"});
+  for (const std::size_t n : {1, 2, 3, 4, 6, 8}) {
+    NanoBoxGrid grid(n, n, CellConfig{});
+    ControlProcessor cp(grid);
+    Rng rng(5);
+    // Half-fill the grid's memory: n*n cells x 16 pixels.
+    const std::size_t pixels = n * n * 16;
+    const Bitmap image = Bitmap::random(16, pixels / 16, rng);
+    GridRunReport report;
+    (void)cp.run_image_op(image, reverse_video_op(), {}, &report);
+    t.add_row({std::to_string(n) + "x" + std::to_string(n),
+               std::to_string(pixels), std::to_string(report.shift_in_cycles),
+               std::to_string(report.compute_cycles),
+               std::to_string(report.shift_out_cycles),
+               std::to_string(report.packets_forwarded),
+               fmt_double(report.percent_correct, 2)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nEnd-to-end accuracy and image quality vs per-cell ALU "
+               "fault rate (2x2 grid, TMR LUT cell ALUs, 64-pixel paper "
+               "image):\n\n";
+  TextTable a({"alu fault%", "% pixels correct", "missing", "PSNR dB",
+               "max |err|"});
+  const Bitmap image = Bitmap::paper_test_image();
+  const Bitmap golden = apply_golden(image, hue_shift_op());
+  for (const double pct : {0.0, 0.5, 1.0, 2.0, 3.0, 5.0, 9.0, 20.0}) {
+    CellConfig cfg;
+    cfg.alu_coding = LutCoding::kTmr;
+    cfg.alu_fault_percent = pct;
+    NanoBoxGrid grid(2, 2, cfg);
+    ControlProcessor cp(grid);
+    GridRunReport report;
+    const Bitmap out = cp.run_image_op(image, hue_shift_op(), {}, &report);
+    const ImageQuality q = compare_images(golden, out);
+    a.add_row({fmt_double(pct, 1), fmt_double(report.percent_correct, 2),
+               std::to_string(report.results_missing),
+               std::isinf(q.psnr) ? std::string("inf")
+                                  : fmt_double(q.psnr, 1),
+               std::to_string(q.max_error)});
+  }
+  a.print(std::cout);
+  std::cout << "\nReading: shift phases scale with grid diameter and "
+               "per-lane packet volume; the cell-level TMR ALU curve "
+               "mirrors the single-ALU aluns series of Figure 7. PSNR "
+               "shows the perceptual story: wrong pixels at low fault "
+               "rates are uniformly random corruptions (any bit of the "
+               "byte), so max error stays large even when almost every "
+               "pixel is exact.\n";
+  return 0;
+}

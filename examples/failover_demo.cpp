@@ -1,0 +1,82 @@
+// failover_demo — system-level fault tolerance in action (paper §2.3):
+// cells die mid-computation, the watchdog notices their silent
+// heartbeats, salvages their unfinished memory words to neighbours, and
+// the image still comes out right.
+//
+// Build & run:  ./build/examples/failover_demo
+#include <iostream>
+
+#include "grid/control_processor.hpp"
+#include "workload/image_ops.hpp"
+
+int main() {
+  using namespace nbx;
+  Rng rng(7);
+  const Bitmap image = Bitmap::random(16, 8, rng);  // 128 pixels
+
+  std::cout << "Failover demo: 3x3 NanoBox grid, 128-pixel hue shift\n\n";
+
+  // Scenario 1: healthy grid.
+  {
+    NanoBoxGrid grid(3, 3, CellConfig{});
+    ControlProcessor cp(grid);
+    GridRunReport r;
+    (void)cp.run_image_op(image, hue_shift_op(), {}, &r);
+    std::cout << "healthy grid:        " << r.percent_correct
+              << "% correct, 0 cells lost\n";
+  }
+
+  // Scenario 2: two cells die mid-compute, routers survive, watchdog on.
+  {
+    NanoBoxGrid grid(3, 3, CellConfig{});
+    ControlProcessor cp(grid);
+    GridRunOptions opt;
+    opt.watchdog_interval = 16;
+    opt.compute_cycles = 600;
+    opt.kills = {KillEvent{CellId{1, 1}, 5, true},
+                 KillEvent{CellId{2, 0}, 9, true}};
+    GridRunReport r;
+    (void)cp.run_image_op(image, hue_shift_op(), opt, &r);
+    std::cout << "2 deaths + watchdog: " << r.percent_correct
+              << "% correct  (disabled " << r.watchdog.cells_disabled
+              << " cells, salvaged " << r.watchdog.words_salvaged
+              << " words, lost " << r.watchdog.words_lost << ")\n";
+  }
+
+  // Scenario 3: same deaths, watchdog disabled — work is stranded.
+  {
+    NanoBoxGrid grid(3, 3, CellConfig{});
+    ControlProcessor cp(grid);
+    GridRunOptions opt;
+    opt.enable_watchdog = false;
+    opt.compute_cycles = 600;
+    opt.kills = {KillEvent{CellId{1, 1}, 5, true},
+                 KillEvent{CellId{2, 0}, 9, true}};
+    GridRunReport r;
+    (void)cp.run_image_op(image, hue_shift_op(), opt, &r);
+    std::cout << "2 deaths, no dog:    " << r.percent_correct
+              << "% correct  (" << r.results_missing
+              << " pixels never computed)\n";
+  }
+
+  // Scenario 4: a death with a dead router — memory unsalvageable.
+  {
+    NanoBoxGrid grid(3, 3, CellConfig{});
+    ControlProcessor cp(grid);
+    GridRunOptions opt;
+    opt.watchdog_interval = 16;
+    opt.compute_cycles = 600;
+    opt.kills = {KillEvent{CellId{1, 1}, 5, /*router_survives=*/false}};
+    GridRunReport r;
+    (void)cp.run_image_op(image, hue_shift_op(), opt, &r);
+    std::cout << "1 dead router:       " << r.percent_correct
+              << "% correct  (lost " << r.watchdog.words_lost
+              << " words for good)\n";
+  }
+
+  std::cout << "\nThe watchdog + salvage path is the system level of the "
+               "recursive hierarchy: faults that defeat the bit and module "
+               "levels (an entire cell going silent) are absorbed by "
+               "redistributing the cell's unfinished memory words.\n";
+  return 0;
+}

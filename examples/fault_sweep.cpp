@@ -1,0 +1,74 @@
+// fault_sweep — a custom fault-injection study using the public API:
+// sweep any set of ALUs over any fault range and print the resulting
+// reliability curves side by side.
+//
+// Build & run:  ./build/examples/fault_sweep [alu ...]
+//   e.g.        ./build/examples/fault_sweep aluns aluss alunhsiao
+#include <iostream>
+#include <vector>
+
+#include "alu/alu_factory.hpp"
+#include "fault/sweep.hpp"
+#include "sim/experiment.hpp"
+#include "sim/table_render.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nbx;
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    names.emplace_back(argv[i]);
+  }
+  if (names.empty()) {
+    names = {"aluncmos", "alunn", "aluns", "aluss"};
+  }
+  for (const std::string& n : names) {
+    if (!find_spec(n)) {
+      std::cerr << "unknown ALU '" << n << "'. Known ALUs:\n";
+      for (const AluSpec& s : all_specs()) {
+        std::cerr << "  " << s.name << " (" << s.expected_sites
+                  << " sites)\n";
+      }
+      return 1;
+    }
+  }
+
+  const std::vector<double> percents = {0.0, 0.5, 1.0, 2.0, 3.0, 4.0,
+                                        6.0, 8.0, 10.0, 15.0, 25.0};
+  const auto streams = paper_streams();
+
+  std::cout << "Custom fault sweep (" << kPaperTrialsPerWorkload
+            << " trials x 2 workloads per point)\n\n";
+  std::vector<std::string> header{"fault%"};
+  for (const std::string& n : names) {
+    header.push_back(n);
+  }
+  TextTable t(std::move(header));
+  std::vector<std::vector<DataPoint>> series;
+  for (const std::string& n : names) {
+    const auto alu = make_alu(n);
+    series.push_back(run_sweep(*alu, streams, percents,
+                               kPaperTrialsPerWorkload, 1337));
+  }
+  for (std::size_t p = 0; p < percents.size(); ++p) {
+    std::vector<std::string> row{fmt_double(percents[p], 1)};
+    for (const auto& s : series) {
+      row.push_back(fmt_double(s[p].mean_percent_correct, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+
+  std::cout << "\nASCII curves (each column = 2.5 percentage points of "
+               "accuracy):\n";
+  for (std::size_t s = 0; s < names.size(); ++s) {
+    std::cout << "\n" << names[s] << "\n";
+    for (std::size_t p = 0; p < percents.size(); ++p) {
+      const int bars =
+          static_cast<int>(series[s][p].mean_percent_correct / 2.5);
+      std::cout << "  " << fmt_double(percents[p], 1) << "%\t"
+                << std::string(static_cast<std::size_t>(bars), '#') << " "
+                << fmt_double(series[s][p].mean_percent_correct, 1) << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,211 @@
+#include "alu/module_alu.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "fault/defect_map.hpp"
+
+namespace nbx {
+
+namespace {
+
+// Copies `bits` into `dst` starting at dst bit `offset`.
+void splice_bits(const BitVec& bits, BitVec& dst, std::size_t offset) {
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    dst.set(offset + i, bits.get(i));
+  }
+}
+
+// Applies `defects` (whose space starts at `defect_offset` and covers
+// `golden.size()` cells) onto the mask segment starting at mask_offset.
+void impose_segment(const DefectMap& defects, std::size_t defect_offset,
+                    const BitVec& golden, BitVec& mask,
+                    std::size_t mask_offset) {
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    const auto flip = defects.forced_flip(defect_offset + i, golden.get(i));
+    if (flip.has_value()) {
+      mask.set(mask_offset + i, *flip);
+    }
+  }
+}
+
+}  // namespace
+
+SingleAlu::SingleAlu(std::string name, std::unique_ptr<CoreAlu> core)
+    : name_(std::move(name)), core_(std::move(core)) {}
+
+std::size_t SingleAlu::fault_sites() const { return core_->fault_sites(); }
+
+AluOutput SingleAlu::compute(Opcode op, std::uint8_t a, std::uint8_t b,
+                             MaskView mask, ModuleStats* stats) const {
+  if (stats != nullptr) {
+    ++stats->computations;
+  }
+  AluOutput out;
+  out.value = core_->eval(op, a, b, mask, stats);
+  return out;
+}
+
+std::size_t SingleAlu::defectable_sites() const {
+  return core_->golden_storage().size();
+}
+
+BitVec SingleAlu::golden_storage() const { return core_->golden_storage(); }
+
+void SingleAlu::impose_defects(const DefectMap& defects,
+                               BitVec& mask) const {
+  assert(defects.sites() == defectable_sites());
+  assert(mask.size() == fault_sites());
+  impose_segment(defects, 0, core_->golden_storage(), mask, 0);
+}
+
+SpaceRedundantAlu::SpaceRedundantAlu(
+    std::string name, std::vector<std::unique_ptr<CoreAlu>> cores,
+    std::unique_ptr<IVoter> voter)
+    : name_(std::move(name)), cores_(std::move(cores)),
+      voter_(std::move(voter)) {
+  assert(cores_.size() == 3);
+  assert(cores_[0]->fault_sites() == cores_[1]->fault_sites() &&
+         cores_[1]->fault_sites() == cores_[2]->fault_sites());
+}
+
+std::size_t SpaceRedundantAlu::fault_sites() const {
+  return 3 * cores_[0]->fault_sites() + voter_->fault_sites();
+}
+
+AluOutput SpaceRedundantAlu::compute(Opcode op, std::uint8_t a,
+                                     std::uint8_t b, MaskView mask,
+                                     ModuleStats* stats) const {
+  if (stats != nullptr) {
+    ++stats->computations;
+  }
+  const std::size_t n = cores_[0]->fault_sites();
+  std::uint8_t r[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    const MaskView m = mask.is_null() ? MaskView{} : mask.subview(i * n, n);
+    r[i] = cores_[i]->eval(op, a, b, m, stats);
+  }
+  const MaskView vm =
+      mask.is_null() ? MaskView{}
+                     : mask.subview(3 * n, voter_->fault_sites());
+  const VoteOutput v =
+      voter_->vote(VoteInput{r[0], r[1], r[2], true, true, true}, vm, stats);
+  return AluOutput{v.value, v.valid, v.disagreement};
+}
+
+std::size_t SpaceRedundantAlu::defectable_sites() const {
+  return 3 * cores_[0]->golden_storage().size() +
+         voter_->golden_storage().size();
+}
+
+BitVec SpaceRedundantAlu::golden_storage() const {
+  BitVec bits(defectable_sites());
+  const std::size_t core_bits = cores_[0]->golden_storage().size();
+  for (std::size_t i = 0; i < 3; ++i) {
+    splice_bits(cores_[i]->golden_storage(), bits, i * core_bits);
+  }
+  splice_bits(voter_->golden_storage(), bits, 3 * core_bits);
+  return bits;
+}
+
+void SpaceRedundantAlu::impose_defects(const DefectMap& defects,
+                                       BitVec& mask) const {
+  assert(defects.sites() == defectable_sites());
+  assert(mask.size() == fault_sites());
+  const std::size_t storage = cores_[0]->golden_storage().size();
+  const std::size_t sites = cores_[0]->fault_sites();
+  // LUT cores: storage == sites, so defect space and mask space align
+  // replica by replica. (CMOS cores have no storage; both are 0.)
+  assert(storage == sites || storage == 0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    impose_segment(defects, i * storage, cores_[i]->golden_storage(), mask,
+                   i * sites);
+  }
+  impose_segment(defects, 3 * storage, voter_->golden_storage(), mask,
+                 3 * sites);
+}
+
+TimeRedundantAlu::TimeRedundantAlu(std::string name,
+                                   std::unique_ptr<CoreAlu> core,
+                                   std::unique_ptr<IVoter> voter)
+    : name_(std::move(name)), core_(std::move(core)),
+      voter_(std::move(voter)) {}
+
+std::size_t TimeRedundantAlu::fault_sites() const {
+  return 3 * core_->fault_sites() + voter_->fault_sites() +
+         kTimeRedundancyStorageBits;
+}
+
+std::size_t TimeRedundantAlu::defectable_sites() const {
+  return core_->golden_storage().size() + voter_->golden_storage().size();
+}
+
+BitVec TimeRedundantAlu::golden_storage() const {
+  BitVec bits(defectable_sites());
+  splice_bits(core_->golden_storage(), bits, 0);
+  splice_bits(voter_->golden_storage(), bits,
+              core_->golden_storage().size());
+  return bits;
+}
+
+void TimeRedundantAlu::impose_defects(const DefectMap& defects,
+                                      BitVec& mask) const {
+  assert(defects.sites() == defectable_sites());
+  assert(mask.size() == fault_sites());
+  const BitVec core_golden = core_->golden_storage();
+  const std::size_t storage = core_golden.size();
+  const std::size_t sites = core_->fault_sites();
+  assert(storage == sites || storage == 0);
+  // The SAME physical core runs all three passes: its defects land
+  // identically in every pass segment, so the vote cannot outvote them.
+  for (std::size_t pass = 0; pass < 3; ++pass) {
+    impose_segment(defects, 0, core_golden, mask, pass * sites);
+  }
+  impose_segment(defects, storage, voter_->golden_storage(), mask,
+                 3 * sites);
+  // The 27 inter-operation storage bits hold dynamic values; they are
+  // transient-fault sites only (not defectable storage in this model).
+}
+
+AluOutput TimeRedundantAlu::compute(Opcode op, std::uint8_t a,
+                                    std::uint8_t b, MaskView mask,
+                                    ModuleStats* stats) const {
+  if (stats != nullptr) {
+    ++stats->computations;
+  }
+  const std::size_t n = core_->fault_sites();
+  const std::size_t voter_off = 3 * n;
+  const std::size_t storage_off = voter_off + voter_->fault_sites();
+
+  std::uint8_t stored[3];
+  bool valid[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    const MaskView m = mask.is_null() ? MaskView{} : mask.subview(i * n, n);
+    std::uint8_t r = core_->eval(op, a, b, m, stats);
+    // The result is held in a 9-bit storage slot (8 data + 1 valid)
+    // until all three passes complete; those stored bits are themselves
+    // fault sites (paper §4).
+    bool v = true;
+    if (!mask.is_null()) {
+      const std::size_t slot = storage_off + i * 9;
+      for (std::size_t bit = 0; bit < 8; ++bit) {
+        if (mask.get(slot + bit)) {
+          r = static_cast<std::uint8_t>(r ^ (1u << bit));
+        }
+      }
+      v = !mask.get(slot + 8);
+    }
+    stored[i] = r;
+    valid[i] = v;
+  }
+  const MaskView vm =
+      mask.is_null() ? MaskView{}
+                     : mask.subview(voter_off, voter_->fault_sites());
+  const VoteOutput v = voter_->vote(
+      VoteInput{stored[0], stored[1], stored[2], valid[0], valid[1],
+                valid[2]},
+      vm, stats);
+  return AluOutput{v.value, v.valid, v.disagreement};
+}
+
+}  // namespace nbx

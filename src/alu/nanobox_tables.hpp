@@ -1,0 +1,20 @@
+// nanobox_tables.hpp — the four truth tables of a NanoBox ALU bit slice,
+// shared by the behavioural (LutCoreAlu) and gate-level (HwLutCoreAlu)
+// datapath models. See lut_core_alu.hpp for the slice structure and the
+// address bit assignments.
+#pragma once
+
+#include "common/bitvec.hpp"
+
+namespace nbx {
+
+/// L: (a, b, op0, op1) -> AND/OR/XOR of a,b (11 row = carry propagate).
+BitVec nanobox_logic_table();
+/// S: (a, b, cin, op2) -> full-adder sum (op2 is a don't-care input).
+BitVec nanobox_sum_table();
+/// C: (a, b, cin, op2) -> op2-gated carry out.
+BitVec nanobox_carry_table();
+/// O: (op2, L, S, 0) -> op2 ? S : L.
+BitVec nanobox_select_table();
+
+}  // namespace nbx

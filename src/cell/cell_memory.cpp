@@ -1,0 +1,87 @@
+#include "cell/cell_memory.hpp"
+
+namespace nbx {
+
+CellMemory::CellMemory(std::size_t words) : words_(words) {}
+
+std::optional<std::size_t> CellMemory::find_free_slot() const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (!words_[i].valid()) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+bool CellMemory::store(const MemoryWord& w) {
+  const auto slot = find_free_slot();
+  if (!slot) {
+    return false;
+  }
+  words_[*slot] = w;
+  return true;
+}
+
+std::size_t CellMemory::occupied() const {
+  std::size_t n = 0;
+  for (const MemoryWord& w : words_) {
+    if (w.valid()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t CellMemory::pending() const {
+  std::size_t n = 0;
+  for (const MemoryWord& w : words_) {
+    if (w.valid() && w.pending()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void CellMemory::clear() {
+  for (MemoryWord& w : words_) {
+    w = MemoryWord{};
+  }
+}
+
+std::size_t CellMemory::scrub() {
+  std::size_t repaired = 0;
+  for (MemoryWord& w : words_) {
+    const bool valid = w.valid();
+    const bool pending = w.pending();
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (w.data_valid[i] != valid) {
+        w.data_valid[i] = valid;
+        ++repaired;
+      }
+      if (w.to_be_computed[i] != pending) {
+        w.to_be_computed[i] = pending;
+        ++repaired;
+      }
+    }
+  }
+  return repaired;
+}
+
+void CellMemory::inject_upsets(Rng& rng, std::size_t flips) {
+  if (flips == 0 || words_.empty()) {
+    return;
+  }
+  // Pack, flip, unpack — an upset can strike any field of any word.
+  BitVec bits(bit_capacity());
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i].pack(bits, i * MemoryWord::kBits);
+  }
+  for (std::size_t f = 0; f < flips; ++f) {
+    bits.flip(static_cast<std::size_t>(rng.below(bits.size())));
+  }
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = MemoryWord::unpack(bits, i * MemoryWord::kBits);
+  }
+}
+
+}  // namespace nbx

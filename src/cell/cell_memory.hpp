@@ -1,0 +1,75 @@
+// cell_memory.hpp — the processor cell's small read/writable memory.
+//
+// Paper §3.3: "the memory unit of a processor cell contains 32 words" and
+// §2.2: the memory "may have single-event upsets causing transient bit
+// flips", which the triplicated critical fields mask. The memory is
+// active in all three modes.
+//
+// Upset injection works on the packed bit representation of the whole
+// array (32 x 65 bits), so a flip can land in any field — including the
+// unprotected operand bits, exactly as in real storage.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "cell/memory_word.hpp"
+#include "common/rng.hpp"
+
+namespace nbx {
+
+/// Fixed-capacity cell memory with SEU injection.
+class CellMemory {
+ public:
+  /// The paper's memory size; other capacities are allowed for
+  /// scaling experiments.
+  static constexpr std::size_t kDefaultWords = 32;
+
+  explicit CellMemory(std::size_t words = kDefaultWords);
+
+  [[nodiscard]] std::size_t capacity() const { return words_.size(); }
+
+  [[nodiscard]] const MemoryWord& word(std::size_t i) const {
+    return words_[i];
+  }
+  [[nodiscard]] MemoryWord& word(std::size_t i) { return words_[i]; }
+
+  /// First slot whose (voted) data-valid is clear, if any.
+  [[nodiscard]] std::optional<std::size_t> find_free_slot() const;
+
+  /// Stores an instruction word in the first free slot. Returns false if
+  /// the memory is full.
+  bool store(const MemoryWord& w);
+
+  /// Number of words with (voted) valid data.
+  [[nodiscard]] std::size_t occupied() const;
+  /// Number of words with voted valid && voted to-be-computed.
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Clears all words to the empty state.
+  void clear();
+
+  /// Injects `flips` single-event upsets at uniformly random bit
+  /// positions across the packed array (persistent until overwritten —
+  /// memory upsets, unlike logic faults, stick).
+  void inject_upsets(Rng& rng, std::size_t flips);
+
+  /// Scrubs the triplicated critical fields: every data-valid and
+  /// to-be-computed triple is rewritten to its majority value, repairing
+  /// single upsets before a second hit on the same triple can outvote
+  /// the truth. (Result copies are deliberately NOT scrubbed: the three
+  /// raw module results stay independent until the shift-out vote,
+  /// §3.2.3.) Returns the number of field copies repaired.
+  std::size_t scrub();
+
+  /// Total bit positions an upset can hit.
+  [[nodiscard]] std::size_t bit_capacity() const {
+    return words_.size() * MemoryWord::kBits;
+  }
+
+ private:
+  std::vector<MemoryWord> words_;
+};
+
+}  // namespace nbx

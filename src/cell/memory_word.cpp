@@ -1,0 +1,62 @@
+#include "cell/memory_word.hpp"
+
+#include "coding/majority.hpp"
+
+namespace nbx {
+
+bool MemoryWord::valid() const {
+  return majority3(data_valid[0], data_valid[1], data_valid[2]);
+}
+
+bool MemoryWord::pending() const {
+  return majority3(to_be_computed[0], to_be_computed[1], to_be_computed[2]);
+}
+
+std::uint8_t MemoryWord::voted_result() const {
+  return majority3(result[0], result[1], result[2]);
+}
+
+bool MemoryWord::has_internal_disagreement() const {
+  return tmr_disagreement(data_valid[0], data_valid[1], data_valid[2]) ||
+         tmr_disagreement(to_be_computed[0], to_be_computed[1],
+                          to_be_computed[2]) ||
+         tmr_disagreement(result[0], result[1], result[2]);
+}
+
+void MemoryWord::set_valid(bool v) { data_valid = {v, v, v}; }
+
+void MemoryWord::set_pending(bool v) { to_be_computed = {v, v, v}; }
+
+void MemoryWord::set_result(std::uint8_t r) { result = {r, r, r}; }
+
+void MemoryWord::pack(BitVec& bits, std::size_t offset) const {
+  bits.deposit(offset + 0, 16, instr_id);
+  bits.deposit(offset + 16, 3, static_cast<std::uint8_t>(op));
+  bits.deposit(offset + 19, 8, operand1);
+  bits.deposit(offset + 27, 8, operand2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    bits.deposit(offset + 35 + 8 * i, 8, result[i]);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    bits.set(offset + 59 + i, data_valid[i]);
+    bits.set(offset + 62 + i, to_be_computed[i]);
+  }
+}
+
+MemoryWord MemoryWord::unpack(const BitVec& bits, std::size_t offset) {
+  MemoryWord w;
+  w.instr_id = static_cast<std::uint16_t>(bits.extract(offset + 0, 16));
+  w.op = static_cast<Opcode>(bits.extract(offset + 16, 3));
+  w.operand1 = static_cast<std::uint8_t>(bits.extract(offset + 19, 8));
+  w.operand2 = static_cast<std::uint8_t>(bits.extract(offset + 27, 8));
+  for (std::size_t i = 0; i < 3; ++i) {
+    w.result[i] = static_cast<std::uint8_t>(bits.extract(offset + 35 + 8 * i, 8));
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    w.data_valid[i] = bits.get(offset + 59 + i);
+    w.to_be_computed[i] = bits.get(offset + 62 + i);
+  }
+  return w;
+}
+
+}  // namespace nbx

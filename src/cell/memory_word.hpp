@@ -1,0 +1,71 @@
+// memory_word.hpp — the processor-cell memory word (paper Figure 4).
+//
+// Each word holds one instruction and its (triply stored) result. Paper
+// §2.2: "critical fields within the memory word are stored in triplicate.
+// Whenever these critical fields are accessed, the majority value of these
+// triplicated fields is computed and that majority value is used."
+//
+// Bit layout (65 bits, LSB-first when packed for fault injection):
+//   [0,16)   instruction ID
+//   [16,19)  opcode
+//   [19,27)  operand 1
+//   [27,35)  operand 2
+//   [35,43)  result copy 0
+//   [43,51)  result copy 1
+//   [51,59)  result copy 2
+//   [59,62)  data-valid x3        (triplicated critical field)
+//   [62,65)  to-be-computed x3    (triplicated critical field)
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bitvec.hpp"
+#include "common/types.hpp"
+
+namespace nbx {
+
+/// One cell-memory word.
+struct MemoryWord {
+  std::uint16_t instr_id = 0;
+  Opcode op = Opcode::kAnd;
+  std::uint8_t operand1 = 0;
+  std::uint8_t operand2 = 0;
+  std::array<std::uint8_t, 3> result = {0, 0, 0};
+  std::array<bool, 3> data_valid = {false, false, false};
+  std::array<bool, 3> to_be_computed = {false, false, false};
+
+  /// Majority of the triplicated data-valid field.
+  [[nodiscard]] bool valid() const;
+  /// Majority of the triplicated to-be-computed field.
+  [[nodiscard]] bool pending() const;
+  /// Bitwise majority of the three result copies (the value shifted out).
+  [[nodiscard]] std::uint8_t voted_result() const;
+  /// True if any triplicated field or the result copies disagree — the
+  /// cell counts these toward its error threshold.
+  [[nodiscard]] bool has_internal_disagreement() const;
+
+  /// Sets all three valid bits.
+  void set_valid(bool v);
+  /// Sets all three to-be-computed bits.
+  void set_pending(bool v);
+  /// Stores the same value into all three result copies.
+  void set_result(std::uint8_t r);
+
+  /// Total packed bits.
+  static constexpr std::size_t kBits = 65;
+
+  /// Packs into `kBits` bits at `offset` within `bits`.
+  void pack(BitVec& bits, std::size_t offset) const;
+  /// Unpacks from `kBits` bits at `offset`.
+  static MemoryWord unpack(const BitVec& bits, std::size_t offset);
+
+  friend bool operator==(const MemoryWord& a, const MemoryWord& b) {
+    return a.instr_id == b.instr_id && a.op == b.op &&
+           a.operand1 == b.operand1 && a.operand2 == b.operand2 &&
+           a.result == b.result && a.data_valid == b.data_valid &&
+           a.to_be_computed == b.to_be_computed;
+  }
+};
+
+}  // namespace nbx

@@ -1,0 +1,71 @@
+#include "cell/packet.hpp"
+
+namespace nbx {
+
+namespace {
+// Flag byte: low 3 bits opcode, bits 4-5 packet kind.
+std::uint8_t flags_byte(const Packet& p) {
+  return static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(p.kind) << 4) |
+      (static_cast<std::uint8_t>(p.op) & 0b111));
+}
+}  // namespace
+
+std::vector<std::uint8_t> encode_packet(const Packet& p) {
+  std::vector<std::uint8_t> flits(kPacketFlits, 0);
+  flits[0] = kStartMarker;
+  flits[1] = p.dest.packed();
+  flits[2] = static_cast<std::uint8_t>(p.instr_id >> 8);
+  flits[3] = static_cast<std::uint8_t>(p.instr_id & 0xFF);
+  flits[4] = flags_byte(p);
+  flits[5] = p.operand1;
+  flits[6] = p.operand2;
+  flits[7] = p.result;
+  flits[8] = p.source.packed();
+  std::uint8_t csum = 0;
+  for (std::size_t i = 1; i <= 8; ++i) {
+    csum ^= flits[i];
+  }
+  flits[9] = csum;
+  return flits;
+}
+
+std::optional<Packet> PacketAssembler::push(std::uint8_t flit) {
+  if (buf_.empty()) {
+    if (flit != kStartMarker) {
+      return std::nullopt;  // hunt for start of packet
+    }
+    buf_.push_back(flit);
+    return std::nullopt;
+  }
+  buf_.push_back(flit);
+  if (buf_.size() < kPacketFlits) {
+    return std::nullopt;
+  }
+  // Full frame collected; validate and decode.
+  std::uint8_t csum = 0;
+  for (std::size_t i = 1; i <= 8; ++i) {
+    csum ^= buf_[i];
+  }
+  const bool ok = csum == buf_[9];
+  Packet p;
+  if (ok) {
+    p.dest = CellId::unpack(buf_[1]);
+    p.instr_id = static_cast<std::uint16_t>((buf_[2] << 8) | buf_[3]);
+    p.kind = static_cast<PacketKind>((buf_[4] >> 4) & 0x3);
+    p.op = static_cast<Opcode>(buf_[4] & 0b111);
+    p.operand1 = buf_[5];
+    p.operand2 = buf_[6];
+    p.result = buf_[7];
+    p.source = CellId::unpack(buf_[8]);
+  } else {
+    ++checksum_failures_;
+  }
+  buf_.clear();
+  if (ok) {
+    return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace nbx

@@ -1,0 +1,105 @@
+// packet.hpp — NanoBox grid data packets and their 8-bit flit encoding.
+//
+// Paper §3.2.1: "data packets are created by the off-grid control
+// processor ... These data packets contain a unique instruction ID, an ALU
+// instruction, two operands, and the ID of the processor cell where the
+// instruction will be computed." Cells receive packets "8 bits at a time"
+// over the four nearest-neighbour buses, so a packet travels as a fixed
+// sequence of flits.
+//
+// Wire format (10 flits):
+//   0  start marker 0xA5
+//   1  destination cell ID (row<<4 | col)   — grids up to 16x16
+//   2  instruction ID, high byte
+//   3  instruction ID, low byte
+//   4  flags (packet kind | opcode)
+//   5  operand 1
+//   6  operand 2
+//   7  result
+//   8  source cell ID (row<<4 | col)        — for salvage bookkeeping
+//   9  checksum: XOR of flits 1..8
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nbx {
+
+/// What a packet carries.
+enum class PacketKind : std::uint8_t {
+  kInstruction = 0,  ///< control processor -> cell (shift-in)
+  kResult = 1,       ///< cell -> control processor (shift-out)
+  kSalvage = 2,      ///< failed cell -> neighbour (system-level recovery)
+};
+
+/// A cell coordinate in the paper's addressing scheme: row addresses
+/// decrease moving away (down) from the control processor; column
+/// addresses decrease moving right.
+struct CellId {
+  std::uint8_t row = 0;
+  std::uint8_t col = 0;
+
+  friend bool operator==(CellId a, CellId b) {
+    return a.row == b.row && a.col == b.col;
+  }
+
+  [[nodiscard]] std::uint8_t packed() const {
+    return static_cast<std::uint8_t>((row << 4) | (col & 0x0F));
+  }
+  static CellId unpack(std::uint8_t byte) {
+    return {static_cast<std::uint8_t>(byte >> 4),
+            static_cast<std::uint8_t>(byte & 0x0F)};
+  }
+};
+
+/// A decoded NanoBox packet.
+struct Packet {
+  PacketKind kind = PacketKind::kInstruction;
+  CellId dest;
+  CellId source;
+  std::uint16_t instr_id = 0;
+  Opcode op = Opcode::kAnd;
+  std::uint8_t operand1 = 0;
+  std::uint8_t operand2 = 0;
+  std::uint8_t result = 0;
+
+  friend bool operator==(const Packet& a, const Packet& b) {
+    return a.kind == b.kind && a.dest == b.dest && a.source == b.source &&
+           a.instr_id == b.instr_id && a.op == b.op &&
+           a.operand1 == b.operand1 && a.operand2 == b.operand2 &&
+           a.result == b.result;
+  }
+};
+
+/// Flits per packet on the wire.
+inline constexpr std::size_t kPacketFlits = 10;
+/// Start-of-packet marker value.
+inline constexpr std::uint8_t kStartMarker = 0xA5;
+
+/// Serializes a packet to its 10 flits.
+std::vector<std::uint8_t> encode_packet(const Packet& p);
+
+/// Incremental packet decoder: feed flits as they arrive on a bus; a
+/// complete, checksum-valid packet is returned once assembled.
+class PacketAssembler {
+ public:
+  /// Consumes one flit. Returns a packet when this flit completes one.
+  /// Flits before a start marker, and packets with bad checksums, are
+  /// discarded (checksum_failures() counts the latter).
+  std::optional<Packet> push(std::uint8_t flit);
+
+  [[nodiscard]] std::uint64_t checksum_failures() const {
+    return checksum_failures_;
+  }
+  [[nodiscard]] bool mid_packet() const { return !buf_.empty(); }
+  void reset() { buf_.clear(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::uint64_t checksum_failures_ = 0;
+};
+
+}  // namespace nbx

@@ -1,0 +1,297 @@
+#include "cell/processor_cell.hpp"
+
+#include <cassert>
+
+#include "coding/majority.hpp"
+
+namespace nbx {
+
+Port port_for(RouteDecision d) {
+  switch (d) {
+    case RouteDecision::kSendLeft:
+      return Port::kLeft;
+    case RouteDecision::kSendRight:
+      return Port::kRight;
+    case RouteDecision::kSendUp:
+      return Port::kTop;
+    case RouteDecision::kSendDown:
+      return Port::kBottom;
+    case RouteDecision::kKeepHere:
+      break;
+  }
+  assert(false && "kKeepHere has no port");
+  return Port::kTop;
+}
+
+ProcessorCell::ProcessorCell(CellId id, const CellConfig& config)
+    : id_(id), config_(config), memory_(config.memory_words),
+      control_(config.control_coding, config.control_fault_percent,
+               config.seed ^ 0xC0117201u),
+      alu_(config.alu_coding),
+      alu_defects_(0),
+      alu_mask_gen_(0, 0.0),
+      rng_(config.seed ^ (static_cast<std::uint64_t>(id.packed()) << 32)) {
+  alu_golden_bits_ = alu_.golden_storage();
+  alu_defects_ = DefectMap::manufacture(alu_.fault_sites(),
+                                        config.alu_defect_density, rng_);
+  alu_mask_gen_ =
+      MaskGenerator(alu_.fault_sites(), config.alu_fault_percent);
+  alu_mask_ = BitVec(alu_.fault_sites());
+}
+
+void ProcessorCell::set_mode(CellMode m) {
+  mode_ = m;
+  scan_ptr_ = 0;
+  if (m == CellMode::kShiftOut) {
+    shift_out_ptr_ = 0;
+    sent_initial_shift_out_ = false;
+  }
+}
+
+void ProcessorCell::receive_flit(Port from, std::uint8_t flit) {
+  if (!alive_ && !router_survives_) {
+    return;  // completely dead cell: the bus drives into nothing
+  }
+  in_flits_[static_cast<std::size_t>(from)].push_back(flit);
+}
+
+std::optional<std::uint8_t> ProcessorCell::pop_output(Port to) {
+  auto& q = out_flits_[static_cast<std::size_t>(to)];
+  if (q.empty()) {
+    return std::nullopt;
+  }
+  const std::uint8_t f = q.front();
+  q.pop_front();
+  return f;
+}
+
+void ProcessorCell::note_error(std::uint64_t n) {
+  stats_.errors += n;
+  if (alive_ && stats_.errors > config_.error_threshold) {
+    // §2.3: the cell exceeded its error threshold; it stops beating so
+    // the watchdog will disable it.
+    alive_ = false;
+  }
+}
+
+void ProcessorCell::step() {
+  if (!alive_ && !router_survives_) {
+    return;
+  }
+  if (alive_) {
+    ++heartbeat_;
+    ++stats_.cycles;
+  }
+  process_incoming();
+  if (alive_) {
+    if (config_.memory_upsets_per_cycle > 0.0) {
+      // Poisson-ish: inject one upset with the configured probability
+      // (rates << 1 per cycle in all experiments).
+      if (rng_.bernoulli(config_.memory_upsets_per_cycle)) {
+        memory_.inject_upsets(rng_, 1);
+      }
+    }
+    if (config_.scrub_interval != 0 &&
+        heartbeat_ % config_.scrub_interval == 0) {
+      stats_.scrub_repairs += memory_.scrub();
+    }
+    switch (mode_) {
+      case CellMode::kShiftIn:
+        break;  // shift-in work happens in process_incoming()
+      case CellMode::kCompute:
+        step_compute();
+        break;
+      case CellMode::kShiftOut:
+        step_shift_out();
+        break;
+    }
+  }
+}
+
+void ProcessorCell::process_incoming() {
+  for (std::size_t p = 0; p < kPortCount; ++p) {
+    auto& q = in_flits_[p];
+    if (q.empty()) {
+      continue;
+    }
+    // One flit per bus per cycle.
+    const std::uint8_t flit = q.front();
+    q.pop_front();
+    if (auto pkt = assemblers_[p].push(flit)) {
+      handle_packet(static_cast<Port>(p), *pkt);
+    }
+  }
+}
+
+void ProcessorCell::handle_packet(Port from, const Packet& p) {
+  // Dead-but-salvageable cells still route traffic around themselves;
+  // they no longer accept work.
+  if (p.kind == PacketKind::kResult && mode_ == CellMode::kShiftOut) {
+    // §3.2.3: incoming result packets (necessarily from below) are passed
+    // straight up, taking priority over the cell's own packets.
+    (void)from;
+    const auto flits = encode_packet(p);
+    auto& up = out_flits_[static_cast<std::size_t>(Port::kTop)];
+    up.insert(up.end(), flits.begin(), flits.end());
+    ++stats_.packets_forwarded;
+    trace_event(TraceEvent::kPacketForwarded, p.instr_id);
+    return;
+  }
+  const RouteDecision d =
+      alive_ ? control_.route(id_, p.dest) : golden_route(id_, p.dest);
+  if (d == RouteDecision::kKeepHere) {
+    if (!alive_) {
+      return;  // disabled cell: traffic for it is already rerouted by the
+               // watchdog; drop anything stale
+    }
+    if (p.kind == PacketKind::kInstruction ||
+        p.kind == PacketKind::kSalvage) {
+      store_instruction(p);
+      if (p.kind == PacketKind::kSalvage) {
+        ++stats_.salvage_received;
+      }
+    }
+    return;
+  }
+  forward_packet(p, d);
+}
+
+void ProcessorCell::store_instruction(const Packet& p) {
+  MemoryWord w;
+  w.instr_id = p.instr_id;
+  w.op = p.op;
+  w.operand1 = p.operand1;
+  w.operand2 = p.operand2;
+  w.set_result(p.result);
+  w.set_valid(true);
+  w.set_pending(true);
+  if (memory_.store(w)) {
+    ++stats_.packets_stored;
+    trace_event(TraceEvent::kPacketStored, p.instr_id);
+  } else {
+    ++stats_.dropped_full_memory;
+    note_error();
+  }
+}
+
+void ProcessorCell::forward_packet(const Packet& p, RouteDecision d) {
+  const auto flits = encode_packet(p);
+  auto& q = out_flits_[static_cast<std::size_t>(port_for(d))];
+  q.insert(q.end(), flits.begin(), flits.end());
+  ++stats_.packets_forwarded;
+  trace_event(TraceEvent::kPacketForwarded, p.instr_id);
+}
+
+std::uint8_t ProcessorCell::compute_pass(Opcode op, std::uint8_t a,
+                                         std::uint8_t b) {
+  // A fresh transient-fault mask per ALU pass (paper §4), with the
+  // cell's manufacturing defects overlaid on top (stuck cells dominate).
+  alu_mask_gen_.generate(rng_, alu_mask_);
+  if (alu_defects_.defect_count() != 0) {
+    alu_defects_.impose(alu_golden_bits_, alu_mask_);
+  }
+  ModuleStats stats;
+  const std::uint8_t r = alu_.eval(
+      op, a, b, MaskView(alu_mask_, 0, alu_mask_.size()), &stats);
+  if (stats.lut.tmr_disagreements != 0) {
+    stats_.masked_alu_faults += stats.lut.tmr_disagreements;
+    if (config_.count_masked_faults) {
+      note_error(stats.lut.tmr_disagreements);
+    }
+  }
+  return r;
+}
+
+void ProcessorCell::step_compute() {
+  // §3.2.2: the ALU control cycles through memory one word per visit,
+  // wrapping forever while compute mode lasts.
+  if (memory_.capacity() == 0) {
+    return;
+  }
+  MemoryWord& w = memory_.word(scan_ptr_);
+  scan_ptr_ = (scan_ptr_ + 1) % memory_.capacity();
+  if (w.has_internal_disagreement()) {
+    ++stats_.memory_disagreements;
+    note_error();
+  }
+  if (!control_.should_compute(w)) {
+    return;
+  }
+  // Three copies of the result are generated (module-level redundancy);
+  // the majority vote happens at shift-out time (§3.2.3).
+  for (std::size_t i = 0; i < 3; ++i) {
+    w.result[i] = compute_pass(w.op, w.operand1, w.operand2);
+  }
+  w.set_pending(false);
+  ++stats_.instructions_computed;
+  trace_event(TraceEvent::kComputed, w.instr_id);
+}
+
+void ProcessorCell::emit_result_packet(MemoryWord& w) {
+  Packet p;
+  p.kind = PacketKind::kResult;
+  p.dest = CellId{0xF, id_.col};  // toward the control processor (top)
+  p.source = id_;
+  p.instr_id = w.instr_id;
+  p.op = w.op;
+  p.operand1 = w.operand1;
+  p.operand2 = w.operand2;
+  p.result = w.voted_result();
+  const auto flits = encode_packet(p);
+  auto& up = out_flits_[static_cast<std::size_t>(Port::kTop)];
+  up.insert(up.end(), flits.begin(), flits.end());
+  w.set_valid(false);  // the slot is free once its result left the cell
+  ++stats_.results_emitted;
+  trace_event(TraceEvent::kResultEmitted, p.instr_id);
+}
+
+void ProcessorCell::step_shift_out() {
+  // Own packets are emitted only when the upward bus is idle; forwarded
+  // traffic from below was already queued by handle_packet and takes
+  // priority (§3.2.3).
+  auto& up = out_flits_[static_cast<std::size_t>(Port::kTop)];
+  if (!up.empty()) {
+    return;
+  }
+  while (shift_out_ptr_ < memory_.capacity()) {
+    MemoryWord& w = memory_.word(shift_out_ptr_);
+    if (w.valid() && !w.pending()) {
+      emit_result_packet(w);
+      ++shift_out_ptr_;
+      return;
+    }
+    ++shift_out_ptr_;
+  }
+}
+
+void ProcessorCell::force_fail(bool router_survives) {
+  alive_ = false;
+  router_survives_ = router_survives;
+}
+
+std::vector<MemoryWord> ProcessorCell::salvage_words() {
+  std::vector<MemoryWord> out;
+  if (!router_survives_) {
+    return out;  // §2.3: salvage requires a functioning router and memory
+  }
+  for (std::size_t i = 0; i < memory_.capacity(); ++i) {
+    MemoryWord& w = memory_.word(i);
+    if (w.valid()) {
+      out.push_back(w);
+      w.set_valid(false);
+    }
+  }
+  return out;
+}
+
+bool ProcessorCell::quiescent() const {
+  for (std::size_t p = 0; p < kPortCount; ++p) {
+    if (!in_flits_[p].empty() || !out_flits_[p].empty() ||
+        assemblers_[p].mid_packet()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nbx

@@ -1,0 +1,98 @@
+#include "cell/trace.hpp"
+
+#include <array>
+#include <iomanip>
+
+namespace nbx {
+
+std::string_view trace_event_name(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kModeChange:
+      return "mode-change";
+    case TraceEvent::kPacketStored:
+      return "stored";
+    case TraceEvent::kPacketForwarded:
+      return "forwarded";
+    case TraceEvent::kComputed:
+      return "computed";
+    case TraceEvent::kResultEmitted:
+      return "result-emitted";
+    case TraceEvent::kCellDisabled:
+      return "cell-disabled";
+    case TraceEvent::kWordSalvaged:
+      return "word-salvaged";
+  }
+  return "?";
+}
+
+std::size_t TraceSink::count(TraceEvent e) const {
+  std::size_t n = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.event == e) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<TraceRecord> TraceSink::history_of(std::uint16_t id) const {
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& r : records_) {
+    if (r.event != TraceEvent::kModeChange &&
+        r.event != TraceEvent::kCellDisabled && r.id == id) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceRecord> TraceSink::at_cell(CellId cell) const {
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& r : records_) {
+    if (r.cell == cell) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+void TraceSink::summarize(std::ostream& os) const {
+  constexpr std::array<TraceEvent, 7> kAll = {
+      TraceEvent::kModeChange,   TraceEvent::kPacketStored,
+      TraceEvent::kPacketForwarded, TraceEvent::kComputed,
+      TraceEvent::kResultEmitted,   TraceEvent::kCellDisabled,
+      TraceEvent::kWordSalvaged};
+  os << "trace: " << records_.size() << " events";
+  if (!records_.empty()) {
+    os << " over cycles [" << records_.front().cycle << ", "
+       << records_.back().cycle << "]";
+  }
+  os << "\n";
+  for (const TraceEvent e : kAll) {
+    const std::size_t n = count(e);
+    if (n != 0) {
+      os << "  " << std::setw(15) << std::left << trace_event_name(e) << n
+         << "\n";
+    }
+  }
+}
+
+void TraceSink::dump(std::ostream& os, std::size_t limit) const {
+  std::size_t shown = 0;
+  for (const TraceRecord& r : records_) {
+    os << "cycle " << std::setw(6) << r.cycle << "  " << std::setw(15)
+       << std::left << trace_event_name(r.event) << std::right << " cell("
+       << int(r.cell.row) << "," << int(r.cell.col) << ")";
+    if (r.event != TraceEvent::kModeChange &&
+        r.event != TraceEvent::kCellDisabled) {
+      os << " id=" << r.id;
+    }
+    os << "\n";
+    if (limit != 0 && ++shown >= limit) {
+      os << "... (" << records_.size() - shown << " more)\n";
+      return;
+    }
+  }
+}
+
+}  // namespace nbx

@@ -1,0 +1,77 @@
+// trace.hpp — cycle-stamped event tracing for the grid simulator.
+//
+// Debugging a distributed failure ("why is pixel 37 missing?") needs the
+// sequence of events, not just end-of-run counters. A TraceSink attached
+// to a grid records every packet movement, computation, emission, salvage
+// and failover decision with its cycle number, queryable by cell or
+// instruction id.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "cell/packet.hpp"
+
+namespace nbx {
+
+/// Kinds of traced events.
+enum class TraceEvent : std::uint8_t {
+  kModeChange,      ///< grid-wide mode line switched (id = new mode)
+  kPacketStored,    ///< an instruction/salvage packet entered a memory
+  kPacketForwarded, ///< a packet passed through a router
+  kComputed,        ///< a memory word's triple computation finished
+  kResultEmitted,   ///< a result packet left its cell
+  kCellDisabled,    ///< the watchdog disabled a cell (id unused)
+  kWordSalvaged,    ///< a memory word moved to a neighbour
+};
+
+/// Human-readable event name.
+std::string_view trace_event_name(TraceEvent e);
+
+/// One trace record.
+struct TraceRecord {
+  std::uint64_t cycle = 0;
+  TraceEvent event = TraceEvent::kModeChange;
+  CellId cell;            ///< the cell where the event happened
+  std::uint16_t id = 0;   ///< instruction id / mode, depending on event
+};
+
+/// Collects trace records. Attach with NanoBoxGrid::attach_trace; the
+/// grid advances the sink's clock each cycle.
+class TraceSink {
+ public:
+  void set_cycle(std::uint64_t c) { cycle_ = c; }
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+
+  void record(TraceEvent e, CellId cell, std::uint16_t id = 0) {
+    records_.push_back(TraceRecord{cycle_, e, cell, id});
+  }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t count(TraceEvent e) const;
+
+  /// All records touching instruction `id`, in order — the life of one
+  /// pixel through the machine.
+  [[nodiscard]] std::vector<TraceRecord> history_of(std::uint16_t id) const;
+
+  /// All records at one cell, in order.
+  [[nodiscard]] std::vector<TraceRecord> at_cell(CellId cell) const;
+
+  /// Per-event-kind counts plus first/last cycle.
+  void summarize(std::ostream& os) const;
+
+  /// Full listing ("cycle 42  computed       cell(1,0) id=17").
+  void dump(std::ostream& os, std::size_t limit = 0) const;
+
+  void clear() { records_.clear(); }
+
+ private:
+  std::uint64_t cycle_ = 0;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace nbx

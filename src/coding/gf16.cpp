@@ -1,0 +1,70 @@
+#include "coding/gf16.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace nbx::gf16 {
+
+namespace {
+
+// exp_table[i] = alpha^i for i in [0, 15); log_table inverse.
+struct Tables {
+  std::array<std::uint8_t, kOrder> exp{};
+  std::array<int, 16> log{};
+
+  Tables() {
+    std::uint8_t x = 1;
+    for (int i = 0; i < kOrder; ++i) {
+      exp[static_cast<std::size_t>(i)] = x;
+      log[x] = i;
+      // Multiply by alpha (0x2) with reduction by x^4 + x + 1.
+      x = static_cast<std::uint8_t>(x << 1);
+      if (x & 0x10) {
+        x = static_cast<std::uint8_t>((x ^ 0x13) & 0xF);
+      }
+    }
+    log[0] = -1;  // undefined
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  a &= 0xF;
+  b &= 0xF;
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>((t.log[a] + t.log[b]) % kOrder)];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  a &= 0xF;
+  assert(a != 0);
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>((kOrder - t.log[a]) % kOrder)];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) { return mul(a, inv(b)); }
+
+std::uint8_t pow_alpha(int e) {
+  e %= kOrder;
+  if (e < 0) {
+    e += kOrder;
+  }
+  return tables().exp[static_cast<std::size_t>(e)];
+}
+
+int log_alpha(std::uint8_t a) {
+  a &= 0xF;
+  assert(a != 0);
+  return tables().log[a];
+}
+
+}  // namespace nbx::gf16

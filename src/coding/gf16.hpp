@@ -1,0 +1,35 @@
+// gf16.hpp — arithmetic over GF(2^4), the symbol field for the
+// Reed-Solomon coded lookup tables.
+//
+// Field: GF(16) with primitive polynomial x^4 + x + 1 (0x13), primitive
+// element alpha = 0x2. Elements are the low nibbles 0x0..0xF.
+#pragma once
+
+#include <cstdint>
+
+namespace nbx::gf16 {
+
+/// Number of nonzero field elements (alpha's multiplicative order).
+inline constexpr int kOrder = 15;
+
+/// Addition = subtraction = XOR in characteristic 2.
+constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+  return static_cast<std::uint8_t>((a ^ b) & 0xF);
+}
+
+/// Multiplication (table-driven; mul(0, x) == 0).
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+
+/// Multiplicative inverse; precondition a != 0.
+std::uint8_t inv(std::uint8_t a);
+
+/// Division a / b; precondition b != 0.
+std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+/// alpha^e for any integer exponent (reduced mod 15).
+std::uint8_t pow_alpha(int e);
+
+/// Discrete log base alpha; precondition a != 0. Returns 0..14.
+int log_alpha(std::uint8_t a);
+
+}  // namespace nbx::gf16

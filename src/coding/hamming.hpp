@@ -1,0 +1,110 @@
+// hamming.hpp — single-error-correcting Hamming code over arbitrary-width
+// data words.
+//
+// This is the "information code" of the paper's §2.1: a coded lookup table
+// stores its 16-bit truth-table string plus 5 Hamming check bits
+// (Hamming(21,16)), and on every access recomputes the check bits, compares
+// them against the stored ones, and corrects the indicated bit.
+//
+// Behavioural note that drives the paper's headline surprise (§5): the
+// decoder's syndrome is a function of *all* stored bits. Under multi-bit
+// faults the syndrome can point at an innocent position — including the one
+// data bit the LUT access actually needs — so at high fault rates the
+// Hamming LUT (alunh) performs *worse* than the uncoded LUT (alunn), which
+// only ever exposes the single addressed bit. This implementation performs
+// exactly that plain SEC miscorrection; do not "fix" it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bitvec.hpp"
+
+namespace nbx {
+
+/// Outcome of a Hamming decode.
+enum class HammingStatus : std::uint8_t {
+  kNoError,        ///< syndrome zero — stored word consistent
+  kCorrected,      ///< nonzero syndrome pointed inside the codeword; one
+                   ///< bit was flipped (possibly a miscorrection if the
+                   ///< underlying fault was multi-bit)
+  kUncorrectable,  ///< syndrome pointed outside the codeword — no unique
+                   ///< single-bit explanation; word left untouched
+};
+
+/// Single-error-correcting Hamming code for `data_bits`-wide words.
+///
+/// Codeword layout follows the classic positional construction: positions
+/// are numbered 1..n; power-of-two positions hold check bits; remaining
+/// positions hold data bits in ascending order. The syndrome of a single
+/// flipped bit equals its 1-based position.
+class HammingCode {
+ public:
+  /// Builds the code for a given data width (>= 1).
+  explicit HammingCode(std::size_t data_bits);
+
+  [[nodiscard]] std::size_t data_bits() const { return data_bits_; }
+  [[nodiscard]] std::size_t check_bits() const { return check_bits_; }
+  [[nodiscard]] std::size_t codeword_bits() const {
+    return data_bits_ + check_bits_;
+  }
+
+  /// Computes the check-bit string for `data` (the paper's "check bit
+  /// generator"). data.size() must equal data_bits().
+  [[nodiscard]] BitVec generate_check_bits(const BitVec& data) const;
+
+  /// Recomputes check bits from `data`, XORs against `stored_checks`
+  /// (the paper's "error detector"), and — if the syndrome is a valid
+  /// position — corrects the indicated bit in-place in `data` or reports
+  /// a check-bit-only error (the paper's "error corrector").
+  ///
+  /// Both vectors are the *possibly faulted* stored strings. `data` is
+  /// modified only when the syndrome indicates a data position.
+  HammingStatus detect_and_correct(BitVec& data,
+                                   const BitVec& stored_checks) const;
+
+  /// Number of check bits required for `data_bits` data bits:
+  /// smallest r with 2^r >= data_bits + r + 1.
+  static std::size_t check_bits_for(std::size_t data_bits);
+
+  /// Raw decode outcome, exposing the syndrome so callers can model
+  /// different corrector hardware (see LutCoding::kHamming vs
+  /// kHammingIdeal in lut/coded_lut.hpp).
+  struct Decode {
+    enum class Kind : std::uint8_t {
+      kClean,     ///< zero syndrome
+      kDataBit,   ///< syndrome identifies a unique data bit
+      kCheckBit,  ///< syndrome identifies a check bit (data intact)
+      kInvalid,   ///< syndrome outside the codeword (multi-bit fault)
+    };
+    Kind kind = Kind::kClean;
+    std::uint32_t syndrome = 0;
+    std::int32_t data_index = -1;  ///< valid when kind == kDataBit
+  };
+
+  /// Computes the syndrome of (data, stored_checks) and classifies it.
+  /// Does not modify anything.
+  [[nodiscard]] Decode decode(const BitVec& data,
+                              const BitVec& stored_checks) const;
+
+  /// 1-based codeword position of data bit `index`.
+  [[nodiscard]] std::uint32_t position_of_data(std::size_t index) const {
+    return data_pos_[index];
+  }
+
+ private:
+  std::size_t data_bits_;
+  std::size_t check_bits_;
+
+  // position (1-based, within codeword) of each data bit, ascending
+  std::vector<std::uint32_t> data_pos_;
+  // position of each check bit: 1, 2, 4, 8, ...
+  std::vector<std::uint32_t> check_pos_;
+  // for each codeword position p (1-based), is it a data bit, and which?
+  std::vector<std::int32_t> pos_to_data_index_;  // -1 if check position
+
+  [[nodiscard]] std::uint32_t syndrome_of(const BitVec& data,
+                                          const BitVec& checks) const;
+};
+
+}  // namespace nbx

@@ -1,0 +1,4 @@
+// majority.cpp — intentionally empty: majority voting is constexpr and
+// header-only; this translation unit exists so the target has a consistent
+// shape and a place for future non-inline helpers.
+#include "coding/majority.hpp"

@@ -1,0 +1,41 @@
+// majority.hpp — triple-modular-redundancy majority voting primitives.
+//
+// Majority voting appears at every level of the NanoBox hierarchy:
+//   * bit level     — the TMR-coded LUT stores three copies of its truth
+//                     table and votes the addressed bit (paper §2.1);
+//   * module level  — three ALU results (space or time redundancy) are
+//                     voted into one (paper §2.2, §3.2.2);
+//   * memory words  — critical fields (data-valid, to-be-computed) are
+//                     stored in triplicate and read by majority (§2.2);
+//   * shift-out     — the cell votes the three stored result copies (§3.2.3).
+#pragma once
+
+#include <cstdint>
+
+namespace nbx {
+
+/// Majority of three bits.
+constexpr bool majority3(bool a, bool b, bool c) {
+  return (a && b) || (b && c) || (a && c);
+}
+
+/// Bitwise majority of three words (per-bit independent vote).
+constexpr std::uint8_t majority3(std::uint8_t a, std::uint8_t b,
+                                 std::uint8_t c) {
+  return static_cast<std::uint8_t>((a & b) | (b & c) | (a & c));
+}
+
+/// Bitwise majority for wider fields (used on triplicated memory fields).
+constexpr std::uint32_t majority3(std::uint32_t a, std::uint32_t b,
+                                  std::uint32_t c) {
+  return (a & b) | (b & c) | (a & c);
+}
+
+/// True if the three values do not all agree (the voter's error/heartbeat
+/// side-channel: a disagreement means at least one replica was faulted).
+template <typename T>
+constexpr bool tmr_disagreement(T a, T b, T c) {
+  return !(a == b && b == c);
+}
+
+}  // namespace nbx

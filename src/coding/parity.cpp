@@ -1,0 +1,11 @@
+#include "coding/parity.hpp"
+
+namespace nbx {
+
+bool even_parity_bit(const BitVec& bits) { return (bits.popcount() & 1u) != 0; }
+
+bool parity_consistent(const BitVec& bits, bool stored_parity) {
+  return even_parity_bit(bits) == stored_parity;
+}
+
+}  // namespace nbx

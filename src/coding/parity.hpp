@@ -1,0 +1,28 @@
+// parity.hpp — simple parity codes (detect-only), used by the ablation
+// study comparing coding schemes (bench_ablation_coding) and by the
+// SEC-DED extension's overall-parity bit.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitvec.hpp"
+
+namespace nbx {
+
+/// Even parity over a bit vector: returns 1 iff the popcount is odd, so
+/// that appending the returned bit makes the total even.
+bool even_parity_bit(const BitVec& bits);
+
+/// Even parity of an 8-bit word.
+constexpr bool even_parity_bit(std::uint8_t w) {
+  w ^= static_cast<std::uint8_t>(w >> 4);
+  w ^= static_cast<std::uint8_t>(w >> 2);
+  w ^= static_cast<std::uint8_t>(w >> 1);
+  return (w & 1u) != 0;
+}
+
+/// Detect-only check: true if `bits` plus `stored_parity` has even weight,
+/// i.e. no (odd-multiplicity) error detected.
+bool parity_consistent(const BitVec& bits, bool stored_parity);
+
+}  // namespace nbx

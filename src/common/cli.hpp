@@ -1,0 +1,61 @@
+// cli.hpp — a minimal command-line flag parser for the example tools.
+//
+// Supports `--key value`, `--key=value`, bare boolean `--flag`, and
+// positional arguments. No external dependencies; just enough for
+// nbxsim-style front-ends.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nbx {
+
+/// Parsed command line.
+class CliArgs {
+ public:
+  /// Parses argv. Unknown flags are retained (validate() reports them).
+  CliArgs(int argc, const char* const* argv);
+
+  /// The program name (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+  /// True if `--name` appeared (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// String value of `--name`, or `fallback`.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback = "") const;
+
+  /// Integer value of `--name`; nullopt if absent or unparsable.
+  [[nodiscard]] std::optional<std::int64_t> get_int(
+      const std::string& name) const;
+  /// Integer with fallback.
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+
+  /// Double value of `--name`; nullopt if absent or unparsable.
+  [[nodiscard]] std::optional<double> get_double(
+      const std::string& name) const;
+  /// Double with fallback.
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Returns the flags that are not in `known` (for usage errors).
+  [[nodiscard]] std::vector<std::string> unknown_flags(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;  // name -> value ("" if bare)
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nbx

@@ -1,0 +1,62 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nbx {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean_of(const std::vector<double>& xs) {
+  RunningStats s;
+  for (const double x : xs) {
+    s.add(x);
+  }
+  return s.mean();
+}
+
+double stddev_of(const std::vector<double>& xs) {
+  RunningStats s;
+  for (const double x : xs) {
+    s.add(x);
+  }
+  return s.stddev();
+}
+
+double ci95_half_width(double stddev, std::size_t n) {
+  if (n < 2) {
+    return 0.0;
+  }
+  // Two-sided 97.5% Student-t quantiles for df = n-1; 1.96 asymptote.
+  static constexpr double kT[] = {0,     12.706, 4.303, 3.182, 2.776,
+                                  2.571, 2.447,  2.365, 2.306, 2.262,
+                                  2.228, 2.201,  2.179, 2.160, 2.145,
+                                  2.131, 2.120,  2.110, 2.101, 2.093,
+                                  2.086, 2.080,  2.074, 2.069, 2.064,
+                                  2.060, 2.056,  2.052, 2.048, 2.045};
+  const std::size_t df = n - 1;
+  const double t = df < std::size(kT) ? kT[df] : 1.96;
+  return t * stddev / std::sqrt(static_cast<double>(n));
+}
+
+}  // namespace nbx

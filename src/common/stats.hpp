@@ -1,0 +1,52 @@
+// stats.hpp — small statistics helpers for experiment result aggregation.
+//
+// The paper reports each plotted point as the mean of ten samples (five
+// trials of each of two workloads) and remarks on the standard deviation
+// of those samples (§5). RunningStats provides exactly that: streaming
+// mean / sample standard deviation via Welford's method.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nbx {
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable for
+/// long streams; O(1) space.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+
+  /// Sample variance (divides by n-1); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const;
+
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience: mean of a vector (0 for empty).
+double mean_of(const std::vector<double>& xs);
+
+/// Convenience: sample standard deviation of a vector (0 for size < 2).
+double stddev_of(const std::vector<double>& xs);
+
+/// Half-width of a 95% confidence interval on the mean of n samples with
+/// the given sample standard deviation, using Student's t quantiles for
+/// small n (the paper's points average n = 10 samples). Returns 0 for
+/// n < 2.
+double ci95_half_width(double stddev, std::size_t n);
+
+}  // namespace nbx

@@ -1,0 +1,45 @@
+#include "common/types.hpp"
+
+namespace nbx {
+
+std::uint8_t golden_alu(Opcode op, std::uint8_t a, std::uint8_t b) {
+  switch (op) {
+    case Opcode::kAnd:
+      return a & b;
+    case Opcode::kOr:
+      return a | b;
+    case Opcode::kXor:
+      return a ^ b;
+    case Opcode::kAdd:
+      return static_cast<std::uint8_t>(a + b);
+  }
+  return 0;  // unreachable for valid opcodes
+}
+
+std::string_view opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kAnd:
+      return "AND";
+    case Opcode::kOr:
+      return "OR";
+    case Opcode::kXor:
+      return "XOR";
+    case Opcode::kAdd:
+      return "ADD";
+  }
+  return "???";
+}
+
+bool opcode_is_valid(std::uint8_t bits) {
+  switch (bits & 0b111) {
+    case 0b000:
+    case 0b001:
+    case 0b010:
+    case 0b111:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace nbx

@@ -1,0 +1,39 @@
+// types.hpp — core vocabulary types shared across the NanoBox libraries.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace nbx {
+
+/// The four-instruction ALU ISA of Table 1. Encodings are the paper's:
+/// AND=000, OR=001, XOR=010, ADD=111 (3-bit opcode field).
+enum class Opcode : std::uint8_t {
+  kAnd = 0b000,
+  kOr = 0b001,
+  kXor = 0b010,
+  kAdd = 0b111,
+};
+
+/// Opcode field width in the memory word and on the ALU interface.
+inline constexpr int kOpcodeBits = 3;
+
+/// Datapath width: all operands, results and buses are 8 bits wide.
+inline constexpr int kWordBits = 8;
+
+/// Computes the golden (fault-free) result of an ALU instruction.
+/// ADD wraps modulo 256, matching an 8-bit ripple adder with the carry
+/// out of the top bit discarded.
+std::uint8_t golden_alu(Opcode op, std::uint8_t a, std::uint8_t b);
+
+/// Human-readable mnemonic ("AND", "OR", "XOR", "ADD").
+std::string_view opcode_name(Opcode op);
+
+/// True if the 3-bit encoding `bits` is one of the four defined opcodes.
+bool opcode_is_valid(std::uint8_t bits);
+
+/// All defined opcodes, for iteration in tests and sweeps.
+inline constexpr Opcode kAllOpcodes[] = {Opcode::kAnd, Opcode::kOr,
+                                         Opcode::kXor, Opcode::kAdd};
+
+}  // namespace nbx

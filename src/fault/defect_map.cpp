@@ -1,0 +1,52 @@
+#include "fault/defect_map.hpp"
+
+#include <cassert>
+
+namespace nbx {
+
+DefectMap::DefectMap(std::size_t sites)
+    : defective_(sites), stuck_value_(sites) {}
+
+DefectMap DefectMap::manufacture(std::size_t sites, double defect_density,
+                                 Rng& rng) {
+  DefectMap map(sites);
+  for (std::size_t i = 0; i < sites; ++i) {
+    if (rng.bernoulli(defect_density)) {
+      map.add(i, rng.bernoulli(0.5) ? DefectKind::kStuckAt1
+                                    : DefectKind::kStuckAt0);
+    }
+  }
+  return map;
+}
+
+void DefectMap::add(std::size_t site, DefectKind kind) {
+  defective_.set(site, true);
+  stuck_value_.set(site, kind == DefectKind::kStuckAt1);
+}
+
+std::optional<bool> DefectMap::forced_flip(std::size_t site,
+                                           bool golden) const {
+  if (!defective_.get(site)) {
+    return std::nullopt;
+  }
+  return stuck_value_.get(site) != golden;
+}
+
+void DefectMap::impose(const BitVec& golden, BitVec& mask) const {
+  assert(golden.size() == sites());
+  assert(mask.size() >= sites());
+  for (std::size_t i = 0; i < sites(); ++i) {
+    if (defective_.get(i)) {
+      mask.set(i, stuck_value_.get(i) != golden.get(i));
+    }
+  }
+}
+
+double DefectMap::density() const {
+  return sites() == 0
+             ? 0.0
+             : static_cast<double>(defect_count()) /
+                   static_cast<double>(sites());
+}
+
+}  // namespace nbx

@@ -1,0 +1,76 @@
+// defect_map.hpp — permanent manufacturing defects (stuck-at faults).
+//
+// The paper's motivation is dual: nanodevices suffer both "exceedingly
+// high transient fault rates AND large numbers of inherent device
+// defects" (abstract), but its evaluation injects only transients. This
+// module supplies the other half: a DefectMap is fixed at "manufacture
+// time" and marks storage cells stuck at 0 or 1 for the lifetime of the
+// part.
+//
+// Semantics differ from transient faults in two ways:
+//   * persistence — the same cells are wrong on every computation;
+//   * dominance  — a stuck cell cannot also flip transiently, so a
+//     transient fault landing on a defective site is absorbed.
+//
+// A stuck-at-v cell reads as flipped exactly when its golden stored bit
+// differs from v, which is how a defect map composes into the XOR-mask
+// fault model used by the rest of the library (IAlu::impose_defects).
+// Defects apply to nanodevice *storage* (LUT bit strings); the CMOS
+// baselines are conventional silicon and are modelled defect-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+
+namespace nbx {
+
+/// Stuck-at polarity of a defective storage cell.
+enum class DefectKind : std::uint8_t { kStuckAt0 = 0, kStuckAt1 = 1 };
+
+/// An immutable-after-manufacture map of stuck-at defects over a storage
+/// site space.
+class DefectMap {
+ public:
+  /// An all-good part with `sites` storage cells.
+  explicit DefectMap(std::size_t sites);
+
+  /// Manufactures a part in which each cell is independently defective
+  /// with probability `defect_density` (0..1), stuck polarity uniform.
+  static DefectMap manufacture(std::size_t sites, double defect_density,
+                               Rng& rng);
+
+  [[nodiscard]] std::size_t sites() const { return defective_.size(); }
+  [[nodiscard]] std::size_t defect_count() const {
+    return defective_.popcount();
+  }
+  [[nodiscard]] bool is_defective(std::size_t site) const {
+    return defective_.get(site);
+  }
+
+  /// Marks `site` stuck at the given polarity.
+  void add(std::size_t site, DefectKind kind);
+
+  /// For a defective site, whether it reads flipped given the golden
+  /// stored bit; nullopt for healthy sites.
+  [[nodiscard]] std::optional<bool> forced_flip(std::size_t site,
+                                                bool golden) const;
+
+  /// Composes this map into a per-computation transient flip mask over
+  /// the same site space: defective sites are overwritten with their
+  /// forced flip value (stuck cells both create permanent errors and
+  /// absorb transient hits). `golden` holds the golden stored bits.
+  void impose(const BitVec& golden, BitVec& mask) const;
+
+  /// Fraction of sites that are defective.
+  [[nodiscard]] double density() const;
+
+ private:
+  BitVec defective_;
+  BitVec stuck_value_;  // meaningful only where defective_ is set
+};
+
+}  // namespace nbx

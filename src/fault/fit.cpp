@@ -1,0 +1,30 @@
+#include "fault/fit.hpp"
+
+#include <cmath>
+
+namespace nbx {
+
+double fit_from_faults_per_cycle(double faults_per_cycle,
+                                 double clock_period_s) {
+  // errors/hour = k / period * 3600; FIT = errors/hour * 1e9 hours.
+  const double errors_per_hour = faults_per_cycle / clock_period_s * 3600.0;
+  return errors_per_hour * 1e9;
+}
+
+double fit_from_percent(std::size_t sites, double fault_percent,
+                        double clock_period_s) {
+  const double k = static_cast<double>(sites) * fault_percent / 100.0;
+  return fit_from_faults_per_cycle(k, clock_period_s);
+}
+
+double percent_from_fit(std::size_t sites, double fit,
+                        double clock_period_s) {
+  const double k = fit / 1e9 / 3600.0 * clock_period_s;
+  return k / static_cast<double>(sites) * 100.0;
+}
+
+double orders_of_magnitude_above_cmos(double fit) {
+  return std::log10(fit / kCmosReferenceFit);
+}
+
+}  // namespace nbx

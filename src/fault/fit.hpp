@@ -1,0 +1,38 @@
+// fit.hpp — FIT-rate arithmetic (paper §4).
+//
+// One raw FIT (Failure In Time) is one device upset producing a bit flip
+// per 1e9 hours of operation. The paper converts its injected fault
+// percentages into FIT rates by assuming one ALU computation every 0.5 ns
+// (a 2 GHz clock from device-level simulation in [16]). Worked example from
+// §4: aluss has 5040 sites; 1% faults = 50 flips per 0.5 ns = 3.6e14
+// errors/hour = FIT 3.6e23. These helpers reproduce that arithmetic.
+#pragma once
+
+#include <cstddef>
+
+namespace nbx {
+
+/// The evaluation clock period, seconds (2 GHz).
+inline constexpr double kClockPeriodSeconds = 0.5e-9;
+
+/// Contemporary CMOS reference FIT rate quoted by the paper (≈50,000,
+/// i.e. one upset every ~2 years) — used for "orders of magnitude"
+/// comparisons in the benches.
+inline constexpr double kCmosReferenceFit = 50000.0;
+
+/// FIT rate for `faults_per_cycle` flips occurring every clock period.
+double fit_from_faults_per_cycle(double faults_per_cycle,
+                                 double clock_period_s = kClockPeriodSeconds);
+
+/// FIT rate for a fault percentage applied to `sites` injection points.
+double fit_from_percent(std::size_t sites, double fault_percent,
+                        double clock_period_s = kClockPeriodSeconds);
+
+/// Inverse: fault percentage that yields a target FIT on `sites` points.
+double percent_from_fit(std::size_t sites, double fit,
+                        double clock_period_s = kClockPeriodSeconds);
+
+/// log10(fit / kCmosReferenceFit): "orders of magnitude above CMOS".
+double orders_of_magnitude_above_cmos(double fit);
+
+}  // namespace nbx

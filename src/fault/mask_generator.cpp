@@ -1,0 +1,73 @@
+#include "fault/mask_generator.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace nbx {
+
+MaskGenerator::MaskGenerator(std::size_t sites, double fault_percent,
+                             FaultCountPolicy policy,
+                             std::size_t burst_length)
+    : sites_(sites), fault_percent_(fault_percent), policy_(policy),
+      burst_length_(burst_length) {
+  assert(fault_percent >= 0.0 && fault_percent <= 100.0);
+  assert(burst_length >= 1);
+}
+
+std::size_t MaskGenerator::faults_per_computation() const {
+  const double exact = static_cast<double>(sites_) * fault_percent_ / 100.0;
+  switch (policy_) {
+    case FaultCountPolicy::kFloor:
+      return static_cast<std::size_t>(std::floor(exact));
+    case FaultCountPolicy::kRoundNearest:
+    case FaultCountPolicy::kBernoulli:
+    case FaultCountPolicy::kBurst:
+      return static_cast<std::size_t>(std::llround(exact));
+  }
+  return 0;  // unreachable
+}
+
+void MaskGenerator::generate(Rng& rng, BitVec& mask) const {
+  if (mask.size() != sites_) {
+    mask = BitVec(sites_);
+  } else {
+    mask.clear_all();
+  }
+  if (policy_ == FaultCountPolicy::kBernoulli) {
+    const double p = fault_percent_ / 100.0;
+    for (std::size_t i = 0; i < sites_; ++i) {
+      if (rng.bernoulli(p)) {
+        mask.flip(i);
+      }
+    }
+    return;
+  }
+  const std::size_t k = faults_per_computation();
+  if (k == 0) {
+    return;
+  }
+  if (policy_ == FaultCountPolicy::kBurst && burst_length_ > 1) {
+    // Deliver ~k flips as ceil(k / L) strikes of L contiguous sites.
+    // Strike starts are uniform; runs truncate at the end of the site
+    // space and may overlap (overlaps model coincident strikes).
+    const std::size_t strikes = (k + burst_length_ - 1) / burst_length_;
+    for (std::size_t s = 0; s < strikes; ++s) {
+      const auto start = static_cast<std::size_t>(rng.below(sites_));
+      for (std::size_t i = 0; i < burst_length_ && start + i < sites_; ++i) {
+        mask.set(start + i, true);
+      }
+    }
+    return;
+  }
+  for (const std::uint64_t pos : rng.sample_without_replacement(sites_, k)) {
+    mask.set(static_cast<std::size_t>(pos), true);
+  }
+}
+
+BitVec MaskGenerator::generate(Rng& rng) const {
+  BitVec mask(sites_);
+  generate(rng, mask);
+  return mask;
+}
+
+}  // namespace nbx

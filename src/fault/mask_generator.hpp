@@ -1,0 +1,69 @@
+// mask_generator.hpp — per-computation random fault-mask generation.
+//
+// Paper §4 / Figure 6: "we inject errors in the NanoBox ALUs by XORing the
+// lookup table bit strings with a fault mask ... After each ALU
+// computation, we generate a new fault mask, thereby modeling uniformly
+// distributed random transient device faults." and "we force a given
+// fraction of the fault injection points to flip their states".
+//
+// A MaskGenerator is bound to a site count N and a fault percentage p and
+// produces, on demand, a fresh N-bit mask with round(N*p/100) uniformly
+// chosen set bits (the rounding policy matches the paper's worked example:
+// 1% of aluss's 5040 sites -> "50 total faults"). Alternative policies
+// (floor, independent Bernoulli per site) are provided for the rounding
+// ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+
+namespace nbx {
+
+/// How a fault percentage is turned into a per-computation fault count.
+enum class FaultCountPolicy : std::uint8_t {
+  kRoundNearest,  ///< k = round(N * p / 100)  — matches the paper's example
+  kFloor,         ///< k = floor(N * p / 100)
+  kBernoulli,     ///< each site flips independently with probability p/100
+  kBurst,         ///< k total flips delivered as contiguous runs of
+                  ///< `burst_length` sites — models spatially correlated
+                  ///< upsets (one particle strike disturbing neighbouring
+                  ///< nanocells) instead of the paper's uniform model
+};
+
+/// Generates fresh uniformly random fault masks over a fixed site space.
+class MaskGenerator {
+ public:
+  /// `sites` — number of fault-injection points (Table 2 column 2);
+  /// `fault_percent` — the paper's x-axis value, in [0, 100];
+  /// `burst_length` — contiguous run per strike (kBurst only, >= 1).
+  MaskGenerator(std::size_t sites, double fault_percent,
+                FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
+                std::size_t burst_length = 1);
+
+  [[nodiscard]] std::size_t sites() const { return sites_; }
+  [[nodiscard]] double fault_percent() const { return fault_percent_; }
+  [[nodiscard]] FaultCountPolicy policy() const { return policy_; }
+  [[nodiscard]] std::size_t burst_length() const { return burst_length_; }
+
+  /// Deterministic fault count per computation for the counting policies;
+  /// for kBernoulli this is the *expected* count rounded to nearest.
+  [[nodiscard]] std::size_t faults_per_computation() const;
+
+  /// Generates a fresh mask into `mask` (resized/cleared as needed).
+  /// Fault positions are uniform without replacement.
+  void generate(Rng& rng, BitVec& mask) const;
+
+  /// Convenience: returns a newly allocated mask.
+  [[nodiscard]] BitVec generate(Rng& rng) const;
+
+ private:
+  std::size_t sites_;
+  double fault_percent_;
+  FaultCountPolicy policy_;
+  std::size_t burst_length_;
+};
+
+}  // namespace nbx

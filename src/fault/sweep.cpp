@@ -1,0 +1,11 @@
+#include "fault/sweep.hpp"
+
+namespace nbx {
+
+std::vector<double> paper_sweep() {
+  return {kPaperFaultPercentages.begin(), kPaperFaultPercentages.end()};
+}
+
+std::vector<double> smoke_sweep() { return {0.0, 1.0, 5.0, 20.0, 75.0}; }
+
+}  // namespace nbx

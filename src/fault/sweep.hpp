@@ -1,0 +1,29 @@
+// sweep.hpp — the paper's standard fault-percentage sweep (§4).
+//
+// "We run simulations at eighteen different injected fault percentages:
+//  0, 0.05, 0.1, 0.5, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 30, 50, 75."
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace nbx {
+
+/// The 18 x-axis points of Figures 7, 8 and 9, in plot order.
+inline constexpr std::array<double, 18> kPaperFaultPercentages = {
+    0.0, 0.05, 0.1, 0.5, 1.0, 2.0, 3.0,  4.0,  5.0,
+    6.0, 7.0,  8.0, 9.0, 10.0, 20.0, 30.0, 50.0, 75.0};
+
+/// Trials per workload per data point (paper: five), and workloads per
+/// point (two: reverse video + hue shift), so each plotted point averages
+/// ten samples.
+inline constexpr int kPaperTrialsPerWorkload = 5;
+
+/// Returns the paper sweep as a vector (convenient for harness APIs that
+/// accept caller-specified sweeps).
+std::vector<double> paper_sweep();
+
+/// A reduced sweep for fast smoke tests / CI.
+std::vector<double> smoke_sweep();
+
+}  // namespace nbx

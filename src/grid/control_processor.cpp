@@ -1,0 +1,229 @@
+#include "grid/control_processor.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cell/packet.hpp"
+#include "workload/reduction.hpp"
+
+namespace nbx {
+
+ControlProcessor::ControlProcessor(NanoBoxGrid& grid, std::uint64_t seed)
+    : grid_(grid), rng_(seed) {}
+
+void ControlProcessor::refresh_live_cells() {
+  live_cells_.clear();
+  for (ProcessorCell* c : grid_.all_cells()) {
+    if (c->alive()) {
+      live_cells_.push_back(c->id());
+    }
+  }
+}
+
+CellId ControlProcessor::assign_cell(std::size_t index,
+                                     std::size_t per_cell) const {
+  assert(!live_cells_.empty());
+  const std::size_t cell_index =
+      std::min(index / per_cell, live_cells_.size() - 1);
+  return live_cells_[cell_index];
+}
+
+GridRunReport ControlProcessor::run(const std::vector<Instruction>& stream,
+                                    const GridRunOptions& options) {
+  GridRunReport report;
+  report.instructions = stream.size();
+  results_.clear();
+  refresh_live_cells();
+
+  grid_.set_mode(CellMode::kShiftIn);
+  report.shift_in_cycles = do_shift_in(stream, options);
+
+  Watchdog watchdog(grid_, options.watchdog_interval);
+  grid_.set_mode(CellMode::kCompute);
+  report.compute_cycles =
+      do_compute(options, options.enable_watchdog ? &watchdog : nullptr);
+
+  grid_.set_mode(CellMode::kShiftOut);
+  report.shift_out_cycles = do_shift_out(options);
+
+  // Score.
+  report.results_received = results_.size();
+  for (const Instruction& ins : stream) {
+    const auto it = results_.find(ins.id);
+    if (it == results_.end()) {
+      ++report.results_missing;
+    } else if (it->second == ins.golden) {
+      ++report.results_correct;
+    }
+  }
+  report.percent_correct =
+      stream.empty() ? 100.0
+                     : 100.0 * static_cast<double>(report.results_correct) /
+                           static_cast<double>(stream.size());
+  report.watchdog = watchdog.stats();
+  for (ProcessorCell* c : grid_.all_cells()) {
+    report.instructions_computed += c->stats().instructions_computed;
+    report.packets_forwarded += c->stats().packets_forwarded;
+    report.salvage_received += c->stats().salvage_received;
+  }
+  return report;
+}
+
+std::uint64_t ControlProcessor::do_shift_in(
+    const std::vector<Instruction>& stream, const GridRunOptions& options) {
+  const std::size_t capacity = grid_.cell(CellId{0, 0}).memory().capacity();
+  assert(stream.size() <= capacity * live_cells_.size() &&
+         "instruction stream exceeds live grid memory");
+  // Balance the stream across the live cells ("a grid of identical
+  // processor cells working together on a parallel computation", §2.3;
+  // disabled cells receive no new instructions), capped by each cell's
+  // memory capacity.
+  const std::size_t per_cell = std::max<std::size_t>(
+      1, std::min(capacity,
+                  (stream.size() + live_cells_.size() - 1) /
+                      live_cells_.size()));
+  // Queue every packet's flits onto an edge lane; the grid moves one flit
+  // per lane per cycle.
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const Instruction& ins = stream[i];
+    Packet p;
+    p.kind = PacketKind::kInstruction;
+    p.dest = assign_cell(i, per_cell);
+    p.source = CellId{0xF, 0};
+    p.instr_id = ins.id;
+    p.op = ins.op;
+    p.operand1 = ins.a;
+    p.operand2 = ins.b;
+    const std::uint8_t lane =
+        options.scatter_lanes
+            ? static_cast<std::uint8_t>(rng_.below(grid_.cols()))
+            : p.dest.col;
+    for (const std::uint8_t flit : encode_packet(p)) {
+      grid_.push_edge_flit(lane, flit);
+    }
+  }
+  // §3.2.1: "All processor cells stay in shift-in mode until the control
+  // processor finishes sending data ... then waits a specified number of
+  // cycles to ensure that all processor cells have received their data."
+  std::uint64_t cycles = 0;
+  while (cycles < options.phase_cycle_limit) {
+    grid_.step();
+    ++cycles;
+    if (grid_.quiescent()) {
+      break;
+    }
+  }
+  // Deterministic settle margin proportional to the grid diameter.
+  for (std::size_t i = 0; i < grid_.rows() + grid_.cols(); ++i) {
+    grid_.step();
+    ++cycles;
+  }
+  return cycles;
+}
+
+std::uint64_t ControlProcessor::do_compute(const GridRunOptions& options,
+                                           Watchdog* watchdog) {
+  const std::size_t capacity = grid_.cell(CellId{0, 0}).memory().capacity();
+  // Auto budget: several full scans of every memory (one word per cycle),
+  // with headroom for salvaged work to be recomputed elsewhere.
+  const std::uint64_t budget =
+      options.compute_cycles != 0
+          ? options.compute_cycles
+          : static_cast<std::uint64_t>(capacity) * 6 + 128;
+  auto kills = options.kills;
+  for (std::uint64_t c = 0; c < budget && c < options.phase_cycle_limit;
+       ++c) {
+    for (const KillEvent& k : kills) {
+      if (k.at_cycle == c) {
+        grid_.cell(k.cell).force_fail(k.router_survives);
+      }
+    }
+    grid_.step();
+    if (watchdog != nullptr) {
+      watchdog->tick();
+    }
+  }
+  return budget;
+}
+
+std::uint64_t ControlProcessor::do_shift_out(const GridRunOptions& options) {
+  std::vector<PacketAssembler> lanes(grid_.cols());
+  std::uint64_t cycles = 0;
+  std::uint64_t idle_streak = 0;
+  // Run until the fabric is quiescent and nothing new has arrived for a
+  // full grid-height window (cells emit only when their up-bus is idle,
+  // so gaps occur naturally).
+  const std::uint64_t idle_window = 2 * kPacketFlits * (grid_.rows() + 2);
+  while (cycles < options.phase_cycle_limit) {
+    grid_.step();
+    ++cycles;
+    bool saw_flit = false;
+    for (std::uint8_t col = 0; col < grid_.cols(); ++col) {
+      const std::uint8_t paper_col =
+          static_cast<std::uint8_t>(grid_.cols() - 1 - col);
+      while (auto f = grid_.pop_edge_flit(paper_col)) {
+        saw_flit = true;
+        if (auto p = lanes[col].push(*f)) {
+          if (p->kind == PacketKind::kResult) {
+            results_[p->instr_id] = p->result;
+          }
+        }
+      }
+    }
+    idle_streak = saw_flit ? 0 : idle_streak + 1;
+    if (idle_streak > idle_window && grid_.quiescent()) {
+      break;
+    }
+  }
+  return cycles;
+}
+
+std::uint8_t ControlProcessor::run_reduction(
+    const std::vector<std::uint8_t>& values, const GridRunOptions& options,
+    std::vector<GridRunReport>* rounds_report) {
+  if (rounds_report != nullptr) {
+    rounds_report->clear();
+  }
+  std::vector<std::uint8_t> current = values;
+  if (current.empty()) {
+    return 0;
+  }
+  while (current.size() > 1) {
+    const std::vector<Instruction> stream = reduction_round(current);
+    const GridRunReport report = run(stream, options);
+    if (rounds_report != nullptr) {
+      rounds_report->push_back(report);
+    }
+    std::vector<std::uint8_t> next(stream.size());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const auto it = results_.find(static_cast<std::uint16_t>(i));
+      if (it != results_.end()) {
+        next[i] = it->second;
+      } else {
+        // A lost result: carry the left operand forward so the reduction
+        // degrades (drops the right operand's contribution) instead of
+        // deadlocking. The per-round report already recorded the loss.
+        next[i] = stream[i].a;
+      }
+    }
+    current = std::move(next);
+  }
+  return current[0];
+}
+
+Bitmap ControlProcessor::run_image_op(const Bitmap& image, const PixelOp& op,
+                                      const GridRunOptions& options,
+                                      GridRunReport* report) {
+  const auto stream = make_stream(image, op);
+  GridRunReport r = run(stream, options);
+  if (report != nullptr) {
+    *report = r;
+  }
+  Bitmap out = image;
+  std::vector<std::pair<std::uint16_t, std::uint8_t>> pairs(
+      results_.begin(), results_.end());
+  reassemble_image(pairs, out);
+  return out;
+}
+
+}  // namespace nbx

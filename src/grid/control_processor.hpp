@@ -1,0 +1,122 @@
+// control_processor.hpp — the conventional CMOS control processor (§3).
+//
+// "The control microprocessor packages data into a form the NanoBox
+// Processor Grid understands, stores that data in its CMOS memory, then
+// feeds the data to the NanoBox Processor Grid by a bus along one edge of
+// the grid." It drives the grid-wide mode lines, waits the appropriate
+// number of cycles in each phase, and reassembles shifted-out results by
+// their unique instruction IDs (order-independent, §3.2.3).
+//
+// The control processor is assumed reliable (it is conventional CMOS);
+// all unreliability lives inside the grid.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "grid/watchdog.hpp"
+#include "workload/instruction_stream.hpp"
+
+namespace nbx {
+
+/// A scheduled cell failure for failover experiments: `cell` hard-fails
+/// when the grid reaches `at_cycle` during compute mode.
+struct KillEvent {
+  CellId cell;
+  std::uint64_t at_cycle = 0;
+  bool router_survives = true;
+};
+
+/// Knobs for one grid run.
+struct GridRunOptions {
+  /// Compute-mode cycles; 0 = auto (enough scans of every cell memory,
+  /// with headroom for salvage work).
+  std::uint64_t compute_cycles = 0;
+  /// Hard safety bound on total cycles per phase.
+  std::uint64_t phase_cycle_limit = 200000;
+  bool enable_watchdog = true;
+  std::uint64_t watchdog_interval = 64;
+  std::vector<KillEvent> kills;
+  /// When true, every packet is injected on a uniformly random edge lane
+  /// instead of the destination's own column, exercising the horizontal
+  /// routing paths.
+  bool scatter_lanes = false;
+};
+
+/// Outcome of a full shift-in / compute / shift-out run.
+struct GridRunReport {
+  std::size_t instructions = 0;
+  std::size_t results_received = 0;
+  std::size_t results_correct = 0;
+  std::size_t results_missing = 0;
+  double percent_correct = 0.0;  ///< of all instructions (missing = wrong)
+  std::uint64_t shift_in_cycles = 0;
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t shift_out_cycles = 0;
+  WatchdogStats watchdog;
+  std::uint64_t instructions_computed = 0;  ///< summed over cells
+  std::uint64_t packets_forwarded = 0;
+  std::uint64_t salvage_received = 0;
+};
+
+/// The off-grid CMOS control processor.
+class ControlProcessor {
+ public:
+  ControlProcessor(NanoBoxGrid& grid, std::uint64_t seed = 99);
+
+  /// Runs a full three-phase pass of `stream` through the grid and
+  /// returns per-id results alongside the report. Instructions are
+  /// assigned block-wise: cells are filled top-left to bottom-right, each
+  /// up to its memory capacity (the stream must fit the grid).
+  GridRunReport run(const std::vector<Instruction>& stream,
+                    const GridRunOptions& options = {});
+
+  /// Results of the last run, keyed by instruction ID.
+  [[nodiscard]] const std::map<std::uint16_t, std::uint8_t>& results() const {
+    return results_;
+  }
+
+  /// Convenience: applies a pixel op to an image on the grid; returns the
+  /// output image (missing results keep the input pixel) and fills
+  /// `report` if non-null.
+  Bitmap run_image_op(const Bitmap& image, const PixelOp& op,
+                      const GridRunOptions& options = {},
+                      GridRunReport* report = nullptr);
+
+  /// Non-streaming workload (paper future work 3): reduces `values` to
+  /// their modulo-256 checksum by repeated pairwise-ADD rounds, each a
+  /// full shift-in / compute / shift-out pass whose results feed the
+  /// next round. A missing result (lost cell) carries the previous
+  /// round's partial value forward so the reduction still terminates.
+  /// Fills `rounds_report` (one entry per round) if non-null.
+  std::uint8_t run_reduction(const std::vector<std::uint8_t>& values,
+                             const GridRunOptions& options = {},
+                             std::vector<GridRunReport>* rounds_report =
+                                 nullptr);
+
+ private:
+  NanoBoxGrid& grid_;
+  Rng rng_;
+  std::map<std::uint16_t, std::uint8_t> results_;
+  std::vector<CellId> live_cells_;  // refreshed at the start of each run
+
+  /// Cells that are currently alive, row-major from the top-left — the
+  /// paper's §2.3: the fabric "will cease sending instructions" to a
+  /// disabled cell, so new work is spread over the survivors only.
+  void refresh_live_cells();
+
+  /// Destination cell for the i-th instruction under block assignment
+  /// across the live cells.
+  [[nodiscard]] CellId assign_cell(std::size_t index,
+                                   std::size_t per_cell) const;
+
+  std::uint64_t do_shift_in(const std::vector<Instruction>& stream,
+                            const GridRunOptions& options);
+  std::uint64_t do_compute(const GridRunOptions& options,
+                           Watchdog* watchdog);
+  std::uint64_t do_shift_out(const GridRunOptions& options);
+};
+
+}  // namespace nbx

@@ -1,0 +1,195 @@
+#include "grid/grid.hpp"
+
+#include <cassert>
+
+namespace nbx {
+
+NanoBoxGrid::NanoBoxGrid(std::size_t rows, std::size_t cols,
+                         const CellConfig& config)
+    : rows_(rows), cols_(cols), edge_in_(cols), edge_out_(cols) {
+  assert(rows >= 1 && rows <= 15 && cols >= 1 && cols <= 16);
+  cells_.reserve(rows * cols);
+  for (std::size_t gy = 0; gy < rows; ++gy) {
+    for (std::size_t gx = 0; gx < cols; ++gx) {
+      CellConfig c = config;
+      c.seed = config.seed ^ (0x9E37u + gy * 131 + gx * 17);
+      cells_.push_back(std::make_unique<ProcessorCell>(id_at(gy, gx), c));
+    }
+  }
+}
+
+std::size_t NanoBoxGrid::index_of(CellId id) const {
+  const std::size_t gy = rows_ - 1 - id.row;
+  const std::size_t gx = cols_ - 1 - id.col;
+  assert(gy < rows_ && gx < cols_);
+  return gy * cols_ + gx;
+}
+
+CellId NanoBoxGrid::id_at(std::size_t gy, std::size_t gx) const {
+  return CellId{static_cast<std::uint8_t>(rows_ - 1 - gy),
+                static_cast<std::uint8_t>(cols_ - 1 - gx)};
+}
+
+ProcessorCell& NanoBoxGrid::cell(CellId id) { return *cells_[index_of(id)]; }
+
+const ProcessorCell& NanoBoxGrid::cell(CellId id) const {
+  return *cells_[index_of(id)];
+}
+
+CellId NanoBoxGrid::top_cell_id(std::uint8_t col) const {
+  return CellId{static_cast<std::uint8_t>(rows_ - 1), col};
+}
+
+void NanoBoxGrid::set_mode(CellMode m) {
+  mode_ = m;
+  for (auto& c : cells_) {
+    c->set_mode(m);
+  }
+  if (trace_ != nullptr) {
+    trace_->record(TraceEvent::kModeChange, CellId{0xF, 0},
+                   static_cast<std::uint16_t>(m));
+  }
+}
+
+void NanoBoxGrid::push_edge_flit(std::uint8_t col, std::uint8_t flit) {
+  const std::size_t gx = cols_ - 1 - col;
+  assert(gx < cols_);
+  edge_in_[gx].push_back(flit);
+}
+
+std::optional<std::uint8_t> NanoBoxGrid::pop_edge_flit(std::uint8_t col) {
+  const std::size_t gx = cols_ - 1 - col;
+  assert(gx < cols_);
+  if (edge_out_[gx].empty()) {
+    return std::nullopt;
+  }
+  const std::uint8_t f = edge_out_[gx].front();
+  edge_out_[gx].pop_front();
+  return f;
+}
+
+void NanoBoxGrid::step() {
+  // Phase 1 — transfer: one flit per link per cycle. Links are
+  // point-to-point between vertical and horizontal neighbours, plus the
+  // edge lanes between the control processor and the top row.
+  for (std::size_t gy = 0; gy < rows_; ++gy) {
+    for (std::size_t gx = 0; gx < cols_; ++gx) {
+      ProcessorCell& c = at(gy, gx);
+      // Downward link: this cell's kBottom output -> below cell's kTop in.
+      if (gy + 1 < rows_) {
+        if (auto f = c.pop_output(Port::kBottom)) {
+          at(gy + 1, gx).receive_flit(Port::kTop, *f);
+        }
+      }
+      // Upward link: kTop output -> above cell's kBottom input, or the
+      // edge bus for the top row.
+      if (auto f = c.pop_output(Port::kTop)) {
+        if (gy == 0) {
+          edge_out_[gx].push_back(*f);
+        } else {
+          at(gy - 1, gx).receive_flit(Port::kBottom, *f);
+        }
+      }
+      // Leftward link (gx decreases): kLeft output -> left cell's kRight.
+      if (gx > 0) {
+        if (auto f = c.pop_output(Port::kLeft)) {
+          at(gy, gx - 1).receive_flit(Port::kRight, *f);
+        }
+      } else {
+        // §3.1: edge cells have their outer bus disabled.
+        (void)c.pop_output(Port::kLeft);
+      }
+      // Rightward link.
+      if (gx + 1 < cols_) {
+        if (auto f = c.pop_output(Port::kRight)) {
+          at(gy, gx + 1).receive_flit(Port::kLeft, *f);
+        }
+      } else {
+        (void)c.pop_output(Port::kRight);
+      }
+      // Bottom row's downward bus is disabled too.
+      if (gy + 1 == rows_) {
+        (void)c.pop_output(Port::kBottom);
+      }
+    }
+  }
+  // Edge bus: one flit per lane per cycle from the control processor into
+  // the top row.
+  for (std::size_t gx = 0; gx < cols_; ++gx) {
+    if (!edge_in_[gx].empty()) {
+      at(0, gx).receive_flit(Port::kTop, edge_in_[gx].front());
+      edge_in_[gx].pop_front();
+    }
+  }
+  // Phase 2 — every cell advances one cycle.
+  for (auto& c : cells_) {
+    c->step();
+  }
+  ++cycle_;
+  if (trace_ != nullptr) {
+    trace_->set_cycle(cycle_);
+  }
+}
+
+bool NanoBoxGrid::quiescent() const {
+  for (const auto& c : cells_) {
+    if (!c->quiescent()) {
+      return false;
+    }
+  }
+  for (const auto& q : edge_in_) {
+    if (!q.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<ProcessorCell*> NanoBoxGrid::all_cells() {
+  std::vector<ProcessorCell*> out;
+  out.reserve(cells_.size());
+  for (auto& c : cells_) {
+    out.push_back(c.get());
+  }
+  return out;
+}
+
+std::vector<CellId> NanoBoxGrid::live_neighbours(CellId id) const {
+  const std::size_t gy = rows_ - 1 - id.row;
+  const std::size_t gx = cols_ - 1 - id.col;
+  std::vector<CellId> out;
+  const auto consider = [&](std::size_t ny, std::size_t nx) {
+    if (ny < rows_ && nx < cols_) {
+      const CellId nid = id_at(ny, nx);
+      if (cell(nid).alive()) {
+        out.push_back(nid);
+      }
+    }
+  };
+  if (gy > 0) {
+    consider(gy - 1, gx);
+  }
+  consider(gy + 1, gx);
+  if (gx > 0) {
+    consider(gy, gx - 1);
+  }
+  consider(gy, gx + 1);
+  return out;
+}
+
+bool NanoBoxGrid::deliver_salvage(CellId to, const MemoryWord& w) {
+  const bool ok = cell(to).memory().store(w);
+  if (ok && trace_ != nullptr) {
+    trace_->record(TraceEvent::kWordSalvaged, to, w.instr_id);
+  }
+  return ok;
+}
+
+void NanoBoxGrid::attach_trace(TraceSink* sink) {
+  trace_ = sink;
+  for (auto& c : cells_) {
+    c->set_trace(sink);
+  }
+}
+
+}  // namespace nbx

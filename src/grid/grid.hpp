@@ -1,0 +1,98 @@
+// grid.hpp — the two-dimensional NanoBox Processor Grid (paper §3.1).
+//
+// "The NanoBox Processor Grid consists of a two-dimensional grid of
+// processor cells ... Data traverses through the NanoBox Processor Grid
+// using nearest neighbor communication among the processor cells. There
+// are no cross-grid buses."
+//
+// Addressing (paper §3.1): moving away (down) from the control processor,
+// row addresses decrease; column addresses decrease moving right. So the
+// top-left cell has the maximum row and column addresses, and the
+// top-row cells (row address rows-1) own the 8-bit lanes of the edge bus
+// to the CMOS control processor.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cell/processor_cell.hpp"
+
+namespace nbx {
+
+/// The nearest-neighbour fabric of processor cells.
+class NanoBoxGrid {
+ public:
+  /// Builds a rows x cols grid (max 15x16: row address 0xF is reserved
+  /// for "toward the control processor"). Each cell gets a decorrelated
+  /// seed derived from config.seed.
+  NanoBoxGrid(std::size_t rows, std::size_t cols, const CellConfig& config);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  /// Cell accessors by paper address (row decreases downward).
+  [[nodiscard]] ProcessorCell& cell(CellId id);
+  [[nodiscard]] const ProcessorCell& cell(CellId id) const;
+
+  /// The paper address of the top-row cell on column lane `col`.
+  [[nodiscard]] CellId top_cell_id(std::uint8_t col) const;
+
+  /// Drives the grid-wide mode lines (§3.2).
+  void set_mode(CellMode m);
+  [[nodiscard]] CellMode mode() const { return mode_; }
+
+  /// Pushes one flit onto the top edge bus lane of column `col`
+  /// (control processor -> grid, shift-in).
+  void push_edge_flit(std::uint8_t col, std::uint8_t flit);
+
+  /// Pops one flit from the top edge bus lane of column `col`
+  /// (grid -> control processor, shift-out).
+  std::optional<std::uint8_t> pop_edge_flit(std::uint8_t col);
+
+  /// Advances one clock cycle: moves one flit across every inter-cell
+  /// link and the edge lanes, then steps every cell.
+  void step();
+
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+
+  /// True when every cell's queues are empty (no packets in flight).
+  [[nodiscard]] bool quiescent() const;
+
+  /// All cells, row-major from the top-left, for iteration.
+  [[nodiscard]] std::vector<ProcessorCell*> all_cells();
+
+  /// Neighbours of a cell that are still alive (for salvage).
+  [[nodiscard]] std::vector<CellId> live_neighbours(CellId id) const;
+
+  /// Delivers a salvage word directly into a neighbour cell's memory
+  /// (the watchdog's recovery path, §2.3). Returns false if the
+  /// neighbour's memory is full.
+  bool deliver_salvage(CellId to, const MemoryWord& w);
+
+  /// Attaches an event trace to the grid and every cell. The sink's
+  /// clock follows the grid cycle. Pass nullptr to detach.
+  void attach_trace(TraceSink* sink);
+  [[nodiscard]] TraceSink* trace() const { return trace_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  CellMode mode_ = CellMode::kShiftIn;
+  std::uint64_t cycle_ = 0;
+  std::vector<std::unique_ptr<ProcessorCell>> cells_;  // row-major, gy*cols+gx
+  TraceSink* trace_ = nullptr;
+  // Edge bus lanes between the control processor and the top row.
+  std::vector<std::deque<std::uint8_t>> edge_in_;   // CP -> grid
+  std::vector<std::deque<std::uint8_t>> edge_out_;  // grid -> CP
+
+  // Internal geometry: gy 0 = top row, gx 0 = left column.
+  [[nodiscard]] std::size_t index_of(CellId id) const;
+  [[nodiscard]] CellId id_at(std::size_t gy, std::size_t gx) const;
+  [[nodiscard]] ProcessorCell& at(std::size_t gy, std::size_t gx) {
+    return *cells_[gy * cols_ + gx];
+  }
+};
+
+}  // namespace nbx

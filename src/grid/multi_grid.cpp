@@ -1,0 +1,96 @@
+#include "grid/multi_grid.hpp"
+
+namespace nbx {
+
+bool MultiGridSystem::add_application(const ApplicationSpec& spec) {
+  if (entries_.count(spec.name) != 0) {
+    return false;
+  }
+  Entry e;
+  e.spec = spec;
+  e.grid = std::make_unique<NanoBoxGrid>(spec.rows, spec.cols, spec.cell);
+  e.cp = std::make_unique<ControlProcessor>(*e.grid);
+  order_.push_back(spec.name);
+  entries_.emplace(spec.name, std::move(e));
+  return true;
+}
+
+std::vector<std::string> MultiGridSystem::applications() const {
+  return order_;
+}
+
+bool MultiGridSystem::has_application(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+void MultiGridSystem::account(Entry& e, const GridRunReport& report) {
+  ++e.stats.jobs;
+  e.stats.instructions += report.instructions;
+  e.stats.instructions_correct += report.results_correct;
+  e.stats.cells_disabled += report.watchdog.cells_disabled;
+  e.stats.total_cycles += report.shift_in_cycles + report.compute_cycles +
+                          report.shift_out_cycles;
+}
+
+std::optional<Bitmap> MultiGridSystem::run_image_op(
+    const std::string& app, const Bitmap& image, const PixelOp& op,
+    const GridRunOptions& options, GridRunReport* report) {
+  const auto it = entries_.find(app);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  GridRunReport local;
+  Bitmap out = it->second.cp->run_image_op(image, op, options, &local);
+  account(it->second, local);
+  if (report != nullptr) {
+    *report = local;
+  }
+  return out;
+}
+
+std::optional<std::uint8_t> MultiGridSystem::run_reduction(
+    const std::string& app, const std::vector<std::uint8_t>& values,
+    const GridRunOptions& options) {
+  const auto it = entries_.find(app);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  std::vector<GridRunReport> rounds;
+  const std::uint8_t result =
+      it->second.cp->run_reduction(values, options, &rounds);
+  for (const GridRunReport& r : rounds) {
+    account(it->second, r);
+  }
+  return result;
+}
+
+ApplicationStats MultiGridSystem::stats(const std::string& app) const {
+  const auto it = entries_.find(app);
+  return it == entries_.end() ? ApplicationStats{} : it->second.stats;
+}
+
+std::pair<std::size_t, std::size_t> MultiGridSystem::health(
+    const std::string& app) const {
+  const auto it = entries_.find(app);
+  if (it == entries_.end()) {
+    return {0, 0};
+  }
+  std::size_t live = 0;
+  std::size_t total = 0;
+  // all_cells() is non-const; go through the grid reference directly.
+  auto& grid = *it->second.grid;
+  for (ProcessorCell* c : grid.all_cells()) {
+    ++total;
+    if (c->alive()) {
+      ++live;
+    }
+  }
+  return {live, total};
+}
+
+NanoBoxGrid* MultiGridSystem::grid(const std::string& app) {
+  const auto it = entries_.find(app);
+  return it == entries_.end() ? nullptr : it->second.grid.get();
+}
+
+}  // namespace nbx

@@ -1,0 +1,94 @@
+// multi_grid.hpp — several application-specific NanoBox grids under one
+// general-purpose control processor.
+//
+// Paper §3: "Multiple NanoBox Processor Grids, each designed for a
+// different application, could be included with, and managed by, a
+// single general purpose CMOS control processor." Each application gets
+// its own grid geometry and cell configuration (coding strength sized to
+// the task); the system dispatches jobs by application name and keeps
+// per-application health/utilization accounting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "grid/control_processor.hpp"
+
+namespace nbx {
+
+/// One application-specific grid: name + geometry + cell configuration.
+struct ApplicationSpec {
+  std::string name;
+  std::size_t rows = 2;
+  std::size_t cols = 2;
+  CellConfig cell;
+};
+
+/// Cumulative per-application accounting.
+struct ApplicationStats {
+  std::uint64_t jobs = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t instructions_correct = 0;
+  std::uint64_t cells_disabled = 0;
+  std::uint64_t total_cycles = 0;
+
+  [[nodiscard]] double percent_correct() const {
+    return instructions == 0
+               ? 100.0
+               : 100.0 * static_cast<double>(instructions_correct) /
+                     static_cast<double>(instructions);
+  }
+};
+
+/// The §3 system: a catalogue of grids managed by one control processor.
+class MultiGridSystem {
+ public:
+  /// Registers an application; returns false if the name is taken.
+  bool add_application(const ApplicationSpec& spec);
+
+  /// Registered application names, in registration order.
+  [[nodiscard]] std::vector<std::string> applications() const;
+
+  [[nodiscard]] bool has_application(const std::string& name) const;
+
+  /// Runs a per-pixel image op on the named application's grid.
+  /// Returns nullopt for unknown applications.
+  std::optional<Bitmap> run_image_op(const std::string& app,
+                                     const Bitmap& image, const PixelOp& op,
+                                     const GridRunOptions& options = {},
+                                     GridRunReport* report = nullptr);
+
+  /// Runs a checksum reduction on the named application's grid.
+  std::optional<std::uint8_t> run_reduction(
+      const std::string& app, const std::vector<std::uint8_t>& values,
+      const GridRunOptions& options = {});
+
+  /// Per-application cumulative stats (default-constructed if unknown).
+  [[nodiscard]] ApplicationStats stats(const std::string& app) const;
+
+  /// Live cells / total cells of an application's grid (health view the
+  /// control processor uses to decide when a grid needs replacement).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> health(
+      const std::string& app) const;
+
+  /// Direct access for tests/advanced callers; nullptr if unknown.
+  [[nodiscard]] NanoBoxGrid* grid(const std::string& app);
+
+ private:
+  struct Entry {
+    ApplicationSpec spec;
+    std::unique_ptr<NanoBoxGrid> grid;
+    std::unique_ptr<ControlProcessor> cp;
+    ApplicationStats stats;
+  };
+  std::vector<std::string> order_;
+  std::map<std::string, Entry> entries_;
+
+  void account(Entry& e, const GridRunReport& report);
+};
+
+}  // namespace nbx

@@ -1,0 +1,82 @@
+#include "grid/watchdog.hpp"
+
+namespace nbx {
+
+Watchdog::Watchdog(NanoBoxGrid& grid, std::uint64_t check_interval,
+                   std::uint64_t stall_threshold)
+    : grid_(grid), check_interval_(check_interval),
+      stall_threshold_(stall_threshold), countdown_(check_interval) {
+  const std::size_t n = grid.rows() * grid.cols();
+  last_heartbeat_.assign(n, 0);
+  already_disabled_.assign(n, false);
+}
+
+void Watchdog::tick() {
+  if (--countdown_ == 0) {
+    countdown_ = check_interval_;
+    survey();
+  }
+}
+
+void Watchdog::survey() {
+  ++stats_.checks;
+  std::size_t i = 0;
+  for (ProcessorCell* c : grid_.all_cells()) {
+    const std::uint64_t hb = c->heartbeat();
+    // Stall detection needs a previous snapshot; the very first survey
+    // only establishes the baseline (explicit liveness still applies).
+    const bool stalled =
+        baselined_ && hb < last_heartbeat_[i] + stall_threshold_;
+    last_heartbeat_[i] = hb;
+    if (!already_disabled_[i] && (stalled || !c->alive())) {
+      already_disabled_[i] = true;
+      disabled_.push_back(c->id());
+      ++stats_.cells_disabled;
+      if (grid_.trace() != nullptr) {
+        grid_.trace()->record(TraceEvent::kCellDisabled, c->id());
+      }
+      handle_failure(*c);
+    }
+    ++i;
+  }
+  baselined_ = true;
+}
+
+void Watchdog::handle_failure(ProcessorCell& dead) {
+  // §2.3: "If the router and cell memory are still functioning, the
+  // contents of the cell memory will be sent to the surrounding processor
+  // cells so that they can finish any outstanding computations."
+  if (!dead.salvageable()) {
+    // Nothing can be read back; every valid word (pending work and
+    // unsent results alike) is lost.
+    for (std::size_t i = 0; i < dead.memory().capacity(); ++i) {
+      const MemoryWord& w = dead.memory().word(i);
+      if (w.valid()) {
+        ++stats_.words_lost;
+      }
+    }
+    return;
+  }
+  const std::vector<MemoryWord> words = dead.salvage_words();
+  const std::vector<CellId> neighbours = grid_.live_neighbours(dead.id());
+  std::size_t next = 0;
+  for (const MemoryWord& w : words) {
+    bool placed = false;
+    // Round-robin over live neighbours, skipping full ones.
+    for (std::size_t attempt = 0;
+         attempt < neighbours.size() && !placed; ++attempt) {
+      const CellId target = neighbours[(next + attempt) % neighbours.size()];
+      if (grid_.deliver_salvage(target, w)) {
+        placed = true;
+        next = (next + attempt + 1) % neighbours.size();
+      }
+    }
+    if (placed) {
+      ++stats_.words_salvaged;
+    } else {
+      ++stats_.words_lost;
+    }
+  }
+}
+
+}  // namespace nbx

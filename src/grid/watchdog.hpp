@@ -1,0 +1,63 @@
+// watchdog.hpp — system-level fault tolerance (paper §2.3).
+//
+// "A heartbeat signal, generated within the processor cell, is used to
+// determine if the cell is still active. A watchdog unit in the
+// communication fabric monitors these processor cell heartbeat signals
+// and determines if a cell has exceeded its error threshold. If a
+// processor cell is disabled ... the contents of the cell memory will be
+// sent to the surrounding processor cells so that they can finish any
+// outstanding computations."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid.hpp"
+
+namespace nbx {
+
+/// Watchdog telemetry.
+struct WatchdogStats {
+  std::uint64_t checks = 0;
+  std::uint64_t cells_disabled = 0;
+  std::uint64_t words_salvaged = 0;
+  std::uint64_t words_lost = 0;  ///< dead cell with dead router/memory
+};
+
+/// Monitors heartbeats and performs failover/salvage.
+class Watchdog {
+ public:
+  /// `check_interval` — cycles between surveys; `stall_threshold` — a
+  /// heartbeat that advanced fewer than this many ticks since the last
+  /// survey marks the cell as failed.
+  Watchdog(NanoBoxGrid& grid, std::uint64_t check_interval = 64,
+           std::uint64_t stall_threshold = 1);
+
+  /// Call once per grid cycle; runs a survey every check_interval cycles.
+  void tick();
+
+  /// Forces an immediate survey (tests / mode transitions).
+  void survey();
+
+  [[nodiscard]] const WatchdogStats& stats() const { return stats_; }
+
+  /// Cells this watchdog has disabled so far.
+  [[nodiscard]] const std::vector<CellId>& disabled_cells() const {
+    return disabled_;
+  }
+
+ private:
+  NanoBoxGrid& grid_;
+  std::uint64_t check_interval_;
+  std::uint64_t stall_threshold_;
+  std::uint64_t countdown_;
+  bool baselined_ = false;  // first survey only snapshots heartbeats
+  std::vector<std::uint64_t> last_heartbeat_;  // row-major snapshot
+  std::vector<bool> already_disabled_;
+  std::vector<CellId> disabled_;
+  WatchdogStats stats_;
+
+  void handle_failure(ProcessorCell& dead);
+};
+
+}  // namespace nbx

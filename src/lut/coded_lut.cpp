@@ -1,0 +1,281 @@
+#include "lut/coded_lut.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "coding/majority.hpp"
+#include "lut/truth_table.hpp"
+
+namespace nbx {
+
+std::string_view lut_coding_suffix(LutCoding c) {
+  switch (c) {
+    case LutCoding::kNone:
+      return "n";
+    case LutCoding::kHamming:
+      return "h";
+    case LutCoding::kHammingIdeal:
+      return "hideal";
+    case LutCoding::kTmr:
+      return "s";
+    case LutCoding::kTmrInterleaved:
+      return "si";
+    case LutCoding::kHsiao:
+      return "hsiao";
+    case LutCoding::kReedSolomon:
+      return "rs";
+  }
+  return "?";
+}
+
+LutAccessStats& LutAccessStats::operator+=(const LutAccessStats& o) {
+  accesses += o.accesses;
+  corrections += o.corrections;
+  detected_only += o.detected_only;
+  tmr_disagreements += o.tmr_disagreements;
+  return *this;
+}
+
+std::size_t coded_lut_sites(std::size_t table_bits, LutCoding coding) {
+  switch (coding) {
+    case LutCoding::kNone:
+      return table_bits;
+    case LutCoding::kHamming:
+    case LutCoding::kHammingIdeal:
+      return table_bits + HammingCode::check_bits_for(table_bits);
+    case LutCoding::kTmr:
+    case LutCoding::kTmrInterleaved:
+      return 3 * table_bits;
+    case LutCoding::kHsiao:
+      return table_bits + HsiaoCode::check_bits_for(table_bits);
+    case LutCoding::kReedSolomon:
+      return table_bits + 8;  // two GF(16) parity symbols
+  }
+  return 0;
+}
+
+CodedLut::CodedLut(BitVec tt, LutCoding coding)
+    : coding_(coding), tt_(std::move(tt)) {
+  assert(std::has_single_bit(tt_.size()));
+  k_ = std::countr_zero(tt_.size());
+  assert(k_ >= 1 && k_ <= kMaxLutInputs);
+  fault_sites_ = coded_lut_sites(tt_.size(), coding_);
+  switch (coding_) {
+    case LutCoding::kHamming:
+    case LutCoding::kHammingIdeal:
+      hamming_ = std::make_unique<HammingCode>(tt_.size());
+      checks_ = hamming_->generate_check_bits(tt_);
+      break;
+    case LutCoding::kHsiao:
+      hsiao_ = std::make_unique<HsiaoCode>(tt_.size());
+      checks_ = hsiao_->generate_check_bits(tt_);
+      break;
+    case LutCoding::kReedSolomon:
+      rs_ = std::make_unique<Rs16Code>(tt_.size());
+      checks_ = rs_->generate_check_bits(tt_);
+      break;
+    case LutCoding::kNone:
+    case LutCoding::kTmr:
+    case LutCoding::kTmrInterleaved:
+      break;
+  }
+}
+
+BitVec CodedLut::stored_bits() const {
+  BitVec bits(fault_sites_);
+  const std::size_t n = tt_.size();
+  switch (coding_) {
+    case LutCoding::kNone:
+      for (std::size_t i = 0; i < n; ++i) {
+        bits.set(i, tt_.get(i));
+      }
+      break;
+    case LutCoding::kTmr:
+    case LutCoding::kTmrInterleaved:
+      for (std::size_t copy = 0; copy < 3; ++copy) {
+        for (std::size_t i = 0; i < n; ++i) {
+          bits.set(tmr_site(copy, i), tt_.get(i));
+        }
+      }
+      break;
+    case LutCoding::kHamming:
+    case LutCoding::kHammingIdeal:
+    case LutCoding::kHsiao:
+    case LutCoding::kReedSolomon:
+      for (std::size_t i = 0; i < n; ++i) {
+        bits.set(i, tt_.get(i));
+      }
+      for (std::size_t i = 0; i < checks_.size(); ++i) {
+        bits.set(n + i, checks_.get(i));
+      }
+      break;
+  }
+  return bits;
+}
+
+bool CodedLut::read(std::uint32_t addr, MaskView mask,
+                    LutAccessStats* stats) const {
+  assert(addr < tt_.size());
+  assert(mask.is_null() || mask.size() == fault_sites_);
+  if (stats != nullptr) {
+    ++stats->accesses;
+  }
+  switch (coding_) {
+    case LutCoding::kNone:
+      return read_none(addr, mask);
+    case LutCoding::kTmr:
+    case LutCoding::kTmrInterleaved:
+      return read_tmr(addr, mask, stats);
+    case LutCoding::kHamming:
+    case LutCoding::kHammingIdeal:
+      return read_hamming(addr, mask, stats);
+    case LutCoding::kHsiao:
+      return read_hsiao(addr, mask, stats);
+    case LutCoding::kReedSolomon:
+      return read_rs(addr, mask, stats);
+  }
+  return false;
+}
+
+bool CodedLut::read_none(std::uint32_t addr, MaskView mask) const {
+  // Only the addressed bit is exposed; faults elsewhere are invisible.
+  return tt_.get(addr) ^ mask.get(addr);
+}
+
+std::size_t CodedLut::tmr_site(std::size_t copy, std::size_t addr) const {
+  // kTmr stores the copies as three separate blocks [copy0|copy1|copy2];
+  // kTmrInterleaved puts the three copies of each entry side by side
+  // (entry-major), trading uniform-fault equivalence for burst exposure.
+  if (coding_ == LutCoding::kTmrInterleaved) {
+    return addr * 3 + copy;
+  }
+  return copy * tt_.size() + addr;
+}
+
+bool CodedLut::read_tmr(std::uint32_t addr, MaskView mask,
+                        LutAccessStats* stats) const {
+  const bool golden = tt_.get(addr);
+  const bool c0 = golden ^ mask.get(tmr_site(0, addr));
+  const bool c1 = golden ^ mask.get(tmr_site(1, addr));
+  const bool c2 = golden ^ mask.get(tmr_site(2, addr));
+  if (stats != nullptr && tmr_disagreement(c0, c1, c2)) {
+    ++stats->tmr_disagreements;
+  }
+  return majority3(c0, c1, c2);
+}
+
+bool CodedLut::read_hamming(std::uint32_t addr, MaskView mask,
+                            LutAccessStats* stats) const {
+  // Site layout: [table 2^k bits | check bits]. The decoder reads the
+  // entire faulted string, exactly as the hardware of Figure 1(b) would.
+  const std::size_t n = tt_.size();
+  BitVec data = tt_;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask.get(i)) {
+      data.flip(i);
+    }
+  }
+  BitVec checks = checks_;
+  for (std::size_t i = 0; i < hamming_->check_bits(); ++i) {
+    if (mask.get(n + i)) {
+      checks.flip(i);
+    }
+  }
+  const HammingCode::Decode d = hamming_->decode(data, checks);
+  using Kind = HammingCode::Decode::Kind;
+  switch (d.kind) {
+    case Kind::kClean:
+      return data.get(addr);
+    case Kind::kDataBit:
+      // Unique single-data-bit explanation: repair it (this is a
+      // miscorrection when the real fault was multi-bit).
+      if (stats != nullptr) {
+        ++stats->corrections;
+      }
+      data.flip(static_cast<std::size_t>(d.data_index));
+      return data.get(addr);
+    case Kind::kCheckBit:
+    case Kind::kInvalid:
+      break;
+  }
+  // The syndrome does not identify a data bit the corrector can repair.
+  if (coding_ == LutCoding::kHammingIdeal) {
+    // Textbook SEC decoder: a check-bit syndrome means the data is
+    // intact; an invalid syndrome is detected-uncorrectable. Either way
+    // the addressed bit is passed through untouched.
+    if (stats != nullptr) {
+      ++stats->detected_only;
+    }
+    return data.get(addr);
+  }
+  // The paper's corrector as evaluated (§5): the shared decode cannot
+  // localize the error, and it toggles the function output whenever a
+  // failing check group covers the addressed position — a false positive
+  // triggered by errors in bits (the check bits) which are never
+  // addressed by the lookup table inputs.
+  const std::uint32_t addr_pos =
+      hamming_->position_of_data(static_cast<std::size_t>(addr));
+  const bool false_positive = (d.syndrome & addr_pos) != 0;
+  if (stats != nullptr) {
+    if (false_positive) {
+      ++stats->corrections;  // a "correction" was applied (wrongly)
+    } else {
+      ++stats->detected_only;
+    }
+  }
+  return data.get(addr) ^ false_positive;
+}
+
+bool CodedLut::read_hsiao(std::uint32_t addr, MaskView mask,
+                          LutAccessStats* stats) const {
+  const std::size_t n = tt_.size();
+  BitVec data = tt_;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask.get(i)) {
+      data.flip(i);
+    }
+  }
+  BitVec checks = checks_;
+  for (std::size_t i = 0; i < hsiao_->check_bits(); ++i) {
+    if (mask.get(n + i)) {
+      checks.flip(i);
+    }
+  }
+  const HsiaoStatus st = hsiao_->detect_and_correct(data, checks);
+  if (stats != nullptr) {
+    if (st == HsiaoStatus::kCorrected) {
+      ++stats->corrections;
+    } else if (st != HsiaoStatus::kNoError) {
+      ++stats->detected_only;
+    }
+  }
+  return data.get(addr);
+}
+
+bool CodedLut::read_rs(std::uint32_t addr, MaskView mask,
+                       LutAccessStats* stats) const {
+  const std::size_t n = tt_.size();
+  BitVec data = tt_;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask.get(i)) {
+      data.flip(i);
+    }
+  }
+  BitVec checks = checks_;
+  for (std::size_t i = 0; i < rs_->check_bits(); ++i) {
+    if (mask.get(n + i)) {
+      checks.flip(i);
+    }
+  }
+  const RsStatus st = rs_->detect_and_correct(data, checks);
+  if (stats != nullptr) {
+    if (st == RsStatus::kCorrected) {
+      ++stats->corrections;
+    } else if (st == RsStatus::kUncorrectable) {
+      ++stats->detected_only;
+    }
+  }
+  return data.get(addr);
+}
+
+}  // namespace nbx

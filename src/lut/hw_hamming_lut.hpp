@@ -1,0 +1,73 @@
+// hw_hamming_lut.hpp — Figure 1(b) in gates: the Hamming-coded lookup
+// table with its check-bit generator, error detector and error corrector
+// synthesized into a netlist.
+//
+// "Whenever the lookup table is accessed, the truth table bits are fed
+// into the check bit generator, which recalculates the check bits. These
+// newly calculated check bits are then compared with the stored check
+// bits in the error detector. The results of the error detector are fed
+// into the error corrector, which makes changes to any flipped bits in
+// the function output." (§2.1, Figure 1b)
+//
+// Circuit structure for Hamming(21,16):
+//   * address decode:       4 inverters + 16 minterm AND4s
+//   * data output mux:      16 AND2 + 1 OR16
+//   * check-bit generator:  5 XOR trees over the stored data bits
+//   * error detector:       5 XOR2 (recomputed vs stored checks)
+//   * error corrector:      addressed-position encoder (5 ORn over the
+//                           minterms), syndrome comparator (5 XNOR +
+//                           1 AND5), and the output-correction XOR
+//
+// This is the *ideal* SEC correction rule in hardware — the corrector
+// flips the output only when the syndrome equals the addressed data
+// bit's codeword position — with every gate in the pipeline being a
+// fault-injection site. It completes the decoder-model triad:
+//   CodedLut(kHamming)      behavioural, paper's naive corrector
+//   CodedLut(kHammingIdeal) behavioural, ideal corrector
+//   HwHammingLut            gate-level ideal corrector, faultable logic
+#pragma once
+
+#include <cstdint>
+
+#include "coding/hamming.hpp"
+#include "common/bitvec.hpp"
+#include "fault/mask_view.hpp"
+#include "gatesim/netlist.hpp"
+
+namespace nbx {
+
+/// Gate-level Hamming(21,16) coded 4-input LUT.
+class HwHammingLut {
+ public:
+  /// `tt` must be 16 bits; check bits are derived at build time.
+  explicit HwHammingLut(BitVec tt);
+
+  /// Stored cells: 16 data + 5 check bits.
+  [[nodiscard]] std::size_t storage_sites() const { return 21; }
+
+  /// Gate nodes of decode + generator + detector + corrector.
+  [[nodiscard]] std::size_t logic_sites() const {
+    return net_.node_count();
+  }
+
+  /// Total sites; layout [0,21) storage, [21, ...) logic nodes.
+  [[nodiscard]] std::size_t fault_sites() const {
+    return storage_sites() + logic_sites();
+  }
+
+  /// Reads the (corrected) LUT output under a combined fault overlay.
+  [[nodiscard]] bool read(std::uint32_t addr, MaskView mask) const;
+
+  [[nodiscard]] const Netlist& netlist() const { return net_; }
+  [[nodiscard]] const BitVec& golden_table() const { return tt_; }
+  [[nodiscard]] const BitVec& golden_checks() const { return checks_; }
+
+ private:
+  BitVec tt_;
+  BitVec checks_;
+  HammingCode code_{16};
+  Netlist net_;
+  Signal out_;  // corrected function output
+};
+
+}  // namespace nbx

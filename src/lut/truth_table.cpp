@@ -1,0 +1,41 @@
+#include "lut/truth_table.hpp"
+
+#include <cassert>
+
+#include "coding/majority.hpp"
+
+namespace nbx {
+
+BitVec build_truth_table(int k, const std::function<bool(std::uint32_t)>& f) {
+  assert(k >= 1 && k <= kMaxLutInputs);
+  const std::size_t n = std::size_t{1} << k;
+  BitVec tt(n);
+  for (std::uint32_t in = 0; in < n; ++in) {
+    tt.set(in, f(in));
+  }
+  return tt;
+}
+
+BitVec tt_and2(int k) {
+  return build_truth_table(
+      k, [](std::uint32_t in) { return (in & 1u) && (in & 2u); });
+}
+
+BitVec tt_or2(int k) {
+  return build_truth_table(
+      k, [](std::uint32_t in) { return (in & 1u) || (in & 2u); });
+}
+
+BitVec tt_xor2(int k) {
+  return build_truth_table(k, [](std::uint32_t in) {
+    return static_cast<bool>((in ^ (in >> 1)) & 1u);
+  });
+}
+
+BitVec tt_majority3(int k) {
+  return build_truth_table(k, [](std::uint32_t in) {
+    return majority3((in & 1u) != 0, (in & 2u) != 0, (in & 4u) != 0);
+  });
+}
+
+}  // namespace nbx

@@ -1,0 +1,35 @@
+// truth_table.hpp — construction of LUT truth-table bit strings.
+//
+// A K-input lookup table stores the 2^K outputs of a boolean function as a
+// bit string indexed by the input vector (paper Figure 1). These helpers
+// build such strings from C++ callables so higher layers never hand-write
+// bit patterns.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/bitvec.hpp"
+
+namespace nbx {
+
+/// Maximum LUT fan-in supported by the simulator. The paper's example and
+/// all NanoBox ALU tables are 4-input (16-bit) LUTs; 6 covers extensions.
+inline constexpr int kMaxLutInputs = 6;
+
+/// Builds the 2^k-bit truth table of `f`, where `f` receives the input
+/// vector as an integer whose bit i is input i.
+BitVec build_truth_table(int k, const std::function<bool(std::uint32_t)>& f);
+
+/// Truth table of a 2-input AND padded into a k-input LUT (extra inputs
+/// are don't-cares that do not affect the output).
+BitVec tt_and2(int k);
+/// 2-input OR padded into a k-input LUT.
+BitVec tt_or2(int k);
+/// 2-input XOR padded into a k-input LUT.
+BitVec tt_xor2(int k);
+/// 3-input majority (inputs 0,1,2) padded into a k-input LUT.
+BitVec tt_majority3(int k);
+
+}  // namespace nbx

@@ -1,0 +1,124 @@
+#include "sim/analytic.hpp"
+
+#include <cmath>
+
+#include "common/bitvec.hpp"
+
+namespace nbx {
+
+namespace {
+
+// log(n!) via lgamma.
+double log_factorial(std::size_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+// log C(n, r); -inf when r > n.
+double log_choose(std::size_t n, std::size_t r) {
+  if (r > n) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return log_factorial(n) - log_factorial(r) - log_factorial(n - r);
+}
+
+}  // namespace
+
+double hypergeometric_pmf(std::size_t N, std::size_t K, std::size_t k,
+                          std::size_t j) {
+  if (j > K || j > k || k > N || (k - j) > (N - K)) {
+    return 0.0;
+  }
+  const double lp = log_choose(K, j) + log_choose(N - K, k - j) -
+                    log_choose(N, k);
+  return std::exp(lp);
+}
+
+double probability_no_hit(std::size_t N, std::size_t K, std::size_t k) {
+  return hypergeometric_pmf(N, K, k, 0);
+}
+
+std::size_t count_observable_sites(const IAlu& alu, const Instruction& ins) {
+  const std::size_t n = alu.fault_sites();
+  BitVec mask(n);
+  std::size_t observable = 0;
+  for (std::size_t site = 0; site < n; ++site) {
+    mask.set(site, true);
+    const AluOutput out =
+        alu.compute(ins.op, ins.a, ins.b, MaskView(mask, 0, n));
+    if (out.value != ins.golden) {
+      ++observable;
+    }
+    mask.set(site, false);
+  }
+  return observable;
+}
+
+double predict_first_order(const IAlu& alu,
+                           const std::vector<Instruction>& stream,
+                           double fault_percent) {
+  if (stream.empty()) {
+    return 100.0;
+  }
+  const std::size_t n = alu.fault_sites();
+  const auto k = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * fault_percent / 100.0));
+  double acc = 0.0;
+  for (const Instruction& ins : stream) {
+    const std::size_t observable = count_observable_sites(alu, ins);
+    acc += probability_no_hit(n, observable, k);
+  }
+  return 100.0 * acc / static_cast<double>(stream.size());
+}
+
+double predict_tmr_pairs(std::size_t sites, std::size_t entries,
+                         double fault_percent) {
+  const auto k = static_cast<std::size_t>(
+      std::llround(static_cast<double>(sites) * fault_percent / 100.0));
+  // One addressed entry = 3 marked sites. P(entry survives) = P(0 or 1
+  // of its copies hit); entries treated as independent.
+  const double survive = hypergeometric_pmf(sites, 3, k, 0) +
+                         hypergeometric_pmf(sites, 3, k, 1);
+  return 100.0 * std::pow(survive, static_cast<double>(entries));
+}
+
+std::size_t critical_tmr_entries(Opcode op) {
+  return op == Opcode::kAdd ? 23 : 16;
+}
+
+double predict_tmr_stream(std::size_t sites,
+                          const std::vector<Instruction>& stream,
+                          double fault_percent) {
+  if (stream.empty()) {
+    return 100.0;
+  }
+  double acc = 0.0;
+  for (const Instruction& ins : stream) {
+    acc += predict_tmr_pairs(sites, critical_tmr_entries(ins.op),
+                             fault_percent);
+  }
+  return acc / static_cast<double>(stream.size());
+}
+
+std::vector<AnalyticPoint> first_order_curve(
+    const IAlu& alu, const std::vector<Instruction>& stream,
+    const std::vector<double>& percents) {
+  std::vector<AnalyticPoint> out;
+  out.reserve(percents.size());
+  for (const double pct : percents) {
+    out.push_back({pct, predict_first_order(alu, stream, pct)});
+  }
+  return out;
+}
+
+std::vector<AnalyticPoint> tmr_pair_curve(
+    std::size_t sites, std::size_t entries,
+    const std::vector<double>& percents) {
+  std::vector<AnalyticPoint> out;
+  out.reserve(percents.size());
+  for (const double pct : percents) {
+    out.push_back({pct, predict_tmr_pairs(sites, entries, pct)});
+  }
+  return out;
+}
+
+}  // namespace nbx

@@ -1,0 +1,98 @@
+// analytic.hpp — closed-form reliability predictions to validate the
+// fault-injection simulator.
+//
+// The paper presents simulation results only; here we derive what the
+// curves *should* look like from first principles and check the
+// simulator against them. Two models:
+//
+//  1. First-order (single-fault composition): probe every single-site
+//     fault once per instruction to find the set O of *observable*
+//     sites (those whose lone flip corrupts the output). Under k
+//     uniformly placed faults, the instruction is predicted correct
+//     when none of the k faults lands in O:
+//
+//         P(correct) = C(N-|O|, k) / C(N, k)      (hypergeometric)
+//
+//     Assumption: fault effects compose independently — two observable
+//     faults do not cancel, and unobservable faults never interact to
+//     become observable. Accurate for the uncoded/Hamming/CMOS ALUs at
+//     low-to-moderate rates; breaks down above ~20% where cancellation
+//     and interaction dominate.
+//
+//  2. TMR pair model: a single fault is never observable through a TMR
+//     LUT, so the first-order model degenerates to "always correct".
+//     The real failure mode is two faults covering the same addressed
+//     entry. With m addressed entries per instruction, 3 copy-sites
+//     each, the instruction survives when every addressed entry keeps
+//     at most one flipped copy:
+//
+//         P(correct) ~= prod over m entries of P(<=1 of its 3 sites hit)
+//
+//     evaluated with the same hypergeometric machinery (independence
+//     across entries is the approximation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alu/alu_iface.hpp"
+#include "workload/instruction_stream.hpp"
+
+namespace nbx {
+
+/// P[X = j] where X ~ Hypergeometric(N sites, K marked, k drawn):
+/// drawing k fault positions out of N, probability exactly j land in a
+/// marked subset of size K. Computed in log space; exact enough for all
+/// N used here.
+double hypergeometric_pmf(std::size_t N, std::size_t K, std::size_t k,
+                          std::size_t j);
+
+/// Convenience: P[X == 0].
+double probability_no_hit(std::size_t N, std::size_t K, std::size_t k);
+
+/// The set of observable single-fault sites for one instruction:
+/// probes all fault_sites() single-bit masks. O(N) ALU evaluations.
+std::size_t count_observable_sites(const IAlu& alu, const Instruction& ins);
+
+/// First-order prediction of mean %-correct for a stream at a given
+/// fault percentage (round-to-nearest count policy, like the paper).
+double predict_first_order(const IAlu& alu,
+                           const std::vector<Instruction>& stream,
+                           double fault_percent);
+
+/// TMR pair-model prediction for a blocked- or interleaved-TMR LUT ALU
+/// (no module redundancy): `entries` addressed LUT entries per
+/// instruction, `sites` total stored bits.
+double predict_tmr_pairs(std::size_t sites, std::size_t entries,
+                         double fault_percent);
+
+/// Critical addressed entries per instruction for the NanoBox TMR ALU.
+/// Logic opcodes exercise only the logic and select LUTs (2 per slice =
+/// 16): a corrupted sum/carry entry changes an address whose alternate
+/// select entry holds the same value. ADD exercises sum, carry and
+/// select (3 per slice), minus the top slice's discarded carry = 23.
+std::size_t critical_tmr_entries(Opcode op);
+
+/// Pair-model prediction averaged over a stream, using each
+/// instruction's opcode-specific critical entry count.
+double predict_tmr_stream(std::size_t sites,
+                          const std::vector<Instruction>& stream,
+                          double fault_percent);
+
+/// A (fault %, predicted %) curve for table rendering.
+struct AnalyticPoint {
+  double fault_percent = 0.0;
+  double predicted_percent_correct = 0.0;
+};
+
+/// First-order curve over a sweep.
+std::vector<AnalyticPoint> first_order_curve(
+    const IAlu& alu, const std::vector<Instruction>& stream,
+    const std::vector<double>& percents);
+
+/// TMR pair-model curve over a sweep.
+std::vector<AnalyticPoint> tmr_pair_curve(std::size_t sites,
+                                          std::size_t entries,
+                                          const std::vector<double>& percents);
+
+}  // namespace nbx

@@ -1,0 +1,166 @@
+#include "sim/experiment.hpp"
+
+#include <cassert>
+
+#include "fault/defect_map.hpp"
+#include "workload/image_ops.hpp"
+
+namespace nbx {
+
+TrialResult run_trial(const IAlu& alu,
+                      const std::vector<Instruction>& stream,
+                      const TrialConfig& cfg, Rng& rng) {
+  const std::size_t total_sites = alu.fault_sites();
+  const std::size_t inject_sites = cfg.scope == InjectionScope::kDatapathOnly
+                                       ? cfg.datapath_sites
+                                       : total_sites;
+  assert(inject_sites <= total_sites);
+  // The fault *fraction* applies to the eligible sites; for the paper's
+  // kAll scope this is exactly "a given fraction of the fault injection
+  // points" (§4).
+  const MaskGenerator gen(inject_sites, cfg.fault_percent, cfg.policy,
+                          cfg.burst_length);
+
+  BitVec mask(total_sites);
+  BitVec scratch(inject_sites);
+  TrialResult res;
+  res.instructions = stream.size();
+  for (const Instruction& ins : stream) {
+    // "After each ALU computation, we generate a new fault mask" (§4).
+    if (inject_sites == total_sites) {
+      gen.generate(rng, mask);
+    } else {
+      gen.generate(rng, scratch);
+      mask.clear_all();
+      for (std::size_t i = 0; i < inject_sites; ++i) {
+        if (scratch.get(i)) {
+          mask.set(i, true);
+        }
+      }
+    }
+    const AluOutput out = alu.compute(ins.op, ins.a, ins.b,
+                                      MaskView(mask, 0, total_sites),
+                                      &res.stats);
+    if (out.value != ins.golden) {
+      ++res.incorrect;
+    }
+  }
+  res.percent_correct =
+      stream.empty()
+          ? 100.0
+          : 100.0 * static_cast<double>(stream.size() - res.incorrect) /
+                static_cast<double>(stream.size());
+  return res;
+}
+
+DataPoint run_data_point(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    double fault_percent, int trials_per_workload, std::uint64_t seed,
+    FaultCountPolicy policy, InjectionScope scope,
+    std::size_t datapath_sites, std::size_t burst_length) {
+  TrialConfig cfg;
+  cfg.fault_percent = fault_percent;
+  cfg.policy = policy;
+  cfg.burst_length = burst_length;
+  cfg.scope = scope;
+  cfg.datapath_sites = datapath_sites;
+
+  Rng master(seed);
+  RunningStats stats;
+  for (std::size_t w = 0; w < streams.size(); ++w) {
+    for (int t = 0; t < trials_per_workload; ++t) {
+      // Each (workload, trial) pair gets a decorrelated stream; including
+      // the fault percent in the split keeps points independent too.
+      Rng rng = master.split((w << 20) ^ static_cast<std::uint64_t>(t) ^
+                             (static_cast<std::uint64_t>(fault_percent * 100.0)
+                              << 32));
+      const TrialResult r = run_trial(alu, streams[w], cfg, rng);
+      stats.add(r.percent_correct);
+    }
+  }
+  DataPoint p;
+  p.alu = std::string(alu.name());
+  p.fault_percent = fault_percent;
+  p.mean_percent_correct = stats.mean();
+  p.stddev = stats.stddev();
+  p.ci95 = ci95_half_width(stats.stddev(), stats.count());
+  p.samples = stats.count();
+  return p;
+}
+
+std::vector<DataPoint> run_sweep(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    const std::vector<double>& percents, int trials_per_workload,
+    std::uint64_t seed, FaultCountPolicy policy, InjectionScope scope,
+    std::size_t datapath_sites) {
+  std::vector<DataPoint> points;
+  points.reserve(percents.size());
+  for (const double pct : percents) {
+    points.push_back(run_data_point(alu, streams, pct, trials_per_workload,
+                                    seed, policy, scope, datapath_sites));
+  }
+  return points;
+}
+
+TrialResult run_defect_trial(const IAlu& alu,
+                             const std::vector<Instruction>& stream,
+                             const DefectConfig& cfg, Rng& rng) {
+  const DefectMap chip = DefectMap::manufacture(alu.defectable_sites(),
+                                                cfg.defect_density, rng);
+  const MaskGenerator gen(alu.fault_sites(), cfg.transient_percent,
+                          cfg.policy);
+  BitVec mask(alu.fault_sites());
+  TrialResult res;
+  res.instructions = stream.size();
+  for (const Instruction& ins : stream) {
+    gen.generate(rng, mask);
+    alu.impose_defects(chip, mask);
+    const AluOutput out = alu.compute(ins.op, ins.a, ins.b,
+                                      MaskView(mask, 0, mask.size()),
+                                      &res.stats);
+    if (out.value != ins.golden) {
+      ++res.incorrect;
+    }
+  }
+  res.percent_correct =
+      stream.empty()
+          ? 100.0
+          : 100.0 * static_cast<double>(stream.size() - res.incorrect) /
+                static_cast<double>(stream.size());
+  return res;
+}
+
+DataPoint run_defect_point(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    const DefectConfig& cfg, int chips_per_workload, std::uint64_t seed) {
+  Rng master(seed);
+  RunningStats stats;
+  for (std::size_t w = 0; w < streams.size(); ++w) {
+    for (int chip = 0; chip < chips_per_workload; ++chip) {
+      Rng rng = master.split(
+          (w << 24) ^ static_cast<std::uint64_t>(chip) ^
+          (static_cast<std::uint64_t>(cfg.defect_density * 1e6) << 28) ^
+          (static_cast<std::uint64_t>(cfg.transient_percent * 100.0) << 44));
+      stats.add(run_defect_trial(alu, streams[w], cfg, rng).percent_correct);
+    }
+  }
+  DataPoint p;
+  p.alu = std::string(alu.name());
+  p.fault_percent = cfg.transient_percent;
+  p.mean_percent_correct = stats.mean();
+  p.stddev = stats.stddev();
+  p.ci95 = ci95_half_width(stats.stddev(), stats.count());
+  p.samples = stats.count();
+  return p;
+}
+
+std::vector<std::vector<Instruction>> paper_streams(std::uint64_t seed) {
+  const Bitmap image = Bitmap::paper_test_image(seed);
+  std::vector<std::vector<Instruction>> streams;
+  for (const PixelOp& op : paper_workloads()) {
+    streams.push_back(make_stream(image, op));
+  }
+  return streams;
+}
+
+}  // namespace nbx

@@ -1,0 +1,116 @@
+// experiment.hpp — the paper's fault-injection experiment harness (§4-§5).
+//
+// One *trial* runs a 64-instruction workload through an ALU, generating a
+// fresh uniformly random fault mask before every computation, and scores
+// the percentage of instructions whose result matches the golden value.
+// One *data point* (a marker in Figures 7-9) averages five trials of each
+// of the two workloads (ten samples). A *sweep* evaluates an ALU at the
+// paper's eighteen fault percentages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alu/alu_iface.hpp"
+#include "common/stats.hpp"
+#include "fault/mask_generator.hpp"
+#include "workload/instruction_stream.hpp"
+
+namespace nbx {
+
+/// What portion of an ALU's site space receives injected faults.
+/// kDatapathOnly is an ablation (not in the paper): the module voter and
+/// any storage bits are kept fault-free to isolate their contribution.
+enum class InjectionScope : std::uint8_t { kAll, kDatapathOnly };
+
+/// Parameters of a single-ALU experiment trial set.
+struct TrialConfig {
+  double fault_percent = 0.0;
+  FaultCountPolicy policy = FaultCountPolicy::kRoundNearest;
+  std::size_t burst_length = 1;  ///< used by FaultCountPolicy::kBurst
+  InjectionScope scope = InjectionScope::kAll;
+  /// Sites eligible for injection when scope == kDatapathOnly (leading
+  /// segment of the mask). Ignored for kAll.
+  std::size_t datapath_sites = 0;
+};
+
+/// Result of one trial (one workload, one pass over its instructions).
+struct TrialResult {
+  double percent_correct = 0.0;
+  std::size_t instructions = 0;
+  std::size_t incorrect = 0;
+  ModuleStats stats;
+};
+
+/// Runs one workload through `alu` once, a fresh fault mask per
+/// instruction, and scores correctness against the precomputed goldens.
+TrialResult run_trial(const IAlu& alu,
+                      const std::vector<Instruction>& stream,
+                      const TrialConfig& cfg, Rng& rng);
+
+/// One plotted point: an ALU at one fault percentage, averaged over
+/// `trials_per_workload` trials of each workload.
+struct DataPoint {
+  std::string alu;
+  double fault_percent = 0.0;
+  double mean_percent_correct = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;  ///< 95% CI half-width on the mean (Student's t)
+  std::size_t samples = 0;
+};
+
+/// Computes one data point the paper's way: for each workload, run
+/// `trials_per_workload` independently seeded trials; average all samples.
+DataPoint run_data_point(const IAlu& alu,
+                         const std::vector<std::vector<Instruction>>& streams,
+                         double fault_percent, int trials_per_workload,
+                         std::uint64_t seed,
+                         FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
+                         InjectionScope scope = InjectionScope::kAll,
+                         std::size_t datapath_sites = 0,
+                         std::size_t burst_length = 1);
+
+/// A full sweep of one ALU across fault percentages.
+std::vector<DataPoint> run_sweep(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    const std::vector<double>& percents, int trials_per_workload,
+    std::uint64_t seed,
+    FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
+    InjectionScope scope = InjectionScope::kAll,
+    std::size_t datapath_sites = 0);
+
+/// The paper's two workload streams over the standard 64-pixel image.
+std::vector<std::vector<Instruction>> paper_streams(std::uint64_t seed = 42);
+
+// ---------------------------------------------------------------------
+// Manufacturing-defect experiments (extension; the paper motivates
+// defects in its abstract but evaluates only transients).
+// ---------------------------------------------------------------------
+
+/// Parameters of a defect experiment: a part is manufactured with the
+/// given stuck-at density over the ALU's defectable storage, then runs a
+/// workload under the usual per-computation transient faults.
+struct DefectConfig {
+  double defect_density = 0.0;     ///< per-cell stuck-at probability
+  double transient_percent = 0.0;  ///< the §4 transient sweep knob
+  FaultCountPolicy policy = FaultCountPolicy::kRoundNearest;
+};
+
+/// Runs one workload on one freshly manufactured part. The DefectMap is
+/// drawn from `rng` and fixed for the whole trial; transient masks are
+/// regenerated per computation and the defects imposed on top (stuck
+/// cells dominate transient hits).
+TrialResult run_defect_trial(const IAlu& alu,
+                             const std::vector<Instruction>& stream,
+                             const DefectConfig& cfg, Rng& rng);
+
+/// One data point: `chips_per_workload` independently manufactured parts
+/// per workload, averaged (mirrors the paper's 5-trials structure, with
+/// "trial" = "chip").
+DataPoint run_defect_point(const IAlu& alu,
+                           const std::vector<std::vector<Instruction>>& streams,
+                           const DefectConfig& cfg, int chips_per_workload,
+                           std::uint64_t seed);
+
+}  // namespace nbx

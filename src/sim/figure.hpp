@@ -1,0 +1,78 @@
+// figure.hpp — reproduction of the paper's result figures (Figures 7-9).
+//
+// Each figure plots "percent of instructions which are correct" against
+// the 18 injected-fault percentages for the four bit-level techniques at
+// one module level:
+//   Figure 7 — no module-level fault tolerance   (aluncmos alunh alunn aluns)
+//   Figure 8 — time redundancy                   (alutcmos aluth alutn aluts)
+//   Figure 9 — space redundancy                  (aluscmos alush alusn aluss)
+//
+// The paper also states qualitative anchors in §5 prose; those are kept
+// here as PaperAnchor records so benches can print paper-vs-measured and
+// verify the *shape* of each reproduced curve.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "alu/module_alu.hpp"
+#include "sim/experiment.hpp"
+
+namespace nbx {
+
+/// Declarative description of one paper figure.
+struct FigureSpec {
+  std::string id;       ///< "fig7" etc.
+  std::string title;    ///< the paper's caption gist
+  ModuleLevel module;   ///< module level shared by the four series
+  std::vector<std::string> alus;  ///< series, in the paper's legend order
+};
+
+FigureSpec figure7_spec();
+FigureSpec figure8_spec();
+FigureSpec figure9_spec();
+
+/// All three result figures in paper order.
+std::vector<FigureSpec> all_figure_specs();
+
+/// A fully evaluated figure: one sweep per ALU series.
+struct FigureResult {
+  FigureSpec spec;
+  std::vector<double> percents;
+  std::vector<std::vector<DataPoint>> series;  ///< [alu][percent index]
+};
+
+/// Runs a figure: builds each ALU, sweeps the given percentages with the
+/// paper's trial structure (trials per workload x 2 workloads per point).
+FigureResult run_figure(const FigureSpec& spec,
+                        const std::vector<double>& percents,
+                        int trials_per_workload, std::uint64_t seed);
+
+/// Prints the figure as a table: rows = fault %, columns = the ALUs.
+void print_figure(std::ostream& os, const FigureResult& fig);
+
+/// Writes the same data as CSV.
+void write_figure_csv(std::ostream& os, const FigureResult& fig);
+
+/// A qualitative claim from §5 prose used for shape validation:
+/// mean %-correct of `alu` at `fault_percent` should lie within
+/// [min_percent_correct, max_percent_correct].
+struct PaperAnchor {
+  std::string figure;  ///< "fig7" / "fig8" / "fig9"
+  std::string alu;
+  double fault_percent;
+  double min_percent_correct;
+  double max_percent_correct;
+  std::string claim;  ///< the prose being checked
+};
+
+/// The §5 anchors for all three figures.
+std::vector<PaperAnchor> paper_anchors();
+
+/// Looks up the measured value for an anchor; returns true and sets
+/// `measured` when the (alu, percent) pair exists in `fig`.
+bool lookup_measured(const FigureResult& fig, const PaperAnchor& a,
+                     double* measured);
+
+}  // namespace nbx

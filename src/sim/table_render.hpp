@@ -1,0 +1,43 @@
+// table_render.hpp — plain-text table / CSV rendering for bench output.
+//
+// The benches regenerate the paper's figures as aligned text tables (rows
+// = injected fault percentage, columns = ALU implementations) and as CSV
+// files for external plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nbx {
+
+/// A rectangular text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; its size must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with aligned columns, a header underline, and two-space
+  /// gutters.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (no quoting — cells must not contain commas).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` digits after the point, trimming to a
+/// compact fixed representation ("2.00", "0.05", "98.44").
+std::string fmt_double(double v, int prec = 2);
+
+/// Formats large rates in scientific notation ("3.6e+23").
+std::string fmt_sci(double v, int prec = 2);
+
+}  // namespace nbx

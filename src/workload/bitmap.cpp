@@ -1,0 +1,113 @@
+#include "workload/bitmap.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace nbx {
+
+Bitmap::Bitmap(std::size_t width, std::size_t height, std::uint8_t fill)
+    : width_(width), height_(height), pixels_(width * height, fill) {}
+
+std::size_t Bitmap::diff_count(const Bitmap& other) const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < pixels_.size(); ++i) {
+    if (pixels_[i] != other.pixels_[i]) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Bitmap Bitmap::paper_test_image(std::uint64_t seed) {
+  Rng rng(seed);
+  return random(8, 8, rng);
+}
+
+Bitmap Bitmap::random(std::size_t width, std::size_t height, Rng& rng) {
+  Bitmap bm(width, height);
+  for (std::size_t i = 0; i < bm.pixels_.size(); ++i) {
+    bm.pixels_[i] = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return bm;
+}
+
+Bitmap Bitmap::gradient(std::size_t width, std::size_t height) {
+  Bitmap bm(width, height);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      bm.set(x, y,
+             static_cast<std::uint8_t>(width > 1 ? x * 255 / (width - 1) : 0));
+    }
+  }
+  return bm;
+}
+
+Bitmap Bitmap::checkerboard(std::size_t width, std::size_t height,
+                            std::size_t tile, std::uint8_t dark,
+                            std::uint8_t light) {
+  Bitmap bm(width, height);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const bool d = ((x / tile) + (y / tile)) % 2 == 0;
+      bm.set(x, y, d ? dark : light);
+    }
+  }
+  return bm;
+}
+
+bool Bitmap::save_pgm(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    return false;
+  }
+  f << "P5\n" << width_ << " " << height_ << "\n255\n";
+  f.write(reinterpret_cast<const char*>(pixels_.data()),
+          static_cast<std::streamsize>(pixels_.size()));
+  return static_cast<bool>(f);
+}
+
+std::optional<Bitmap> Bitmap::load_pgm(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    return std::nullopt;
+  }
+  // Header tokens with '#' comment support.
+  auto next_token = [&]() -> std::optional<std::string> {
+    std::string tok;
+    while (f >> tok) {
+      if (tok[0] == '#') {
+        std::string rest;
+        std::getline(f, rest);  // discard the comment line
+        continue;
+      }
+      return tok;
+    }
+    return std::nullopt;
+  };
+  const auto magic = next_token();
+  if (!magic || *magic != "P5") {
+    return std::nullopt;
+  }
+  const auto w_tok = next_token();
+  const auto h_tok = next_token();
+  const auto max_tok = next_token();
+  if (!w_tok || !h_tok || !max_tok) {
+    return std::nullopt;
+  }
+  const long w = std::strtol(w_tok->c_str(), nullptr, 10);
+  const long h = std::strtol(h_tok->c_str(), nullptr, 10);
+  const long maxv = std::strtol(max_tok->c_str(), nullptr, 10);
+  if (w <= 0 || h <= 0 || maxv != 255) {
+    return std::nullopt;
+  }
+  f.get();  // the single whitespace byte after the header
+  Bitmap bm(static_cast<std::size_t>(w), static_cast<std::size_t>(h));
+  f.read(reinterpret_cast<char*>(bm.pixels_.data()),
+         static_cast<std::streamsize>(bm.pixels_.size()));
+  if (f.gcount() != static_cast<std::streamsize>(bm.pixels_.size())) {
+    return std::nullopt;
+  }
+  return bm;
+}
+
+}  // namespace nbx

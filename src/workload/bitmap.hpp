@@ -1,0 +1,79 @@
+// bitmap.hpp — 8-bit grayscale bitmaps, the NanoBox demo data type.
+//
+// The paper's concept demonstration targets image processing: "Our test
+// workload bitmap contains 64, 8-bit pixels" (§4). Bitmaps here are
+// deterministic synthetic images (the paper's pixel provenance is
+// irrelevant to fault masking — only the 8-bit ops matter), plus simple
+// PGM I/O so examples can emit viewable artefacts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace nbx {
+
+/// A width x height raster of 8-bit pixels, row-major.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  Bitmap(std::size_t width, std::size_t height, std::uint8_t fill = 0);
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t height() const { return height_; }
+  [[nodiscard]] std::size_t pixel_count() const { return pixels_.size(); }
+
+  [[nodiscard]] std::uint8_t at(std::size_t x, std::size_t y) const {
+    return pixels_[y * width_ + x];
+  }
+  void set(std::size_t x, std::size_t y, std::uint8_t v) {
+    pixels_[y * width_ + x] = v;
+  }
+
+  [[nodiscard]] std::uint8_t pixel(std::size_t i) const { return pixels_[i]; }
+  void set_pixel(std::size_t i, std::uint8_t v) { pixels_[i] = v; }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& pixels() const {
+    return pixels_;
+  }
+
+  /// Number of pixels differing from `other` (dimensions must match).
+  [[nodiscard]] std::size_t diff_count(const Bitmap& other) const;
+
+  friend bool operator==(const Bitmap& a, const Bitmap& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.pixels_ == b.pixels_;
+  }
+
+  /// The paper's 64-pixel (8x8) test bitmap, seeded deterministic noise.
+  static Bitmap paper_test_image(std::uint64_t seed = 42);
+
+  /// Seeded uniform-random bitmap of arbitrary size.
+  static Bitmap random(std::size_t width, std::size_t height, Rng& rng);
+
+  /// Horizontal gradient (x scaled to 0..255) — handy for eyeballing ops.
+  static Bitmap gradient(std::size_t width, std::size_t height);
+
+  /// Checkerboard with the given tile size and two gray levels.
+  static Bitmap checkerboard(std::size_t width, std::size_t height,
+                             std::size_t tile, std::uint8_t dark = 0x20,
+                             std::uint8_t light = 0xdf);
+
+  /// Writes binary PGM (P5). Returns false on I/O failure.
+  [[nodiscard]] bool save_pgm(const std::string& path) const;
+
+  /// Loads a binary PGM (P5, maxval 255, '#' comments allowed).
+  /// Returns nullopt on malformed input or I/O failure.
+  static std::optional<Bitmap> load_pgm(const std::string& path);
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+}  // namespace nbx

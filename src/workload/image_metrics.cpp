@@ -1,0 +1,59 @@
+#include "workload/image_metrics.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace nbx {
+
+double mean_squared_error(const Bitmap& a, const Bitmap& b) {
+  assert(a.width() == b.width() && a.height() == b.height());
+  if (a.pixel_count() == 0) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.pixel_count(); ++i) {
+    const double d =
+        static_cast<double>(a.pixel(i)) - static_cast<double>(b.pixel(i));
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.pixel_count());
+}
+
+double psnr_db(const Bitmap& a, const Bitmap& b) {
+  const double mse = mean_squared_error(a, b);
+  if (mse == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+int max_abs_error(const Bitmap& a, const Bitmap& b) {
+  assert(a.width() == b.width() && a.height() == b.height());
+  int worst = 0;
+  for (std::size_t i = 0; i < a.pixel_count(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<int>(a.pixel(i)) -
+                                     static_cast<int>(b.pixel(i))));
+  }
+  return worst;
+}
+
+double exact_fraction(const Bitmap& a, const Bitmap& b) {
+  if (a.pixel_count() == 0) {
+    return 1.0;
+  }
+  return 1.0 - static_cast<double>(a.diff_count(b)) /
+                   static_cast<double>(a.pixel_count());
+}
+
+ImageQuality compare_images(const Bitmap& golden, const Bitmap& actual) {
+  ImageQuality q;
+  q.mse = mean_squared_error(golden, actual);
+  q.psnr = psnr_db(golden, actual);
+  q.max_error = max_abs_error(golden, actual);
+  q.percent_exact = 100.0 * exact_fraction(golden, actual);
+  return q;
+}
+
+}  // namespace nbx

@@ -1,0 +1,39 @@
+// image_metrics.hpp — image-quality metrics for fault-injected outputs.
+//
+// The paper scores workloads by the fraction of exactly-correct pixels.
+// For the streaming-image application that motivates the NanoBox grid, a
+// complementary question is how *bad* the wrong pixels are — a flipped
+// LSB is invisible, a flipped MSB is not. These metrics quantify that.
+#pragma once
+
+#include <cstddef>
+
+#include "workload/bitmap.hpp"
+
+namespace nbx {
+
+/// Mean squared error between two equal-sized images.
+double mean_squared_error(const Bitmap& a, const Bitmap& b);
+
+/// Peak signal-to-noise ratio in dB (peak = 255). Returns +infinity for
+/// identical images.
+double psnr_db(const Bitmap& a, const Bitmap& b);
+
+/// Largest absolute per-pixel difference.
+int max_abs_error(const Bitmap& a, const Bitmap& b);
+
+/// Fraction (0..1) of pixels that match exactly — the paper's metric.
+double exact_fraction(const Bitmap& a, const Bitmap& b);
+
+/// Bundled report for bench/example output.
+struct ImageQuality {
+  double mse = 0.0;
+  double psnr = 0.0;
+  int max_error = 0;
+  double percent_exact = 100.0;
+};
+
+/// Computes all metrics at once.
+ImageQuality compare_images(const Bitmap& golden, const Bitmap& actual);
+
+}  // namespace nbx

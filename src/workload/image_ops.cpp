@@ -1,0 +1,32 @@
+#include "workload/image_ops.hpp"
+
+namespace nbx {
+
+PixelOp reverse_video_op() { return {"reverse_video", Opcode::kXor, 0xFF}; }
+
+PixelOp hue_shift_op() { return {"hue_shift", Opcode::kAdd, 0x0C}; }
+
+PixelOp brightness_mask_op() {
+  return {"brightness_mask", Opcode::kAnd, 0xF0};
+}
+
+PixelOp overlay_op() { return {"overlay", Opcode::kOr, 0x0F}; }
+
+std::vector<PixelOp> paper_workloads() {
+  return {reverse_video_op(), hue_shift_op()};
+}
+
+std::vector<PixelOp> extended_workloads() {
+  return {reverse_video_op(), hue_shift_op(), brightness_mask_op(),
+          overlay_op()};
+}
+
+Bitmap apply_golden(const Bitmap& in, const PixelOp& op) {
+  Bitmap out(in.width(), in.height());
+  for (std::size_t i = 0; i < in.pixel_count(); ++i) {
+    out.set_pixel(i, golden_alu(op.op, in.pixel(i), op.constant));
+  }
+  return out;
+}
+
+}  // namespace nbx

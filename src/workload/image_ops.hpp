@@ -1,0 +1,49 @@
+// image_ops.hpp — the paper's image-processing workload definitions.
+//
+// Paper §4: "Reversing the video of this bitmap is accomplished by
+// computing the XOR of each pixel with a mask of '11111111'. We shift the
+// hue of the bitmap by adding a constant '00001100' to each pixel."
+//
+// A PixelOp is one ALU instruction applied uniformly to each pixel:
+// exactly the data-parallel streaming shape that motivates the NanoBox
+// grid. Extension ops exercise the remaining opcodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/bitmap.hpp"
+
+namespace nbx {
+
+/// One per-pixel ALU operation: result = pixel <op> constant.
+struct PixelOp {
+  std::string name;
+  Opcode op;
+  std::uint8_t constant;
+};
+
+/// The paper's reverse-video workload: pixel XOR 0xFF.
+PixelOp reverse_video_op();
+
+/// The paper's hue-shift workload: pixel ADD 0x0C.
+PixelOp hue_shift_op();
+
+/// Extension: brightness mask, pixel AND 0xF0 (posterize to 16 levels).
+PixelOp brightness_mask_op();
+
+/// Extension: overlay, pixel OR 0x0F (lift dark tones).
+PixelOp overlay_op();
+
+/// The two paper workloads in evaluation order.
+std::vector<PixelOp> paper_workloads();
+
+/// Paper workloads plus extensions (for the wider benches/examples).
+std::vector<PixelOp> extended_workloads();
+
+/// Golden application of `op` to every pixel (no faults).
+Bitmap apply_golden(const Bitmap& in, const PixelOp& op);
+
+}  // namespace nbx

@@ -1,0 +1,72 @@
+#include "workload/instruction_stream.hpp"
+
+namespace nbx {
+
+std::vector<Instruction> make_stream(const Bitmap& image, const PixelOp& op) {
+  std::vector<Instruction> stream;
+  stream.reserve(image.pixel_count());
+  for (std::size_t i = 0; i < image.pixel_count(); ++i) {
+    Instruction ins;
+    ins.id = static_cast<std::uint16_t>(i);
+    ins.op = op.op;
+    ins.a = image.pixel(i);
+    ins.b = op.constant;
+    ins.golden = golden_alu(op.op, ins.a, ins.b);
+    stream.push_back(ins);
+  }
+  return stream;
+}
+
+std::vector<Instruction> random_stream(std::size_t count, Rng& rng) {
+  std::vector<Instruction> stream;
+  stream.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Instruction ins;
+    ins.id = static_cast<std::uint16_t>(i);
+    ins.op = kAllOpcodes[rng.below(4)];
+    ins.a = static_cast<std::uint8_t>(rng.below(256));
+    ins.b = static_cast<std::uint8_t>(rng.below(256));
+    ins.golden = golden_alu(ins.op, ins.a, ins.b);
+    stream.push_back(ins);
+  }
+  return stream;
+}
+
+std::vector<Instruction> make_binary_stream(const Bitmap& a,
+                                            const Bitmap& b, Opcode op) {
+  std::vector<Instruction> stream;
+  stream.reserve(a.pixel_count());
+  for (std::size_t i = 0; i < a.pixel_count(); ++i) {
+    Instruction ins;
+    ins.id = static_cast<std::uint16_t>(i);
+    ins.op = op;
+    ins.a = a.pixel(i);
+    ins.b = b.pixel(i);
+    ins.golden = golden_alu(op, ins.a, ins.b);
+    stream.push_back(ins);
+  }
+  return stream;
+}
+
+Bitmap apply_golden_binary(const Bitmap& a, const Bitmap& b, Opcode op) {
+  Bitmap out(a.width(), a.height());
+  for (std::size_t i = 0; i < a.pixel_count(); ++i) {
+    out.set_pixel(i, golden_alu(op, a.pixel(i), b.pixel(i)));
+  }
+  return out;
+}
+
+std::size_t reassemble_image(
+    const std::vector<std::pair<std::uint16_t, std::uint8_t>>& results,
+    Bitmap& reference) {
+  std::size_t applied = 0;
+  for (const auto& [id, value] : results) {
+    if (id < reference.pixel_count()) {
+      reference.set_pixel(id, value);
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+}  // namespace nbx

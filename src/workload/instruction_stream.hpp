@@ -1,0 +1,51 @@
+// instruction_stream.hpp — turning workloads into ALU instruction streams.
+//
+// Paper §3.2.1: a data packet "contain[s] a unique instruction ID, an ALU
+// instruction, two operands, and the ID of the processor cell where the
+// instruction will be computed". For the single-cell ALU experiments the
+// stream is just (id, op, a, b, golden) tuples; the grid layer adds cell
+// routing on top.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/image_ops.hpp"
+
+namespace nbx {
+
+/// One ALU instruction with its precomputed golden result.
+struct Instruction {
+  std::uint16_t id = 0;  ///< unique instruction (pixel) ID
+  Opcode op = Opcode::kAnd;
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+  std::uint8_t golden = 0;
+};
+
+/// Expands a per-pixel op over a bitmap: instruction i computes
+/// pixel_i <op> constant; ids are pixel indices.
+std::vector<Instruction> make_stream(const Bitmap& image, const PixelOp& op);
+
+/// Uniformly random instruction stream over all four opcodes (property
+/// tests and stress benches).
+std::vector<Instruction> random_stream(std::size_t count, Rng& rng);
+
+/// Two-image stream: instruction i computes a.pixel(i) <op> b.pixel(i)
+/// (blend/overlay/difference workloads — e.g. XOR gives the change mask
+/// between frames, OR composites sprites). Dimensions must match.
+std::vector<Instruction> make_binary_stream(const Bitmap& a,
+                                            const Bitmap& b, Opcode op);
+
+/// Golden result of a two-image op.
+Bitmap apply_golden_binary(const Bitmap& a, const Bitmap& b, Opcode op);
+
+/// Reassembles computed results (paired by instruction id) into a bitmap
+/// with the same dimensions as `reference`. Missing ids keep the
+/// reference's pixel value. Returns the number of ids applied.
+std::size_t reassemble_image(
+    const std::vector<std::pair<std::uint16_t, std::uint8_t>>& results,
+    Bitmap& reference);
+
+}  // namespace nbx

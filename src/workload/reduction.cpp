@@ -1,0 +1,60 @@
+#include "workload/reduction.hpp"
+
+namespace nbx {
+
+std::vector<Instruction> reduction_round(
+    const std::vector<std::uint8_t>& values) {
+  std::vector<Instruction> stream;
+  stream.reserve((values.size() + 1) / 2);
+  for (std::size_t i = 0; i + 1 < values.size(); i += 2) {
+    Instruction ins;
+    ins.id = static_cast<std::uint16_t>(i / 2);
+    ins.op = Opcode::kAdd;
+    ins.a = values[i];
+    ins.b = values[i + 1];
+    ins.golden = golden_alu(ins.op, ins.a, ins.b);
+    stream.push_back(ins);
+  }
+  if (values.size() % 2 == 1) {
+    Instruction ins;
+    ins.id = static_cast<std::uint16_t>(values.size() / 2);
+    ins.op = Opcode::kAdd;
+    ins.a = values.back();
+    ins.b = 0;
+    ins.golden = values.back();
+    stream.push_back(ins);
+  }
+  return stream;
+}
+
+std::vector<std::uint8_t> golden_reduction_round(
+    const std::vector<std::uint8_t>& values) {
+  std::vector<std::uint8_t> out;
+  out.reserve((values.size() + 1) / 2);
+  for (std::size_t i = 0; i + 1 < values.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(values[i] + values[i + 1]));
+  }
+  if (values.size() % 2 == 1) {
+    out.push_back(values.back());
+  }
+  return out;
+}
+
+std::uint8_t golden_checksum(const std::vector<std::uint8_t>& values) {
+  std::uint8_t acc = 0;
+  for (const std::uint8_t v : values) {
+    acc = static_cast<std::uint8_t>(acc + v);
+  }
+  return acc;
+}
+
+std::size_t reduction_rounds(std::size_t n) {
+  std::size_t rounds = 0;
+  while (n > 1) {
+    n = (n + 1) / 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+}  // namespace nbx

@@ -1,0 +1,34 @@
+// reduction.hpp — a non-streaming, dependency-carrying workload.
+//
+// Paper §7 (future work): "we can evaluate how the NanoBox Processor
+// Grid may be adapted for non-streaming workloads." The paper's image
+// ops are embarrassingly parallel; a pairwise-ADD reduction (checksum of
+// a buffer) is the opposite: round k+1's operands are round k's results,
+// so the control processor must run multiple full shift-in / compute /
+// shift-out passes and carry data between them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/instruction_stream.hpp"
+
+namespace nbx {
+
+/// Builds one reduction round: instruction i computes
+/// values[2i] + values[2i+1] (an odd trailing element is carried through
+/// as values[last] + 0). Instruction ids are the output indices.
+std::vector<Instruction> reduction_round(
+    const std::vector<std::uint8_t>& values);
+
+/// Applies one golden reduction round.
+std::vector<std::uint8_t> golden_reduction_round(
+    const std::vector<std::uint8_t>& values);
+
+/// The modulo-256 checksum the full reduction converges to.
+std::uint8_t golden_checksum(const std::vector<std::uint8_t>& values);
+
+/// Number of rounds needed to reduce `n` values to one.
+std::size_t reduction_rounds(std::size_t n);
+
+}  // namespace nbx

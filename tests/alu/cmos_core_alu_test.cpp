@@ -1,0 +1,125 @@
+#include "alu/cmos_core_alu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/types.hpp"
+
+namespace nbx {
+namespace {
+
+TEST(CmosCoreAlu, SiteCountMatchesTable2) {
+  // aluncmos: 192 potential fault points (8 slices x 24 nodes).
+  const CmosCoreAlu alu;
+  EXPECT_EQ(alu.fault_sites(), 192u);
+  EXPECT_EQ(alu.netlist().node_count(), 192u);
+  EXPECT_EQ(CmosCoreAlu::kNodesPerSlice * 8, 192u);
+}
+
+TEST(CmosCoreAlu, FaultFreeMatchesGoldenExhaustively) {
+  const CmosCoreAlu alu;
+  for (const Opcode op : kAllOpcodes) {
+    for (int a = 0; a < 256; a += 3) {
+      for (int b = 0; b < 256; b += 7) {
+        const auto x = static_cast<std::uint8_t>(a);
+        const auto y = static_cast<std::uint8_t>(b);
+        ASSERT_EQ(alu.eval(op, x, y, MaskView{}, nullptr),
+                  golden_alu(op, x, y))
+            << opcode_name(op) << " " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(CmosCoreAlu, AddBoundaryCases) {
+  const CmosCoreAlu alu;
+  EXPECT_EQ(alu.eval(Opcode::kAdd, 0xFF, 0x01, MaskView{}, nullptr), 0x00);
+  EXPECT_EQ(alu.eval(Opcode::kAdd, 0xFF, 0xFF, MaskView{}, nullptr), 0xFE);
+  EXPECT_EQ(alu.eval(Opcode::kAdd, 0x00, 0x00, MaskView{}, nullptr), 0x00);
+  EXPECT_EQ(alu.eval(Opcode::kAdd, 0x80, 0x80, MaskView{}, nullptr), 0x00);
+}
+
+TEST(CmosCoreAlu, EveryLiveNodeFaultIsObservable) {
+  // Every node except the top slice's discarded carry-out chain must,
+  // when flipped, change the output for at least one input. Slice 7's
+  // carry nodes (c1 at 4, cout at 5, gated carry at 23 within the slice)
+  // drive the carry out of bit 7, which an 8-bit ALU discards — they are
+  // counted as injection points (Table 2 counts *potential* sites, and
+  // §4 notes "not all of the injected faults will necessarily produce
+  // observable errors") but can never corrupt a result.
+  const CmosCoreAlu alu;
+  const std::set<std::size_t> dead = {7 * 24 + 4, 7 * 24 + 5, 7 * 24 + 23};
+  const std::vector<std::pair<std::uint8_t, std::uint8_t>> inputs = {
+      {0x00, 0x00}, {0xFF, 0xFF}, {0xAA, 0x55}, {0x0F, 0xF0},
+      {0x01, 0x01}, {0x80, 0x7F}, {0x33, 0xCC}, {0xFF, 0x00}};
+  for (std::size_t node = 0; node < alu.fault_sites(); ++node) {
+    BitVec mask(alu.fault_sites());
+    mask.set(node, true);
+    bool observable = false;
+    for (const Opcode op : kAllOpcodes) {
+      for (const auto& [a, b] : inputs) {
+        if (alu.eval(op, a, b, MaskView(mask, 0, mask.size()), nullptr) !=
+            golden_alu(op, a, b)) {
+          observable = true;
+          break;
+        }
+      }
+      if (observable) {
+        break;
+      }
+    }
+    if (dead.count(node)) {
+      EXPECT_FALSE(observable) << "discarded-carry node " << node
+                               << " unexpectedly observable";
+    } else {
+      EXPECT_TRUE(observable) << "node " << node << " is never observable";
+    }
+  }
+}
+
+TEST(CmosCoreAlu, SingleFaultHasNoBitLevelProtection) {
+  // The CMOS baseline has zero masking: a fault on a result node always
+  // corrupts that output bit (contrast with the TMR LUT ALU test).
+  const CmosCoreAlu alu;
+  // Node 22 of each slice is the result OR (0-indexed within slice).
+  for (int slice = 0; slice < 8; ++slice) {
+    const std::size_t node = static_cast<std::size_t>(slice) * 24 + 22;
+    BitVec mask(alu.fault_sites());
+    mask.set(node, true);
+    const std::uint8_t r = alu.eval(Opcode::kAnd, 0xFF, 0xFF,
+                                    MaskView(mask, 0, mask.size()), nullptr);
+    EXPECT_EQ(r ^ 0xFF, 1u << slice) << "slice " << slice;
+  }
+}
+
+TEST(CmosCoreAlu, CarryChainFaultPropagates) {
+  // Faulting slice 0's gated-carry node (index 23) during 0xFF + 0x01
+  // kills the ripple and changes many upper bits.
+  const CmosCoreAlu alu;
+  BitVec mask(alu.fault_sites());
+  mask.set(23, true);
+  const std::uint8_t r = alu.eval(Opcode::kAdd, 0xFF, 0x01,
+                                  MaskView(mask, 0, mask.size()), nullptr);
+  EXPECT_NE(r, 0x00);
+}
+
+TEST(CmosCoreAlu, OpcodeDecodeFaultSelectsWrongFunction) {
+  // Faulting a select line can turn AND into something else entirely.
+  const CmosCoreAlu alu;
+  const std::uint8_t a = 0xF0;
+  const std::uint8_t b = 0x0F;
+  int distinct_corruptions = 0;
+  for (std::size_t node = 6; node < 17; ++node) {  // slice 0 decode region
+    BitVec mask(alu.fault_sites());
+    mask.set(node, true);
+    if (alu.eval(Opcode::kAnd, a, b, MaskView(mask, 0, mask.size()),
+                 nullptr) != golden_alu(Opcode::kAnd, a, b)) {
+      ++distinct_corruptions;
+    }
+  }
+  EXPECT_GT(distinct_corruptions, 0);
+}
+
+}  // namespace
+}  // namespace nbx

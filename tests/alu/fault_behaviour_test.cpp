@@ -1,0 +1,103 @@
+// fault_behaviour_test.cpp — statistical properties of the ALUs under
+// random fault injection. These are the microscopic versions of the
+// paper's figure-level claims; the full curves are checked in
+// tests/integration/paper_shape_test.cpp and the bench binaries.
+#include <gtest/gtest.h>
+
+#include "alu/alu_factory.hpp"
+#include "common/rng.hpp"
+#include "fault/mask_generator.hpp"
+
+namespace nbx {
+namespace {
+
+// Fraction of correct computations for `alu` at `pct` injected faults
+// over `n` random instructions.
+double correct_fraction(const IAlu& alu, double pct, int n,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  const MaskGenerator gen(alu.fault_sites(), pct);
+  BitVec mask(alu.fault_sites());
+  int correct = 0;
+  for (int i = 0; i < n; ++i) {
+    const Opcode op = kAllOpcodes[rng.below(4)];
+    const auto a = static_cast<std::uint8_t>(rng.below(256));
+    const auto b = static_cast<std::uint8_t>(rng.below(256));
+    gen.generate(rng, mask);
+    const AluOutput out =
+        alu.compute(op, a, b, MaskView(mask, 0, mask.size()));
+    if (out.value == golden_alu(op, a, b)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / n;
+}
+
+TEST(FaultBehaviour, ZeroFaultsAlwaysCorrect) {
+  for (const char* name : {"aluncmos", "alunn", "alunh", "aluns", "aluss"}) {
+    const auto alu = make_alu(name);
+    EXPECT_EQ(correct_fraction(*alu, 0.0, 100, 1), 1.0) << name;
+  }
+}
+
+TEST(FaultBehaviour, TmrAluPerfectAtLowRates) {
+  // aluns carries 1536 sites; at 0.05% that is <1 fault per computation,
+  // and a single stored-bit fault is always masked.
+  const auto alu = make_alu("aluns");
+  EXPECT_EQ(correct_fraction(*alu, 0.05, 300, 2), 1.0);
+}
+
+TEST(FaultBehaviour, CmosDegradesFasterThanTmrLut) {
+  const auto cmos = make_alu("aluncmos");
+  const auto tmr = make_alu("aluns");
+  const double cmos_correct = correct_fraction(*cmos, 2.0, 400, 3);
+  const double tmr_correct = correct_fraction(*tmr, 2.0, 400, 3);
+  EXPECT_GT(tmr_correct, cmos_correct + 0.3)
+      << "TMR LUT should massively outperform raw CMOS at 2% faults";
+}
+
+TEST(FaultBehaviour, NoCodeBeatsHammingAtHighRates) {
+  // The paper's surprising §5 result, at one representative rate.
+  const auto nocode = make_alu("alunn");
+  const auto hamming = make_alu("alunh");
+  const double n_correct = correct_fraction(*nocode, 5.0, 600, 4);
+  const double h_correct = correct_fraction(*hamming, 5.0, 600, 4);
+  EXPECT_GT(n_correct, h_correct)
+      << "information coding must show the false-positive penalty";
+}
+
+TEST(FaultBehaviour, EverythingCollapsesAt75Percent) {
+  for (const char* name : {"aluncmos", "alunn", "alunh", "aluns", "aluss"}) {
+    const auto alu = make_alu(name);
+    EXPECT_LT(correct_fraction(*alu, 75.0, 200, 5), 0.10) << name;
+  }
+}
+
+TEST(FaultBehaviour, MonotoneDegradationForTmrAlu) {
+  // Correctness should (statistically) fall as the fault rate rises.
+  const auto alu = make_alu("aluns");
+  const double at1 = correct_fraction(*alu, 1.0, 400, 6);
+  const double at5 = correct_fraction(*alu, 5.0, 400, 6);
+  const double at20 = correct_fraction(*alu, 20.0, 400, 6);
+  EXPECT_GE(at1 + 0.05, at5);
+  EXPECT_GT(at5, at20);
+}
+
+TEST(FaultBehaviour, HsiaoExtensionBeatsHammingAtModerateRates) {
+  // SEC-DED refuses to miscorrect double errors, so it should retire the
+  // false-positive penalty that cripples plain Hamming.
+  const auto hsiao = make_alu("alunhsiao");
+  const auto hamming = make_alu("alunh");
+  const double hs = correct_fraction(*hsiao, 2.0, 600, 7);
+  const double hm = correct_fraction(*hamming, 2.0, 600, 7);
+  EXPECT_GT(hs, hm);
+}
+
+TEST(FaultBehaviour, DeterministicGivenSeed) {
+  const auto alu = make_alu("aluss");
+  EXPECT_EQ(correct_fraction(*alu, 3.0, 100, 42),
+            correct_fraction(*alu, 3.0, 100, 42));
+}
+
+}  // namespace
+}  // namespace nbx

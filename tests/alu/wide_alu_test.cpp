@@ -1,0 +1,95 @@
+#include "alu/wide_alu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fault/mask_generator.hpp"
+
+namespace nbx {
+namespace {
+
+class WideAluWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WideAluWidths, FaultFreeMatchesGolden) {
+  const std::size_t w = GetParam();
+  const WideLutAlu alu(w, LutCoding::kNone);
+  EXPECT_EQ(alu.fault_sites(), w * 4 * 16);
+  Rng rng(w);
+  for (const Opcode op : kAllOpcodes) {
+    for (int t = 0; t < 300; ++t) {
+      const auto a = static_cast<std::uint32_t>(rng.next()) & alu.value_mask();
+      const auto b = static_cast<std::uint32_t>(rng.next()) & alu.value_mask();
+      ASSERT_EQ(alu.eval(op, a, b, MaskView{}), alu.golden(op, a, b))
+          << "w=" << w << " " << opcode_name(op) << " " << a << "," << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WideAluWidths,
+                         ::testing::Values(1, 2, 4, 8, 16, 24, 32));
+
+TEST(WideLutAlu, EightBitMatchesTable2Decomposition) {
+  EXPECT_EQ(WideLutAlu(8, LutCoding::kNone).fault_sites(), 512u);
+  EXPECT_EQ(WideLutAlu(8, LutCoding::kHamming).fault_sites(), 672u);
+  EXPECT_EQ(WideLutAlu(8, LutCoding::kTmr).fault_sites(), 1536u);
+}
+
+TEST(WideLutAlu, AddWrapsAtEveryWidth) {
+  for (const std::size_t w : {4u, 8u, 16u, 32u}) {
+    const WideLutAlu alu(w, LutCoding::kNone);
+    const std::uint32_t max = alu.value_mask();
+    EXPECT_EQ(alu.eval(Opcode::kAdd, max, 1, MaskView{}), 0u) << w;
+    EXPECT_EQ(alu.eval(Opcode::kAdd, max, max, MaskView{}), max - 1) << w;
+  }
+}
+
+TEST(WideLutAlu, CarryRipplesThroughThirtyTwoBits) {
+  const WideLutAlu alu(32, LutCoding::kTmr);
+  EXPECT_EQ(alu.eval(Opcode::kAdd, 0xFFFFFFFFu, 1, MaskView{}), 0u);
+  EXPECT_EQ(alu.eval(Opcode::kAdd, 0x7FFFFFFFu, 1, MaskView{}),
+            0x80000000u);
+}
+
+TEST(WideLutAlu, TmrMasksSingleFaultsAtAnyWidth) {
+  for (const std::size_t w : {4u, 16u}) {
+    const WideLutAlu alu(w, LutCoding::kTmr);
+    for (std::size_t site = 0; site < alu.fault_sites(); site += 11) {
+      BitVec mask(alu.fault_sites());
+      mask.set(site, true);
+      const std::uint32_t a = 0xA5A5A5A5u & alu.value_mask();
+      const std::uint32_t b = 0x0F0F0F0Fu & alu.value_mask();
+      EXPECT_EQ(alu.eval(Opcode::kXor, a, b, MaskView(mask, 0, mask.size())),
+                alu.golden(Opcode::kXor, a, b))
+          << "w=" << w << " site " << site;
+    }
+  }
+}
+
+TEST(WideLutAlu, ReliabilityFallsWithWidthAtFixedFaultFraction) {
+  // The scaling insight bench_width elaborates: at the same per-site
+  // fault percentage, wider words expose more sites per instruction and
+  // are wrong more often.
+  Rng rng(7);
+  auto accuracy = [&](std::size_t w) {
+    const WideLutAlu alu(w, LutCoding::kTmr);
+    const MaskGenerator gen(alu.fault_sites(), 5.0);
+    int correct = 0;
+    const int n = 400;
+    for (int i = 0; i < n; ++i) {
+      const auto a = static_cast<std::uint32_t>(rng.next()) & alu.value_mask();
+      const auto b = static_cast<std::uint32_t>(rng.next()) & alu.value_mask();
+      const BitVec mask = gen.generate(rng);
+      if (alu.eval(Opcode::kAdd, a, b, MaskView(mask, 0, mask.size())) ==
+          alu.golden(Opcode::kAdd, a, b)) {
+        ++correct;
+      }
+    }
+    return static_cast<double>(correct) / n;
+  };
+  const double narrow = accuracy(4);
+  const double wide = accuracy(32);
+  EXPECT_GT(narrow, wide + 0.1);
+}
+
+}  // namespace
+}  // namespace nbx

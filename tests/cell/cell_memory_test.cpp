@@ -1,0 +1,112 @@
+#include "cell/cell_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbx {
+namespace {
+
+MemoryWord pending_word(std::uint16_t id) {
+  MemoryWord w;
+  w.instr_id = id;
+  w.op = Opcode::kAdd;
+  w.operand1 = 1;
+  w.operand2 = 2;
+  w.set_valid(true);
+  w.set_pending(true);
+  return w;
+}
+
+TEST(CellMemory, DefaultCapacityIsPaperThirtyTwo) {
+  const CellMemory m;
+  EXPECT_EQ(m.capacity(), 32u);
+  EXPECT_EQ(m.occupied(), 0u);
+  EXPECT_EQ(m.pending(), 0u);
+  EXPECT_EQ(m.bit_capacity(), 32u * 65u);
+}
+
+TEST(CellMemory, StoreFillsSlotsInOrder) {
+  CellMemory m(4);
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(m.store(pending_word(i)));
+  }
+  EXPECT_EQ(m.occupied(), 4u);
+  EXPECT_EQ(m.pending(), 4u);
+  EXPECT_FALSE(m.store(pending_word(99))) << "memory must reject overflow";
+  EXPECT_EQ(m.word(0).instr_id, 0);
+  EXPECT_EQ(m.word(3).instr_id, 3);
+}
+
+TEST(CellMemory, FreeSlotReusedAfterInvalidation) {
+  CellMemory m(2);
+  EXPECT_TRUE(m.store(pending_word(1)));
+  EXPECT_TRUE(m.store(pending_word(2)));
+  m.word(0).set_valid(false);
+  EXPECT_EQ(m.occupied(), 1u);
+  EXPECT_TRUE(m.store(pending_word(3)));
+  EXPECT_EQ(m.word(0).instr_id, 3);
+}
+
+TEST(CellMemory, PendingCountsOnlyValidPendingWords) {
+  CellMemory m(4);
+  (void)m.store(pending_word(1));
+  (void)m.store(pending_word(2));
+  m.word(1).set_pending(false);  // computed
+  EXPECT_EQ(m.pending(), 1u);
+  EXPECT_EQ(m.occupied(), 2u);
+}
+
+TEST(CellMemory, ClearResetsEverything) {
+  CellMemory m(4);
+  (void)m.store(pending_word(1));
+  m.clear();
+  EXPECT_EQ(m.occupied(), 0u);
+  EXPECT_TRUE(m.find_free_slot().has_value());
+  EXPECT_EQ(*m.find_free_slot(), 0u);
+}
+
+TEST(CellMemory, UpsetsChangePackedBits) {
+  CellMemory m(8);
+  for (std::uint16_t i = 0; i < 8; ++i) {
+    (void)m.store(pending_word(i));
+  }
+  Rng rng(5);
+  m.inject_upsets(rng, 40);
+  // With 40 flips over 520 bits, at least one word must differ.
+  bool changed = false;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (!(m.word(i) == pending_word(static_cast<std::uint16_t>(i)))) {
+      changed = true;
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(CellMemory, SingleUpsetNeverChangesVotedCriticalFieldsOfAllWords) {
+  // A single upset hits one bit; triplicate voting keeps every word's
+  // voted valid/pending unchanged... unless it hits an id/operand bit,
+  // which is visible but non-critical. Check critical views only.
+  CellMemory m(4);
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    (void)m.store(pending_word(i));
+  }
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    CellMemory copy = m;
+    copy.inject_upsets(rng, 1);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(copy.word(i).valid(), m.word(i).valid());
+      EXPECT_EQ(copy.word(i).pending(), m.word(i).pending());
+    }
+  }
+}
+
+TEST(CellMemory, ZeroUpsetsIsNoOp) {
+  CellMemory m(2);
+  (void)m.store(pending_word(7));
+  Rng rng(1);
+  m.inject_upsets(rng, 0);
+  EXPECT_EQ(m.word(0), pending_word(7));
+}
+
+}  // namespace
+}  // namespace nbx

@@ -1,0 +1,113 @@
+#include "cell/memory_word.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbx {
+namespace {
+
+MemoryWord sample_word() {
+  MemoryWord w;
+  w.instr_id = 0x1234;
+  w.op = Opcode::kXor;
+  w.operand1 = 0xAB;
+  w.operand2 = 0xCD;
+  w.result = {0x66, 0x66, 0x66};
+  w.set_valid(true);
+  w.set_pending(true);
+  return w;
+}
+
+TEST(MemoryWord, DefaultIsEmptyInvalid) {
+  const MemoryWord w;
+  EXPECT_FALSE(w.valid());
+  EXPECT_FALSE(w.pending());
+  EXPECT_FALSE(w.has_internal_disagreement());
+}
+
+TEST(MemoryWord, TriplicatedFieldsVoteByMajority) {
+  MemoryWord w = sample_word();
+  // One corrupted valid bit is masked.
+  w.data_valid[1] = false;
+  EXPECT_TRUE(w.valid());
+  EXPECT_TRUE(w.has_internal_disagreement());
+  // Two corrupted bits win.
+  w.data_valid[2] = false;
+  EXPECT_FALSE(w.valid());
+}
+
+TEST(MemoryWord, PendingMajority) {
+  MemoryWord w = sample_word();
+  w.to_be_computed[0] = false;
+  EXPECT_TRUE(w.pending());
+  w.to_be_computed[1] = false;
+  EXPECT_FALSE(w.pending());
+}
+
+TEST(MemoryWord, VotedResultMasksOneBadCopy) {
+  MemoryWord w = sample_word();
+  w.result[2] = 0x00;
+  EXPECT_EQ(w.voted_result(), 0x66);
+  EXPECT_TRUE(w.has_internal_disagreement());
+}
+
+TEST(MemoryWord, VotedResultIsBitwise) {
+  MemoryWord w;
+  w.result = {0x0F, 0x33, 0x55};
+  EXPECT_EQ(w.voted_result(), 0x17);
+}
+
+TEST(MemoryWord, PackUnpackRoundTrip) {
+  const MemoryWord w = sample_word();
+  BitVec bits(MemoryWord::kBits);
+  w.pack(bits, 0);
+  EXPECT_EQ(MemoryWord::unpack(bits, 0), w);
+}
+
+TEST(MemoryWord, PackUnpackAtOffset) {
+  const MemoryWord w = sample_word();
+  BitVec bits(3 * MemoryWord::kBits);
+  w.pack(bits, MemoryWord::kBits);
+  EXPECT_EQ(MemoryWord::unpack(bits, MemoryWord::kBits), w);
+  // Adjacent slots untouched.
+  EXPECT_EQ(MemoryWord::unpack(bits, 0), MemoryWord{});
+  EXPECT_EQ(MemoryWord::unpack(bits, 2 * MemoryWord::kBits), MemoryWord{});
+}
+
+TEST(MemoryWord, RoundTripWithAsymmetricTriplicates) {
+  MemoryWord w = sample_word();
+  w.data_valid = {true, false, true};
+  w.to_be_computed = {false, true, false};
+  w.result = {1, 2, 3};
+  BitVec bits(MemoryWord::kBits);
+  w.pack(bits, 0);
+  EXPECT_EQ(MemoryWord::unpack(bits, 0), w);
+}
+
+TEST(MemoryWord, SingleBitUpsetOnCriticalFieldIsMasked) {
+  // Flip each of the 6 critical-field bits in the packed image; the
+  // voted views must be unchanged (this is §2.2's claim).
+  const MemoryWord w = sample_word();
+  for (std::size_t bit = 59; bit < 65; ++bit) {
+    BitVec bits(MemoryWord::kBits);
+    w.pack(bits, 0);
+    bits.flip(bit);
+    const MemoryWord upset = MemoryWord::unpack(bits, 0);
+    EXPECT_EQ(upset.valid(), w.valid()) << bit;
+    EXPECT_EQ(upset.pending(), w.pending()) << bit;
+  }
+}
+
+TEST(MemoryWord, OperandUpsetIsNotMasked) {
+  // Operands are not triplicated — an upset there is a real corruption
+  // (this is what the module/bit-level ALU redundancy cannot fix, and
+  // what the paper accepts for non-critical fields).
+  const MemoryWord w = sample_word();
+  BitVec bits(MemoryWord::kBits);
+  w.pack(bits, 0);
+  bits.flip(19);  // operand1 bit 0
+  const MemoryWord upset = MemoryWord::unpack(bits, 0);
+  EXPECT_EQ(upset.operand1, w.operand1 ^ 0x01);
+}
+
+}  // namespace
+}  // namespace nbx

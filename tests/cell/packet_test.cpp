@@ -1,0 +1,126 @@
+#include "cell/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbx {
+namespace {
+
+Packet sample_packet() {
+  Packet p;
+  p.kind = PacketKind::kInstruction;
+  p.dest = CellId{3, 5};
+  p.source = CellId{7, 0};
+  p.instr_id = 0xBEEF;
+  p.op = Opcode::kAdd;
+  p.operand1 = 0x12;
+  p.operand2 = 0x34;
+  p.result = 0x46;
+  return p;
+}
+
+TEST(CellId, PackUnpackRoundTrip) {
+  for (std::uint8_t r = 0; r < 16; ++r) {
+    for (std::uint8_t c = 0; c < 16; ++c) {
+      const CellId id{r, c};
+      EXPECT_EQ(CellId::unpack(id.packed()), id);
+    }
+  }
+}
+
+TEST(Packet, EncodeProducesTenFlitsWithMarkerAndChecksum) {
+  const auto flits = encode_packet(sample_packet());
+  ASSERT_EQ(flits.size(), kPacketFlits);
+  EXPECT_EQ(flits[0], kStartMarker);
+  std::uint8_t csum = 0;
+  for (std::size_t i = 1; i <= 8; ++i) {
+    csum ^= flits[i];
+  }
+  EXPECT_EQ(flits[9], csum);
+}
+
+TEST(Packet, EncodeDecodeRoundTrip) {
+  const Packet p = sample_packet();
+  PacketAssembler asm_;
+  std::optional<Packet> decoded;
+  for (const std::uint8_t f : encode_packet(p)) {
+    decoded = asm_.push(f);
+  }
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, p);
+  EXPECT_EQ(asm_.checksum_failures(), 0u);
+}
+
+TEST(Packet, RoundTripAllKindsAndOpcodes) {
+  for (const PacketKind k : {PacketKind::kInstruction, PacketKind::kResult,
+                             PacketKind::kSalvage}) {
+    for (const Opcode op : kAllOpcodes) {
+      Packet p = sample_packet();
+      p.kind = k;
+      p.op = op;
+      PacketAssembler asm_;
+      std::optional<Packet> decoded;
+      for (const std::uint8_t f : encode_packet(p)) {
+        decoded = asm_.push(f);
+      }
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(*decoded, p);
+    }
+  }
+}
+
+TEST(PacketAssembler, IgnoresNoiseBeforeStartMarker) {
+  PacketAssembler asm_;
+  EXPECT_FALSE(asm_.push(0x00).has_value());
+  EXPECT_FALSE(asm_.push(0x42).has_value());
+  EXPECT_FALSE(asm_.mid_packet());
+  std::optional<Packet> decoded;
+  for (const std::uint8_t f : encode_packet(sample_packet())) {
+    decoded = asm_.push(f);
+  }
+  ASSERT_TRUE(decoded.has_value());
+}
+
+TEST(PacketAssembler, DetectsCorruptedChecksum) {
+  auto flits = encode_packet(sample_packet());
+  flits[5] ^= 0x01;  // corrupt an operand in flight
+  PacketAssembler asm_;
+  std::optional<Packet> decoded;
+  for (const std::uint8_t f : flits) {
+    decoded = asm_.push(f);
+  }
+  EXPECT_FALSE(decoded.has_value());
+  EXPECT_EQ(asm_.checksum_failures(), 1u);
+  // The assembler recovers for the next packet.
+  for (const std::uint8_t f : encode_packet(sample_packet())) {
+    decoded = asm_.push(f);
+  }
+  EXPECT_TRUE(decoded.has_value());
+}
+
+TEST(PacketAssembler, BackToBackPackets) {
+  PacketAssembler asm_;
+  int received = 0;
+  for (int i = 0; i < 5; ++i) {
+    Packet p = sample_packet();
+    p.instr_id = static_cast<std::uint16_t>(i);
+    for (const std::uint8_t f : encode_packet(p)) {
+      if (auto d = asm_.push(f)) {
+        EXPECT_EQ(d->instr_id, i);
+        ++received;
+      }
+    }
+  }
+  EXPECT_EQ(received, 5);
+}
+
+TEST(PacketAssembler, MidPacketAndReset) {
+  PacketAssembler asm_;
+  (void)asm_.push(kStartMarker);
+  (void)asm_.push(0x11);
+  EXPECT_TRUE(asm_.mid_packet());
+  asm_.reset();
+  EXPECT_FALSE(asm_.mid_packet());
+}
+
+}  // namespace
+}  // namespace nbx

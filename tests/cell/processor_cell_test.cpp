@@ -1,0 +1,292 @@
+#include "cell/processor_cell.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbx {
+namespace {
+
+CellConfig ideal_config() {
+  CellConfig c;
+  c.alu_fault_percent = 0.0;
+  c.control_fault_percent = 0.0;
+  c.memory_upsets_per_cycle = 0.0;
+  return c;
+}
+
+Packet instruction_packet(CellId dest, std::uint16_t id, Opcode op,
+                          std::uint8_t a, std::uint8_t b) {
+  Packet p;
+  p.kind = PacketKind::kInstruction;
+  p.dest = dest;
+  p.instr_id = id;
+  p.op = op;
+  p.operand1 = a;
+  p.operand2 = b;
+  return p;
+}
+
+// Feeds a packet's flits into a cell through `port`, stepping each cycle.
+void feed_packet(ProcessorCell& cell, Port port, const Packet& p) {
+  for (const std::uint8_t f : encode_packet(p)) {
+    cell.receive_flit(port, f);
+    cell.step();
+  }
+}
+
+TEST(ProcessorCell, StoresPacketAddressedToItself) {
+  ProcessorCell cell(CellId{2, 3}, ideal_config());
+  cell.set_mode(CellMode::kShiftIn);
+  feed_packet(cell, Port::kTop,
+              instruction_packet(CellId{2, 3}, 7, Opcode::kXor, 0x0F, 0xFF));
+  EXPECT_EQ(cell.stats().packets_stored, 1u);
+  EXPECT_EQ(cell.memory().occupied(), 1u);
+  const MemoryWord& w = cell.memory().word(0);
+  EXPECT_EQ(w.instr_id, 7);
+  EXPECT_TRUE(w.valid());
+  EXPECT_TRUE(w.pending());
+}
+
+TEST(ProcessorCell, ForwardsPacketForAnotherCellDownward) {
+  ProcessorCell cell(CellId{5, 3}, ideal_config());
+  cell.set_mode(CellMode::kShiftIn);
+  feed_packet(cell, Port::kTop,
+              instruction_packet(CellId{2, 3}, 9, Opcode::kAnd, 1, 2));
+  EXPECT_EQ(cell.stats().packets_forwarded, 1u);
+  EXPECT_EQ(cell.memory().occupied(), 0u);
+  // The packet re-emerges, intact, on the bottom port.
+  std::vector<std::uint8_t> flits;
+  while (auto f = cell.pop_output(Port::kBottom)) {
+    flits.push_back(*f);
+  }
+  ASSERT_EQ(flits.size(), kPacketFlits);
+  PacketAssembler a;
+  std::optional<Packet> p;
+  for (const std::uint8_t f : flits) {
+    p = a.push(f);
+  }
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->instr_id, 9);
+  EXPECT_EQ(p->dest, (CellId{2, 3}));
+}
+
+TEST(ProcessorCell, ForwardsHorizontallyBeforeVertically) {
+  ProcessorCell cell(CellId{5, 3}, ideal_config());
+  cell.set_mode(CellMode::kShiftIn);
+  // Destination differs in both row and column: column wins (left).
+  feed_packet(cell, Port::kTop,
+              instruction_packet(CellId{2, 6}, 9, Opcode::kAnd, 1, 2));
+  EXPECT_TRUE(cell.pop_output(Port::kLeft).has_value());
+  EXPECT_FALSE(cell.pop_output(Port::kBottom).has_value());
+}
+
+TEST(ProcessorCell, ComputeModeComputesPendingWords) {
+  ProcessorCell cell(CellId{1, 1}, ideal_config());
+  cell.set_mode(CellMode::kShiftIn);
+  feed_packet(cell, Port::kTop,
+              instruction_packet(CellId{1, 1}, 5, Opcode::kAdd, 100, 27));
+  feed_packet(cell, Port::kTop,
+              instruction_packet(CellId{1, 1}, 6, Opcode::kXor, 0xF0, 0xFF));
+  cell.set_mode(CellMode::kCompute);
+  for (int i = 0; i < 64; ++i) {
+    cell.step();
+  }
+  EXPECT_EQ(cell.stats().instructions_computed, 2u);
+  EXPECT_EQ(cell.memory().pending(), 0u);
+  // Results stored in triplicate, correct.
+  bool found5 = false;
+  bool found6 = false;
+  for (std::size_t i = 0; i < cell.memory().capacity(); ++i) {
+    const MemoryWord& w = cell.memory().word(i);
+    if (!w.valid()) {
+      continue;
+    }
+    if (w.instr_id == 5) {
+      found5 = true;
+      EXPECT_EQ(w.voted_result(), 127);
+    }
+    if (w.instr_id == 6) {
+      found6 = true;
+      EXPECT_EQ(w.voted_result(), 0x0F);
+    }
+  }
+  EXPECT_TRUE(found5);
+  EXPECT_TRUE(found6);
+}
+
+TEST(ProcessorCell, ComputeIsIdempotentAcrossRescans) {
+  // Once to-be-computed clears, rescans must not recompute.
+  ProcessorCell cell(CellId{1, 1}, ideal_config());
+  cell.set_mode(CellMode::kShiftIn);
+  feed_packet(cell, Port::kTop,
+              instruction_packet(CellId{1, 1}, 5, Opcode::kAdd, 1, 1));
+  cell.set_mode(CellMode::kCompute);
+  for (int i = 0; i < 200; ++i) {
+    cell.step();
+  }
+  EXPECT_EQ(cell.stats().instructions_computed, 1u);
+}
+
+TEST(ProcessorCell, ShiftOutEmitsVotedResultsUpward) {
+  ProcessorCell cell(CellId{1, 1}, ideal_config());
+  cell.set_mode(CellMode::kShiftIn);
+  feed_packet(cell, Port::kTop,
+              instruction_packet(CellId{1, 1}, 42, Opcode::kOr, 0x10, 0x01));
+  cell.set_mode(CellMode::kCompute);
+  for (int i = 0; i < 64; ++i) {
+    cell.step();
+  }
+  cell.set_mode(CellMode::kShiftOut);
+  std::vector<std::uint8_t> flits;
+  for (int i = 0; i < 40; ++i) {
+    cell.step();
+    while (auto f = cell.pop_output(Port::kTop)) {
+      flits.push_back(*f);
+    }
+  }
+  PacketAssembler a;
+  std::optional<Packet> got;
+  for (const std::uint8_t f : flits) {
+    if (auto p = a.push(f)) {
+      got = p;
+    }
+  }
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->kind, PacketKind::kResult);
+  EXPECT_EQ(got->instr_id, 42);
+  EXPECT_EQ(got->result, 0x11);
+  EXPECT_EQ(cell.stats().results_emitted, 1u);
+  // The slot is released after emission.
+  EXPECT_EQ(cell.memory().occupied(), 0u);
+}
+
+TEST(ProcessorCell, ShiftOutSendsOwnPacketFirstThenForwardsFromBelow) {
+  ProcessorCell cell(CellId{2, 1}, ideal_config());
+  cell.set_mode(CellMode::kShiftIn);
+  feed_packet(cell, Port::kTop,
+              instruction_packet(CellId{2, 1}, 1, Opcode::kAnd, 3, 1));
+  cell.set_mode(CellMode::kCompute);
+  for (int i = 0; i < 64; ++i) {
+    cell.step();
+  }
+  cell.set_mode(CellMode::kShiftOut);
+  // A result packet arrives from the bottom neighbour immediately.
+  Packet from_below;
+  from_below.kind = PacketKind::kResult;
+  from_below.dest = CellId{0xF, 1};
+  from_below.instr_id = 777;
+  from_below.result = 0x99;
+  for (const std::uint8_t f : encode_packet(from_below)) {
+    cell.receive_flit(Port::kBottom, f);
+    cell.step();
+  }
+  for (int i = 0; i < 60; ++i) {
+    cell.step();
+  }
+  // Both packets eventually leave upward; collect and decode.
+  std::vector<std::uint16_t> ids;
+  PacketAssembler a;
+  while (auto f = cell.pop_output(Port::kTop)) {
+    if (auto p = a.push(*f)) {
+      ids.push_back(p->instr_id);
+    }
+  }
+  // §3.2.3: during the first cycle of shift-out each cell sends one of
+  // its own packets; in subsequent cycles incoming traffic from below
+  // takes priority. The own packet was queued before the packet from
+  // below finished assembling, so it leads.
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 1);
+  EXPECT_EQ(ids[1], 777);
+}
+
+TEST(ProcessorCell, HeartbeatAdvancesWhileAliveStopsWhenDead) {
+  ProcessorCell cell(CellId{0, 0}, ideal_config());
+  for (int i = 0; i < 10; ++i) {
+    cell.step();
+  }
+  EXPECT_EQ(cell.heartbeat(), 10u);
+  cell.force_fail();
+  for (int i = 0; i < 10; ++i) {
+    cell.step();
+  }
+  EXPECT_EQ(cell.heartbeat(), 10u);
+  EXPECT_FALSE(cell.alive());
+}
+
+TEST(ProcessorCell, DeadCellWithLiveRouterStillForwards) {
+  ProcessorCell cell(CellId{5, 3}, ideal_config());
+  cell.set_mode(CellMode::kShiftIn);
+  cell.force_fail(/*router_survives=*/true);
+  feed_packet(cell, Port::kTop,
+              instruction_packet(CellId{2, 3}, 9, Opcode::kAnd, 1, 2));
+  EXPECT_TRUE(cell.pop_output(Port::kBottom).has_value());
+}
+
+TEST(ProcessorCell, FullyDeadCellDropsTraffic) {
+  ProcessorCell cell(CellId{5, 3}, ideal_config());
+  cell.set_mode(CellMode::kShiftIn);
+  cell.force_fail(/*router_survives=*/false);
+  feed_packet(cell, Port::kTop,
+              instruction_packet(CellId{2, 3}, 9, Opcode::kAnd, 1, 2));
+  EXPECT_FALSE(cell.pop_output(Port::kBottom).has_value());
+}
+
+TEST(ProcessorCell, SalvageExtractsAllValidWords) {
+  // §2.3: "the contents of the cell memory will be sent to the
+  // surrounding processor cells" — both unfinished work and computed
+  // results that have not shifted out yet.
+  ProcessorCell cell(CellId{1, 1}, ideal_config());
+  cell.set_mode(CellMode::kShiftIn);
+  feed_packet(cell, Port::kTop,
+              instruction_packet(CellId{1, 1}, 1, Opcode::kAnd, 1, 1));
+  feed_packet(cell, Port::kTop,
+              instruction_packet(CellId{1, 1}, 2, Opcode::kOr, 1, 1));
+  // Compute only the first word, then fail.
+  cell.set_mode(CellMode::kCompute);
+  cell.step();  // word 0 computed
+  cell.force_fail(true);
+  const auto words = cell.salvage_words();
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0].instr_id, 1);
+  EXPECT_FALSE(words[0].pending());  // computed result travels with it
+  EXPECT_EQ(words[0].voted_result(), 1 & 1);
+  EXPECT_EQ(words[1].instr_id, 2);
+  EXPECT_TRUE(words[1].pending());
+  // The dead cell's memory is emptied by the salvage.
+  EXPECT_EQ(cell.memory().occupied(), 0u);
+}
+
+TEST(ProcessorCell, SalvageFromDeadRouterYieldsNothing) {
+  ProcessorCell cell(CellId{1, 1}, ideal_config());
+  cell.set_mode(CellMode::kShiftIn);
+  feed_packet(cell, Port::kTop,
+              instruction_packet(CellId{1, 1}, 1, Opcode::kAnd, 1, 1));
+  cell.force_fail(/*router_survives=*/false);
+  EXPECT_TRUE(cell.salvage_words().empty());
+}
+
+TEST(ProcessorCell, ErrorThresholdDisablesCell) {
+  CellConfig cfg = ideal_config();
+  cfg.error_threshold = 3;
+  cfg.memory_words = 1;
+  ProcessorCell cell(CellId{0, 0}, cfg);
+  cell.set_mode(CellMode::kShiftIn);
+  // Overflow the 1-word memory repeatedly; each drop is an error.
+  for (std::uint16_t i = 0; i < 6; ++i) {
+    feed_packet(cell, Port::kTop,
+                instruction_packet(CellId{0, 0}, i, Opcode::kAnd, 1, 1));
+  }
+  EXPECT_FALSE(cell.alive());
+}
+
+TEST(ProcessorCell, QuiescentReflectsBufferedWork) {
+  ProcessorCell cell(CellId{0, 0}, ideal_config());
+  EXPECT_TRUE(cell.quiescent());
+  cell.receive_flit(Port::kTop, kStartMarker);
+  EXPECT_FALSE(cell.quiescent());
+  cell.step();  // marker consumed into the assembler
+  EXPECT_FALSE(cell.quiescent()) << "mid-packet assembly is not quiescent";
+}
+
+}  // namespace
+}  // namespace nbx

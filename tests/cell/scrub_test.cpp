@@ -1,0 +1,129 @@
+// scrub_test.cpp — memory scrubbing of the triplicated critical fields
+// (extension of §2.2's majority-read scheme: repair upsets instead of
+// merely outvoting them, so independent upsets cannot accumulate into a
+// two-of-three loss).
+#include <gtest/gtest.h>
+
+#include "cell/cell_memory.hpp"
+#include "cell/processor_cell.hpp"
+
+namespace nbx {
+namespace {
+
+MemoryWord pending_word(std::uint16_t id) {
+  MemoryWord w;
+  w.instr_id = id;
+  w.op = Opcode::kAdd;
+  w.operand1 = 3;
+  w.operand2 = 4;
+  w.set_valid(true);
+  w.set_pending(true);
+  return w;
+}
+
+TEST(Scrub, CleanMemoryNeedsNoRepairs) {
+  CellMemory m(8);
+  (void)m.store(pending_word(1));
+  EXPECT_EQ(m.scrub(), 0u);
+}
+
+TEST(Scrub, RepairsSingleCorruptFieldCopy) {
+  CellMemory m(4);
+  (void)m.store(pending_word(1));
+  m.word(0).data_valid[2] = false;  // one upset
+  EXPECT_EQ(m.scrub(), 1u);
+  EXPECT_EQ(m.word(0).data_valid, (std::array<bool, 3>{true, true, true}));
+  EXPECT_EQ(m.scrub(), 0u);  // idempotent
+}
+
+TEST(Scrub, RepairsMultipleFieldsAcrossWords) {
+  CellMemory m(4);
+  (void)m.store(pending_word(1));
+  (void)m.store(pending_word(2));
+  m.word(0).to_be_computed[0] = false;
+  m.word(1).data_valid[1] = false;
+  m.word(1).to_be_computed[2] = false;
+  EXPECT_EQ(m.scrub(), 3u);
+  EXPECT_TRUE(m.word(0).pending());
+  EXPECT_FALSE(m.word(0).has_internal_disagreement());
+  EXPECT_FALSE(m.word(1).has_internal_disagreement());
+}
+
+TEST(Scrub, MajorityWinsEvenWhenWrong) {
+  // Scrubbing locks in the majority: with two copies already lost, the
+  // scrub "repairs" the remaining good copy to the (wrong) majority.
+  // That is the correct hardware behaviour — scrubbing must run often
+  // enough that double losses do not happen first.
+  CellMemory m(4);
+  (void)m.store(pending_word(1));
+  m.word(0).data_valid[0] = false;
+  m.word(0).data_valid[1] = false;
+  EXPECT_EQ(m.scrub(), 1u);
+  EXPECT_FALSE(m.word(0).valid());
+}
+
+TEST(Scrub, DoesNotTouchResultCopies) {
+  CellMemory m(4);
+  MemoryWord w = pending_word(1);
+  w.result = {1, 2, 3};  // deliberately divergent (module redundancy)
+  ASSERT_TRUE(m.store(w));
+  (void)m.scrub();
+  EXPECT_EQ(m.word(0).result, (std::array<std::uint8_t, 3>{1, 2, 3}));
+}
+
+TEST(Scrub, CellScrubsOnItsConfiguredInterval) {
+  CellConfig cfg;
+  cfg.scrub_interval = 4;
+  ProcessorCell cell(CellId{0, 0}, cfg);
+  ASSERT_TRUE(cell.memory().store(pending_word(1)));
+  cell.memory().word(0).data_valid[1] = false;
+  for (int i = 0; i < 8; ++i) {
+    cell.step();
+  }
+  EXPECT_EQ(cell.stats().scrub_repairs, 1u);
+  EXPECT_FALSE(cell.memory().word(0).has_internal_disagreement());
+}
+
+TEST(Scrub, DisabledByDefault) {
+  ProcessorCell cell(CellId{0, 0}, CellConfig{});
+  ASSERT_TRUE(cell.memory().store(pending_word(1)));
+  cell.memory().word(0).data_valid[1] = false;
+  for (int i = 0; i < 64; ++i) {
+    cell.step();
+  }
+  EXPECT_EQ(cell.stats().scrub_repairs, 0u);
+  EXPECT_TRUE(cell.memory().word(0).has_internal_disagreement());
+}
+
+TEST(Scrub, KeepsSustainedUpsetsFromAccumulating) {
+  // Statistical: under a steady upset rate, a scrubbing cell holds its
+  // triplicated fields consistent far better than a non-scrubbing one.
+  auto run = [](std::uint64_t scrub_interval) {
+    CellConfig cfg;
+    cfg.scrub_interval = scrub_interval;
+    cfg.memory_upsets_per_cycle = 0.9;
+    cfg.seed = 7;
+    cfg.memory_words = 16;  // concentrate the dose on live words
+    ProcessorCell cell(CellId{0, 0}, cfg);
+    for (std::uint16_t i = 0; i < 16; ++i) {
+      (void)cell.memory().store(pending_word(i));
+    }
+    for (int c = 0; c < 2000; ++c) {
+      cell.step();
+    }
+    // Count words whose voted valid bit was lost (double upsets won).
+    std::size_t lost = 0;
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (!cell.memory().word(i).valid()) {
+        ++lost;
+      }
+    }
+    return lost;
+  };
+  const std::size_t lost_with_scrub = run(4);
+  const std::size_t lost_without = run(0);
+  EXPECT_LT(lost_with_scrub, lost_without);
+}
+
+}  // namespace
+}  // namespace nbx

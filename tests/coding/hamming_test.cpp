@@ -1,0 +1,140 @@
+#include "coding/hamming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace nbx {
+namespace {
+
+TEST(HammingCode, CheckBitCounts) {
+  EXPECT_EQ(HammingCode::check_bits_for(1), 2u);
+  EXPECT_EQ(HammingCode::check_bits_for(4), 3u);
+  EXPECT_EQ(HammingCode::check_bits_for(11), 4u);
+  // The paper's LUT case: 16 data bits need 5 check bits -> Hamming(21,16),
+  // giving the 21-bit coded LUT of Table 2 (32 x 21 = 672 for alunh).
+  EXPECT_EQ(HammingCode::check_bits_for(16), 5u);
+  EXPECT_EQ(HammingCode::check_bits_for(26), 5u);
+  EXPECT_EQ(HammingCode::check_bits_for(57), 6u);
+}
+
+TEST(HammingCode, CleanWordDecodesAsNoError) {
+  const HammingCode code(16);
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    BitVec data(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+      data.set(i, rng.bernoulli(0.5));
+    }
+    const BitVec checks = code.generate_check_bits(data);
+    BitVec working = data;
+    EXPECT_EQ(code.detect_and_correct(working, checks),
+              HammingStatus::kNoError);
+    EXPECT_EQ(working, data);
+  }
+}
+
+TEST(HammingCode, CorrectsEverySingleDataBitError) {
+  const HammingCode code(16);
+  Rng rng(2);
+  BitVec data(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    data.set(i, rng.bernoulli(0.5));
+  }
+  const BitVec checks = code.generate_check_bits(data);
+  for (std::size_t flip = 0; flip < 16; ++flip) {
+    BitVec corrupted = data;
+    corrupted.flip(flip);
+    EXPECT_EQ(code.detect_and_correct(corrupted, checks),
+              HammingStatus::kCorrected);
+    EXPECT_EQ(corrupted, data) << "data bit " << flip;
+  }
+}
+
+TEST(HammingCode, SingleCheckBitErrorLeavesDataIntact) {
+  const HammingCode code(16);
+  BitVec data = BitVec::from_string("1010110011110000");
+  const BitVec checks = code.generate_check_bits(data);
+  for (std::size_t flip = 0; flip < code.check_bits(); ++flip) {
+    BitVec corrupted_checks = checks;
+    corrupted_checks.flip(flip);
+    BitVec working = data;
+    EXPECT_EQ(code.detect_and_correct(working, corrupted_checks),
+              HammingStatus::kCorrected);
+    EXPECT_EQ(working, data) << "check bit " << flip;
+  }
+}
+
+TEST(HammingCode, DoubleErrorsMiscorrect) {
+  // Plain SEC Hamming cannot distinguish double errors; the syndrome
+  // points somewhere (possibly wrong). This behaviour is load-bearing for
+  // the paper's alunh-worse-than-alunn result: the decode must NOT be
+  // able to restore the data.
+  const HammingCode code(16);
+  BitVec data = BitVec::from_string("0110100110010110");
+  const BitVec checks = code.generate_check_bits(data);
+  int restored = 0;
+  int total = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = i + 1; j < 16; ++j) {
+      BitVec corrupted = data;
+      corrupted.flip(i);
+      corrupted.flip(j);
+      const HammingStatus st = code.detect_and_correct(corrupted, checks);
+      EXPECT_NE(st, HammingStatus::kNoError);
+      if (corrupted == data) {
+        ++restored;
+      }
+      ++total;
+    }
+  }
+  EXPECT_EQ(restored, 0) << "SEC code repaired a double error " << restored
+                         << "/" << total << " times";
+}
+
+TEST(HammingCode, SyndromeOutsideCodewordIsUncorrectable) {
+  // Hamming(21,16) has 5 check bits, so syndromes 22..31 are invalid.
+  // Craft one: flip check bits whose positions XOR to a value > 21.
+  const HammingCode code(16);
+  BitVec data(16);
+  const BitVec checks = code.generate_check_bits(data);
+  BitVec corrupted_checks = checks;
+  // Flipping check bits at positions 2 (syndrome 2), 4 (4) and 16 (16):
+  // syndrome = 2 ^ 4 ^ 16 = 22 > 21.
+  corrupted_checks.flip(1);
+  corrupted_checks.flip(2);
+  corrupted_checks.flip(4);
+  BitVec working = data;
+  EXPECT_EQ(code.detect_and_correct(working, corrupted_checks),
+            HammingStatus::kUncorrectable);
+  EXPECT_EQ(working, data);  // untouched
+}
+
+class HammingWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HammingWidths, RoundTripAndSingleErrorCorrectionAtAnyWidth) {
+  const std::size_t width = GetParam();
+  const HammingCode code(width);
+  Rng rng(width);
+  BitVec data(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    data.set(i, rng.bernoulli(0.5));
+  }
+  const BitVec checks = code.generate_check_bits(data);
+  EXPECT_EQ(checks.size(), code.check_bits());
+  BitVec clean = data;
+  EXPECT_EQ(code.detect_and_correct(clean, checks), HammingStatus::kNoError);
+  for (std::size_t flip = 0; flip < width; ++flip) {
+    BitVec corrupted = data;
+    corrupted.flip(flip);
+    EXPECT_EQ(code.detect_and_correct(corrupted, checks),
+              HammingStatus::kCorrected);
+    EXPECT_EQ(corrupted, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HammingWidths,
+                         ::testing::Values(1, 2, 4, 8, 11, 16, 26, 32, 57));
+
+}  // namespace
+}  // namespace nbx

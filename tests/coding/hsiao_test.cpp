@@ -1,0 +1,116 @@
+#include "coding/hsiao.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace nbx {
+namespace {
+
+TEST(HsiaoCode, CheckBitsFor16DataBitsIsSix) {
+  // SEC-DED over 16 bits: r=6 gives C(6,3)+C(6,5)=20+6=26 >= 16 odd
+  // non-unit columns.
+  EXPECT_EQ(HsiaoCode::check_bits_for(16), 6u);
+}
+
+TEST(HsiaoCode, CleanWordNoError) {
+  const HsiaoCode code(16);
+  Rng rng(1);
+  for (int t = 0; t < 50; ++t) {
+    BitVec data(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+      data.set(i, rng.bernoulli(0.5));
+    }
+    const BitVec checks = code.generate_check_bits(data);
+    BitVec w = data;
+    EXPECT_EQ(code.detect_and_correct(w, checks), HsiaoStatus::kNoError);
+    EXPECT_EQ(w, data);
+  }
+}
+
+TEST(HsiaoCode, CorrectsEverySingleDataBitError) {
+  const HsiaoCode code(16);
+  BitVec data = BitVec::from_string("1100101011110001");
+  const BitVec checks = code.generate_check_bits(data);
+  for (std::size_t flip = 0; flip < 16; ++flip) {
+    BitVec corrupted = data;
+    corrupted.flip(flip);
+    EXPECT_EQ(code.detect_and_correct(corrupted, checks),
+              HsiaoStatus::kCorrected);
+    EXPECT_EQ(corrupted, data);
+  }
+}
+
+TEST(HsiaoCode, SingleCheckBitErrorIsCorrectedWithoutTouchingData) {
+  const HsiaoCode code(16);
+  BitVec data = BitVec::from_string("0000111100001111");
+  const BitVec checks = code.generate_check_bits(data);
+  for (std::size_t flip = 0; flip < code.check_bits(); ++flip) {
+    BitVec bad_checks = checks;
+    bad_checks.flip(flip);
+    BitVec w = data;
+    EXPECT_EQ(code.detect_and_correct(w, bad_checks),
+              HsiaoStatus::kCorrected);
+    EXPECT_EQ(w, data);
+  }
+}
+
+TEST(HsiaoCode, EveryDoubleDataErrorIsDetectedNotMiscorrected) {
+  // The SEC-DED property that plain Hamming lacks: all double errors
+  // yield even-weight syndromes and must never corrupt a third bit.
+  const HsiaoCode code(16);
+  BitVec data = BitVec::from_string("1010010110100101");
+  const BitVec checks = code.generate_check_bits(data);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = i + 1; j < 16; ++j) {
+      BitVec corrupted = data;
+      corrupted.flip(i);
+      corrupted.flip(j);
+      const BitVec snapshot = corrupted;
+      EXPECT_EQ(code.detect_and_correct(corrupted, checks),
+                HsiaoStatus::kDoubleDetected);
+      EXPECT_EQ(corrupted, snapshot) << "decoder modified data on a "
+                                        "detected double error";
+    }
+  }
+}
+
+TEST(HsiaoCode, MixedDataCheckDoubleErrorDetected) {
+  const HsiaoCode code(16);
+  BitVec data = BitVec::from_string("1111000011001010");
+  const BitVec checks = code.generate_check_bits(data);
+  for (std::size_t d = 0; d < 16; ++d) {
+    for (std::size_t c = 0; c < code.check_bits(); ++c) {
+      BitVec bad_data = data;
+      bad_data.flip(d);
+      BitVec bad_checks = checks;
+      bad_checks.flip(c);
+      EXPECT_EQ(code.detect_and_correct(bad_data, bad_checks),
+                HsiaoStatus::kDoubleDetected);
+    }
+  }
+}
+
+TEST(HsiaoCode, ColumnsAreDistinctAndOddWeight) {
+  // Structural sanity via behaviour: correcting distinct single-bit
+  // errors must target distinct bits (verified above); here verify the
+  // check-bit generator is linear: checks(a^b) == checks(a)^checks(b).
+  const HsiaoCode code(16);
+  Rng rng(3);
+  for (int t = 0; t < 30; ++t) {
+    BitVec a(16);
+    BitVec b(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+      a.set(i, rng.bernoulli(0.5));
+      b.set(i, rng.bernoulli(0.5));
+    }
+    BitVec a_xor_b = a;
+    a_xor_b.xor_with(b);
+    BitVec expect = code.generate_check_bits(a);
+    expect.xor_with(code.generate_check_bits(b));
+    EXPECT_EQ(code.generate_check_bits(a_xor_b), expect);
+  }
+}
+
+}  // namespace
+}  // namespace nbx

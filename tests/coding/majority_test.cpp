@@ -1,0 +1,72 @@
+#include "coding/majority.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbx {
+namespace {
+
+TEST(Majority3Bool, AllEightInputCombinations) {
+  EXPECT_FALSE(majority3(false, false, false));
+  EXPECT_FALSE(majority3(true, false, false));
+  EXPECT_FALSE(majority3(false, true, false));
+  EXPECT_FALSE(majority3(false, false, true));
+  EXPECT_TRUE(majority3(true, true, false));
+  EXPECT_TRUE(majority3(true, false, true));
+  EXPECT_TRUE(majority3(false, true, true));
+  EXPECT_TRUE(majority3(true, true, true));
+}
+
+TEST(Majority3Byte, BitwiseIndependence) {
+  EXPECT_EQ(majority3(std::uint8_t{0xFF}, std::uint8_t{0x00},
+                      std::uint8_t{0xF0}),
+            0xF0);
+  EXPECT_EQ(majority3(std::uint8_t{0xAA}, std::uint8_t{0xAA},
+                      std::uint8_t{0x55}),
+            0xAA);
+  EXPECT_EQ(majority3(std::uint8_t{0x0F}, std::uint8_t{0x33},
+                      std::uint8_t{0x55}),
+            0x17);
+}
+
+TEST(Majority3Byte, MasksSingleCorruptedCopy) {
+  const std::uint8_t truth = 0x5A;
+  for (int flip = 0; flip < 8; ++flip) {
+    const auto corrupted =
+        static_cast<std::uint8_t>(truth ^ (1u << flip));
+    EXPECT_EQ(majority3(corrupted, truth, truth), truth);
+    EXPECT_EQ(majority3(truth, corrupted, truth), truth);
+    EXPECT_EQ(majority3(truth, truth, corrupted), truth);
+  }
+}
+
+TEST(Majority3Byte, TwoAgreeingCorruptionsWin) {
+  // Majority is not magic: if two copies are identically wrong, the
+  // wrong value wins — the residual failure mode the paper's higher
+  // hierarchy levels exist to catch.
+  EXPECT_EQ(majority3(std::uint8_t{0x00}, std::uint8_t{0x01},
+                      std::uint8_t{0x01}),
+            0x01);
+}
+
+TEST(Majority3U32, WideFields) {
+  EXPECT_EQ(majority3(0xFFFF0000u, 0xFF00FF00u, 0xF0F0F0F0u), 0xFFF0F000u);
+}
+
+TEST(TmrDisagreement, DetectsAnyMismatch) {
+  EXPECT_FALSE(tmr_disagreement(1, 1, 1));
+  EXPECT_TRUE(tmr_disagreement(1, 1, 2));
+  EXPECT_TRUE(tmr_disagreement(1, 2, 1));
+  EXPECT_TRUE(tmr_disagreement(2, 1, 1));
+  EXPECT_TRUE(tmr_disagreement(1, 2, 3));
+}
+
+TEST(Majority3Bool, IsConstexpr) {
+  static_assert(majority3(true, true, false));
+  static_assert(!majority3(false, false, true));
+  static_assert(majority3(std::uint8_t{3}, std::uint8_t{1},
+                          std::uint8_t{1}) == 1);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace nbx

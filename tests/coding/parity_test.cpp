@@ -1,0 +1,45 @@
+#include "coding/parity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbx {
+namespace {
+
+TEST(Parity, BitVecParity) {
+  EXPECT_FALSE(even_parity_bit(BitVec::from_string("0000")));
+  EXPECT_TRUE(even_parity_bit(BitVec::from_string("0001")));
+  EXPECT_FALSE(even_parity_bit(BitVec::from_string("0011")));
+  EXPECT_TRUE(even_parity_bit(BitVec::from_string("0111")));
+}
+
+TEST(Parity, ByteParity) {
+  EXPECT_FALSE(even_parity_bit(std::uint8_t{0x00}));
+  EXPECT_TRUE(even_parity_bit(std::uint8_t{0x01}));
+  EXPECT_TRUE(even_parity_bit(std::uint8_t{0x80}));
+  EXPECT_FALSE(even_parity_bit(std::uint8_t{0x81}));
+  EXPECT_FALSE(even_parity_bit(std::uint8_t{0xFF}));
+}
+
+TEST(Parity, ConsistencyDetectsSingleFlips) {
+  BitVec v = BitVec::from_string("10110010");
+  const bool p = even_parity_bit(v);
+  EXPECT_TRUE(parity_consistent(v, p));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    BitVec flipped = v;
+    flipped.flip(i);
+    EXPECT_FALSE(parity_consistent(flipped, p)) << i;
+  }
+}
+
+TEST(Parity, DoubleFlipsEscapeDetection) {
+  // The fundamental parity limitation: even error multiplicities pass.
+  BitVec v = BitVec::from_string("10110010");
+  const bool p = even_parity_bit(v);
+  BitVec flipped = v;
+  flipped.flip(0);
+  flipped.flip(5);
+  EXPECT_TRUE(parity_consistent(flipped, p));
+}
+
+}  // namespace
+}  // namespace nbx

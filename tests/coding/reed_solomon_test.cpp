@@ -1,0 +1,163 @@
+#include "coding/reed_solomon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coding/gf16.hpp"
+#include "common/rng.hpp"
+
+namespace nbx {
+namespace {
+
+TEST(Gf16, FieldAxiomsSpotChecks) {
+  using namespace gf16;
+  // alpha^15 == 1, alpha generates all nonzero elements.
+  EXPECT_EQ(pow_alpha(0), 1);
+  EXPECT_EQ(pow_alpha(kOrder), 1);
+  bool seen[16] = {};
+  for (int e = 0; e < kOrder; ++e) {
+    seen[pow_alpha(e)] = true;
+  }
+  for (int v = 1; v < 16; ++v) {
+    EXPECT_TRUE(seen[v]) << v;
+  }
+  // x * inv(x) == 1.
+  for (std::uint8_t x = 1; x < 16; ++x) {
+    EXPECT_EQ(mul(x, inv(x)), 1) << int(x);
+  }
+  // Distributivity samples.
+  for (std::uint8_t a = 0; a < 16; ++a) {
+    for (std::uint8_t b = 0; b < 16; ++b) {
+      EXPECT_EQ(mul(a, add(b, 1)), add(mul(a, b), a));
+    }
+  }
+  // Known: alpha^4 = alpha + 1 = 0x3 under x^4+x+1.
+  EXPECT_EQ(pow_alpha(4), 0x3);
+}
+
+BitVec random_data(std::size_t bits, std::uint64_t seed) {
+  Rng rng(seed);
+  BitVec v(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    v.set(i, rng.bernoulli(0.5));
+  }
+  return v;
+}
+
+TEST(Rs16, CleanWordDecodesAsNoError) {
+  const Rs16Code code(16);
+  EXPECT_EQ(code.check_bits(), 8u);
+  EXPECT_EQ(code.data_symbols(), 4u);
+  for (int t = 0; t < 50; ++t) {
+    const BitVec data = random_data(16, static_cast<std::uint64_t>(t));
+    const BitVec checks = code.generate_check_bits(data);
+    BitVec w = data;
+    EXPECT_EQ(code.detect_and_correct(w, checks), RsStatus::kNoError);
+    EXPECT_EQ(w, data);
+  }
+}
+
+TEST(Rs16, CorrectsEverySingleBitError) {
+  const Rs16Code code(16);
+  const BitVec data = random_data(16, 3);
+  const BitVec checks = code.generate_check_bits(data);
+  for (std::size_t bit = 0; bit < 16; ++bit) {
+    BitVec corrupted = data;
+    corrupted.flip(bit);
+    EXPECT_EQ(code.detect_and_correct(corrupted, checks),
+              RsStatus::kCorrected);
+    EXPECT_EQ(corrupted, data) << "bit " << bit;
+  }
+}
+
+TEST(Rs16, CorrectsEveryFullSymbolError) {
+  // The RS selling point: ALL 15 nonzero corruption patterns within one
+  // 4-bit symbol are a single symbol error.
+  const Rs16Code code(16);
+  const BitVec data = random_data(16, 4);
+  const BitVec checks = code.generate_check_bits(data);
+  for (std::size_t symbol = 0; symbol < 4; ++symbol) {
+    for (std::uint8_t pattern = 1; pattern < 16; ++pattern) {
+      BitVec corrupted = data;
+      for (int b = 0; b < 4; ++b) {
+        if (pattern & (1u << b)) {
+          corrupted.flip(symbol * 4 + static_cast<std::size_t>(b));
+        }
+      }
+      EXPECT_EQ(code.detect_and_correct(corrupted, checks),
+                RsStatus::kCorrected);
+      EXPECT_EQ(corrupted, data)
+          << "symbol " << symbol << " pattern " << int(pattern);
+    }
+  }
+}
+
+TEST(Rs16, ParitySymbolErrorLeavesDataIntact) {
+  const Rs16Code code(16);
+  const BitVec data = random_data(16, 5);
+  const BitVec checks = code.generate_check_bits(data);
+  for (std::size_t bit = 0; bit < 8; ++bit) {
+    BitVec bad_checks = checks;
+    bad_checks.flip(bit);
+    BitVec w = data;
+    EXPECT_EQ(code.detect_and_correct(w, bad_checks), RsStatus::kCorrected);
+    EXPECT_EQ(w, data);
+  }
+}
+
+TEST(Rs16, TwoSymbolErrorsNeverSilentlyDecodeToTheOriginal) {
+  // Double-symbol errors either get flagged uncorrectable or miscorrect
+  // to a *different* wrong word — they must never be silently repaired,
+  // and the decoder must never crash.
+  const Rs16Code code(16);
+  const BitVec data = random_data(16, 6);
+  const BitVec checks = code.generate_check_bits(data);
+  int flagged = 0;
+  int miscorrected = 0;
+  for (std::size_t s1 = 0; s1 < 4; ++s1) {
+    for (std::size_t s2 = s1 + 1; s2 < 4; ++s2) {
+      BitVec corrupted = data;
+      corrupted.flip(s1 * 4);
+      corrupted.flip(s2 * 4 + 1);
+      const RsStatus st = code.detect_and_correct(corrupted, checks);
+      EXPECT_NE(st, RsStatus::kNoError);
+      if (st == RsStatus::kUncorrectable) {
+        ++flagged;
+      } else if (!(corrupted == data)) {
+        ++miscorrected;
+      } else {
+        FAIL() << "double error silently repaired at " << s1 << "," << s2;
+      }
+    }
+  }
+  EXPECT_EQ(flagged + miscorrected, 6);
+}
+
+TEST(Rs16, WiderDataWidths) {
+  // 52 data bits = 13 symbols + 2 parity = n 15, the GF(16) maximum.
+  const Rs16Code code(52);
+  const BitVec data = random_data(52, 7);
+  const BitVec checks = code.generate_check_bits(data);
+  BitVec clean = data;
+  EXPECT_EQ(code.detect_and_correct(clean, checks), RsStatus::kNoError);
+  for (std::size_t symbol = 0; symbol < 13; ++symbol) {
+    BitVec corrupted = data;
+    corrupted.flip(symbol * 4 + 2);
+    EXPECT_EQ(code.detect_and_correct(corrupted, checks),
+              RsStatus::kCorrected);
+    EXPECT_EQ(corrupted, data);
+  }
+}
+
+TEST(Rs16, LinearityOfCheckBits) {
+  const Rs16Code code(16);
+  const BitVec a = random_data(16, 8);
+  const BitVec b = random_data(16, 9);
+  BitVec a_xor_b = a;
+  a_xor_b.xor_with(b);
+  BitVec expect = code.generate_check_bits(a);
+  expect.xor_with(code.generate_check_bits(b));
+  EXPECT_EQ(code.generate_check_bits(a_xor_b), expect);
+}
+
+}  // namespace
+}  // namespace nbx

@@ -1,0 +1,85 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nbx {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic sequence is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, ConstantStreamHasZeroVariance) {
+  RunningStats s;
+  for (int i = 0; i < 100; ++i) {
+    s.add(3.25);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 3.25);
+  EXPECT_NEAR(s.variance(), 0.0, 1e-12);
+}
+
+TEST(RunningStats, StableUnderLargeOffsets) {
+  // Welford should not lose precision with a large common offset.
+  RunningStats s;
+  const double offset = 1e9;
+  for (const double x : {1.0, 2.0, 3.0}) {
+    s.add(offset + x);
+  }
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(Ci95, KnownQuantiles) {
+  // n = 10 (the paper's samples-per-point): t_{9, .975} = 2.262.
+  EXPECT_NEAR(ci95_half_width(10.0, 10), 2.262 * 10.0 / std::sqrt(10.0),
+              1e-9);
+  // n = 2: t_{1} = 12.706.
+  EXPECT_NEAR(ci95_half_width(1.0, 2), 12.706 / std::sqrt(2.0), 1e-9);
+  // Large n converges to the normal quantile.
+  EXPECT_NEAR(ci95_half_width(1.0, 10000), 1.96 / 100.0, 1e-6);
+}
+
+TEST(Ci95, DegenerateCases) {
+  EXPECT_EQ(ci95_half_width(5.0, 0), 0.0);
+  EXPECT_EQ(ci95_half_width(5.0, 1), 0.0);
+  EXPECT_EQ(ci95_half_width(0.0, 10), 0.0);
+}
+
+TEST(VectorHelpers, MeanAndStddev) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_EQ(stddev_of({5.0}), 0.0);
+  EXPECT_NEAR(stddev_of({1.0, 2.0, 3.0}), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nbx

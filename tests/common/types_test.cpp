@@ -1,0 +1,70 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbx {
+namespace {
+
+TEST(GoldenAlu, MatchesTable1Semantics) {
+  EXPECT_EQ(golden_alu(Opcode::kAnd, 0b1100, 0b1010), 0b1000);
+  EXPECT_EQ(golden_alu(Opcode::kOr, 0b1100, 0b1010), 0b1110);
+  EXPECT_EQ(golden_alu(Opcode::kXor, 0b1100, 0b1010), 0b0110);
+  EXPECT_EQ(golden_alu(Opcode::kAdd, 10, 20), 30);
+}
+
+TEST(GoldenAlu, AddWrapsModulo256) {
+  EXPECT_EQ(golden_alu(Opcode::kAdd, 0xFF, 0x01), 0x00);
+  EXPECT_EQ(golden_alu(Opcode::kAdd, 0xF0, 0x20), 0x10);
+  EXPECT_EQ(golden_alu(Opcode::kAdd, 0xFF, 0xFF), 0xFE);
+}
+
+TEST(GoldenAlu, PaperWorkloadExamples) {
+  // Reverse video: XOR with 0xFF inverts every bit.
+  EXPECT_EQ(golden_alu(Opcode::kXor, 0x5A, 0xFF), 0xA5);
+  // Hue shift: ADD 0x0C.
+  EXPECT_EQ(golden_alu(Opcode::kAdd, 0x10, 0x0C), 0x1C);
+}
+
+TEST(Opcode, EncodingsMatchTable1) {
+  EXPECT_EQ(static_cast<std::uint8_t>(Opcode::kAnd), 0b000);
+  EXPECT_EQ(static_cast<std::uint8_t>(Opcode::kOr), 0b001);
+  EXPECT_EQ(static_cast<std::uint8_t>(Opcode::kXor), 0b010);
+  EXPECT_EQ(static_cast<std::uint8_t>(Opcode::kAdd), 0b111);
+}
+
+TEST(Opcode, Names) {
+  EXPECT_EQ(opcode_name(Opcode::kAnd), "AND");
+  EXPECT_EQ(opcode_name(Opcode::kOr), "OR");
+  EXPECT_EQ(opcode_name(Opcode::kXor), "XOR");
+  EXPECT_EQ(opcode_name(Opcode::kAdd), "ADD");
+}
+
+TEST(Opcode, ValidityOfAllEncodings) {
+  EXPECT_TRUE(opcode_is_valid(0b000));
+  EXPECT_TRUE(opcode_is_valid(0b001));
+  EXPECT_TRUE(opcode_is_valid(0b010));
+  EXPECT_TRUE(opcode_is_valid(0b111));
+  EXPECT_FALSE(opcode_is_valid(0b011));
+  EXPECT_FALSE(opcode_is_valid(0b100));
+  EXPECT_FALSE(opcode_is_valid(0b101));
+  EXPECT_FALSE(opcode_is_valid(0b110));
+}
+
+class GoldenAluExhaustive : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(GoldenAluExhaustive, CommutativityWhereExpected) {
+  const Opcode op = GetParam();
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 0; b < 256; b += 11) {
+      const auto x = static_cast<std::uint8_t>(a);
+      const auto y = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(golden_alu(op, x, y), golden_alu(op, y, x));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, GoldenAluExhaustive,
+                         ::testing::ValuesIn(kAllOpcodes));
+
+}  // namespace
+}  // namespace nbx

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "fault/mask_generator.hpp"
+
+namespace nbx {
+namespace {
+
+TEST(BurstFaults, LengthOneBurstEqualsUniformCount) {
+  const MaskGenerator gen(1000, 2.0, FaultCountPolicy::kBurst, 1);
+  Rng rng(1);
+  const BitVec mask = gen.generate(rng);
+  EXPECT_EQ(mask.popcount(), 20u);
+}
+
+TEST(BurstFaults, FlipsArriveInContiguousRuns) {
+  const MaskGenerator gen(10000, 0.4, FaultCountPolicy::kBurst, 8);
+  Rng rng(2);
+  const BitVec mask = gen.generate(rng);
+  // 40 flips in 5 bursts of 8 (barring overlap/truncation): the number
+  // of run starts (1 preceded by 0) must be far below 40.
+  std::size_t runs = 0;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask.get(i) && (i == 0 || !mask.get(i - 1))) {
+      ++runs;
+    }
+  }
+  EXPECT_LE(runs, 5u);
+  EXPECT_GE(mask.popcount(), 30u);  // slight shortfall from overlap only
+  EXPECT_LE(mask.popcount(), 40u);
+}
+
+TEST(BurstFaults, ApproximatelyPreservesTotalCount) {
+  const MaskGenerator uniform(5040, 3.0);
+  const MaskGenerator burst(5040, 3.0, FaultCountPolicy::kBurst, 4);
+  EXPECT_EQ(uniform.faults_per_computation(),
+            burst.faults_per_computation());
+  Rng rng(3);
+  double total = 0;
+  for (int i = 0; i < 50; ++i) {
+    total += static_cast<double>(burst.generate(rng).popcount());
+  }
+  // Expected ~151 per mask; overlaps can only reduce it slightly.
+  EXPECT_NEAR(total / 50.0, 151.0, 10.0);
+}
+
+TEST(BurstFaults, TruncatesAtEndOfSiteSpace) {
+  // Tiny space, huge burst: never writes out of range (would assert in
+  // BitVec) and still sets something.
+  const MaskGenerator gen(16, 50.0, FaultCountPolicy::kBurst, 64);
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const BitVec mask = gen.generate(rng);
+    EXPECT_EQ(mask.size(), 16u);
+    EXPECT_GE(mask.popcount(), 1u);
+  }
+}
+
+TEST(BurstFaults, ZeroPercentStillClean) {
+  const MaskGenerator gen(100, 0.0, FaultCountPolicy::kBurst, 4);
+  Rng rng(5);
+  EXPECT_EQ(gen.generate(rng).popcount(), 0u);
+}
+
+}  // namespace
+}  // namespace nbx

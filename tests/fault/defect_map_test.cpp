@@ -1,0 +1,80 @@
+#include "fault/defect_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbx {
+namespace {
+
+TEST(DefectMap, FreshPartIsClean) {
+  const DefectMap map(100);
+  EXPECT_EQ(map.sites(), 100u);
+  EXPECT_EQ(map.defect_count(), 0u);
+  EXPECT_EQ(map.density(), 0.0);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(map.is_defective(i));
+    EXPECT_FALSE(map.forced_flip(i, true).has_value());
+  }
+}
+
+TEST(DefectMap, StuckAtSemantics) {
+  DefectMap map(10);
+  map.add(3, DefectKind::kStuckAt0);
+  map.add(7, DefectKind::kStuckAt1);
+  // Stuck-at-0 flips a stored 1, passes a stored 0.
+  EXPECT_EQ(map.forced_flip(3, true), std::optional<bool>(true));
+  EXPECT_EQ(map.forced_flip(3, false), std::optional<bool>(false));
+  // Stuck-at-1 flips a stored 0, passes a stored 1.
+  EXPECT_EQ(map.forced_flip(7, false), std::optional<bool>(true));
+  EXPECT_EQ(map.forced_flip(7, true), std::optional<bool>(false));
+  EXPECT_EQ(map.defect_count(), 2u);
+}
+
+TEST(DefectMap, ImposeOverridesTransients) {
+  DefectMap map(8);
+  map.add(0, DefectKind::kStuckAt1);  // golden 1 -> no flip
+  map.add(1, DefectKind::kStuckAt0);  // golden 1 -> flip
+  BitVec golden = BitVec::from_string("00000011");  // bits 0 and 1 set
+  BitVec mask(8);
+  mask.set(0, true);  // transient hit on a stuck cell: absorbed
+  mask.set(5, true);  // transient hit on a healthy cell: kept
+  map.impose(golden, mask);
+  EXPECT_FALSE(mask.get(0)) << "stuck-at-matching-value absorbs transient";
+  EXPECT_TRUE(mask.get(1)) << "stuck-at-opposite-value forces a flip";
+  EXPECT_TRUE(mask.get(5)) << "healthy sites keep their transient faults";
+}
+
+TEST(DefectMap, ManufactureDensityIsCalibrated) {
+  Rng rng(5);
+  const DefectMap map = DefectMap::manufacture(20000, 0.05, rng);
+  EXPECT_NEAR(map.density(), 0.05, 0.01);
+  // Both polarities occur.
+  int stuck1 = 0;
+  for (std::size_t i = 0; i < map.sites(); ++i) {
+    const auto f = map.forced_flip(i, false);
+    if (f.has_value() && *f) {
+      ++stuck1;
+    }
+  }
+  EXPECT_GT(stuck1, 100);
+  EXPECT_LT(stuck1, static_cast<int>(map.defect_count()) - 100);
+}
+
+TEST(DefectMap, ManufactureIsSeedDeterministic) {
+  Rng r1(9);
+  Rng r2(9);
+  const DefectMap a = DefectMap::manufacture(500, 0.1, r1);
+  const DefectMap b = DefectMap::manufacture(500, 0.1, r2);
+  EXPECT_EQ(a.defect_count(), b.defect_count());
+  for (std::size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.is_defective(i), b.is_defective(i));
+    EXPECT_EQ(a.forced_flip(i, true), b.forced_flip(i, true));
+  }
+}
+
+TEST(DefectMap, ZeroDensityManufacturesCleanPart) {
+  Rng rng(1);
+  EXPECT_EQ(DefectMap::manufacture(1000, 0.0, rng).defect_count(), 0u);
+}
+
+}  // namespace
+}  // namespace nbx

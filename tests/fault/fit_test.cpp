@@ -1,0 +1,69 @@
+#include "fault/fit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbx {
+namespace {
+
+TEST(Fit, PaperWorkedExample) {
+  // §4: 50 faults per 0.5 ns = 3.6e14 errors/hour = FIT 3.6e23.
+  const double fit = fit_from_faults_per_cycle(50.0);
+  EXPECT_NEAR(fit / 3.6e23, 1.0, 1e-9);
+}
+
+TEST(Fit, FromPercentMatchesWorkedExample) {
+  // aluss: 5040 sites, 1% -> 50.4 faults/cycle -> FIT ~3.63e23. (The
+  // paper rounds to 50 in prose; the continuous formula gives 50.4.)
+  const double fit = fit_from_percent(5040, 1.0);
+  EXPECT_NEAR(fit / 3.6288e23, 1.0, 1e-9);
+}
+
+TEST(Fit, HeadlineRates) {
+  // §5: aluss at 3% injected errors has FIT ~1e24 ("in excess of 10^24").
+  const double fit3 = fit_from_percent(5040, 3.0);
+  EXPECT_GT(fit3, 1.0e24);
+  EXPECT_LT(fit3, 1.2e24);
+}
+
+TEST(Fit, SingleFaultPerCycle) {
+  // 1 fault per 0.5ns = 7.2e12 errors/hour = 7.2e21 FIT.
+  EXPECT_NEAR(fit_from_faults_per_cycle(1.0) / 7.2e21, 1.0, 1e-12);
+}
+
+TEST(Fit, InverseRoundTrips) {
+  for (const double pct : {0.05, 1.0, 9.0, 75.0}) {
+    const double fit = fit_from_percent(672, pct);
+    EXPECT_NEAR(percent_from_fit(672, fit), pct, 1e-9);
+  }
+}
+
+TEST(Fit, OrdersOfMagnitudeAboveCmos) {
+  // The paper's "twenty orders of magnitude higher than the FIT rates of
+  // contemporary CMOS device technologies" claim: FIT 1e24 vs 5e4.
+  const double oom = orders_of_magnitude_above_cmos(1e24);
+  EXPECT_NEAR(oom, 19.3, 0.05);
+  EXPECT_GE(orders_of_magnitude_above_cmos(5e24), 20.0);
+  EXPECT_GT(orders_of_magnitude_above_cmos(6e24), 20.0);
+}
+
+TEST(Fit, ZeroFaultsZeroFit) {
+  EXPECT_EQ(fit_from_faults_per_cycle(0.0), 0.0);
+  EXPECT_EQ(fit_from_percent(5040, 0.0), 0.0);
+}
+
+TEST(Fit, ScalesLinearlyInSitesAndPercent) {
+  EXPECT_NEAR(fit_from_percent(1000, 2.0), 2.0 * fit_from_percent(1000, 1.0),
+              1e6);
+  EXPECT_NEAR(fit_from_percent(2000, 1.0), 2.0 * fit_from_percent(1000, 1.0),
+              1e6);
+}
+
+TEST(Fit, CustomClockPeriod) {
+  // Halving the clock period doubles the FIT for the same per-cycle count.
+  const double base = fit_from_faults_per_cycle(10.0, 0.5e-9);
+  const double fast = fit_from_faults_per_cycle(10.0, 0.25e-9);
+  EXPECT_NEAR(fast / base, 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nbx

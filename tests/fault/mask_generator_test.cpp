@@ -1,0 +1,107 @@
+#include "fault/mask_generator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbx {
+namespace {
+
+TEST(MaskGenerator, PaperWorkedExample) {
+  // §4: "the aluss implementation has 5040 nodes ... Injecting faults on
+  // 1 percent of these nodes would produce 50 total faults".
+  const MaskGenerator gen(5040, 1.0);
+  EXPECT_EQ(gen.faults_per_computation(), 50u);
+}
+
+TEST(MaskGenerator, RoundNearestPolicy) {
+  EXPECT_EQ(MaskGenerator(512, 1.0).faults_per_computation(), 5u);
+  EXPECT_EQ(MaskGenerator(512, 0.1).faults_per_computation(), 1u);  // 0.512
+  EXPECT_EQ(MaskGenerator(512, 0.05).faults_per_computation(), 0u);  // 0.256
+  EXPECT_EQ(MaskGenerator(192, 75.0).faults_per_computation(), 144u);
+}
+
+TEST(MaskGenerator, FloorPolicy) {
+  EXPECT_EQ(MaskGenerator(512, 0.1, FaultCountPolicy::kFloor)
+                .faults_per_computation(),
+            0u);
+  EXPECT_EQ(MaskGenerator(512, 1.0, FaultCountPolicy::kFloor)
+                .faults_per_computation(),
+            5u);
+}
+
+TEST(MaskGenerator, ZeroPercentProducesCleanMasks) {
+  const MaskGenerator gen(1000, 0.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(gen.generate(rng).popcount(), 0u);
+  }
+}
+
+TEST(MaskGenerator, ExactPopcountForCountingPolicies) {
+  Rng rng(2);
+  for (const double pct : {0.5, 1.0, 5.0, 20.0, 75.0}) {
+    const MaskGenerator gen(672, pct);
+    const std::size_t k = gen.faults_per_computation();
+    for (int i = 0; i < 20; ++i) {
+      const BitVec mask = gen.generate(rng);
+      EXPECT_EQ(mask.size(), 672u);
+      EXPECT_EQ(mask.popcount(), k) << pct;
+    }
+  }
+}
+
+TEST(MaskGenerator, HundredPercentFlipsEverything) {
+  const MaskGenerator gen(64, 100.0);
+  Rng rng(3);
+  const BitVec mask = gen.generate(rng);
+  EXPECT_EQ(mask.popcount(), 64u);
+}
+
+TEST(MaskGenerator, MasksVaryBetweenComputations) {
+  const MaskGenerator gen(5040, 1.0);
+  Rng rng(4);
+  const BitVec m1 = gen.generate(rng);
+  const BitVec m2 = gen.generate(rng);
+  EXPECT_FALSE(m1 == m2);  // 50 of 5040 colliding twice is ~impossible
+}
+
+TEST(MaskGenerator, ReuseBufferClearsOldBits) {
+  const MaskGenerator gen(100, 5.0);
+  Rng rng(5);
+  BitVec mask;
+  gen.generate(rng, mask);
+  EXPECT_EQ(mask.popcount(), 5u);
+  gen.generate(rng, mask);
+  EXPECT_EQ(mask.popcount(), 5u);  // not 10 — buffer was cleared
+}
+
+TEST(MaskGenerator, BernoulliPolicyIsCalibrated) {
+  const MaskGenerator gen(10000, 2.0, FaultCountPolicy::kBernoulli);
+  Rng rng(6);
+  double total = 0;
+  const int reps = 50;
+  for (int i = 0; i < reps; ++i) {
+    total += static_cast<double>(gen.generate(rng).popcount());
+  }
+  EXPECT_NEAR(total / reps, 200.0, 15.0);
+  EXPECT_EQ(gen.faults_per_computation(), 200u);  // expected count
+}
+
+TEST(MaskGenerator, UniformSitesCoverage) {
+  // Every site should be hit eventually — no dead zones.
+  const MaskGenerator gen(64, 25.0);
+  Rng rng(7);
+  std::vector<int> hits(64, 0);
+  for (int i = 0; i < 400; ++i) {
+    const BitVec m = gen.generate(rng);
+    for (std::size_t s = 0; s < 64; ++s) {
+      hits[s] += m.get(s) ? 1 : 0;
+    }
+  }
+  for (const int h : hits) {
+    EXPECT_GT(h, 40);  // expectation 100, generous slack
+    EXPECT_LT(h, 180);
+  }
+}
+
+}  // namespace
+}  // namespace nbx

@@ -1,0 +1,200 @@
+#include "gatesim/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "alu/cmos_core_alu.hpp"
+
+namespace nbx {
+namespace {
+
+TEST(Netlist, BasicGateEvaluation) {
+  Netlist n;
+  const Signal a = n.add_input("a");
+  const Signal b = n.add_input("b");
+  const Signal g_and = n.and2(a, b);
+  const Signal g_or = n.or2(a, b);
+  const Signal g_xor = n.xor2(a, b);
+  const Signal g_not = n.not1(a);
+  const Signal g_buf = n.buf(b);
+  EXPECT_EQ(n.node_count(), 5u);
+  for (std::uint64_t in = 0; in < 4; ++in) {
+    const auto nodes = n.evaluate(in);
+    const bool av = in & 1u;
+    const bool bv = in & 2u;
+    EXPECT_EQ(n.value_of(g_and, in, nodes), av && bv);
+    EXPECT_EQ(n.value_of(g_or, in, nodes), av || bv);
+    EXPECT_EQ(n.value_of(g_xor, in, nodes), av != bv);
+    EXPECT_EQ(n.value_of(g_not, in, nodes), !av);
+    EXPECT_EQ(n.value_of(g_buf, in, nodes), bv);
+  }
+}
+
+TEST(Netlist, Constants) {
+  Netlist n;
+  const Signal a = n.add_input("a");
+  const Signal and_zero = n.and2(a, Signal::zero());
+  const Signal or_one = n.or2(a, Signal::one());
+  for (std::uint64_t in = 0; in < 2; ++in) {
+    const auto nodes = n.evaluate(in);
+    EXPECT_FALSE(n.value_of(and_zero, in, nodes));
+    EXPECT_TRUE(n.value_of(or_one, in, nodes));
+  }
+}
+
+TEST(Netlist, WideGates) {
+  Netlist n;
+  std::vector<Signal> ins;
+  for (int i = 0; i < 8; ++i) {
+    ins.push_back(n.add_input("i" + std::to_string(i)));
+  }
+  const Signal or8 = n.add_gate(GateOp::kOrN, ins);
+  const Signal and8 = n.add_gate(GateOp::kAndN, ins);
+  const Signal xor8 = n.add_gate(GateOp::kXorN, ins);
+  EXPECT_EQ(n.node_count(), 3u);
+  {
+    const auto nodes = n.evaluate(0);
+    EXPECT_FALSE(n.value_of(or8, 0, nodes));
+    EXPECT_FALSE(n.value_of(and8, 0, nodes));
+    EXPECT_FALSE(n.value_of(xor8, 0, nodes));
+  }
+  {
+    const std::uint64_t in = 0xFF;
+    const auto nodes = n.evaluate(in);
+    EXPECT_TRUE(n.value_of(or8, in, nodes));
+    EXPECT_TRUE(n.value_of(and8, in, nodes));
+    EXPECT_FALSE(n.value_of(xor8, in, nodes));  // even parity
+  }
+  {
+    const std::uint64_t in = 0x10;
+    const auto nodes = n.evaluate(in);
+    EXPECT_TRUE(n.value_of(or8, in, nodes));
+    EXPECT_FALSE(n.value_of(and8, in, nodes));
+    EXPECT_TRUE(n.value_of(xor8, in, nodes));
+  }
+}
+
+TEST(Netlist, ChainedLogicRippleCarry) {
+  // 2-bit adder from gates: checks node-to-node dataflow.
+  Netlist n;
+  const Signal a0 = n.add_input("a0");
+  const Signal a1 = n.add_input("a1");
+  const Signal b0 = n.add_input("b0");
+  const Signal b1 = n.add_input("b1");
+  const Signal s0 = n.xor2(a0, b0);
+  const Signal c0 = n.and2(a0, b0);
+  const Signal x1 = n.xor2(a1, b1);
+  const Signal s1 = n.xor2(x1, c0);
+  const Signal c1a = n.and2(x1, c0);
+  const Signal c1b = n.and2(a1, b1);
+  const Signal cout = n.or2(c1a, c1b);
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    for (std::uint32_t b = 0; b < 4; ++b) {
+      const std::uint64_t in = (a & 1u) | ((a >> 1) << 1) | ((b & 1u) << 2) |
+                               ((b >> 1) << 3);
+      const auto nodes = n.evaluate(in);
+      const std::uint32_t sum = a + b;
+      EXPECT_EQ(n.value_of(s0, in, nodes), (sum & 1u) != 0);
+      EXPECT_EQ(n.value_of(s1, in, nodes), (sum & 2u) != 0);
+      EXPECT_EQ(n.value_of(cout, in, nodes), (sum & 4u) != 0);
+    }
+  }
+}
+
+TEST(Netlist, FaultMaskFlipsExactlyTheMaskedNode) {
+  Netlist n;
+  const Signal a = n.add_input("a");
+  const Signal b = n.add_input("b");
+  const Signal g1 = n.and2(a, b);   // node 0
+  const Signal g2 = n.not1(g1);     // node 1
+  BitVec mask(2);
+  mask.set(0, true);  // fault the AND output
+  const std::uint64_t in = 0b11;
+  const auto nodes = n.evaluate(in, MaskView(mask, 0, 2));
+  // AND output inverted: 1 -> 0; downstream NOT sees the faulted value.
+  EXPECT_FALSE(n.value_of(g1, in, nodes));
+  EXPECT_TRUE(n.value_of(g2, in, nodes));
+}
+
+TEST(Netlist, FaultOnDownstreamNodeOnly) {
+  Netlist n;
+  const Signal a = n.add_input("a");
+  const Signal b = n.add_input("b");
+  const Signal g1 = n.and2(a, b);
+  const Signal g2 = n.not1(g1);
+  BitVec mask(2);
+  mask.set(1, true);
+  const std::uint64_t in = 0b11;
+  const auto nodes = n.evaluate(in, MaskView(mask, 0, 2));
+  EXPECT_TRUE(n.value_of(g1, in, nodes));   // upstream untouched
+  EXPECT_TRUE(n.value_of(g2, in, nodes));   // NOT output inverted: 0 -> 1
+}
+
+TEST(Netlist, DoubleFaultOnPathCancels) {
+  // Fault on a node and on its single consumer's output: the consumer
+  // recomputes from the faulted input, then its own fault flips it again.
+  Netlist n;
+  const Signal a = n.add_input("a");
+  const Signal g1 = n.buf(a);
+  const Signal g2 = n.buf(g1);
+  BitVec mask(2);
+  mask.set(0, true);
+  mask.set(1, true);
+  const std::uint64_t in = 1;
+  const auto nodes = n.evaluate(in, MaskView(mask, 0, 2));
+  EXPECT_FALSE(n.value_of(g1, in, nodes));
+  EXPECT_TRUE(n.value_of(g2, in, nodes));  // double inversion restores
+}
+
+TEST(Netlist, GateCountsAndDump) {
+  Netlist n;
+  const Signal a = n.add_input("a");
+  const Signal b = n.add_input("b");
+  const Signal x = n.xor2(a, b, "x");
+  (void)n.and2(x, Signal::one(), "gate_y");
+  (void)n.not1(a);
+  (void)n.buf(b);
+  (void)n.add_gate(GateOp::kOrN, {a, b, x});
+  const Netlist::GateCounts c = n.gate_counts();
+  EXPECT_EQ(c.xors, 1u);
+  EXPECT_EQ(c.ands, 1u);
+  EXPECT_EQ(c.nots, 1u);
+  EXPECT_EQ(c.buf, 1u);
+  EXPECT_EQ(c.ors, 1u);
+  EXPECT_EQ(c.total(), n.node_count());
+  std::ostringstream os;
+  n.dump(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("2 inputs, 5 nodes"), std::string::npos);
+  EXPECT_NE(out.find("n0 = XOR(i0, i1)"), std::string::npos);
+  EXPECT_NE(out.find("# gate_y"), std::string::npos);
+  EXPECT_NE(out.find("AND(n0, 1)"), std::string::npos);
+  EXPECT_NE(out.find("OR(i0, i1, n0)"), std::string::npos);
+}
+
+TEST(Netlist, CmosAluGateInventory) {
+  // The 192-node baseline decomposes into the documented slice mix:
+  // per slice 3 inverters, 13 ANDs (incl. mux terms and carry gate),
+  // 5 ORs, 2 XORs, plus the carry-gate AND -> totals x8.
+  const CmosCoreAlu alu;
+  const Netlist::GateCounts c = alu.netlist().gate_counts();
+  EXPECT_EQ(c.total(), 192u);
+  EXPECT_EQ(c.nots, 8u * 3u);
+  EXPECT_EQ(c.xors, 8u * 2u);
+  EXPECT_EQ(c.ors, 8u * 5u);
+  EXPECT_EQ(c.ands, 8u * 14u);
+  EXPECT_EQ(c.buf, 0u);
+}
+
+TEST(Netlist, InputNamesRetained) {
+  Netlist n;
+  (void)n.add_input("alpha");
+  (void)n.add_input("beta");
+  EXPECT_EQ(n.input_count(), 2u);
+  EXPECT_EQ(n.input_name(0), "alpha");
+  EXPECT_EQ(n.input_name(1), "beta");
+}
+
+}  // namespace
+}  // namespace nbx

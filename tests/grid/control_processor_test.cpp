@@ -1,0 +1,136 @@
+#include "grid/control_processor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/image_ops.hpp"
+
+namespace nbx {
+namespace {
+
+CellConfig ideal_config() { return CellConfig{}; }
+
+TEST(ControlProcessor, SingleCellGridComputesPaperWorkload) {
+  NanoBoxGrid grid(1, 1, ideal_config());
+  ControlProcessor cp(grid);
+  const Bitmap image = Bitmap::paper_test_image();
+  // 64 pixels exceed one 32-word cell; use half the image.
+  Bitmap half(8, 4);
+  for (std::size_t i = 0; i < half.pixel_count(); ++i) {
+    half.set_pixel(i, image.pixel(i));
+  }
+  GridRunReport report;
+  const Bitmap out = cp.run_image_op(half, reverse_video_op(), {}, &report);
+  EXPECT_EQ(report.instructions, 32u);
+  EXPECT_EQ(report.results_missing, 0u);
+  EXPECT_DOUBLE_EQ(report.percent_correct, 100.0);
+  EXPECT_EQ(out, apply_golden(half, reverse_video_op()));
+}
+
+TEST(ControlProcessor, PaperImageOnTwoByTwoGrid) {
+  // The paper's 64-pixel bitmap fits a 2x2 grid of 32-word cells.
+  NanoBoxGrid grid(2, 2, ideal_config());
+  ControlProcessor cp(grid);
+  const Bitmap image = Bitmap::paper_test_image();
+  GridRunReport report;
+  const Bitmap out = cp.run_image_op(image, hue_shift_op(), {}, &report);
+  EXPECT_EQ(report.instructions, 64u);
+  EXPECT_EQ(report.results_received, 64u);
+  EXPECT_EQ(report.results_correct, 64u);
+  EXPECT_EQ(out, apply_golden(image, hue_shift_op()));
+}
+
+TEST(ControlProcessor, LargerGridSpreadsWork) {
+  NanoBoxGrid grid(4, 4, ideal_config());
+  ControlProcessor cp(grid);
+  Rng rng(3);
+  const Bitmap image = Bitmap::random(16, 8, rng);  // 128 pixels
+  GridRunReport report;
+  const Bitmap out =
+      cp.run_image_op(image, reverse_video_op(), {}, &report);
+  EXPECT_DOUBLE_EQ(report.percent_correct, 100.0);
+  EXPECT_EQ(out, apply_golden(image, reverse_video_op()));
+  // Work landed on more than one cell.
+  int busy_cells = 0;
+  for (ProcessorCell* c : grid.all_cells()) {
+    if (c->stats().instructions_computed > 0) {
+      ++busy_cells;
+    }
+  }
+  EXPECT_GE(busy_cells, 4);
+}
+
+TEST(ControlProcessor, ScatterLanesStillDeliversEverything) {
+  NanoBoxGrid grid(3, 3, ideal_config());
+  ControlProcessor cp(grid);
+  Rng rng(4);
+  const Bitmap image = Bitmap::random(9, 8, rng);  // 72 pixels
+  GridRunOptions opt;
+  opt.scatter_lanes = true;
+  GridRunReport report;
+  (void)cp.run_image_op(image, reverse_video_op(), opt, &report);
+  EXPECT_DOUBLE_EQ(report.percent_correct, 100.0);
+}
+
+TEST(ControlProcessor, ResultsKeyedByInstructionId) {
+  NanoBoxGrid grid(2, 2, ideal_config());
+  ControlProcessor cp(grid);
+  const Bitmap image = Bitmap::paper_test_image();
+  (void)cp.run_image_op(image, reverse_video_op());
+  const auto& results = cp.results();
+  EXPECT_EQ(results.size(), 64u);
+  for (const auto& [id, value] : results) {
+    EXPECT_LT(id, 64);
+    EXPECT_EQ(value, static_cast<std::uint8_t>(image.pixel(id) ^ 0xFF));
+  }
+}
+
+TEST(ControlProcessor, FailoverRecoversWorkFromKilledCell) {
+  NanoBoxGrid grid(2, 2, ideal_config());
+  ControlProcessor cp(grid);
+  const Bitmap image = Bitmap::paper_test_image();
+  GridRunOptions opt;
+  // Kill the bottom-left cell early in compute; its router survives.
+  opt.kills.push_back(KillEvent{CellId{0, 1}, 2, true});
+  opt.watchdog_interval = 8;
+  opt.compute_cycles = 400;
+  GridRunReport report;
+  const Bitmap out = cp.run_image_op(image, hue_shift_op(), opt, &report);
+  EXPECT_EQ(report.watchdog.cells_disabled, 1u);
+  EXPECT_GT(report.watchdog.words_salvaged, 0u);
+  // All instructions still complete correctly via salvage.
+  EXPECT_DOUBLE_EQ(report.percent_correct, 100.0);
+  EXPECT_EQ(out, apply_golden(image, hue_shift_op()));
+}
+
+TEST(ControlProcessor, DeadRouterLosesThatCellsPixels) {
+  NanoBoxGrid grid(2, 2, ideal_config());
+  ControlProcessor cp(grid);
+  const Bitmap image = Bitmap::paper_test_image();
+  GridRunOptions opt;
+  opt.kills.push_back(KillEvent{CellId{0, 1}, 2, /*router_survives=*/false});
+  opt.watchdog_interval = 8;
+  GridRunReport report;
+  (void)cp.run_image_op(image, hue_shift_op(), opt, &report);
+  EXPECT_EQ(report.watchdog.cells_disabled, 1u);
+  EXPECT_GT(report.results_missing, 0u);
+  EXPECT_LT(report.percent_correct, 100.0);
+  // Exactly the victim's block is missing (here: up to 32 of 64 pixels,
+  // minus any it computed before dying — it died at cycle 2).
+  EXPECT_LE(report.results_missing, 32u);
+}
+
+TEST(ControlProcessor, WatchdogDisabledMeansNoSalvage) {
+  NanoBoxGrid grid(2, 2, ideal_config());
+  ControlProcessor cp(grid);
+  const Bitmap image = Bitmap::paper_test_image();
+  GridRunOptions opt;
+  opt.kills.push_back(KillEvent{CellId{0, 1}, 2, true});
+  opt.enable_watchdog = false;
+  GridRunReport report;
+  (void)cp.run_image_op(image, hue_shift_op(), opt, &report);
+  EXPECT_EQ(report.watchdog.cells_disabled, 0u);
+  EXPECT_GT(report.results_missing, 0u);
+}
+
+}  // namespace
+}  // namespace nbx

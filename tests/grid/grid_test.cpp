@@ -1,0 +1,163 @@
+#include "grid/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbx {
+namespace {
+
+CellConfig ideal_config() {
+  CellConfig c;
+  c.alu_fault_percent = 0.0;
+  c.control_fault_percent = 0.0;
+  return c;
+}
+
+// Pushes a packet onto an edge lane and runs the grid until quiescent.
+void inject_and_settle(NanoBoxGrid& grid, std::uint8_t lane,
+                       const Packet& p, int max_cycles = 500) {
+  for (const std::uint8_t f : encode_packet(p)) {
+    grid.push_edge_flit(lane, f);
+  }
+  for (int i = 0; i < max_cycles && !grid.quiescent(); ++i) {
+    grid.step();
+  }
+  // A few extra cycles so final hand-offs complete.
+  for (int i = 0; i < 8; ++i) {
+    grid.step();
+  }
+}
+
+Packet instruction_for(CellId dest, std::uint16_t id) {
+  Packet p;
+  p.kind = PacketKind::kInstruction;
+  p.dest = dest;
+  p.instr_id = id;
+  p.op = Opcode::kAdd;
+  p.operand1 = 10;
+  p.operand2 = 20;
+  return p;
+}
+
+TEST(NanoBoxGrid, GeometryAndAddressing) {
+  NanoBoxGrid grid(4, 4, ideal_config());
+  EXPECT_EQ(grid.rows(), 4u);
+  EXPECT_EQ(grid.cols(), 4u);
+  // Top row has the maximum row address.
+  EXPECT_EQ(grid.top_cell_id(0).row, 3);
+  // Every cell knows its own ID.
+  for (std::uint8_t r = 0; r < 4; ++r) {
+    for (std::uint8_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(grid.cell(CellId{r, c}).id(), (CellId{r, c}));
+    }
+  }
+}
+
+TEST(NanoBoxGrid, PacketReachesTopRowCellOnItsOwnLane) {
+  NanoBoxGrid grid(3, 3, ideal_config());
+  grid.set_mode(CellMode::kShiftIn);
+  const CellId dest = grid.top_cell_id(1);
+  inject_and_settle(grid, 1, instruction_for(dest, 5));
+  EXPECT_EQ(grid.cell(dest).memory().occupied(), 1u);
+  EXPECT_EQ(grid.cell(dest).memory().word(0).instr_id, 5);
+}
+
+TEST(NanoBoxGrid, PacketRoutesDownTheColumn) {
+  NanoBoxGrid grid(4, 3, ideal_config());
+  grid.set_mode(CellMode::kShiftIn);
+  const CellId dest{0, 2};  // bottom row
+  inject_and_settle(grid, 2, instruction_for(dest, 8));
+  EXPECT_EQ(grid.cell(dest).memory().occupied(), 1u);
+  // Intermediate cells forwarded, not stored.
+  EXPECT_EQ(grid.cell(CellId{3, 2}).memory().occupied(), 0u);
+  EXPECT_GE(grid.cell(CellId{3, 2}).stats().packets_forwarded, 1u);
+}
+
+TEST(NanoBoxGrid, PacketRoutesAcrossColumnsWhenInjectedOnWrongLane) {
+  NanoBoxGrid grid(3, 4, ideal_config());
+  grid.set_mode(CellMode::kShiftIn);
+  const CellId dest{1, 0};  // needs horizontal then vertical hops
+  inject_and_settle(grid, 3, instruction_for(dest, 11));
+  EXPECT_EQ(grid.cell(dest).memory().occupied(), 1u);
+}
+
+TEST(NanoBoxGrid, AllCellsReachableFromEdge) {
+  NanoBoxGrid grid(4, 4, ideal_config());
+  grid.set_mode(CellMode::kShiftIn);
+  std::uint16_t id = 0;
+  for (std::uint8_t r = 0; r < 4; ++r) {
+    for (std::uint8_t c = 0; c < 4; ++c) {
+      inject_and_settle(grid, c, instruction_for(CellId{r, c}, id++));
+    }
+  }
+  for (std::uint8_t r = 0; r < 4; ++r) {
+    for (std::uint8_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(grid.cell(CellId{r, c}).memory().occupied(), 1u)
+          << int(r) << "," << int(c);
+    }
+  }
+}
+
+TEST(NanoBoxGrid, ShiftOutReachesEdgeBus) {
+  NanoBoxGrid grid(2, 2, ideal_config());
+  grid.set_mode(CellMode::kShiftIn);
+  const CellId dest{0, 0};  // bottom-right cell
+  inject_and_settle(grid, 0, instruction_for(dest, 21));
+  grid.set_mode(CellMode::kCompute);
+  for (int i = 0; i < 64; ++i) {
+    grid.step();
+  }
+  grid.set_mode(CellMode::kShiftOut);
+  PacketAssembler a;
+  std::optional<Packet> got;
+  for (int i = 0; i < 200 && !got; ++i) {
+    grid.step();
+    while (auto f = grid.pop_edge_flit(0)) {
+      if (auto p = a.push(*f)) {
+        got = p;
+      }
+    }
+  }
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->kind, PacketKind::kResult);
+  EXPECT_EQ(got->instr_id, 21);
+  EXPECT_EQ(got->result, 30);
+}
+
+TEST(NanoBoxGrid, LiveNeighboursExcludesDeadAndEdges) {
+  NanoBoxGrid grid(3, 3, ideal_config());
+  // Centre cell has 4 neighbours.
+  EXPECT_EQ(grid.live_neighbours(CellId{1, 1}).size(), 4u);
+  // Corner has 2.
+  EXPECT_EQ(grid.live_neighbours(CellId{0, 0}).size(), 2u);
+  // Kill one neighbour of the centre.
+  grid.cell(CellId{2, 1}).force_fail();
+  EXPECT_EQ(grid.live_neighbours(CellId{1, 1}).size(), 3u);
+}
+
+TEST(NanoBoxGrid, DeliverSalvageStoresDirectly) {
+  NanoBoxGrid grid(2, 2, ideal_config());
+  MemoryWord w;
+  w.instr_id = 33;
+  w.set_valid(true);
+  w.set_pending(true);
+  EXPECT_TRUE(grid.deliver_salvage(CellId{1, 1}, w));
+  EXPECT_EQ(grid.cell(CellId{1, 1}).memory().occupied(), 1u);
+}
+
+TEST(NanoBoxGrid, QuiescentInitially) {
+  NanoBoxGrid grid(3, 3, ideal_config());
+  EXPECT_TRUE(grid.quiescent());
+  grid.push_edge_flit(0, kStartMarker);
+  EXPECT_FALSE(grid.quiescent());
+}
+
+TEST(NanoBoxGrid, CycleCounterAdvances) {
+  NanoBoxGrid grid(2, 2, ideal_config());
+  for (int i = 0; i < 17; ++i) {
+    grid.step();
+  }
+  EXPECT_EQ(grid.cycle(), 17u);
+}
+
+}  // namespace
+}  // namespace nbx

@@ -1,0 +1,115 @@
+// multi_grid_test.cpp — several application-specific grids under one
+// control processor (paper §3).
+#include "grid/multi_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/image_ops.hpp"
+#include "workload/reduction.hpp"
+
+namespace nbx {
+namespace {
+
+MultiGridSystem make_system() {
+  MultiGridSystem sys;
+  ApplicationSpec video;
+  video.name = "video";
+  video.rows = 2;
+  video.cols = 2;
+  video.cell.alu_coding = LutCoding::kTmr;
+  EXPECT_TRUE(sys.add_application(video));
+  ApplicationSpec checksum;
+  checksum.name = "checksum";
+  checksum.rows = 3;
+  checksum.cols = 3;
+  checksum.cell.alu_coding = LutCoding::kNone;  // cheaper fabric
+  EXPECT_TRUE(sys.add_application(checksum));
+  return sys;
+}
+
+TEST(MultiGrid, RegistrationAndLookup) {
+  MultiGridSystem sys = make_system();
+  EXPECT_EQ(sys.applications(),
+            (std::vector<std::string>{"video", "checksum"}));
+  EXPECT_TRUE(sys.has_application("video"));
+  EXPECT_FALSE(sys.has_application("audio"));
+  // Duplicate names rejected.
+  ApplicationSpec dup;
+  dup.name = "video";
+  EXPECT_FALSE(sys.add_application(dup));
+  EXPECT_NE(sys.grid("video"), nullptr);
+  EXPECT_EQ(sys.grid("video")->rows(), 2u);
+  EXPECT_EQ(sys.grid("checksum")->rows(), 3u);
+  EXPECT_EQ(sys.grid("audio"), nullptr);
+}
+
+TEST(MultiGrid, DispatchesJobsToTheRightGrid) {
+  MultiGridSystem sys = make_system();
+  const Bitmap image = Bitmap::paper_test_image();
+  GridRunReport report;
+  const auto out = sys.run_image_op("video", image, reverse_video_op(), {},
+                                    &report);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, apply_golden(image, reverse_video_op()));
+  EXPECT_DOUBLE_EQ(report.percent_correct, 100.0);
+
+  std::vector<std::uint8_t> values(64, 3);
+  const auto checksum = sys.run_reduction("checksum", values);
+  ASSERT_TRUE(checksum.has_value());
+  EXPECT_EQ(*checksum, golden_checksum(values));
+
+  // Unknown application: no crash, no result.
+  EXPECT_FALSE(sys.run_image_op("audio", image, hue_shift_op()).has_value());
+  EXPECT_FALSE(sys.run_reduction("audio", values).has_value());
+}
+
+TEST(MultiGrid, PerApplicationAccountingIsIndependent) {
+  MultiGridSystem sys = make_system();
+  const Bitmap image = Bitmap::paper_test_image();
+  (void)sys.run_image_op("video", image, reverse_video_op());
+  (void)sys.run_image_op("video", image, hue_shift_op());
+  std::vector<std::uint8_t> values(32, 1);
+  (void)sys.run_reduction("checksum", values);
+
+  const ApplicationStats video = sys.stats("video");
+  EXPECT_EQ(video.jobs, 2u);
+  EXPECT_EQ(video.instructions, 128u);
+  EXPECT_EQ(video.instructions_correct, 128u);
+  EXPECT_DOUBLE_EQ(video.percent_correct(), 100.0);
+  EXPECT_GT(video.total_cycles, 0u);
+
+  const ApplicationStats checksum = sys.stats("checksum");
+  EXPECT_EQ(checksum.jobs, reduction_rounds(32));  // one job per round
+  EXPECT_GT(checksum.instructions, 0u);
+
+  EXPECT_EQ(sys.stats("audio").jobs, 0u);
+}
+
+TEST(MultiGrid, HealthReflectsCellFailures) {
+  MultiGridSystem sys = make_system();
+  EXPECT_EQ(sys.health("video"), (std::pair<std::size_t, std::size_t>{4, 4}));
+  EXPECT_EQ(sys.health("checksum"),
+            (std::pair<std::size_t, std::size_t>{9, 9}));
+  // A cell death in one application leaves the other's health intact.
+  GridRunOptions opt;
+  opt.watchdog_interval = 8;
+  opt.compute_cycles = 400;
+  opt.kills = {KillEvent{CellId{0, 0}, 3, true}};
+  GridRunReport report;
+  (void)sys.run_image_op("video", Bitmap::paper_test_image(),
+                         hue_shift_op(), opt, &report);
+  EXPECT_EQ(report.watchdog.cells_disabled, 1u);
+  EXPECT_EQ(sys.health("video"),
+            (std::pair<std::size_t, std::size_t>{3, 4}));
+  EXPECT_EQ(sys.health("checksum"),
+            (std::pair<std::size_t, std::size_t>{9, 9}));
+  EXPECT_EQ(sys.stats("video").cells_disabled, 1u);
+  // The degraded grid still serves jobs on its survivors.
+  GridRunReport second;
+  (void)sys.run_image_op("video", Bitmap::paper_test_image(),
+                         reverse_video_op(), {}, &second);
+  EXPECT_DOUBLE_EQ(second.percent_correct, 100.0);
+}
+
+}  // namespace
+}  // namespace nbx

@@ -1,0 +1,120 @@
+// trace_test.cpp — event tracing through a full grid run.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "grid/control_processor.hpp"
+#include "workload/image_ops.hpp"
+
+namespace nbx {
+namespace {
+
+TEST(Trace, EventNames) {
+  EXPECT_EQ(trace_event_name(TraceEvent::kComputed), "computed");
+  EXPECT_EQ(trace_event_name(TraceEvent::kPacketStored), "stored");
+  EXPECT_EQ(trace_event_name(TraceEvent::kCellDisabled), "cell-disabled");
+}
+
+TEST(Trace, RecordsFullPixelLifecycle) {
+  NanoBoxGrid grid(2, 2, CellConfig{});
+  TraceSink trace;
+  grid.attach_trace(&trace);
+  ControlProcessor cp(grid);
+  const Bitmap image = Bitmap::paper_test_image();
+  GridRunReport report;
+  (void)cp.run_image_op(image, reverse_video_op(), {}, &report);
+  ASSERT_DOUBLE_EQ(report.percent_correct, 100.0);
+
+  // Every pixel was stored, computed and emitted exactly once.
+  EXPECT_EQ(trace.count(TraceEvent::kPacketStored), 64u);
+  EXPECT_EQ(trace.count(TraceEvent::kComputed), 64u);
+  EXPECT_EQ(trace.count(TraceEvent::kResultEmitted), 64u);
+  // Three mode changes per run (shift-in, compute, shift-out).
+  EXPECT_EQ(trace.count(TraceEvent::kModeChange), 3u);
+  EXPECT_EQ(trace.count(TraceEvent::kCellDisabled), 0u);
+
+  // The life of pixel 17: stored -> computed -> emitted, in causal
+  // order, all at one cell; any forwards happen before the store.
+  const auto history = trace.history_of(17);
+  ASSERT_GE(history.size(), 3u);
+  std::uint64_t stored_cycle = 0;
+  std::uint64_t computed_cycle = 0;
+  std::uint64_t emitted_cycle = 0;
+  CellId home{};
+  for (const TraceRecord& r : history) {
+    if (r.event == TraceEvent::kPacketStored) {
+      stored_cycle = r.cycle;
+      home = r.cell;
+    } else if (r.event == TraceEvent::kComputed) {
+      computed_cycle = r.cycle;
+      EXPECT_EQ(r.cell, home);
+    } else if (r.event == TraceEvent::kResultEmitted) {
+      emitted_cycle = r.cycle;
+      EXPECT_EQ(r.cell, home);
+    }
+  }
+  EXPECT_LT(stored_cycle, computed_cycle);
+  EXPECT_LT(computed_cycle, emitted_cycle);
+}
+
+TEST(Trace, RecordsFailoverEvents) {
+  NanoBoxGrid grid(2, 2, CellConfig{});
+  TraceSink trace;
+  grid.attach_trace(&trace);
+  ControlProcessor cp(grid);
+  GridRunOptions opt;
+  opt.watchdog_interval = 8;
+  opt.compute_cycles = 400;
+  opt.kills = {KillEvent{CellId{0, 0}, 3, true}};
+  GridRunReport report;
+  (void)cp.run_image_op(Bitmap::paper_test_image(), hue_shift_op(), opt,
+                        &report);
+  EXPECT_EQ(trace.count(TraceEvent::kCellDisabled), 1u);
+  EXPECT_GT(trace.count(TraceEvent::kWordSalvaged), 0u);
+  EXPECT_EQ(trace.count(TraceEvent::kWordSalvaged),
+            report.watchdog.words_salvaged);
+  // The disable record points at the victim.
+  for (const TraceRecord& r : trace.records()) {
+    if (r.event == TraceEvent::kCellDisabled) {
+      EXPECT_EQ(r.cell, (CellId{0, 0}));
+    }
+  }
+}
+
+TEST(Trace, PerCellQueryAndSummary) {
+  NanoBoxGrid grid(2, 2, CellConfig{});
+  TraceSink trace;
+  grid.attach_trace(&trace);
+  ControlProcessor cp(grid);
+  (void)cp.run_image_op(Bitmap::paper_test_image(), reverse_video_op());
+  const CellId top_left{1, 1};
+  const auto at_cell = trace.at_cell(top_left);
+  EXPECT_FALSE(at_cell.empty());
+  for (const TraceRecord& r : at_cell) {
+    EXPECT_EQ(r.cell, top_left);
+  }
+  std::ostringstream os;
+  trace.summarize(os);
+  EXPECT_NE(os.str().find("stored"), std::string::npos);
+  EXPECT_NE(os.str().find("computed"), std::string::npos);
+  std::ostringstream dump;
+  trace.dump(dump, 5);
+  EXPECT_NE(dump.str().find("cycle"), std::string::npos);
+  EXPECT_NE(dump.str().find("more)"), std::string::npos);
+}
+
+TEST(Trace, DetachStopsRecording) {
+  NanoBoxGrid grid(1, 1, CellConfig{});
+  TraceSink trace;
+  grid.attach_trace(&trace);
+  grid.set_mode(CellMode::kCompute);
+  EXPECT_EQ(trace.count(TraceEvent::kModeChange), 1u);
+  grid.attach_trace(nullptr);
+  grid.set_mode(CellMode::kShiftOut);
+  EXPECT_EQ(trace.count(TraceEvent::kModeChange), 1u);
+  trace.clear();
+  EXPECT_TRUE(trace.records().empty());
+}
+
+}  // namespace
+}  // namespace nbx

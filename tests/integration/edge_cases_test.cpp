@@ -1,0 +1,134 @@
+// edge_cases_test.cpp — boundary geometries and degenerate inputs across
+// the stack.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "alu/alu_factory.hpp"
+#include "grid/control_processor.hpp"
+#include "workload/image_ops.hpp"
+
+namespace nbx {
+namespace {
+
+TEST(EdgeCases, OneByOneGrid) {
+  NanoBoxGrid grid(1, 1, CellConfig{});
+  ControlProcessor cp(grid);
+  Bitmap tiny(4, 4);
+  for (std::size_t i = 0; i < 16; ++i) {
+    tiny.set_pixel(i, static_cast<std::uint8_t>(i * 16));
+  }
+  GridRunReport report;
+  const Bitmap out = cp.run_image_op(tiny, reverse_video_op(), {}, &report);
+  EXPECT_DOUBLE_EQ(report.percent_correct, 100.0);
+  EXPECT_EQ(out, apply_golden(tiny, reverse_video_op()));
+}
+
+TEST(EdgeCases, SingleRowGrid) {
+  // 1 x 8: all routing is horizontal after the edge bus.
+  NanoBoxGrid grid(1, 8, CellConfig{});
+  ControlProcessor cp(grid);
+  Rng rng(1);
+  const Bitmap image = Bitmap::random(16, 8, rng);  // 128 px over 8 cells
+  GridRunReport report;
+  (void)cp.run_image_op(image, hue_shift_op(), {}, &report);
+  EXPECT_DOUBLE_EQ(report.percent_correct, 100.0);
+}
+
+TEST(EdgeCases, SingleColumnGrid) {
+  // 8 x 1: all routing is vertical.
+  NanoBoxGrid grid(8, 1, CellConfig{});
+  ControlProcessor cp(grid);
+  Rng rng(2);
+  const Bitmap image = Bitmap::random(16, 8, rng);
+  GridRunReport report;
+  (void)cp.run_image_op(image, reverse_video_op(), {}, &report);
+  EXPECT_DOUBLE_EQ(report.percent_correct, 100.0);
+}
+
+TEST(EdgeCases, MaximumGridGeometry) {
+  // The addressing scheme caps at 15 rows x 16 columns.
+  NanoBoxGrid grid(15, 16, CellConfig{});
+  EXPECT_EQ(grid.rows(), 15u);
+  EXPECT_EQ(grid.cols(), 16u);
+  ControlProcessor cp(grid);
+  const Bitmap image = Bitmap::paper_test_image();
+  GridRunReport report;
+  (void)cp.run_image_op(image, hue_shift_op(), {}, &report);
+  EXPECT_DOUBLE_EQ(report.percent_correct, 100.0);
+}
+
+TEST(EdgeCases, EmptyInstructionStream) {
+  NanoBoxGrid grid(2, 2, CellConfig{});
+  ControlProcessor cp(grid);
+  const GridRunReport report = cp.run({});
+  EXPECT_EQ(report.instructions, 0u);
+  EXPECT_DOUBLE_EQ(report.percent_correct, 100.0);
+  EXPECT_EQ(report.results_missing, 0u);
+}
+
+TEST(EdgeCases, ExtremeOperandsThroughEveryTable2Alu) {
+  const std::pair<std::uint8_t, std::uint8_t> corners[] = {
+      {0x00, 0x00}, {0xFF, 0xFF}, {0x00, 0xFF}, {0xFF, 0x00},
+      {0x80, 0x80}, {0x01, 0xFF}};
+  for (const AluSpec& spec : table2_specs()) {
+    const auto alu = make_alu(spec.name);
+    for (const Opcode op : kAllOpcodes) {
+      for (const auto& [a, b] : corners) {
+        EXPECT_EQ(alu->compute(op, a, b, MaskView{}).value,
+                  golden_alu(op, a, b))
+            << spec.name;
+      }
+    }
+  }
+}
+
+TEST(EdgeCases, PgmRoundTrip) {
+  const Bitmap original = Bitmap::gradient(13, 7);  // odd dimensions
+  const std::string path = ::testing::TempDir() + "/nbx_roundtrip.pgm";
+  ASSERT_TRUE(original.save_pgm(path));
+  const auto loaded = Bitmap::load_pgm(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, original);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeCases, PgmLoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/nbx_bad.pgm";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("P6\n2 2\n255\nxxxx", f);  // wrong magic
+    std::fclose(f);
+  }
+  EXPECT_FALSE(Bitmap::load_pgm(path).has_value());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("P5\n4 4\n255\nab", f);  // truncated payload
+    std::fclose(f);
+  }
+  EXPECT_FALSE(Bitmap::load_pgm(path).has_value());
+  EXPECT_FALSE(Bitmap::load_pgm(::testing::TempDir() + "/absent.pgm")
+                   .has_value());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeCases, PgmLoadSkipsComments) {
+  const std::string path = ::testing::TempDir() + "/nbx_comment.pgm";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("P5\n# created by nanobox\n2 1\n255\nAB", f);
+    std::fclose(f);
+  }
+  const auto loaded = Bitmap::load_pgm(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->width(), 2u);
+  EXPECT_EQ(loaded->pixel(0), 'A');
+  EXPECT_EQ(loaded->pixel(1), 'B');
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nbx

@@ -1,0 +1,169 @@
+#include "lut/hw_lut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "alu/hw_core_alu.hpp"
+#include "common/rng.hpp"
+#include "lut/truth_table.hpp"
+
+namespace nbx {
+namespace {
+
+BitVec random_tt(std::uint64_t seed) {
+  Rng rng(seed);
+  return build_truth_table(4,
+                           [&](std::uint32_t) { return rng.bernoulli(0.5); });
+}
+
+TEST(HwTmrLut, StructureCounts) {
+  const HwTmrLut lut(random_tt(1));
+  EXPECT_EQ(lut.storage_sites(), 48u);
+  // 4 inverters + 16 minterms + 3x(16 AND + OR) + 5 majority gates.
+  EXPECT_EQ(lut.logic_sites(), 76u);
+  EXPECT_EQ(lut.fault_sites(), 124u);
+  EXPECT_EQ(lut.netlist().input_count(), 52u);
+}
+
+TEST(HwTmrLut, FaultFreeMatchesTruthTable) {
+  const BitVec tt = random_tt(2);
+  const HwTmrLut lut{BitVec(tt)};
+  for (std::uint32_t a = 0; a < 16; ++a) {
+    EXPECT_EQ(lut.read(a, MaskView{}), tt.get(a)) << a;
+  }
+}
+
+TEST(HwTmrLut, MasksAnySingleStorageFault) {
+  const BitVec tt = random_tt(3);
+  const HwTmrLut lut{BitVec(tt)};
+  for (std::size_t site = 0; site < 48; ++site) {
+    BitVec mask(lut.fault_sites());
+    mask.set(site, true);
+    for (std::uint32_t a = 0; a < 16; ++a) {
+      EXPECT_EQ(lut.read(a, MaskView(mask, 0, mask.size())), tt.get(a))
+          << "storage " << site << " addr " << a;
+    }
+  }
+}
+
+TEST(HwTmrLut, SingleReadPathFaultsCanCorruptTheOutput) {
+  // The whole point of the hardware model: unlike storage faults, a
+  // fault in the majority corrector or shared decoder is NOT masked.
+  const BitVec tt = random_tt(4);
+  const HwTmrLut lut{BitVec(tt)};
+  int corrupting_sites = 0;
+  for (std::size_t node = 48; node < lut.fault_sites(); ++node) {
+    BitVec mask(lut.fault_sites());
+    mask.set(node, true);
+    for (std::uint32_t a = 0; a < 16; ++a) {
+      if (lut.read(a, MaskView(mask, 0, mask.size())) != tt.get(a)) {
+        ++corrupting_sites;
+        break;
+      }
+    }
+  }
+  // The shared decode (4 inverters + the 16 minterms, one per address)
+  // and the majority tail are critical; per-copy mux faults are
+  // outvoted. For a random table roughly the decoder's inverters, the
+  // addressed minterms and the 3 tail gates corrupt — ensure a healthy
+  // fraction does.
+  EXPECT_GT(corrupting_sites, 12);
+  EXPECT_LT(corrupting_sites, 40);
+}
+
+TEST(HwTmrLut, MajorityOutputNodeFaultAlwaysFlips) {
+  const BitVec tt = random_tt(5);
+  const HwTmrLut lut{BitVec(tt)};
+  // The last node is the final majority OR.
+  BitVec mask(lut.fault_sites());
+  mask.set(lut.fault_sites() - 1, true);
+  for (std::uint32_t a = 0; a < 16; ++a) {
+    EXPECT_EQ(lut.read(a, MaskView(mask, 0, mask.size())), !tt.get(a));
+  }
+}
+
+TEST(HwTmrLut, SingleCopyMuxFaultIsOutvoted) {
+  // A fault in one copy's output OR (node index 48-storage... compute:
+  // logic node order: 4 NOT, 16 minterm, then per copy 16 AND + 1 OR).
+  const BitVec tt = random_tt(6);
+  const HwTmrLut lut{BitVec(tt)};
+  const std::size_t copy0_or = 48 + 4 + 16 + 16;  // copy 0's wide OR node
+  BitVec mask(lut.fault_sites());
+  mask.set(copy0_or, true);
+  for (std::uint32_t a = 0; a < 16; ++a) {
+    EXPECT_EQ(lut.read(a, MaskView(mask, 0, mask.size())), tt.get(a)) << a;
+  }
+}
+
+TEST(HwLutCoreAlu, FaultFreeMatchesGolden) {
+  const HwLutCoreAlu alu;
+  EXPECT_EQ(alu.fault_sites(), 32u * 124u);
+  EXPECT_EQ(alu.storage_sites(), 32u * 48u);
+  for (const Opcode op : kAllOpcodes) {
+    for (int a = 0; a < 256; a += 23) {
+      for (int b = 0; b < 256; b += 29) {
+        const auto x = static_cast<std::uint8_t>(a);
+        const auto y = static_cast<std::uint8_t>(b);
+        ASSERT_EQ(alu.eval(op, x, y, MaskView{}, nullptr),
+                  golden_alu(op, x, y));
+      }
+    }
+  }
+}
+
+TEST(HwLutCoreAlu, StorageFaultsAreMaskedLikeBehaviouralTmr) {
+  const HwLutCoreAlu alu;
+  Rng rng(7);
+  // Sparse random single-storage-bit faults never corrupt the output.
+  for (int trial = 0; trial < 40; ++trial) {
+    BitVec mask(alu.fault_sites());
+    const std::size_t lut = static_cast<std::size_t>(rng.below(32));
+    const std::size_t bit = static_cast<std::size_t>(rng.below(48));
+    mask.set(lut * 124 + bit, true);
+    const auto a = static_cast<std::uint8_t>(rng.below(256));
+    const auto b = static_cast<std::uint8_t>(rng.below(256));
+    const Opcode op = kAllOpcodes[rng.below(4)];
+    EXPECT_EQ(alu.eval(op, a, b, MaskView(mask, 0, mask.size()), nullptr),
+              golden_alu(op, a, b));
+  }
+}
+
+TEST(HwRecursiveTmrLut, StructureAndFaultFreeReads) {
+  const BitVec tt = random_tt(8);
+  const HwRecursiveTmrLut lut{BitVec(tt)};
+  EXPECT_EQ(lut.replica_sites(), 124u);
+  EXPECT_EQ(lut.fault_sites(), 3u * 124u + 5u);
+  for (std::uint32_t a = 0; a < 16; ++a) {
+    EXPECT_EQ(lut.read(a, MaskView{}), tt.get(a));
+  }
+}
+
+TEST(HwRecursiveTmrLut, MasksAnySingleFaultExceptFinalMajorityTail) {
+  // The recursion closes the hole: any single fault inside a replica —
+  // storage, decoder, mux, or that replica's own majority — is outvoted
+  // by the other two replicas. Only the 5-gate final majority remains
+  // exposed.
+  const BitVec tt = random_tt(9);
+  const HwRecursiveTmrLut lut{BitVec(tt)};
+  const std::size_t replica_span = 3 * lut.replica_sites();
+  for (std::size_t site = 0; site < replica_span; ++site) {
+    BitVec mask(lut.fault_sites());
+    mask.set(site, true);
+    for (std::uint32_t a = 0; a < 16; ++a) {
+      ASSERT_EQ(lut.read(a, MaskView(mask, 0, mask.size())), tt.get(a))
+          << "site " << site << " addr " << a;
+    }
+  }
+}
+
+TEST(HwRecursiveTmrLut, FinalMajorityOutputNodeStillSinglePointOfFailure) {
+  const BitVec tt = random_tt(10);
+  const HwRecursiveTmrLut lut{BitVec(tt)};
+  BitVec mask(lut.fault_sites());
+  mask.set(lut.fault_sites() - 1, true);  // the output OR node
+  for (std::uint32_t a = 0; a < 16; ++a) {
+    EXPECT_EQ(lut.read(a, MaskView(mask, 0, mask.size())), !tt.get(a));
+  }
+}
+
+}  // namespace
+}  // namespace nbx

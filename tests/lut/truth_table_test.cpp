@@ -1,0 +1,53 @@
+#include "lut/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbx {
+namespace {
+
+TEST(TruthTable, BuildsCorrectSize) {
+  EXPECT_EQ(build_truth_table(1, [](std::uint32_t) { return true; }).size(),
+            2u);
+  EXPECT_EQ(build_truth_table(4, [](std::uint32_t) { return false; }).size(),
+            16u);
+  EXPECT_EQ(build_truth_table(6, [](std::uint32_t) { return false; }).size(),
+            64u);
+}
+
+TEST(TruthTable, IndexingConvention) {
+  // f(in) = bit0 of in: entries with odd address are 1.
+  const BitVec tt =
+      build_truth_table(3, [](std::uint32_t in) { return (in & 1u) != 0; });
+  for (std::uint32_t a = 0; a < 8; ++a) {
+    EXPECT_EQ(tt.get(a), (a & 1u) != 0) << a;
+  }
+}
+
+TEST(TruthTable, And2PaddedIgnoresExtraInputs) {
+  const BitVec tt = tt_and2(4);
+  for (std::uint32_t a = 0; a < 16; ++a) {
+    const bool expect = (a & 1u) && (a & 2u);
+    EXPECT_EQ(tt.get(a), expect) << a;
+  }
+}
+
+TEST(TruthTable, Or2AndXor2) {
+  const BitVec or_tt = tt_or2(2);
+  EXPECT_EQ(or_tt.to_string(), "1110");
+  const BitVec xor_tt = tt_xor2(2);
+  EXPECT_EQ(xor_tt.to_string(), "0110");
+}
+
+TEST(TruthTable, Majority3MatchesFormula) {
+  const BitVec tt = tt_majority3(4);
+  for (std::uint32_t a = 0; a < 16; ++a) {
+    const bool x = a & 1u;
+    const bool y = a & 2u;
+    const bool z = a & 4u;
+    const bool expect = (x && y) || (y && z) || (x && z);
+    EXPECT_EQ(tt.get(a), expect) << a;
+  }
+}
+
+}  // namespace
+}  // namespace nbx

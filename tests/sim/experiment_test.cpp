@@ -1,0 +1,122 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alu/alu_factory.hpp"
+#include "fault/sweep.hpp"
+
+namespace nbx {
+namespace {
+
+TEST(Experiment, ZeroFaultTrialIsPerfect) {
+  const auto alu = make_alu("alunn");
+  const auto streams = paper_streams();
+  Rng rng(1);
+  TrialConfig cfg;
+  cfg.fault_percent = 0.0;
+  const TrialResult r = run_trial(*alu, streams[0], cfg, rng);
+  EXPECT_EQ(r.instructions, 64u);
+  EXPECT_EQ(r.incorrect, 0u);
+  EXPECT_DOUBLE_EQ(r.percent_correct, 100.0);
+}
+
+TEST(Experiment, HighFaultTrialIsImperfect) {
+  const auto alu = make_alu("aluncmos");
+  const auto streams = paper_streams();
+  Rng rng(2);
+  TrialConfig cfg;
+  cfg.fault_percent = 50.0;
+  const TrialResult r = run_trial(*alu, streams[0], cfg, rng);
+  EXPECT_GT(r.incorrect, 32u);
+  EXPECT_LT(r.percent_correct, 50.0);
+}
+
+TEST(Experiment, DataPointAveragesTenSamples) {
+  // 5 trials x 2 workloads = 10 samples per plotted point (§4/§5).
+  const auto alu = make_alu("alunn");
+  const auto streams = paper_streams();
+  const DataPoint p = run_data_point(*alu, streams, 1.0,
+                                     kPaperTrialsPerWorkload, 42);
+  EXPECT_EQ(p.samples, 10u);
+  EXPECT_EQ(p.alu, "alunn");
+  EXPECT_EQ(p.fault_percent, 1.0);
+  EXPECT_GE(p.mean_percent_correct, 0.0);
+  EXPECT_LE(p.mean_percent_correct, 100.0);
+}
+
+TEST(Experiment, DataPointCarriesConfidenceInterval) {
+  const auto alu = make_alu("alunn");
+  const auto streams = paper_streams();
+  const DataPoint p = run_data_point(*alu, streams, 3.0, 5, 42);
+  // 10 noisy samples: the CI half-width is positive and consistent with
+  // the reported stddev (t_{9} = 2.262).
+  EXPECT_GT(p.stddev, 0.0);
+  EXPECT_NEAR(p.ci95, 2.262 * p.stddev / std::sqrt(10.0), 1e-9);
+  // A zero-fault point has zero spread and zero CI.
+  const DataPoint clean = run_data_point(*alu, streams, 0.0, 5, 42);
+  EXPECT_EQ(clean.ci95, 0.0);
+}
+
+TEST(Experiment, DataPointsAreDeterministic) {
+  const auto alu = make_alu("aluns");
+  const auto streams = paper_streams();
+  const DataPoint a = run_data_point(*alu, streams, 3.0, 5, 7);
+  const DataPoint b = run_data_point(*alu, streams, 3.0, 5, 7);
+  EXPECT_EQ(a.mean_percent_correct, b.mean_percent_correct);
+  EXPECT_EQ(a.stddev, b.stddev);
+}
+
+TEST(Experiment, SweepProducesOnePointPerPercent) {
+  const auto alu = make_alu("alunn");
+  const auto streams = paper_streams();
+  const std::vector<double> percents = {0.0, 1.0, 10.0};
+  const auto points = run_sweep(*alu, streams, percents, 2, 1);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].fault_percent, 0.0);
+  EXPECT_DOUBLE_EQ(points[0].mean_percent_correct, 100.0);
+  EXPECT_GE(points[1].mean_percent_correct,
+            points[2].mean_percent_correct - 5.0);
+}
+
+TEST(Experiment, PaperStreamsShape) {
+  const auto streams = paper_streams();
+  ASSERT_EQ(streams.size(), 2u);  // reverse video + hue shift
+  EXPECT_EQ(streams[0].size(), 64u);
+  EXPECT_EQ(streams[1].size(), 64u);
+  EXPECT_EQ(streams[0][0].op, Opcode::kXor);
+  EXPECT_EQ(streams[1][0].op, Opcode::kAdd);
+}
+
+TEST(Experiment, DatapathOnlyScopeSparesTheVoter) {
+  // Ablation plumbing: with InjectionScope::kDatapathOnly the voter and
+  // storage segments never receive faults. At a violent fault rate the
+  // space ALU's accuracy should be no worse than with full-scope faults.
+  const auto alu = make_alu("alusn");
+  const auto streams = paper_streams();
+  const std::size_t datapath = 3 * 512;
+  const DataPoint full = run_data_point(*alu, streams, 8.0, 5, 3,
+                                        FaultCountPolicy::kRoundNearest,
+                                        InjectionScope::kAll);
+  const DataPoint spared = run_data_point(*alu, streams, 8.0, 5, 3,
+                                          FaultCountPolicy::kRoundNearest,
+                                          InjectionScope::kDatapathOnly,
+                                          datapath);
+  EXPECT_GE(spared.mean_percent_correct, full.mean_percent_correct - 3.0);
+}
+
+TEST(Experiment, StatsTelemetryFlowsThrough) {
+  const auto alu = make_alu("aluns");
+  const auto streams = paper_streams();
+  Rng rng(5);
+  TrialConfig cfg;
+  cfg.fault_percent = 5.0;
+  const TrialResult r = run_trial(*alu, streams[0], cfg, rng);
+  EXPECT_EQ(r.stats.computations, 64u);
+  EXPECT_GT(r.stats.lut.accesses, 0u);
+  EXPECT_GT(r.stats.lut.tmr_disagreements, 0u);
+}
+
+}  // namespace
+}  // namespace nbx

@@ -1,0 +1,99 @@
+#include "sim/figure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "fault/sweep.hpp"
+
+namespace nbx {
+namespace {
+
+TEST(FigureSpecs, MatchPaperLegends) {
+  const FigureSpec f7 = figure7_spec();
+  EXPECT_EQ(f7.id, "fig7");
+  EXPECT_EQ(f7.module, ModuleLevel::kNone);
+  EXPECT_EQ(f7.alus,
+            (std::vector<std::string>{"aluncmos", "alunh", "alunn", "aluns"}));
+  const FigureSpec f8 = figure8_spec();
+  EXPECT_EQ(f8.module, ModuleLevel::kTime);
+  EXPECT_EQ(f8.alus[0], "alutcmos");
+  const FigureSpec f9 = figure9_spec();
+  EXPECT_EQ(f9.module, ModuleLevel::kSpace);
+  EXPECT_EQ(f9.alus[3], "aluss");
+  EXPECT_EQ(all_figure_specs().size(), 3u);
+}
+
+TEST(Figure, RunFigureSmokeSweep) {
+  const std::vector<double> percents = {0.0, 5.0};
+  const FigureResult fig = run_figure(figure7_spec(), percents, 1, 9);
+  ASSERT_EQ(fig.series.size(), 4u);
+  for (const auto& series : fig.series) {
+    ASSERT_EQ(series.size(), 2u);
+    EXPECT_DOUBLE_EQ(series[0].mean_percent_correct, 100.0);
+  }
+}
+
+TEST(Figure, PrintFigureProducesTable) {
+  const FigureResult fig = run_figure(figure7_spec(), {0.0}, 1, 9);
+  std::ostringstream os;
+  print_figure(os, fig);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("fig7"), std::string::npos);
+  EXPECT_NE(out.find("aluncmos"), std::string::npos);
+  EXPECT_NE(out.find("aluns"), std::string::npos);
+  EXPECT_NE(out.find("100.00"), std::string::npos);
+}
+
+TEST(Figure, CsvHasHeaderAndRows) {
+  const FigureResult fig = run_figure(figure7_spec(), {0.0, 1.0}, 1, 9);
+  std::ostringstream os;
+  write_figure_csv(os, fig);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("fault%,aluncmos"), std::string::npos);
+  // Header + 2 data rows = 3 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(PaperAnchors, AllAnchorsReferToKnownFiguresAndAlus) {
+  const auto figs = all_figure_specs();
+  for (const PaperAnchor& a : paper_anchors()) {
+    bool found = false;
+    for (const FigureSpec& f : figs) {
+      if (f.id != a.figure) {
+        continue;
+      }
+      for (const std::string& alu : f.alus) {
+        if (alu == a.alu) {
+          found = true;
+        }
+      }
+    }
+    EXPECT_TRUE(found) << a.figure << "/" << a.alu;
+    EXPECT_LE(a.min_percent_correct, a.max_percent_correct);
+    // Every anchor percent is one of the paper's 18 sweep points.
+    bool pct_known = false;
+    for (const double p : kPaperFaultPercentages) {
+      if (p == a.fault_percent) {
+        pct_known = true;
+      }
+    }
+    EXPECT_TRUE(pct_known) << a.fault_percent;
+  }
+}
+
+TEST(PaperAnchors, LookupMeasuredFindsValues) {
+  const FigureResult fig = run_figure(figure7_spec(), {0.0, 2.0}, 1, 9);
+  PaperAnchor a{"fig7", "aluns", 2.0, 0.0, 100.0, ""};
+  double measured = -1.0;
+  EXPECT_TRUE(lookup_measured(fig, a, &measured));
+  EXPECT_GE(measured, 0.0);
+  PaperAnchor missing{"fig7", "aluns", 9.0, 0.0, 100.0, ""};
+  EXPECT_FALSE(lookup_measured(fig, missing, &measured));
+  PaperAnchor wrong_alu{"fig7", "aluss", 2.0, 0.0, 100.0, ""};
+  EXPECT_FALSE(lookup_measured(fig, wrong_alu, &measured));
+}
+
+}  // namespace
+}  // namespace nbx

@@ -1,0 +1,43 @@
+#include "sim/table_render.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nbx {
+namespace {
+
+TEST(TextTable, AlignedPrinting) {
+  TextTable t({"name", "sites"});
+  t.add_row({"aluncmos", "192"});
+  t.add_row({"aluss", "5040"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("aluncmos"), std::string::npos);
+  EXPECT_NE(out.find("5040"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, CsvPrinting) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Format, FmtDouble) {
+  EXPECT_EQ(fmt_double(98.437, 2), "98.44");
+  EXPECT_EQ(fmt_double(0.05, 2), "0.05");
+  EXPECT_EQ(fmt_double(100.0, 0), "100");
+}
+
+TEST(Format, FmtSci) {
+  EXPECT_EQ(fmt_sci(3.6e23, 1), "3.6e+23");
+  EXPECT_EQ(fmt_sci(0.0, 1), "0.0e+00");
+}
+
+}  // namespace
+}  // namespace nbx

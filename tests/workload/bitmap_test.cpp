@@ -1,0 +1,82 @@
+#include "workload/bitmap.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace nbx {
+namespace {
+
+TEST(Bitmap, ConstructionAndPixelAccess) {
+  Bitmap bm(4, 3, 0x80);
+  EXPECT_EQ(bm.width(), 4u);
+  EXPECT_EQ(bm.height(), 3u);
+  EXPECT_EQ(bm.pixel_count(), 12u);
+  EXPECT_EQ(bm.at(0, 0), 0x80);
+  bm.set(2, 1, 0x42);
+  EXPECT_EQ(bm.at(2, 1), 0x42);
+  EXPECT_EQ(bm.pixel(1 * 4 + 2), 0x42);
+}
+
+TEST(Bitmap, PaperTestImageIs64Pixels) {
+  const Bitmap bm = Bitmap::paper_test_image();
+  EXPECT_EQ(bm.width(), 8u);
+  EXPECT_EQ(bm.height(), 8u);
+  EXPECT_EQ(bm.pixel_count(), 64u);
+  // Deterministic for the default seed.
+  EXPECT_EQ(bm, Bitmap::paper_test_image());
+  // Different for another seed.
+  EXPECT_FALSE(bm == Bitmap::paper_test_image(1));
+}
+
+TEST(Bitmap, DiffCount) {
+  Bitmap a(4, 4, 0);
+  Bitmap b = a;
+  EXPECT_EQ(a.diff_count(b), 0u);
+  b.set(1, 1, 5);
+  b.set(3, 2, 7);
+  EXPECT_EQ(a.diff_count(b), 2u);
+}
+
+TEST(Bitmap, GradientSpansFullRange) {
+  const Bitmap g = Bitmap::gradient(256, 2);
+  EXPECT_EQ(g.at(0, 0), 0);
+  EXPECT_EQ(g.at(255, 0), 255);
+  EXPECT_LE(g.at(100, 1), g.at(200, 1));
+}
+
+TEST(Bitmap, CheckerboardAlternates) {
+  const Bitmap c = Bitmap::checkerboard(8, 8, 2, 0x10, 0xE0);
+  EXPECT_EQ(c.at(0, 0), 0x10);
+  EXPECT_EQ(c.at(2, 0), 0xE0);
+  EXPECT_EQ(c.at(0, 2), 0xE0);
+  EXPECT_EQ(c.at(2, 2), 0x10);
+}
+
+TEST(Bitmap, RandomIsSeedDeterministic) {
+  Rng r1(5);
+  Rng r2(5);
+  EXPECT_EQ(Bitmap::random(10, 10, r1), Bitmap::random(10, 10, r2));
+}
+
+TEST(Bitmap, SavePgmWritesValidHeader) {
+  const Bitmap bm = Bitmap::paper_test_image();
+  const std::string path = ::testing::TempDir() + "/nbx_test.pgm";
+  ASSERT_TRUE(bm.save_pgm(path));
+  std::ifstream f(path, std::ios::binary);
+  std::string magic;
+  f >> magic;
+  EXPECT_EQ(magic, "P5");
+  int w = 0;
+  int h = 0;
+  int maxv = 0;
+  f >> w >> h >> maxv;
+  EXPECT_EQ(w, 8);
+  EXPECT_EQ(h, 8);
+  EXPECT_EQ(maxv, 255);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nbx

@@ -1,0 +1,56 @@
+#include "workload/image_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nbx {
+namespace {
+
+TEST(ImageMetrics, IdenticalImages) {
+  const Bitmap a = Bitmap::paper_test_image();
+  EXPECT_EQ(mean_squared_error(a, a), 0.0);
+  EXPECT_TRUE(std::isinf(psnr_db(a, a)));
+  EXPECT_EQ(max_abs_error(a, a), 0);
+  EXPECT_EQ(exact_fraction(a, a), 1.0);
+  const ImageQuality q = compare_images(a, a);
+  EXPECT_EQ(q.percent_exact, 100.0);
+  EXPECT_EQ(q.max_error, 0);
+}
+
+TEST(ImageMetrics, KnownSinglePixelError) {
+  Bitmap a(2, 2, 100);
+  Bitmap b = a;
+  b.set_pixel(3, 110);  // off by 10 in one of four pixels
+  EXPECT_DOUBLE_EQ(mean_squared_error(a, b), 100.0 / 4.0);
+  EXPECT_EQ(max_abs_error(a, b), 10);
+  EXPECT_DOUBLE_EQ(exact_fraction(a, b), 0.75);
+  // PSNR = 10*log10(255^2 / 25).
+  EXPECT_NEAR(psnr_db(a, b), 10.0 * std::log10(255.0 * 255.0 / 25.0), 1e-9);
+}
+
+TEST(ImageMetrics, MsbErrorDominatesLsbError) {
+  Bitmap golden(1, 1, 0x80);
+  Bitmap lsb(1, 1, 0x81);
+  Bitmap msb(1, 1, 0x00);
+  EXPECT_GT(psnr_db(golden, lsb), psnr_db(golden, msb) + 30.0);
+  EXPECT_EQ(max_abs_error(golden, msb), 128);
+  // Both count equally under the paper's exact-match metric.
+  EXPECT_EQ(exact_fraction(golden, lsb), exact_fraction(golden, msb));
+}
+
+TEST(ImageMetrics, SymmetricInArguments) {
+  const Bitmap a = Bitmap::paper_test_image(1);
+  const Bitmap b = Bitmap::paper_test_image(2);
+  EXPECT_DOUBLE_EQ(mean_squared_error(a, b), mean_squared_error(b, a));
+  EXPECT_EQ(max_abs_error(a, b), max_abs_error(b, a));
+}
+
+TEST(ImageMetrics, EmptyImage) {
+  const Bitmap a;
+  EXPECT_EQ(mean_squared_error(a, a), 0.0);
+  EXPECT_EQ(exact_fraction(a, a), 1.0);
+}
+
+}  // namespace
+}  // namespace nbx

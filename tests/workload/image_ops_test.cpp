@@ -1,0 +1,77 @@
+#include "workload/image_ops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbx {
+namespace {
+
+TEST(ImageOps, PaperWorkloadDefinitions) {
+  // §4: reverse video = XOR "11111111"; hue shift = ADD "00001100".
+  const PixelOp rv = reverse_video_op();
+  EXPECT_EQ(rv.op, Opcode::kXor);
+  EXPECT_EQ(rv.constant, 0xFF);
+  const PixelOp hs = hue_shift_op();
+  EXPECT_EQ(hs.op, Opcode::kAdd);
+  EXPECT_EQ(hs.constant, 0x0C);
+}
+
+TEST(ImageOps, PaperWorkloadsListsExactlyTwo) {
+  const auto ws = paper_workloads();
+  ASSERT_EQ(ws.size(), 2u);
+  EXPECT_EQ(ws[0].name, "reverse_video");
+  EXPECT_EQ(ws[1].name, "hue_shift");
+}
+
+TEST(ImageOps, ExtendedWorkloadsCoverAllOpcodes) {
+  const auto ws = extended_workloads();
+  ASSERT_EQ(ws.size(), 4u);
+  bool has_and = false;
+  bool has_or = false;
+  bool has_xor = false;
+  bool has_add = false;
+  for (const PixelOp& w : ws) {
+    has_and |= w.op == Opcode::kAnd;
+    has_or |= w.op == Opcode::kOr;
+    has_xor |= w.op == Opcode::kXor;
+    has_add |= w.op == Opcode::kAdd;
+  }
+  EXPECT_TRUE(has_and && has_or && has_xor && has_add);
+}
+
+TEST(ImageOps, ApplyGoldenReverseVideo) {
+  Bitmap in(2, 2);
+  in.set_pixel(0, 0x00);
+  in.set_pixel(1, 0xFF);
+  in.set_pixel(2, 0x5A);
+  in.set_pixel(3, 0x12);
+  const Bitmap out = apply_golden(in, reverse_video_op());
+  EXPECT_EQ(out.pixel(0), 0xFF);
+  EXPECT_EQ(out.pixel(1), 0x00);
+  EXPECT_EQ(out.pixel(2), 0xA5);
+  EXPECT_EQ(out.pixel(3), 0xED);
+}
+
+TEST(ImageOps, ReverseVideoIsAnInvolution) {
+  const Bitmap in = Bitmap::paper_test_image();
+  const Bitmap twice =
+      apply_golden(apply_golden(in, reverse_video_op()), reverse_video_op());
+  EXPECT_EQ(twice, in);
+}
+
+TEST(ImageOps, HueShiftWraps) {
+  Bitmap in(1, 1);
+  in.set_pixel(0, 0xFF);
+  EXPECT_EQ(apply_golden(in, hue_shift_op()).pixel(0), 0x0B);
+}
+
+TEST(ImageOps, BrightnessMaskPosterizes) {
+  Bitmap in(1, 2);
+  in.set_pixel(0, 0xAB);
+  in.set_pixel(1, 0x0F);
+  const Bitmap out = apply_golden(in, brightness_mask_op());
+  EXPECT_EQ(out.pixel(0), 0xA0);
+  EXPECT_EQ(out.pixel(1), 0x00);
+}
+
+}  // namespace
+}  // namespace nbx

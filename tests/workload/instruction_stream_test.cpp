@@ -1,0 +1,110 @@
+#include "workload/instruction_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/control_processor.hpp"
+
+namespace nbx {
+namespace {
+
+TEST(InstructionStream, MakeStreamCoversEveryPixel) {
+  const Bitmap image = Bitmap::paper_test_image();
+  const auto stream = make_stream(image, reverse_video_op());
+  ASSERT_EQ(stream.size(), 64u);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].id, i);
+    EXPECT_EQ(stream[i].op, Opcode::kXor);
+    EXPECT_EQ(stream[i].a, image.pixel(i));
+    EXPECT_EQ(stream[i].b, 0xFF);
+    EXPECT_EQ(stream[i].golden,
+              static_cast<std::uint8_t>(image.pixel(i) ^ 0xFF));
+  }
+}
+
+TEST(InstructionStream, GoldenPrecomputedForHueShift) {
+  const Bitmap image = Bitmap::paper_test_image();
+  const auto stream = make_stream(image, hue_shift_op());
+  for (const Instruction& ins : stream) {
+    EXPECT_EQ(ins.golden, static_cast<std::uint8_t>(ins.a + 0x0C));
+  }
+}
+
+TEST(InstructionStream, RandomStreamProperties) {
+  Rng rng(12);
+  const auto stream = random_stream(200, rng);
+  ASSERT_EQ(stream.size(), 200u);
+  int op_counts[4] = {0, 0, 0, 0};
+  for (const Instruction& ins : stream) {
+    EXPECT_EQ(ins.golden, golden_alu(ins.op, ins.a, ins.b));
+    switch (ins.op) {
+      case Opcode::kAnd:
+        ++op_counts[0];
+        break;
+      case Opcode::kOr:
+        ++op_counts[1];
+        break;
+      case Opcode::kXor:
+        ++op_counts[2];
+        break;
+      case Opcode::kAdd:
+        ++op_counts[3];
+        break;
+    }
+  }
+  for (const int c : op_counts) {
+    EXPECT_GT(c, 20);  // all opcodes represented
+  }
+}
+
+TEST(InstructionStream, ReassembleAppliesResultsById) {
+  Bitmap ref(2, 2, 0x00);
+  const std::vector<std::pair<std::uint16_t, std::uint8_t>> results = {
+      {0, 0xAA}, {3, 0xBB}};
+  EXPECT_EQ(reassemble_image(results, ref), 2u);
+  EXPECT_EQ(ref.pixel(0), 0xAA);
+  EXPECT_EQ(ref.pixel(1), 0x00);  // untouched
+  EXPECT_EQ(ref.pixel(3), 0xBB);
+}
+
+TEST(InstructionStream, ReassembleIgnoresOutOfRangeIds) {
+  Bitmap ref(2, 2, 0x00);
+  const std::vector<std::pair<std::uint16_t, std::uint8_t>> results = {
+      {99, 0xAA}};
+  EXPECT_EQ(reassemble_image(results, ref), 0u);
+}
+
+TEST(InstructionStream, BinaryStreamPairsTwoImages) {
+  Rng rng(21);
+  const Bitmap a = Bitmap::random(4, 4, rng);
+  const Bitmap b = Bitmap::random(4, 4, rng);
+  const auto stream = make_binary_stream(a, b, Opcode::kXor);
+  ASSERT_EQ(stream.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(stream[i].a, a.pixel(i));
+    EXPECT_EQ(stream[i].b, b.pixel(i));
+    EXPECT_EQ(stream[i].golden,
+              static_cast<std::uint8_t>(a.pixel(i) ^ b.pixel(i)));
+  }
+}
+
+TEST(InstructionStream, BinaryGoldenDifferenceOfIdenticalFramesIsBlack) {
+  const Bitmap frame = Bitmap::paper_test_image();
+  const Bitmap diff = apply_golden_binary(frame, frame, Opcode::kXor);
+  for (std::size_t i = 0; i < diff.pixel_count(); ++i) {
+    EXPECT_EQ(diff.pixel(i), 0);
+  }
+}
+
+TEST(InstructionStream, BinaryCompositeOnGrid) {
+  // End-to-end: composite two frames (OR) through the grid simulator.
+  const Bitmap a = Bitmap::checkerboard(8, 8, 2, 0x00, 0xF0);
+  const Bitmap b = Bitmap::checkerboard(8, 8, 4, 0x0A, 0x00);
+  const auto stream = make_binary_stream(a, b, Opcode::kOr);
+  NanoBoxGrid grid(2, 2, CellConfig{});
+  ControlProcessor cp(grid);
+  const GridRunReport report = cp.run(stream);
+  EXPECT_DOUBLE_EQ(report.percent_correct, 100.0);
+}
+
+}  // namespace
+}  // namespace nbx

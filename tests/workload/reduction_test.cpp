@@ -1,0 +1,83 @@
+#include "workload/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace nbx {
+namespace {
+
+TEST(Reduction, RoundPairsAdjacentValues) {
+  const std::vector<std::uint8_t> values = {1, 2, 3, 4, 5, 6};
+  const auto stream = reduction_round(values);
+  ASSERT_EQ(stream.size(), 3u);
+  EXPECT_EQ(stream[0].a, 1);
+  EXPECT_EQ(stream[0].b, 2);
+  EXPECT_EQ(stream[0].golden, 3);
+  EXPECT_EQ(stream[2].golden, 11);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].id, i);
+    EXPECT_EQ(stream[i].op, Opcode::kAdd);
+  }
+}
+
+TEST(Reduction, OddElementCarriesThrough) {
+  const std::vector<std::uint8_t> values = {10, 20, 30};
+  const auto stream = reduction_round(values);
+  ASSERT_EQ(stream.size(), 2u);
+  EXPECT_EQ(stream[1].a, 30);
+  EXPECT_EQ(stream[1].b, 0);
+  EXPECT_EQ(stream[1].golden, 30);
+}
+
+TEST(Reduction, GoldenRoundMatchesStreamGoldens) {
+  Rng rng(4);
+  std::vector<std::uint8_t> values(37);
+  for (auto& v : values) {
+    v = static_cast<std::uint8_t>(rng.below(256));
+  }
+  const auto stream = reduction_round(values);
+  const auto next = golden_reduction_round(values);
+  ASSERT_EQ(stream.size(), next.size());
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    EXPECT_EQ(stream[i].golden, next[i]);
+  }
+}
+
+TEST(Reduction, ChecksumInvariantUnderRounds) {
+  // The checksum is preserved by every golden round — the property that
+  // makes the multi-round grid reduction verifiable.
+  Rng rng(9);
+  std::vector<std::uint8_t> values(100);
+  for (auto& v : values) {
+    v = static_cast<std::uint8_t>(rng.below(256));
+  }
+  const std::uint8_t checksum = golden_checksum(values);
+  std::vector<std::uint8_t> current = values;
+  std::size_t rounds = 0;
+  while (current.size() > 1) {
+    current = golden_reduction_round(current);
+    ++rounds;
+    EXPECT_EQ(golden_checksum(current), checksum) << "round " << rounds;
+  }
+  EXPECT_EQ(current[0], checksum);
+  EXPECT_EQ(rounds, reduction_rounds(values.size()));
+}
+
+TEST(Reduction, RoundsCount) {
+  EXPECT_EQ(reduction_rounds(1), 0u);
+  EXPECT_EQ(reduction_rounds(2), 1u);
+  EXPECT_EQ(reduction_rounds(3), 2u);
+  EXPECT_EQ(reduction_rounds(64), 6u);
+  EXPECT_EQ(reduction_rounds(100), 7u);
+}
+
+TEST(Reduction, SingletonAndEmpty) {
+  EXPECT_EQ(golden_checksum({}), 0);
+  EXPECT_EQ(golden_checksum({42}), 42);
+  EXPECT_TRUE(reduction_round({7}).empty() == false);
+  EXPECT_EQ(reduction_round({7}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace nbx
