@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_burst.dir/bench_ablation_burst.cpp.o"
+  "CMakeFiles/bench_ablation_burst.dir/bench_ablation_burst.cpp.o.d"
+  "bench_ablation_burst"
+  "bench_ablation_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

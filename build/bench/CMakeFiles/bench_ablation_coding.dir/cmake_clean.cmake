@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coding.dir/bench_ablation_coding.cpp.o"
+  "CMakeFiles/bench_ablation_coding.dir/bench_ablation_coding.cpp.o.d"
+  "bench_ablation_coding"
+  "bench_ablation_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

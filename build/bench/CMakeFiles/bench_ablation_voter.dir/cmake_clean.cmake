@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_voter.dir/bench_ablation_voter.cpp.o"
+  "CMakeFiles/bench_ablation_voter.dir/bench_ablation_voter.cpp.o.d"
+  "bench_ablation_voter"
+  "bench_ablation_voter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_voter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analytic.dir/bench_analytic.cpp.o"
+  "CMakeFiles/bench_analytic.dir/bench_analytic.cpp.o.d"
+  "bench_analytic"
+  "bench_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

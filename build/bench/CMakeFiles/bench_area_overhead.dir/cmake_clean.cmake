@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_area_overhead.dir/bench_area_overhead.cpp.o"
+  "CMakeFiles/bench_area_overhead.dir/bench_area_overhead.cpp.o.d"
+  "bench_area_overhead"
+  "bench_area_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_area_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

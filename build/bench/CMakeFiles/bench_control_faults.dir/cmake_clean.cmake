@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_control_faults.dir/bench_control_faults.cpp.o"
+  "CMakeFiles/bench_control_faults.dir/bench_control_faults.cpp.o.d"
+  "bench_control_faults"
+  "bench_control_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_control_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_defects.dir/bench_defects.cpp.o"
+  "CMakeFiles/bench_defects.dir/bench_defects.cpp.o.d"
+  "bench_defects"
+  "bench_defects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

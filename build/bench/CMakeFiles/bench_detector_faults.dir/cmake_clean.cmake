@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detector_faults.dir/bench_detector_faults.cpp.o"
+  "CMakeFiles/bench_detector_faults.dir/bench_detector_faults.cpp.o.d"
+  "bench_detector_faults"
+  "bench_detector_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detector_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8.dir/bench_figures.cpp.o"
+  "CMakeFiles/bench_fig8.dir/bench_figures.cpp.o.d"
+  "bench_fig8"
+  "bench_fig8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fit_rates.dir/bench_fit_rates.cpp.o"
+  "CMakeFiles/bench_fit_rates.dir/bench_fit_rates.cpp.o.d"
+  "bench_fit_rates"
+  "bench_fit_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fit_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

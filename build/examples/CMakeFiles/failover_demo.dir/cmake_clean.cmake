@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_demo.dir/failover_demo.cpp.o"
+  "CMakeFiles/failover_demo.dir/failover_demo.cpp.o.d"
+  "failover_demo"
+  "failover_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

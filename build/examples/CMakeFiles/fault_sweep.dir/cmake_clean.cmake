@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_sweep.dir/fault_sweep.cpp.o"
+  "CMakeFiles/fault_sweep.dir/fault_sweep.cpp.o.d"
+  "fault_sweep"
+  "fault_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

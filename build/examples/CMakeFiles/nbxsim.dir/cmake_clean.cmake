@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbxsim.dir/nbxsim.cpp.o"
+  "CMakeFiles/nbxsim.dir/nbxsim.cpp.o.d"
+  "nbxsim"
+  "nbxsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbxsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/reduction_demo.cpp" "examples/CMakeFiles/reduction_demo.dir/reduction_demo.cpp.o" "gcc" "examples/CMakeFiles/reduction_demo.dir/reduction_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/nbx_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/nbx_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nbx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/alu/CMakeFiles/nbx_alu.dir/DependInfo.cmake"
+  "/root/repo/build/src/lut/CMakeFiles/nbx_lut.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/nbx_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatesim/CMakeFiles/nbx_gatesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/nbx_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nbx_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nbx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

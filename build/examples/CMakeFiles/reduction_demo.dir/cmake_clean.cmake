@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_demo.dir/reduction_demo.cpp.o"
+  "CMakeFiles/reduction_demo.dir/reduction_demo.cpp.o.d"
+  "reduction_demo"
+  "reduction_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

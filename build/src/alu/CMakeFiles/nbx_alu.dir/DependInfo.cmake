@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alu/alu_factory.cpp" "src/alu/CMakeFiles/nbx_alu.dir/alu_factory.cpp.o" "gcc" "src/alu/CMakeFiles/nbx_alu.dir/alu_factory.cpp.o.d"
+  "/root/repo/src/alu/cmos_core_alu.cpp" "src/alu/CMakeFiles/nbx_alu.dir/cmos_core_alu.cpp.o" "gcc" "src/alu/CMakeFiles/nbx_alu.dir/cmos_core_alu.cpp.o.d"
+  "/root/repo/src/alu/hw_core_alu.cpp" "src/alu/CMakeFiles/nbx_alu.dir/hw_core_alu.cpp.o" "gcc" "src/alu/CMakeFiles/nbx_alu.dir/hw_core_alu.cpp.o.d"
+  "/root/repo/src/alu/lut_core_alu.cpp" "src/alu/CMakeFiles/nbx_alu.dir/lut_core_alu.cpp.o" "gcc" "src/alu/CMakeFiles/nbx_alu.dir/lut_core_alu.cpp.o.d"
+  "/root/repo/src/alu/module_alu.cpp" "src/alu/CMakeFiles/nbx_alu.dir/module_alu.cpp.o" "gcc" "src/alu/CMakeFiles/nbx_alu.dir/module_alu.cpp.o.d"
+  "/root/repo/src/alu/voter.cpp" "src/alu/CMakeFiles/nbx_alu.dir/voter.cpp.o" "gcc" "src/alu/CMakeFiles/nbx_alu.dir/voter.cpp.o.d"
+  "/root/repo/src/alu/wide_alu.cpp" "src/alu/CMakeFiles/nbx_alu.dir/wide_alu.cpp.o" "gcc" "src/alu/CMakeFiles/nbx_alu.dir/wide_alu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nbx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/nbx_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/nbx_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/lut/CMakeFiles/nbx_lut.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatesim/CMakeFiles/nbx_gatesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbx_alu.dir/alu_factory.cpp.o"
+  "CMakeFiles/nbx_alu.dir/alu_factory.cpp.o.d"
+  "CMakeFiles/nbx_alu.dir/cmos_core_alu.cpp.o"
+  "CMakeFiles/nbx_alu.dir/cmos_core_alu.cpp.o.d"
+  "CMakeFiles/nbx_alu.dir/hw_core_alu.cpp.o"
+  "CMakeFiles/nbx_alu.dir/hw_core_alu.cpp.o.d"
+  "CMakeFiles/nbx_alu.dir/lut_core_alu.cpp.o"
+  "CMakeFiles/nbx_alu.dir/lut_core_alu.cpp.o.d"
+  "CMakeFiles/nbx_alu.dir/module_alu.cpp.o"
+  "CMakeFiles/nbx_alu.dir/module_alu.cpp.o.d"
+  "CMakeFiles/nbx_alu.dir/voter.cpp.o"
+  "CMakeFiles/nbx_alu.dir/voter.cpp.o.d"
+  "CMakeFiles/nbx_alu.dir/wide_alu.cpp.o"
+  "CMakeFiles/nbx_alu.dir/wide_alu.cpp.o.d"
+  "libnbx_alu.a"
+  "libnbx_alu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbx_alu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cell/cell_memory.cpp" "src/cell/CMakeFiles/nbx_cell.dir/cell_memory.cpp.o" "gcc" "src/cell/CMakeFiles/nbx_cell.dir/cell_memory.cpp.o.d"
+  "/root/repo/src/cell/control_logic.cpp" "src/cell/CMakeFiles/nbx_cell.dir/control_logic.cpp.o" "gcc" "src/cell/CMakeFiles/nbx_cell.dir/control_logic.cpp.o.d"
+  "/root/repo/src/cell/memory_word.cpp" "src/cell/CMakeFiles/nbx_cell.dir/memory_word.cpp.o" "gcc" "src/cell/CMakeFiles/nbx_cell.dir/memory_word.cpp.o.d"
+  "/root/repo/src/cell/packet.cpp" "src/cell/CMakeFiles/nbx_cell.dir/packet.cpp.o" "gcc" "src/cell/CMakeFiles/nbx_cell.dir/packet.cpp.o.d"
+  "/root/repo/src/cell/processor_cell.cpp" "src/cell/CMakeFiles/nbx_cell.dir/processor_cell.cpp.o" "gcc" "src/cell/CMakeFiles/nbx_cell.dir/processor_cell.cpp.o.d"
+  "/root/repo/src/cell/trace.cpp" "src/cell/CMakeFiles/nbx_cell.dir/trace.cpp.o" "gcc" "src/cell/CMakeFiles/nbx_cell.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nbx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/nbx_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/lut/CMakeFiles/nbx_lut.dir/DependInfo.cmake"
+  "/root/repo/build/src/alu/CMakeFiles/nbx_alu.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/nbx_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatesim/CMakeFiles/nbx_gatesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbx_cell.dir/cell_memory.cpp.o"
+  "CMakeFiles/nbx_cell.dir/cell_memory.cpp.o.d"
+  "CMakeFiles/nbx_cell.dir/control_logic.cpp.o"
+  "CMakeFiles/nbx_cell.dir/control_logic.cpp.o.d"
+  "CMakeFiles/nbx_cell.dir/memory_word.cpp.o"
+  "CMakeFiles/nbx_cell.dir/memory_word.cpp.o.d"
+  "CMakeFiles/nbx_cell.dir/packet.cpp.o"
+  "CMakeFiles/nbx_cell.dir/packet.cpp.o.d"
+  "CMakeFiles/nbx_cell.dir/processor_cell.cpp.o"
+  "CMakeFiles/nbx_cell.dir/processor_cell.cpp.o.d"
+  "CMakeFiles/nbx_cell.dir/trace.cpp.o"
+  "CMakeFiles/nbx_cell.dir/trace.cpp.o.d"
+  "libnbx_cell.a"
+  "libnbx_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbx_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

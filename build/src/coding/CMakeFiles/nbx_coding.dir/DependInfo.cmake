@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/gf16.cpp" "src/coding/CMakeFiles/nbx_coding.dir/gf16.cpp.o" "gcc" "src/coding/CMakeFiles/nbx_coding.dir/gf16.cpp.o.d"
+  "/root/repo/src/coding/hamming.cpp" "src/coding/CMakeFiles/nbx_coding.dir/hamming.cpp.o" "gcc" "src/coding/CMakeFiles/nbx_coding.dir/hamming.cpp.o.d"
+  "/root/repo/src/coding/hsiao.cpp" "src/coding/CMakeFiles/nbx_coding.dir/hsiao.cpp.o" "gcc" "src/coding/CMakeFiles/nbx_coding.dir/hsiao.cpp.o.d"
+  "/root/repo/src/coding/majority.cpp" "src/coding/CMakeFiles/nbx_coding.dir/majority.cpp.o" "gcc" "src/coding/CMakeFiles/nbx_coding.dir/majority.cpp.o.d"
+  "/root/repo/src/coding/parity.cpp" "src/coding/CMakeFiles/nbx_coding.dir/parity.cpp.o" "gcc" "src/coding/CMakeFiles/nbx_coding.dir/parity.cpp.o.d"
+  "/root/repo/src/coding/reed_solomon.cpp" "src/coding/CMakeFiles/nbx_coding.dir/reed_solomon.cpp.o" "gcc" "src/coding/CMakeFiles/nbx_coding.dir/reed_solomon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nbx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

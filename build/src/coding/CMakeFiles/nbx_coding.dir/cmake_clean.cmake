@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbx_coding.dir/gf16.cpp.o"
+  "CMakeFiles/nbx_coding.dir/gf16.cpp.o.d"
+  "CMakeFiles/nbx_coding.dir/hamming.cpp.o"
+  "CMakeFiles/nbx_coding.dir/hamming.cpp.o.d"
+  "CMakeFiles/nbx_coding.dir/hsiao.cpp.o"
+  "CMakeFiles/nbx_coding.dir/hsiao.cpp.o.d"
+  "CMakeFiles/nbx_coding.dir/majority.cpp.o"
+  "CMakeFiles/nbx_coding.dir/majority.cpp.o.d"
+  "CMakeFiles/nbx_coding.dir/parity.cpp.o"
+  "CMakeFiles/nbx_coding.dir/parity.cpp.o.d"
+  "CMakeFiles/nbx_coding.dir/reed_solomon.cpp.o"
+  "CMakeFiles/nbx_coding.dir/reed_solomon.cpp.o.d"
+  "libnbx_coding.a"
+  "libnbx_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbx_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

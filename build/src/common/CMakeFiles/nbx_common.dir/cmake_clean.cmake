@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbx_common.dir/bitvec.cpp.o"
+  "CMakeFiles/nbx_common.dir/bitvec.cpp.o.d"
+  "CMakeFiles/nbx_common.dir/cli.cpp.o"
+  "CMakeFiles/nbx_common.dir/cli.cpp.o.d"
+  "CMakeFiles/nbx_common.dir/rng.cpp.o"
+  "CMakeFiles/nbx_common.dir/rng.cpp.o.d"
+  "CMakeFiles/nbx_common.dir/stats.cpp.o"
+  "CMakeFiles/nbx_common.dir/stats.cpp.o.d"
+  "CMakeFiles/nbx_common.dir/types.cpp.o"
+  "CMakeFiles/nbx_common.dir/types.cpp.o.d"
+  "libnbx_common.a"
+  "libnbx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nbx_common.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/defect_map.cpp" "src/fault/CMakeFiles/nbx_fault.dir/defect_map.cpp.o" "gcc" "src/fault/CMakeFiles/nbx_fault.dir/defect_map.cpp.o.d"
+  "/root/repo/src/fault/fit.cpp" "src/fault/CMakeFiles/nbx_fault.dir/fit.cpp.o" "gcc" "src/fault/CMakeFiles/nbx_fault.dir/fit.cpp.o.d"
+  "/root/repo/src/fault/mask_generator.cpp" "src/fault/CMakeFiles/nbx_fault.dir/mask_generator.cpp.o" "gcc" "src/fault/CMakeFiles/nbx_fault.dir/mask_generator.cpp.o.d"
+  "/root/repo/src/fault/sweep.cpp" "src/fault/CMakeFiles/nbx_fault.dir/sweep.cpp.o" "gcc" "src/fault/CMakeFiles/nbx_fault.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nbx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

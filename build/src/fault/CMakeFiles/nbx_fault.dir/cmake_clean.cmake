@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbx_fault.dir/defect_map.cpp.o"
+  "CMakeFiles/nbx_fault.dir/defect_map.cpp.o.d"
+  "CMakeFiles/nbx_fault.dir/fit.cpp.o"
+  "CMakeFiles/nbx_fault.dir/fit.cpp.o.d"
+  "CMakeFiles/nbx_fault.dir/mask_generator.cpp.o"
+  "CMakeFiles/nbx_fault.dir/mask_generator.cpp.o.d"
+  "CMakeFiles/nbx_fault.dir/sweep.cpp.o"
+  "CMakeFiles/nbx_fault.dir/sweep.cpp.o.d"
+  "libnbx_fault.a"
+  "libnbx_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbx_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

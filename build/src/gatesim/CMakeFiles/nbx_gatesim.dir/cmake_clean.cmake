@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbx_gatesim.dir/netlist.cpp.o"
+  "CMakeFiles/nbx_gatesim.dir/netlist.cpp.o.d"
+  "libnbx_gatesim.a"
+  "libnbx_gatesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbx_gatesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbx_grid.dir/control_processor.cpp.o"
+  "CMakeFiles/nbx_grid.dir/control_processor.cpp.o.d"
+  "CMakeFiles/nbx_grid.dir/grid.cpp.o"
+  "CMakeFiles/nbx_grid.dir/grid.cpp.o.d"
+  "CMakeFiles/nbx_grid.dir/multi_grid.cpp.o"
+  "CMakeFiles/nbx_grid.dir/multi_grid.cpp.o.d"
+  "CMakeFiles/nbx_grid.dir/watchdog.cpp.o"
+  "CMakeFiles/nbx_grid.dir/watchdog.cpp.o.d"
+  "libnbx_grid.a"
+  "libnbx_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbx_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnbx_grid.a"
+)

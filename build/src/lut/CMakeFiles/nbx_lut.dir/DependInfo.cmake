@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lut/coded_lut.cpp" "src/lut/CMakeFiles/nbx_lut.dir/coded_lut.cpp.o" "gcc" "src/lut/CMakeFiles/nbx_lut.dir/coded_lut.cpp.o.d"
+  "/root/repo/src/lut/hw_hamming_lut.cpp" "src/lut/CMakeFiles/nbx_lut.dir/hw_hamming_lut.cpp.o" "gcc" "src/lut/CMakeFiles/nbx_lut.dir/hw_hamming_lut.cpp.o.d"
+  "/root/repo/src/lut/hw_lut.cpp" "src/lut/CMakeFiles/nbx_lut.dir/hw_lut.cpp.o" "gcc" "src/lut/CMakeFiles/nbx_lut.dir/hw_lut.cpp.o.d"
+  "/root/repo/src/lut/truth_table.cpp" "src/lut/CMakeFiles/nbx_lut.dir/truth_table.cpp.o" "gcc" "src/lut/CMakeFiles/nbx_lut.dir/truth_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nbx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/nbx_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/nbx_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatesim/CMakeFiles/nbx_gatesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbx_lut.dir/coded_lut.cpp.o"
+  "CMakeFiles/nbx_lut.dir/coded_lut.cpp.o.d"
+  "CMakeFiles/nbx_lut.dir/hw_hamming_lut.cpp.o"
+  "CMakeFiles/nbx_lut.dir/hw_hamming_lut.cpp.o.d"
+  "CMakeFiles/nbx_lut.dir/hw_lut.cpp.o"
+  "CMakeFiles/nbx_lut.dir/hw_lut.cpp.o.d"
+  "CMakeFiles/nbx_lut.dir/truth_table.cpp.o"
+  "CMakeFiles/nbx_lut.dir/truth_table.cpp.o.d"
+  "libnbx_lut.a"
+  "libnbx_lut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbx_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

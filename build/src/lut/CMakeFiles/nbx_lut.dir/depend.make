@@ -1,0 +1,2 @@
+# Empty dependencies file for nbx_lut.
+# This may be replaced when dependencies are built.

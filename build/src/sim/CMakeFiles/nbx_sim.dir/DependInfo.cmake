@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/analytic.cpp" "src/sim/CMakeFiles/nbx_sim.dir/analytic.cpp.o" "gcc" "src/sim/CMakeFiles/nbx_sim.dir/analytic.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/nbx_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/nbx_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/figure.cpp" "src/sim/CMakeFiles/nbx_sim.dir/figure.cpp.o" "gcc" "src/sim/CMakeFiles/nbx_sim.dir/figure.cpp.o.d"
+  "/root/repo/src/sim/table_render.cpp" "src/sim/CMakeFiles/nbx_sim.dir/table_render.cpp.o" "gcc" "src/sim/CMakeFiles/nbx_sim.dir/table_render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nbx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/nbx_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/alu/CMakeFiles/nbx_alu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nbx_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/lut/CMakeFiles/nbx_lut.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/nbx_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatesim/CMakeFiles/nbx_gatesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbx_sim.dir/analytic.cpp.o"
+  "CMakeFiles/nbx_sim.dir/analytic.cpp.o.d"
+  "CMakeFiles/nbx_sim.dir/experiment.cpp.o"
+  "CMakeFiles/nbx_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/nbx_sim.dir/figure.cpp.o"
+  "CMakeFiles/nbx_sim.dir/figure.cpp.o.d"
+  "CMakeFiles/nbx_sim.dir/table_render.cpp.o"
+  "CMakeFiles/nbx_sim.dir/table_render.cpp.o.d"
+  "libnbx_sim.a"
+  "libnbx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/bitmap.cpp" "src/workload/CMakeFiles/nbx_workload.dir/bitmap.cpp.o" "gcc" "src/workload/CMakeFiles/nbx_workload.dir/bitmap.cpp.o.d"
+  "/root/repo/src/workload/image_metrics.cpp" "src/workload/CMakeFiles/nbx_workload.dir/image_metrics.cpp.o" "gcc" "src/workload/CMakeFiles/nbx_workload.dir/image_metrics.cpp.o.d"
+  "/root/repo/src/workload/image_ops.cpp" "src/workload/CMakeFiles/nbx_workload.dir/image_ops.cpp.o" "gcc" "src/workload/CMakeFiles/nbx_workload.dir/image_ops.cpp.o.d"
+  "/root/repo/src/workload/instruction_stream.cpp" "src/workload/CMakeFiles/nbx_workload.dir/instruction_stream.cpp.o" "gcc" "src/workload/CMakeFiles/nbx_workload.dir/instruction_stream.cpp.o.d"
+  "/root/repo/src/workload/reduction.cpp" "src/workload/CMakeFiles/nbx_workload.dir/reduction.cpp.o" "gcc" "src/workload/CMakeFiles/nbx_workload.dir/reduction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nbx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbx_workload.dir/bitmap.cpp.o"
+  "CMakeFiles/nbx_workload.dir/bitmap.cpp.o.d"
+  "CMakeFiles/nbx_workload.dir/image_metrics.cpp.o"
+  "CMakeFiles/nbx_workload.dir/image_metrics.cpp.o.d"
+  "CMakeFiles/nbx_workload.dir/image_ops.cpp.o"
+  "CMakeFiles/nbx_workload.dir/image_ops.cpp.o.d"
+  "CMakeFiles/nbx_workload.dir/instruction_stream.cpp.o"
+  "CMakeFiles/nbx_workload.dir/instruction_stream.cpp.o.d"
+  "CMakeFiles/nbx_workload.dir/reduction.cpp.o"
+  "CMakeFiles/nbx_workload.dir/reduction.cpp.o.d"
+  "libnbx_workload.a"
+  "libnbx_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbx_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

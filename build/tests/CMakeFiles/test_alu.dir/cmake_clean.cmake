@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alu.dir/alu/alu_factory_test.cpp.o"
+  "CMakeFiles/test_alu.dir/alu/alu_factory_test.cpp.o.d"
+  "CMakeFiles/test_alu.dir/alu/cmos_core_alu_test.cpp.o"
+  "CMakeFiles/test_alu.dir/alu/cmos_core_alu_test.cpp.o.d"
+  "CMakeFiles/test_alu.dir/alu/defect_test.cpp.o"
+  "CMakeFiles/test_alu.dir/alu/defect_test.cpp.o.d"
+  "CMakeFiles/test_alu.dir/alu/fault_behaviour_test.cpp.o"
+  "CMakeFiles/test_alu.dir/alu/fault_behaviour_test.cpp.o.d"
+  "CMakeFiles/test_alu.dir/alu/lut_core_alu_test.cpp.o"
+  "CMakeFiles/test_alu.dir/alu/lut_core_alu_test.cpp.o.d"
+  "CMakeFiles/test_alu.dir/alu/module_alu_test.cpp.o"
+  "CMakeFiles/test_alu.dir/alu/module_alu_test.cpp.o.d"
+  "CMakeFiles/test_alu.dir/alu/voter_test.cpp.o"
+  "CMakeFiles/test_alu.dir/alu/voter_test.cpp.o.d"
+  "CMakeFiles/test_alu.dir/alu/wide_alu_test.cpp.o"
+  "CMakeFiles/test_alu.dir/alu/wide_alu_test.cpp.o.d"
+  "test_alu"
+  "test_alu.pdb"
+  "test_alu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

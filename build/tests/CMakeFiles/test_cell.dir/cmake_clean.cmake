@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell.dir/cell/cell_memory_test.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/cell_memory_test.cpp.o.d"
+  "CMakeFiles/test_cell.dir/cell/control_logic_test.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/control_logic_test.cpp.o.d"
+  "CMakeFiles/test_cell.dir/cell/memory_word_test.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/memory_word_test.cpp.o.d"
+  "CMakeFiles/test_cell.dir/cell/packet_test.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/packet_test.cpp.o.d"
+  "CMakeFiles/test_cell.dir/cell/processor_cell_test.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/processor_cell_test.cpp.o.d"
+  "CMakeFiles/test_cell.dir/cell/scrub_test.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/scrub_test.cpp.o.d"
+  "test_cell"
+  "test_cell.pdb"
+  "test_cell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coding.dir/coding/hamming_test.cpp.o"
+  "CMakeFiles/test_coding.dir/coding/hamming_test.cpp.o.d"
+  "CMakeFiles/test_coding.dir/coding/hsiao_test.cpp.o"
+  "CMakeFiles/test_coding.dir/coding/hsiao_test.cpp.o.d"
+  "CMakeFiles/test_coding.dir/coding/majority_test.cpp.o"
+  "CMakeFiles/test_coding.dir/coding/majority_test.cpp.o.d"
+  "CMakeFiles/test_coding.dir/coding/parity_test.cpp.o"
+  "CMakeFiles/test_coding.dir/coding/parity_test.cpp.o.d"
+  "CMakeFiles/test_coding.dir/coding/reed_solomon_test.cpp.o"
+  "CMakeFiles/test_coding.dir/coding/reed_solomon_test.cpp.o.d"
+  "test_coding"
+  "test_coding.pdb"
+  "test_coding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault.dir/fault/burst_test.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/burst_test.cpp.o.d"
+  "CMakeFiles/test_fault.dir/fault/defect_map_test.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/defect_map_test.cpp.o.d"
+  "CMakeFiles/test_fault.dir/fault/fit_test.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/fit_test.cpp.o.d"
+  "CMakeFiles/test_fault.dir/fault/mask_generator_test.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/mask_generator_test.cpp.o.d"
+  "CMakeFiles/test_fault.dir/fault/mask_view_test.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/mask_view_test.cpp.o.d"
+  "test_fault"
+  "test_fault.pdb"
+  "test_fault[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

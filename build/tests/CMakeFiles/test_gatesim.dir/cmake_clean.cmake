@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gatesim.dir/gatesim/netlist_test.cpp.o"
+  "CMakeFiles/test_gatesim.dir/gatesim/netlist_test.cpp.o.d"
+  "test_gatesim"
+  "test_gatesim.pdb"
+  "test_gatesim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gatesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

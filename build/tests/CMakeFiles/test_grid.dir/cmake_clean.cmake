@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid.dir/grid/control_processor_test.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/control_processor_test.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/graceful_degradation_test.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/graceful_degradation_test.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/grid_test.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/grid_test.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/multi_grid_test.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/multi_grid_test.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/reduction_grid_test.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/reduction_grid_test.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/trace_test.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/trace_test.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/watchdog_test.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/watchdog_test.cpp.o.d"
+  "test_grid"
+  "test_grid.pdb"
+  "test_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

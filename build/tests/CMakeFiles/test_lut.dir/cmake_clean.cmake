@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lut.dir/lut/coded_lut_test.cpp.o"
+  "CMakeFiles/test_lut.dir/lut/coded_lut_test.cpp.o.d"
+  "CMakeFiles/test_lut.dir/lut/hw_hamming_lut_test.cpp.o"
+  "CMakeFiles/test_lut.dir/lut/hw_hamming_lut_test.cpp.o.d"
+  "CMakeFiles/test_lut.dir/lut/hw_lut_test.cpp.o"
+  "CMakeFiles/test_lut.dir/lut/hw_lut_test.cpp.o.d"
+  "CMakeFiles/test_lut.dir/lut/truth_table_test.cpp.o"
+  "CMakeFiles/test_lut.dir/lut/truth_table_test.cpp.o.d"
+  "test_lut"
+  "test_lut.pdb"
+  "test_lut[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

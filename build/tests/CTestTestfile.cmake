@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_coding[1]_include.cmake")
+include("/root/repo/build/tests/test_lut[1]_include.cmake")
+include("/root/repo/build/tests/test_gatesim[1]_include.cmake")
+include("/root/repo/build/tests/test_fault[1]_include.cmake")
+include("/root/repo/build/tests/test_alu[1]_include.cmake")
+include("/root/repo/build/tests/test_cell[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
