@@ -6,9 +6,12 @@
 // Output: the figure as a table (rows = fault %, columns = the four ALU
 // series), the per-point standard deviations, a CSV block for plotting,
 // and a paper-vs-measured check of every §5 prose anchor for this figure.
+#include <chrono>
 #include <iostream>
 
+#include "common/thread_pool.hpp"
 #include "fault/sweep.hpp"
+#include "sim/bench_json.hpp"
 #include "sim/figure.hpp"
 #include "sim/table_render.hpp"
 
@@ -21,14 +24,22 @@ int main() {
   const FigureSpec spec = NBX_FIGURE == 7   ? figure7_spec()
                           : NBX_FIGURE == 8 ? figure8_spec()
                                             : figure9_spec();
+  // All hardware threads; per-trial counter-based seeding keeps the
+  // output bit-identical to a serial run.
+  const ParallelConfig par{0, 0};
   std::cout << "Reproducing " << spec.id << " — " << spec.title << "\n";
   std::cout << "Protocol: " << kPaperFaultPercentages.size()
             << " fault percentages x 2 workloads x "
             << kPaperTrialsPerWorkload
-            << " trials (10 samples per point), 64 instructions each\n\n";
+            << " trials (10 samples per point), 64 instructions each, "
+            << resolve_threads(par.threads) << " threads\n\n";
 
+  const auto t0 = std::chrono::steady_clock::now();
   const FigureResult fig =
-      run_figure(spec, paper_sweep(), kPaperTrialsPerWorkload, 2026);
+      run_figure(spec, paper_sweep(), kPaperTrialsPerWorkload, 2026, par);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   print_figure(std::cout, fig);
 
   // Standard-deviation digest (the paper: stddev < 10 points for all but
@@ -73,7 +84,26 @@ int main() {
 
   std::cout << "\nCSV:\n";
   write_figure_csv(std::cout, fig);
-  std::cout << "\nAll anchors within band: " << (all_ok ? "yes" : "NO")
+
+  BenchReport report;
+  report.bench = spec.id;
+  report.seed = 2026;
+  report.threads = resolve_threads(par.threads);
+  report.trials_per_workload = kPaperTrialsPerWorkload;
+  report.trials = fig.spec.alus.size() * fig.percents.size() * 2 *
+                  kPaperTrialsPerWorkload;
+  report.wall_seconds = wall;
+  report.metrics.emplace_back("max_stddev", max_sd);
+  report.metrics.emplace_back("points_above_10_stddev",
+                              static_cast<double>(above_10));
+  report.extra.emplace_back("anchors_ok", all_ok ? "yes" : "NO");
+  for (std::size_t s = 0; s < fig.spec.alus.size(); ++s) {
+    report.sweeps.push_back({fig.spec.alus[s], fig.series[s]});
+  }
+  const std::string path = save_bench_json(report);
+  std::cout << "\nWrote " << (path.empty() ? "NOTHING (json failed)" : path)
             << "\n";
-  return all_ok ? 0 : 1;
+  std::cout << "All anchors within band: " << (all_ok ? "yes" : "NO")
+            << "\n";
+  return all_ok && !path.empty() ? 0 : 1;
 }

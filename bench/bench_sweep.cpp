@@ -1,0 +1,172 @@
+// bench_sweep — the parallel sweep engine bench. Runs the paper's full
+// fault-injection protocol (18 percentages x 2 workloads x N trials)
+// over a set of ALUs twice — once serially, once on the thread pool —
+// verifies the two are bit-identical, and records wall-clock, speedup
+// and throughput in BENCH_sweep.json.
+//
+//   bench_sweep [--threads N] [--trials N] [--alus a,b,c] [--smoke]
+//               [--out PATH] [--skip-serial]
+//
+// --smoke shrinks the run (two ALUs, the 5-point smoke sweep) for the
+// `bench_smoke` CI target; --skip-serial records only the parallel pass
+// (no baseline, no verification) for quick measurements.
+#include <chrono>
+#include <iostream>
+#include <sstream>
+
+#include "alu/alu_factory.hpp"
+#include "common/cli.hpp"
+#include "common/thread_pool.hpp"
+#include "fault/sweep.hpp"
+#include "sim/bench_json.hpp"
+#include "sim/table_render.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> names;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      names.push_back(item);
+    }
+  }
+  return names;
+}
+
+bool identical(const std::vector<nbx::DataPoint>& a,
+               const std::vector<nbx::DataPoint>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].mean_percent_correct != b[i].mean_percent_correct ||
+        a[i].stddev != b[i].stddev || a[i].ci95 != b[i].ci95 ||
+        a[i].samples != b[i].samples) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nbx;
+  const CliArgs args(argc, argv);
+  const bool smoke = args.has("smoke");
+  const bool skip_serial = args.has("skip-serial");
+  const auto threads =
+      static_cast<unsigned>(args.get_int("threads", 0));
+  const int trials = static_cast<int>(
+      args.get_int("trials", smoke ? 2 : kPaperTrialsPerWorkload));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 2026));
+
+  std::vector<std::string> names;
+  if (args.has("alus")) {
+    names = split_names(args.get("alus"));
+  } else if (smoke) {
+    names = {"alunn", "aluss"};
+  } else {
+    for (const AluSpec& spec : table2_specs()) {
+      names.push_back(spec.name);
+    }
+  }
+  for (const std::string& name : names) {
+    if (!make_alu(name)) {
+      std::cerr << "error: unknown ALU '" << name
+                << "' (see bench_table2 for the valid names)\n";
+      return 2;
+    }
+  }
+  const std::vector<double> percents = smoke ? smoke_sweep() : paper_sweep();
+  const auto streams = paper_streams(seed);
+  const unsigned resolved = resolve_threads(threads);
+  const ParallelConfig par{threads, 0};
+
+  std::cout << "Sweep engine bench: " << names.size() << " ALUs x "
+            << percents.size() << " fault percentages x " << streams.size()
+            << " workloads x " << trials << " trials, " << resolved
+            << " threads\n\n";
+
+  BenchReport report;
+  report.bench = "sweep";
+  report.seed = seed;
+  report.threads = resolved;
+  report.trials_per_workload = trials;
+
+  double serial_seconds = 0.0;
+  std::vector<std::vector<DataPoint>> serial_results;
+  if (!skip_serial) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const std::string& name : names) {
+      const auto alu = make_alu(name);
+      serial_results.push_back(
+          run_sweep(*alu, streams, percents, trials, seed));
+    }
+    serial_seconds = seconds_since(t0);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  bool all_identical = true;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto alu = make_alu(names[i]);
+    auto points = run_sweep(*alu, streams, percents, trials, seed,
+                            FaultCountPolicy::kRoundNearest,
+                            InjectionScope::kAll, 0, par);
+    if (!skip_serial && !identical(points, serial_results[i])) {
+      all_identical = false;
+      std::cout << "MISMATCH: parallel sweep of " << names[i]
+                << " differs from serial\n";
+    }
+    report.sweeps.push_back({names[i], std::move(points)});
+  }
+  const double parallel_seconds = seconds_since(t0);
+
+  report.trials =
+      names.size() * percents.size() * streams.size() *
+      static_cast<std::size_t>(trials);
+  report.wall_seconds = parallel_seconds;
+  report.metrics.emplace_back("parallel_seconds", parallel_seconds);
+  if (!skip_serial) {
+    report.metrics.emplace_back("serial_seconds", serial_seconds);
+    report.metrics.emplace_back(
+        "speedup",
+        parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0);
+  }
+  report.extra.emplace_back("mode", smoke ? "smoke" : "paper");
+  report.extra.emplace_back("bit_identical",
+                            skip_serial ? "unverified"
+                                        : (all_identical ? "yes" : "NO"));
+
+  TextTable t({"metric", "value"});
+  t.add_row({"trials", std::to_string(report.trials)});
+  t.add_row({"threads", std::to_string(resolved)});
+  if (!skip_serial) {
+    t.add_row({"serial s", fmt_double(serial_seconds, 3)});
+  }
+  t.add_row({"parallel s", fmt_double(parallel_seconds, 3)});
+  if (!skip_serial && parallel_seconds > 0.0) {
+    t.add_row({"speedup", fmt_double(serial_seconds / parallel_seconds, 2)});
+  }
+  t.add_row({"trials/s", fmt_double(report.trials_per_second(), 1)});
+  if (!skip_serial) {
+    t.add_row({"bit-identical", all_identical ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+
+  const std::string path = save_bench_json(report, args.get("out"));
+  if (path.empty()) {
+    std::cout << "\nFAILED to write bench JSON\n";
+    return 1;
+  }
+  std::cout << "\nWrote " << path << "\n";
+  return all_identical ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "alu/alu_factory.hpp"
+#include "sim/bench_json.hpp"
 #include "sim/table_render.hpp"
 
 int main() {
@@ -11,6 +12,8 @@ int main() {
   std::cout << "Table 2: ALU naming conventions and the potential number "
                "of fault injection sites\n\n";
   TextTable t({"ALU", "paper sites", "our sites", "match", "description"});
+  BenchReport report;
+  report.bench = "table2";
   bool all_match = true;
   for (const AluSpec& spec : table2_specs()) {
     const auto alu = make_alu(spec.name);
@@ -20,10 +23,13 @@ int main() {
     t.add_row({spec.name, std::to_string(spec.expected_sites),
                std::to_string(measured), match ? "yes" : "NO",
                spec.description});
+    report.metrics.emplace_back("sites." + spec.name,
+                                static_cast<double>(measured));
   }
   t.print(std::cout);
   std::cout << "\nAll twelve Table 2 site counts reproduced: "
             << (all_match ? "yes" : "NO") << "\n";
+  report.extra.emplace_back("all_match", all_match ? "yes" : "NO");
 
   std::cout << "\nExtension variants (Hsiao SEC-DED coding, mentioned but "
                "not evaluated in the paper):\n\n";
@@ -36,5 +42,9 @@ int main() {
     }
   }
   e.print(std::cout);
-  return all_match ? 0 : 1;
+
+  const std::string path = save_bench_json(report);
+  std::cout << "\nWrote " << (path.empty() ? "NOTHING (json failed)" : path)
+            << "\n";
+  return all_match && !path.empty() ? 0 : 1;
 }

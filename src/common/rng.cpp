@@ -77,6 +77,31 @@ Rng Rng::split(std::uint64_t stream) const {
   return Rng(sm.next());
 }
 
+std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive_seed(std::initializer_list<std::uint64_t> keys) {
+  // Hash-combine chain with a full-avalanche mixer per key. Seeding the
+  // accumulator with the golden ratio keeps the empty tuple nonzero.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const std::uint64_t k : keys) {
+    h = mix64(h ^ (k + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
                                                            std::uint64_t k) {
   assert(k <= n);

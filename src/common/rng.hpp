@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <string_view>
 #include <vector>
 
 namespace nbx {
@@ -66,5 +68,20 @@ class Rng {
   std::uint64_t s_[4];
   std::uint64_t seed_;  // retained so split() can derive child seeds
 };
+
+/// SplitMix64's finalizer as a pure function: a strong 64-bit mixer.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Derives one seed from an ordered tuple of 64-bit keys by chaining
+/// mix64 over a hash-combine accumulator. This is the counter-based
+/// split used by the parallel experiment harness: the result is a pure
+/// function of the key tuple — no generator state is consumed — so any
+/// scheduling of the keyed work items reproduces identical streams.
+/// Distinct tuples (including different lengths) decorrelate.
+std::uint64_t derive_seed(std::initializer_list<std::uint64_t> keys);
+
+/// FNV-1a 64-bit string hash. Stable across platforms and runs; used to
+/// fold ALU names into derived seeds.
+std::uint64_t fnv1a64(std::string_view s);
 
 }  // namespace nbx

@@ -1,0 +1,99 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace nbx {
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned total = resolve_threads(threads);
+  workers_.reserve(total - 1);
+  for (unsigned i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::drain() {
+  while (true) {
+    const std::size_t begin = next_.fetch_add(chunk_);
+    if (begin >= n_) {
+      return;
+    }
+    const std::size_t end = std::min(begin + chunk_, n_);
+    for (std::size_t i = begin; i < end; ++i) {
+      (*body_)(i);
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      wake_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = epoch_;
+    }
+    drain();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++finished_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+  if (chunk == 0) {
+    chunk = std::max<std::size_t>(1, n / (4 * thread_count()));
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    body_ = &body;
+    n_ = n;
+    chunk_ = chunk;
+    next_.store(0);
+    finished_ = 0;
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+  drain();  // the caller participates
+  std::unique_lock<std::mutex> lk(mu_);
+  // Wait for every worker to have finished the epoch (not just for the
+  // counter to be exhausted) so `body` cannot dangle.
+  done_cv_.wait(lk, [&] { return finished_ == workers_.size(); });
+  body_ = nullptr;
+}
+
+}  // namespace nbx

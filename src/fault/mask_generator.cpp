@@ -1,5 +1,6 @@
 #include "fault/mask_generator.hpp"
 
+#include <bit>
 #include <cassert>
 #include <cmath>
 
@@ -68,6 +69,20 @@ BitVec MaskGenerator::generate(Rng& rng) const {
   BitVec mask(sites_);
   generate(rng, mask);
   return mask;
+}
+
+std::uint64_t MaskGenerator::trial_seed(std::uint64_t master_seed,
+                                        std::uint64_t alu_name_hash,
+                                        double fault_percent,
+                                        std::size_t workload_index,
+                                        std::size_t trial_index) {
+  // The percent enters by bit pattern rather than sweep index so a data
+  // point's stream does not depend on its position in (or membership of)
+  // any particular sweep.
+  return derive_seed({master_seed, alu_name_hash,
+                      std::bit_cast<std::uint64_t>(fault_percent),
+                      static_cast<std::uint64_t>(workload_index),
+                      static_cast<std::uint64_t>(trial_index)});
 }
 
 }  // namespace nbx

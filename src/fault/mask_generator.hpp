@@ -59,6 +59,18 @@ class MaskGenerator {
   /// Convenience: returns a newly allocated mask.
   [[nodiscard]] BitVec generate(Rng& rng) const;
 
+  /// Counter-based per-trial seed derivation shared by the serial and
+  /// parallel experiment harnesses. The seed is a pure function of
+  /// (master seed, ALU-name hash, fault-percent bit pattern, workload
+  /// index, trial index): no generator state is threaded between trials,
+  /// so any assignment of trials to threads — or any execution order —
+  /// regenerates the exact same mask stream for each trial.
+  static std::uint64_t trial_seed(std::uint64_t master_seed,
+                                  std::uint64_t alu_name_hash,
+                                  double fault_percent,
+                                  std::size_t workload_index,
+                                  std::size_t trial_index);
+
  private:
   std::size_t sites_;
   double fault_percent_;

@@ -1,0 +1,114 @@
+#include "sim/bench_json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace nbx {
+
+double BenchReport::trials_per_second() const {
+  return wall_seconds > 0.0
+             ? static_cast<double>(trials) / wall_seconds
+             : 0.0;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  // Shortest round-trippable decimal form; always valid JSON (to_chars
+  // never emits a leading '+' or a bare '.').
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc{} ? std::string(buf, end) : "null";
+}
+
+namespace {
+
+void write_point(std::ostream& os, const DataPoint& p,
+                 const char* indent) {
+  os << indent << "{\"fault_percent\": " << json_double(p.fault_percent)
+     << ", \"mean_percent_correct\": "
+     << json_double(p.mean_percent_correct)
+     << ", \"stddev\": " << json_double(p.stddev)
+     << ", \"ci95\": " << json_double(p.ci95)
+     << ", \"samples\": " << p.samples << "}";
+}
+
+}  // namespace
+
+void write_bench_json(std::ostream& os, const BenchReport& r) {
+  os << "{\n";
+  os << "  \"bench\": \"" << json_escape(r.bench) << "\",\n";
+  os << "  \"seed\": " << r.seed << ",\n";
+  os << "  \"threads\": " << r.threads << ",\n";
+  os << "  \"trials_per_workload\": " << r.trials_per_workload << ",\n";
+  os << "  \"trials\": " << r.trials << ",\n";
+  os << "  \"wall_seconds\": " << json_double(r.wall_seconds) << ",\n";
+  os << "  \"trials_per_second\": " << json_double(r.trials_per_second())
+     << ",\n";
+  os << "  \"metrics\": {";
+  for (std::size_t i = 0; i < r.metrics.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << json_escape(r.metrics[i].first)
+       << "\": " << json_double(r.metrics[i].second);
+  }
+  os << "},\n";
+  os << "  \"extra\": {";
+  for (std::size_t i = 0; i < r.extra.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << json_escape(r.extra[i].first)
+       << "\": \"" << json_escape(r.extra[i].second) << "\"";
+  }
+  os << "},\n";
+  os << "  \"sweeps\": [";
+  for (std::size_t s = 0; s < r.sweeps.size(); ++s) {
+    os << (s ? ",\n" : "\n");
+    os << "    {\"alu\": \"" << json_escape(r.sweeps[s].alu)
+       << "\", \"points\": [\n";
+    for (std::size_t p = 0; p < r.sweeps[s].points.size(); ++p) {
+      write_point(os, r.sweeps[s].points[p], "      ");
+      os << (p + 1 < r.sweeps[s].points.size() ? ",\n" : "\n");
+    }
+    os << "    ]}";
+  }
+  os << (r.sweeps.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+}
+
+std::string save_bench_json(const BenchReport& report,
+                            const std::string& path) {
+  const std::string out_path =
+      path.empty() ? "BENCH_" + report.bench + ".json" : path;
+  std::ofstream os(out_path);
+  if (!os) {
+    return "";
+  }
+  write_bench_json(os, report);
+  os.flush();
+  return os ? out_path : "";
+}
+
+}  // namespace nbx

@@ -1,0 +1,60 @@
+// bench_json.hpp — machine-readable results sink for the bench harnesses.
+//
+// Every bench that reproduces a paper table or figure also emits a JSON
+// document (BENCH_<name>.json) carrying the same numbers as its text
+// tables plus run metadata — wall-clock seconds, thread count, trial
+// throughput — so CI and later PRs can track performance and detect
+// output drift without scraping stdout. The schema is documented in
+// README.md ("BENCH_sweep.json schema").
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace nbx {
+
+/// One ALU's evaluated sweep inside a bench report.
+struct SweepRecord {
+  std::string alu;
+  std::vector<DataPoint> points;
+};
+
+/// Top-level bench result document, serialized as one JSON object.
+struct BenchReport {
+  std::string bench;             ///< short name, e.g. "sweep", "fig7"
+  std::uint64_t seed = 0;
+  unsigned threads = 1;          ///< resolved worker-thread count
+  int trials_per_workload = 0;
+  std::size_t trials = 0;        ///< total trials executed
+  double wall_seconds = 0.0;
+  std::vector<std::pair<std::string, double>> metrics;  ///< named scalars
+  std::vector<std::pair<std::string, std::string>> extra;  ///< string tags
+  std::vector<SweepRecord> sweeps;
+
+  /// trials / wall_seconds (0 when the clock read 0).
+  [[nodiscard]] double trials_per_second() const;
+};
+
+/// Escapes a string for embedding in a JSON string literal (no quotes).
+std::string json_escape(std::string_view s);
+
+/// Serializes one double as JSON: round-trippable shortest form;
+/// NaN/inf become null (JSON has no representation for them).
+std::string json_double(double v);
+
+/// Writes `report` as pretty-printed JSON.
+void write_bench_json(std::ostream& os, const BenchReport& report);
+
+/// Writes the report to `path`, or to "BENCH_<bench>.json" in the
+/// current directory when `path` is empty. Returns the path written,
+/// empty string on I/O failure.
+std::string save_bench_json(const BenchReport& report,
+                            const std::string& path = "");
+
+}  // namespace nbx

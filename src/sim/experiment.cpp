@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/thread_pool.hpp"
 #include "fault/defect_map.hpp"
 #include "workload/image_ops.hpp"
 
@@ -53,30 +54,59 @@ TrialResult run_trial(const IAlu& alu,
   return res;
 }
 
-DataPoint run_data_point(
-    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
-    double fault_percent, int trials_per_workload, std::uint64_t seed,
-    FaultCountPolicy policy, InjectionScope scope,
-    std::size_t datapath_sites, std::size_t burst_length) {
-  TrialConfig cfg;
-  cfg.fault_percent = fault_percent;
-  cfg.policy = policy;
-  cfg.burst_length = burst_length;
-  cfg.scope = scope;
-  cfg.datapath_sites = datapath_sites;
+namespace {
 
-  Rng master(seed);
-  RunningStats stats;
-  for (std::size_t w = 0; w < streams.size(); ++w) {
-    for (int t = 0; t < trials_per_workload; ++t) {
-      // Each (workload, trial) pair gets a decorrelated stream; including
-      // the fault percent in the split keeps points independent too.
-      Rng rng = master.split((w << 20) ^ static_cast<std::uint64_t>(t) ^
-                             (static_cast<std::uint64_t>(fault_percent * 100.0)
-                              << 32));
-      const TrialResult r = run_trial(alu, streams[w], cfg, rng);
-      stats.add(r.percent_correct);
+// Runs the (percent x workload x trial) grid and returns one
+// percent_correct sample per cell, indexed [percent][workload][trial]
+// flattened. Every cell is an independent work item whose RNG seed is a
+// pure function of its coordinates (MaskGenerator::trial_seed), so the
+// sample vector is bit-identical for any thread count or schedule.
+std::vector<double> run_trial_grid(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    const std::vector<double>& percents, int trials_per_workload,
+    std::uint64_t seed, FaultCountPolicy policy, InjectionScope scope,
+    std::size_t datapath_sites, std::size_t burst_length,
+    const ParallelConfig& par) {
+  const std::size_t workloads = streams.size();
+  const auto trials = static_cast<std::size_t>(trials_per_workload);
+  const std::size_t per_percent = workloads * trials;
+  const std::size_t total = percents.size() * per_percent;
+  const std::uint64_t alu_hash = fnv1a64(alu.name());
+
+  std::vector<double> samples(total, 0.0);
+  const auto run_cell = [&](std::size_t i) {
+    const std::size_t pi = i / per_percent;
+    const std::size_t w = (i % per_percent) / trials;
+    const std::size_t t = i % trials;
+    TrialConfig cfg;
+    cfg.fault_percent = percents[pi];
+    cfg.policy = policy;
+    cfg.burst_length = burst_length;
+    cfg.scope = scope;
+    cfg.datapath_sites = datapath_sites;
+    Rng rng(MaskGenerator::trial_seed(seed, alu_hash, percents[pi], w, t));
+    samples[i] = run_trial(alu, streams[w], cfg, rng).percent_correct;
+  };
+
+  if (resolve_threads(par.threads) <= 1 || total <= 1) {
+    for (std::size_t i = 0; i < total; ++i) {
+      run_cell(i);
     }
+  } else {
+    ThreadPool pool(par.threads);
+    pool.parallel_for(total, par.chunking, run_cell);
+  }
+  return samples;
+}
+
+// Folds one percent's samples into a DataPoint in fixed (workload-major)
+// order, keeping the floating-point accumulation identical to the serial
+// path regardless of which threads produced the samples.
+DataPoint fold_point(const IAlu& alu, double fault_percent,
+                     const double* samples, std::size_t count) {
+  RunningStats stats;
+  for (std::size_t i = 0; i < count; ++i) {
+    stats.add(samples[i]);
   }
   DataPoint p;
   p.alu = std::string(alu.name());
@@ -88,16 +118,38 @@ DataPoint run_data_point(
   return p;
 }
 
+}  // namespace
+
+DataPoint run_data_point(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    double fault_percent, int trials_per_workload, std::uint64_t seed,
+    FaultCountPolicy policy, InjectionScope scope,
+    std::size_t datapath_sites, std::size_t burst_length,
+    const ParallelConfig& par) {
+  const std::vector<double> samples =
+      run_trial_grid(alu, streams, {fault_percent}, trials_per_workload,
+                     seed, policy, scope, datapath_sites, burst_length, par);
+  return fold_point(alu, fault_percent, samples.data(), samples.size());
+}
+
 std::vector<DataPoint> run_sweep(
     const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
     const std::vector<double>& percents, int trials_per_workload,
     std::uint64_t seed, FaultCountPolicy policy, InjectionScope scope,
-    std::size_t datapath_sites) {
+    std::size_t datapath_sites, const ParallelConfig& par) {
+  // One flat grid over every (percent, workload, trial) cell: a sweep
+  // parallelizes across its whole trial population, not point by point.
+  const std::vector<double> samples =
+      run_trial_grid(alu, streams, percents, trials_per_workload, seed,
+                     policy, scope, datapath_sites, /*burst_length=*/1, par);
+  const std::size_t per_percent =
+      streams.size() * static_cast<std::size_t>(trials_per_workload);
   std::vector<DataPoint> points;
   points.reserve(percents.size());
-  for (const double pct : percents) {
-    points.push_back(run_data_point(alu, streams, pct, trials_per_workload,
-                                    seed, policy, scope, datapath_sites));
+  for (std::size_t pi = 0; pi < percents.size(); ++pi) {
+    points.push_back(fold_point(alu, percents[pi],
+                                samples.data() + pi * per_percent,
+                                per_percent));
   }
   return points;
 }

@@ -49,6 +49,18 @@ TrialResult run_trial(const IAlu& alu,
                       const std::vector<Instruction>& stream,
                       const TrialConfig& cfg, Rng& rng);
 
+/// How run_data_point / run_sweep fan trials out across worker threads.
+/// Per-trial RNG seeds are derived counter-style from (seed, ALU-name
+/// hash, fault percent, workload index, trial index) — see
+/// MaskGenerator::trial_seed — and samples are folded into statistics in
+/// a fixed order, so results are bit-identical for every `threads`
+/// value and every scheduling.
+struct ParallelConfig {
+  unsigned threads = 1;   ///< total worker threads; 1 = serial, 0 = all
+                          ///< hardware threads
+  std::size_t chunking = 0;  ///< trials per work unit; 0 = auto
+};
+
 /// One plotted point: an ALU at one fault percentage, averaged over
 /// `trials_per_workload` trials of each workload.
 struct DataPoint {
@@ -69,16 +81,20 @@ DataPoint run_data_point(const IAlu& alu,
                          FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
                          InjectionScope scope = InjectionScope::kAll,
                          std::size_t datapath_sites = 0,
-                         std::size_t burst_length = 1);
+                         std::size_t burst_length = 1,
+                         const ParallelConfig& par = {});
 
-/// A full sweep of one ALU across fault percentages.
+/// A full sweep of one ALU across fault percentages. With par.threads
+/// != 1 every (percent, workload, trial) cell of the sweep runs
+/// concurrently; the output is bit-identical to the serial path.
 std::vector<DataPoint> run_sweep(
     const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
     const std::vector<double>& percents, int trials_per_workload,
     std::uint64_t seed,
     FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
     InjectionScope scope = InjectionScope::kAll,
-    std::size_t datapath_sites = 0);
+    std::size_t datapath_sites = 0,
+    const ParallelConfig& par = {});
 
 /// The paper's two workload streams over the standard 64-pixel image.
 std::vector<std::vector<Instruction>> paper_streams(std::uint64_t seed = 42);

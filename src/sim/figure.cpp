@@ -35,15 +35,18 @@ std::vector<FigureSpec> all_figure_specs() {
 
 FigureResult run_figure(const FigureSpec& spec,
                         const std::vector<double>& percents,
-                        int trials_per_workload, std::uint64_t seed) {
+                        int trials_per_workload, std::uint64_t seed,
+                        const ParallelConfig& par) {
   FigureResult fig;
   fig.spec = spec;
   fig.percents = percents;
   const auto streams = paper_streams(seed);
   for (const std::string& name : spec.alus) {
     const auto alu = make_alu(name);
-    fig.series.push_back(
-        run_sweep(*alu, streams, percents, trials_per_workload, seed));
+    fig.series.push_back(run_sweep(*alu, streams, percents,
+                                   trials_per_workload, seed,
+                                   FaultCountPolicy::kRoundNearest,
+                                   InjectionScope::kAll, 0, par));
   }
   return fig;
 }

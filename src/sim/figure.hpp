@@ -45,9 +45,12 @@ struct FigureResult {
 
 /// Runs a figure: builds each ALU, sweeps the given percentages with the
 /// paper's trial structure (trials per workload x 2 workloads per point).
+/// `par` fans the sweeps' trials across worker threads; results are
+/// bit-identical to the serial default for every thread count.
 FigureResult run_figure(const FigureSpec& spec,
                         const std::vector<double>& percents,
-                        int trials_per_workload, std::uint64_t seed);
+                        int trials_per_workload, std::uint64_t seed,
+                        const ParallelConfig& par = {});
 
 /// Prints the figure as a table: rows = fault %, columns = the ALUs.
 void print_figure(std::ostream& os, const FigureResult& fig);

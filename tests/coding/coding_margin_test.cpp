@@ -1,0 +1,149 @@
+// coding_margin_test.cpp — coverage exactly at the codes' correction
+// margins, beyond what the per-code unit tests exercise.
+//
+//   * Hsiao SEC-DED: EVERY double error over the full codeword —
+//     including check-check pairs, which the unit tests skip — must be
+//     detected, never miscorrected, at several data widths.
+//   * Reed-Solomon RS(k+2, k): t = 1 symbol. At exactly t errors every
+//     magnitude at every position must decode cleanly; at t+1 errors
+//     (two corrupted symbols) the decoder must never report kNoError
+//     and must never silently hand back the original word as if clean.
+#include <gtest/gtest.h>
+
+#include "coding/hsiao.hpp"
+#include "coding/reed_solomon.hpp"
+#include "common/rng.hpp"
+
+namespace nbx {
+namespace {
+
+BitVec random_data(std::size_t bits, std::uint64_t seed) {
+  Rng rng(seed);
+  BitVec v(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    v.set(i, rng.bernoulli(0.5));
+  }
+  return v;
+}
+
+TEST(HsiaoMargin, EveryDoubleErrorOverTheFullCodewordIsDetected) {
+  // All pairs over data+check bits: data-data, data-check AND
+  // check-check. A double check-bit error must not be mistaken for a
+  // correctable single error (their XOR has even weight, but a buggy
+  // column table could alias it onto a data column).
+  for (const std::size_t width : {8u, 16u, 32u}) {
+    const HsiaoCode code(width);
+    const BitVec data = random_data(width, 0xD0 + width);
+    const BitVec checks = code.generate_check_bits(data);
+    const std::size_t n = code.codeword_bits();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        BitVec bad_data = data;
+        BitVec bad_checks = checks;
+        auto flip = [&](std::size_t bit) {
+          if (bit < width) {
+            bad_data.flip(bit);
+          } else {
+            bad_checks.flip(bit - width);
+          }
+        };
+        flip(i);
+        flip(j);
+        const BitVec snapshot = bad_data;
+        EXPECT_EQ(code.detect_and_correct(bad_data, bad_checks),
+                  HsiaoStatus::kDoubleDetected)
+            << "width " << width << " bits " << i << "," << j;
+        EXPECT_EQ(bad_data, snapshot)
+            << "decoder touched data on a double error, width " << width
+            << " bits " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(RsMargin, ExactlyTErrorsAlwaysDecode) {
+  // t = 1 symbol: every nonzero magnitude at every codeword position —
+  // data and parity symbols alike — is within the correction radius.
+  for (const std::size_t width : {16u, 32u}) {
+    const Rs16Code code(width);
+    const BitVec data = random_data(width, 0xA0 + width);
+    const BitVec checks = code.generate_check_bits(data);
+    // Data-symbol errors: corrected and restored.
+    for (std::size_t sym = 0; sym < code.data_symbols(); ++sym) {
+      for (std::uint8_t magnitude = 1; magnitude < 16; ++magnitude) {
+        BitVec corrupted = data;
+        for (int b = 0; b < 4; ++b) {
+          if (magnitude & (1u << b)) {
+            corrupted.flip(sym * 4 + static_cast<std::size_t>(b));
+          }
+        }
+        EXPECT_EQ(code.detect_and_correct(corrupted, checks),
+                  RsStatus::kCorrected)
+            << "width " << width << " symbol " << sym << " magnitude "
+            << int(magnitude);
+        EXPECT_EQ(corrupted, data);
+      }
+    }
+    // Parity-symbol errors: flagged corrected, data untouched.
+    for (std::size_t bit = 0; bit < 8; ++bit) {
+      BitVec bad_checks = checks;
+      bad_checks.flip(bit);
+      BitVec w = data;
+      EXPECT_EQ(code.detect_and_correct(w, bad_checks),
+                RsStatus::kCorrected);
+      EXPECT_EQ(w, data);
+    }
+  }
+}
+
+TEST(RsMargin, TPlusOneErrorsAreNeverReportedClean) {
+  // Two corrupted symbols exceed the correction radius. With minimum
+  // distance 3 the decoder may legitimately miscorrect toward a
+  // neighbouring codeword, but it must never claim kNoError and must
+  // never silently return the original word.
+  for (const std::size_t width : {16u, 32u}) {
+    const Rs16Code code(width);
+    const BitVec data = random_data(width, 0xB0 + width);
+    const BitVec checks = code.generate_check_bits(data);
+    const std::size_t n = code.codeword_symbols();
+    for (std::size_t s1 = 0; s1 < n; ++s1) {
+      for (std::size_t s2 = s1 + 1; s2 < n; ++s2) {
+        const std::pair<int, int> magnitudes[] = {{1, 1}, {15, 7}, {9, 12}};
+        for (const auto& [m1, m2] : magnitudes) {
+          // Symbols 0..1 are parity, 2.. are data (codeword layout).
+          BitVec bad_data = data;
+          BitVec bad_checks = checks;
+          auto corrupt = [&](std::size_t sym, int magnitude) {
+            for (int b = 0; b < 4; ++b) {
+              if (magnitude & (1 << b)) {
+                const std::size_t bit =
+                    sym * 4 + static_cast<std::size_t>(b);
+                if (sym < 2) {
+                  bad_checks.flip(bit);
+                } else {
+                  bad_data.flip(bit - 8);
+                }
+              }
+            }
+          };
+          corrupt(s1, m1);
+          corrupt(s2, m2);
+          const RsStatus st = code.detect_and_correct(bad_data, bad_checks);
+          EXPECT_NE(st, RsStatus::kNoError)
+              << "width " << width << " symbols " << s1 << "," << s2;
+          if (st == RsStatus::kCorrected && s1 >= 2) {
+            // Both errors hit data symbols and the decoder "fixed"
+            // something: the outcome must not masquerade as the
+            // original word.
+            EXPECT_NE(bad_data, data)
+                << "double error silently repaired, width " << width
+                << " symbols " << s1 << "," << s2;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nbx

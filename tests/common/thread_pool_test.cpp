@@ -1,0 +1,69 @@
+// thread_pool_test.cpp — unit tests for the worker pool beneath the
+// parallel sweep engine.
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace nbx {
+namespace {
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(8), 8u);
+  EXPECT_GE(resolve_threads(0), 1u);  // hardware concurrency, at least 1
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, 7, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, PerIndexResultSlotsSeeNoRaces) {
+  ThreadPool pool(4);
+  const std::size_t n = 5000;
+  std::vector<std::uint64_t> out(n, 0);
+  pool.parallel_for(n, 0, [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPool, HandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 1, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(1, 100, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);
+  // Chunk larger than n, n smaller than thread count.
+  pool.parallel_for(3, 1000, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  // The pool's epoch protocol must survive back-to-back parallel_fors
+  // without deadlock or lost work.
+  ThreadPool pool(3);
+  std::uint64_t total = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::uint64_t> out(64, 0);
+    pool.parallel_for(64, 5, [&](std::size_t i) { out[i] = i + 1; });
+    total += std::accumulate(out.begin(), out.end(), std::uint64_t{0});
+  }
+  EXPECT_EQ(total, 50u * (64u * 65u / 2u));
+}
+
+}  // namespace
+}  // namespace nbx

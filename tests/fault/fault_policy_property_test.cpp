@@ -1,0 +1,119 @@
+// fault_policy_property_test.cpp — property tests for the fault-count
+// policies at the sweep boundaries. The paper's sweep spans 0% to 75%
+// with 0.05% as its smallest nonzero point; these are exactly the
+// places where rounding, burst truncation and site-count clamping can
+// go wrong.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/mask_generator.hpp"
+#include "fault/sweep.hpp"
+
+namespace nbx {
+namespace {
+
+// Site counts exercised: the paper's extremes (alunn's 512 core sites,
+// aluss's 5040) plus tiny spaces where rounding boundaries bite.
+const std::size_t kSiteCounts[] = {1, 2, 7, 144, 512, 5040};
+
+TEST(FaultPolicyProperty, FaultCountIsMonotoneInPercent) {
+  // Along the whole paper sweep (which includes the boundary points 0,
+  // 0.05 and 75), the per-computation fault count never decreases as
+  // the injected percentage grows.
+  for (const FaultCountPolicy policy :
+       {FaultCountPolicy::kRoundNearest, FaultCountPolicy::kBurst}) {
+    for (const std::size_t sites : kSiteCounts) {
+      std::size_t prev = 0;
+      for (const double pct : kPaperFaultPercentages) {
+        const std::size_t k =
+            MaskGenerator(sites, pct, policy, 4).faults_per_computation();
+        EXPECT_GE(k, prev) << sites << " sites @ " << pct << "%";
+        prev = k;
+      }
+    }
+  }
+}
+
+TEST(FaultPolicyProperty, FaultCountNeverExceedsSiteCount) {
+  for (const FaultCountPolicy policy :
+       {FaultCountPolicy::kRoundNearest, FaultCountPolicy::kBurst}) {
+    for (const std::size_t sites : kSiteCounts) {
+      for (const double pct : {0.0, 0.05, 75.0, 100.0}) {
+        const MaskGenerator gen(sites, pct, policy, 4);
+        EXPECT_LE(gen.faults_per_computation(), sites)
+            << sites << " sites @ " << pct << "%";
+      }
+    }
+  }
+}
+
+TEST(FaultPolicyProperty, GeneratedMaskPopcountRespectsBounds) {
+  Rng rng(2024);
+  for (const FaultCountPolicy policy :
+       {FaultCountPolicy::kRoundNearest, FaultCountPolicy::kBurst}) {
+    for (const std::size_t sites : {7u, 144u, 512u}) {
+      for (const double pct : {0.0, 0.05, 75.0}) {
+        const MaskGenerator gen(sites, pct, policy, 3);
+        for (int i = 0; i < 20; ++i) {
+          const BitVec mask = gen.generate(rng);
+          ASSERT_EQ(mask.size(), sites);
+          // kRoundNearest places exactly k faults (sampling without
+          // replacement); kBurst may truncate at the boundary or
+          // overlap strikes, so its popcount only has the upper bound.
+          const std::size_t k = gen.faults_per_computation();
+          if (policy == FaultCountPolicy::kRoundNearest) {
+            EXPECT_EQ(mask.popcount(), k) << sites << " @ " << pct;
+          } else {
+            EXPECT_LE(mask.popcount(), sites) << sites << " @ " << pct;
+            const std::size_t strikes = k == 0 ? 0 : (k + 2) / 3;
+            EXPECT_LE(mask.popcount(), strikes * 3) << sites << " @ " << pct;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultPolicyProperty, ZeroPercentMasksAreAlwaysClean) {
+  Rng rng(7);
+  for (const FaultCountPolicy policy :
+       {FaultCountPolicy::kRoundNearest, FaultCountPolicy::kBurst}) {
+    const MaskGenerator gen(5040, 0.0, policy, 8);
+    EXPECT_EQ(gen.faults_per_computation(), 0u);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(gen.generate(rng).popcount(), 0u);
+    }
+  }
+}
+
+TEST(FaultPolicyProperty, SmallestSweepPointRoundsAsThePaperWould) {
+  // 0.05% of 512 sites = 0.256 faults -> 0; of 5040 = 2.52 -> 3.
+  EXPECT_EQ(MaskGenerator(512, 0.05).faults_per_computation(), 0u);
+  EXPECT_EQ(MaskGenerator(5040, 0.05).faults_per_computation(), 3u);
+  // 75% boundary: exact counts, no clamping needed.
+  EXPECT_EQ(MaskGenerator(512, 75.0).faults_per_computation(), 384u);
+  EXPECT_EQ(MaskGenerator(5040, 75.0).faults_per_computation(), 3780u);
+}
+
+TEST(FaultPolicyProperty, BurstLengthOneEqualsSingleFaultMasks) {
+  // A burst of length 1 is definitionally the uniform single-fault
+  // model: from identical RNG states the two policies must emit
+  // identical masks, at every sweep boundary.
+  for (const std::size_t sites : {7u, 512u, 5040u}) {
+    for (const double pct : {0.0, 0.05, 1.0, 75.0}) {
+      Rng rng_burst(900 + sites);
+      Rng rng_single(900 + sites);
+      const MaskGenerator burst(sites, pct, FaultCountPolicy::kBurst, 1);
+      const MaskGenerator single(sites, pct,
+                                 FaultCountPolicy::kRoundNearest);
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(burst.generate(rng_burst), single.generate(rng_single))
+            << sites << " sites @ " << pct << "% draw " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nbx

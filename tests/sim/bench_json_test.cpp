@@ -1,0 +1,107 @@
+// bench_json_test.cpp — the machine-readable bench sink must emit
+// valid, round-trippable JSON: CI parses these files.
+#include "sim/bench_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace nbx {
+namespace {
+
+BenchReport sample_report() {
+  BenchReport r;
+  r.bench = "unit";
+  r.seed = 42;
+  r.threads = 8;
+  r.trials_per_workload = 5;
+  r.trials = 180;
+  r.wall_seconds = 0.5;
+  r.metrics.emplace_back("speedup", 4.25);
+  r.extra.emplace_back("mode", "smoke");
+  DataPoint p;
+  p.alu = "aluss";
+  p.fault_percent = 2.0;
+  p.mean_percent_correct = 98.90625;
+  p.stddev = 0.75;
+  p.ci95 = 0.54;
+  p.samples = 10;
+  r.sweeps.push_back({"aluss", {p}});
+  return r;
+}
+
+TEST(BenchJson, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string("nul\x01") + "x"), "nul\\u0001x");
+}
+
+TEST(BenchJson, DoublesRoundTripAndNonFiniteBecomesNull) {
+  EXPECT_EQ(json_double(0.0), "0");
+  EXPECT_EQ(json_double(98.90625), "98.90625");
+  EXPECT_EQ(std::stod(json_double(1.0 / 3.0)), 1.0 / 3.0);
+  EXPECT_EQ(json_double(std::nan("")), "null");
+  EXPECT_EQ(json_double(INFINITY), "null");
+}
+
+TEST(BenchJson, TrialsPerSecond) {
+  BenchReport r = sample_report();
+  EXPECT_DOUBLE_EQ(r.trials_per_second(), 360.0);
+  r.wall_seconds = 0.0;
+  EXPECT_EQ(r.trials_per_second(), 0.0);
+}
+
+TEST(BenchJson, DocumentCarriesEveryField) {
+  std::ostringstream os;
+  write_bench_json(os, sample_report());
+  const std::string out = os.str();
+  for (const char* needle :
+       {"\"bench\": \"unit\"", "\"seed\": 42", "\"threads\": 8",
+        "\"trials\": 180", "\"wall_seconds\": 0.5",
+        "\"trials_per_second\": 360", "\"speedup\": 4.25",
+        "\"mode\": \"smoke\"", "\"alu\": \"aluss\"",
+        "\"fault_percent\": 2", "\"mean_percent_correct\": 98.90625",
+        "\"samples\": 10"}) {
+    EXPECT_NE(out.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(BenchJson, BalancedBracesAndBrackets) {
+  // Cheap structural validity check without a JSON parser dependency:
+  // balanced delimiters and an even quote count outside escapes.
+  std::ostringstream os;
+  write_bench_json(os, sample_report());
+  const std::string out = os.str();
+  int braces = 0;
+  int brackets = 0;
+  int quotes = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    if (c == '"' && (i == 0 || out[i - 1] != '\\')) {
+      ++quotes;
+    }
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(quotes % 2, 0);
+}
+
+TEST(BenchJson, EmptySweepsStillValid) {
+  BenchReport r;
+  r.bench = "empty";
+  std::ostringstream os;
+  write_bench_json(os, r);
+  EXPECT_NE(os.str().find("\"sweeps\": []"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nbx

@@ -1,0 +1,113 @@
+// parallel_determinism_test.cpp — the lockdown for the parallel sweep
+// engine: whatever the thread count or chunking, run_sweep and
+// run_data_point must produce bit-identical DataPoints to the serial
+// path. Any change that threads RNG state between trials, reorders the
+// statistics fold, or races on shared buffers fails here.
+#include <gtest/gtest.h>
+
+#include "alu/alu_factory.hpp"
+#include "fault/sweep.hpp"
+#include "sim/experiment.hpp"
+#include "sim/figure.hpp"
+
+namespace nbx {
+namespace {
+
+void expect_identical(const std::vector<DataPoint>& a,
+                      const std::vector<DataPoint>& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bit-identical: plain == on the doubles, no tolerance.
+    EXPECT_EQ(a[i].alu, b[i].alu) << label << " point " << i;
+    EXPECT_EQ(a[i].fault_percent, b[i].fault_percent)
+        << label << " point " << i;
+    EXPECT_EQ(a[i].mean_percent_correct, b[i].mean_percent_correct)
+        << label << " point " << i;
+    EXPECT_EQ(a[i].stddev, b[i].stddev) << label << " point " << i;
+    EXPECT_EQ(a[i].ci95, b[i].ci95) << label << " point " << i;
+    EXPECT_EQ(a[i].samples, b[i].samples) << label << " point " << i;
+  }
+}
+
+TEST(ParallelDeterminism, SweepIsThreadCountInvariant) {
+  const auto streams = paper_streams();
+  const std::vector<double> percents = smoke_sweep();
+  for (const char* name : {"alunn", "aluss"}) {
+    const auto alu = make_alu(name);
+    const auto serial = run_sweep(*alu, streams, percents, 3, 99);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      const ParallelConfig par{threads, 0};
+      const auto parallel =
+          run_sweep(*alu, streams, percents, 3, 99,
+                    FaultCountPolicy::kRoundNearest, InjectionScope::kAll,
+                    0, par);
+      expect_identical(serial, parallel,
+                       std::string(name) + " @ " +
+                           std::to_string(threads) + " threads");
+    }
+  }
+}
+
+TEST(ParallelDeterminism, ChunkingDoesNotChangeResults) {
+  const auto alu = make_alu("aluns");
+  const auto streams = paper_streams();
+  const std::vector<double> percents = {1.0, 5.0};
+  const auto serial = run_sweep(*alu, streams, percents, 4, 7);
+  for (const std::size_t chunk : {1u, 3u, 100u}) {
+    const ParallelConfig par{4, chunk};
+    const auto parallel =
+        run_sweep(*alu, streams, percents, 4, 7,
+                  FaultCountPolicy::kRoundNearest, InjectionScope::kAll, 0,
+                  par);
+    expect_identical(serial, parallel,
+                     "chunk " + std::to_string(chunk));
+  }
+}
+
+TEST(ParallelDeterminism, DataPointMatchesSerial) {
+  const auto alu = make_alu("alunh");
+  const auto streams = paper_streams();
+  const DataPoint serial = run_data_point(*alu, streams, 3.0, 5, 42);
+  const ParallelConfig par{8, 1};
+  const DataPoint parallel =
+      run_data_point(*alu, streams, 3.0, 5, 42,
+                     FaultCountPolicy::kRoundNearest, InjectionScope::kAll,
+                     0, 1, par);
+  EXPECT_EQ(serial.mean_percent_correct, parallel.mean_percent_correct);
+  EXPECT_EQ(serial.stddev, parallel.stddev);
+  EXPECT_EQ(serial.ci95, parallel.ci95);
+  EXPECT_EQ(serial.samples, parallel.samples);
+}
+
+TEST(ParallelDeterminism, SweepPointEqualsStandaloneDataPoint) {
+  // The sweep grid must seed each (percent, workload, trial) cell by the
+  // percent's *value*, not its sweep index: evaluating a percent alone
+  // reproduces the exact point from the full sweep.
+  const auto alu = make_alu("alunn");
+  const auto streams = paper_streams();
+  const std::vector<double> percents = {0.0, 2.0, 10.0};
+  const auto sweep = run_sweep(*alu, streams, percents, 3, 11);
+  for (std::size_t i = 0; i < percents.size(); ++i) {
+    const DataPoint alone =
+        run_data_point(*alu, streams, percents[i], 3, 11);
+    EXPECT_EQ(sweep[i].mean_percent_correct, alone.mean_percent_correct)
+        << percents[i];
+    EXPECT_EQ(sweep[i].stddev, alone.stddev) << percents[i];
+  }
+}
+
+TEST(ParallelDeterminism, RunFigureParallelMatchesSerial) {
+  const std::vector<double> percents = {0.0, 3.0};
+  const FigureResult serial = run_figure(figure7_spec(), percents, 2, 5);
+  const FigureResult parallel =
+      run_figure(figure7_spec(), percents, 2, 5, ParallelConfig{8, 0});
+  ASSERT_EQ(serial.series.size(), parallel.series.size());
+  for (std::size_t s = 0; s < serial.series.size(); ++s) {
+    expect_identical(serial.series[s], parallel.series[s],
+                     "fig7 series " + std::to_string(s));
+  }
+}
+
+}  // namespace
+}  // namespace nbx

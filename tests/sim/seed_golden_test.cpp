@@ -1,0 +1,53 @@
+// seed_golden_test.cpp — pins the exact output of the documented
+// reference configuration (aluss, 2% faults, master seed 2026, the
+// paper's 5-trials-per-workload protocol) and the seed-derivation chain
+// beneath it. A refactor of the RNG split, the mask generator, the
+// stats fold or the ALU structures that silently shifts every plotted
+// figure fails here instead of going unnoticed.
+//
+// If a PR changes these values ON PURPOSE (e.g. a deliberate reseeding),
+// re-pin the constants and say so in the PR description — the figures
+// in every BENCH_*.json will shift with them.
+#include <gtest/gtest.h>
+
+#include "alu/alu_factory.hpp"
+#include "fault/mask_generator.hpp"
+#include "sim/experiment.hpp"
+
+namespace nbx {
+namespace {
+
+TEST(SeedGolden, DeriveSeedChainIsPinned) {
+  // The counter-based split primitive itself.
+  EXPECT_EQ(derive_seed({1, 2, 3}), 8157911895043981667ULL);
+  EXPECT_EQ(fnv1a64("aluss"), 13125456046766443269ULL);
+  EXPECT_EQ(MaskGenerator::trial_seed(2026, fnv1a64("aluss"), 2.0,
+                                      /*workload=*/0, /*trial=*/0),
+            13129664871889695161ULL);
+}
+
+TEST(SeedGolden, AlussAtTwoPercentUnderSeed2026) {
+  const auto alu = make_alu("aluss");
+  const auto streams = paper_streams(2026);
+  const DataPoint p = run_data_point(*alu, streams, 2.0, 5, 2026);
+  EXPECT_EQ(p.samples, 10u);
+  EXPECT_DOUBLE_EQ(p.mean_percent_correct, 98.90625);
+  EXPECT_DOUBLE_EQ(p.stddev, 0.75475920553070042);
+  EXPECT_DOUBLE_EQ(p.ci95, 0.53988469906198522);
+}
+
+TEST(SeedGolden, ParallelPathReproducesTheGoldenPoint) {
+  // The pinned value must hold on the thread pool too, not just the
+  // serial fold.
+  const auto alu = make_alu("aluss");
+  const auto streams = paper_streams(2026);
+  const DataPoint p =
+      run_data_point(*alu, streams, 2.0, 5, 2026,
+                     FaultCountPolicy::kRoundNearest, InjectionScope::kAll,
+                     0, 1, ParallelConfig{4, 0});
+  EXPECT_DOUBLE_EQ(p.mean_percent_correct, 98.90625);
+  EXPECT_DOUBLE_EQ(p.stddev, 0.75475920553070042);
+}
+
+}  // namespace
+}  // namespace nbx
