@@ -1,0 +1,373 @@
+#include "alu/batch_alu.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "alu/cmos_core_alu.hpp"
+#include "alu/lut_core_alu.hpp"
+#include "alu/module_alu.hpp"
+#include "alu/voter.hpp"
+#include "lut/batch_lut.hpp"
+
+namespace nbx {
+
+namespace {
+
+inline std::uint64_t popcnt(std::uint64_t w) {
+  return static_cast<std::uint64_t>(std::popcount(w));
+}
+
+// ---------------------------------------------------------------------
+// Cores
+
+/// Lane-sliced mirror of LutCoreAlu: the same 32 LUTs at the same site
+/// offsets, read through BatchLut mux trees. The ripple carry and the
+/// logic/sum intermediate bits are lane words — after the first faulted
+/// read lanes genuinely diverge, and every downstream address mixes
+/// per-lane bits with the broadcast operand/opcode bits.
+class BatchLutCore final : public IBatchCore {
+ public:
+  explicit BatchLutCore(const LutCoreAlu& alu) : alu_(&alu) {
+    luts_.reserve(LutCoreAlu::kLutCount);
+    offsets_.reserve(LutCoreAlu::kLutCount);
+    for (std::size_t i = 0; i < LutCoreAlu::kLutCount; ++i) {
+      luts_.emplace_back(alu.lut_at(i));
+      offsets_.push_back(alu.lut_offset(i));
+    }
+  }
+
+  [[nodiscard]] std::size_t fault_sites() const override {
+    return alu_->fault_sites();
+  }
+
+  void eval(Opcode op, std::uint8_t a, std::uint8_t b,
+            const BatchBitVec* mask, std::size_t offset,
+            std::uint64_t active, std::uint64_t out[8],
+            ModuleStats* stats) const override {
+    const auto opbits = static_cast<std::uint32_t>(op);
+    const std::uint64_t op0 = lane_broadcast(opbits & 1u);
+    const std::uint64_t op1 = lane_broadcast(opbits & 2u);
+    const std::uint64_t op2 = lane_broadcast(opbits & 4u);
+    LutAccessStats* ls = stats != nullptr ? &stats->lut : nullptr;
+
+    std::uint64_t cin = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      const std::uint64_t ai = lane_broadcast((a >> i) & 1u);
+      const std::uint64_t bi = lane_broadcast((b >> i) & 1u);
+
+      const std::uint64_t l_addr[4] = {ai, bi, op0, op1};
+      const std::uint64_t l =
+          read(i, kLogic, l_addr, mask, offset, active, ls);
+
+      const std::uint64_t sc_addr[4] = {ai, bi, cin, op2};
+      const std::uint64_t s =
+          read(i, kSum, sc_addr, mask, offset, active, ls);
+      const std::uint64_t c =
+          read(i, kCarry, sc_addr, mask, offset, active, ls);
+
+      const std::uint64_t o_addr[4] = {op2, l, s, 0};
+      out[i] = read(i, kSelect, o_addr, mask, offset, active, ls);
+      cin = c;
+    }
+  }
+
+ private:
+  enum Role : std::size_t { kLogic = 0, kSum = 1, kCarry = 2, kSelect = 3 };
+
+  const LutCoreAlu* alu_;
+  std::vector<BatchLut> luts_;
+  std::vector<std::size_t> offsets_;
+
+  [[nodiscard]] std::uint64_t read(std::size_t slice, Role r,
+                                   const std::uint64_t addr[4],
+                                   const BatchBitVec* mask,
+                                   std::size_t offset, std::uint64_t active,
+                                   LutAccessStats* ls) const {
+    const std::size_t i = slice * 4 + r;
+    return luts_[i].read(addr, mask,
+                         mask != nullptr ? offset + offsets_[i] : 0, active,
+                         ls);
+  }
+};
+
+/// Word-parallel mirror of CmosCoreAlu via Netlist::evaluate_batch.
+class BatchCmosCore final : public IBatchCore {
+ public:
+  explicit BatchCmosCore(const CmosCoreAlu& alu) : alu_(&alu) {}
+
+  [[nodiscard]] std::size_t fault_sites() const override {
+    return alu_->fault_sites();
+  }
+
+  void eval(Opcode op, std::uint8_t a, std::uint8_t b,
+            const BatchBitVec* mask, std::size_t offset,
+            std::uint64_t active, std::uint64_t out[8],
+            ModuleStats* stats) const override {
+    (void)active;
+    (void)stats;  // matches the scalar datapath: no correction telemetry
+    std::uint64_t inputs[19];
+    for (std::size_t i = 0; i < 8; ++i) {
+      inputs[i] = lane_broadcast((a >> i) & 1u);
+      inputs[8 + i] = lane_broadcast((b >> i) & 1u);
+    }
+    const auto opbits = static_cast<std::uint32_t>(op);
+    for (std::size_t i = 0; i < 3; ++i) {
+      inputs[16 + i] = lane_broadcast((opbits >> i) & 1u);
+    }
+    std::vector<std::uint64_t> nodes;
+    alu_->netlist().evaluate_batch(inputs, mask, offset, nodes);
+    for (std::size_t i = 0; i < 8; ++i) {
+      out[i] = alu_->netlist().word_of(alu_->result_signal(i), inputs, nodes);
+    }
+  }
+
+ private:
+  const CmosCoreAlu* alu_;
+};
+
+// ---------------------------------------------------------------------
+// Voters
+
+/// Lane-sliced mirror of the nine-LUT voter.
+class BatchLutVoter final : public IBatchVoter {
+ public:
+  explicit BatchLutVoter(const LutVoter& voter) : voter_(&voter) {
+    luts_.reserve(LutVoter::kLutCount);
+    offsets_.reserve(LutVoter::kLutCount);
+    for (std::size_t i = 0; i < LutVoter::kLutCount; ++i) {
+      luts_.emplace_back(voter.lut_at(i));
+      offsets_.push_back(voter.lut_offset(i));
+    }
+  }
+
+  [[nodiscard]] std::size_t fault_sites() const override {
+    return voter_->fault_sites();
+  }
+
+  void vote(const std::uint64_t x[8], const std::uint64_t y[8],
+            const std::uint64_t z[8], std::uint64_t vx, std::uint64_t vy,
+            std::uint64_t vz, const BatchBitVec* mask, std::size_t offset,
+            std::uint64_t active, BatchAluOutput& out,
+            ModuleStats* stats) const override {
+    LutAccessStats* ls = stats != nullptr ? &stats->lut : nullptr;
+    std::uint64_t value_diff = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      value_diff |= (x[i] ^ y[i]) | (y[i] ^ z[i]);
+    }
+    out.disagreement = value_diff | (vx ^ vy) | (vy ^ vz);
+    for (std::size_t i = 0; i < 8; ++i) {
+      const std::uint64_t addr[4] = {x[i], y[i], z[i], 0};
+      out.value[i] =
+          luts_[i].read(addr, mask,
+                        mask != nullptr ? offset + offsets_[i] : 0, active,
+                        ls);
+    }
+    const std::uint64_t vaddr[4] = {vx, vy, vz, 0};
+    out.valid =
+        luts_[8].read(vaddr, mask,
+                      mask != nullptr ? offset + offsets_[8] : 0, active,
+                      ls);
+    if (stats != nullptr) {
+      stats->voter_disagreements += popcnt(out.disagreement & active);
+      stats->invalid_results += popcnt(~out.valid & active);
+    }
+  }
+
+ private:
+  const LutVoter* voter_;
+  std::vector<BatchLut> luts_;
+  std::vector<std::size_t> offsets_;
+};
+
+/// Word-parallel mirror of the gate-level CMOS voter.
+class BatchCmosVoter final : public IBatchVoter {
+ public:
+  explicit BatchCmosVoter(const CmosVoter& voter) : voter_(&voter) {}
+
+  [[nodiscard]] std::size_t fault_sites() const override {
+    return voter_->fault_sites();
+  }
+
+  void vote(const std::uint64_t x[8], const std::uint64_t y[8],
+            const std::uint64_t z[8], std::uint64_t vx, std::uint64_t vy,
+            std::uint64_t vz, const BatchBitVec* mask, std::size_t offset,
+            std::uint64_t active, BatchAluOutput& out,
+            ModuleStats* stats) const override {
+    (void)vx;
+    (void)vy;
+    (void)vz;  // the CMOS module has no data-valid datapath
+    std::uint64_t inputs[24];
+    for (std::size_t i = 0; i < 8; ++i) {
+      inputs[i] = x[i];
+      inputs[8 + i] = y[i];
+      inputs[16 + i] = z[i];
+    }
+    std::vector<std::uint64_t> nodes;
+    voter_->netlist().evaluate_batch(inputs, mask, offset, nodes);
+    for (std::size_t i = 0; i < 8; ++i) {
+      out.value[i] =
+          voter_->netlist().word_of(voter_->majority_signal(i), inputs,
+                                    nodes);
+    }
+    out.valid = ~std::uint64_t{0};
+    out.disagreement =
+        voter_->netlist().word_of(voter_->error_signal(), inputs, nodes);
+    if (stats != nullptr) {
+      stats->voter_disagreements += popcnt(out.disagreement & active);
+    }
+  }
+
+ private:
+  const CmosVoter* voter_;
+};
+
+std::unique_ptr<IBatchCore> mirror_core(const CoreAlu& core) {
+  if (const auto* lut = dynamic_cast<const LutCoreAlu*>(&core)) {
+    return std::make_unique<BatchLutCore>(*lut);
+  }
+  if (const auto* cmos = dynamic_cast<const CmosCoreAlu*>(&core)) {
+    return std::make_unique<BatchCmosCore>(*cmos);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<IBatchVoter> mirror_voter(const IVoter& voter) {
+  if (const auto* lut = dynamic_cast<const LutVoter*>(&voter)) {
+    return std::make_unique<BatchLutVoter>(*lut);
+  }
+  if (const auto* cmos = dynamic_cast<const CmosVoter*>(&voter)) {
+    return std::make_unique<BatchCmosVoter>(*cmos);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+BatchAlu::BatchAlu(const IAlu& alu) : alu_(&alu) {}
+
+BatchAlu::~BatchAlu() = default;
+
+std::unique_ptr<BatchAlu> BatchAlu::create(const IAlu& alu) {
+  auto batch = std::unique_ptr<BatchAlu>(new BatchAlu(alu));
+  if (const auto* single = dynamic_cast<const SingleAlu*>(&alu)) {
+    batch->level_ = Level::kSingle;
+    batch->cores_.push_back(mirror_core(single->core()));
+  } else if (const auto* space =
+                 dynamic_cast<const SpaceRedundantAlu*>(&alu)) {
+    batch->level_ = Level::kSpace;
+    for (std::size_t i = 0; i < 3; ++i) {
+      batch->cores_.push_back(mirror_core(space->core(i)));
+    }
+    batch->voter_ = mirror_voter(space->voter());
+  } else if (const auto* time = dynamic_cast<const TimeRedundantAlu*>(&alu)) {
+    batch->level_ = Level::kTime;
+    batch->cores_.push_back(mirror_core(time->core()));
+    batch->voter_ = mirror_voter(time->voter());
+  } else {
+    batch->fallback_ = true;
+  }
+  if (!batch->fallback_) {
+    for (const auto& core : batch->cores_) {
+      if (core == nullptr) {
+        batch->fallback_ = true;
+      }
+    }
+    if (batch->level_ != Level::kSingle && batch->voter_ == nullptr) {
+      batch->fallback_ = true;
+    }
+  }
+  if (batch->fallback_) {
+    batch->cores_.clear();
+    batch->voter_.reset();
+  }
+  return batch;
+}
+
+void BatchAlu::compute_fallback(Opcode op, std::uint8_t a, std::uint8_t b,
+                                const BatchBitVec* mask,
+                                std::uint64_t active, BatchAluOutput& out,
+                                ModuleStats* stats) const {
+  out = BatchAluOutput{};
+  out.valid = 0;
+  BitVec lane_mask(alu_->fault_sites());
+  for (std::uint64_t rest = active; rest != 0; rest &= rest - 1) {
+    const auto lane = static_cast<unsigned>(std::countr_zero(rest));
+    MaskView view;
+    if (mask != nullptr) {
+      mask->extract_lane(lane, 0, lane_mask);
+      view = MaskView(lane_mask, 0, lane_mask.size());
+    }
+    const AluOutput r = alu_->compute(op, a, b, view, stats);
+    const std::uint64_t sel = std::uint64_t{1} << lane;
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      if ((r.value >> bit) & 1u) {
+        out.value[bit] |= sel;
+      }
+    }
+    if (r.valid) {
+      out.valid |= sel;
+    }
+    if (r.disagreement) {
+      out.disagreement |= sel;
+    }
+  }
+}
+
+void BatchAlu::compute(Opcode op, std::uint8_t a, std::uint8_t b,
+                       const BatchBitVec* mask, std::uint64_t active,
+                       BatchAluOutput& out, ModuleStats* stats) const {
+  assert(mask == nullptr || mask->sites() == alu_->fault_sites());
+  if (fallback_) {
+    // The scalar compute() bumps `computations` per lane itself.
+    compute_fallback(op, a, b, mask, active, out, stats);
+    return;
+  }
+  if (stats != nullptr) {
+    stats->computations += popcnt(active);
+  }
+  out = BatchAluOutput{};
+  switch (level_) {
+    case Level::kSingle: {
+      cores_[0]->eval(op, a, b, mask, 0, active, out.value, stats);
+      out.valid = ~std::uint64_t{0};
+      out.disagreement = 0;
+      return;
+    }
+    case Level::kSpace: {
+      const std::size_t n = cores_[0]->fault_sites();
+      std::uint64_t r[3][8];
+      for (std::size_t i = 0; i < 3; ++i) {
+        cores_[i]->eval(op, a, b, mask, i * n, active, r[i], stats);
+      }
+      voter_->vote(r[0], r[1], r[2], ~std::uint64_t{0}, ~std::uint64_t{0},
+                   ~std::uint64_t{0}, mask, 3 * n, active, out, stats);
+      return;
+    }
+    case Level::kTime: {
+      const std::size_t n = cores_[0]->fault_sites();
+      const std::size_t voter_off = 3 * n;
+      const std::size_t storage_off = voter_off + voter_->fault_sites();
+      std::uint64_t r[3][8];
+      std::uint64_t v[3];
+      for (std::size_t i = 0; i < 3; ++i) {
+        // The one physical core runs pass i against pass i's mask segment.
+        cores_[0]->eval(op, a, b, mask, i * n, active, r[i], stats);
+        v[i] = ~std::uint64_t{0};
+        if (mask != nullptr) {
+          // Stored inter-operation result: 8 data bits + 1 valid flag,
+          // all fault sites (the +27 in Table 2's alut* rows).
+          const std::size_t slot = storage_off + i * 9;
+          for (std::size_t bit = 0; bit < 8; ++bit) {
+            r[i][bit] ^= mask->word(slot + bit);
+          }
+          v[i] = ~mask->word(slot + 8);
+        }
+      }
+      voter_->vote(r[0], r[1], r[2], v[0], v[1], v[2], mask, voter_off,
+                   active, out, stats);
+      return;
+    }
+  }
+}
+
+}  // namespace nbx

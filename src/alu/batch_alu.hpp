@@ -1,0 +1,120 @@
+// batch_alu.hpp — the bit-parallel batched module ALU engine.
+//
+// A BatchAlu mirrors one Table-2 IAlu and evaluates up to 64 Monte Carlo
+// trial lanes of it at once: the instruction stream (opcode, operands) is
+// shared by every lane — the scalar engine runs the same workload in each
+// trial — while the fault masks differ per lane (BatchBitVec). Results
+// are lane-sliced and bit-identical, lane by lane, to the scalar
+// IAlu::compute, including the aggregated ModuleStats counters (enforced
+// by tests/alu/batch_alu_test.cpp and tests/sim/batch_differential_test).
+//
+// Recognized structures get fully lane-sliced mirrors:
+//   * LutCoreAlu  -> 32 BatchLut mux-tree reads with a lane-sliced ripple
+//     carry (carries diverge between lanes after the first faulted read);
+//   * CmosCoreAlu -> word-parallel Netlist::evaluate_batch;
+//   * LutVoter / CmosVoter -> batched equivalents;
+//   * Single / Space / Time module wrappers -> the same mask-segment
+//     layout as module_alu.cpp, with time redundancy's 27 stored-result
+//     bits flipped word-wise.
+// Anything else (the hardware-LUT ablation cores, future ALUs) falls back
+// to per-lane scalar computation behind the same interface, so
+// BatchAlu::create never fails.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alu/alu_iface.hpp"
+#include "common/batch_bitvec.hpp"
+
+namespace nbx {
+
+/// Lane-sliced result of one batched module computation: value[b] holds
+/// result bit b across lanes; valid/disagreement are lane predicates.
+struct BatchAluOutput {
+  std::uint64_t value[8] = {};
+  std::uint64_t valid = ~std::uint64_t{0};
+  std::uint64_t disagreement = 0;
+
+  /// Lane L's scalar view (for differential tests and fallback writes).
+  [[nodiscard]] AluOutput lane(unsigned l) const {
+    AluOutput out;
+    for (unsigned b = 0; b < 8; ++b) {
+      out.value |= static_cast<std::uint8_t>(((value[b] >> l) & 1u) << b);
+    }
+    out.valid = (valid >> l) & 1u;
+    out.disagreement = (disagreement >> l) & 1u;
+    return out;
+  }
+};
+
+/// Batched mirror of one CoreAlu datapath pass (internal node of a
+/// BatchAlu; exposed for targeted unit tests).
+class IBatchCore {
+ public:
+  virtual ~IBatchCore() = default;
+  [[nodiscard]] virtual std::size_t fault_sites() const = 0;
+  /// Evaluates all lanes; writes result bit words into out[0..7].
+  /// `offset` locates this pass's segment in the whole-ALU mask.
+  virtual void eval(Opcode op, std::uint8_t a, std::uint8_t b,
+                    const BatchBitVec* mask, std::size_t offset,
+                    std::uint64_t active, std::uint64_t out[8],
+                    ModuleStats* stats) const = 0;
+};
+
+/// Batched mirror of one IVoter.
+class IBatchVoter {
+ public:
+  virtual ~IBatchVoter() = default;
+  [[nodiscard]] virtual std::size_t fault_sites() const = 0;
+  virtual void vote(const std::uint64_t x[8], const std::uint64_t y[8],
+                    const std::uint64_t z[8], std::uint64_t vx,
+                    std::uint64_t vy, std::uint64_t vz,
+                    const BatchBitVec* mask, std::size_t offset,
+                    std::uint64_t active, BatchAluOutput& out,
+                    ModuleStats* stats) const = 0;
+};
+
+/// The batched module ALU. Construction mirrors an existing IAlu, which
+/// must outlive this object.
+class BatchAlu {
+ public:
+  /// Builds a batched mirror of `alu`. Never fails: unrecognized
+  /// structures get the per-lane scalar fallback engine.
+  static std::unique_ptr<BatchAlu> create(const IAlu& alu);
+
+  ~BatchAlu();
+
+  [[nodiscard]] const IAlu& scalar_alu() const { return *alu_; }
+  [[nodiscard]] std::size_t fault_sites() const {
+    return alu_->fault_sites();
+  }
+  /// True when this mirror runs lanes one by one through the scalar ALU
+  /// instead of bit-parallel (reported by bench_batch).
+  [[nodiscard]] bool is_fallback() const { return fallback_; }
+
+  /// Runs one instruction across all lanes set in `active`. `mask` is
+  /// the whole-ALU batched fault mask (null = fault-free all lanes).
+  /// `stats` receives exactly the sum of the per-lane scalar counters.
+  void compute(Opcode op, std::uint8_t a, std::uint8_t b,
+               const BatchBitVec* mask, std::uint64_t active,
+               BatchAluOutput& out, ModuleStats* stats = nullptr) const;
+
+ private:
+  enum class Level : std::uint8_t { kSingle, kSpace, kTime };
+
+  explicit BatchAlu(const IAlu& alu);
+
+  const IAlu* alu_;
+  Level level_ = Level::kSingle;
+  bool fallback_ = false;
+  std::vector<std::unique_ptr<IBatchCore>> cores_;  // 1 (single/time) or 3
+  std::unique_ptr<IBatchVoter> voter_;              // space/time only
+
+  void compute_fallback(Opcode op, std::uint8_t a, std::uint8_t b,
+                        const BatchBitVec* mask, std::uint64_t active,
+                        BatchAluOutput& out, ModuleStats* stats) const;
+};
+
+}  // namespace nbx

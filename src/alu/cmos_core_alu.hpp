@@ -29,6 +29,11 @@ class CmosCoreAlu : public CoreAlu {
   /// The underlying netlist (exposed for structural tests).
   [[nodiscard]] const Netlist& netlist() const { return net_; }
 
+  /// Per-slice result signal, for the batched engine's mirror.
+  [[nodiscard]] Signal result_signal(std::size_t i) const {
+    return result_[i];
+  }
+
   /// Nodes per bit slice in this construction.
   static constexpr std::size_t kNodesPerSlice = 24;
 

@@ -43,6 +43,16 @@ class LutCoreAlu : public CoreAlu {
   /// Number of LUTs in the datapath (8 slices x 4).
   static constexpr std::size_t kLutCount = 32;
 
+  /// The underlying LUTs and their site offsets, in slice-major role
+  /// order (exposed so the batched engine can mirror this exact
+  /// structure — see alu/batch_alu.cpp).
+  [[nodiscard]] const CodedLut& lut_at(std::size_t i) const {
+    return luts_[i];
+  }
+  [[nodiscard]] std::size_t lut_offset(std::size_t i) const {
+    return offsets_[i];
+  }
+
  private:
   // Index of each LUT role within a slice.
   enum Role : std::size_t { kLogic = 0, kSum = 1, kCarry = 2, kSelect = 3 };

@@ -50,6 +50,9 @@ class SingleAlu : public IAlu {
   void impose_defects(const DefectMap& defects,
                       BitVec& mask) const override;
 
+  /// The wrapped core, for the batched engine's mirror.
+  [[nodiscard]] const CoreAlu& core() const { return *core_; }
+
  private:
   std::string name_;
   std::unique_ptr<CoreAlu> core_;
@@ -74,6 +77,12 @@ class SpaceRedundantAlu : public IAlu {
   [[nodiscard]] BitVec golden_storage() const override;
   void impose_defects(const DefectMap& defects,
                       BitVec& mask) const override;
+
+  /// Replica cores and voter, for the batched engine's mirror.
+  [[nodiscard]] const CoreAlu& core(std::size_t i) const {
+    return *cores_[i];
+  }
+  [[nodiscard]] const IVoter& voter() const { return *voter_; }
 
  private:
   std::string name_;
@@ -103,6 +112,10 @@ class TimeRedundantAlu : public IAlu {
   [[nodiscard]] BitVec golden_storage() const override;
   void impose_defects(const DefectMap& defects,
                       BitVec& mask) const override;
+
+  /// The (single) core and voter, for the batched engine's mirror.
+  [[nodiscard]] const CoreAlu& core() const { return *core_; }
+  [[nodiscard]] const IVoter& voter() const { return *voter_; }
 
  private:
   std::string name_;

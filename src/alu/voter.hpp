@@ -76,6 +76,15 @@ class LutVoter : public IVoter {
 
   static constexpr std::size_t kLutCount = 9;
 
+  /// The underlying LUTs and their site offsets (bit-majority LUTs 0..7,
+  /// valid-majority LUT 8), for the batched engine's mirror.
+  [[nodiscard]] const CodedLut& lut_at(std::size_t i) const {
+    return luts_[i];
+  }
+  [[nodiscard]] std::size_t lut_offset(std::size_t i) const {
+    return offsets_[i];
+  }
+
  private:
   LutCoding coding_;
   std::vector<CodedLut> luts_;        // 8 bit-majority + 1 valid-majority
@@ -94,6 +103,12 @@ class CmosVoter : public IVoter {
                                 ModuleStats* stats) const override;
 
   [[nodiscard]] const Netlist& netlist() const { return net_; }
+
+  /// Output signals, for the batched engine's mirror.
+  [[nodiscard]] Signal majority_signal(std::size_t i) const {
+    return maj_[i];
+  }
+  [[nodiscard]] Signal error_signal() const { return err_; }
 
  private:
   Netlist net_;

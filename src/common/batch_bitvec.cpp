@@ -1,0 +1,22 @@
+#include "common/batch_bitvec.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nbx {
+
+void BatchBitVec::clear_all() {
+  std::fill(words_.begin(), words_.end(), std::uint64_t{0});
+}
+
+void BatchBitVec::extract_lane(unsigned lane, std::size_t offset,
+                               BitVec& out) const {
+  assert(lane < kMaxBatchLanes);
+  assert(offset + out.size() <= words_.size());
+  const std::uint64_t* w = words_.data() + offset;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.set(i, (w[i] >> lane) & 1u);
+  }
+}
+
+}  // namespace nbx

@@ -1,0 +1,98 @@
+// batch_bitvec.hpp — lane-sliced bit storage for the bit-parallel batched
+// trial engine.
+//
+// Classic parallel-pattern fault simulation packs many independent
+// patterns into one machine word; here the packed dimension is the Monte
+// Carlo *trial*. A BatchBitVec holds one 64-bit word per fault site, and
+// bit L of that word is the site's value in trial lane L. The scalar
+// engine's BitVec is the transpose (site-packed, one trial); extracting a
+// lane of a BatchBitVec yields exactly the BitVec that trial would have
+// seen, which is what makes the batched engine bit-identical to the
+// scalar one (see tests/sim/batch_differential_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hpp"
+
+namespace nbx {
+
+/// Maximum trial lanes a batch can pack: one per bit of the lane word.
+inline constexpr unsigned kMaxBatchLanes = 64;
+
+/// Broadcasts a scalar bit across all 64 lanes.
+inline std::uint64_t lane_broadcast(bool v) {
+  return v ? ~std::uint64_t{0} : std::uint64_t{0};
+}
+
+/// Per-lane 2:1 mux: lane L of the result is hi's lane when sel's lane is
+/// 1, else lo's lane. The workhorse of the mux-tree LUT evaluation.
+inline std::uint64_t lane_blend(std::uint64_t lo, std::uint64_t hi,
+                                std::uint64_t sel) {
+  return lo ^ ((lo ^ hi) & sel);
+}
+
+/// Word with the low `lanes` lane bits set (the "active lanes" mask of a
+/// possibly partial batch). lanes must be in [1, 64].
+inline std::uint64_t lane_mask_for(unsigned lanes) {
+  return lanes >= 64 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << lanes) - 1;
+}
+
+/// A sites x 64-lane bit matrix stored site-major: word(s) holds site s
+/// across every lane. Used for batched fault masks: the mask generator
+/// writes each lane's fresh mask into its bit column, and lane-sliced
+/// evaluators consume whole words.
+class BatchBitVec {
+ public:
+  BatchBitVec() = default;
+
+  /// Creates a matrix of `sites` words, all lanes zero.
+  explicit BatchBitVec(std::size_t sites) : words_(sites, 0) {}
+
+  /// Number of fault sites (rows).
+  [[nodiscard]] std::size_t sites() const { return words_.size(); }
+  [[nodiscard]] bool empty() const { return words_.empty(); }
+
+  /// All lanes of one site.
+  [[nodiscard]] std::uint64_t word(std::size_t site) const {
+    return words_[site];
+  }
+  [[nodiscard]] std::uint64_t& word(std::size_t site) {
+    return words_[site];
+  }
+
+  /// Single (site, lane) bit accessors — the scalar BitVec analogues.
+  [[nodiscard]] bool get(std::size_t site, unsigned lane) const {
+    return (words_[site] >> lane) & 1u;
+  }
+  void set(std::size_t site, unsigned lane, bool v) {
+    const std::uint64_t m = std::uint64_t{1} << lane;
+    if (v) {
+      words_[site] |= m;
+    } else {
+      words_[site] &= ~m;
+    }
+  }
+  void flip(std::size_t site, unsigned lane) {
+    words_[site] ^= std::uint64_t{1} << lane;
+  }
+
+  /// Zeroes every lane of every site without reallocating.
+  void clear_all();
+
+  /// Copies sites [offset, offset + out.size()) of lane `lane` into the
+  /// site-packed scalar vector `out` — the transpose a scalar evaluator
+  /// (or a fallback path) consumes.
+  void extract_lane(unsigned lane, std::size_t offset, BitVec& out) const;
+
+  /// Raw word array (size sites()), for bulk lane-sliced consumers.
+  [[nodiscard]] const std::uint64_t* data() const { return words_.data(); }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace nbx

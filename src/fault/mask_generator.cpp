@@ -28,17 +28,19 @@ std::size_t MaskGenerator::faults_per_computation() const {
   return 0;  // unreachable
 }
 
-void MaskGenerator::generate(Rng& rng, BitVec& mask) const {
-  if (mask.size() != sites_) {
-    mask = BitVec(sites_);
-  } else {
-    mask.clear_all();
-  }
+// The one generation algorithm, templated over the bit sink so the
+// scalar (BitVec) and batched (BatchBitVec lane) paths cannot drift
+// apart: both consume the Rng through identical draws in identical
+// order, which is what the batched engine's bit-identity rests on.
+template <class SetBit, class FlipBit, class TestBit>
+void MaskGenerator::generate_into(Rng& rng, const SetBit& set_bit,
+                                  const FlipBit& flip_bit,
+                                  const TestBit& test_bit) const {
   if (policy_ == FaultCountPolicy::kBernoulli) {
     const double p = fault_percent_ / 100.0;
     for (std::size_t i = 0; i < sites_; ++i) {
       if (rng.bernoulli(p)) {
-        mask.flip(i);
+        flip_bit(i);
       }
     }
     return;
@@ -55,14 +57,53 @@ void MaskGenerator::generate(Rng& rng, BitVec& mask) const {
     for (std::size_t s = 0; s < strikes; ++s) {
       const auto start = static_cast<std::size_t>(rng.below(sites_));
       for (std::size_t i = 0; i < burst_length_ && start + i < sites_; ++i) {
-        mask.set(start + i, true);
+        set_bit(start + i);
       }
     }
     return;
   }
-  for (const std::uint64_t pos : rng.sample_without_replacement(sites_, k)) {
-    mask.set(static_cast<std::size_t>(pos), true);
+  // Floyd's sampling with the mask itself as the chosen-set: the bits
+  // set so far ARE the sample drawn so far (the mask segment starts
+  // clear, and iteration j can never land on an already-set j). One
+  // below(j + 1) draw per step — exactly the sequence the historical
+  // Rng::sample_without_replacement consumed, and the same final masks,
+  // but with no per-computation set/vector allocations. This loop is
+  // the simulator's hottest non-evaluation path (once per lane per
+  // instruction), so the allocation-free form matters.
+  for (std::size_t j = sites_ - k; j < sites_; ++j) {
+    const auto t = static_cast<std::size_t>(rng.below(j + 1));
+    if (test_bit(t)) {
+      set_bit(j);
+    } else {
+      set_bit(t);
+    }
   }
+}
+
+void MaskGenerator::generate(Rng& rng, BitVec& mask) const {
+  if (mask.size() != sites_) {
+    mask = BitVec(sites_);
+  } else {
+    mask.clear_all();
+  }
+  generate_into(
+      rng, [&mask](std::size_t i) { mask.set(i, true); },
+      [&mask](std::size_t i) { mask.flip(i); },
+      [&mask](std::size_t i) { return mask.get(i); });
+}
+
+void MaskGenerator::generate(Rng& rng, BatchBitVec& mask,
+                             unsigned lane) const {
+  // >= rather than ==: for datapath-only injection the generator covers
+  // only the leading (eligible) segment of the full-ALU batch mask,
+  // mirroring the scalar harness's scratch-then-copy. The lane's leading
+  // segment must be clear on entry — it doubles as Floyd's chosen-set.
+  assert(mask.sites() >= sites_);
+  assert(lane < kMaxBatchLanes);
+  generate_into(
+      rng, [&mask, lane](std::size_t i) { mask.set(i, lane, true); },
+      [&mask, lane](std::size_t i) { mask.flip(i, lane); },
+      [&mask, lane](std::size_t i) { return mask.get(i, lane); });
 }
 
 BitVec MaskGenerator::generate(Rng& rng) const {

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/batch_bitvec.hpp"
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
 
@@ -59,6 +60,17 @@ class MaskGenerator {
   /// Convenience: returns a newly allocated mask.
   [[nodiscard]] BitVec generate(Rng& rng) const;
 
+  /// Batched-engine variant: writes a fresh mask into the leading
+  /// sites() segment of lane `lane` of `mask` (whose site count must be
+  /// >= sites(); trailing sites model injection-exempt hardware and are
+  /// left untouched). Consumes `rng`
+  /// EXACTLY as the scalar generate() does — same draws, same order — so
+  /// a lane fed a trial's Rng reproduces that trial's scalar mask stream
+  /// bit for bit. Does NOT clear the lane first: the caller clears the
+  /// whole batch once per computation (BatchBitVec::clear_all), which is
+  /// the batched analogue of the scalar per-mask clear.
+  void generate(Rng& rng, BatchBitVec& mask, unsigned lane) const;
+
   /// Counter-based per-trial seed derivation shared by the serial and
   /// parallel experiment harnesses. The seed is a pure function of
   /// (master seed, ALU-name hash, fault-percent bit pattern, workload
@@ -76,6 +88,14 @@ class MaskGenerator {
   double fault_percent_;
   FaultCountPolicy policy_;
   std::size_t burst_length_;
+
+  // Shared generation core: both public overloads funnel through this so
+  // their Rng consumption cannot diverge (defined in the .cpp; only the
+  // .cpp instantiates it).
+  template <class SetBit, class FlipBit, class TestBit>
+  void generate_into(Rng& rng, const SetBit& set_bit,
+                     const FlipBit& flip_bit,
+                     const TestBit& test_bit) const;
 };
 
 }  // namespace nbx

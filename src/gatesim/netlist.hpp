@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/batch_bitvec.hpp"
 #include "fault/mask_view.hpp"
 
 namespace nbx {
@@ -92,6 +93,22 @@ class Netlist {
   /// Reads a signal's value out of an evaluation result.
   [[nodiscard]] bool value_of(Signal s, std::uint64_t input_values,
                               const std::vector<std::uint8_t>& nodes) const;
+
+  /// Lane-sliced evaluation for the batched trial engine: bit L of
+  /// `input_words[i]` is input i in trial lane L, and the same slicing
+  /// holds for the node words written into `nodes` (resized to
+  /// node_count()). `mask` overlays this netlist's fault-site segment
+  /// starting at `offset` (null = fault-free). Classic parallel-pattern
+  /// simulation: one pass computes all 64 lanes, bit-identical per lane
+  /// to evaluate().
+  void evaluate_batch(const std::uint64_t* input_words,
+                      const BatchBitVec* mask, std::size_t offset,
+                      std::vector<std::uint64_t>& nodes) const;
+
+  /// Lane-sliced analogue of value_of over an evaluate_batch result.
+  [[nodiscard]] std::uint64_t word_of(
+      Signal s, const std::uint64_t* input_words,
+      const std::vector<std::uint64_t>& nodes) const;
 
   /// Per-operator gate counts (debugging / area accounting).
   struct GateCounts {

@@ -1,0 +1,259 @@
+#include "lut/batch_lut.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace nbx {
+
+namespace {
+
+// Largest mux tree: max(2^kMaxLutInputs, 2^r) leaves. For k <= 6 data
+// widths the Hamming code needs r <= 7 check bits, so 128 covers both.
+constexpr std::size_t kMuxLeavesMax = 128;
+
+/// Shannon mux tree over lane words: reduces 2^k leaves to one word, one
+/// address bit per level (sel[0] = LSB first). Lane L of the result is
+/// leaf(a_L) where a_L is lane L's address. `leaf(i)` supplies leaf i's
+/// lane word on demand so callers can fuse the fault XOR into the load.
+template <class Leaf>
+std::uint64_t lane_mux(std::size_t k, const std::uint64_t* sel,
+                       Leaf&& leaf) {
+  if (k == 0) {
+    return leaf(std::size_t{0});
+  }
+  assert((std::size_t{1} << k) <= kMuxLeavesMax);
+  std::uint64_t buf[kMuxLeavesMax / 2];
+  std::size_t half = std::size_t{1} << (k - 1);
+  for (std::size_t i = 0; i < half; ++i) {
+    buf[i] = lane_blend(leaf(2 * i), leaf(2 * i + 1), sel[0]);
+  }
+  for (std::size_t level = 1; level < k; ++level) {
+    half >>= 1;
+    for (std::size_t i = 0; i < half; ++i) {
+      buf[i] = lane_blend(buf[2 * i], buf[2 * i + 1], sel[level]);
+    }
+  }
+  return buf[0];
+}
+
+inline std::uint64_t popcnt(std::uint64_t w) {
+  return static_cast<std::uint64_t>(std::popcount(w));
+}
+
+}  // namespace
+
+BatchLut::BatchLut(const CodedLut& lut)
+    : lut_(&lut), coding_(lut.coding()), k_(lut.inputs()),
+      n_(lut.table_bits()), sites_(lut.fault_sites()) {
+  const BitVec& tt = lut.golden_table();
+  golden_.resize(n_);
+  for (std::size_t s = 0; s < n_; ++s) {
+    golden_[s] = lane_broadcast(tt.get(s));
+  }
+  if (coding_ != LutCoding::kHamming &&
+      coding_ != LutCoding::kHammingIdeal) {
+    return;
+  }
+  // The golden stored string is a codeword, so the syndrome of the
+  // faulted string is a function of the mask alone: syndrome bit j is
+  // the XOR of the mask bits in check group j. Precompute those site
+  // lists plus the mux leaves that map lane addresses to codeword
+  // positions and lane syndromes to the data/non-data classification.
+  const HammingCode code(n_);
+  r_ = code.check_bits();
+  syndrome_sites_.resize(r_);
+  for (std::size_t d = 0; d < n_; ++d) {
+    const std::uint32_t p = code.position_of_data(d);
+    for (std::size_t j = 0; j < r_; ++j) {
+      if (p & (1u << j)) {
+        syndrome_sites_[j].push_back(static_cast<std::uint32_t>(d));
+      }
+    }
+  }
+  for (std::size_t j = 0; j < r_; ++j) {
+    syndrome_sites_[j].push_back(static_cast<std::uint32_t>(n_ + j));
+  }
+  pos_leaves_.assign(r_, std::vector<std::uint64_t>(n_));
+  for (std::size_t a = 0; a < n_; ++a) {
+    const std::uint32_t p = code.position_of_data(a);
+    for (std::size_t j = 0; j < r_; ++j) {
+      pos_leaves_[j][a] = lane_broadcast((p >> j) & 1u);
+    }
+  }
+  const std::size_t cw = code.codeword_bits();
+  is_data_leaves_.resize(std::size_t{1} << r_);
+  for (std::size_t s = 0; s < is_data_leaves_.size(); ++s) {
+    // Mirrors HammingCode::decode: a data position is a nonzero
+    // in-codeword syndrome that is not a power of two (check position).
+    is_data_leaves_[s] =
+        lane_broadcast(s >= 1 && s <= cw && !std::has_single_bit(s));
+  }
+}
+
+std::uint64_t BatchLut::read(const std::uint64_t* addr_bits,
+                             const BatchBitVec* mask, std::size_t offset,
+                             std::uint64_t active,
+                             LutAccessStats* stats) const {
+  assert(mask == nullptr || offset + sites_ <= mask->sites());
+  if (mask == nullptr) {
+    // Fault-free: every coding degenerates to the golden table lookup
+    // with no decoder events (the scalar read with a null MaskView).
+    if (stats != nullptr) {
+      stats->accesses += popcnt(active);
+    }
+    return lane_mux(static_cast<std::size_t>(k_), addr_bits,
+                    [this](std::size_t s) { return golden_[s]; });
+  }
+  switch (coding_) {
+    case LutCoding::kNone:
+      if (stats != nullptr) {
+        stats->accesses += popcnt(active);
+      }
+      return lane_mux(static_cast<std::size_t>(k_), addr_bits,
+                      [this, mask, offset](std::size_t s) {
+                        return golden_[s] ^ mask->word(offset + s);
+                      });
+    case LutCoding::kTmr:
+    case LutCoding::kTmrInterleaved:
+      return read_tmr(addr_bits, mask, offset, active, stats);
+    case LutCoding::kHamming:
+    case LutCoding::kHammingIdeal:
+      return read_hamming(addr_bits, mask, offset, active, stats);
+    case LutCoding::kHsiao:
+    case LutCoding::kReedSolomon:
+      return read_fallback(addr_bits, mask, offset, active, stats);
+  }
+  return 0;
+}
+
+std::size_t BatchLut::tmr_site(std::size_t copy, std::size_t entry) const {
+  if (coding_ == LutCoding::kTmrInterleaved) {
+    return entry * 3 + copy;
+  }
+  return copy * n_ + entry;
+}
+
+std::uint64_t BatchLut::read_tmr(const std::uint64_t* addr_bits,
+                                 const BatchBitVec* mask,
+                                 std::size_t offset, std::uint64_t active,
+                                 LutAccessStats* stats) const {
+  const auto k = static_cast<std::size_t>(k_);
+  std::uint64_t copies[3];
+  for (std::size_t c = 0; c < 3; ++c) {
+    copies[c] = lane_mux(k, addr_bits,
+                         [this, mask, offset, c](std::size_t s) {
+                           return golden_[s] ^
+                                  mask->word(offset + tmr_site(c, s));
+                         });
+  }
+  if (stats != nullptr) {
+    stats->accesses += popcnt(active);
+    const std::uint64_t disagree =
+        (copies[0] ^ copies[1]) | (copies[1] ^ copies[2]);
+    stats->tmr_disagreements += popcnt(disagree & active);
+  }
+  return (copies[0] & copies[1]) | (copies[1] & copies[2]) |
+         (copies[0] & copies[2]);
+}
+
+std::uint64_t BatchLut::read_hamming(const std::uint64_t* addr_bits,
+                                     const BatchBitVec* mask,
+                                     std::size_t offset,
+                                     std::uint64_t active,
+                                     LutAccessStats* stats) const {
+  const auto k = static_cast<std::size_t>(k_);
+  // The addressed data bit as the faulted string stores it.
+  const std::uint64_t faulted =
+      lane_mux(k, addr_bits, [this, mask, offset](std::size_t s) {
+        return golden_[s] ^ mask->word(offset + s);
+      });
+  // Lane-sliced syndrome: bit j per lane = XOR of that lane's mask bits
+  // over check group j (data members plus stored check bit j).
+  std::uint64_t syn[8] = {};
+  assert(r_ <= 8);
+  std::uint64_t any = 0;
+  for (std::size_t j = 0; j < r_; ++j) {
+    std::uint64_t s = 0;
+    for (const std::uint32_t site : syndrome_sites_[j]) {
+      s ^= mask->word(offset + site);
+    }
+    syn[j] = s;
+    any |= s;
+  }
+  // Lanes whose syndrome equals the addressed position: the corrector
+  // repairs (or miscorrects) exactly the bit this access reads.
+  std::uint64_t eq = ~std::uint64_t{0};
+  for (std::size_t j = 0; j < r_; ++j) {
+    const std::uint64_t pos_j =
+        lane_mux(k, addr_bits, [this, j](std::size_t a) {
+          return pos_leaves_[j][a];
+        });
+    eq &= ~(syn[j] ^ pos_j);
+  }
+  // Classify each lane's syndrome: does it name a data position? The
+  // syndrome words themselves drive a mux over the 2^r constant leaves.
+  const std::uint64_t is_data = lane_mux(
+      r_, syn, [this](std::size_t s) { return is_data_leaves_[s]; });
+  if (coding_ == LutCoding::kHammingIdeal) {
+    if (stats != nullptr) {
+      stats->accesses += popcnt(active);
+      stats->corrections += popcnt(active & any & is_data);
+      stats->detected_only += popcnt(active & any & ~is_data);
+    }
+    return faulted ^ eq;
+  }
+  // Naive corrector (the paper's, §5): on a non-data syndrome the shared
+  // correction logic toggles the output whenever a failing check group
+  // covers the addressed position — the false-positive word.
+  std::uint64_t fp = 0;
+  for (std::size_t j = 0; j < r_; ++j) {
+    const std::uint64_t pos_j =
+        lane_mux(k, addr_bits, [this, j](std::size_t a) {
+          return pos_leaves_[j][a];
+        });
+    fp |= syn[j] & pos_j;
+  }
+  if (stats != nullptr) {
+    stats->accesses += popcnt(active);
+    stats->corrections += popcnt(active & any & (is_data | fp));
+    stats->detected_only += popcnt(active & any & ~is_data & ~fp);
+  }
+  // eq implies a data syndrome, so the two toggle sources are disjoint.
+  return faulted ^ eq ^ (any & ~is_data & fp);
+}
+
+std::uint64_t BatchLut::read_fallback(const std::uint64_t* addr_bits,
+                                      const BatchBitVec* mask,
+                                      std::size_t offset,
+                                      std::uint64_t active,
+                                      LutAccessStats* stats) const {
+  // Extension codings (Hsiao, Reed-Solomon) keep the scalar decoder.
+  // Lanes whose mask segment is all-zero share one golden mux; only
+  // touched lanes pay a per-lane extract + scalar read.
+  std::uint64_t touched = 0;
+  for (std::size_t s = 0; s < sites_; ++s) {
+    touched |= mask->word(offset + s);
+  }
+  std::uint64_t out =
+      lane_mux(static_cast<std::size_t>(k_), addr_bits,
+               [this](std::size_t s) { return golden_[s]; });
+  if (stats != nullptr) {
+    stats->accesses += popcnt(active & ~touched);
+  }
+  BitVec lane_mask(sites_);
+  for (std::uint64_t rest = active & touched; rest != 0;
+       rest &= rest - 1) {
+    const auto lane = static_cast<unsigned>(std::countr_zero(rest));
+    mask->extract_lane(lane, offset, lane_mask);
+    std::uint32_t addr = 0;
+    for (std::size_t j = 0; j < static_cast<std::size_t>(k_); ++j) {
+      addr |= static_cast<std::uint32_t>((addr_bits[j] >> lane) & 1u) << j;
+    }
+    const bool bit = lut_->read(addr, MaskView(lane_mask, 0, sites_), stats);
+    const std::uint64_t sel = std::uint64_t{1} << lane;
+    out = (out & ~sel) | (bit ? sel : 0);
+  }
+  return out;
+}
+
+}  // namespace nbx

@@ -1,0 +1,100 @@
+// batch_lut.hpp — lane-sliced (bit-parallel) evaluation of a CodedLut
+// across up to 64 Monte Carlo trials at once.
+//
+// A BatchLut answers the same question as CodedLut::read — "what does the
+// faulted LUT return for this address?" — for 64 independent fault lanes
+// in one pass of word operations. Addresses are lane-sliced too (bit L of
+// addr_bits[j] is address bit j in lane L) because downstream of the
+// first faulted read, ripple carries and selector inputs diverge between
+// trials.
+//
+// Per coding:
+//   * kNone / kTmr / kTmrInterleaved — a Shannon mux tree over the
+//     fault-XORed stored words selects each lane's addressed bit; TMR
+//     runs three trees and majority-votes the words.
+//   * kHamming / kHammingIdeal — the syndrome is a pure function of the
+//     mask (the golden string is a codeword), so each syndrome bit is an
+//     XOR of the mask words in its check group; the corrector's
+//     data-bit / check-bit / invalid classification and the paper's
+//     false-positive toggle are evaluated as lane-parallel predicates.
+//   * kHsiao / kReedSolomon — lanes whose mask segment is untouched take
+//     a golden mux-tree fast path; touched lanes fall back to the scalar
+//     decoder (extension codings; not on the Table-2 hot path).
+//
+// Results are bit-identical to CodedLut::read lane by lane, including
+// the LutAccessStats counters (aggregated over active lanes) — enforced
+// by tests/lut/batch_lut_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/batch_bitvec.hpp"
+#include "lut/coded_lut.hpp"
+
+namespace nbx {
+
+/// Lane-sliced reader bound to one CodedLut. Holds only derived constant
+/// tables; the referenced CodedLut must outlive it (it serves the golden
+/// strings and the scalar fallback path).
+class BatchLut {
+ public:
+  explicit BatchLut(const CodedLut& lut);
+
+  [[nodiscard]] int inputs() const { return k_; }
+  [[nodiscard]] std::size_t fault_sites() const { return sites_; }
+
+  /// Reads all lanes at once. `addr_bits` points at inputs() lane words
+  /// (bit L of addr_bits[j] = address bit j of lane L). `mask` is the
+  /// whole-ALU batched fault mask with this LUT's segment starting at
+  /// `offset` (null = fault-free). Only lanes set in `active` are
+  /// meaningful in the returned word (and counted into `stats`, which is
+  /// aggregated across lanes exactly as 64 scalar reads would).
+  [[nodiscard]] std::uint64_t read(const std::uint64_t* addr_bits,
+                                   const BatchBitVec* mask,
+                                   std::size_t offset, std::uint64_t active,
+                                   LutAccessStats* stats = nullptr) const;
+
+ private:
+  const CodedLut* lut_;
+  LutCoding coding_;
+  int k_;
+  std::size_t n_;      // table bits (2^k)
+  std::size_t sites_;  // stored bits, == lut_->fault_sites()
+  std::vector<std::uint64_t> golden_;  // 2^k broadcast truth-table leaves
+
+  // Hamming machinery (kHamming / kHammingIdeal only).
+  std::size_t r_ = 0;  // check bits
+  // Per check bit j: segment-relative site indices whose mask bits XOR
+  // into syndrome bit j (the data sites of check group j, plus stored
+  // check bit j itself).
+  std::vector<std::vector<std::uint32_t>> syndrome_sites_;
+  // Per check bit j: 2^k broadcast leaves of bit j of
+  // position_of_data(addr) — the mux tree turns the lane addresses into
+  // lane-sliced codeword positions.
+  std::vector<std::vector<std::uint64_t>> pos_leaves_;
+  // 2^r broadcast leaves: is syndrome value s a (correctable) data
+  // position? Indexed by the lane-sliced syndrome via the same mux tree.
+  std::vector<std::uint64_t> is_data_leaves_;
+
+  [[nodiscard]] std::size_t tmr_site(std::size_t copy,
+                                     std::size_t entry) const;
+  [[nodiscard]] std::uint64_t read_tmr(const std::uint64_t* addr_bits,
+                                       const BatchBitVec* mask,
+                                       std::size_t offset,
+                                       std::uint64_t active,
+                                       LutAccessStats* stats) const;
+  [[nodiscard]] std::uint64_t read_hamming(const std::uint64_t* addr_bits,
+                                           const BatchBitVec* mask,
+                                           std::size_t offset,
+                                           std::uint64_t active,
+                                           LutAccessStats* stats) const;
+  [[nodiscard]] std::uint64_t read_fallback(const std::uint64_t* addr_bits,
+                                            const BatchBitVec* mask,
+                                            std::size_t offset,
+                                            std::uint64_t active,
+                                            LutAccessStats* stats) const;
+};
+
+}  // namespace nbx

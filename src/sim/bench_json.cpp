@@ -3,7 +3,9 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <iostream>
 
 namespace nbx {
 
@@ -102,13 +104,32 @@ std::string save_bench_json(const BenchReport& report,
                             const std::string& path) {
   const std::string out_path =
       path.empty() ? "BENCH_" + report.bench + ".json" : path;
+  // Benches are often pointed at results directories that don't exist
+  // yet (CI scratch trees); create them rather than failing silently.
+  const std::filesystem::path parent =
+      std::filesystem::path(out_path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      std::cerr << "error: cannot create directory '" << parent.string()
+                << "' for bench JSON: " << ec.message() << "\n";
+      return "";
+    }
+  }
   std::ofstream os(out_path);
   if (!os) {
+    std::cerr << "error: cannot open '" << out_path
+              << "' for writing bench JSON\n";
     return "";
   }
   write_bench_json(os, report);
   os.flush();
-  return os ? out_path : "";
+  if (!os) {
+    std::cerr << "error: write to '" << out_path << "' failed\n";
+    return "";
+  }
+  return out_path;
 }
 
 }  // namespace nbx

@@ -52,8 +52,9 @@ std::string json_double(double v);
 void write_bench_json(std::ostream& os, const BenchReport& report);
 
 /// Writes the report to `path`, or to "BENCH_<bench>.json" in the
-/// current directory when `path` is empty. Returns the path written,
-/// empty string on I/O failure.
+/// current directory when `path` is empty. Creates missing parent
+/// directories. Returns the path written; on I/O failure prints a
+/// diagnostic to stderr and returns the empty string.
 std::string save_bench_json(const BenchReport& report,
                             const std::string& path = "");
 

@@ -1,7 +1,11 @@
 #include "sim/experiment.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
+#include "alu/batch_alu.hpp"
+#include "common/batch_bitvec.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/defect_map.hpp"
 #include "workload/image_ops.hpp"
@@ -99,6 +103,102 @@ std::vector<double> run_trial_grid(
   return samples;
 }
 
+// The bit-parallel variant of run_trial_grid: same sample vector, same
+// flat [percent][workload][trial] order, bit-identical values. A work
+// item is a *lane group* — up to par.batch_lanes trials of one (percent,
+// workload) cell packed into the lanes of one BatchBitVec. Every lane
+// keeps its own Rng seeded with the exact scalar trial seed and the
+// shared mask-generation core consumes it draw-for-draw like the scalar
+// path, so each lane regenerates its trial's mask stream verbatim; the
+// batched ALU then computes all lanes at once.
+std::vector<double> run_batched_grid(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    const std::vector<double>& percents, int trials_per_workload,
+    std::uint64_t seed, FaultCountPolicy policy, InjectionScope scope,
+    std::size_t datapath_sites, std::size_t burst_length,
+    const ParallelConfig& par) {
+  const std::size_t workloads = streams.size();
+  const auto trials = static_cast<std::size_t>(trials_per_workload);
+  const unsigned lanes =
+      std::min(std::max(par.batch_lanes, 1u), kMaxBatchLanes);
+  const std::size_t groups_per_cell = trials == 0 ? 0 : (trials + lanes - 1) / lanes;
+  const std::size_t cells = percents.size() * workloads;
+  const std::size_t total_groups = cells * groups_per_cell;
+  const std::uint64_t alu_hash = fnv1a64(alu.name());
+
+  const std::size_t total_sites = alu.fault_sites();
+  const std::size_t inject_sites =
+      scope == InjectionScope::kDatapathOnly ? datapath_sites : total_sites;
+  assert(inject_sites <= total_sites);
+
+  // One read-only batched mirror shared by all worker threads
+  // (BatchAlu::compute keeps its scratch on the stack).
+  const std::unique_ptr<BatchAlu> batch = BatchAlu::create(alu);
+
+  std::vector<double> samples(percents.size() * workloads * trials, 0.0);
+  const auto run_group = [&](std::size_t item) {
+    const std::size_t cell = item / groups_per_cell;
+    const std::size_t group = item % groups_per_cell;
+    const std::size_t pi = cell / workloads;
+    const std::size_t w = cell % workloads;
+    const std::size_t first_trial = group * lanes;
+    const auto in_group = static_cast<unsigned>(
+        std::min<std::size_t>(lanes, trials - first_trial));
+    const std::uint64_t active = lane_mask_for(in_group);
+    const std::vector<Instruction>& stream = streams[w];
+
+    const MaskGenerator gen(inject_sites, percents[pi], policy,
+                            burst_length);
+    std::vector<Rng> rngs;
+    rngs.reserve(in_group);
+    for (unsigned l = 0; l < in_group; ++l) {
+      rngs.emplace_back(MaskGenerator::trial_seed(
+          seed, alu_hash, percents[pi], w, first_trial + l));
+    }
+
+    BatchBitVec mask(total_sites);
+    BatchAluOutput out;
+    ModuleStats stats;
+    std::uint32_t incorrect[kMaxBatchLanes] = {};
+    for (const Instruction& ins : stream) {
+      mask.clear_all();
+      for (unsigned l = 0; l < in_group; ++l) {
+        gen.generate(rngs[l], mask, l);
+      }
+      batch->compute(ins.op, ins.a, ins.b, &mask, active, out, &stats);
+      std::uint64_t wrong = 0;
+      for (unsigned bit = 0; bit < 8; ++bit) {
+        wrong |= out.value[bit] ^ lane_broadcast((ins.golden >> bit) & 1u);
+      }
+      for (std::uint64_t rest = wrong & active; rest != 0;
+           rest &= rest - 1) {
+        ++incorrect[std::countr_zero(rest)];
+      }
+    }
+    const std::size_t base = cell * trials + first_trial;
+    for (unsigned l = 0; l < in_group; ++l) {
+      // Same arithmetic as run_trial's percent_correct, so the doubles
+      // match bit for bit.
+      samples[base + l] =
+          stream.empty()
+              ? 100.0
+              : 100.0 *
+                    static_cast<double>(stream.size() - incorrect[l]) /
+                    static_cast<double>(stream.size());
+    }
+  };
+
+  if (resolve_threads(par.threads) <= 1 || total_groups <= 1) {
+    for (std::size_t i = 0; i < total_groups; ++i) {
+      run_group(i);
+    }
+  } else {
+    ThreadPool pool(par.threads);
+    pool.parallel_for(total_groups, par.chunking, run_group);
+  }
+  return samples;
+}
+
 // Folds one percent's samples into a DataPoint in fixed (workload-major)
 // order, keeping the floating-point accumulation identical to the serial
 // path regardless of which threads produced the samples.
@@ -118,6 +218,22 @@ DataPoint fold_point(const IAlu& alu, double fault_percent,
   return p;
 }
 
+// Engine dispatch: batch_lanes >= 1 selects the bit-parallel grid.
+std::vector<double> run_grid(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    const std::vector<double>& percents, int trials_per_workload,
+    std::uint64_t seed, FaultCountPolicy policy, InjectionScope scope,
+    std::size_t datapath_sites, std::size_t burst_length,
+    const ParallelConfig& par) {
+  if (par.batch_lanes >= 1) {
+    return run_batched_grid(alu, streams, percents, trials_per_workload,
+                            seed, policy, scope, datapath_sites,
+                            burst_length, par);
+  }
+  return run_trial_grid(alu, streams, percents, trials_per_workload, seed,
+                        policy, scope, datapath_sites, burst_length, par);
+}
+
 }  // namespace
 
 DataPoint run_data_point(
@@ -127,9 +243,24 @@ DataPoint run_data_point(
     std::size_t datapath_sites, std::size_t burst_length,
     const ParallelConfig& par) {
   const std::vector<double> samples =
-      run_trial_grid(alu, streams, {fault_percent}, trials_per_workload,
-                     seed, policy, scope, datapath_sites, burst_length, par);
+      run_grid(alu, streams, {fault_percent}, trials_per_workload, seed,
+               policy, scope, datapath_sites, burst_length, par);
   return fold_point(alu, fault_percent, samples.data(), samples.size());
+}
+
+DataPoint run_data_point_batched(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    double fault_percent, int trials_per_workload, std::uint64_t seed,
+    FaultCountPolicy policy, InjectionScope scope,
+    std::size_t datapath_sites, std::size_t burst_length,
+    const ParallelConfig& par) {
+  ParallelConfig batched = par;
+  if (batched.batch_lanes == 0) {
+    batched.batch_lanes = kMaxBatchLanes;
+  }
+  return run_data_point(alu, streams, fault_percent, trials_per_workload,
+                        seed, policy, scope, datapath_sites, burst_length,
+                        batched);
 }
 
 std::vector<DataPoint> run_sweep(
@@ -140,8 +271,8 @@ std::vector<DataPoint> run_sweep(
   // One flat grid over every (percent, workload, trial) cell: a sweep
   // parallelizes across its whole trial population, not point by point.
   const std::vector<double> samples =
-      run_trial_grid(alu, streams, percents, trials_per_workload, seed,
-                     policy, scope, datapath_sites, /*burst_length=*/1, par);
+      run_grid(alu, streams, percents, trials_per_workload, seed, policy,
+               scope, datapath_sites, /*burst_length=*/1, par);
   const std::size_t per_percent =
       streams.size() * static_cast<std::size_t>(trials_per_workload);
   std::vector<DataPoint> points;

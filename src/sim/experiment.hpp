@@ -59,6 +59,13 @@ struct ParallelConfig {
   unsigned threads = 1;   ///< total worker threads; 1 = serial, 0 = all
                           ///< hardware threads
   std::size_t chunking = 0;  ///< trials per work unit; 0 = auto
+  /// Trials packed per bit-parallel batch (see alu/batch_alu.hpp):
+  /// 0 = scalar engine (default); 1..64 = batched engine with that many
+  /// lanes per group. Any value yields bit-identical results — lanes
+  /// reuse the scalar per-trial seeds verbatim — so this is purely a
+  /// throughput knob. Composes with `threads`: the work unit becomes a
+  /// lane group instead of a single trial.
+  unsigned batch_lanes = 0;
 };
 
 /// One plotted point: an ALU at one fault percentage, averaged over
@@ -83,6 +90,19 @@ DataPoint run_data_point(const IAlu& alu,
                          std::size_t datapath_sites = 0,
                          std::size_t burst_length = 1,
                          const ParallelConfig& par = {});
+
+/// run_data_point via the bit-parallel batched engine: identical
+/// signature and bit-identical output, with trials packed 64 (or
+/// par.batch_lanes, if nonzero) to a lane group. Provided as an explicit
+/// entry point for benches and differential tests; run_data_point itself
+/// also takes the batched path whenever par.batch_lanes >= 1.
+DataPoint run_data_point_batched(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    double fault_percent, int trials_per_workload, std::uint64_t seed,
+    FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
+    InjectionScope scope = InjectionScope::kAll,
+    std::size_t datapath_sites = 0, std::size_t burst_length = 1,
+    const ParallelConfig& par = {});
 
 /// A full sweep of one ALU across fault percentages. With par.threads
 /// != 1 every (percent, workload, trial) cell of the sweep runs

@@ -1,0 +1,204 @@
+// packet_property_test.cpp — seeded property/fuzz coverage of the flit
+// codec (PR: batched engine + test hardening). Three invariant classes
+// over ~10k random packets:
+//   1. encode -> decode is the identity for every representable packet;
+//   2. any single corrupted flit is never silently accepted: either the
+//      checksum catches it or (marker hit) the frame is dropped — in
+//      particular a damaged destination can never mis-route a packet;
+//   3. arbitrary garbage never crashes the assembler, anything it does
+//      accept passed the checksum, and it resyncs to clean traffic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iterator>
+#include <optional>
+#include <vector>
+
+#include "cell/packet.hpp"
+#include "common/rng.hpp"
+
+namespace nbx {
+namespace {
+
+constexpr PacketKind kKinds[] = {PacketKind::kInstruction,
+                                 PacketKind::kResult, PacketKind::kSalvage};
+
+Packet random_packet(Rng& rng) {
+  Packet p;
+  p.kind = kKinds[rng.below(3)];
+  p.dest = CellId{static_cast<std::uint8_t>(rng.below(16)),
+                  static_cast<std::uint8_t>(rng.below(16))};
+  p.source = CellId{static_cast<std::uint8_t>(rng.below(16)),
+                    static_cast<std::uint8_t>(rng.below(16))};
+  p.instr_id = static_cast<std::uint16_t>(rng.next());
+  p.op = kAllOpcodes[rng.below(std::size(kAllOpcodes))];
+  p.operand1 = static_cast<std::uint8_t>(rng.next());
+  p.operand2 = static_cast<std::uint8_t>(rng.next());
+  p.result = static_cast<std::uint8_t>(rng.next());
+  return p;
+}
+
+// Feeds a whole frame; returns the packet from its last flit, if any.
+std::optional<Packet> feed(PacketAssembler& asm_,
+                           const std::vector<std::uint8_t>& flits) {
+  std::optional<Packet> got;
+  for (const std::uint8_t f : flits) {
+    auto r = asm_.push(f);
+    if (r) {
+      got = r;
+    }
+  }
+  return got;
+}
+
+TEST(PacketProperty, TenThousandRandomPacketsRoundTrip) {
+  Rng rng(0xC0DEC);
+  PacketAssembler asm_;
+  for (int i = 0; i < 10000; ++i) {
+    const Packet p = random_packet(rng);
+    const auto got = feed(asm_, encode_packet(p));
+    ASSERT_TRUE(got.has_value()) << "packet " << i;
+    ASSERT_EQ(*got, p) << "packet " << i;
+    ASSERT_FALSE(asm_.mid_packet());
+  }
+  EXPECT_EQ(asm_.checksum_failures(), 0u);
+}
+
+TEST(PacketProperty, EverySingleBitFlipIsCaughtNeverMisrouted) {
+  // For each random packet, flip one random bit of one random flit.
+  // A payload/checksum hit must fail the checksum; a start-marker hit
+  // must simply produce nothing from this frame. Either way no packet
+  // with altered content may come out — the "no silent mis-route"
+  // guarantee the grid's salvage bookkeeping relies on.
+  Rng rng(0xB17F11);
+  for (int i = 0; i < 10000; ++i) {
+    const Packet p = random_packet(rng);
+    auto flits = encode_packet(p);
+    const auto victim = static_cast<std::size_t>(rng.below(kPacketFlits));
+    flits[victim] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+
+    PacketAssembler asm_;
+    const auto got = feed(asm_, flits);
+    if (got) {
+      // Only reachable when the flip created a spurious mid-frame start
+      // marker... which still cannot complete a frame within these ten
+      // flits — so any accepted packet is a hard invariant violation.
+      ADD_FAILURE() << "corrupted frame accepted at packet " << i
+                    << " (flit " << victim << ")";
+    }
+    if (victim >= 1) {
+      EXPECT_EQ(asm_.checksum_failures(), 1u)
+          << "packet " << i << " flit " << victim;
+    }
+  }
+}
+
+TEST(PacketProperty, DestinationDamageIsAlwaysDetected) {
+  // All 8 bit positions of the dest flit, for every dest, exhaustively:
+  // a packet can never arrive at a cell it was not addressed to.
+  Rng rng(0xDE57);
+  for (int r = 0; r < 16; ++r) {
+    for (int c = 0; c < 16; ++c) {
+      Packet p = random_packet(rng);
+      p.dest = CellId{static_cast<std::uint8_t>(r),
+                      static_cast<std::uint8_t>(c)};
+      for (int bit = 0; bit < 8; ++bit) {
+        auto flits = encode_packet(p);
+        flits[1] ^= static_cast<std::uint8_t>(1u << bit);
+        PacketAssembler asm_;
+        EXPECT_FALSE(feed(asm_, flits).has_value());
+        EXPECT_EQ(asm_.checksum_failures(), 1u);
+      }
+    }
+  }
+}
+
+TEST(PacketProperty, AcceptedPacketsAlwaysPassedTheChecksum) {
+  // Multi-bit corruption may legitimately cancel in the XOR checksum;
+  // the invariant is weaker but must still hold: whatever the assembler
+  // accepts re-encodes to a checksum-consistent frame (the codec never
+  // invents a packet the wire bytes do not support).
+  Rng rng(0x2B17);
+  std::uint64_t accepted = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const Packet p = random_packet(rng);
+    auto flits = encode_packet(p);
+    for (int hits = 0; hits < 2; ++hits) {
+      const auto victim =
+          1 + static_cast<std::size_t>(rng.below(kPacketFlits - 1));
+      flits[victim] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    PacketAssembler asm_;
+    const auto got = feed(asm_, flits);
+    if (got) {
+      ++accepted;
+      std::uint8_t csum = 0;
+      for (std::size_t f = 1; f <= 8; ++f) {
+        csum ^= flits[f];
+      }
+      EXPECT_EQ(csum, flits[9]) << "packet " << i;
+      // The recoverable fields must mirror the (corrupt) wire bytes,
+      // not the original packet: decode reads the frame, nothing else.
+      EXPECT_EQ(got->dest.packed(), flits[1]);
+      EXPECT_EQ(got->operand1, flits[5]);
+      EXPECT_EQ(got->operand2, flits[6]);
+      EXPECT_EQ(got->result, flits[7]);
+      EXPECT_EQ(got->source.packed(), flits[8]);
+    }
+  }
+  // Two independent flips cancel only when they hit the same bit lane
+  // across two flits (including the checksum flit); with random flips
+  // some acceptances must occur, proving the branch is exercised.
+  EXPECT_GT(accepted, 0u);
+}
+
+TEST(PacketProperty, RandomGarbageNeverCrashesAndNeverFakesTraffic) {
+  Rng rng(0x6A12BA6E);
+  PacketAssembler asm_;
+  std::uint64_t produced = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (asm_.push(static_cast<std::uint8_t>(rng.next()))) {
+      ++produced;
+    }
+  }
+  // Random bytes do occasionally frame up with a valid XOR — that is
+  // fine (real buses carry framing noise); the point is the count is
+  // bounded by checksum odds, not that it is zero.
+  EXPECT_LE(produced, asm_.checksum_failures() + 40);
+}
+
+TEST(PacketProperty, ResyncsToCleanTrafficAfterGarbage) {
+  Rng rng(0x5E57);
+  for (int i = 0; i < 200; ++i) {
+    PacketAssembler asm_;
+    // Garbage burst, then three clean frames whose payload bytes avoid
+    // the start marker (so hunting cannot latch mid-frame).
+    for (int g = 0; g < 37; ++g) {
+      asm_.push(static_cast<std::uint8_t>(rng.next()));
+    }
+    int decoded = 0;
+    for (int f = 0; f < 3; ++f) {
+      Packet p = random_packet(rng);
+      p.operand1 &= 0x7F;
+      p.operand2 &= 0x7F;
+      p.result &= 0x7F;
+      p.instr_id &= 0x7F7F;
+      p.dest.row &= 0x07;    // packed IDs stay below 0x80 != marker
+      p.source.row &= 0x07;
+      auto flits = encode_packet(p);
+      if (flits[9] == kStartMarker) {
+        p.result ^= 1;  // nudge the checksum off the marker value
+        flits = encode_packet(p);
+      }
+      if (feed(asm_, flits) == p) {
+        ++decoded;
+      }
+    }
+    // The garbage tail may eat at most one clean frame (the assembler
+    // can be mid-frame when the burst ends); the rest must decode.
+    EXPECT_GE(decoded, 2) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace nbx

@@ -1,0 +1,93 @@
+// batch_bitvec_test.cpp — the lane-sliced bit matrix under the batched
+// trial engine (PR: bit-parallel batched trials).
+#include <gtest/gtest.h>
+
+#include "common/batch_bitvec.hpp"
+#include "common/rng.hpp"
+
+namespace nbx {
+namespace {
+
+TEST(BatchBitVec, StartsAllZero) {
+  const BatchBitVec m(100);
+  EXPECT_EQ(m.sites(), 100u);
+  EXPECT_FALSE(m.empty());
+  for (std::size_t s = 0; s < m.sites(); ++s) {
+    EXPECT_EQ(m.word(s), 0u);
+  }
+}
+
+TEST(BatchBitVec, SetGetFlipAddressTheRightLane) {
+  BatchBitVec m(5);
+  m.set(3, 17, true);
+  EXPECT_TRUE(m.get(3, 17));
+  EXPECT_EQ(m.word(3), std::uint64_t{1} << 17);
+  EXPECT_FALSE(m.get(3, 16));
+  EXPECT_FALSE(m.get(2, 17));
+  m.flip(3, 17);
+  EXPECT_FALSE(m.get(3, 17));
+  m.flip(3, 63);
+  EXPECT_TRUE(m.get(3, 63));
+  m.set(3, 63, false);
+  EXPECT_EQ(m.word(3), 0u);
+}
+
+TEST(BatchBitVec, ClearAllZeroesEveryLane) {
+  BatchBitVec m(8);
+  Rng rng(7);
+  for (std::size_t s = 0; s < m.sites(); ++s) {
+    m.word(s) = rng.next();
+  }
+  m.clear_all();
+  for (std::size_t s = 0; s < m.sites(); ++s) {
+    EXPECT_EQ(m.word(s), 0u);
+  }
+}
+
+TEST(BatchBitVec, ExtractLaneIsTheTranspose) {
+  // Fill a matrix with a recognizable pattern, then check every lane's
+  // extraction against the per-bit accessors.
+  BatchBitVec m(40);
+  Rng rng(99);
+  for (std::size_t s = 0; s < m.sites(); ++s) {
+    m.word(s) = rng.next();
+  }
+  BitVec lane_bits(40);
+  for (unsigned lane = 0; lane < kMaxBatchLanes; lane += 13) {
+    m.extract_lane(lane, 0, lane_bits);
+    for (std::size_t s = 0; s < m.sites(); ++s) {
+      EXPECT_EQ(lane_bits.get(s), m.get(s, lane));
+    }
+  }
+}
+
+TEST(BatchBitVec, ExtractLaneHonoursOffset) {
+  BatchBitVec m(10);
+  m.set(4, 2, true);
+  m.set(9, 2, true);
+  BitVec window(6);
+  m.extract_lane(2, 4, window);
+  EXPECT_TRUE(window.get(0));   // site 4
+  EXPECT_TRUE(window.get(5));   // site 9
+  EXPECT_FALSE(window.get(1));
+}
+
+TEST(BatchLaneHelpers, BroadcastBlendAndMask) {
+  EXPECT_EQ(lane_broadcast(false), 0u);
+  EXPECT_EQ(lane_broadcast(true), ~std::uint64_t{0});
+  // blend: sel bit chooses hi, else lo.
+  const std::uint64_t lo = 0x00FF00FF00FF00FFull;
+  const std::uint64_t hi = 0x0F0F0F0F0F0F0F0Full;
+  EXPECT_EQ(lane_blend(lo, hi, 0u), lo);
+  EXPECT_EQ(lane_blend(lo, hi, ~std::uint64_t{0}), hi);
+  const std::uint64_t sel = 0xFFFFFFFF00000000ull;
+  const std::uint64_t mix = lane_blend(lo, hi, sel);
+  EXPECT_EQ(mix & ~sel, lo & ~sel);
+  EXPECT_EQ(mix & sel, hi & sel);
+  EXPECT_EQ(lane_mask_for(1), 1u);
+  EXPECT_EQ(lane_mask_for(7), 0x7Fu);
+  EXPECT_EQ(lane_mask_for(64), ~std::uint64_t{0});
+}
+
+}  // namespace
+}  // namespace nbx

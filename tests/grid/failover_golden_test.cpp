@@ -1,0 +1,85 @@
+// failover_golden_test.cpp — pins two bench_failover kill schedules so
+// refactors of the watchdog/salvage path cannot silently change system-
+// level recovery outcomes (PR: batched engine + test hardening). The
+// pinned numbers were captured from the bench's own configuration:
+// 3x3 grid, 16x8 random image (seed 11), reverse-video op.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "grid/control_processor.hpp"
+#include "workload/image_ops.hpp"
+
+namespace nbx {
+namespace {
+
+const std::vector<CellId> kVictims = {CellId{1, 1}, CellId{2, 0},
+                                      CellId{0, 2}, CellId{1, 0}};
+
+Bitmap bench_image() {
+  Rng rng(11);
+  return Bitmap::random(16, 8, rng);
+}
+
+// Row-major alive map, '#' = alive, 'x' = disabled — the final salvage
+// map the watchdog leaves behind.
+std::string alive_map(NanoBoxGrid& grid) {
+  std::string map;
+  for (std::uint8_t r = 0; r < grid.rows(); ++r) {
+    for (std::uint8_t c = 0; c < grid.cols(); ++c) {
+      map += grid.cell(CellId{r, c}).alive() ? '#' : 'x';
+    }
+  }
+  return map;
+}
+
+TEST(FailoverGolden, ThreeKillsWatchdogOnSalvagesEverything) {
+  NanoBoxGrid grid(3, 3, CellConfig{});
+  ControlProcessor cp(grid);
+  GridRunOptions opt;
+  opt.enable_watchdog = true;
+  opt.watchdog_interval = 16;
+  opt.compute_cycles = 600;
+  for (std::size_t k = 0; k < 3; ++k) {
+    opt.kills.push_back(KillEvent{kVictims[k], 4 + 2 * k, true});
+  }
+  GridRunReport report;
+  (void)cp.run_image_op(bench_image(), reverse_video_op(), opt, &report);
+
+  // With routers alive the watchdog rescues every outstanding word:
+  // full accuracy, 45 words rehomed, all three victims disabled.
+  EXPECT_EQ(report.percent_correct, 100.0);
+  EXPECT_EQ(report.results_missing, 0u);
+  EXPECT_EQ(report.watchdog.words_salvaged, 45u);
+  EXPECT_EQ(report.watchdog.words_lost, 0u);
+  EXPECT_EQ(report.watchdog.cells_disabled, 3u);
+  EXPECT_EQ(report.instructions_computed, 128u);
+  EXPECT_EQ(alive_map(grid), "##x#x#x##");
+}
+
+TEST(FailoverGolden, TwoDeadRouterKillsLoseOnlyTheirBlocks) {
+  NanoBoxGrid grid(3, 3, CellConfig{});
+  ControlProcessor cp(grid);
+  GridRunOptions opt;
+  opt.watchdog_interval = 16;
+  opt.compute_cycles = 600;
+  for (std::size_t k = 0; k < 2; ++k) {
+    opt.kills.push_back(KillEvent{kVictims[k], 4, false});
+  }
+  GridRunReport report;
+  (void)cp.run_image_op(bench_image(), reverse_video_op(), opt, &report);
+
+  // Dead routers make the victims' memories unreachable: their blocks
+  // are lost (30 unfinished words), nothing can be salvaged, and the
+  // two cells killed at cycle 4 stop after 106 of 128 ops.
+  EXPECT_EQ(report.percent_correct, 46.875);
+  EXPECT_EQ(report.results_missing, 68u);
+  EXPECT_EQ(report.watchdog.words_salvaged, 0u);
+  EXPECT_EQ(report.watchdog.words_lost, 30u);
+  EXPECT_EQ(report.watchdog.cells_disabled, 2u);
+  EXPECT_EQ(report.instructions_computed, 106u);
+  EXPECT_EQ(alive_map(grid), "####x#x##");
+}
+
+}  // namespace
+}  // namespace nbx

@@ -10,8 +10,14 @@
 // in every BENCH_*.json will shift with them.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "alu/alu_factory.hpp"
 #include "fault/mask_generator.hpp"
+#include "sim/bench_json.hpp"
 #include "sim/experiment.hpp"
 
 namespace nbx {
@@ -47,6 +53,80 @@ TEST(SeedGolden, ParallelPathReproducesTheGoldenPoint) {
                      0, 1, ParallelConfig{4, 0});
   EXPECT_DOUBLE_EQ(p.mean_percent_correct, 98.90625);
   EXPECT_DOUBLE_EQ(p.stddev, 0.75475920553070042);
+}
+
+TEST(SeedGolden, BatchedEngineReproducesTheGoldenPoint) {
+  // The bit-parallel engine at 64 lanes must land on the same pinned
+  // numbers: per-trial seeds are reused verbatim, lanes only change the
+  // packing. EXPECT_EQ (not DOUBLE_EQ) — bit-identical is the contract.
+  const auto alu = make_alu("aluss");
+  const auto streams = paper_streams(2026);
+  ParallelConfig par;
+  par.batch_lanes = 64;
+  const DataPoint p =
+      run_data_point_batched(*alu, streams, 2.0, 5, 2026,
+                             FaultCountPolicy::kRoundNearest,
+                             InjectionScope::kAll, 0, 1, par);
+  EXPECT_EQ(p.samples, 10u);
+  EXPECT_EQ(p.mean_percent_correct, 98.90625);
+  EXPECT_EQ(p.stddev, 0.75475920553070042);
+  EXPECT_EQ(p.ci95, 0.53988469906198522);
+}
+
+TEST(SeedGolden, BenchBatchJsonSchema) {
+  // The BENCH_batch.json document shape bench_batch emits (documented
+  // in README.md): the standard BenchReport envelope plus the batch
+  // metrics CI reads the speedup gate from.
+  BenchReport r;
+  r.bench = "batch";
+  r.seed = 2026;
+  r.threads = 1;
+  r.trials_per_workload = 320;
+  r.trials = 640;
+  r.wall_seconds = 0.25;
+  r.metrics.emplace_back("lanes", 64.0);
+  r.metrics.emplace_back("fault_percent", 2.0);
+  r.metrics.emplace_back("scalar_seconds_aluss", 1.0);
+  r.metrics.emplace_back("batched_seconds_aluss", 0.25);
+  r.metrics.emplace_back("speedup_aluss", 4.0);
+  r.metrics.emplace_back("min_speedup", 4.0);
+  r.metrics.emplace_back("scalar_trials_per_second", 640.0);
+  r.metrics.emplace_back("batched_trials_per_second", 2560.0);
+  r.extra.emplace_back("mode", "full");
+  r.extra.emplace_back("bit_identical", "yes");
+  DataPoint p;
+  p.alu = "aluss";
+  p.fault_percent = 2.0;
+  p.mean_percent_correct = 98.90625;
+  p.samples = 640;
+  r.sweeps.push_back({"aluss", {p}});
+
+  std::ostringstream os;
+  write_bench_json(os, r);
+  const std::string out = os.str();
+  for (const char* key :
+       {"\"bench\": \"batch\"", "\"seed\": 2026", "\"threads\": 1",
+        "\"lanes\": 64", "\"fault_percent\": 2",
+        "\"scalar_seconds_aluss\"", "\"batched_seconds_aluss\"",
+        "\"speedup_aluss\": 4", "\"min_speedup\": 4",
+        "\"scalar_trials_per_second\"", "\"batched_trials_per_second\"",
+        "\"bit_identical\": \"yes\"", "\"alu\": \"aluss\"",
+        "\"mean_percent_correct\": 98.90625"}) {
+    EXPECT_NE(out.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(SeedGolden, SaveBenchJsonCreatesMissingDirectories) {
+  BenchReport r;
+  r.bench = "batch";
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "nbx_bench_json_test";
+  std::filesystem::remove_all(dir);
+  const std::string target = (dir / "nested" / "BENCH_batch.json").string();
+  EXPECT_EQ(save_bench_json(r, target), target);
+  std::ifstream in(target);
+  EXPECT_TRUE(in.good());
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
