@@ -1,0 +1,238 @@
+// bench_anatomy — the fault-anatomy bench. For each Table-2 ALU it runs
+// the paper's trial protocol at a low / paper-headline / high injection
+// rate ({0.5, 2, 10}%) with the observability sink attached and prints
+// where every injected fault went: per-code decode outcomes (corrected,
+// miscorrected, detected-uncorrectable, false-positive, undetected),
+// module-level voting events, and the end-to-end silent-corruption vs
+// caught-error split. The same numbers land in BENCH_anatomy.json as a
+// per-point "metrics" block.
+//
+//   bench_anatomy [--trials N] [--alus a,b,c] [--smoke] [--out PATH]
+//                 [--metrics-out PATH] [--threads N]
+//
+// Two built-in checks:
+//   * determinism — the full counter set is recomputed under threads
+//     {1, 8} x batch_lanes {0, 64} and must be bit-identical in all
+//     four configurations (this gates the exit code);
+//   * overhead — the aluss sweep is timed with the sink attached vs
+//     detached; the attached run must stay within bounds (reported in
+//     the JSON; informational on wall-clock-noisy machines).
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "alu/alu_factory.hpp"
+#include "common/cli.hpp"
+#include "common/thread_pool.hpp"
+#include "fault/sweep.hpp"
+#include "sim/bench_json.hpp"
+#include "sim/table_render.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> names;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      names.push_back(item);
+    }
+  }
+  return names;
+}
+
+// Sum one field over all five code layers.
+std::uint64_t code_sum(const nbx::obs::Counters& c,
+                       std::uint64_t nbx::obs::CodeLayerCounters::* f) {
+  std::uint64_t s = 0;
+  for (const auto& layer : c.code) {
+    s += layer.*f;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nbx;
+  const CliArgs args(argc, argv);
+  const bool smoke = args.has("smoke");
+  const int trials = static_cast<int>(
+      args.get_int("trials", smoke ? 2 : kPaperTrialsPerWorkload));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  const auto threads = static_cast<unsigned>(args.get_int("threads", 0));
+  const std::string metrics_out = args.get("metrics-out");
+
+  std::vector<std::string> names;
+  if (args.has("alus")) {
+    names = split_names(args.get("alus"));
+  } else if (smoke) {
+    names = {"alunh", "aluss"};
+  } else {
+    for (const AluSpec& spec : table2_specs()) {
+      names.push_back(spec.name);
+    }
+  }
+  for (const std::string& name : names) {
+    if (!make_alu(name)) {
+      std::cerr << "error: unknown ALU '" << name << "'\n";
+      return 2;
+    }
+  }
+  const std::vector<double> percents = {0.5, 2.0, 10.0};
+  const auto streams = paper_streams(seed);
+
+  std::cout << "Fault anatomy: " << names.size() << " ALUs x {0.5, 2, 10}% "
+            << "injected, " << streams.size() << " workloads x " << trials
+            << " trials per point\n\n";
+
+  BenchReport report;
+  report.bench = "anatomy";
+  report.seed = seed;
+  report.threads = resolve_threads(threads);
+  report.trials_per_workload = trials;
+
+  // ------------------------------------------------------------------
+  // The anatomy itself (reference run: serial scalar engine), plus the
+  // determinism cross-check in three other engine configurations.
+  // ------------------------------------------------------------------
+  const ParallelConfig configs[] = {
+      {1, 0, 0, nullptr},        // serial scalar (reference)
+      {1, 0, 64, nullptr},       // serial, 64-lane batched
+      {8, 0, 0, nullptr},        // 8 threads, scalar
+      {8, 0, 64, nullptr},       // 8 threads, 64-lane batched
+  };
+  bool deterministic = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<SweepAnatomy> anatomies;
+  for (const std::string& name : names) {
+    const auto alu = make_alu(name);
+    SweepAnatomy ref = run_sweep_anatomy(*alu, streams, percents, trials,
+                                         seed, FaultCountPolicy::kRoundNearest,
+                                         InjectionScope::kAll, 0, configs[0]);
+    for (std::size_t c = 1; c < std::size(configs); ++c) {
+      const SweepAnatomy alt = run_sweep_anatomy(
+          *alu, streams, percents, trials, seed,
+          FaultCountPolicy::kRoundNearest, InjectionScope::kAll, 0,
+          configs[c]);
+      if (alt.metrics != ref.metrics) {
+        deterministic = false;
+        std::cout << "MISMATCH: counters of " << name << " differ at threads="
+                  << configs[c].threads
+                  << " batch_lanes=" << configs[c].batch_lanes << "\n";
+      }
+    }
+    anatomies.push_back(std::move(ref));
+  }
+  const double wall = seconds_since(t0);
+
+  TextTable t({"alu", "fault%", "injected", "reads", "corr", "miscorr",
+               "detect", "false+", "undet", "outvoted", "vself", "storage",
+               "silent", "caught", "alarms"});
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t p = 0; p < percents.size(); ++p) {
+      const obs::Counters& c = anatomies[i].metrics[p];
+      t.add_row({names[i], fmt_double(percents[p], 1),
+                 std::to_string(c.injection.faults_injected),
+                 std::to_string(code_sum(c, &obs::CodeLayerCounters::reads)),
+                 std::to_string(
+                     code_sum(c, &obs::CodeLayerCounters::corrected)),
+                 std::to_string(
+                     code_sum(c, &obs::CodeLayerCounters::miscorrected)),
+                 std::to_string(code_sum(
+                     c, &obs::CodeLayerCounters::detected_uncorrectable)),
+                 std::to_string(
+                     code_sum(c, &obs::CodeLayerCounters::false_positive)),
+                 std::to_string(
+                     code_sum(c, &obs::CodeLayerCounters::undetected)),
+                 std::to_string(c.module_level.copies_outvoted),
+                 std::to_string(c.module_level.voter_self_faults),
+                 std::to_string(c.module_level.storage_faults),
+                 std::to_string(c.end_to_end.silent_corruptions),
+                 std::to_string(c.end_to_end.caught_errors),
+                 std::to_string(c.end_to_end.false_alarms)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nDeterminism (threads {1,8} x batch_lanes {0,64}): "
+            << (deterministic ? "bit-identical" : "MISMATCH") << "\n";
+
+  // ------------------------------------------------------------------
+  // Overhead: aluss sweep with the sink attached vs detached, best of
+  // three. The null-sink run is the production configuration — hooks
+  // compile to one pointer test — so "off" should match the pre-
+  // instrumentation engine to measurement noise.
+  // ------------------------------------------------------------------
+  // A fixed, larger trial count than the anatomy runs: sub-millisecond
+  // samples drown in scheduler noise, ~50 ms ones don't.
+  const int oh_trials = 50;
+  const auto aluss = make_alu("aluss");
+  double best_off = 1e100;
+  double best_on = 1e100;
+  for (int rep = 0; rep < 5; ++rep) {
+    auto t_off = std::chrono::steady_clock::now();
+    (void)run_sweep(*aluss, streams, {2.0}, oh_trials, seed);
+    best_off = std::min(best_off, seconds_since(t_off));
+    auto t_on = std::chrono::steady_clock::now();
+    (void)run_sweep_anatomy(*aluss, streams, {2.0}, oh_trials, seed);
+    best_on = std::min(best_on, seconds_since(t_on));
+  }
+  const double overhead_pct =
+      best_off > 0.0 ? (best_on / best_off - 1.0) * 100.0 : 0.0;
+  const bool overhead_ok = overhead_pct < 5.0;
+  std::cout << "Overhead (aluss @ 2%, best of 3): sink off "
+            << fmt_double(best_off * 1e3, 2) << " ms, sink on "
+            << fmt_double(best_on * 1e3, 2) << " ms -> "
+            << fmt_double(overhead_pct, 2) << "% ("
+            << (overhead_ok ? "within" : "ABOVE") << " the 5% budget)\n";
+
+  report.trials = names.size() * percents.size() * streams.size() *
+                  static_cast<std::size_t>(trials);
+  report.wall_seconds = wall;
+  report.metrics.emplace_back("overhead_percent", overhead_pct);
+  report.metrics.emplace_back("sink_off_seconds", best_off);
+  report.metrics.emplace_back("sink_on_seconds", best_on);
+  report.extra.emplace_back("mode", smoke ? "smoke" : "paper");
+  report.extra.emplace_back("counters_deterministic",
+                            deterministic ? "yes" : "NO");
+  report.extra.emplace_back("overhead_within_5pct",
+                            overhead_ok ? "yes" : "NO");
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    report.sweeps.push_back({names[i], std::move(anatomies[i].points),
+                             std::move(anatomies[i].metrics)});
+  }
+
+  if (!metrics_out.empty()) {
+    std::ofstream mos(metrics_out);
+    if (!mos) {
+      std::cerr << "error: cannot open '" << metrics_out << "'\n";
+      return 1;
+    }
+    for (const SweepRecord& s : report.sweeps) {
+      for (std::size_t p = 0; p < s.points.size(); ++p) {
+        mos << "{\"alu\":\"" << json_escape(s.alu) << "\",\"fault_percent\":"
+            << json_double(s.points[p].fault_percent) << ",\"metrics\":";
+        obs::write_counters_json(mos, s.point_metrics[p]);
+        mos << "}\n";
+      }
+    }
+    std::cout << "Wrote " << metrics_out << "\n";
+  }
+
+  const std::string path = save_bench_json(report, args.get("out"));
+  if (path.empty()) {
+    std::cout << "\nFAILED to write bench JSON\n";
+    return 1;
+  }
+  std::cout << "\nWrote " << path << "\n";
+  return deterministic ? 0 : 1;
+}

@@ -9,7 +9,9 @@
 #include <chrono>
 #include <iostream>
 
+#include "common/cli.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/progress.hpp"
 #include "fault/sweep.hpp"
 #include "sim/bench_json.hpp"
 #include "sim/figure.hpp"
@@ -19,8 +21,9 @@
 #define NBX_FIGURE 7
 #endif
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nbx;
+  const CliArgs args(argc, argv);
   const FigureSpec spec = NBX_FIGURE == 7   ? figure7_spec()
                           : NBX_FIGURE == 8 ? figure8_spec()
                                             : figure9_spec();
@@ -34,12 +37,22 @@ int main() {
             << " trials (10 samples per point), 64 instructions each, "
             << resolve_threads(par.threads) << " threads\n\n";
 
+  // --progress: live stderr line (points done, trials/s, ETA). The
+  // figure is evaluated point-by-point in that mode; numbers are
+  // bit-identical either way.
+  obs::ProgressReporter progress(
+      std::cerr, spec.id, spec.alus.size() * paper_sweep().size(),
+      2 * static_cast<std::uint64_t>(kPaperTrialsPerWorkload));
+  const bool want_progress = args.has("progress");
   const auto t0 = std::chrono::steady_clock::now();
-  const FigureResult fig =
-      run_figure(spec, paper_sweep(), kPaperTrialsPerWorkload, 2026, par);
+  const FigureResult fig = run_figure(
+      spec, paper_sweep(), kPaperTrialsPerWorkload, 2026, par,
+      want_progress ? std::function<void()>([&] { progress.tick(); })
+                    : std::function<void()>{});
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  progress.finish();
   print_figure(std::cout, fig);
 
   // Standard-deviation digest (the paper: stddev < 10 points for all but

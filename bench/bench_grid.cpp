@@ -1,16 +1,80 @@
 // bench_grid — cycle-accurate full-system characterization (future work
 // 3): phase latencies and throughput of the NanoBox grid as it scales,
 // plus end-to-end image accuracy versus per-cell ALU fault rate.
+//
+//   bench_grid [--trace-out PATH] [--trace-cap N] [--metrics-out PATH]
+//
+// --trace-out streams every grid trace event of the accuracy section as
+// JSONL while it happens (the in-memory ring is capped at --trace-cap
+// records, default 4096, so long runs stay bounded; evictions are
+// reported). --metrics-out writes one JSONL record per data point with
+// the full GridRunReport.
 #include <cmath>
+#include <fstream>
 #include <iostream>
 
+#include "cell/trace.hpp"
+#include "common/cli.hpp"
 #include "grid/control_processor.hpp"
+#include "obs/json.hpp"
 #include "sim/table_render.hpp"
 #include "workload/image_metrics.hpp"
 #include "workload/image_ops.hpp"
 
-int main() {
+namespace {
+
+void write_report_jsonl(std::ostream& os, const char* section,
+                        const std::string& label, double fault_percent,
+                        const nbx::GridRunReport& r) {
+  using nbx::json_double;
+  os << "{\"section\":\"" << section << "\",\"label\":\""
+     << nbx::json_escape(label)
+     << "\",\"alu_fault_percent\":" << json_double(fault_percent)
+     << ",\"instructions\":" << r.instructions
+     << ",\"results_received\":" << r.results_received
+     << ",\"results_correct\":" << r.results_correct
+     << ",\"results_missing\":" << r.results_missing
+     << ",\"percent_correct\":" << json_double(r.percent_correct)
+     << ",\"shift_in_cycles\":" << r.shift_in_cycles
+     << ",\"compute_cycles\":" << r.compute_cycles
+     << ",\"shift_out_cycles\":" << r.shift_out_cycles
+     << ",\"instructions_computed\":" << r.instructions_computed
+     << ",\"packets_forwarded\":" << r.packets_forwarded
+     << ",\"salvage_received\":" << r.salvage_received << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace nbx;
+  const CliArgs args(argc, argv);
+  const std::string trace_out = args.get("trace-out");
+  const std::string metrics_out = args.get("metrics-out");
+  const auto trace_cap =
+      static_cast<std::size_t>(args.get_int("trace-cap", 4096));
+
+  std::ofstream metrics_os;
+  if (!metrics_out.empty()) {
+    metrics_os.open(metrics_out);
+    if (!metrics_os) {
+      std::cerr << "error: cannot open '" << metrics_out << "'\n";
+      return 1;
+    }
+  }
+  std::ofstream trace_os;
+  TraceSink trace;
+  if (!trace_out.empty()) {
+    trace_os.open(trace_out);
+    if (!trace_os) {
+      std::cerr << "error: cannot open '" << trace_out << "'\n";
+      return 1;
+    }
+    // The live stream sees every record; the ring keeps only the last
+    // trace_cap for in-process queries, counting what it evicts.
+    trace.set_capacity(trace_cap);
+    trace.stream_to(&trace_os);
+  }
+
   std::cout << "Grid scaling: phase cycle counts for a full image pass "
                "(shift-in / compute / shift-out)\n\n";
   TextTable t({"grid", "pixels", "shift-in", "compute", "shift-out",
@@ -30,6 +94,11 @@ int main() {
                std::to_string(report.shift_out_cycles),
                std::to_string(report.packets_forwarded),
                fmt_double(report.percent_correct, 2)});
+    if (metrics_os.is_open()) {
+      write_report_jsonl(metrics_os, "scaling",
+                         std::to_string(n) + "x" + std::to_string(n), 0.0,
+                         report);
+    }
   }
   t.print(std::cout);
 
@@ -46,6 +115,9 @@ int main() {
     cfg.alu_fault_percent = pct;
     NanoBoxGrid grid(2, 2, cfg);
     ControlProcessor cp(grid);
+    if (!trace_out.empty()) {
+      grid.attach_trace(&trace);
+    }
     GridRunReport report;
     const Bitmap out = cp.run_image_op(image, hue_shift_op(), {}, &report);
     const ImageQuality q = compare_images(golden, out);
@@ -54,6 +126,9 @@ int main() {
                std::isinf(q.psnr) ? std::string("inf")
                                   : fmt_double(q.psnr, 1),
                std::to_string(q.max_error)});
+    if (metrics_os.is_open()) {
+      write_report_jsonl(metrics_os, "accuracy", "2x2-tmr", pct, report);
+    }
   }
   a.print(std::cout);
   std::cout << "\nReading: shift phases scale with grid diameter and "
@@ -63,5 +138,14 @@ int main() {
                "rates are uniformly random corruptions (any bit of the "
                "byte), so max error stays large even when almost every "
                "pixel is exact.\n";
+  if (!trace_out.empty()) {
+    std::cout << "\nTrace: streamed "
+              << trace.size() + trace.dropped() << " events to " << trace_out
+              << " (ring kept " << trace.size() << ", evicted "
+              << trace.dropped() << " at cap " << trace.capacity() << ")\n";
+  }
+  if (metrics_os.is_open()) {
+    std::cout << "Wrote " << metrics_out << "\n";
+  }
   return 0;
 }

@@ -1,16 +1,24 @@
 // bench_sweep — the parallel sweep engine bench. Runs the paper's full
 // fault-injection protocol (18 percentages x 2 workloads x N trials)
 // over a set of ALUs twice — once serially, once on the thread pool —
-// verifies the two are bit-identical, and records wall-clock, speedup
-// and throughput in BENCH_sweep.json.
+// verifies the two are bit-identical (both the data points and the
+// fault-anatomy counters), and records wall-clock, speedup and
+// throughput in BENCH_sweep.json, each point carrying its "metrics"
+// anatomy block.
 //
 //   bench_sweep [--threads N] [--trials N] [--alus a,b,c] [--smoke]
-//               [--out PATH] [--skip-serial]
+//               [--out PATH] [--skip-serial] [--progress]
+//               [--metrics-out PATH] [--trace-out PATH]
 //
 // --smoke shrinks the run (two ALUs, the 5-point smoke sweep) for the
 // `bench_smoke` CI target; --skip-serial records only the parallel pass
-// (no baseline, no verification) for quick measurements.
+// (no baseline, no verification) for quick measurements. --progress
+// reports points done / trials-per-second / ETA on stderr.
+// --metrics-out streams one JSONL record per (alu, fault%) point;
+// --trace-out writes a chrome://tracing file of the parallel pass's
+// per-stage timings.
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
@@ -18,6 +26,8 @@
 #include "common/cli.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/sweep.hpp"
+#include "obs/profiler.hpp"
+#include "obs/progress.hpp"
 #include "sim/bench_json.hpp"
 #include "sim/table_render.hpp"
 
@@ -55,6 +65,32 @@ bool identical(const std::vector<nbx::DataPoint>& a,
   return true;
 }
 
+// One sweep, optionally chunked per percent so a ProgressReporter can
+// tick between points (chunking cannot change any number: per-trial
+// seeds hash the percent's value, not its sweep position).
+nbx::SweepAnatomy sweep_with_progress(
+    const nbx::IAlu& alu,
+    const std::vector<std::vector<nbx::Instruction>>& streams,
+    const std::vector<double>& percents, int trials, std::uint64_t seed,
+    const nbx::ParallelConfig& par, nbx::obs::ProgressReporter* progress) {
+  using namespace nbx;
+  if (progress == nullptr) {
+    return run_sweep_anatomy(alu, streams, percents, trials, seed,
+                             FaultCountPolicy::kRoundNearest,
+                             InjectionScope::kAll, 0, par);
+  }
+  SweepAnatomy out;
+  for (const double pct : percents) {
+    SweepAnatomy one = run_sweep_anatomy(alu, streams, {pct}, trials, seed,
+                                         FaultCountPolicy::kRoundNearest,
+                                         InjectionScope::kAll, 0, par);
+    out.points.push_back(std::move(one.points.front()));
+    out.metrics.push_back(one.metrics.front());
+    progress->tick();
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,6 +98,9 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const bool smoke = args.has("smoke");
   const bool skip_serial = args.has("skip-serial");
+  const bool want_progress = args.has("progress");
+  const std::string metrics_out = args.get("metrics-out");
+  const std::string trace_out = args.get("trace-out");
   const auto threads =
       static_cast<unsigned>(args.get_int("threads", 0));
   const int trials = static_cast<int>(
@@ -89,7 +128,10 @@ int main(int argc, char** argv) {
   const std::vector<double> percents = smoke ? smoke_sweep() : paper_sweep();
   const auto streams = paper_streams(seed);
   const unsigned resolved = resolve_threads(threads);
-  const ParallelConfig par{threads, 0};
+
+  obs::Profiler profiler(/*capture_events=*/!trace_out.empty());
+  ParallelConfig par{threads, 0};
+  par.profiler = &profiler;
 
   std::cout << "Sweep engine bench: " << names.size() << " ALUs x "
             << percents.size() << " fault percentages x " << streams.size()
@@ -102,33 +144,53 @@ int main(int argc, char** argv) {
   report.threads = resolved;
   report.trials_per_workload = trials;
 
+  const std::uint64_t trials_per_point =
+      streams.size() * static_cast<std::uint64_t>(trials);
+
   double serial_seconds = 0.0;
-  std::vector<std::vector<DataPoint>> serial_results;
+  std::vector<SweepAnatomy> serial_results;
   if (!skip_serial) {
+    obs::ProgressReporter serial_progress(std::cerr, "serial sweep",
+                                     names.size() * percents.size(),
+                                     trials_per_point);
     const auto t0 = std::chrono::steady_clock::now();
     for (const std::string& name : names) {
       const auto alu = make_alu(name);
-      serial_results.push_back(
-          run_sweep(*alu, streams, percents, trials, seed));
+      serial_results.push_back(sweep_with_progress(
+          *alu, streams, percents, trials, seed, ParallelConfig{1, 0},
+          want_progress ? &serial_progress : nullptr));
     }
     serial_seconds = seconds_since(t0);
+    serial_progress.finish();
   }
 
+  obs::ProgressReporter progress(std::cerr, "parallel sweep",
+                            names.size() * percents.size(), trials_per_point);
   const auto t0 = std::chrono::steady_clock::now();
   bool all_identical = true;
+  bool metrics_identical = true;
   for (std::size_t i = 0; i < names.size(); ++i) {
     const auto alu = make_alu(names[i]);
-    auto points = run_sweep(*alu, streams, percents, trials, seed,
-                            FaultCountPolicy::kRoundNearest,
-                            InjectionScope::kAll, 0, par);
-    if (!skip_serial && !identical(points, serial_results[i])) {
-      all_identical = false;
-      std::cout << "MISMATCH: parallel sweep of " << names[i]
-                << " differs from serial\n";
+    SweepAnatomy sweep =
+        sweep_with_progress(*alu, streams, percents, trials, seed, par,
+                            want_progress ? &progress : nullptr);
+    if (!skip_serial) {
+      if (!identical(sweep.points, serial_results[i].points)) {
+        all_identical = false;
+        std::cout << "MISMATCH: parallel sweep of " << names[i]
+                  << " differs from serial\n";
+      }
+      if (sweep.metrics != serial_results[i].metrics) {
+        metrics_identical = false;
+        std::cout << "MISMATCH: fault-anatomy counters of " << names[i]
+                  << " differ between serial and parallel\n";
+      }
     }
-    report.sweeps.push_back({names[i], std::move(points)});
+    report.sweeps.push_back(
+        {names[i], std::move(sweep.points), std::move(sweep.metrics)});
   }
   const double parallel_seconds = seconds_since(t0);
+  progress.finish();
 
   report.trials =
       names.size() * percents.size() * streams.size() *
@@ -145,6 +207,9 @@ int main(int argc, char** argv) {
   report.extra.emplace_back("bit_identical",
                             skip_serial ? "unverified"
                                         : (all_identical ? "yes" : "NO"));
+  report.extra.emplace_back(
+      "metrics_identical",
+      skip_serial ? "unverified" : (metrics_identical ? "yes" : "NO"));
 
   TextTable t({"metric", "value"});
   t.add_row({"trials", std::to_string(report.trials)});
@@ -159,8 +224,38 @@ int main(int argc, char** argv) {
   t.add_row({"trials/s", fmt_double(report.trials_per_second(), 1)});
   if (!skip_serial) {
     t.add_row({"bit-identical", all_identical ? "yes" : "NO"});
+    t.add_row({"metrics-identical", metrics_identical ? "yes" : "NO"});
   }
   t.print(std::cout);
+
+  std::cout << "\nStage profile (parallel pass):\n";
+  profiler.write_summary(std::cout);
+
+  if (!metrics_out.empty()) {
+    std::ofstream mos(metrics_out);
+    if (!mos) {
+      std::cerr << "error: cannot open '" << metrics_out << "'\n";
+      return 1;
+    }
+    for (const SweepRecord& s : report.sweeps) {
+      for (std::size_t p = 0; p < s.points.size(); ++p) {
+        mos << "{\"alu\":\"" << json_escape(s.alu) << "\",\"fault_percent\":"
+            << json_double(s.points[p].fault_percent) << ",\"metrics\":";
+        obs::write_counters_json(mos, s.point_metrics[p]);
+        mos << "}\n";
+      }
+    }
+    std::cout << "Wrote " << metrics_out << "\n";
+  }
+  if (!trace_out.empty()) {
+    std::ofstream tos(trace_out);
+    if (!tos) {
+      std::cerr << "error: cannot open '" << trace_out << "'\n";
+      return 1;
+    }
+    profiler.write_chrome_trace(tos);
+    std::cout << "Wrote " << trace_out << " (chrome://tracing format)\n";
+  }
 
   const std::string path = save_bench_json(report, args.get("out"));
   if (path.empty()) {
@@ -168,5 +263,5 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "\nWrote " << path << "\n";
-  return all_identical ? 0 : 1;
+  return all_identical && metrics_identical ? 0 : 1;
 }

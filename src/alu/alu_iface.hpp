@@ -34,7 +34,19 @@ struct ModuleStats {
   std::uint64_t invalid_results = 0;      ///< voted valid bit came up 0
   LutAccessStats lut;                     ///< aggregated bit-level stats
 
-  void reset() { *this = ModuleStats{}; }
+  /// Optional fault-anatomy sink for module-level events (not owned).
+  /// Callers wanting the bit-level anatomy too set lut.obs to the same
+  /// sink. Null costs one pointer test per vote; reset() keeps the
+  /// attachment.
+  obs::Counters* obs = nullptr;
+
+  void reset() {
+    obs::Counters* sink = obs;
+    obs::Counters* lut_sink = lut.obs;
+    *this = ModuleStats{};
+    obs = sink;
+    lut.obs = lut_sink;
+  }
 };
 
 /// Result of one module-level computation.

@@ -8,6 +8,7 @@
 #include "alu/module_alu.hpp"
 #include "alu/voter.hpp"
 #include "lut/batch_lut.hpp"
+#include "obs/counters.hpp"
 
 namespace nbx {
 
@@ -15,6 +16,35 @@ namespace {
 
 inline std::uint64_t popcnt(std::uint64_t w) {
   return static_cast<std::uint64_t>(std::popcount(w));
+}
+
+/// Lane-sliced module-layer anatomy shared by both batch voters: count
+/// votes, replicas that lost, and voted outputs differing from the
+/// clean bitwise majority. `valid_self` carries the valid-line self
+/// fault word for the LUT voter (0 for CMOS, which has no valid path).
+void account_batch_vote(ModuleStats* stats, const std::uint64_t x[8],
+                        const std::uint64_t y[8], const std::uint64_t z[8],
+                        const BatchAluOutput& out, std::uint64_t valid_self,
+                        std::uint64_t active) {
+  if (stats == nullptr || stats->obs == nullptr) {
+    return;
+  }
+  auto& m = stats->obs->module_level;
+  m.votes += popcnt(active);
+  std::uint64_t dx = 0;
+  std::uint64_t dy = 0;
+  std::uint64_t dz = 0;
+  std::uint64_t self = valid_self;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::uint64_t maj = (x[i] & y[i]) | (y[i] & z[i]) | (x[i] & z[i]);
+    dx |= x[i] ^ maj;
+    dy |= y[i] ^ maj;
+    dz |= z[i] ^ maj;
+    self |= out.value[i] ^ maj;
+  }
+  m.copies_outvoted +=
+      popcnt(dx & active) + popcnt(dy & active) + popcnt(dz & active);
+  m.voter_self_faults += popcnt(self & active);
 }
 
 // ---------------------------------------------------------------------
@@ -170,6 +200,8 @@ class BatchLutVoter final : public IBatchVoter {
     if (stats != nullptr) {
       stats->voter_disagreements += popcnt(out.disagreement & active);
       stats->invalid_results += popcnt(~out.valid & active);
+      const std::uint64_t majv = (vx & vy) | (vy & vz) | (vx & vz);
+      account_batch_vote(stats, x, y, z, out, out.valid ^ majv, active);
     }
   }
 
@@ -214,6 +246,7 @@ class BatchCmosVoter final : public IBatchVoter {
         voter_->netlist().word_of(voter_->error_signal(), inputs, nodes);
     if (stats != nullptr) {
       stats->voter_disagreements += popcnt(out.disagreement & active);
+      account_batch_vote(stats, x, y, z, out, 0, active);
     }
   }
 
@@ -361,6 +394,13 @@ void BatchAlu::compute(Opcode op, std::uint8_t a, std::uint8_t b,
             r[i][bit] ^= mask->word(slot + bit);
           }
           v[i] = ~mask->word(slot + 8);
+          if (stats != nullptr && stats->obs != nullptr) {
+            std::uint64_t hits = 0;
+            for (std::size_t bit = 0; bit < 9; ++bit) {
+              hits += popcnt(mask->word(slot + bit) & active);
+            }
+            stats->obs->module_level.storage_faults += hits;
+          }
         }
       }
       voter_->vote(r[0], r[1], r[2], v[0], v[1], v[2], mask, voter_off,

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "fault/defect_map.hpp"
+#include "obs/counters.hpp"
 
 namespace nbx {
 
@@ -188,12 +189,20 @@ AluOutput TimeRedundantAlu::compute(Opcode op, std::uint8_t a,
     bool v = true;
     if (!mask.is_null()) {
       const std::size_t slot = storage_off + i * 9;
+      std::uint64_t hits = 0;
       for (std::size_t bit = 0; bit < 8; ++bit) {
         if (mask.get(slot + bit)) {
           r = static_cast<std::uint8_t>(r ^ (1u << bit));
+          ++hits;
         }
       }
-      v = !mask.get(slot + 8);
+      if (mask.get(slot + 8)) {
+        v = false;
+        ++hits;
+      }
+      if (stats != nullptr && stats->obs != nullptr) {
+        stats->obs->module_level.storage_faults += hits;
+      }
     }
     stored[i] = r;
     valid[i] = v;

@@ -2,8 +2,20 @@
 
 #include "coding/majority.hpp"
 #include "lut/truth_table.hpp"
+#include "obs/counters.hpp"
 
 namespace nbx {
+
+namespace {
+
+/// Bitwise 2-of-3 majority of the replica data bytes — the clean answer
+/// the voter *should* produce, used to attribute anatomy events.
+inline std::uint8_t byte_majority(const VoteInput& in) {
+  return static_cast<std::uint8_t>((in.x & in.y) | (in.y & in.z) |
+                                   (in.x & in.z));
+}
+
+}  // namespace
 
 LutVoter::LutVoter(LutCoding coding) : coding_(coding) {
   luts_.reserve(kLutCount);
@@ -48,6 +60,20 @@ VoteOutput LutVoter::vote(const VoteInput& in, MaskView mask,
     }
     if (!out.valid) {
       ++stats->invalid_results;
+    }
+    if (stats->obs != nullptr) {
+      auto& m = stats->obs->module_level;
+      ++m.votes;
+      const std::uint8_t maj = byte_majority(in);
+      m.copies_outvoted += static_cast<std::uint64_t>(in.x != maj) +
+                           static_cast<std::uint64_t>(in.y != maj) +
+                           static_cast<std::uint64_t>(in.z != maj);
+      // Faults inside the voter's own LUT fabric escape the vote: the
+      // output (value or valid line) differs from the clean majority.
+      const bool majv = majority3(in.vx, in.vy, in.vz);
+      if (out.value != maj || out.valid != majv) {
+        ++m.voter_self_faults;
+      }
     }
   }
   return out;
@@ -116,8 +142,22 @@ VoteOutput CmosVoter::vote(const VoteInput& in, MaskView mask,
   // replica disagreement (possibly itself faulted).
   out.valid = true;
   out.disagreement = net_.value_of(err_, inputs, nodes);
-  if (stats != nullptr && out.disagreement) {
-    ++stats->voter_disagreements;
+  if (stats != nullptr) {
+    if (out.disagreement) {
+      ++stats->voter_disagreements;
+    }
+    if (stats->obs != nullptr) {
+      auto& m = stats->obs->module_level;
+      ++m.votes;
+      const std::uint8_t maj = byte_majority(in);
+      m.copies_outvoted += static_cast<std::uint64_t>(in.x != maj) +
+                           static_cast<std::uint64_t>(in.y != maj) +
+                           static_cast<std::uint64_t>(in.z != maj);
+      // No valid datapath here; a self fault is a wrong data byte.
+      if (out.value != maj) {
+        ++m.voter_self_faults;
+      }
+    }
   }
   return out;
 }

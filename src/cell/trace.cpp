@@ -1,11 +1,12 @@
 #include "cell/trace.hpp"
 
-#include <array>
 #include <iomanip>
 
 namespace nbx {
 
 std::string_view trace_event_name(TraceEvent e) {
+  // No default: adding a TraceEvent kind without naming it is a compile
+  // error (-Werror=switch).
   switch (e) {
     case TraceEvent::kModeChange:
       return "mode-change";
@@ -25,9 +26,63 @@ std::string_view trace_event_name(TraceEvent e) {
   return "?";
 }
 
+std::optional<TraceEvent> trace_event_from_name(std::string_view name) {
+  for (const TraceEvent e : kAllTraceEvents) {
+    if (trace_event_name(e) == name) {
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+void write_trace_record_jsonl(std::ostream& os, const TraceRecord& r) {
+  os << "{\"cycle\":" << r.cycle << ",\"event\":\""
+     << trace_event_name(r.event) << "\",\"row\":" << int(r.cell.row)
+     << ",\"col\":" << int(r.cell.col) << ",\"id\":" << r.id << "}\n";
+}
+
+void TraceSink::set_capacity(std::size_t cap) {
+  if (cap != 0 && buf_.size() > cap) {
+    // Keep the most recent `cap` records; evictions count as dropped.
+    std::vector<TraceRecord> chrono = records();
+    dropped_ += chrono.size() - cap;
+    buf_.assign(chrono.end() - static_cast<std::ptrdiff_t>(cap),
+                chrono.end());
+    head_ = 0;
+  } else if (head_ != 0) {
+    // Re-linearize so future appends under the new capacity stay simple.
+    std::vector<TraceRecord> chrono = records();
+    buf_ = std::move(chrono);
+    head_ = 0;
+  }
+  capacity_ = cap;
+}
+
+void TraceSink::record(TraceEvent e, CellId cell, std::uint16_t id) {
+  const TraceRecord r{cycle_, e, cell, id};
+  if (stream_ != nullptr) {
+    write_trace_record_jsonl(*stream_, r);
+  }
+  if (capacity_ == 0 || buf_.size() < capacity_) {
+    buf_.push_back(r);
+  } else {
+    // Ring full: overwrite the oldest record.
+    buf_[head_] = r;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::vector<TraceRecord> TraceSink::records() const {
+  std::vector<TraceRecord> out;
+  out.reserve(buf_.size());
+  for_each([&out](const TraceRecord& r) { out.push_back(r); });
+  return out;
+}
+
 std::size_t TraceSink::count(TraceEvent e) const {
   std::size_t n = 0;
-  for (const TraceRecord& r : records_) {
+  for (const TraceRecord& r : buf_) {
     if (r.event == e) {
       ++n;
     }
@@ -37,38 +92,37 @@ std::size_t TraceSink::count(TraceEvent e) const {
 
 std::vector<TraceRecord> TraceSink::history_of(std::uint16_t id) const {
   std::vector<TraceRecord> out;
-  for (const TraceRecord& r : records_) {
+  for_each([&](const TraceRecord& r) {
     if (r.event != TraceEvent::kModeChange &&
         r.event != TraceEvent::kCellDisabled && r.id == id) {
       out.push_back(r);
     }
-  }
+  });
   return out;
 }
 
 std::vector<TraceRecord> TraceSink::at_cell(CellId cell) const {
   std::vector<TraceRecord> out;
-  for (const TraceRecord& r : records_) {
+  for_each([&](const TraceRecord& r) {
     if (r.cell == cell) {
       out.push_back(r);
     }
-  }
+  });
   return out;
 }
 
 void TraceSink::summarize(std::ostream& os) const {
-  constexpr std::array<TraceEvent, 7> kAll = {
-      TraceEvent::kModeChange,   TraceEvent::kPacketStored,
-      TraceEvent::kPacketForwarded, TraceEvent::kComputed,
-      TraceEvent::kResultEmitted,   TraceEvent::kCellDisabled,
-      TraceEvent::kWordSalvaged};
-  os << "trace: " << records_.size() << " events";
-  if (!records_.empty()) {
-    os << " over cycles [" << records_.front().cycle << ", "
-       << records_.back().cycle << "]";
+  os << "trace: " << buf_.size() << " events";
+  if (dropped_ != 0) {
+    os << " (+" << dropped_ << " dropped)";
+  }
+  if (!buf_.empty()) {
+    const std::vector<TraceRecord> chrono = records();
+    os << " over cycles [" << chrono.front().cycle << ", "
+       << chrono.back().cycle << "]";
   }
   os << "\n";
-  for (const TraceEvent e : kAll) {
+  for (const TraceEvent e : kAllTraceEvents) {
     const std::size_t n = count(e);
     if (n != 0) {
       os << "  " << std::setw(15) << std::left << trace_event_name(e) << n
@@ -79,7 +133,12 @@ void TraceSink::summarize(std::ostream& os) const {
 
 void TraceSink::dump(std::ostream& os, std::size_t limit) const {
   std::size_t shown = 0;
-  for (const TraceRecord& r : records_) {
+  bool truncated = false;
+  for_each([&](const TraceRecord& r) {
+    if (truncated || (limit != 0 && shown >= limit)) {
+      truncated = true;
+      return;
+    }
     os << "cycle " << std::setw(6) << r.cycle << "  " << std::setw(15)
        << std::left << trace_event_name(r.event) << std::right << " cell("
        << int(r.cell.row) << "," << int(r.cell.col) << ")";
@@ -88,11 +147,15 @@ void TraceSink::dump(std::ostream& os, std::size_t limit) const {
       os << " id=" << r.id;
     }
     os << "\n";
-    if (limit != 0 && ++shown >= limit) {
-      os << "... (" << records_.size() - shown << " more)\n";
-      return;
-    }
+    ++shown;
+  });
+  if (truncated) {
+    os << "... (" << buf_.size() - shown << " more)\n";
   }
+}
+
+void TraceSink::write_jsonl(std::ostream& os) const {
+  for_each([&os](const TraceRecord& r) { write_trace_record_jsonl(os, r); });
 }
 
 }  // namespace nbx

@@ -5,9 +5,16 @@
 // to a grid records every packet movement, computation, emission, salvage
 // and failover decision with its cycle number, queryable by cell or
 // instruction id.
+//
+// Two growth controls for long runs: a configurable ring-buffer capacity
+// (oldest records are evicted and counted in dropped()) and an optional
+// live JSONL stream that writes every record to an ostream as it happens
+// — the stream sees everything even when the ring forgets.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
 #include <ostream>
 #include <string_view>
 #include <vector>
@@ -27,8 +34,20 @@ enum class TraceEvent : std::uint8_t {
   kWordSalvaged,    ///< a memory word moved to a neighbour
 };
 
+/// Every TraceEvent kind, for iteration (summaries, round-trip tests).
+/// Keep in sync with the enum; trace_event_name's no-default switch
+/// turns a forgotten case into a compile error.
+inline constexpr std::array<TraceEvent, 7> kAllTraceEvents = {
+    TraceEvent::kModeChange,      TraceEvent::kPacketStored,
+    TraceEvent::kPacketForwarded, TraceEvent::kComputed,
+    TraceEvent::kResultEmitted,   TraceEvent::kCellDisabled,
+    TraceEvent::kWordSalvaged};
+
 /// Human-readable event name.
 std::string_view trace_event_name(TraceEvent e);
+
+/// Inverse of trace_event_name; nullopt for an unknown name.
+std::optional<TraceEvent> trace_event_from_name(std::string_view name);
 
 /// One trace record.
 struct TraceRecord {
@@ -38,6 +57,10 @@ struct TraceRecord {
   std::uint16_t id = 0;   ///< instruction id / mode, depending on event
 };
 
+/// Writes one record as a single JSONL line (with trailing newline):
+/// {"cycle":42,"event":"computed","row":1,"col":0,"id":17}
+void write_trace_record_jsonl(std::ostream& os, const TraceRecord& r);
+
 /// Collects trace records. Attach with NanoBoxGrid::attach_trace; the
 /// grid advances the sink's clock each cycle.
 class TraceSink {
@@ -45,13 +68,30 @@ class TraceSink {
   void set_cycle(std::uint64_t c) { cycle_ = c; }
   [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
 
-  void record(TraceEvent e, CellId cell, std::uint16_t id = 0) {
-    records_.push_back(TraceRecord{cycle_, e, cell, id});
-  }
+  /// Caps the in-memory buffer at `cap` records, keeping the most
+  /// recent ones (0 = unbounded, the default). Shrinking below the
+  /// current size evicts oldest records into dropped().
+  void set_capacity(std::size_t cap);
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
-  [[nodiscard]] const std::vector<TraceRecord>& records() const {
-    return records_;
-  }
+  /// Records evicted from the ring so far (never reported by records()
+  /// et al.; a live stream still saw them).
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Streams every subsequent record to `os` as one JSONL line at
+  /// record() time, in addition to buffering. Null detaches. The
+  /// stream is not owned and must outlive the sink (or be detached).
+  void stream_to(std::ostream* os) { stream_ = os; }
+
+  void record(TraceEvent e, CellId cell, std::uint16_t id = 0);
+
+  /// Buffered records in chronological order. (A copy: the ring's
+  /// internal layout wraps, so a reference cannot be chronological.)
+  [[nodiscard]] std::vector<TraceRecord> records() const;
+
+  /// Number of currently buffered records.
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
   [[nodiscard]] std::size_t count(TraceEvent e) const;
 
   /// All records touching instruction `id`, in order — the life of one
@@ -67,11 +107,34 @@ class TraceSink {
   /// Full listing ("cycle 42  computed       cell(1,0) id=17").
   void dump(std::ostream& os, std::size_t limit = 0) const;
 
-  void clear() { records_.clear(); }
+  /// Dumps the buffered records as JSONL, one record per line.
+  void write_jsonl(std::ostream& os) const;
+
+  /// Drops all buffered records and resets dropped(); keeps the
+  /// capacity and any attached stream.
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
 
  private:
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    // Chronological walk: oldest record sits at head_ once the ring has
+    // wrapped (buf_ full), at index 0 before that.
+    const std::size_t n = buf_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(buf_[(head_ + i) % n]);
+    }
+  }
+
   std::uint64_t cycle_ = 0;
-  std::vector<TraceRecord> records_;
+  std::uint64_t dropped_ = 0;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::size_t head_ = 0;      // index of the oldest record when wrapped
+  std::vector<TraceRecord> buf_;
+  std::ostream* stream_ = nullptr;
 };
 
 }  // namespace nbx

@@ -1,11 +1,28 @@
 #include "coding/parity.hpp"
 
+#include "obs/counters.hpp"
+
 namespace nbx {
 
 bool even_parity_bit(const BitVec& bits) { return (bits.popcount() & 1u) != 0; }
 
 bool parity_consistent(const BitVec& bits, bool stored_parity) {
   return even_parity_bit(bits) == stored_parity;
+}
+
+bool parity_consistent(const BitVec& bits, bool stored_parity, bool damaged,
+                       obs::Counters* sink) {
+  const bool consistent = parity_consistent(bits, stored_parity);
+  if (sink != nullptr) {
+    obs::CodeLayerCounters& c = sink->at(obs::CodeLayer::kParity);
+    ++c.reads;
+    if (!consistent) {
+      ++c.detected_uncorrectable;
+    } else {
+      ++(damaged ? c.undetected : c.clean);
+    }
+  }
+  return consistent;
 }
 
 }  // namespace nbx

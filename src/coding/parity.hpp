@@ -25,4 +25,17 @@ constexpr bool even_parity_bit(std::uint8_t w) {
 /// i.e. no (odd-multiplicity) error detected.
 bool parity_consistent(const BitVec& bits, bool stored_parity);
 
+namespace obs {
+struct Counters;
+}  // namespace obs
+
+/// Instrumented variant: additionally classifies the check into the
+/// fault-anatomy kParity bucket (sink may be null). `damaged` is whether
+/// any fault actually touched the word or its parity bit — the caller
+/// applied the overlay, so it knows. Parity never corrects, so the only
+/// outcomes are clean, detected_uncorrectable (check fired) and
+/// undetected (even-multiplicity damage aliased to a valid word).
+bool parity_consistent(const BitVec& bits, bool stored_parity, bool damaged,
+                       obs::Counters* sink);
+
 }  // namespace nbx

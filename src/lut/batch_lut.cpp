@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "obs/counters.hpp"
+
 namespace nbx {
 
 namespace {
@@ -100,6 +102,10 @@ std::uint64_t BatchLut::read(const std::uint64_t* addr_bits,
     // with no decoder events (the scalar read with a null MaskView).
     if (stats != nullptr) {
       stats->accesses += popcnt(active);
+      if (obs::CodeLayerCounters* oc = code_layer_of(stats->obs, coding_)) {
+        oc->reads += popcnt(active);
+        oc->clean += popcnt(active);
+      }
     }
     return lane_mux(static_cast<std::size_t>(k_), addr_bits,
                     [this](std::size_t s) { return golden_[s]; });
@@ -146,14 +152,29 @@ std::uint64_t BatchLut::read_tmr(const std::uint64_t* addr_bits,
                                   mask->word(offset + tmr_site(c, s));
                          });
   }
+  const std::uint64_t voted = (copies[0] & copies[1]) |
+                              (copies[1] & copies[2]) |
+                              (copies[0] & copies[2]);
   if (stats != nullptr) {
     stats->accesses += popcnt(active);
     const std::uint64_t disagree =
         (copies[0] ^ copies[1]) | (copies[1] ^ copies[2]);
     stats->tmr_disagreements += popcnt(disagree & active);
+    if (obs::CodeLayerCounters* oc = code_layer_of(stats->obs, coding_)) {
+      // Lane-sliced version of the scalar classification: compare the
+      // copies and the vote against the golden addressed bit.
+      const std::uint64_t g = lane_mux(
+          k, addr_bits, [this](std::size_t s) { return golden_[s]; });
+      const std::uint64_t err =
+          (copies[0] ^ g) | (copies[1] ^ g) | (copies[2] ^ g);
+      const std::uint64_t wrong = voted ^ g;
+      oc->reads += popcnt(active);
+      oc->clean += popcnt(active & ~err);
+      oc->corrected += popcnt(active & err & ~wrong);
+      oc->miscorrected += popcnt(active & wrong);
+    }
   }
-  return (copies[0] & copies[1]) | (copies[1] & copies[2]) |
-         (copies[0] & copies[2]);
+  return voted;
 }
 
 std::uint64_t BatchLut::read_hamming(const std::uint64_t* addr_bits,
@@ -194,11 +215,37 @@ std::uint64_t BatchLut::read_hamming(const std::uint64_t* addr_bits,
   // syndrome words themselves drive a mux over the 2^r constant leaves.
   const std::uint64_t is_data = lane_mux(
       r_, syn, [this](std::size_t s) { return is_data_leaves_[s]; });
+  obs::CodeLayerCounters* oc =
+      stats != nullptr ? code_layer_of(stats->obs, coding_) : nullptr;
+  if (oc != nullptr) {
+    // Word-parallel flip census over the stored segment: after the
+    // loop, `once` marks lanes with >= 1 mask flip and `twice` lanes
+    // with >= 2, so once & ~twice is the scalar decoder's flips == 1.
+    std::uint64_t once = 0;
+    std::uint64_t twice = 0;
+    for (std::size_t s = 0; s < sites_; ++s) {
+      const std::uint64_t w = mask->word(offset + s);
+      twice |= once & w;
+      once |= w;
+    }
+    oc->reads += popcnt(active);
+    oc->clean += popcnt(active & ~once);
+    // Zero syndrome despite flips: an aliased multi-bit fault.
+    oc->undetected += popcnt(active & once & ~any);
+    // A data syndrome with exactly one flip is a genuine repair; with
+    // two or more it is a miscorrection (same argument as the scalar
+    // read_hamming — a lone flip decoding as kDataBit is that flip).
+    oc->corrected += popcnt(active & is_data & once & ~twice);
+    oc->miscorrected += popcnt(active & is_data & twice);
+  }
   if (coding_ == LutCoding::kHammingIdeal) {
     if (stats != nullptr) {
       stats->accesses += popcnt(active);
       stats->corrections += popcnt(active & any & is_data);
       stats->detected_only += popcnt(active & any & ~is_data);
+    }
+    if (oc != nullptr) {
+      oc->detected_uncorrectable += popcnt(active & any & ~is_data);
     }
     return faulted ^ eq;
   }
@@ -217,6 +264,10 @@ std::uint64_t BatchLut::read_hamming(const std::uint64_t* addr_bits,
     stats->accesses += popcnt(active);
     stats->corrections += popcnt(active & any & (is_data | fp));
     stats->detected_only += popcnt(active & any & ~is_data & ~fp);
+  }
+  if (oc != nullptr) {
+    oc->false_positive += popcnt(active & any & ~is_data & fp);
+    oc->detected_uncorrectable += popcnt(active & any & ~is_data & ~fp);
   }
   // eq implies a data syndrome, so the two toggle sources are disjoint.
   return faulted ^ eq ^ (any & ~is_data & fp);
@@ -239,6 +290,12 @@ std::uint64_t BatchLut::read_fallback(const std::uint64_t* addr_bits,
                [this](std::size_t s) { return golden_[s]; });
   if (stats != nullptr) {
     stats->accesses += popcnt(active & ~touched);
+    if (obs::CodeLayerCounters* oc = code_layer_of(stats->obs, coding_)) {
+      // Untouched lanes are clean reads; touched lanes fall through to
+      // the scalar decoder below, which classifies them itself.
+      oc->reads += popcnt(active & ~touched);
+      oc->clean += popcnt(active & ~touched);
+    }
   }
   BitVec lane_mask(sites_);
   for (std::uint64_t rest = active & touched; rest != 0;

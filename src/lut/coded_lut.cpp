@@ -5,8 +5,30 @@
 
 #include "coding/majority.hpp"
 #include "lut/truth_table.hpp"
+#include "obs/counters.hpp"
 
 namespace nbx {
+
+obs::CodeLayerCounters* code_layer_of(obs::Counters* sink, LutCoding coding) {
+  if (sink == nullptr) {
+    return nullptr;
+  }
+  switch (coding) {
+    case LutCoding::kNone:
+      return nullptr;
+    case LutCoding::kHamming:
+    case LutCoding::kHammingIdeal:
+      return &sink->at(obs::CodeLayer::kHamming);
+    case LutCoding::kTmr:
+    case LutCoding::kTmrInterleaved:
+      return &sink->at(obs::CodeLayer::kTmr);
+    case LutCoding::kHsiao:
+      return &sink->at(obs::CodeLayer::kHsiao);
+    case LutCoding::kReedSolomon:
+      return &sink->at(obs::CodeLayer::kRs);
+  }
+  return nullptr;
+}
 
 std::string_view lut_coding_suffix(LutCoding c) {
   switch (c) {
@@ -158,10 +180,23 @@ bool CodedLut::read_tmr(std::uint32_t addr, MaskView mask,
   const bool c0 = golden ^ mask.get(tmr_site(0, addr));
   const bool c1 = golden ^ mask.get(tmr_site(1, addr));
   const bool c2 = golden ^ mask.get(tmr_site(2, addr));
-  if (stats != nullptr && tmr_disagreement(c0, c1, c2)) {
-    ++stats->tmr_disagreements;
+  const bool voted = majority3(c0, c1, c2);
+  if (stats != nullptr) {
+    if (tmr_disagreement(c0, c1, c2)) {
+      ++stats->tmr_disagreements;
+    }
+    if (obs::CodeLayerCounters* oc = code_layer_of(stats->obs, coding_)) {
+      ++oc->reads;
+      if (c0 == golden && c1 == golden && c2 == golden) {
+        ++oc->clean;
+      } else if (voted == golden) {
+        ++oc->corrected;
+      } else {
+        ++oc->miscorrected;
+      }
+    }
   }
-  return majority3(c0, c1, c2);
+  return voted;
 }
 
 bool CodedLut::read_hamming(std::uint32_t addr, MaskView mask,
@@ -169,28 +204,46 @@ bool CodedLut::read_hamming(std::uint32_t addr, MaskView mask,
   // Site layout: [table 2^k bits | check bits]. The decoder reads the
   // entire faulted string, exactly as the hardware of Figure 1(b) would.
   const std::size_t n = tt_.size();
+  std::size_t flips = 0;  // mask bits that hit this LUT's stored string
   BitVec data = tt_;
   for (std::size_t i = 0; i < n; ++i) {
     if (mask.get(i)) {
       data.flip(i);
+      ++flips;
     }
   }
   BitVec checks = checks_;
   for (std::size_t i = 0; i < hamming_->check_bits(); ++i) {
     if (mask.get(n + i)) {
       checks.flip(i);
+      ++flips;
     }
+  }
+  obs::CodeLayerCounters* oc =
+      stats != nullptr ? code_layer_of(stats->obs, coding_) : nullptr;
+  if (oc != nullptr) {
+    ++oc->reads;
   }
   const HammingCode::Decode d = hamming_->decode(data, checks);
   using Kind = HammingCode::Decode::Kind;
   switch (d.kind) {
     case Kind::kClean:
+      // A silent syndrome with damage present is an undetected (aliased)
+      // multi-bit fault.
+      if (oc != nullptr) {
+        ++(flips == 0 ? oc->clean : oc->undetected);
+      }
       return data.get(addr);
     case Kind::kDataBit:
       // Unique single-data-bit explanation: repair it (this is a
-      // miscorrection when the real fault was multi-bit).
+      // miscorrection when the real fault was multi-bit — a single flip
+      // decoding as kDataBit is always that flip, so repair is genuine
+      // exactly when flips == 1).
       if (stats != nullptr) {
         ++stats->corrections;
+      }
+      if (oc != nullptr) {
+        ++(flips == 1 ? oc->corrected : oc->miscorrected);
       }
       data.flip(static_cast<std::size_t>(d.data_index));
       return data.get(addr);
@@ -205,6 +258,9 @@ bool CodedLut::read_hamming(std::uint32_t addr, MaskView mask,
     // the addressed bit is passed through untouched.
     if (stats != nullptr) {
       ++stats->detected_only;
+    }
+    if (oc != nullptr) {
+      ++oc->detected_uncorrectable;
     }
     return data.get(addr);
   }
@@ -223,22 +279,28 @@ bool CodedLut::read_hamming(std::uint32_t addr, MaskView mask,
       ++stats->detected_only;
     }
   }
+  if (oc != nullptr) {
+    ++(false_positive ? oc->false_positive : oc->detected_uncorrectable);
+  }
   return data.get(addr) ^ false_positive;
 }
 
 bool CodedLut::read_hsiao(std::uint32_t addr, MaskView mask,
                           LutAccessStats* stats) const {
   const std::size_t n = tt_.size();
+  std::size_t flips = 0;
   BitVec data = tt_;
   for (std::size_t i = 0; i < n; ++i) {
     if (mask.get(i)) {
       data.flip(i);
+      ++flips;
     }
   }
   BitVec checks = checks_;
   for (std::size_t i = 0; i < hsiao_->check_bits(); ++i) {
     if (mask.get(n + i)) {
       checks.flip(i);
+      ++flips;
     }
   }
   const HsiaoStatus st = hsiao_->detect_and_correct(data, checks);
@@ -248,6 +310,24 @@ bool CodedLut::read_hsiao(std::uint32_t addr, MaskView mask,
     } else if (st != HsiaoStatus::kNoError) {
       ++stats->detected_only;
     }
+    if (obs::CodeLayerCounters* oc = code_layer_of(stats->obs, coding_)) {
+      ++oc->reads;
+      switch (st) {
+        case HsiaoStatus::kNoError:
+          ++(flips == 0 ? oc->clean : oc->undetected);
+          break;
+        case HsiaoStatus::kCorrected:
+          // Odd-weight-column property: a kCorrected verdict with a
+          // single real flip is always that flip (genuine); with 3+
+          // flips it is an aliased miscorrection.
+          ++(flips == 1 ? oc->corrected : oc->miscorrected);
+          break;
+        case HsiaoStatus::kDoubleDetected:
+        case HsiaoStatus::kUncorrectable:
+          ++oc->detected_uncorrectable;
+          break;
+      }
+    }
   }
   return data.get(addr);
 }
@@ -255,16 +335,19 @@ bool CodedLut::read_hsiao(std::uint32_t addr, MaskView mask,
 bool CodedLut::read_rs(std::uint32_t addr, MaskView mask,
                        LutAccessStats* stats) const {
   const std::size_t n = tt_.size();
+  std::size_t flips = 0;
   BitVec data = tt_;
   for (std::size_t i = 0; i < n; ++i) {
     if (mask.get(i)) {
       data.flip(i);
+      ++flips;
     }
   }
   BitVec checks = checks_;
   for (std::size_t i = 0; i < rs_->check_bits(); ++i) {
     if (mask.get(n + i)) {
       checks.flip(i);
+      ++flips;
     }
   }
   const RsStatus st = rs_->detect_and_correct(data, checks);
@@ -273,6 +356,23 @@ bool CodedLut::read_rs(std::uint32_t addr, MaskView mask,
       ++stats->corrections;
     } else if (st == RsStatus::kUncorrectable) {
       ++stats->detected_only;
+    }
+    if (obs::CodeLayerCounters* oc = code_layer_of(stats->obs, coding_)) {
+      ++oc->reads;
+      switch (st) {
+        case RsStatus::kNoError:
+          ++(flips == 0 ? oc->clean : oc->undetected);
+          break;
+        case RsStatus::kCorrected:
+          // RS can genuinely fix several flips inside one symbol, so
+          // "genuine" is judged by outcome: did the repaired data match
+          // the golden table?
+          ++(data == tt_ ? oc->corrected : oc->miscorrected);
+          break;
+        case RsStatus::kUncorrectable:
+          ++oc->detected_uncorrectable;
+          break;
+      }
     }
   }
   return data.get(addr);

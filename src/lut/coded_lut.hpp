@@ -36,6 +36,11 @@
 
 namespace nbx {
 
+namespace obs {
+struct Counters;
+struct CodeLayerCounters;
+}  // namespace obs
+
 /// Bit-level fault-tolerance technique of a coded LUT (paper §2.1).
 ///
 /// kHamming models the paper's decoder *as evaluated*: the corrector can
@@ -78,9 +83,23 @@ struct LutAccessStats {
   std::uint64_t detected_only = 0;   ///< error seen but not corrected
   std::uint64_t tmr_disagreements = 0;  ///< TMR copies disagreed on the bit
 
-  void reset() { *this = LutAccessStats{}; }
+  /// Optional fault-anatomy sink (not owned). When set, every coded
+  /// read also classifies its outcome against the golden content into
+  /// the per-code counters. Null costs one pointer test per read;
+  /// reset() and operator+= leave the attachment alone.
+  obs::Counters* obs = nullptr;
+
+  void reset() {
+    obs::Counters* sink = obs;
+    *this = LutAccessStats{};
+    obs = sink;
+  }
   LutAccessStats& operator+=(const LutAccessStats& o);
 };
+
+/// The anatomy bucket a LutCoding reports into, or null for kNone /
+/// a null sink (bare tables do no decoding, so no code-layer events).
+obs::CodeLayerCounters* code_layer_of(obs::Counters* sink, LutCoding coding);
 
 /// A K-input lookup table protected by one of the bit-level codings.
 ///

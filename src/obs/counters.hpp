@@ -1,0 +1,177 @@
+// counters.hpp — the fault-anatomy counter set.
+//
+// One `Counters` object tallies, for a batch of simulated instructions,
+// what happened to every injected fault at every layer of the stack:
+//
+//   injection    — how many masks were generated, how many bits flipped.
+//   code[layer]  — per coded-storage read: did the code see a clean
+//                  word, genuinely correct the damage, miscorrect it,
+//                  detect-without-repair, fire a false-positive
+//                  "correction" on an undamaged bit, or miss the damage
+//                  entirely (undetected)?
+//   module_level — module-redundancy events: majority votes taken,
+//                  replica copies outvoted, voter-self-fault escapes
+//                  (voted output differs from the clean majority of its
+//                  inputs), time-redundancy storage faults.
+//   end_to_end   — per instruction: clean-correct, silently corrupted,
+//                  caught (wrong but flagged), or false-alarmed.
+//
+// Contracts the sweep engine relies on:
+//   * Counters hold only unsigned integers and merge with operator+=.
+//     Integer addition is associative and commutative, so any per-
+//     thread / per-lane accumulation schedule folds to bit-identical
+//     totals — determinism across threads and batch_lanes comes free.
+//   * Accounting never draws from the trial RNG and never perturbs the
+//     simulation; attaching a sink cannot move a pinned golden.
+//   * A null sink pointer is the off switch: every hook is guarded by
+//     one pointer test, so the cost when detached is unmeasurable.
+//
+// Classification is defined against the *golden* (fault-free) content,
+// which the simulator always has on hand — "corrected" means the read
+// returned the golden value despite damage, not merely that the decoder
+// claimed success. See docs/OBSERVABILITY.md for the full semantics.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace nbx::obs {
+
+/// Which ECC/redundancy scheme a coded read went through.
+enum class CodeLayer : std::uint8_t {
+  kHamming = 0,  // naive + ideal Hamming(12,8) LUT protection
+  kHsiao,        // Hsiao SEC-DED(13,8)
+  kRs,           // Reed-Solomon over GF(16)
+  kTmr,          // bit-level LUT triplication
+  kParity,       // even-parity detect-only words
+};
+
+inline constexpr std::size_t kCodeLayerCount = 5;
+
+inline constexpr std::array<CodeLayer, kCodeLayerCount> kAllCodeLayers = {
+    CodeLayer::kHamming, CodeLayer::kHsiao, CodeLayer::kRs, CodeLayer::kTmr,
+    CodeLayer::kParity};
+
+/// Stable lower-case name ("hamming", "hsiao", ...) used as JSON keys.
+std::string_view code_layer_name(CodeLayer layer);
+
+/// What one coded read did with the fault mask it saw. Every read lands
+/// in exactly one outcome bucket, so the buckets sum to `reads`.
+struct CodeLayerCounters {
+  std::uint64_t reads = 0;    // coded reads observed (sum of the below)
+  std::uint64_t clean = 0;    // no mask bit touched the read's sites
+  std::uint64_t corrected = 0;              // repaired back to golden
+  std::uint64_t miscorrected = 0;           // "corrected" to a wrong value
+  std::uint64_t detected_uncorrectable = 0;  // flagged, not repaired
+  std::uint64_t false_positive = 0;  // undamaged bit toggled by decoder
+  std::uint64_t undetected = 0;      // damage on sites, syndrome silent
+
+  CodeLayerCounters& operator+=(const CodeLayerCounters& o) {
+    reads += o.reads;
+    clean += o.clean;
+    corrected += o.corrected;
+    miscorrected += o.miscorrected;
+    detected_uncorrectable += o.detected_uncorrectable;
+    false_positive += o.false_positive;
+    undetected += o.undetected;
+    return *this;
+  }
+  friend bool operator==(const CodeLayerCounters&,
+                         const CodeLayerCounters&) = default;
+};
+
+/// Module-redundancy (voting / time-redundancy) events.
+struct ModuleLayerCounters {
+  std::uint64_t votes = 0;            // majority votes performed
+  std::uint64_t copies_outvoted = 0;  // replica inputs that lost a vote
+  std::uint64_t voter_self_faults = 0;  // voted output != clean majority
+  std::uint64_t storage_faults = 0;   // time-redundancy storage bits hit
+
+  ModuleLayerCounters& operator+=(const ModuleLayerCounters& o) {
+    votes += o.votes;
+    copies_outvoted += o.copies_outvoted;
+    voter_self_faults += o.voter_self_faults;
+    storage_faults += o.storage_faults;
+    return *this;
+  }
+  friend bool operator==(const ModuleLayerCounters&,
+                         const ModuleLayerCounters&) = default;
+};
+
+/// Fault-injection volume, as produced by MaskGenerator.
+struct InjectionCounters {
+  std::uint64_t masks_generated = 0;  // one per simulated instruction
+  std::uint64_t faults_injected = 0;  // total mask bits set
+
+  InjectionCounters& operator+=(const InjectionCounters& o) {
+    masks_generated += o.masks_generated;
+    faults_injected += o.faults_injected;
+    return *this;
+  }
+  friend bool operator==(const InjectionCounters&,
+                         const InjectionCounters&) = default;
+};
+
+/// Per-instruction outcome after every layer has had its say. An
+/// instruction is *flagged* when the ALU reports a voter disagreement
+/// or an invalid result. The four buckets sum to `instructions`.
+struct EndToEndCounters {
+  std::uint64_t instructions = 0;
+  std::uint64_t correct = 0;             // right answer, no flag
+  std::uint64_t silent_corruptions = 0;  // wrong answer, no flag
+  std::uint64_t caught_errors = 0;       // wrong answer, flagged
+  std::uint64_t false_alarms = 0;        // right answer, flagged
+
+  EndToEndCounters& operator+=(const EndToEndCounters& o) {
+    instructions += o.instructions;
+    correct += o.correct;
+    silent_corruptions += o.silent_corruptions;
+    caught_errors += o.caught_errors;
+    false_alarms += o.false_alarms;
+    return *this;
+  }
+  friend bool operator==(const EndToEndCounters&,
+                         const EndToEndCounters&) = default;
+};
+
+/// The full anatomy for one accumulation scope (a trial, a lane group,
+/// a data point, a whole sweep — merge scopes with +=).
+struct Counters {
+  InjectionCounters injection;
+  std::array<CodeLayerCounters, kCodeLayerCount> code;
+  ModuleLayerCounters module_level;
+  EndToEndCounters end_to_end;
+
+  CodeLayerCounters& at(CodeLayer layer) {
+    return code[static_cast<std::size_t>(layer)];
+  }
+  const CodeLayerCounters& at(CodeLayer layer) const {
+    return code[static_cast<std::size_t>(layer)];
+  }
+
+  Counters& operator+=(const Counters& o) {
+    injection += o.injection;
+    for (std::size_t i = 0; i < kCodeLayerCount; ++i) code[i] += o.code[i];
+    module_level += o.module_level;
+    end_to_end += o.end_to_end;
+    return *this;
+  }
+  friend bool operator==(const Counters&, const Counters&) = default;
+
+  void reset() { *this = Counters{}; }
+};
+
+/// Writes one Counters as a single-line JSON object (no newline):
+/// {"injection":{...},"code":{"hamming":{...},...},"module":{...},
+///  "e2e":{...}}. Suitable both for embedding in a larger document and
+/// as one JSONL record.
+void write_counters_json(std::ostream& os, const Counters& c);
+
+/// Convenience: write_counters_json into a string.
+std::string counters_json(const Counters& c);
+
+}  // namespace nbx::obs

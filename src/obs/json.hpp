@@ -1,0 +1,22 @@
+// json.hpp — dependency-free JSON emission primitives.
+//
+// The observability layer (counters, profiles, trace streams) and the
+// bench result sink all hand-roll their JSON; these two helpers are the
+// shared bottom: correct string escaping and round-trippable doubles.
+// They live in obs/ — the lowest instrumentation layer — so every
+// subsystem above common/ can emit JSON without linking the sim library.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace nbx {
+
+/// Escapes a string for embedding in a JSON string literal (no quotes).
+std::string json_escape(std::string_view s);
+
+/// Serializes one double as JSON: round-trippable shortest form;
+/// NaN/inf become null (JSON has no representation for them).
+std::string json_double(double v);
+
+}  // namespace nbx

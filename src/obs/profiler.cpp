@@ -1,0 +1,114 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace nbx::obs {
+
+std::size_t DurationHistogram::bucket_of(double seconds) {
+  const double us = seconds * 1e6;
+  if (us < 2.0) return 0;
+  std::size_t b = 0;
+  // log2 of whole microseconds; us < 2^63 always in practice.
+  for (std::uint64_t v = static_cast<std::uint64_t>(us); v > 1; v >>= 1) ++b;
+  return std::min(b, kBuckets - 1);
+}
+
+void DurationHistogram::add(double seconds) {
+  ++buckets[bucket_of(seconds)];
+  if (count == 0 || seconds < min_seconds) min_seconds = seconds;
+  if (count == 0 || seconds > max_seconds) max_seconds = seconds;
+  ++count;
+  total_seconds += seconds;
+}
+
+DurationHistogram& DurationHistogram::operator+=(const DurationHistogram& o) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += o.buckets[i];
+  if (o.count > 0) {
+    if (count == 0 || o.min_seconds < min_seconds) min_seconds = o.min_seconds;
+    if (count == 0 || o.max_seconds > max_seconds) max_seconds = o.max_seconds;
+  }
+  count += o.count;
+  total_seconds += o.total_seconds;
+  return *this;
+}
+
+Profiler::Profiler(bool capture_events)
+    : capture_events_(capture_events),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+std::size_t Profiler::stage_index(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i].name == name) return i;
+  }
+  stages_.push_back(StageProfile{std::string(name), {}});
+  return stages_.size() - 1;
+}
+
+double Profiler::now_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+std::uint32_t Profiler::tid_of(std::thread::id id) {
+  for (const auto& [tid, idx] : tids_) {
+    if (tid == id) return idx;
+  }
+  const auto idx = static_cast<std::uint32_t>(tids_.size());
+  tids_.emplace_back(id, idx);
+  return idx;
+}
+
+void Profiler::record(std::size_t stage, double start_seconds,
+                      double dur_seconds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (stage >= stages_.size()) return;
+  stages_[stage].hist.add(dur_seconds);
+  if (capture_events_) {
+    events_.push_back(Event{static_cast<std::uint32_t>(stage),
+                            tid_of(std::this_thread::get_id()),
+                            start_seconds * 1e6, dur_seconds * 1e6});
+  }
+}
+
+std::vector<StageProfile> Profiler::stages() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stages_;
+}
+
+void Profiler::write_summary(std::ostream& os) const {
+  const auto snapshot = stages();
+  os << "stage                 count      total_s       mean_s        "
+        "min_s        max_s\n";
+  for (const StageProfile& s : snapshot) {
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "%-18s %8llu %12.6f %12.9f %12.9f %12.9f\n", s.name.c_str(),
+                  static_cast<unsigned long long>(s.hist.count),
+                  s.hist.total_seconds, s.hist.mean_seconds(),
+                  s.hist.min_seconds, s.hist.max_seconds);
+    os << line;
+  }
+}
+
+void Profiler::write_chrome_trace(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\": \"" << json_escape(stages_[e.stage].name)
+       << "\", \"cat\": \"sweep\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+       << e.tid << ", \"ts\": " << json_double(e.start_us)
+       << ", \"dur\": " << json_double(e.dur_us) << "}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace nbx::obs

@@ -1,0 +1,123 @@
+// profiler.hpp — per-stage wall-clock profiling for the sweep engine.
+//
+// A Profiler owns a set of named stages ("trial", "lane_group",
+// "fold", ...). Code brackets a region with a ScopedTimer; on scope
+// exit the elapsed time folds into that stage's histogram and,
+// optionally, an event list for Chrome-trace export.
+//
+// Timing is inherently nondeterministic — it lives beside, never
+// inside, the deterministic Counters. A null Profiler* is the off
+// switch: ScopedTimer(nullptr, ...) never reads the clock.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace nbx::obs {
+
+/// Log2-bucketed latency histogram plus the usual summary moments.
+/// Bucket i holds durations in [2^i, 2^(i+1)) microseconds; bucket 0
+/// also absorbs sub-microsecond samples.
+struct DurationHistogram {
+  static constexpr std::size_t kBuckets = 32;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+
+  /// Bucket index for a duration (log2 of whole microseconds, clamped).
+  static std::size_t bucket_of(double seconds);
+
+  void add(double seconds);
+
+  DurationHistogram& operator+=(const DurationHistogram& o);
+
+  double mean_seconds() const {
+    return count == 0 ? 0.0 : total_seconds / static_cast<double>(count);
+  }
+};
+
+/// One named stage and its accumulated timings.
+struct StageProfile {
+  std::string name;
+  DurationHistogram hist;
+};
+
+/// Thread-safe stage registry + accumulator.
+class Profiler {
+ public:
+  /// With capture_events=true every timed region is also kept as a
+  /// discrete event (stage, start, duration, thread) for Chrome-trace
+  /// export. Summary histograms are always maintained.
+  explicit Profiler(bool capture_events = false);
+
+  /// Index for a stage name, creating the stage on first use.
+  std::size_t stage_index(std::string_view name);
+
+  /// Folds one sample into a stage (start_seconds is relative to the
+  /// profiler's construction; used only for event capture).
+  void record(std::size_t stage, double start_seconds, double dur_seconds);
+
+  /// Seconds since this profiler was constructed.
+  double now_seconds() const;
+
+  /// Snapshot of all stages (copy, taken under the lock).
+  std::vector<StageProfile> stages() const;
+
+  /// Human-readable per-stage table: count / total / mean / min / max.
+  void write_summary(std::ostream& os) const;
+
+  /// Chrome-trace JSON ({"traceEvents":[...]}): load in chrome://tracing
+  /// or Perfetto. Without capture_events the event array is empty.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  std::uint32_t tid_of(std::thread::id id);
+
+  struct Event {
+    std::uint32_t stage;
+    std::uint32_t tid;
+    double start_us;
+    double dur_us;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<StageProfile> stages_;
+  std::vector<std::pair<std::thread::id, std::uint32_t>> tids_;
+  std::vector<Event> events_;
+  bool capture_events_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII region timer. Inert (no clock read) when profiler is null.
+class ScopedTimer {
+ public:
+  ScopedTimer(Profiler* profiler, std::size_t stage)
+      : profiler_(profiler), stage_(stage) {
+    if (profiler_ != nullptr) start_ = profiler_->now_seconds();
+  }
+  ~ScopedTimer() {
+    if (profiler_ != nullptr) {
+      profiler_->record(stage_, start_, profiler_->now_seconds() - start_);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Profiler* profiler_;
+  std::size_t stage_ = 0;
+  double start_ = 0.0;
+};
+
+}  // namespace nbx::obs

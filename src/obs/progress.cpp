@@ -1,0 +1,59 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace nbx::obs {
+
+namespace {
+constexpr double kMinPrintIntervalSeconds = 0.2;
+}  // namespace
+
+ProgressReporter::ProgressReporter(std::ostream& os, std::string label,
+                                   std::size_t total_units,
+                                   std::uint64_t trials_per_unit)
+    : os_(os),
+      label_(std::move(label)),
+      total_(total_units),
+      trials_per_unit_(trials_per_unit),
+      start_(std::chrono::steady_clock::now()),
+      last_print_(start_) {}
+
+void ProgressReporter::tick(std::size_t n) {
+  done_ += n;
+  print(/*force=*/done_ >= total_);
+}
+
+void ProgressReporter::finish() {
+  if (done_ == 0 && !printed_) return;  // never used: stay silent
+  print(/*force=*/true);
+  if (printed_) os_ << "\n";
+}
+
+void ProgressReporter::print(bool force) {
+  const auto now = std::chrono::steady_clock::now();
+  const double since_last =
+      std::chrono::duration<double>(now - last_print_).count();
+  if (!force && printed_ && since_last < kMinPrintIntervalSeconds) return;
+  last_print_ = now;
+  printed_ = true;
+
+  const double elapsed = std::chrono::duration<double>(now - start_).count();
+  const double trials_done =
+      static_cast<double>(done_) * static_cast<double>(trials_per_unit_);
+  const double rate = elapsed > 0.0 ? trials_done / elapsed : 0.0;
+  const double remaining =
+      done_ > 0 && total_ >= done_
+          ? elapsed * static_cast<double>(total_ - done_) /
+                static_cast<double>(done_)
+          : 0.0;
+
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "\r%s: %zu/%zu points | %.0f trials/s | ETA %.1fs   ",
+                label_.c_str(), done_, total_, rate, remaining);
+  os_ << line;
+  os_.flush();
+}
+
+}  // namespace nbx::obs

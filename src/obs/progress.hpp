@@ -1,0 +1,47 @@
+// progress.hpp — throttled stderr progress line for long sweeps.
+//
+// Prints "\r<label>: done/total points | N trials/s | ETA 12.3s" at
+// most a few times a second so multi-minute benches aren't silent.
+// Purely cosmetic: it never touches the simulation or its RNG.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace nbx::obs {
+
+class ProgressReporter {
+ public:
+  /// total_units: work units (data points) expected; trials_per_unit:
+  /// trials behind each unit, used for the trials/s rate. os is
+  /// typically std::cerr; the reporter only writes, never flushes
+  /// state anywhere else.
+  ProgressReporter(std::ostream& os, std::string label,
+                   std::size_t total_units, std::uint64_t trials_per_unit);
+
+  /// Marks `n` more units done and reprints if the throttle allows.
+  void tick(std::size_t n = 1);
+
+  /// Final print plus a newline so the line sticks. No-op on a
+  /// reporter that never ticked (safe to call unconditionally).
+  void finish();
+
+  std::size_t done() const { return done_; }
+
+ private:
+  void print(bool force);
+
+  std::ostream& os_;
+  std::string label_;
+  std::size_t total_;
+  std::size_t done_ = 0;
+  std::uint64_t trials_per_unit_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_print_;
+  bool printed_ = false;
+};
+
+}  // namespace nbx::obs

@@ -1,8 +1,5 @@
 #include "sim/bench_json.hpp"
 
-#include <charconv>
-#include <cmath>
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -15,50 +12,21 @@ double BenchReport::trials_per_second() const {
              : 0.0;
 }
 
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string json_double(double v) {
-  if (!std::isfinite(v)) {
-    return "null";
-  }
-  // Shortest round-trippable decimal form; always valid JSON (to_chars
-  // never emits a leading '+' or a bare '.').
-  char buf[32];
-  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
-  return ec == std::errc{} ? std::string(buf, end) : "null";
-}
-
 namespace {
 
 void write_point(std::ostream& os, const DataPoint& p,
-                 const char* indent) {
+                 const obs::Counters* metrics, const char* indent) {
   os << indent << "{\"fault_percent\": " << json_double(p.fault_percent)
      << ", \"mean_percent_correct\": "
      << json_double(p.mean_percent_correct)
      << ", \"stddev\": " << json_double(p.stddev)
      << ", \"ci95\": " << json_double(p.ci95)
-     << ", \"samples\": " << p.samples << "}";
+     << ", \"samples\": " << p.samples;
+  if (metrics != nullptr) {
+    os << ", \"metrics\": ";
+    obs::write_counters_json(os, *metrics);
+  }
+  os << "}";
 }
 
 }  // namespace
@@ -90,8 +58,12 @@ void write_bench_json(std::ostream& os, const BenchReport& r) {
     os << (s ? ",\n" : "\n");
     os << "    {\"alu\": \"" << json_escape(r.sweeps[s].alu)
        << "\", \"points\": [\n";
+    const bool with_metrics =
+        r.sweeps[s].point_metrics.size() == r.sweeps[s].points.size();
     for (std::size_t p = 0; p < r.sweeps[s].points.size(); ++p) {
-      write_point(os, r.sweeps[s].points[p], "      ");
+      write_point(os, r.sweeps[s].points[p],
+                  with_metrics ? &r.sweeps[s].point_metrics[p] : nullptr,
+                  "      ");
       os << (p + 1 < r.sweeps[s].points.size() ? ",\n" : "\n");
     }
     os << "    ]}";

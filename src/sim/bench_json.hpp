@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
 #include "sim/experiment.hpp"
 
 namespace nbx {
@@ -23,6 +25,11 @@ namespace nbx {
 struct SweepRecord {
   std::string alu;
   std::vector<DataPoint> points;
+  /// Optional fault anatomy, parallel to `points` (index i holds the
+  /// aggregated counters behind points[i], as produced by
+  /// run_sweep_anatomy). Leave empty to omit the per-point "metrics"
+  /// block from the JSON.
+  std::vector<obs::Counters> point_metrics;
 };
 
 /// Top-level bench result document, serialized as one JSON object.
@@ -41,12 +48,9 @@ struct BenchReport {
   [[nodiscard]] double trials_per_second() const;
 };
 
-/// Escapes a string for embedding in a JSON string literal (no quotes).
-std::string json_escape(std::string_view s);
-
-/// Serializes one double as JSON: round-trippable shortest form;
-/// NaN/inf become null (JSON has no representation for them).
-std::string json_double(double v);
+// json_escape / json_double live in obs/json.hpp (included above); they
+// moved there so the obs exporters can share them, and remain visible
+// here for existing callers.
 
 /// Writes `report` as pretty-printed JSON.
 void write_bench_json(std::ostream& os, const BenchReport& report);

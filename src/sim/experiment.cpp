@@ -14,7 +14,8 @@ namespace nbx {
 
 TrialResult run_trial(const IAlu& alu,
                       const std::vector<Instruction>& stream,
-                      const TrialConfig& cfg, Rng& rng) {
+                      const TrialConfig& cfg, Rng& rng,
+                      obs::Counters* anatomy) {
   const std::size_t total_sites = alu.fault_sites();
   const std::size_t inject_sites = cfg.scope == InjectionScope::kDatapathOnly
                                        ? cfg.datapath_sites
@@ -30,6 +31,12 @@ TrialResult run_trial(const IAlu& alu,
   BitVec scratch(inject_sites);
   TrialResult res;
   res.instructions = stream.size();
+  if (anatomy != nullptr) {
+    // One sink serves both levels: the module wrapper / voter hooks and
+    // the coded-LUT decode hooks beneath them.
+    res.stats.obs = anatomy;
+    res.stats.lut.obs = anatomy;
+  }
   for (const Instruction& ins : stream) {
     // "After each ALU computation, we generate a new fault mask" (§4).
     if (inject_sites == total_sites) {
@@ -43,11 +50,34 @@ TrialResult run_trial(const IAlu& alu,
         }
       }
     }
+    if (anatomy != nullptr) {
+      ++anatomy->injection.masks_generated;
+      // Floyd's sampling sets exactly faults_per_computation() bits for
+      // the counting policies; only Bernoulli (per-site coin flips) and
+      // burst (edge truncation, overlapping strikes) need the real
+      // popcount. Skipping it keeps the sink's hot-loop cost flat.
+      anatomy->injection.faults_injected +=
+          (cfg.policy == FaultCountPolicy::kRoundNearest ||
+           cfg.policy == FaultCountPolicy::kFloor)
+              ? gen.faults_per_computation()
+              : mask.popcount();
+    }
     const AluOutput out = alu.compute(ins.op, ins.a, ins.b,
                                       MaskView(mask, 0, total_sites),
                                       &res.stats);
-    if (out.value != ins.golden) {
+    const bool wrong = out.value != ins.golden;
+    if (wrong) {
       ++res.incorrect;
+    }
+    if (anatomy != nullptr) {
+      auto& e = anatomy->end_to_end;
+      ++e.instructions;
+      const bool flagged = out.disagreement || !out.valid;
+      if (wrong) {
+        ++(flagged ? e.caught_errors : e.silent_corruptions);
+      } else {
+        ++(flagged ? e.false_alarms : e.correct);
+      }
     }
   }
   res.percent_correct =
@@ -70,15 +100,27 @@ std::vector<double> run_trial_grid(
     const std::vector<double>& percents, int trials_per_workload,
     std::uint64_t seed, FaultCountPolicy policy, InjectionScope scope,
     std::size_t datapath_sites, std::size_t burst_length,
-    const ParallelConfig& par) {
+    const ParallelConfig& par, std::vector<obs::Counters>* anatomy) {
   const std::size_t workloads = streams.size();
   const auto trials = static_cast<std::size_t>(trials_per_workload);
   const std::size_t per_percent = workloads * trials;
   const std::size_t total = percents.size() * per_percent;
   const std::uint64_t alu_hash = fnv1a64(alu.name());
+  const std::size_t st_trial =
+      par.profiler != nullptr ? par.profiler->stage_index("trial") : 0;
+
+  // Each cell tallies into its own slot; the per-percent merge below
+  // runs after the pool joins, in index order. (Order is cosmetic —
+  // integer sums commute — which is exactly why the totals are bit-
+  // identical for every schedule.)
+  std::vector<obs::Counters> per_item;
+  if (anatomy != nullptr) {
+    per_item.resize(total);
+  }
 
   std::vector<double> samples(total, 0.0);
   const auto run_cell = [&](std::size_t i) {
+    const obs::ScopedTimer timer(par.profiler, st_trial);
     const std::size_t pi = i / per_percent;
     const std::size_t w = (i % per_percent) / trials;
     const std::size_t t = i % trials;
@@ -89,7 +131,9 @@ std::vector<double> run_trial_grid(
     cfg.scope = scope;
     cfg.datapath_sites = datapath_sites;
     Rng rng(MaskGenerator::trial_seed(seed, alu_hash, percents[pi], w, t));
-    samples[i] = run_trial(alu, streams[w], cfg, rng).percent_correct;
+    samples[i] = run_trial(alu, streams[w], cfg, rng,
+                           anatomy != nullptr ? &per_item[i] : nullptr)
+                     .percent_correct;
   };
 
   if (resolve_threads(par.threads) <= 1 || total <= 1) {
@@ -99,6 +143,12 @@ std::vector<double> run_trial_grid(
   } else {
     ThreadPool pool(par.threads);
     pool.parallel_for(total, par.chunking, run_cell);
+  }
+  if (anatomy != nullptr) {
+    anatomy->assign(percents.size(), obs::Counters{});
+    for (std::size_t i = 0; i < total; ++i) {
+      (*anatomy)[i / per_percent] += per_item[i];
+    }
   }
   return samples;
 }
@@ -116,7 +166,7 @@ std::vector<double> run_batched_grid(
     const std::vector<double>& percents, int trials_per_workload,
     std::uint64_t seed, FaultCountPolicy policy, InjectionScope scope,
     std::size_t datapath_sites, std::size_t burst_length,
-    const ParallelConfig& par) {
+    const ParallelConfig& par, std::vector<obs::Counters>* anatomy) {
   const std::size_t workloads = streams.size();
   const auto trials = static_cast<std::size_t>(trials_per_workload);
   const unsigned lanes =
@@ -134,9 +184,17 @@ std::vector<double> run_batched_grid(
   // One read-only batched mirror shared by all worker threads
   // (BatchAlu::compute keeps its scratch on the stack).
   const std::unique_ptr<BatchAlu> batch = BatchAlu::create(alu);
+  const std::size_t st_group =
+      par.profiler != nullptr ? par.profiler->stage_index("lane_group") : 0;
+
+  std::vector<obs::Counters> per_group;
+  if (anatomy != nullptr) {
+    per_group.resize(total_groups);
+  }
 
   std::vector<double> samples(percents.size() * workloads * trials, 0.0);
   const auto run_group = [&](std::size_t item) {
+    const obs::ScopedTimer timer(par.profiler, st_group);
     const std::size_t cell = item / groups_per_cell;
     const std::size_t group = item % groups_per_cell;
     const std::size_t pi = cell / workloads;
@@ -156,14 +214,28 @@ std::vector<double> run_batched_grid(
           seed, alu_hash, percents[pi], w, first_trial + l));
     }
 
+    obs::Counters* oc = anatomy != nullptr ? &per_group[item] : nullptr;
     BatchBitVec mask(total_sites);
     BatchAluOutput out;
     ModuleStats stats;
+    if (oc != nullptr) {
+      stats.obs = oc;
+      stats.lut.obs = oc;
+    }
     std::uint32_t incorrect[kMaxBatchLanes] = {};
     for (const Instruction& ins : stream) {
       mask.clear_all();
       for (unsigned l = 0; l < in_group; ++l) {
         gen.generate(rngs[l], mask, l);
+      }
+      if (oc != nullptr) {
+        oc->injection.masks_generated += in_group;
+        std::uint64_t flipped = 0;
+        for (std::size_t s = 0; s < inject_sites; ++s) {
+          flipped += static_cast<std::uint64_t>(
+              std::popcount(mask.word(s) & active));
+        }
+        oc->injection.faults_injected += flipped;
       }
       batch->compute(ins.op, ins.a, ins.b, &mask, active, out, &stats);
       std::uint64_t wrong = 0;
@@ -173,6 +245,20 @@ std::vector<double> run_batched_grid(
       for (std::uint64_t rest = wrong & active; rest != 0;
            rest &= rest - 1) {
         ++incorrect[std::countr_zero(rest)];
+      }
+      if (oc != nullptr) {
+        // Lane-sliced version of run_trial's end-to-end classification.
+        auto& e = oc->end_to_end;
+        const std::uint64_t flagged = out.disagreement | ~out.valid;
+        e.instructions += in_group;
+        e.caught_errors += static_cast<std::uint64_t>(
+            std::popcount(wrong & flagged & active));
+        e.silent_corruptions += static_cast<std::uint64_t>(
+            std::popcount(wrong & ~flagged & active));
+        e.false_alarms += static_cast<std::uint64_t>(
+            std::popcount(~wrong & flagged & active));
+        e.correct += static_cast<std::uint64_t>(
+            std::popcount(~wrong & ~flagged & active));
       }
     }
     const std::size_t base = cell * trials + first_trial;
@@ -195,6 +281,13 @@ std::vector<double> run_batched_grid(
   } else {
     ThreadPool pool(par.threads);
     pool.parallel_for(total_groups, par.chunking, run_group);
+  }
+  if (anatomy != nullptr) {
+    anatomy->assign(percents.size(), obs::Counters{});
+    const std::size_t groups_per_percent = workloads * groups_per_cell;
+    for (std::size_t i = 0; i < total_groups; ++i) {
+      (*anatomy)[i / groups_per_percent] += per_group[i];
+    }
   }
   return samples;
 }
@@ -224,14 +317,16 @@ std::vector<double> run_grid(
     const std::vector<double>& percents, int trials_per_workload,
     std::uint64_t seed, FaultCountPolicy policy, InjectionScope scope,
     std::size_t datapath_sites, std::size_t burst_length,
-    const ParallelConfig& par) {
+    const ParallelConfig& par,
+    std::vector<obs::Counters>* anatomy = nullptr) {
   if (par.batch_lanes >= 1) {
     return run_batched_grid(alu, streams, percents, trials_per_workload,
                             seed, policy, scope, datapath_sites,
-                            burst_length, par);
+                            burst_length, par, anatomy);
   }
   return run_trial_grid(alu, streams, percents, trials_per_workload, seed,
-                        policy, scope, datapath_sites, burst_length, par);
+                        policy, scope, datapath_sites, burst_length, par,
+                        anatomy);
 }
 
 }  // namespace
@@ -273,6 +368,9 @@ std::vector<DataPoint> run_sweep(
   const std::vector<double> samples =
       run_grid(alu, streams, percents, trials_per_workload, seed, policy,
                scope, datapath_sites, /*burst_length=*/1, par);
+  const std::size_t st_fold =
+      par.profiler != nullptr ? par.profiler->stage_index("fold") : 0;
+  const obs::ScopedTimer timer(par.profiler, st_fold);
   const std::size_t per_percent =
       streams.size() * static_cast<std::size_t>(trials_per_workload);
   std::vector<DataPoint> points;
@@ -283,6 +381,48 @@ std::vector<DataPoint> run_sweep(
                                 per_percent));
   }
   return points;
+}
+
+SweepAnatomy run_sweep_anatomy(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    const std::vector<double>& percents, int trials_per_workload,
+    std::uint64_t seed, FaultCountPolicy policy, InjectionScope scope,
+    std::size_t datapath_sites, const ParallelConfig& par) {
+  SweepAnatomy result;
+  const std::vector<double> samples =
+      run_grid(alu, streams, percents, trials_per_workload, seed, policy,
+               scope, datapath_sites, /*burst_length=*/1, par,
+               &result.metrics);
+  const std::size_t st_fold =
+      par.profiler != nullptr ? par.profiler->stage_index("fold") : 0;
+  const obs::ScopedTimer timer(par.profiler, st_fold);
+  const std::size_t per_percent =
+      streams.size() * static_cast<std::size_t>(trials_per_workload);
+  result.points.reserve(percents.size());
+  for (std::size_t pi = 0; pi < percents.size(); ++pi) {
+    result.points.push_back(fold_point(alu, percents[pi],
+                                       samples.data() + pi * per_percent,
+                                       per_percent));
+  }
+  return result;
+}
+
+AnatomyPoint run_data_point_anatomy(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    double fault_percent, int trials_per_workload, std::uint64_t seed,
+    FaultCountPolicy policy, InjectionScope scope,
+    std::size_t datapath_sites, std::size_t burst_length,
+    const ParallelConfig& par) {
+  std::vector<obs::Counters> metrics;
+  const std::vector<double> samples =
+      run_grid(alu, streams, {fault_percent}, trials_per_workload, seed,
+               policy, scope, datapath_sites, burst_length, par, &metrics);
+  AnatomyPoint out;
+  out.point = fold_point(alu, fault_percent, samples.data(), samples.size());
+  if (!metrics.empty()) {
+    out.counters = metrics.front();
+  }
+  return out;
 }
 
 TrialResult run_defect_trial(const IAlu& alu,

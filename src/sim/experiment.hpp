@@ -15,6 +15,8 @@
 #include "alu/alu_iface.hpp"
 #include "common/stats.hpp"
 #include "fault/mask_generator.hpp"
+#include "obs/counters.hpp"
+#include "obs/profiler.hpp"
 #include "workload/instruction_stream.hpp"
 
 namespace nbx {
@@ -45,9 +47,15 @@ struct TrialResult {
 
 /// Runs one workload through `alu` once, a fresh fault mask per
 /// instruction, and scores correctness against the precomputed goldens.
+/// With `anatomy` non-null, the trial additionally tallies the full
+/// fault anatomy (injection volume, per-code decode outcomes, module
+/// votes, end-to-end silent/caught classification) into it. Accounting
+/// is passive — it draws nothing from `rng` and never changes the
+/// simulated outcome, so attaching a sink cannot move any golden.
 TrialResult run_trial(const IAlu& alu,
                       const std::vector<Instruction>& stream,
-                      const TrialConfig& cfg, Rng& rng);
+                      const TrialConfig& cfg, Rng& rng,
+                      obs::Counters* anatomy = nullptr);
 
 /// How run_data_point / run_sweep fan trials out across worker threads.
 /// Per-trial RNG seeds are derived counter-style from (seed, ALU-name
@@ -66,6 +74,11 @@ struct ParallelConfig {
   /// throughput knob. Composes with `threads`: the work unit becomes a
   /// lane group instead of a single trial.
   unsigned batch_lanes = 0;
+  /// Optional stage profiler (not owned): when set, the engine times
+  /// each work item under the "trial" (scalar) or "lane_group"
+  /// (batched) stage and the statistics fold under "fold". Wall-clock
+  /// only; never affects results.
+  obs::Profiler* profiler = nullptr;
 };
 
 /// One plotted point: an ALU at one fault percentage, averaged over
@@ -114,6 +127,43 @@ std::vector<DataPoint> run_sweep(
     FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
     InjectionScope scope = InjectionScope::kAll,
     std::size_t datapath_sites = 0,
+    const ParallelConfig& par = {});
+
+/// A sweep plus its fault anatomy: metrics[i] aggregates the counters
+/// of every trial behind points[i] (same index, same fault percent).
+struct SweepAnatomy {
+  std::vector<DataPoint> points;
+  std::vector<obs::Counters> metrics;
+};
+
+/// run_sweep with the anatomy sink attached to every trial. The points
+/// are bit-identical to run_sweep's (accounting is passive), and the
+/// counters themselves are bit-identical across threads and batch_lanes:
+/// they are pure integer sums over a fixed trial population, merged in
+/// deterministic per-percent order.
+SweepAnatomy run_sweep_anatomy(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    const std::vector<double>& percents, int trials_per_workload,
+    std::uint64_t seed,
+    FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
+    InjectionScope scope = InjectionScope::kAll,
+    std::size_t datapath_sites = 0,
+    const ParallelConfig& par = {});
+
+/// One data point plus its aggregated fault anatomy.
+struct AnatomyPoint {
+  DataPoint point;
+  obs::Counters counters;
+};
+
+/// run_data_point with the anatomy sink attached (same determinism
+/// contract as run_sweep_anatomy).
+AnatomyPoint run_data_point_anatomy(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    double fault_percent, int trials_per_workload, std::uint64_t seed,
+    FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
+    InjectionScope scope = InjectionScope::kAll,
+    std::size_t datapath_sites = 0, std::size_t burst_length = 1,
     const ParallelConfig& par = {});
 
 /// The paper's two workload streams over the standard 64-pixel image.

@@ -36,17 +36,34 @@ std::vector<FigureSpec> all_figure_specs() {
 FigureResult run_figure(const FigureSpec& spec,
                         const std::vector<double>& percents,
                         int trials_per_workload, std::uint64_t seed,
-                        const ParallelConfig& par) {
+                        const ParallelConfig& par,
+                        const std::function<void()>& on_point) {
   FigureResult fig;
   fig.spec = spec;
   fig.percents = percents;
   const auto streams = paper_streams(seed);
   for (const std::string& name : spec.alus) {
     const auto alu = make_alu(name);
-    fig.series.push_back(run_sweep(*alu, streams, percents,
-                                   trials_per_workload, seed,
-                                   FaultCountPolicy::kRoundNearest,
-                                   InjectionScope::kAll, 0, par));
+    if (!on_point) {
+      fig.series.push_back(run_sweep(*alu, streams, percents,
+                                     trials_per_workload, seed,
+                                     FaultCountPolicy::kRoundNearest,
+                                     InjectionScope::kAll, 0, par));
+      continue;
+    }
+    // Progress wanted: run one percent at a time and tick in between.
+    // Identical numbers — per-trial seeds hash the percent's value, not
+    // its position in the sweep.
+    std::vector<DataPoint> series;
+    series.reserve(percents.size());
+    for (const double pct : percents) {
+      auto one = run_sweep(*alu, streams, {pct}, trials_per_workload, seed,
+                           FaultCountPolicy::kRoundNearest,
+                           InjectionScope::kAll, 0, par);
+      series.push_back(std::move(one.front()));
+      on_point();
+    }
+    fig.series.push_back(std::move(series));
   }
   return fig;
 }

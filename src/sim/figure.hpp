@@ -12,6 +12,7 @@
 // verify the *shape* of each reproduced curve.
 #pragma once
 
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -47,10 +48,16 @@ struct FigureResult {
 /// paper's trial structure (trials per workload x 2 workloads per point).
 /// `par` fans the sweeps' trials across worker threads; results are
 /// bit-identical to the serial default for every thread count.
+/// `on_point`, when set, is invoked after each completed data point
+/// (series.size() * percents.size() calls total) — benches hang a
+/// ProgressReporter off it. Per-trial seeds depend on the fault percent's
+/// value, not its index, so chunking the sweep per point for progress
+/// reporting cannot change any number.
 FigureResult run_figure(const FigureSpec& spec,
                         const std::vector<double>& percents,
                         int trials_per_workload, std::uint64_t seed,
-                        const ParallelConfig& par = {});
+                        const ParallelConfig& par = {},
+                        const std::function<void()>& on_point = {});
 
 /// Prints the figure as a table: rows = fault %, columns = the ALUs.
 void print_figure(std::ostream& os, const FigureResult& fig);

@@ -103,6 +103,106 @@ TEST(Trace, PerCellQueryAndSummary) {
   EXPECT_NE(dump.str().find("more)"), std::string::npos);
 }
 
+TEST(Trace, EventNameRoundTrip) {
+  // Every kind must survive name -> enum -> name; trace_event_name's
+  // no-default switch makes forgetting a new kind a compile error, and
+  // this covers the inverse table.
+  for (const TraceEvent e : kAllTraceEvents) {
+    const auto back = trace_event_from_name(trace_event_name(e));
+    ASSERT_TRUE(back.has_value()) << trace_event_name(e);
+    EXPECT_EQ(*back, e);
+  }
+  EXPECT_FALSE(trace_event_from_name("no-such-event").has_value());
+  EXPECT_FALSE(trace_event_from_name("").has_value());
+}
+
+TEST(Trace, RingCapacityKeepsNewestAndCountsDropped) {
+  TraceSink trace;
+  trace.set_capacity(4);
+  EXPECT_EQ(trace.capacity(), 4u);
+  for (std::uint16_t id = 0; id < 10; ++id) {
+    trace.set_cycle(id);
+    trace.record(TraceEvent::kComputed, CellId{0, 0}, id);
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  const auto recs = trace.records();
+  ASSERT_EQ(recs.size(), 4u);
+  // Chronological, newest four: ids 6..9.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(recs[i].id, 6 + i);
+    EXPECT_EQ(recs[i].cycle, 6 + i);
+  }
+  // count/history walk only the live ring.
+  EXPECT_EQ(trace.count(TraceEvent::kComputed), 4u);
+  EXPECT_TRUE(trace.history_of(2).empty());
+  ASSERT_EQ(trace.history_of(7).size(), 1u);
+
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_EQ(trace.capacity(), 4u);  // capacity survives clear()
+}
+
+TEST(Trace, ShrinkingCapacityEvictsOldest) {
+  TraceSink trace;
+  for (std::uint16_t id = 0; id < 8; ++id) {
+    trace.record(TraceEvent::kPacketStored, CellId{1, 2}, id);
+  }
+  trace.set_capacity(3);
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.dropped(), 5u);
+  const auto recs = trace.records();
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs.front().id, 5);
+  EXPECT_EQ(recs.back().id, 7);
+  // Growing back never resurrects evicted records.
+  trace.set_capacity(0);
+  EXPECT_EQ(trace.size(), 3u);
+  trace.record(TraceEvent::kPacketStored, CellId{1, 2}, 99);
+  EXPECT_EQ(trace.records().back().id, 99);
+  EXPECT_EQ(trace.dropped(), 5u);
+}
+
+TEST(Trace, JsonlFormatAndStreaming) {
+  std::ostringstream live;
+  TraceSink trace;
+  trace.set_capacity(1);  // ring forgets, the stream must not
+  trace.stream_to(&live);
+  trace.set_cycle(42);
+  trace.record(TraceEvent::kComputed, CellId{1, 0}, 17);
+  trace.set_cycle(43);
+  trace.record(TraceEvent::kResultEmitted, CellId{1, 0}, 17);
+  EXPECT_EQ(live.str(),
+            "{\"cycle\":42,\"event\":\"computed\",\"row\":1,\"col\":0,"
+            "\"id\":17}\n"
+            "{\"cycle\":43,\"event\":\"result-emitted\",\"row\":1,\"col\":0,"
+            "\"id\":17}\n");
+  // write_jsonl dumps only what the ring still holds.
+  std::ostringstream buffered;
+  trace.write_jsonl(buffered);
+  EXPECT_EQ(buffered.str(),
+            "{\"cycle\":43,\"event\":\"result-emitted\",\"row\":1,\"col\":0,"
+            "\"id\":17}\n");
+  EXPECT_EQ(trace.dropped(), 1u);
+  // Detach: no further stream writes.
+  trace.stream_to(nullptr);
+  trace.record(TraceEvent::kComputed, CellId{0, 0}, 1);
+  EXPECT_EQ(live.str().find("\"id\":1}"), std::string::npos);
+}
+
+TEST(Trace, SummaryReportsDropped) {
+  TraceSink trace;
+  trace.set_capacity(2);
+  for (std::uint16_t id = 0; id < 5; ++id) {
+    trace.record(TraceEvent::kComputed, CellId{0, 0}, id);
+  }
+  std::ostringstream os;
+  trace.summarize(os);
+  EXPECT_NE(os.str().find("2 events"), std::string::npos);
+  EXPECT_NE(os.str().find("+3 dropped"), std::string::npos);
+}
+
 TEST(Trace, DetachStopsRecording) {
   NanoBoxGrid grid(1, 1, CellConfig{});
   TraceSink trace;

@@ -1,0 +1,147 @@
+// counters_test.cpp — the fault-anatomy counter structs and their JSON.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "coding/parity.hpp"
+#include "common/bitvec.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+
+namespace nbx::obs {
+namespace {
+
+TEST(Counters, LayerNamesAreStableAndDistinct) {
+  std::set<std::string_view> seen;
+  for (const CodeLayer layer : kAllCodeLayers) {
+    const std::string_view name = code_layer_name(layer);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?");
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(seen.size(), kCodeLayerCount);
+  EXPECT_EQ(code_layer_name(CodeLayer::kHamming), "hamming");
+  EXPECT_EQ(code_layer_name(CodeLayer::kTmr), "tmr");
+}
+
+TEST(Counters, MergeIsFieldwiseAddition) {
+  Counters a;
+  a.injection.masks_generated = 3;
+  a.injection.faults_injected = 40;
+  a.at(CodeLayer::kTmr).reads = 10;
+  a.at(CodeLayer::kTmr).corrected = 4;
+  a.module_level.votes = 2;
+  a.end_to_end.instructions = 3;
+  a.end_to_end.correct = 2;
+  a.end_to_end.silent_corruptions = 1;
+
+  Counters b;
+  b.injection.masks_generated = 1;
+  b.at(CodeLayer::kTmr).reads = 5;
+  b.at(CodeLayer::kHamming).undetected = 7;
+  b.module_level.copies_outvoted = 9;
+  b.end_to_end.instructions = 1;
+  b.end_to_end.caught_errors = 1;
+
+  Counters sum = a;
+  sum += b;
+  EXPECT_EQ(sum.injection.masks_generated, 4u);
+  EXPECT_EQ(sum.injection.faults_injected, 40u);
+  EXPECT_EQ(sum.at(CodeLayer::kTmr).reads, 15u);
+  EXPECT_EQ(sum.at(CodeLayer::kTmr).corrected, 4u);
+  EXPECT_EQ(sum.at(CodeLayer::kHamming).undetected, 7u);
+  EXPECT_EQ(sum.module_level.votes, 2u);
+  EXPECT_EQ(sum.module_level.copies_outvoted, 9u);
+  EXPECT_EQ(sum.end_to_end.instructions, 4u);
+  EXPECT_EQ(sum.end_to_end.caught_errors, 1u);
+
+  // Merge is commutative — the determinism contract in one line.
+  Counters sum2 = b;
+  sum2 += a;
+  EXPECT_EQ(sum, sum2);
+
+  sum.reset();
+  EXPECT_EQ(sum, Counters{});
+}
+
+TEST(Counters, JsonCarriesEveryLayerAndField) {
+  Counters c;
+  c.injection.masks_generated = 64;
+  c.injection.faults_injected = 101;
+  c.at(CodeLayer::kHsiao).reads = 12;
+  c.at(CodeLayer::kHsiao).miscorrected = 2;
+  c.end_to_end.instructions = 64;
+  c.end_to_end.false_alarms = 5;
+  const std::string json = counters_json(c);
+
+  // One line, balanced braces, no trailing newline.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+
+  for (const char* key :
+       {"\"injection\":", "\"code\":", "\"module\":", "\"e2e\":",
+        "\"hamming\":", "\"hsiao\":", "\"rs\":", "\"tmr\":", "\"parity\":",
+        "\"masks_generated\":64", "\"faults_injected\":101",
+        "\"miscorrected\":2", "\"instructions\":64", "\"false_alarms\":5",
+        "\"copies_outvoted\":0", "\"voter_self_faults\":0",
+        "\"storage_faults\":0", "\"detected_uncorrectable\":",
+        "\"false_positive\":", "\"undetected\":", "\"silent_corruptions\":",
+        "\"caught_errors\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(Counters, JsonHelpersEscapeAndFormat) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_double(2.0), "2");
+  EXPECT_EQ(json_double(0.5), "0.5");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::infinity()), "null");
+}
+
+// The parity layer's instrumented consistency check classifies into the
+// shared code-layer buckets (parity is detect-only: never corrected).
+TEST(Counters, ParityHookClassifiesReads) {
+  BitVec word(8);
+  word.set(0, true);
+  word.set(3, true);
+  const bool p = even_parity_bit(word);
+
+  Counters sink;
+  // Clean read.
+  EXPECT_TRUE(parity_consistent(word, p, /*damaged=*/false, &sink));
+  // Single-bit damage: detected.
+  BitVec one_flip = word;
+  one_flip.flip(1);
+  EXPECT_FALSE(parity_consistent(one_flip, p, /*damaged=*/true, &sink));
+  // Double-bit damage aliases to consistent: undetected.
+  BitVec two_flips = word;
+  two_flips.flip(1);
+  two_flips.flip(2);
+  EXPECT_TRUE(parity_consistent(two_flips, p, /*damaged=*/true, &sink));
+
+  const CodeLayerCounters& c = sink.at(CodeLayer::kParity);
+  EXPECT_EQ(c.reads, 3u);
+  EXPECT_EQ(c.clean, 1u);
+  EXPECT_EQ(c.detected_uncorrectable, 1u);
+  EXPECT_EQ(c.undetected, 1u);
+  EXPECT_EQ(c.corrected, 0u);
+  EXPECT_EQ(c.clean + c.corrected + c.miscorrected +
+                c.detected_uncorrectable + c.false_positive + c.undetected,
+            c.reads);
+
+  // Null sink: pure predicate, no crash, same answers.
+  EXPECT_TRUE(parity_consistent(word, p, false, nullptr));
+  EXPECT_FALSE(parity_consistent(one_flip, p, true, nullptr));
+}
+
+}  // namespace
+}  // namespace nbx::obs

@@ -1,0 +1,144 @@
+// profiler_test.cpp — stage profiler, histogram, and progress reporter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/profiler.hpp"
+#include "obs/progress.hpp"
+
+namespace nbx::obs {
+namespace {
+
+TEST(DurationHistogramTest, BucketsAreLog2Microseconds) {
+  EXPECT_EQ(DurationHistogram::bucket_of(0.0), 0u);
+  EXPECT_EQ(DurationHistogram::bucket_of(1e-9), 0u);   // sub-µs
+  EXPECT_EQ(DurationHistogram::bucket_of(1e-6), 0u);   // 1 µs
+  EXPECT_EQ(DurationHistogram::bucket_of(2e-6), 1u);   // 2 µs
+  EXPECT_EQ(DurationHistogram::bucket_of(5e-6), 2u);   // 5 µs
+  EXPECT_EQ(DurationHistogram::bucket_of(1024e-6), 10u);
+  EXPECT_EQ(DurationHistogram::bucket_of(1.0), 19u);   // 1 s = 2^19.9 µs
+  // Huge values clamp into the last bucket instead of overflowing.
+  EXPECT_EQ(DurationHistogram::bucket_of(1e10), DurationHistogram::kBuckets - 1);
+}
+
+TEST(DurationHistogramTest, AddAndMergeTrackMoments) {
+  DurationHistogram h;
+  h.add(0.001);
+  h.add(0.003);
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_DOUBLE_EQ(h.total_seconds, 0.004);
+  EXPECT_DOUBLE_EQ(h.mean_seconds(), 0.002);
+  EXPECT_DOUBLE_EQ(h.min_seconds, 0.001);
+  EXPECT_DOUBLE_EQ(h.max_seconds, 0.003);
+
+  DurationHistogram other;
+  other.add(0.0001);
+  h += other;
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.min_seconds, 0.0001);
+  EXPECT_DOUBLE_EQ(h.max_seconds, 0.003);
+
+  // Merging an empty histogram changes nothing.
+  const DurationHistogram before = h;
+  h += DurationHistogram{};
+  EXPECT_EQ(h.count, before.count);
+  EXPECT_DOUBLE_EQ(h.min_seconds, before.min_seconds);
+}
+
+TEST(ProfilerTest, StagesAreCreatedOnceAndAccumulate) {
+  Profiler prof;
+  const std::size_t a = prof.stage_index("trial");
+  const std::size_t b = prof.stage_index("fold");
+  EXPECT_EQ(prof.stage_index("trial"), a);
+  EXPECT_NE(a, b);
+
+  prof.record(a, 0.0, 0.002);
+  prof.record(a, 0.002, 0.004);
+  prof.record(b, 0.006, 0.001);
+  const auto stages = prof.stages();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[a].name, "trial");
+  EXPECT_EQ(stages[a].hist.count, 2u);
+  EXPECT_DOUBLE_EQ(stages[a].hist.total_seconds, 0.006);
+  EXPECT_EQ(stages[b].hist.count, 1u);
+
+  std::ostringstream os;
+  prof.write_summary(os);
+  EXPECT_NE(os.str().find("trial"), std::string::npos);
+  EXPECT_NE(os.str().find("fold"), std::string::npos);
+}
+
+TEST(ProfilerTest, ScopedTimerIsInertOnNullAndRecordsOtherwise) {
+  { ScopedTimer inert(nullptr, 0); }  // must not crash or read a clock
+
+  Profiler prof;
+  const std::size_t stage = prof.stage_index("work");
+  { ScopedTimer t(&prof, stage); }
+  EXPECT_EQ(prof.stages()[stage].hist.count, 1u);
+}
+
+TEST(ProfilerTest, ChromeTraceListsCapturedEvents) {
+  Profiler prof(/*capture_events=*/true);
+  const std::size_t stage = prof.stage_index("lane_group");
+  prof.record(stage, 0.001, 0.0005);
+  std::ostringstream os;
+  prof.write_chrome_trace(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"lane_group\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+
+  // Without capture, the document is still valid, just empty.
+  Profiler summary_only;
+  summary_only.record(summary_only.stage_index("x"), 0.0, 0.001);
+  std::ostringstream empty;
+  summary_only.write_chrome_trace(empty);
+  EXPECT_NE(empty.str().find("\"traceEvents\": [\n]"), std::string::npos);
+}
+
+TEST(ProfilerTest, ConcurrentRecordsAllLand) {
+  Profiler prof;
+  const std::size_t stage = prof.stage_index("trial");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&prof, stage] {
+      for (int i = 0; i < 100; ++i) {
+        prof.record(stage, 0.0, 1e-6);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(prof.stages()[stage].hist.count, 400u);
+}
+
+TEST(ProgressReporterTest, ReportsPointsAndFinishes) {
+  std::ostringstream os;
+  ProgressReporter progress(os, "sweep", 4, 10);
+  progress.tick();
+  progress.tick(3);
+  progress.finish();
+  const std::string out = os.str();
+  EXPECT_NE(out.find("sweep:"), std::string::npos);
+  EXPECT_NE(out.find("4/4 points"), std::string::npos);
+  EXPECT_NE(out.find("trials/s"), std::string::npos);
+  EXPECT_NE(out.find("ETA"), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+  EXPECT_EQ(progress.done(), 4u);
+}
+
+TEST(ProgressReporterTest, UnusedReporterStaysSilent) {
+  std::ostringstream os;
+  ProgressReporter progress(os, "quiet", 10, 1);
+  progress.finish();
+  EXPECT_TRUE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace nbx::obs

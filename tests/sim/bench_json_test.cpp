@@ -95,6 +95,45 @@ TEST(BenchJson, BalancedBracesAndBrackets) {
   EXPECT_EQ(quotes % 2, 0);
 }
 
+TEST(BenchJson, PerPointMetricsBlockWhenAnatomyAttached) {
+  BenchReport r = sample_report();
+  // point_metrics parallel to points -> each point gains a "metrics"
+  // object with the four counter groups.
+  obs::Counters c;
+  c.injection.masks_generated = 128;
+  c.injection.faults_injected = 2048;
+  c.at(obs::CodeLayer::kTmr).reads = 6720;
+  c.at(obs::CodeLayer::kTmr).corrected = 700;
+  c.end_to_end.instructions = 128;
+  c.end_to_end.silent_corruptions = 1;
+  r.sweeps[0].point_metrics = {c};
+
+  std::ostringstream os;
+  write_bench_json(os, r);
+  const std::string out = os.str();
+  for (const char* needle :
+       {"\"metrics\": {\"injection\":", "\"masks_generated\":128",
+        "\"faults_injected\":2048", "\"tmr\":{\"reads\":6720",
+        "\"corrected\":700", "\"e2e\":{\"instructions\":128",
+        "\"silent_corruptions\":1"}) {
+    EXPECT_NE(out.find(needle), std::string::npos) << needle;
+  }
+  int braces = 0;
+  for (const char ch : out) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+  }
+  EXPECT_EQ(braces, 0);
+
+  // A size mismatch (or empty) omits the block rather than emitting a
+  // misaligned one.
+  r.sweeps[0].point_metrics.clear();
+  std::ostringstream bare;
+  write_bench_json(bare, r);
+  EXPECT_EQ(bare.str().find("\"metrics\": {\"injection\""),
+            std::string::npos);
+}
+
 TEST(BenchJson, EmptySweepsStillValid) {
   BenchReport r;
   r.bench = "empty";
