@@ -23,15 +23,44 @@
 #include <iostream>
 
 #include "alu/alu_factory.hpp"
+#include "bench/bench_cli.hpp"
 #include "fault/sweep.hpp"
-#include "sim/experiment.hpp"
+#include "sim/trial_engine.hpp"
 #include "sim/table_render.hpp"
 
-int main() {
+namespace {
+
+nbx::DataPoint burst_point(const nbx::TrialEngine& engine,
+                           const nbx::IAlu& alu,
+                           const std::vector<std::vector<nbx::Instruction>>&
+                               streams,
+                           double pct, std::size_t len) {
   using namespace nbx;
+  SweepSpec spec;
+  spec.percents = {pct};
+  spec.seed = 47;
+  spec.policy = len == 1 ? FaultCountPolicy::kRoundNearest
+                         : FaultCountPolicy::kBurst;
+  spec.burst_length = len;
+  return engine.point(alu, streams, spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nbx;
+  const bench::BenchCli cli(
+      argc, argv,
+      "Spatial-correlation ablation: the Figure-7 bit-level comparison\n"
+      "with the same total fault count delivered in bursts of 2, 4, 8.",
+      bench::kThreads);
+  if (cli.done()) {
+    return cli.status();
+  }
   const auto streams = paper_streams(2026);
   const std::vector<double> percents = {1.0, 2.0, 3.0, 5.0, 9.0};
   const std::vector<std::size_t> burst_lengths = {1, 2, 4, 8};
+  const TrialEngine engine{ParallelConfig{cli.threads(), 0}};
 
   for (const char* name : {"alunn", "alunh", "alunrs", "aluns"}) {
     const auto alu = make_alu(name);
@@ -45,11 +74,7 @@ int main() {
     for (const double pct : percents) {
       std::vector<std::string> row{fmt_double(pct, 1)};
       for (const std::size_t len : burst_lengths) {
-        const DataPoint p = run_data_point(
-            *alu, streams, pct, kPaperTrialsPerWorkload, 47,
-            len == 1 ? FaultCountPolicy::kRoundNearest
-                     : FaultCountPolicy::kBurst,
-            InjectionScope::kAll, 0, len);
+        const DataPoint p = burst_point(engine, *alu, streams, pct, len);
         row.push_back(fmt_double(p.mean_percent_correct, 2));
       }
       t.add_row(std::move(row));
@@ -72,11 +97,7 @@ int main() {
       for (const std::size_t len : {std::size_t{1}, std::size_t{4},
                                     std::size_t{8}}) {
         for (const IAlu* alu : {blocked.get(), interleaved.get()}) {
-          const DataPoint p = run_data_point(
-              *alu, streams, pct, kPaperTrialsPerWorkload, 47,
-              len == 1 ? FaultCountPolicy::kRoundNearest
-                       : FaultCountPolicy::kBurst,
-              InjectionScope::kAll, 0, len);
+          const DataPoint p = burst_point(engine, *alu, streams, pct, len);
           row.push_back(fmt_double(p.mean_percent_correct, 2));
         }
       }

@@ -6,13 +6,26 @@
 #include <iostream>
 
 #include "alu/alu_factory.hpp"
+#include "bench/bench_cli.hpp"
 #include "fault/sweep.hpp"
-#include "sim/experiment.hpp"
+#include "sim/trial_engine.hpp"
 #include "sim/table_render.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nbx;
+  const bench::BenchCli cli(
+      argc, argv,
+      "Bit-level coding ablation (no module redundancy): Hamming vs\n"
+      "Hsiao SEC-DED vs ideal-decoder Hamming vs Reed-Solomon vs TMR.",
+      bench::kThreads);
+  if (cli.done()) {
+    return cli.status();
+  }
   const auto streams = paper_streams(2026);
+  const TrialEngine engine{ParallelConfig{cli.threads(), 0}};
+  SweepSpec sweep;
+  sweep.percents = paper_sweep();
+  sweep.seed = 55;
   const std::vector<std::string> alus = {"aluncmos", "alunh", "alunhsiao",
                                          "alunhideal", "alunrs", "alunn",
                                          "aluns"};
@@ -29,8 +42,7 @@ int main() {
   std::vector<std::vector<DataPoint>> series;
   for (const std::string& name : alus) {
     const auto alu = make_alu(name);
-    series.push_back(run_sweep(*alu, streams, paper_sweep(),
-                               kPaperTrialsPerWorkload, 55));
+    series.push_back(engine.sweep(*alu, streams, sweep));
   }
   for (std::size_t p = 0; p < paper_sweep().size(); ++p) {
     std::vector<std::string> row{fmt_double(paper_sweep()[p], 2)};
@@ -49,9 +61,9 @@ int main() {
   int rs_beats_hsiao = 0;
   int tmr_beats_all_codes = 0;
   int band = 0;
-  const auto sweep = paper_sweep();
-  for (std::size_t p = 0; p < sweep.size(); ++p) {
-    if (sweep[p] < 0.5 || sweep[p] > 10.0) {
+  const auto band_sweep = paper_sweep();
+  for (std::size_t p = 0; p < band_sweep.size(); ++p) {
+    if (band_sweep[p] < 0.5 || band_sweep[p] > 10.0) {
       continue;
     }
     ++band;

@@ -6,14 +6,24 @@
 #include <iostream>
 
 #include "alu/alu_factory.hpp"
+#include "bench/bench_cli.hpp"
 #include "fault/sweep.hpp"
-#include "sim/experiment.hpp"
+#include "sim/trial_engine.hpp"
 #include "sim/table_render.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nbx;
+  const bench::BenchCli cli(
+      argc, argv,
+      "Fault-count rounding ablation: round-to-nearest vs floor vs\n"
+      "Bernoulli at sub-1% rates, on alunn and aluncmos.",
+      bench::kThreads);
+  if (cli.done()) {
+    return cli.status();
+  }
   const auto streams = paper_streams(2026);
   const std::vector<double> percents = {0.05, 0.1, 0.5, 1.0, 2.0, 5.0};
+  const TrialEngine engine{ParallelConfig{cli.threads(), 0}};
   std::cout << "Fault-count rounding ablation on alunn (512 sites) and "
                "aluncmos (192 sites)\n\n";
   TextTable t({"ALU", "fault%", "round", "floor", "bernoulli"});
@@ -24,8 +34,11 @@ int main() {
       for (const FaultCountPolicy policy :
            {FaultCountPolicy::kRoundNearest, FaultCountPolicy::kFloor,
             FaultCountPolicy::kBernoulli}) {
-        const DataPoint p = run_data_point(
-            *alu, streams, pct, kPaperTrialsPerWorkload, 21, policy);
+        SweepSpec spec;
+        spec.percents = {pct};
+        spec.seed = 21;
+        spec.policy = policy;
+        const DataPoint p = engine.point(*alu, streams, spec);
         row.push_back(fmt_double(p.mean_percent_correct, 2));
       }
       t.add_row(std::move(row));

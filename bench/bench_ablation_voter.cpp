@@ -6,14 +6,24 @@
 #include <iostream>
 
 #include "alu/alu_factory.hpp"
+#include "bench/bench_cli.hpp"
 #include "fault/sweep.hpp"
-#include "sim/experiment.hpp"
+#include "sim/trial_engine.hpp"
 #include "sim/table_render.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nbx;
+  const bench::BenchCli cli(
+      argc, argv,
+      "Space-redundant ALUs with faults in all sites vs datapath-only\n"
+      "(voter kept ideal): how much accuracy does the faulted voter cost?",
+      bench::kThreads);
+  if (cli.done()) {
+    return cli.status();
+  }
   const auto streams = paper_streams(2026);
   const std::vector<double> percents = {1.0, 2.0, 3.0, 5.0, 9.0, 20.0};
+  const TrialEngine engine{ParallelConfig{cli.threads(), 0}};
   std::cout << "Voter-fault ablation: space-redundant ALUs with faults in "
                "all sites vs datapath-only (voter kept ideal)\n\n";
 
@@ -26,12 +36,14 @@ int main() {
                                std::string(name).substr(4));
     const std::size_t datapath = 3 * core->fault_sites();
     for (const double pct : percents) {
-      const DataPoint all =
-          run_data_point(*alu, streams, pct, kPaperTrialsPerWorkload, 31);
-      const DataPoint dp = run_data_point(
-          *alu, streams, pct, kPaperTrialsPerWorkload, 31,
-          FaultCountPolicy::kRoundNearest, InjectionScope::kDatapathOnly,
-          datapath);
+      SweepSpec all_spec;
+      all_spec.percents = {pct};
+      all_spec.seed = 31;
+      SweepSpec dp_spec = all_spec;
+      dp_spec.scope = InjectionScope::kDatapathOnly;
+      dp_spec.datapath_sites = datapath;
+      const DataPoint all = engine.point(*alu, streams, all_spec);
+      const DataPoint dp = engine.point(*alu, streams, dp_spec);
       t.add_row({spec->name, fmt_double(pct, 1),
                  fmt_double(all.mean_percent_correct, 2),
                  fmt_double(dp.mean_percent_correct, 2),

@@ -8,15 +8,31 @@
 #include <iostream>
 
 #include "alu/alu_factory.hpp"
+#include "bench/bench_cli.hpp"
 #include "fault/sweep.hpp"
 #include "sim/analytic.hpp"
-#include "sim/experiment.hpp"
+#include "sim/trial_engine.hpp"
 #include "sim/table_render.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nbx;
+  const bench::BenchCli cli(
+      argc, argv,
+      "Analytic-vs-simulated validation: closed-form reliability models\n"
+      "against the Monte-Carlo engine, per applicability band.",
+      bench::kThreads);
+  if (cli.done()) {
+    return cli.status();
+  }
   const auto streams = paper_streams(2026);
   const std::vector<double> percents = {0.5, 1.0, 2.0, 3.0, 5.0, 9.0};
+  const TrialEngine engine{ParallelConfig{cli.threads(), 0}};
+  const auto simulate = [&](const IAlu& alu, double pct) {
+    SweepSpec spec;
+    spec.percents = {pct};
+    spec.seed = 13;
+    return engine.point(alu, streams, spec).mean_percent_correct;
+  };
 
   std::cout << "Analytic-vs-simulated validation (first-order model)\n\n";
   // Model applicability: the first-order composition assumes fault
@@ -30,9 +46,7 @@ int main() {
     TextTable t({"fault%", "analytic", "simulated", "abs err"});
     for (const double pct : percents) {
       const double predicted = predict_first_order(*alu, streams[0], pct);
-      const double simulated =
-          run_data_point(*alu, streams, pct, kPaperTrialsPerWorkload, 13)
-              .mean_percent_correct;
+      const double simulated = simulate(*alu, pct);
       const double err = std::abs(predicted - simulated);
       if (pct <= 5.0) {
         if (std::string(name) == "alunh") {
@@ -58,9 +72,7 @@ int main() {
     const double predicted =
         0.5 * (predict_tmr_stream(1536, streams[0], pct) +
                predict_tmr_stream(1536, streams[1], pct));
-    const double simulated =
-        run_data_point(*aluns, streams, pct, kPaperTrialsPerWorkload, 13)
-            .mean_percent_correct;
+    const double simulated = simulate(*aluns, pct);
     const double err = std::abs(predicted - simulated);
     if (pct <= 5.0) {
       worst_tmr = std::max(worst_tmr, err);

@@ -21,13 +21,13 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 
 #include "alu/alu_factory.hpp"
-#include "common/cli.hpp"
+#include "bench/bench_cli.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/sweep.hpp"
 #include "sim/bench_json.hpp"
+#include "sim/trial_engine.hpp"
 #include "sim/table_render.hpp"
 
 namespace {
@@ -35,18 +35,6 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
-}
-
-std::vector<std::string> split_names(const std::string& csv) {
-  std::vector<std::string> names;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) {
-      names.push_back(item);
-    }
-  }
-  return names;
 }
 
 // Sum one field over all five code layers.
@@ -63,23 +51,30 @@ std::uint64_t code_sum(const nbx::obs::Counters& c,
 
 int main(int argc, char** argv) {
   using namespace nbx;
-  const CliArgs args(argc, argv);
-  const bool smoke = args.has("smoke");
-  const int trials = static_cast<int>(
-      args.get_int("trials", smoke ? 2 : kPaperTrialsPerWorkload));
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(args.get_int("seed", 2026));
-  const auto threads = static_cast<unsigned>(args.get_int("threads", 0));
-  const std::string metrics_out = args.get("metrics-out");
+  const bench::BenchCli cli(
+      argc, argv,
+      "Fault anatomy at {0.5, 2, 10}% injected faults: per-code decode\n"
+      "outcomes, module votes and the silent/caught split, with the\n"
+      "counters verified bit-identical across engine configurations.",
+      bench::kThreads | bench::kTrials | bench::kSeed | bench::kAlus |
+          bench::kSmoke | bench::kOut | bench::kMetricsOut);
+  if (cli.done()) {
+    return cli.status();
+  }
+  const bool smoke = cli.smoke();
+  const int trials = cli.trials(smoke ? 2 : kPaperTrialsPerWorkload);
+  const std::uint64_t seed = cli.seed(2026);
+  const unsigned threads = cli.threads();
+  const std::string metrics_out = cli.metrics_out();
 
-  std::vector<std::string> names;
-  if (args.has("alus")) {
-    names = split_names(args.get("alus"));
-  } else if (smoke) {
-    names = {"alunh", "aluss"};
-  } else {
-    for (const AluSpec& spec : table2_specs()) {
-      names.push_back(spec.name);
+  std::vector<std::string> names = cli.alus();
+  if (names.empty()) {
+    if (smoke) {
+      names = {"alunh", "aluss"};
+    } else {
+      for (const AluSpec& spec : table2_specs()) {
+        names.push_back(spec.name);
+      }
     }
   }
   for (const std::string& name : names) {
@@ -101,34 +96,34 @@ int main(int argc, char** argv) {
   report.threads = resolve_threads(threads);
   report.trials_per_workload = trials;
 
+  SweepSpec spec;
+  spec.percents = percents;
+  spec.trials_per_workload = trials;
+  spec.seed = seed;
+
   // ------------------------------------------------------------------
   // The anatomy itself (reference run: serial scalar engine), plus the
   // determinism cross-check in three other engine configurations.
   // ------------------------------------------------------------------
-  const ParallelConfig configs[] = {
-      {1, 0, 0, nullptr},        // serial scalar (reference)
-      {1, 0, 64, nullptr},       // serial, 64-lane batched
-      {8, 0, 0, nullptr},        // 8 threads, scalar
-      {8, 0, 64, nullptr},       // 8 threads, 64-lane batched
+  const TrialEngine engines[] = {
+      TrialEngine{ParallelConfig{1, 0, 0, nullptr}},   // serial scalar (ref)
+      TrialEngine{ParallelConfig{1, 0, 64, nullptr}},  // serial, 64 lanes
+      TrialEngine{ParallelConfig{8, 0, 0, nullptr}},   // 8 threads, scalar
+      TrialEngine{ParallelConfig{8, 0, 64, nullptr}},  // 8 thr, 64 lanes
   };
   bool deterministic = true;
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<SweepAnatomy> anatomies;
   for (const std::string& name : names) {
     const auto alu = make_alu(name);
-    SweepAnatomy ref = run_sweep_anatomy(*alu, streams, percents, trials,
-                                         seed, FaultCountPolicy::kRoundNearest,
-                                         InjectionScope::kAll, 0, configs[0]);
-    for (std::size_t c = 1; c < std::size(configs); ++c) {
-      const SweepAnatomy alt = run_sweep_anatomy(
-          *alu, streams, percents, trials, seed,
-          FaultCountPolicy::kRoundNearest, InjectionScope::kAll, 0,
-          configs[c]);
+    SweepAnatomy ref = engines[0].sweep_anatomy(*alu, streams, spec);
+    for (std::size_t c = 1; c < std::size(engines); ++c) {
+      const SweepAnatomy alt = engines[c].sweep_anatomy(*alu, streams, spec);
       if (alt.metrics != ref.metrics) {
         deterministic = false;
         std::cout << "MISMATCH: counters of " << name << " differ at threads="
-                  << configs[c].threads
-                  << " batch_lanes=" << configs[c].batch_lanes << "\n";
+                  << engines[c].parallel().threads << " batch_lanes="
+                  << engines[c].parallel().batch_lanes << "\n";
       }
     }
     anatomies.push_back(std::move(ref));
@@ -174,16 +169,19 @@ int main(int argc, char** argv) {
   // ------------------------------------------------------------------
   // A fixed, larger trial count than the anatomy runs: sub-millisecond
   // samples drown in scheduler noise, ~50 ms ones don't.
-  const int oh_trials = 50;
+  SweepSpec oh_spec;
+  oh_spec.percents = {2.0};
+  oh_spec.trials_per_workload = 50;
+  oh_spec.seed = seed;
   const auto aluss = make_alu("aluss");
   double best_off = 1e100;
   double best_on = 1e100;
   for (int rep = 0; rep < 5; ++rep) {
     auto t_off = std::chrono::steady_clock::now();
-    (void)run_sweep(*aluss, streams, {2.0}, oh_trials, seed);
+    (void)engines[0].sweep(*aluss, streams, oh_spec);
     best_off = std::min(best_off, seconds_since(t_off));
     auto t_on = std::chrono::steady_clock::now();
-    (void)run_sweep_anatomy(*aluss, streams, {2.0}, oh_trials, seed);
+    (void)engines[0].sweep_anatomy(*aluss, streams, oh_spec);
     best_on = std::min(best_on, seconds_since(t_on));
   }
   const double overhead_pct =
@@ -228,7 +226,7 @@ int main(int argc, char** argv) {
     std::cout << "Wrote " << metrics_out << "\n";
   }
 
-  const std::string path = save_bench_json(report, args.get("out"));
+  const std::string path = save_bench_json(report, cli.out());
   if (path.empty()) {
     std::cout << "\nFAILED to write bench JSON\n";
     return 1;

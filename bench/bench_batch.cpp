@@ -1,6 +1,6 @@
 // bench_batch — scalar vs bit-parallel batched trial engine. Runs the
-// same data point (one fault percentage, both workloads) through
-// run_data_point twice — once with the scalar engine, once with trials
+// same data point (one fault percentage, both workloads) through the
+// TrialEngine twice — once with the scalar backend, once with trials
 // packed into 64-bit lane groups — verifies the two are bit-identical,
 // and records wall-clock, speedup and per-engine throughput in
 // BENCH_batch.json.
@@ -14,12 +14,12 @@
 // --smoke shrinks the trial count for CI.
 #include <chrono>
 #include <iostream>
-#include <sstream>
 
 #include "alu/alu_factory.hpp"
-#include "common/cli.hpp"
+#include "bench/bench_cli.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/bench_json.hpp"
+#include "sim/trial_engine.hpp"
 #include "sim/table_render.hpp"
 
 namespace {
@@ -27,18 +27,6 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
-}
-
-std::vector<std::string> split_names(const std::string& csv) {
-  std::vector<std::string> names;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) {
-      names.push_back(item);
-    }
-  }
-  return names;
 }
 
 bool identical(const nbx::DataPoint& a, const nbx::DataPoint& b) {
@@ -51,20 +39,26 @@ bool identical(const nbx::DataPoint& a, const nbx::DataPoint& b) {
 
 int main(int argc, char** argv) {
   using namespace nbx;
-  const CliArgs args(argc, argv);
-  const bool smoke = args.has("smoke");
-  const auto threads = static_cast<unsigned>(args.get_int("threads", 1));
-  const int trials =
-      static_cast<int>(args.get_int("trials", smoke ? 64 : 320));
-  const auto lanes = static_cast<unsigned>(args.get_int("lanes", 64));
-  const double percent = args.get_double("percent", 2.0);
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  const bench::BenchCli cli(
+      argc, argv,
+      "Scalar vs bit-parallel batched engine on one data point, verified\n"
+      "bit-identical, with speedup and throughput recorded.",
+      bench::kThreads | bench::kLanes | bench::kTrials | bench::kSeed |
+          bench::kAlus | bench::kSmoke | bench::kOut,
+      {{"--percent P", "fault percentage of the data point (default 2)"}});
+  if (cli.done()) {
+    return cli.status();
+  }
+  const bool smoke = cli.smoke();
+  const unsigned threads =
+      static_cast<unsigned>(cli.args().get_int("threads", 1));
+  const int trials = cli.trials(smoke ? 64 : 320);
+  const unsigned lanes = cli.lanes(64);
+  const double percent = cli.args().get_double("percent", 2.0);
+  const std::uint64_t seed = cli.seed(2026);
 
-  std::vector<std::string> names;
-  if (args.has("alus")) {
-    names = split_names(args.get("alus"));
-  } else {
+  std::vector<std::string> names = cli.alus();
+  if (names.empty()) {
     // The LUT-ALU hot path (the speedup gate) plus a gate-level netlist
     // ALU to show the word-parallel evaluator's gain too.
     names = {"alunn", "alunh", "aluss", "aluncmos"};
@@ -86,6 +80,13 @@ int main(int argc, char** argv) {
   scalar_par.threads = threads;
   ParallelConfig batched_par = scalar_par;
   batched_par.batch_lanes = lanes;
+  const TrialEngine scalar_engine(scalar_par);
+  const TrialEngine batched_engine(batched_par);
+
+  SweepSpec spec;
+  spec.percents = {percent};
+  spec.trials_per_workload = trials;
+  spec.seed = seed;
 
   std::cout << "Batched engine bench: " << names.size() << " ALUs x "
             << streams.size() << " workloads x " << trials
@@ -109,17 +110,11 @@ int main(int argc, char** argv) {
     const auto alu = make_alu(name);
 
     auto t0 = std::chrono::steady_clock::now();
-    const DataPoint scalar = run_data_point(
-        *alu, streams, percent, trials, seed,
-        FaultCountPolicy::kRoundNearest, InjectionScope::kAll, 0, 1,
-        scalar_par);
+    const DataPoint scalar = scalar_engine.point(*alu, streams, spec);
     const double scalar_seconds = seconds_since(t0);
 
     t0 = std::chrono::steady_clock::now();
-    const DataPoint batched = run_data_point_batched(
-        *alu, streams, percent, trials, seed,
-        FaultCountPolicy::kRoundNearest, InjectionScope::kAll, 0, 1,
-        batched_par);
+    const DataPoint batched = batched_engine.point(*alu, streams, spec);
     const double batched_seconds = seconds_since(t0);
 
     const bool same = identical(scalar, batched);
@@ -135,7 +130,7 @@ int main(int argc, char** argv) {
     report.metrics.emplace_back("batched_seconds_" + name,
                                 batched_seconds);
     report.metrics.emplace_back("speedup_" + name, speedup);
-    report.sweeps.push_back({name, {batched}});
+    report.sweeps.push_back({name, {batched}, {}});
 
     t.add_row({name, fmt_double(scalar_seconds, 3),
                fmt_double(batched_seconds, 3), fmt_double(speedup, 2),
@@ -167,7 +162,7 @@ int main(int argc, char** argv) {
             << "x, bit-identical " << (all_identical ? "yes" : "NO")
             << "\n";
 
-  const std::string path = save_bench_json(report, args.get("out"));
+  const std::string path = save_bench_json(report, cli.out());
   if (path.empty()) {
     std::cout << "\nFAILED to write bench JSON\n";
     return 1;

@@ -4,16 +4,27 @@
 // high fault rates on control logic." We sweep fault rates over the
 // LUT-implemented control decisions (valid/pending votes and the 5-way
 // routing comparison) for each bit-level coding and report the corrupted-
-// decision rate, then show the end-to-end effect on a grid run.
+// decision rate, then show the end-to-end effect on a grid run (each
+// grid configuration one GridTrialSpec on the unified TrialEngine).
 #include <iostream>
 
+#include "bench/bench_cli.hpp"
 #include "cell/control_logic.hpp"
-#include "grid/control_processor.hpp"
+#include "common/thread_pool.hpp"
+#include "grid/grid_trials.hpp"
 #include "sim/table_render.hpp"
 #include "workload/image_ops.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nbx;
+  const bench::BenchCli cli(
+      argc, argv,
+      "Control-logic fault injection: corrupted-decision rates per LUT\n"
+      "coding, plus the end-to-end grid effect of faulty control.",
+      bench::kThreads | bench::kProgress);
+  if (cli.done()) {
+    return cli.status();
+  }
   const std::vector<double> percents = {0.0, 0.5, 1.0, 2.0, 5.0,
                                         10.0, 20.0};
 
@@ -44,28 +55,39 @@ int main() {
   t.print(std::cout);
 
   std::cout << "\nEnd-to-end grid effect (2x2 grid, paper image, reverse "
-               "video; ideal ALUs, faulty control):\n\n";
+               "video; ideal ALUs, faulty control), "
+            << resolve_threads(cli.threads()) << " thread(s):\n\n";
+  const std::vector<double> grid_percents = {0.0, 2.0, 5.0, 10.0};
+  std::vector<GridTrialSpec> specs;
+  for (const LutCoding coding : {LutCoding::kNone, LutCoding::kTmr}) {
+    for (const double pct : grid_percents) {
+      GridTrialSpec spec;
+      spec.label = std::string(lut_coding_suffix(coding)) + "/" +
+                   fmt_double(pct, 1) + "%";
+      spec.cell.control_coding = coding;
+      spec.cell.control_fault_percent = pct;
+      spec.image = Bitmap::paper_test_image();
+      spec.op = reverse_video_op();
+      spec.options.compute_cycles = 400;
+      specs.push_back(std::move(spec));
+    }
+  }
+  const TrialEngine engine{ParallelConfig{cli.threads(), 0}};
+  obs::ProgressReporter progress(std::cerr, "control faults", specs.size(),
+                                 1);
+  const std::vector<GridTrialResult> results =
+      run_grid_trials(engine, specs, cli.progress() ? &progress : nullptr);
+  progress.finish();
+
   TextTable g({"control coding", "fault%", "% pixels correct",
                "corrupted decisions"});
+  std::size_t i = 0;
   for (const LutCoding coding : {LutCoding::kNone, LutCoding::kTmr}) {
-    for (const double pct : {0.0, 2.0, 5.0, 10.0}) {
-      CellConfig cfg;
-      cfg.control_coding = coding;
-      cfg.control_fault_percent = pct;
-      NanoBoxGrid grid(2, 2, cfg);
-      ControlProcessor cp(grid);
-      GridRunOptions opt;
-      opt.compute_cycles = 400;
-      GridRunReport report;
-      (void)cp.run_image_op(Bitmap::paper_test_image(), reverse_video_op(),
-                            opt, &report);
-      std::uint64_t corrupted = 0;
-      for (ProcessorCell* c : grid.all_cells()) {
-        corrupted += c->control().corrupted_decisions();
-      }
+    for (const double pct : grid_percents) {
+      const GridTrialResult& r = results[i++];
       g.add_row({std::string(lut_coding_suffix(coding)), fmt_double(pct, 1),
-                 fmt_double(report.percent_correct, 2),
-                 std::to_string(corrupted)});
+                 fmt_double(r.report.percent_correct, 2),
+                 std::to_string(r.control_corrupted)});
     }
   }
   g.print(std::cout);

@@ -13,18 +13,34 @@
 #include "alu/alu_factory.hpp"
 #include "alu/hw_core_alu.hpp"
 #include "alu/nanobox_tables.hpp"
+#include "bench/bench_cli.hpp"
 #include "common/rng.hpp"
 #include "lut/coded_lut.hpp"
 #include "lut/hw_lut.hpp"
 #include "fault/sweep.hpp"
-#include "sim/experiment.hpp"
+#include "sim/trial_engine.hpp"
 #include "sim/table_render.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nbx;
+  const bench::BenchCli cli(
+      argc, argv,
+      "Detector/corrector fault study: behavioural TMR LUTs vs the\n"
+      "gate-level variant whose read path is itself faultable.",
+      bench::kThreads);
+  if (cli.done()) {
+    return cli.status();
+  }
   const auto streams = paper_streams(2026);
   const std::vector<double> percents = {0.05, 0.1, 0.5, 1.0, 2.0,
                                         3.0,  5.0, 9.0};
+  const TrialEngine engine{ParallelConfig{cli.threads(), 0}};
+  const auto point = [&](const IAlu& alu, double pct) {
+    SweepSpec spec;
+    spec.percents = {pct};
+    spec.seed = 61;
+    return engine.point(alu, streams, spec);
+  };
 
   const auto behavioural = make_alu("aluns");
   const auto hardware = make_alu("alunhw");
@@ -46,10 +62,8 @@ int main() {
   TextTable t({"fault%", "aluns (paper model)", "alunhw (hw read path)",
                "delta"});
   for (const double pct : percents) {
-    const DataPoint ideal = run_data_point(*behavioural, streams, pct,
-                                           kPaperTrialsPerWorkload, 61);
-    const DataPoint full = run_data_point(*hardware, streams, pct,
-                                          kPaperTrialsPerWorkload, 61);
+    const DataPoint ideal = point(*behavioural, pct);
+    const DataPoint full = point(*hardware, pct);
     t.add_row({fmt_double(pct, 2),
                fmt_double(ideal.mean_percent_correct, 2),
                fmt_double(full.mean_percent_correct, 2),

@@ -9,7 +9,7 @@
 #include <chrono>
 #include <iostream>
 
-#include "common/cli.hpp"
+#include "bench/bench_cli.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/progress.hpp"
 #include "fault/sweep.hpp"
@@ -23,17 +23,26 @@
 
 int main(int argc, char** argv) {
   using namespace nbx;
-  const CliArgs args(argc, argv);
+  const bench::BenchCli cli(
+      argc, argv,
+      "Reproduces one paper figure (set at compile time via NBX_FIGURE)\n"
+      "with the full 18-point, two-workload, five-trial protocol.",
+      bench::kThreads | bench::kTrials | bench::kSeed | bench::kProgress |
+          bench::kOut);
+  if (cli.done()) {
+    return cli.status();
+  }
   const FigureSpec spec = NBX_FIGURE == 7   ? figure7_spec()
                           : NBX_FIGURE == 8 ? figure8_spec()
                                             : figure9_spec();
-  // All hardware threads; per-trial counter-based seeding keeps the
-  // output bit-identical to a serial run.
-  const ParallelConfig par{0, 0};
+  const int trials = cli.trials(kPaperTrialsPerWorkload);
+  const std::uint64_t seed = cli.seed(2026);
+  // All hardware threads by default; per-trial counter-based seeding
+  // keeps the output bit-identical to a serial run.
+  const ParallelConfig par{cli.threads(), 0};
   std::cout << "Reproducing " << spec.id << " — " << spec.title << "\n";
   std::cout << "Protocol: " << kPaperFaultPercentages.size()
-            << " fault percentages x 2 workloads x "
-            << kPaperTrialsPerWorkload
+            << " fault percentages x 2 workloads x " << trials
             << " trials (10 samples per point), 64 instructions each, "
             << resolve_threads(par.threads) << " threads\n\n";
 
@@ -42,11 +51,11 @@ int main(int argc, char** argv) {
   // bit-identical either way.
   obs::ProgressReporter progress(
       std::cerr, spec.id, spec.alus.size() * paper_sweep().size(),
-      2 * static_cast<std::uint64_t>(kPaperTrialsPerWorkload));
-  const bool want_progress = args.has("progress");
+      2 * static_cast<std::uint64_t>(trials));
+  const bool want_progress = cli.progress();
   const auto t0 = std::chrono::steady_clock::now();
   const FigureResult fig = run_figure(
-      spec, paper_sweep(), kPaperTrialsPerWorkload, 2026, par,
+      spec, paper_sweep(), trials, seed, par,
       want_progress ? std::function<void()>([&] { progress.tick(); })
                     : std::function<void()>{});
   const double wall =
@@ -100,11 +109,11 @@ int main(int argc, char** argv) {
 
   BenchReport report;
   report.bench = spec.id;
-  report.seed = 2026;
+  report.seed = seed;
   report.threads = resolve_threads(par.threads);
-  report.trials_per_workload = kPaperTrialsPerWorkload;
+  report.trials_per_workload = trials;
   report.trials = fig.spec.alus.size() * fig.percents.size() * 2 *
-                  kPaperTrialsPerWorkload;
+                  static_cast<std::size_t>(trials);
   report.wall_seconds = wall;
   report.metrics.emplace_back("max_stddev", max_sd);
   report.metrics.emplace_back("points_above_10_stddev",
@@ -113,7 +122,7 @@ int main(int argc, char** argv) {
   for (std::size_t s = 0; s < fig.spec.alus.size(); ++s) {
     report.sweeps.push_back({fig.spec.alus[s], fig.series[s]});
   }
-  const std::string path = save_bench_json(report);
+  const std::string path = save_bench_json(report, cli.out());
   std::cout << "\nWrote " << (path.empty() ? "NOTHING (json failed)" : path)
             << "\n";
   std::cout << "All anchors within band: " << (all_ok ? "yes" : "NO")

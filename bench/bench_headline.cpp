@@ -9,30 +9,40 @@
 #include <iostream>
 
 #include "alu/alu_factory.hpp"
+#include "bench/bench_cli.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/fit.hpp"
 #include "fault/sweep.hpp"
 #include "sim/bench_json.hpp"
-#include "sim/experiment.hpp"
+#include "sim/trial_engine.hpp"
 #include "sim/table_render.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nbx;
+  const bench::BenchCli cli(
+      argc, argv,
+      "Fine aluss sweep locating the 100%- and 98%-correct fault-rate\n"
+      "thresholds and converting them to raw FIT rates.",
+      bench::kThreads | bench::kOut);
+  if (cli.done()) {
+    return cli.status();
+  }
   const auto alu = make_alu("aluss");
   const auto streams = paper_streams(2026);
   const std::vector<double> percents = {0.5, 1.0, 1.5, 2.0, 2.5,
                                         3.0, 3.5, 4.0, 5.0};
   // Parallel engine, all hardware threads; bit-identical to serial.
-  const ParallelConfig par{0, 0};
+  const ParallelConfig par{cli.threads(), 0};
+  const TrialEngine engine(par);
+  SweepSpec sweep;
+  sweep.percents = percents;
+  sweep.seed = 77;
   std::cout << "Headline claim check: aluss (bit-level TMR + module-level "
                "TMR), "
             << alu->fault_sites() << " fault sites\n\n";
   TextTable t({"fault%", "FIT", "% correct", "stddev"});
   const auto t0 = std::chrono::steady_clock::now();
-  const auto points =
-      run_sweep(*alu, streams, percents, kPaperTrialsPerWorkload, 77,
-                FaultCountPolicy::kRoundNearest, InjectionScope::kAll, 0,
-                par);
+  const auto points = engine.sweep(*alu, streams, sweep);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -100,7 +110,7 @@ int main() {
   report.metrics.emplace_back("accuracy_at_3_percent", at3);
   report.extra.emplace_back("headline_ok", ok ? "yes" : "NO");
   report.sweeps.push_back({"aluss", points});
-  const std::string path = save_bench_json(report);
+  const std::string path = save_bench_json(report, cli.out());
   std::cout << "Wrote " << (path.empty() ? "NOTHING (json failed)" : path)
             << "\n";
   return ok && !path.empty() ? 0 : 1;

@@ -20,15 +20,15 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 
 #include "alu/alu_factory.hpp"
-#include "common/cli.hpp"
+#include "bench/bench_cli.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/sweep.hpp"
 #include "obs/profiler.hpp"
 #include "obs/progress.hpp"
 #include "sim/bench_json.hpp"
+#include "sim/trial_engine.hpp"
 #include "sim/table_render.hpp"
 
 namespace {
@@ -36,18 +36,6 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
-}
-
-std::vector<std::string> split_names(const std::string& csv) {
-  std::vector<std::string> names;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) {
-      names.push_back(item);
-    }
-  }
-  return names;
 }
 
 bool identical(const std::vector<nbx::DataPoint>& a,
@@ -65,57 +53,37 @@ bool identical(const std::vector<nbx::DataPoint>& a,
   return true;
 }
 
-// One sweep, optionally chunked per percent so a ProgressReporter can
-// tick between points (chunking cannot change any number: per-trial
-// seeds hash the percent's value, not its sweep position).
-nbx::SweepAnatomy sweep_with_progress(
-    const nbx::IAlu& alu,
-    const std::vector<std::vector<nbx::Instruction>>& streams,
-    const std::vector<double>& percents, int trials, std::uint64_t seed,
-    const nbx::ParallelConfig& par, nbx::obs::ProgressReporter* progress) {
-  using namespace nbx;
-  if (progress == nullptr) {
-    return run_sweep_anatomy(alu, streams, percents, trials, seed,
-                             FaultCountPolicy::kRoundNearest,
-                             InjectionScope::kAll, 0, par);
-  }
-  SweepAnatomy out;
-  for (const double pct : percents) {
-    SweepAnatomy one = run_sweep_anatomy(alu, streams, {pct}, trials, seed,
-                                         FaultCountPolicy::kRoundNearest,
-                                         InjectionScope::kAll, 0, par);
-    out.points.push_back(std::move(one.points.front()));
-    out.metrics.push_back(one.metrics.front());
-    progress->tick();
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace nbx;
-  const CliArgs args(argc, argv);
-  const bool smoke = args.has("smoke");
-  const bool skip_serial = args.has("skip-serial");
-  const bool want_progress = args.has("progress");
-  const std::string metrics_out = args.get("metrics-out");
-  const std::string trace_out = args.get("trace-out");
-  const auto threads =
-      static_cast<unsigned>(args.get_int("threads", 0));
-  const int trials = static_cast<int>(
-      args.get_int("trials", smoke ? 2 : kPaperTrialsPerWorkload));
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  const bench::BenchCli cli(
+      argc, argv,
+      "Paper-protocol fault sweep, run serially and on the thread pool,\n"
+      "with the two passes verified bit-identical.",
+      bench::kThreads | bench::kTrials | bench::kSeed | bench::kAlus |
+          bench::kSmoke | bench::kProgress | bench::kSkipSerial |
+          bench::kOut | bench::kMetricsOut | bench::kTraceOut);
+  if (cli.done()) {
+    return cli.status();
+  }
+  const bool smoke = cli.smoke();
+  const bool skip_serial = cli.skip_serial();
+  const bool want_progress = cli.progress();
+  const std::string metrics_out = cli.metrics_out();
+  const std::string trace_out = cli.trace_out();
+  const unsigned threads = cli.threads();
+  const int trials = cli.trials(smoke ? 2 : kPaperTrialsPerWorkload);
+  const std::uint64_t seed = cli.seed(2026);
 
-  std::vector<std::string> names;
-  if (args.has("alus")) {
-    names = split_names(args.get("alus"));
-  } else if (smoke) {
-    names = {"alunn", "aluss"};
-  } else {
-    for (const AluSpec& spec : table2_specs()) {
-      names.push_back(spec.name);
+  std::vector<std::string> names = cli.alus();
+  if (names.empty()) {
+    if (smoke) {
+      names = {"alunn", "aluss"};
+    } else {
+      for (const AluSpec& spec : table2_specs()) {
+        names.push_back(spec.name);
+      }
     }
   }
   for (const std::string& name : names) {
@@ -132,6 +100,11 @@ int main(int argc, char** argv) {
   obs::Profiler profiler(/*capture_events=*/!trace_out.empty());
   ParallelConfig par{threads, 0};
   par.profiler = &profiler;
+
+  SweepSpec spec;
+  spec.percents = percents;
+  spec.trials_per_workload = trials;
+  spec.seed = seed;
 
   std::cout << "Sweep engine bench: " << names.size() << " ALUs x "
             << percents.size() << " fault percentages x " << streams.size()
@@ -153,12 +126,15 @@ int main(int argc, char** argv) {
     obs::ProgressReporter serial_progress(std::cerr, "serial sweep",
                                      names.size() * percents.size(),
                                      trials_per_point);
+    TrialEngine serial_engine{ParallelConfig{1, 0}};
+    if (want_progress) {
+      serial_engine.set_on_point([&] { serial_progress.tick(); });
+    }
     const auto t0 = std::chrono::steady_clock::now();
     for (const std::string& name : names) {
       const auto alu = make_alu(name);
-      serial_results.push_back(sweep_with_progress(
-          *alu, streams, percents, trials, seed, ParallelConfig{1, 0},
-          want_progress ? &serial_progress : nullptr));
+      serial_results.push_back(serial_engine.sweep_anatomy(*alu, streams,
+                                                           spec));
     }
     serial_seconds = seconds_since(t0);
     serial_progress.finish();
@@ -166,14 +142,16 @@ int main(int argc, char** argv) {
 
   obs::ProgressReporter progress(std::cerr, "parallel sweep",
                             names.size() * percents.size(), trials_per_point);
+  TrialEngine engine(par);
+  if (want_progress) {
+    engine.set_on_point([&] { progress.tick(); });
+  }
   const auto t0 = std::chrono::steady_clock::now();
   bool all_identical = true;
   bool metrics_identical = true;
   for (std::size_t i = 0; i < names.size(); ++i) {
     const auto alu = make_alu(names[i]);
-    SweepAnatomy sweep =
-        sweep_with_progress(*alu, streams, percents, trials, seed, par,
-                            want_progress ? &progress : nullptr);
+    SweepAnatomy sweep = engine.sweep_anatomy(*alu, streams, spec);
     if (!skip_serial) {
       if (!identical(sweep.points, serial_results[i].points)) {
         all_identical = false;
@@ -257,7 +235,7 @@ int main(int argc, char** argv) {
     std::cout << "Wrote " << trace_out << " (chrome://tracing format)\n";
   }
 
-  const std::string path = save_bench_json(report, args.get("out"));
+  const std::string path = save_bench_json(report, cli.out());
   if (path.empty()) {
     std::cout << "\nFAILED to write bench JSON\n";
     return 1;

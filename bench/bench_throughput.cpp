@@ -1,14 +1,16 @@
 // bench_throughput — google-benchmark microbenchmarks of the simulation
 // substrate itself: computations/second for each ALU family, mask
-// generation cost, and grid cycle cost. These bound how large a sweep the
-// harness can afford, not anything the paper measures.
+// generation cost, grid cycle cost, and the unified TrialEngine's
+// per-data-point cost in its scalar, batched and grid backends. These
+// bound how large a sweep the harness can afford, not anything the paper
+// measures.
 #include <benchmark/benchmark.h>
 
 #include "alu/alu_factory.hpp"
 #include "common/rng.hpp"
 #include "fault/mask_generator.hpp"
-#include "grid/control_processor.hpp"
-#include "sim/experiment.hpp"
+#include "grid/grid_trials.hpp"
+#include "sim/trial_engine.hpp"
 #include "workload/image_ops.hpp"
 
 namespace {
@@ -64,6 +66,27 @@ void BM_TrialRun(benchmark::State& state) {
 }
 BENCHMARK(BM_TrialRun);
 
+// One full data point through the TrialEngine per iteration: range(0) is
+// the batch_lanes setting (0 = scalar backend, 64 = bit-parallel).
+void BM_EnginePoint(benchmark::State& state) {
+  const auto alu = make_alu("aluss");
+  const auto streams = paper_streams();
+  ParallelConfig par;
+  par.batch_lanes = static_cast<unsigned>(state.range(0));
+  const TrialEngine engine(par);
+  SweepSpec spec;
+  spec.percents = {3.0};
+  spec.trials_per_workload = 32;
+  spec.seed = 3;
+  for (auto _ : state) {
+    const DataPoint p = engine.point(*alu, streams, spec);
+    benchmark::DoNotOptimize(p.mean_percent_correct);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2 * 32);
+}
+BENCHMARK(BM_EnginePoint)->Arg(0)->Arg(64)->Unit(benchmark::kMillisecond);
+
 void BM_GridCycle(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   NanoBoxGrid grid(n, n, CellConfig{});
@@ -87,5 +110,23 @@ void BM_GridImagePass(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GridImagePass)->Unit(benchmark::kMillisecond);
+
+// Four 2x2 grid trials per iteration through the engine's grid backend;
+// range(0) is the thread count.
+void BM_GridTrials(benchmark::State& state) {
+  std::vector<GridTrialSpec> specs(4);
+  for (GridTrialSpec& spec : specs) {
+    spec.image = Bitmap::paper_test_image();
+    spec.op = reverse_video_op();
+  }
+  const TrialEngine engine{
+      ParallelConfig{static_cast<unsigned>(state.range(0)), 0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_grid_trials(engine, specs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(specs.size()));
+}
+BENCHMARK(BM_GridTrials)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace

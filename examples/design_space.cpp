@@ -10,7 +10,7 @@
 #include "alu/alu_factory.hpp"
 #include "fault/fit.hpp"
 #include "fault/sweep.hpp"
-#include "sim/experiment.hpp"
+#include "sim/trial_engine.hpp"
 #include "sim/table_render.hpp"
 
 int main(int argc, char** argv) {
@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   std::cout << "fault rates (" << kPaperTrialsPerWorkload
             << " trials x 2 workloads per point)...\n\n";
 
+  const TrialEngine engine;
   for (const AluSpec& spec : all_specs()) {
     const auto alu = make_alu(spec.name);
     Row row;
@@ -48,9 +49,11 @@ int main(int argc, char** argv) {
     row.sites = spec.expected_sites;
     row.area = static_cast<double>(spec.expected_sites) / base_area;
     for (const double pct : percents) {
+      SweepSpec point_spec;
+      point_spec.percents = {pct};
+      point_spec.seed = 17;
       row.correct.push_back(
-          run_data_point(*alu, streams, pct, kPaperTrialsPerWorkload, 17)
-              .mean_percent_correct);
+          engine.point(*alu, streams, point_spec).mean_percent_correct);
     }
     row.score = row.correct[row.correct.size() / 2];
     rows.push_back(std::move(row));

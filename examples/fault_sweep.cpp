@@ -9,7 +9,7 @@
 
 #include "alu/alu_factory.hpp"
 #include "fault/sweep.hpp"
-#include "sim/experiment.hpp"
+#include "sim/trial_engine.hpp"
 #include "sim/table_render.hpp"
 
 int main(int argc, char** argv) {
@@ -43,11 +43,14 @@ int main(int argc, char** argv) {
     header.push_back(n);
   }
   TextTable t(std::move(header));
+  const TrialEngine engine;
+  SweepSpec spec;
+  spec.percents = percents;
+  spec.seed = 1337;
   std::vector<std::vector<DataPoint>> series;
   for (const std::string& n : names) {
     const auto alu = make_alu(n);
-    series.push_back(run_sweep(*alu, streams, percents,
-                               kPaperTrialsPerWorkload, 1337));
+    series.push_back(engine.sweep(*alu, streams, spec));
   }
   for (std::size_t p = 0; p < percents.size(); ++p) {
     std::vector<std::string> row{fmt_double(percents[p], 1)};

@@ -119,15 +119,21 @@ int main(int argc, char** argv) {
 
   const FaultCountPolicy policy = parse_policy(args.get("policy", "round"));
   const auto burst = static_cast<std::size_t>(args.get_int("burst", 1));
+  const TrialEngine engine;
+  SweepSpec spec;
+  spec.trials_per_workload = trials;
+  spec.seed = seed;
+  spec.policy = policy;
+  spec.burst_length = burst;
 
   if (args.has("sweep")) {
     TextTable t({"fault%", "FIT", "% correct", "stddev"});
-    for (const double pct : paper_sweep()) {
-      const DataPoint p =
-          run_data_point(*alu, streams, pct, trials, seed, policy,
-                         InjectionScope::kAll, 0, burst);
-      t.add_row({fmt_double(pct, 2),
-                 fmt_sci(fit_from_percent(alu->fault_sites(), pct), 2),
+    spec.percents = paper_sweep();
+    const std::vector<DataPoint> points = engine.sweep(*alu, streams, spec);
+    for (const DataPoint& p : points) {
+      t.add_row({fmt_double(p.fault_percent, 2),
+                 fmt_sci(fit_from_percent(alu->fault_sites(),
+                                          p.fault_percent), 2),
                  fmt_double(p.mean_percent_correct, 2),
                  fmt_double(p.stddev, 2)});
     }
@@ -137,8 +143,8 @@ int main(int argc, char** argv) {
   }
 
   const double pct = args.get_double("percent", 1.0);
-  const DataPoint p = run_data_point(*alu, streams, pct, trials, seed,
-                                     policy, InjectionScope::kAll, 0, burst);
+  spec.percents = {pct};
+  const DataPoint p = engine.point(*alu, streams, spec);
   std::cout << name << " @ " << fmt_double(pct, 2) << "% faults (FIT "
             << fmt_sci(fit_from_percent(alu->fault_sites(), pct), 2)
             << "): " << fmt_double(p.mean_percent_correct, 2)

@@ -3,7 +3,7 @@
 //  2. run an instruction fault-free,
 //  3. inject the paper's transient faults and watch the recursive
 //     fault masking absorb them,
-//  4. run one figure-style data point.
+//  4. run one figure-style data point on the TrialEngine.
 //
 // Build & run:  ./build/examples/quickstart
 #include <iostream>
@@ -12,7 +12,7 @@
 #include "fault/fit.hpp"
 #include "fault/mask_generator.hpp"
 #include "fault/sweep.hpp"
-#include "sim/experiment.hpp"
+#include "sim/trial_engine.hpp"
 
 int main() {
   using namespace nbx;
@@ -58,10 +58,13 @@ int main() {
             << stats.voter_disagreements << ")\n";
 
   // 4. One paper-protocol data point: both image workloads, five trials
-  //    each, mean of ten samples.
+  //    each, mean of ten samples, evaluated on the unified TrialEngine.
   const auto streams = paper_streams();
-  const DataPoint point =
-      run_data_point(*alu, streams, pct, kPaperTrialsPerWorkload, 7);
+  const TrialEngine engine;
+  SweepSpec spec;
+  spec.percents = {pct};
+  spec.seed = 7;
+  const DataPoint point = engine.point(*alu, streams, spec);
   std::cout << "\nFigure-9-style data point @ " << pct << "%: "
             << point.mean_percent_correct << "% correct (stddev "
             << point.stddev << ", " << point.samples << " samples)\n";

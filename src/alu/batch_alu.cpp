@@ -6,6 +6,7 @@
 #include "alu/cmos_core_alu.hpp"
 #include "alu/lut_core_alu.hpp"
 #include "alu/module_alu.hpp"
+#include "alu/module_plan.hpp"
 #include "alu/voter.hpp"
 #include "lut/batch_lut.hpp"
 #include "obs/counters.hpp"
@@ -316,97 +317,36 @@ std::unique_ptr<BatchAlu> BatchAlu::create(const IAlu& alu) {
   return batch;
 }
 
-void BatchAlu::compute_fallback(Opcode op, std::uint8_t a, std::uint8_t b,
-                                const BatchBitVec* mask,
-                                std::uint64_t active, BatchAluOutput& out,
-                                ModuleStats* stats) const {
-  out = BatchAluOutput{};
-  out.valid = 0;
-  BitVec lane_mask(alu_->fault_sites());
-  for (std::uint64_t rest = active; rest != 0; rest &= rest - 1) {
-    const auto lane = static_cast<unsigned>(std::countr_zero(rest));
-    MaskView view;
-    if (mask != nullptr) {
-      mask->extract_lane(lane, 0, lane_mask);
-      view = MaskView(lane_mask, 0, lane_mask.size());
-    }
-    const AluOutput r = alu_->compute(op, a, b, view, stats);
-    const std::uint64_t sel = std::uint64_t{1} << lane;
-    for (unsigned bit = 0; bit < 8; ++bit) {
-      if ((r.value >> bit) & 1u) {
-        out.value[bit] |= sel;
-      }
-    }
-    if (r.valid) {
-      out.valid |= sel;
-    }
-    if (r.disagreement) {
-      out.disagreement |= sel;
-    }
-  }
-}
-
 void BatchAlu::compute(Opcode op, std::uint8_t a, std::uint8_t b,
                        const BatchBitVec* mask, std::uint64_t active,
                        BatchAluOutput& out, ModuleStats* stats) const {
   assert(mask == nullptr || mask->sites() == alu_->fault_sites());
   if (fallback_) {
     // The scalar compute() bumps `computations` per lane itself.
-    compute_fallback(op, a, b, mask, active, out, stats);
+    plan::compute_lanes_via_scalar(*alu_, op, a, b, mask, active, out,
+                                   stats);
     return;
   }
   if (stats != nullptr) {
     stats->computations += popcnt(active);
   }
   out = BatchAluOutput{};
+  const IBatchCore* cores[3] = {};
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    cores[i] = cores_[i].get();
+  }
+  plan::BatchModuleExec ex{op,    a,     b,          mask, active,
+                           stats, cores, voter_.get(), &out};
   switch (level_) {
-    case Level::kSingle: {
-      cores_[0]->eval(op, a, b, mask, 0, active, out.value, stats);
-      out.valid = ~std::uint64_t{0};
-      out.disagreement = 0;
+    case Level::kSingle:
+      plan::compute_single(ex);
       return;
-    }
-    case Level::kSpace: {
-      const std::size_t n = cores_[0]->fault_sites();
-      std::uint64_t r[3][8];
-      for (std::size_t i = 0; i < 3; ++i) {
-        cores_[i]->eval(op, a, b, mask, i * n, active, r[i], stats);
-      }
-      voter_->vote(r[0], r[1], r[2], ~std::uint64_t{0}, ~std::uint64_t{0},
-                   ~std::uint64_t{0}, mask, 3 * n, active, out, stats);
+    case Level::kSpace:
+      plan::compute_space(ex);
       return;
-    }
-    case Level::kTime: {
-      const std::size_t n = cores_[0]->fault_sites();
-      const std::size_t voter_off = 3 * n;
-      const std::size_t storage_off = voter_off + voter_->fault_sites();
-      std::uint64_t r[3][8];
-      std::uint64_t v[3];
-      for (std::size_t i = 0; i < 3; ++i) {
-        // The one physical core runs pass i against pass i's mask segment.
-        cores_[0]->eval(op, a, b, mask, i * n, active, r[i], stats);
-        v[i] = ~std::uint64_t{0};
-        if (mask != nullptr) {
-          // Stored inter-operation result: 8 data bits + 1 valid flag,
-          // all fault sites (the +27 in Table 2's alut* rows).
-          const std::size_t slot = storage_off + i * 9;
-          for (std::size_t bit = 0; bit < 8; ++bit) {
-            r[i][bit] ^= mask->word(slot + bit);
-          }
-          v[i] = ~mask->word(slot + 8);
-          if (stats != nullptr && stats->obs != nullptr) {
-            std::uint64_t hits = 0;
-            for (std::size_t bit = 0; bit < 9; ++bit) {
-              hits += popcnt(mask->word(slot + bit) & active);
-            }
-            stats->obs->module_level.storage_faults += hits;
-          }
-        }
-      }
-      voter_->vote(r[0], r[1], r[2], v[0], v[1], v[2], mask, voter_off,
-                   active, out, stats);
+    case Level::kTime:
+      plan::compute_time(ex);
       return;
-    }
   }
 }
 

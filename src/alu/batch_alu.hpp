@@ -111,10 +111,6 @@ class BatchAlu {
   bool fallback_ = false;
   std::vector<std::unique_ptr<IBatchCore>> cores_;  // 1 (single/time) or 3
   std::unique_ptr<IBatchVoter> voter_;              // space/time only
-
-  void compute_fallback(Opcode op, std::uint8_t a, std::uint8_t b,
-                        const BatchBitVec* mask, std::uint64_t active,
-                        BatchAluOutput& out, ModuleStats* stats) const;
 };
 
 }  // namespace nbx

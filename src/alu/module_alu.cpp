@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "alu/module_plan.hpp"
 #include "fault/defect_map.hpp"
 #include "obs/counters.hpp"
 
@@ -42,9 +43,10 @@ AluOutput SingleAlu::compute(Opcode op, std::uint8_t a, std::uint8_t b,
   if (stats != nullptr) {
     ++stats->computations;
   }
-  AluOutput out;
-  out.value = core_->eval(op, a, b, mask, stats);
-  return out;
+  const CoreAlu* cores[1] = {core_.get()};
+  plan::ScalarModuleExec ex{op, a, b, mask, stats, cores, nullptr, {}};
+  plan::compute_single(ex);
+  return ex.out;
 }
 
 std::size_t SingleAlu::defectable_sites() const {
@@ -80,18 +82,11 @@ AluOutput SpaceRedundantAlu::compute(Opcode op, std::uint8_t a,
   if (stats != nullptr) {
     ++stats->computations;
   }
-  const std::size_t n = cores_[0]->fault_sites();
-  std::uint8_t r[3];
-  for (std::size_t i = 0; i < 3; ++i) {
-    const MaskView m = mask.is_null() ? MaskView{} : mask.subview(i * n, n);
-    r[i] = cores_[i]->eval(op, a, b, m, stats);
-  }
-  const MaskView vm =
-      mask.is_null() ? MaskView{}
-                     : mask.subview(3 * n, voter_->fault_sites());
-  const VoteOutput v =
-      voter_->vote(VoteInput{r[0], r[1], r[2], true, true, true}, vm, stats);
-  return AluOutput{v.value, v.valid, v.disagreement};
+  const CoreAlu* cores[3] = {cores_[0].get(), cores_[1].get(),
+                             cores_[2].get()};
+  plan::ScalarModuleExec ex{op, a, b, mask, stats, cores, voter_.get(), {}};
+  plan::compute_space(ex);
+  return ex.out;
 }
 
 std::size_t SpaceRedundantAlu::defectable_sites() const {
@@ -174,47 +169,10 @@ AluOutput TimeRedundantAlu::compute(Opcode op, std::uint8_t a,
   if (stats != nullptr) {
     ++stats->computations;
   }
-  const std::size_t n = core_->fault_sites();
-  const std::size_t voter_off = 3 * n;
-  const std::size_t storage_off = voter_off + voter_->fault_sites();
-
-  std::uint8_t stored[3];
-  bool valid[3];
-  for (std::size_t i = 0; i < 3; ++i) {
-    const MaskView m = mask.is_null() ? MaskView{} : mask.subview(i * n, n);
-    std::uint8_t r = core_->eval(op, a, b, m, stats);
-    // The result is held in a 9-bit storage slot (8 data + 1 valid)
-    // until all three passes complete; those stored bits are themselves
-    // fault sites (paper §4).
-    bool v = true;
-    if (!mask.is_null()) {
-      const std::size_t slot = storage_off + i * 9;
-      std::uint64_t hits = 0;
-      for (std::size_t bit = 0; bit < 8; ++bit) {
-        if (mask.get(slot + bit)) {
-          r = static_cast<std::uint8_t>(r ^ (1u << bit));
-          ++hits;
-        }
-      }
-      if (mask.get(slot + 8)) {
-        v = false;
-        ++hits;
-      }
-      if (stats != nullptr && stats->obs != nullptr) {
-        stats->obs->module_level.storage_faults += hits;
-      }
-    }
-    stored[i] = r;
-    valid[i] = v;
-  }
-  const MaskView vm =
-      mask.is_null() ? MaskView{}
-                     : mask.subview(voter_off, voter_->fault_sites());
-  const VoteOutput v = voter_->vote(
-      VoteInput{stored[0], stored[1], stored[2], valid[0], valid[1],
-                valid[2]},
-      vm, stats);
-  return AluOutput{v.value, v.valid, v.disagreement};
+  const CoreAlu* cores[1] = {core_.get()};
+  plan::ScalarModuleExec ex{op, a, b, mask, stats, cores, voter_.get(), {}};
+  plan::compute_time(ex);
+  return ex.out;
 }
 
 }  // namespace nbx

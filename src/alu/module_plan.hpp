@@ -1,0 +1,260 @@
+// module_plan.hpp — the module-level execution plan, written once and
+// instantiated at two lane widths.
+//
+// The paper's module-level techniques (§2.2) are mask-segment layouts
+// plus an order of operations:
+//
+//   SingleAlu          [core]
+//   SpaceRedundantAlu  [core0 | core1 | core2 | voter]
+//   TimeRedundantAlu   [pass0 | pass1 | pass2 | voter | 3x9 storage bits]
+//
+// Before this header the scalar wrappers (module_alu.cpp) and their
+// bit-parallel mirrors (batch_alu.cpp) each hand-maintained that layout:
+// two copies of the segment offsets, the 9-bit stored-result slots, the
+// storage-fault accounting and the vote wiring, which had to be kept in
+// lock step for the batched engine's bit-identity guarantee. Here the
+// plan is a set of templates over an *execution context* — a small
+// policy type that knows how to evaluate one core pass, absorb one
+// stored-result slot and run one vote at its lane width. ScalarModuleExec
+// (one trial, std::uint8_t results) and BatchModuleExec (64 trial lanes,
+// word-sliced results) are the two contexts; both wrappers now consume
+// the same plan, so the layout literally cannot diverge.
+//
+// An execution context provides:
+//   Result / Valid      — lane value and lane predicate types
+//   valid_true()        — the "all replicas valid" constant
+//   core_sites()        — fault sites of one core pass
+//   voter_sites()       — fault sites of the voter
+//   eval_core(i, off, r)         — run core i against mask segment `off`
+//   absorb_stored(r, v, slot)    — XOR the 9-bit stored-result slot into
+//                                  (r, v), counting storage-fault hits
+//   vote(r[3], v[3], off)        — module vote against segment `off`
+//   emit_single(r)               — publish an unvoted single-pass result
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "alu/batch_alu.hpp"
+#include "alu/module_alu.hpp"
+#include "alu/voter.hpp"
+#include "obs/counters.hpp"
+
+namespace nbx::plan {
+
+/// One stored inter-operation result: 8 data bits + 1 valid flag
+/// (paper §4; three slots give Table 2's +27 in every alut* row).
+inline constexpr std::size_t kStoredBitsPerPass = 9;
+static_assert(3 * kStoredBitsPerPass == kTimeRedundancyStorageBits);
+
+/// No module-level redundancy: one pass, no voter.
+template <typename Exec>
+void compute_single(Exec& ex) {
+  typename Exec::Result r{};
+  ex.eval_core(0, 0, r);
+  ex.emit_single(r);
+}
+
+/// Space redundancy: three concurrent cores, each against its own mask
+/// segment, then one vote. All replicas enter the vote valid.
+template <typename Exec>
+void compute_space(Exec& ex) {
+  const std::size_t n = ex.core_sites();
+  typename Exec::Result r[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    ex.eval_core(i, i * n, r[i]);
+  }
+  const typename Exec::Valid v[3] = {Exec::valid_true(), Exec::valid_true(),
+                                     Exec::valid_true()};
+  ex.vote(r, v, 3 * n);
+}
+
+/// Time redundancy: the ONE physical core runs three passes, each pass
+/// against its own fresh mask segment (transients strike independently
+/// per execution — why Table 2 counts the same datapath sites as three
+/// spatial copies). Each pass's result waits in a 9-bit storage slot
+/// whose bits are themselves fault sites, then all three are voted.
+template <typename Exec>
+void compute_time(Exec& ex) {
+  const std::size_t n = ex.core_sites();
+  const std::size_t voter_off = 3 * n;
+  const std::size_t storage_off = voter_off + ex.voter_sites();
+  typename Exec::Result r[3];
+  typename Exec::Valid v[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    ex.eval_core(0, i * n, r[i]);
+    v[i] = Exec::valid_true();
+    ex.absorb_stored(r[i], v[i], storage_off + i * kStoredBitsPerPass);
+  }
+  ex.vote(r, v, voter_off);
+}
+
+// ---------------------------------------------------------------------
+// Scalar context: one trial, used by module_alu.cpp.
+
+struct ScalarModuleExec {
+  using Result = std::uint8_t;
+  using Valid = bool;
+
+  Opcode op;
+  std::uint8_t a;
+  std::uint8_t b;
+  MaskView mask;
+  ModuleStats* stats;
+  const CoreAlu* const* cores;  ///< 1 (single/time) or 3 (space) entries
+  const IVoter* voter;          ///< null for single
+  AluOutput out;
+
+  static constexpr bool valid_true() { return true; }
+  [[nodiscard]] std::size_t core_sites() const {
+    return cores[0]->fault_sites();
+  }
+  [[nodiscard]] std::size_t voter_sites() const {
+    return voter->fault_sites();
+  }
+
+  void eval_core(std::size_t core, std::size_t offset, Result& r) {
+    const MaskView m =
+        mask.is_null() ? MaskView{} : mask.subview(offset, core_sites());
+    r = cores[core]->eval(op, a, b, m, stats);
+  }
+
+  void absorb_stored(Result& r, Valid& v, std::size_t slot) {
+    if (mask.is_null()) {
+      return;
+    }
+    std::uint64_t hits = 0;
+    for (std::size_t bit = 0; bit < 8; ++bit) {
+      if (mask.get(slot + bit)) {
+        r = static_cast<std::uint8_t>(r ^ (1u << bit));
+        ++hits;
+      }
+    }
+    if (mask.get(slot + 8)) {
+      v = false;
+      ++hits;
+    }
+    if (stats != nullptr && stats->obs != nullptr) {
+      stats->obs->module_level.storage_faults += hits;
+    }
+  }
+
+  void vote(const Result r[3], const Valid v[3], std::size_t voter_off) {
+    const MaskView vm =
+        mask.is_null() ? MaskView{}
+                       : mask.subview(voter_off, voter->fault_sites());
+    const VoteOutput o = voter->vote(
+        VoteInput{r[0], r[1], r[2], v[0], v[1], v[2]}, vm, stats);
+    out = AluOutput{o.value, o.valid, o.disagreement};
+  }
+
+  void emit_single(const Result& r) { out.value = r; }
+};
+
+// ---------------------------------------------------------------------
+// Batched context: up to 64 trial lanes, used by batch_alu.cpp. Results
+// are word-sliced (w[bit] holds that result bit across lanes); the lane
+// predicates are 64-bit words.
+
+struct BatchModuleExec {
+  struct Result {
+    std::uint64_t w[8];
+  };
+  using Valid = std::uint64_t;
+
+  Opcode op;
+  std::uint8_t a;
+  std::uint8_t b;
+  const BatchBitVec* mask;  ///< null = fault-free in every lane
+  std::uint64_t active;
+  ModuleStats* stats;
+  const IBatchCore* const* cores;  ///< 1 (single/time) or 3 (space)
+  const IBatchVoter* voter;        ///< null for single
+  BatchAluOutput* out;
+
+  static constexpr std::uint64_t valid_true() { return ~std::uint64_t{0}; }
+  [[nodiscard]] std::size_t core_sites() const {
+    return cores[0]->fault_sites();
+  }
+  [[nodiscard]] std::size_t voter_sites() const {
+    return voter->fault_sites();
+  }
+
+  void eval_core(std::size_t core, std::size_t offset, Result& r) {
+    cores[core]->eval(op, a, b, mask, offset, active, r.w, stats);
+  }
+
+  void absorb_stored(Result& r, Valid& v, std::size_t slot) {
+    if (mask == nullptr) {
+      return;
+    }
+    for (std::size_t bit = 0; bit < 8; ++bit) {
+      r.w[bit] ^= mask->word(slot + bit);
+    }
+    v = ~mask->word(slot + 8);
+    if (stats != nullptr && stats->obs != nullptr) {
+      std::uint64_t hits = 0;
+      for (std::size_t bit = 0; bit < kStoredBitsPerPass; ++bit) {
+        hits += static_cast<std::uint64_t>(
+            std::popcount(mask->word(slot + bit) & active));
+      }
+      stats->obs->module_level.storage_faults += hits;
+    }
+  }
+
+  void vote(const Result r[3], const Valid v[3], std::size_t voter_off) {
+    voter->vote(r[0].w, r[1].w, r[2].w, v[0], v[1], v[2], mask, voter_off,
+                active, *out, stats);
+  }
+
+  void emit_single(const Result& r) {
+    for (std::size_t bit = 0; bit < 8; ++bit) {
+      out->value[bit] = r.w[bit];
+    }
+    out->valid = ~std::uint64_t{0};
+    out->disagreement = 0;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Per-lane scalar fallback: the lane-generic bridge for module
+// structures without a word-parallel mirror (hardware-LUT ablation
+// cores, future ALUs). Each active lane's mask column is extracted into
+// a scalar BitVec and run through IAlu::compute; the scalar outputs are
+// scattered back into the lane-sliced result. The scalar compute()
+// accounts its own per-lane stats (computations, votes, ...), so the
+// aggregate counters still equal the sum of the per-lane scalar runs.
+
+inline void compute_lanes_via_scalar(const IAlu& alu, Opcode op,
+                                     std::uint8_t a, std::uint8_t b,
+                                     const BatchBitVec* mask,
+                                     std::uint64_t active,
+                                     BatchAluOutput& out,
+                                     ModuleStats* stats) {
+  out = BatchAluOutput{};
+  out.valid = 0;
+  BitVec lane_mask(alu.fault_sites());
+  for (std::uint64_t rest = active; rest != 0; rest &= rest - 1) {
+    const auto lane = static_cast<unsigned>(std::countr_zero(rest));
+    MaskView view;
+    if (mask != nullptr) {
+      mask->extract_lane(lane, 0, lane_mask);
+      view = MaskView(lane_mask, 0, lane_mask.size());
+    }
+    const AluOutput r = alu.compute(op, a, b, view, stats);
+    const std::uint64_t sel = std::uint64_t{1} << lane;
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      if ((r.value >> bit) & 1u) {
+        out.value[bit] |= sel;
+      }
+    }
+    if (r.valid) {
+      out.valid |= sel;
+    }
+    if (r.disagreement) {
+      out.disagreement |= sel;
+    }
+  }
+}
+
+}  // namespace nbx::plan

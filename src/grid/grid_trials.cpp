@@ -1,0 +1,68 @@
+#include "grid/grid_trials.hpp"
+
+#include <mutex>
+
+namespace nbx {
+
+std::string grid_alive_map(const NanoBoxGrid& grid) {
+  std::string map;
+  map.reserve(grid.rows() * grid.cols());
+  for (std::uint8_t r = 0; r < grid.rows(); ++r) {
+    for (std::uint8_t c = 0; c < grid.cols(); ++c) {
+      map += grid.cell(CellId{r, c}).alive() ? '#' : 'x';
+    }
+  }
+  return map;
+}
+
+namespace {
+
+/// The system-level TrialBackend: one item = one spec's full three-phase
+/// grid run. Everything an item touches (grid, control processor,
+/// result slot) is its own, except the optional ProgressReporter, which
+/// is serialized under `progress_mu`.
+struct GridTrialBackend {
+  const std::vector<GridTrialSpec>& specs;
+  std::vector<GridTrialResult>& results;
+  obs::ProgressReporter* progress;
+  std::mutex& progress_mu;
+
+  [[nodiscard]] std::size_t item_count() const { return specs.size(); }
+  [[nodiscard]] std::string_view stage() const { return "grid_trial"; }
+
+  void run_item(std::size_t i) const {
+    const GridTrialSpec& spec = specs[i];
+    GridTrialResult& out = results[i];
+    out.label = spec.label;
+    NanoBoxGrid grid(spec.rows, spec.cols, spec.cell);
+    if (spec.trace != nullptr) {
+      grid.attach_trace(spec.trace);
+    }
+    ControlProcessor cp(grid, spec.cp_seed);
+    out.output = cp.run_image_op(spec.image, spec.op, spec.options,
+                                 &out.report);
+    out.alive_map = grid_alive_map(grid);
+    out.control_corrupted = 0;
+    for (ProcessorCell* c : grid.all_cells()) {
+      out.control_corrupted += c->control().corrupted_decisions();
+    }
+    if (progress != nullptr) {
+      const std::lock_guard<std::mutex> lock(progress_mu);
+      progress->tick();
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<GridTrialResult> run_grid_trials(
+    const TrialEngine& engine, const std::vector<GridTrialSpec>& specs,
+    obs::ProgressReporter* progress) {
+  std::vector<GridTrialResult> results(specs.size());
+  std::mutex progress_mu;
+  GridTrialBackend backend{specs, results, progress, progress_mu};
+  engine.execute(backend);
+  return results;
+}
+
+}  // namespace nbx

@@ -1,0 +1,66 @@
+// grid_trials.hpp — system-level simulation on the unified TrialEngine.
+//
+// A GridTrialSpec describes one complete, self-contained grid
+// experiment: a freshly built rows x cols NanoBox grid, a control
+// processor, one image workload and the run options (kill schedules,
+// watchdog knobs, cycle budgets). Because each trial constructs its own
+// grid from the spec — nothing is shared between items, and every cell
+// RNG seed derives from the spec's CellConfig — a batch of specs is as
+// embarrassingly parallel as the single-ALU trial grid, so grid sweeps
+// (bench_grid, bench_failover, bench_control_faults) run through the
+// same TrialEngine as Figures 7-9 and inherit its multithreading,
+// deterministic seeding, stage profiling ("grid_trial") and progress
+// reporting for free.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/control_processor.hpp"
+#include "obs/progress.hpp"
+#include "sim/trial_engine.hpp"
+#include "workload/image_ops.hpp"
+
+namespace nbx {
+
+/// One independent system-level trial.
+struct GridTrialSpec {
+  std::string label;     ///< carried into the result (e.g. "3x3/2-kills")
+  std::size_t rows = 2;
+  std::size_t cols = 2;
+  CellConfig cell;       ///< per-cell configuration (coding, fault rate)
+  Bitmap image;          ///< the workload input
+  PixelOp op;            ///< the pixel operation to apply
+  GridRunOptions options;
+  std::uint64_t cp_seed = 99;  ///< ControlProcessor seed (its default)
+  /// Optional event trace attached to this trial's grid for the whole
+  /// run (not owned). TraceSink is not thread-safe: only set this when
+  /// the engine runs with threads <= 1, or give every spec its own sink.
+  TraceSink* trace = nullptr;
+};
+
+/// Outcome of one grid trial.
+struct GridTrialResult {
+  std::string label;
+  GridRunReport report;
+  Bitmap output;          ///< the op applied on-grid (missing = input px)
+  std::string alive_map;  ///< row-major, '#' = alive, 'x' = disabled
+  /// Control-logic decisions corrupted by injected control faults,
+  /// summed over every cell (bench_control_faults' end-to-end metric).
+  std::uint64_t control_corrupted = 0;
+};
+
+/// Row-major alive map of a grid, '#' = alive, 'x' = disabled — the
+/// salvage map the watchdog leaves behind.
+std::string grid_alive_map(const NanoBoxGrid& grid);
+
+/// Runs every spec as one engine work item (profiler stage
+/// "grid_trial"): specs fan out across the engine's threads, results
+/// land in spec order, and `progress` (when non-null) ticks once per
+/// finished trial under an internal mutex. Each item is a pure function
+/// of its spec, so results are bit-identical for every thread count.
+std::vector<GridTrialResult> run_grid_trials(
+    const TrialEngine& engine, const std::vector<GridTrialSpec>& specs,
+    obs::ProgressReporter* progress = nullptr);
+
+}  // namespace nbx

@@ -1,332 +1,29 @@
+// The TU that owns the deprecated run_* shims: each forwards to a
+// TrialEngine built from its arguments. Kept for source compatibility;
+// see sim/trial_engine.hpp for the engine itself.
+#define NBX_ALLOW_ENGINE_SHIMS
 #include "sim/experiment.hpp"
 
-#include <algorithm>
-#include <bit>
-#include <cassert>
-
-#include "alu/batch_alu.hpp"
 #include "common/batch_bitvec.hpp"
-#include "common/thread_pool.hpp"
 #include "fault/defect_map.hpp"
-#include "workload/image_ops.hpp"
 
 namespace nbx {
 
-TrialResult run_trial(const IAlu& alu,
-                      const std::vector<Instruction>& stream,
-                      const TrialConfig& cfg, Rng& rng,
-                      obs::Counters* anatomy) {
-  const std::size_t total_sites = alu.fault_sites();
-  const std::size_t inject_sites = cfg.scope == InjectionScope::kDatapathOnly
-                                       ? cfg.datapath_sites
-                                       : total_sites;
-  assert(inject_sites <= total_sites);
-  // The fault *fraction* applies to the eligible sites; for the paper's
-  // kAll scope this is exactly "a given fraction of the fault injection
-  // points" (§4).
-  const MaskGenerator gen(inject_sites, cfg.fault_percent, cfg.policy,
-                          cfg.burst_length);
-
-  BitVec mask(total_sites);
-  BitVec scratch(inject_sites);
-  TrialResult res;
-  res.instructions = stream.size();
-  if (anatomy != nullptr) {
-    // One sink serves both levels: the module wrapper / voter hooks and
-    // the coded-LUT decode hooks beneath them.
-    res.stats.obs = anatomy;
-    res.stats.lut.obs = anatomy;
-  }
-  for (const Instruction& ins : stream) {
-    // "After each ALU computation, we generate a new fault mask" (§4).
-    if (inject_sites == total_sites) {
-      gen.generate(rng, mask);
-    } else {
-      gen.generate(rng, scratch);
-      mask.clear_all();
-      for (std::size_t i = 0; i < inject_sites; ++i) {
-        if (scratch.get(i)) {
-          mask.set(i, true);
-        }
-      }
-    }
-    if (anatomy != nullptr) {
-      ++anatomy->injection.masks_generated;
-      // Floyd's sampling sets exactly faults_per_computation() bits for
-      // the counting policies; only Bernoulli (per-site coin flips) and
-      // burst (edge truncation, overlapping strikes) need the real
-      // popcount. Skipping it keeps the sink's hot-loop cost flat.
-      anatomy->injection.faults_injected +=
-          (cfg.policy == FaultCountPolicy::kRoundNearest ||
-           cfg.policy == FaultCountPolicy::kFloor)
-              ? gen.faults_per_computation()
-              : mask.popcount();
-    }
-    const AluOutput out = alu.compute(ins.op, ins.a, ins.b,
-                                      MaskView(mask, 0, total_sites),
-                                      &res.stats);
-    const bool wrong = out.value != ins.golden;
-    if (wrong) {
-      ++res.incorrect;
-    }
-    if (anatomy != nullptr) {
-      auto& e = anatomy->end_to_end;
-      ++e.instructions;
-      const bool flagged = out.disagreement || !out.valid;
-      if (wrong) {
-        ++(flagged ? e.caught_errors : e.silent_corruptions);
-      } else {
-        ++(flagged ? e.false_alarms : e.correct);
-      }
-    }
-  }
-  res.percent_correct =
-      stream.empty()
-          ? 100.0
-          : 100.0 * static_cast<double>(stream.size() - res.incorrect) /
-                static_cast<double>(stream.size());
-  return res;
-}
-
 namespace {
 
-// Runs the (percent x workload x trial) grid and returns one
-// percent_correct sample per cell, indexed [percent][workload][trial]
-// flattened. Every cell is an independent work item whose RNG seed is a
-// pure function of its coordinates (MaskGenerator::trial_seed), so the
-// sample vector is bit-identical for any thread count or schedule.
-std::vector<double> run_trial_grid(
-    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
-    const std::vector<double>& percents, int trials_per_workload,
-    std::uint64_t seed, FaultCountPolicy policy, InjectionScope scope,
-    std::size_t datapath_sites, std::size_t burst_length,
-    const ParallelConfig& par, std::vector<obs::Counters>* anatomy) {
-  const std::size_t workloads = streams.size();
-  const auto trials = static_cast<std::size_t>(trials_per_workload);
-  const std::size_t per_percent = workloads * trials;
-  const std::size_t total = percents.size() * per_percent;
-  const std::uint64_t alu_hash = fnv1a64(alu.name());
-  const std::size_t st_trial =
-      par.profiler != nullptr ? par.profiler->stage_index("trial") : 0;
-
-  // Each cell tallies into its own slot; the per-percent merge below
-  // runs after the pool joins, in index order. (Order is cosmetic —
-  // integer sums commute — which is exactly why the totals are bit-
-  // identical for every schedule.)
-  std::vector<obs::Counters> per_item;
-  if (anatomy != nullptr) {
-    per_item.resize(total);
-  }
-
-  std::vector<double> samples(total, 0.0);
-  const auto run_cell = [&](std::size_t i) {
-    const obs::ScopedTimer timer(par.profiler, st_trial);
-    const std::size_t pi = i / per_percent;
-    const std::size_t w = (i % per_percent) / trials;
-    const std::size_t t = i % trials;
-    TrialConfig cfg;
-    cfg.fault_percent = percents[pi];
-    cfg.policy = policy;
-    cfg.burst_length = burst_length;
-    cfg.scope = scope;
-    cfg.datapath_sites = datapath_sites;
-    Rng rng(MaskGenerator::trial_seed(seed, alu_hash, percents[pi], w, t));
-    samples[i] = run_trial(alu, streams[w], cfg, rng,
-                           anatomy != nullptr ? &per_item[i] : nullptr)
-                     .percent_correct;
-  };
-
-  if (resolve_threads(par.threads) <= 1 || total <= 1) {
-    for (std::size_t i = 0; i < total; ++i) {
-      run_cell(i);
-    }
-  } else {
-    ThreadPool pool(par.threads);
-    pool.parallel_for(total, par.chunking, run_cell);
-  }
-  if (anatomy != nullptr) {
-    anatomy->assign(percents.size(), obs::Counters{});
-    for (std::size_t i = 0; i < total; ++i) {
-      (*anatomy)[i / per_percent] += per_item[i];
-    }
-  }
-  return samples;
-}
-
-// The bit-parallel variant of run_trial_grid: same sample vector, same
-// flat [percent][workload][trial] order, bit-identical values. A work
-// item is a *lane group* — up to par.batch_lanes trials of one (percent,
-// workload) cell packed into the lanes of one BatchBitVec. Every lane
-// keeps its own Rng seeded with the exact scalar trial seed and the
-// shared mask-generation core consumes it draw-for-draw like the scalar
-// path, so each lane regenerates its trial's mask stream verbatim; the
-// batched ALU then computes all lanes at once.
-std::vector<double> run_batched_grid(
-    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
-    const std::vector<double>& percents, int trials_per_workload,
-    std::uint64_t seed, FaultCountPolicy policy, InjectionScope scope,
-    std::size_t datapath_sites, std::size_t burst_length,
-    const ParallelConfig& par, std::vector<obs::Counters>* anatomy) {
-  const std::size_t workloads = streams.size();
-  const auto trials = static_cast<std::size_t>(trials_per_workload);
-  const unsigned lanes =
-      std::min(std::max(par.batch_lanes, 1u), kMaxBatchLanes);
-  const std::size_t groups_per_cell = trials == 0 ? 0 : (trials + lanes - 1) / lanes;
-  const std::size_t cells = percents.size() * workloads;
-  const std::size_t total_groups = cells * groups_per_cell;
-  const std::uint64_t alu_hash = fnv1a64(alu.name());
-
-  const std::size_t total_sites = alu.fault_sites();
-  const std::size_t inject_sites =
-      scope == InjectionScope::kDatapathOnly ? datapath_sites : total_sites;
-  assert(inject_sites <= total_sites);
-
-  // One read-only batched mirror shared by all worker threads
-  // (BatchAlu::compute keeps its scratch on the stack).
-  const std::unique_ptr<BatchAlu> batch = BatchAlu::create(alu);
-  const std::size_t st_group =
-      par.profiler != nullptr ? par.profiler->stage_index("lane_group") : 0;
-
-  std::vector<obs::Counters> per_group;
-  if (anatomy != nullptr) {
-    per_group.resize(total_groups);
-  }
-
-  std::vector<double> samples(percents.size() * workloads * trials, 0.0);
-  const auto run_group = [&](std::size_t item) {
-    const obs::ScopedTimer timer(par.profiler, st_group);
-    const std::size_t cell = item / groups_per_cell;
-    const std::size_t group = item % groups_per_cell;
-    const std::size_t pi = cell / workloads;
-    const std::size_t w = cell % workloads;
-    const std::size_t first_trial = group * lanes;
-    const auto in_group = static_cast<unsigned>(
-        std::min<std::size_t>(lanes, trials - first_trial));
-    const std::uint64_t active = lane_mask_for(in_group);
-    const std::vector<Instruction>& stream = streams[w];
-
-    const MaskGenerator gen(inject_sites, percents[pi], policy,
-                            burst_length);
-    std::vector<Rng> rngs;
-    rngs.reserve(in_group);
-    for (unsigned l = 0; l < in_group; ++l) {
-      rngs.emplace_back(MaskGenerator::trial_seed(
-          seed, alu_hash, percents[pi], w, first_trial + l));
-    }
-
-    obs::Counters* oc = anatomy != nullptr ? &per_group[item] : nullptr;
-    BatchBitVec mask(total_sites);
-    BatchAluOutput out;
-    ModuleStats stats;
-    if (oc != nullptr) {
-      stats.obs = oc;
-      stats.lut.obs = oc;
-    }
-    std::uint32_t incorrect[kMaxBatchLanes] = {};
-    for (const Instruction& ins : stream) {
-      mask.clear_all();
-      for (unsigned l = 0; l < in_group; ++l) {
-        gen.generate(rngs[l], mask, l);
-      }
-      if (oc != nullptr) {
-        oc->injection.masks_generated += in_group;
-        std::uint64_t flipped = 0;
-        for (std::size_t s = 0; s < inject_sites; ++s) {
-          flipped += static_cast<std::uint64_t>(
-              std::popcount(mask.word(s) & active));
-        }
-        oc->injection.faults_injected += flipped;
-      }
-      batch->compute(ins.op, ins.a, ins.b, &mask, active, out, &stats);
-      std::uint64_t wrong = 0;
-      for (unsigned bit = 0; bit < 8; ++bit) {
-        wrong |= out.value[bit] ^ lane_broadcast((ins.golden >> bit) & 1u);
-      }
-      for (std::uint64_t rest = wrong & active; rest != 0;
-           rest &= rest - 1) {
-        ++incorrect[std::countr_zero(rest)];
-      }
-      if (oc != nullptr) {
-        // Lane-sliced version of run_trial's end-to-end classification.
-        auto& e = oc->end_to_end;
-        const std::uint64_t flagged = out.disagreement | ~out.valid;
-        e.instructions += in_group;
-        e.caught_errors += static_cast<std::uint64_t>(
-            std::popcount(wrong & flagged & active));
-        e.silent_corruptions += static_cast<std::uint64_t>(
-            std::popcount(wrong & ~flagged & active));
-        e.false_alarms += static_cast<std::uint64_t>(
-            std::popcount(~wrong & flagged & active));
-        e.correct += static_cast<std::uint64_t>(
-            std::popcount(~wrong & ~flagged & active));
-      }
-    }
-    const std::size_t base = cell * trials + first_trial;
-    for (unsigned l = 0; l < in_group; ++l) {
-      // Same arithmetic as run_trial's percent_correct, so the doubles
-      // match bit for bit.
-      samples[base + l] =
-          stream.empty()
-              ? 100.0
-              : 100.0 *
-                    static_cast<double>(stream.size() - incorrect[l]) /
-                    static_cast<double>(stream.size());
-    }
-  };
-
-  if (resolve_threads(par.threads) <= 1 || total_groups <= 1) {
-    for (std::size_t i = 0; i < total_groups; ++i) {
-      run_group(i);
-    }
-  } else {
-    ThreadPool pool(par.threads);
-    pool.parallel_for(total_groups, par.chunking, run_group);
-  }
-  if (anatomy != nullptr) {
-    anatomy->assign(percents.size(), obs::Counters{});
-    const std::size_t groups_per_percent = workloads * groups_per_cell;
-    for (std::size_t i = 0; i < total_groups; ++i) {
-      (*anatomy)[i / groups_per_percent] += per_group[i];
-    }
-  }
-  return samples;
-}
-
-// Folds one percent's samples into a DataPoint in fixed (workload-major)
-// order, keeping the floating-point accumulation identical to the serial
-// path regardless of which threads produced the samples.
-DataPoint fold_point(const IAlu& alu, double fault_percent,
-                     const double* samples, std::size_t count) {
-  RunningStats stats;
-  for (std::size_t i = 0; i < count; ++i) {
-    stats.add(samples[i]);
-  }
-  DataPoint p;
-  p.alu = std::string(alu.name());
-  p.fault_percent = fault_percent;
-  p.mean_percent_correct = stats.mean();
-  p.stddev = stats.stddev();
-  p.ci95 = ci95_half_width(stats.stddev(), stats.count());
-  p.samples = stats.count();
-  return p;
-}
-
-// Engine dispatch: batch_lanes >= 1 selects the bit-parallel grid.
-std::vector<double> run_grid(
-    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
-    const std::vector<double>& percents, int trials_per_workload,
-    std::uint64_t seed, FaultCountPolicy policy, InjectionScope scope,
-    std::size_t datapath_sites, std::size_t burst_length,
-    const ParallelConfig& par,
-    std::vector<obs::Counters>* anatomy = nullptr) {
-  if (par.batch_lanes >= 1) {
-    return run_batched_grid(alu, streams, percents, trials_per_workload,
-                            seed, policy, scope, datapath_sites,
-                            burst_length, par, anatomy);
-  }
-  return run_trial_grid(alu, streams, percents, trials_per_workload, seed,
-                        policy, scope, datapath_sites, burst_length, par,
-                        anatomy);
+SweepSpec make_spec(std::vector<double> percents, int trials_per_workload,
+                    std::uint64_t seed, FaultCountPolicy policy,
+                    InjectionScope scope, std::size_t datapath_sites,
+                    std::size_t burst_length) {
+  SweepSpec spec;
+  spec.percents = std::move(percents);
+  spec.trials_per_workload = trials_per_workload;
+  spec.seed = seed;
+  spec.policy = policy;
+  spec.scope = scope;
+  spec.datapath_sites = datapath_sites;
+  spec.burst_length = burst_length;
+  return spec;
 }
 
 }  // namespace
@@ -337,10 +34,10 @@ DataPoint run_data_point(
     FaultCountPolicy policy, InjectionScope scope,
     std::size_t datapath_sites, std::size_t burst_length,
     const ParallelConfig& par) {
-  const std::vector<double> samples =
-      run_grid(alu, streams, {fault_percent}, trials_per_workload, seed,
-               policy, scope, datapath_sites, burst_length, par);
-  return fold_point(alu, fault_percent, samples.data(), samples.size());
+  return TrialEngine(par).point(
+      alu, streams,
+      make_spec({fault_percent}, trials_per_workload, seed, policy, scope,
+                datapath_sites, burst_length));
 }
 
 DataPoint run_data_point_batched(
@@ -353,9 +50,10 @@ DataPoint run_data_point_batched(
   if (batched.batch_lanes == 0) {
     batched.batch_lanes = kMaxBatchLanes;
   }
-  return run_data_point(alu, streams, fault_percent, trials_per_workload,
-                        seed, policy, scope, datapath_sites, burst_length,
-                        batched);
+  return TrialEngine(batched).point(
+      alu, streams,
+      make_spec({fault_percent}, trials_per_workload, seed, policy, scope,
+                datapath_sites, burst_length));
 }
 
 std::vector<DataPoint> run_sweep(
@@ -363,24 +61,10 @@ std::vector<DataPoint> run_sweep(
     const std::vector<double>& percents, int trials_per_workload,
     std::uint64_t seed, FaultCountPolicy policy, InjectionScope scope,
     std::size_t datapath_sites, const ParallelConfig& par) {
-  // One flat grid over every (percent, workload, trial) cell: a sweep
-  // parallelizes across its whole trial population, not point by point.
-  const std::vector<double> samples =
-      run_grid(alu, streams, percents, trials_per_workload, seed, policy,
-               scope, datapath_sites, /*burst_length=*/1, par);
-  const std::size_t st_fold =
-      par.profiler != nullptr ? par.profiler->stage_index("fold") : 0;
-  const obs::ScopedTimer timer(par.profiler, st_fold);
-  const std::size_t per_percent =
-      streams.size() * static_cast<std::size_t>(trials_per_workload);
-  std::vector<DataPoint> points;
-  points.reserve(percents.size());
-  for (std::size_t pi = 0; pi < percents.size(); ++pi) {
-    points.push_back(fold_point(alu, percents[pi],
-                                samples.data() + pi * per_percent,
-                                per_percent));
-  }
-  return points;
+  return TrialEngine(par).sweep(
+      alu, streams,
+      make_spec(percents, trials_per_workload, seed, policy, scope,
+                datapath_sites, /*burst_length=*/1));
 }
 
 SweepAnatomy run_sweep_anatomy(
@@ -388,23 +72,10 @@ SweepAnatomy run_sweep_anatomy(
     const std::vector<double>& percents, int trials_per_workload,
     std::uint64_t seed, FaultCountPolicy policy, InjectionScope scope,
     std::size_t datapath_sites, const ParallelConfig& par) {
-  SweepAnatomy result;
-  const std::vector<double> samples =
-      run_grid(alu, streams, percents, trials_per_workload, seed, policy,
-               scope, datapath_sites, /*burst_length=*/1, par,
-               &result.metrics);
-  const std::size_t st_fold =
-      par.profiler != nullptr ? par.profiler->stage_index("fold") : 0;
-  const obs::ScopedTimer timer(par.profiler, st_fold);
-  const std::size_t per_percent =
-      streams.size() * static_cast<std::size_t>(trials_per_workload);
-  result.points.reserve(percents.size());
-  for (std::size_t pi = 0; pi < percents.size(); ++pi) {
-    result.points.push_back(fold_point(alu, percents[pi],
-                                       samples.data() + pi * per_percent,
-                                       per_percent));
-  }
-  return result;
+  return TrialEngine(par).sweep_anatomy(
+      alu, streams,
+      make_spec(percents, trials_per_workload, seed, policy, scope,
+                datapath_sites, /*burst_length=*/1));
 }
 
 AnatomyPoint run_data_point_anatomy(
@@ -413,16 +84,10 @@ AnatomyPoint run_data_point_anatomy(
     FaultCountPolicy policy, InjectionScope scope,
     std::size_t datapath_sites, std::size_t burst_length,
     const ParallelConfig& par) {
-  std::vector<obs::Counters> metrics;
-  const std::vector<double> samples =
-      run_grid(alu, streams, {fault_percent}, trials_per_workload, seed,
-               policy, scope, datapath_sites, burst_length, par, &metrics);
-  AnatomyPoint out;
-  out.point = fold_point(alu, fault_percent, samples.data(), samples.size());
-  if (!metrics.empty()) {
-    out.counters = metrics.front();
-  }
-  return out;
+  return TrialEngine(par).point_anatomy(
+      alu, streams,
+      make_spec({fault_percent}, trials_per_workload, seed, policy, scope,
+                datapath_sites, burst_length));
 }
 
 TrialResult run_defect_trial(const IAlu& alu,
@@ -475,15 +140,6 @@ DataPoint run_defect_point(
   p.ci95 = ci95_half_width(stats.stddev(), stats.count());
   p.samples = stats.count();
   return p;
-}
-
-std::vector<std::vector<Instruction>> paper_streams(std::uint64_t seed) {
-  const Bitmap image = Bitmap::paper_test_image(seed);
-  std::vector<std::vector<Instruction>> streams;
-  for (const PixelOp& op : paper_workloads()) {
-    streams.push_back(make_stream(image, op));
-  }
-  return streams;
 }
 
 }  // namespace nbx

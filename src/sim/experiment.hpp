@@ -6,110 +6,52 @@
 // One *data point* (a marker in Figures 7-9) averages five trials of each
 // of the two workloads (ten samples). A *sweep* evaluates an ALU at the
 // paper's eighteen fault percentages.
+//
+// The execution core lives in sim/trial_engine.hpp (TrialEngine); the
+// run_data_point*/run_sweep* free functions below are source-compat
+// shims that forward to an engine built from their arguments. They are
+// deprecated: new call sites should construct a TrialEngine (and a
+// SweepSpec) directly —
+//
+//   TrialEngine engine(par);
+//   auto points = engine.sweep(alu, streams,
+//                              {.percents = percents,
+//                               .trials_per_workload = trials,
+//                               .seed = seed});
+//
+// which gives sweeps and points the full composition (threads x lanes x
+// anatomy x profiler x progress) without a per-variant entry point.
+// Defining NBX_ALLOW_ENGINE_SHIMS before including this header (done by
+// the shim TU and the differential tests) suppresses the deprecation.
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <vector>
+#include "sim/trial_engine.hpp"
 
-#include "alu/alu_iface.hpp"
-#include "common/stats.hpp"
-#include "fault/mask_generator.hpp"
-#include "obs/counters.hpp"
-#include "obs/profiler.hpp"
-#include "workload/instruction_stream.hpp"
+#if defined(NBX_ALLOW_ENGINE_SHIMS)
+#define NBX_ENGINE_SHIM
+#else
+#define NBX_ENGINE_SHIM                                                     \
+  [[deprecated("forwarding shim: use nbx::TrialEngine "                     \
+               "(sim/trial_engine.hpp) instead")]]
+#endif
 
 namespace nbx {
 
-/// What portion of an ALU's site space receives injected faults.
-/// kDatapathOnly is an ablation (not in the paper): the module voter and
-/// any storage bits are kept fault-free to isolate their contribution.
-enum class InjectionScope : std::uint8_t { kAll, kDatapathOnly };
-
-/// Parameters of a single-ALU experiment trial set.
-struct TrialConfig {
-  double fault_percent = 0.0;
-  FaultCountPolicy policy = FaultCountPolicy::kRoundNearest;
-  std::size_t burst_length = 1;  ///< used by FaultCountPolicy::kBurst
-  InjectionScope scope = InjectionScope::kAll;
-  /// Sites eligible for injection when scope == kDatapathOnly (leading
-  /// segment of the mask). Ignored for kAll.
-  std::size_t datapath_sites = 0;
-};
-
-/// Result of one trial (one workload, one pass over its instructions).
-struct TrialResult {
-  double percent_correct = 0.0;
-  std::size_t instructions = 0;
-  std::size_t incorrect = 0;
-  ModuleStats stats;
-};
-
-/// Runs one workload through `alu` once, a fresh fault mask per
-/// instruction, and scores correctness against the precomputed goldens.
-/// With `anatomy` non-null, the trial additionally tallies the full
-/// fault anatomy (injection volume, per-code decode outcomes, module
-/// votes, end-to-end silent/caught classification) into it. Accounting
-/// is passive — it draws nothing from `rng` and never changes the
-/// simulated outcome, so attaching a sink cannot move any golden.
-TrialResult run_trial(const IAlu& alu,
-                      const std::vector<Instruction>& stream,
-                      const TrialConfig& cfg, Rng& rng,
-                      obs::Counters* anatomy = nullptr);
-
-/// How run_data_point / run_sweep fan trials out across worker threads.
-/// Per-trial RNG seeds are derived counter-style from (seed, ALU-name
-/// hash, fault percent, workload index, trial index) — see
-/// MaskGenerator::trial_seed — and samples are folded into statistics in
-/// a fixed order, so results are bit-identical for every `threads`
-/// value and every scheduling.
-struct ParallelConfig {
-  unsigned threads = 1;   ///< total worker threads; 1 = serial, 0 = all
-                          ///< hardware threads
-  std::size_t chunking = 0;  ///< trials per work unit; 0 = auto
-  /// Trials packed per bit-parallel batch (see alu/batch_alu.hpp):
-  /// 0 = scalar engine (default); 1..64 = batched engine with that many
-  /// lanes per group. Any value yields bit-identical results — lanes
-  /// reuse the scalar per-trial seeds verbatim — so this is purely a
-  /// throughput knob. Composes with `threads`: the work unit becomes a
-  /// lane group instead of a single trial.
-  unsigned batch_lanes = 0;
-  /// Optional stage profiler (not owned): when set, the engine times
-  /// each work item under the "trial" (scalar) or "lane_group"
-  /// (batched) stage and the statistics fold under "fold". Wall-clock
-  /// only; never affects results.
-  obs::Profiler* profiler = nullptr;
-};
-
-/// One plotted point: an ALU at one fault percentage, averaged over
-/// `trials_per_workload` trials of each workload.
-struct DataPoint {
-  std::string alu;
-  double fault_percent = 0.0;
-  double mean_percent_correct = 0.0;
-  double stddev = 0.0;
-  double ci95 = 0.0;  ///< 95% CI half-width on the mean (Student's t)
-  std::size_t samples = 0;
-};
-
 /// Computes one data point the paper's way: for each workload, run
 /// `trials_per_workload` independently seeded trials; average all samples.
-DataPoint run_data_point(const IAlu& alu,
-                         const std::vector<std::vector<Instruction>>& streams,
-                         double fault_percent, int trials_per_workload,
-                         std::uint64_t seed,
-                         FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
-                         InjectionScope scope = InjectionScope::kAll,
-                         std::size_t datapath_sites = 0,
-                         std::size_t burst_length = 1,
-                         const ParallelConfig& par = {});
+NBX_ENGINE_SHIM DataPoint run_data_point(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    double fault_percent, int trials_per_workload, std::uint64_t seed,
+    FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
+    InjectionScope scope = InjectionScope::kAll,
+    std::size_t datapath_sites = 0, std::size_t burst_length = 1,
+    const ParallelConfig& par = {});
 
 /// run_data_point via the bit-parallel batched engine: identical
 /// signature and bit-identical output, with trials packed 64 (or
-/// par.batch_lanes, if nonzero) to a lane group. Provided as an explicit
-/// entry point for benches and differential tests; run_data_point itself
+/// par.batch_lanes, if nonzero) to a lane group. run_data_point itself
 /// also takes the batched path whenever par.batch_lanes >= 1.
-DataPoint run_data_point_batched(
+NBX_ENGINE_SHIM DataPoint run_data_point_batched(
     const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
     double fault_percent, int trials_per_workload, std::uint64_t seed,
     FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
@@ -120,7 +62,7 @@ DataPoint run_data_point_batched(
 /// A full sweep of one ALU across fault percentages. With par.threads
 /// != 1 every (percent, workload, trial) cell of the sweep runs
 /// concurrently; the output is bit-identical to the serial path.
-std::vector<DataPoint> run_sweep(
+NBX_ENGINE_SHIM std::vector<DataPoint> run_sweep(
     const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
     const std::vector<double>& percents, int trials_per_workload,
     std::uint64_t seed,
@@ -128,20 +70,13 @@ std::vector<DataPoint> run_sweep(
     InjectionScope scope = InjectionScope::kAll,
     std::size_t datapath_sites = 0,
     const ParallelConfig& par = {});
-
-/// A sweep plus its fault anatomy: metrics[i] aggregates the counters
-/// of every trial behind points[i] (same index, same fault percent).
-struct SweepAnatomy {
-  std::vector<DataPoint> points;
-  std::vector<obs::Counters> metrics;
-};
 
 /// run_sweep with the anatomy sink attached to every trial. The points
 /// are bit-identical to run_sweep's (accounting is passive), and the
 /// counters themselves are bit-identical across threads and batch_lanes:
 /// they are pure integer sums over a fixed trial population, merged in
 /// deterministic per-percent order.
-SweepAnatomy run_sweep_anatomy(
+NBX_ENGINE_SHIM SweepAnatomy run_sweep_anatomy(
     const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
     const std::vector<double>& percents, int trials_per_workload,
     std::uint64_t seed,
@@ -150,24 +85,15 @@ SweepAnatomy run_sweep_anatomy(
     std::size_t datapath_sites = 0,
     const ParallelConfig& par = {});
 
-/// One data point plus its aggregated fault anatomy.
-struct AnatomyPoint {
-  DataPoint point;
-  obs::Counters counters;
-};
-
 /// run_data_point with the anatomy sink attached (same determinism
 /// contract as run_sweep_anatomy).
-AnatomyPoint run_data_point_anatomy(
+NBX_ENGINE_SHIM AnatomyPoint run_data_point_anatomy(
     const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
     double fault_percent, int trials_per_workload, std::uint64_t seed,
     FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
     InjectionScope scope = InjectionScope::kAll,
     std::size_t datapath_sites = 0, std::size_t burst_length = 1,
     const ParallelConfig& par = {});
-
-/// The paper's two workload streams over the standard 64-pixel image.
-std::vector<std::vector<Instruction>> paper_streams(std::uint64_t seed = 42);
 
 // ---------------------------------------------------------------------
 // Manufacturing-defect experiments (extension; the paper motivates
@@ -200,3 +126,5 @@ DataPoint run_defect_point(const IAlu& alu,
                            std::uint64_t seed);
 
 }  // namespace nbx
+
+#undef NBX_ENGINE_SHIM

@@ -42,28 +42,20 @@ FigureResult run_figure(const FigureSpec& spec,
   fig.spec = spec;
   fig.percents = percents;
   const auto streams = paper_streams(seed);
+  TrialEngine engine(par);
+  if (on_point) {
+    // The engine chunks the sweep per percent and ticks in between;
+    // identical numbers — per-trial seeds hash the percent's value, not
+    // its position in the sweep.
+    engine.set_on_point(on_point);
+  }
+  SweepSpec sweep;
+  sweep.percents = percents;
+  sweep.trials_per_workload = trials_per_workload;
+  sweep.seed = seed;
   for (const std::string& name : spec.alus) {
     const auto alu = make_alu(name);
-    if (!on_point) {
-      fig.series.push_back(run_sweep(*alu, streams, percents,
-                                     trials_per_workload, seed,
-                                     FaultCountPolicy::kRoundNearest,
-                                     InjectionScope::kAll, 0, par));
-      continue;
-    }
-    // Progress wanted: run one percent at a time and tick in between.
-    // Identical numbers — per-trial seeds hash the percent's value, not
-    // its position in the sweep.
-    std::vector<DataPoint> series;
-    series.reserve(percents.size());
-    for (const double pct : percents) {
-      auto one = run_sweep(*alu, streams, {pct}, trials_per_workload, seed,
-                           FaultCountPolicy::kRoundNearest,
-                           InjectionScope::kAll, 0, par);
-      series.push_back(std::move(one.front()));
-      on_point();
-    }
-    fig.series.push_back(std::move(series));
+    fig.series.push_back(engine.sweep(*alu, streams, sweep));
   }
   return fig;
 }

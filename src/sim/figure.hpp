@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "alu/module_alu.hpp"
-#include "sim/experiment.hpp"
+#include "sim/trial_engine.hpp"
 
 namespace nbx {
 

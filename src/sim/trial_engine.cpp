@@ -1,0 +1,431 @@
+#include "sim/trial_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "alu/batch_alu.hpp"
+#include "common/batch_bitvec.hpp"
+#include "workload/image_ops.hpp"
+
+namespace nbx {
+
+TrialResult run_trial(const IAlu& alu,
+                      const std::vector<Instruction>& stream,
+                      const TrialConfig& cfg, Rng& rng,
+                      obs::Counters* anatomy) {
+  const std::size_t total_sites = alu.fault_sites();
+  const std::size_t inject_sites = cfg.scope == InjectionScope::kDatapathOnly
+                                       ? cfg.datapath_sites
+                                       : total_sites;
+  assert(inject_sites <= total_sites);
+  // The fault *fraction* applies to the eligible sites; for the paper's
+  // kAll scope this is exactly "a given fraction of the fault injection
+  // points" (§4).
+  const MaskGenerator gen(inject_sites, cfg.fault_percent, cfg.policy,
+                          cfg.burst_length);
+
+  BitVec mask(total_sites);
+  BitVec scratch(inject_sites);
+  TrialResult res;
+  res.instructions = stream.size();
+  if (anatomy != nullptr) {
+    // One sink serves both levels: the module wrapper / voter hooks and
+    // the coded-LUT decode hooks beneath them.
+    res.stats.obs = anatomy;
+    res.stats.lut.obs = anatomy;
+  }
+  for (const Instruction& ins : stream) {
+    // "After each ALU computation, we generate a new fault mask" (§4).
+    if (inject_sites == total_sites) {
+      gen.generate(rng, mask);
+    } else {
+      gen.generate(rng, scratch);
+      mask.clear_all();
+      for (std::size_t i = 0; i < inject_sites; ++i) {
+        if (scratch.get(i)) {
+          mask.set(i, true);
+        }
+      }
+    }
+    if (anatomy != nullptr) {
+      ++anatomy->injection.masks_generated;
+      // Floyd's sampling sets exactly faults_per_computation() bits for
+      // the counting policies; only Bernoulli (per-site coin flips) and
+      // burst (edge truncation, overlapping strikes) need the real
+      // popcount. Skipping it keeps the sink's hot-loop cost flat.
+      anatomy->injection.faults_injected +=
+          (cfg.policy == FaultCountPolicy::kRoundNearest ||
+           cfg.policy == FaultCountPolicy::kFloor)
+              ? gen.faults_per_computation()
+              : mask.popcount();
+    }
+    const AluOutput out = alu.compute(ins.op, ins.a, ins.b,
+                                      MaskView(mask, 0, total_sites),
+                                      &res.stats);
+    const bool wrong = out.value != ins.golden;
+    if (wrong) {
+      ++res.incorrect;
+    }
+    if (anatomy != nullptr) {
+      auto& e = anatomy->end_to_end;
+      ++e.instructions;
+      const bool flagged = out.disagreement || !out.valid;
+      if (wrong) {
+        ++(flagged ? e.caught_errors : e.silent_corruptions);
+      } else {
+        ++(flagged ? e.false_alarms : e.correct);
+      }
+    }
+  }
+  res.percent_correct =
+      stream.empty()
+          ? 100.0
+          : 100.0 * static_cast<double>(stream.size() - res.incorrect) /
+                static_cast<double>(stream.size());
+  return res;
+}
+
+namespace {
+
+inline std::uint64_t popcnt(std::uint64_t w) {
+  return static_cast<std::uint64_t>(std::popcount(w));
+}
+
+// The scalar sweep backend: one item = one (percent, workload, trial)
+// cell of the grid, indexed [percent][workload][trial] flattened. Every
+// cell's RNG seed is a pure function of its coordinates
+// (MaskGenerator::trial_seed) and every cell writes its own sample /
+// counter slot, so the output is bit-identical for any thread count or
+// schedule.
+struct ScalarSweepBackend {
+  const IAlu& alu;
+  const std::vector<std::vector<Instruction>>& streams;
+  const SweepSpec& spec;
+  std::uint64_t alu_hash;
+  std::size_t trials;
+  std::size_t per_percent;
+  std::vector<double>& samples;
+  std::vector<obs::Counters>* per_item;  ///< null = no anatomy
+
+  [[nodiscard]] std::size_t item_count() const { return samples.size(); }
+  [[nodiscard]] std::string_view stage() const { return "trial"; }
+
+  void run_item(std::size_t i) const {
+    const std::size_t pi = i / per_percent;
+    const std::size_t w = (i % per_percent) / trials;
+    const std::size_t t = i % trials;
+    TrialConfig cfg;
+    cfg.fault_percent = spec.percents[pi];
+    cfg.policy = spec.policy;
+    cfg.burst_length = spec.burst_length;
+    cfg.scope = spec.scope;
+    cfg.datapath_sites = spec.datapath_sites;
+    Rng rng(MaskGenerator::trial_seed(spec.seed, alu_hash,
+                                      spec.percents[pi], w, t));
+    samples[i] =
+        run_trial(alu, streams[w], cfg, rng,
+                  per_item != nullptr ? &(*per_item)[i] : nullptr)
+            .percent_correct;
+  }
+};
+
+// The bit-parallel sweep backend: one item = one *lane group* — up to
+// batch_lanes trials of one (percent, workload) cell packed into the
+// lanes of one BatchBitVec. Every lane keeps its own Rng seeded with the
+// exact scalar trial seed and the shared mask-generation core consumes
+// it draw-for-draw like the scalar path, so each lane regenerates its
+// trial's mask stream verbatim; the batched ALU then computes all lanes
+// at once. Same sample vector, same flat [percent][workload][trial]
+// order, bit-identical values.
+struct BatchedSweepBackend {
+  const IAlu& alu;
+  const BatchAlu& batch;
+  const std::vector<std::vector<Instruction>>& streams;
+  const SweepSpec& spec;
+  std::uint64_t alu_hash;
+  std::size_t trials;
+  unsigned lanes;
+  std::size_t groups_per_cell;
+  std::size_t total_groups;
+  std::size_t total_sites;
+  std::size_t inject_sites;
+  std::vector<double>& samples;
+  std::vector<obs::Counters>* per_group;  ///< null = no anatomy
+
+  [[nodiscard]] std::size_t item_count() const { return total_groups; }
+  [[nodiscard]] std::string_view stage() const { return "lane_group"; }
+
+  void run_item(std::size_t item) const {
+    const std::size_t workloads = streams.size();
+    const std::size_t cell = item / groups_per_cell;
+    const std::size_t group = item % groups_per_cell;
+    const std::size_t pi = cell / workloads;
+    const std::size_t w = cell % workloads;
+    const std::size_t first_trial = group * lanes;
+    const auto in_group = static_cast<unsigned>(
+        std::min<std::size_t>(lanes, trials - first_trial));
+    const std::uint64_t active = lane_mask_for(in_group);
+    const std::vector<Instruction>& stream = streams[w];
+
+    const MaskGenerator gen(inject_sites, spec.percents[pi], spec.policy,
+                            spec.burst_length);
+    std::vector<Rng> rngs;
+    rngs.reserve(in_group);
+    for (unsigned l = 0; l < in_group; ++l) {
+      rngs.emplace_back(MaskGenerator::trial_seed(
+          spec.seed, alu_hash, spec.percents[pi], w, first_trial + l));
+    }
+
+    obs::Counters* oc =
+        per_group != nullptr ? &(*per_group)[item] : nullptr;
+    BatchBitVec mask(total_sites);
+    BatchAluOutput out;
+    ModuleStats stats;
+    if (oc != nullptr) {
+      stats.obs = oc;
+      stats.lut.obs = oc;
+    }
+    std::uint32_t incorrect[kMaxBatchLanes] = {};
+    for (const Instruction& ins : stream) {
+      mask.clear_all();
+      for (unsigned l = 0; l < in_group; ++l) {
+        gen.generate(rngs[l], mask, l);
+      }
+      if (oc != nullptr) {
+        oc->injection.masks_generated += in_group;
+        std::uint64_t flipped = 0;
+        for (std::size_t s = 0; s < inject_sites; ++s) {
+          flipped += popcnt(mask.word(s) & active);
+        }
+        oc->injection.faults_injected += flipped;
+      }
+      batch.compute(ins.op, ins.a, ins.b, &mask, active, out, &stats);
+      std::uint64_t wrong = 0;
+      for (unsigned bit = 0; bit < 8; ++bit) {
+        wrong |= out.value[bit] ^ lane_broadcast((ins.golden >> bit) & 1u);
+      }
+      for (std::uint64_t rest = wrong & active; rest != 0;
+           rest &= rest - 1) {
+        ++incorrect[std::countr_zero(rest)];
+      }
+      if (oc != nullptr) {
+        // Lane-sliced version of run_trial's end-to-end classification.
+        auto& e = oc->end_to_end;
+        const std::uint64_t flagged = out.disagreement | ~out.valid;
+        e.instructions += in_group;
+        e.caught_errors += popcnt(wrong & flagged & active);
+        e.silent_corruptions += popcnt(wrong & ~flagged & active);
+        e.false_alarms += popcnt(~wrong & flagged & active);
+        e.correct += popcnt(~wrong & ~flagged & active);
+      }
+    }
+    const std::size_t base = cell * trials + first_trial;
+    for (unsigned l = 0; l < in_group; ++l) {
+      // Same arithmetic as run_trial's percent_correct, so the doubles
+      // match bit for bit.
+      samples[base + l] =
+          stream.empty()
+              ? 100.0
+              : 100.0 *
+                    static_cast<double>(stream.size() - incorrect[l]) /
+                    static_cast<double>(stream.size());
+    }
+  }
+};
+
+// Runs the grid through whichever sweep backend parallel().batch_lanes
+// selects; returns one percent_correct sample per (percent, workload,
+// trial) cell plus, when `anatomy` is non-null, per-percent counter
+// totals merged in index order after the pool joins. (Merge order is
+// cosmetic — integer sums commute — which is exactly why the totals are
+// bit-identical for every schedule.)
+std::vector<double> run_grid(
+    const TrialEngine& engine, const IAlu& alu,
+    const std::vector<std::vector<Instruction>>& streams,
+    const SweepSpec& spec, std::vector<obs::Counters>* anatomy) {
+  const std::size_t workloads = streams.size();
+  const auto trials = static_cast<std::size_t>(spec.trials_per_workload);
+  const std::size_t per_percent = workloads * trials;
+  const std::uint64_t alu_hash = fnv1a64(alu.name());
+  std::vector<double> samples(spec.percents.size() * per_percent, 0.0);
+
+  if (engine.parallel().batch_lanes == 0) {
+    std::vector<obs::Counters> per_item;
+    if (anatomy != nullptr) {
+      per_item.resize(samples.size());
+    }
+    ScalarSweepBackend backend{
+        alu,     streams,     spec,
+        alu_hash, trials,     per_percent,
+        samples, anatomy != nullptr ? &per_item : nullptr};
+    engine.execute(backend);
+    if (anatomy != nullptr) {
+      anatomy->assign(spec.percents.size(), obs::Counters{});
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        (*anatomy)[i / per_percent] += per_item[i];
+      }
+    }
+    return samples;
+  }
+
+  const unsigned lanes =
+      std::min(std::max(engine.parallel().batch_lanes, 1u), kMaxBatchLanes);
+  const std::size_t groups_per_cell =
+      trials == 0 ? 0 : (trials + lanes - 1) / lanes;
+  const std::size_t cells = spec.percents.size() * workloads;
+  const std::size_t total_groups = cells * groups_per_cell;
+  const std::size_t total_sites = alu.fault_sites();
+  const std::size_t inject_sites = spec.scope == InjectionScope::kDatapathOnly
+                                       ? spec.datapath_sites
+                                       : total_sites;
+  assert(inject_sites <= total_sites);
+
+  // One read-only batched mirror shared by all worker threads
+  // (BatchAlu::compute keeps its scratch on the stack).
+  const std::unique_ptr<BatchAlu> batch = BatchAlu::create(alu);
+  std::vector<obs::Counters> per_group;
+  if (anatomy != nullptr) {
+    per_group.resize(total_groups);
+  }
+  BatchedSweepBackend backend{alu,
+                              *batch,
+                              streams,
+                              spec,
+                              alu_hash,
+                              trials,
+                              lanes,
+                              groups_per_cell,
+                              total_groups,
+                              total_sites,
+                              inject_sites,
+                              samples,
+                              anatomy != nullptr ? &per_group : nullptr};
+  engine.execute(backend);
+  if (anatomy != nullptr) {
+    anatomy->assign(spec.percents.size(), obs::Counters{});
+    const std::size_t groups_per_percent = workloads * groups_per_cell;
+    for (std::size_t i = 0; i < total_groups; ++i) {
+      (*anatomy)[i / groups_per_percent] += per_group[i];
+    }
+  }
+  return samples;
+}
+
+// Folds one percent's samples into a DataPoint in fixed (workload-major)
+// order, keeping the floating-point accumulation identical to the serial
+// path regardless of which threads produced the samples.
+DataPoint fold_point(const IAlu& alu, double fault_percent,
+                     const double* samples, std::size_t count) {
+  RunningStats stats;
+  for (std::size_t i = 0; i < count; ++i) {
+    stats.add(samples[i]);
+  }
+  DataPoint p;
+  p.alu = std::string(alu.name());
+  p.fault_percent = fault_percent;
+  p.mean_percent_correct = stats.mean();
+  p.stddev = stats.stddev();
+  p.ci95 = ci95_half_width(stats.stddev(), stats.count());
+  p.samples = stats.count();
+  return p;
+}
+
+// One engine pass over every percent in the spec: grid + per-percent
+// fold (under the "fold" profiler stage).
+SweepAnatomy run_chunk(const TrialEngine& engine, const IAlu& alu,
+                       const std::vector<std::vector<Instruction>>& streams,
+                       const SweepSpec& spec, bool want_anatomy) {
+  SweepAnatomy result;
+  const std::vector<double> samples = run_grid(
+      engine, alu, streams, spec, want_anatomy ? &result.metrics : nullptr);
+  obs::Profiler* profiler = engine.parallel().profiler;
+  const std::size_t st_fold =
+      profiler != nullptr ? profiler->stage_index("fold") : 0;
+  const obs::ScopedTimer timer(profiler, st_fold);
+  const std::size_t per_percent =
+      streams.size() * static_cast<std::size_t>(spec.trials_per_workload);
+  result.points.reserve(spec.percents.size());
+  for (std::size_t pi = 0; pi < spec.percents.size(); ++pi) {
+    result.points.push_back(fold_point(alu, spec.percents[pi],
+                                       samples.data() + pi * per_percent,
+                                       per_percent));
+  }
+  return result;
+}
+
+}  // namespace
+
+SweepAnatomy TrialEngine::run_spec(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    const SweepSpec& spec, bool want_anatomy) const {
+  if (on_point_ && spec.percents.size() > 1) {
+    // Progress wanted: evaluate one percent at a time and tick in
+    // between. Identical numbers — per-trial seeds hash the percent's
+    // value, not its position in the sweep.
+    SweepAnatomy out;
+    out.points.reserve(spec.percents.size());
+    SweepSpec one = spec;
+    for (const double pct : spec.percents) {
+      one.percents.assign(1, pct);
+      SweepAnatomy r = run_chunk(*this, alu, streams, one, want_anatomy);
+      out.points.push_back(std::move(r.points.front()));
+      if (want_anatomy) {
+        out.metrics.push_back(std::move(r.metrics.front()));
+      }
+      on_point_();
+    }
+    return out;
+  }
+  SweepAnatomy out = run_chunk(*this, alu, streams, spec, want_anatomy);
+  if (on_point_) {
+    for (std::size_t pi = 0; pi < spec.percents.size(); ++pi) {
+      on_point_();
+    }
+  }
+  return out;
+}
+
+std::vector<DataPoint> TrialEngine::sweep(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    const SweepSpec& spec) const {
+  return run_spec(alu, streams, spec, /*want_anatomy=*/false).points;
+}
+
+SweepAnatomy TrialEngine::sweep_anatomy(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    const SweepSpec& spec) const {
+  return run_spec(alu, streams, spec, /*want_anatomy=*/true);
+}
+
+DataPoint TrialEngine::point(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    const SweepSpec& spec) const {
+  assert(spec.percents.size() == 1);
+  return run_spec(alu, streams, spec, /*want_anatomy=*/false)
+      .points.front();
+}
+
+AnatomyPoint TrialEngine::point_anatomy(
+    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
+    const SweepSpec& spec) const {
+  assert(spec.percents.size() == 1);
+  SweepAnatomy sweep = run_spec(alu, streams, spec, /*want_anatomy=*/true);
+  AnatomyPoint out;
+  out.point = std::move(sweep.points.front());
+  if (!sweep.metrics.empty()) {
+    out.counters = sweep.metrics.front();
+  }
+  return out;
+}
+
+std::vector<std::vector<Instruction>> paper_streams(std::uint64_t seed) {
+  const Bitmap image = Bitmap::paper_test_image(seed);
+  std::vector<std::vector<Instruction>> streams;
+  for (const PixelOp& op : paper_workloads()) {
+    streams.push_back(make_stream(image, op));
+  }
+  return streams;
+}
+
+}  // namespace nbx
