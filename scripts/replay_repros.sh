@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# replay_repros.sh — replay every committed nbxcheck counterexample.
+#
+#   replay_repros.sh <nbxcheck-binary> <repro-dir>
+#
+# Exit 0 when the directory holds no *.json files (nothing captured) or
+# when every captured case now passes; nonzero while any committed
+# counterexample still reproduces. This is the `check_replay` ctest
+# entry, and the same command CI runs so a soak failure captured on one
+# machine replays verbatim on another (see docs/TESTING.md).
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <nbxcheck-binary> <repro-dir>" >&2
+  exit 64
+fi
+
+nbxcheck="$1"
+repro_dir="$2"
+
+shopt -s nullglob
+files=("${repro_dir}"/*.json)
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "replay_repros: no repro files in ${repro_dir} — nothing to replay"
+  exit 0
+fi
+
+echo "replay_repros: replaying ${#files[@]} file(s) from ${repro_dir}"
+exec "${nbxcheck}" --replay "${files[@]}"

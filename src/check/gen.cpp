@@ -1,0 +1,33 @@
+#include "check/gen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nbx::check {
+
+std::uint64_t Gen::in_range(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == ~std::uint64_t{0}) {
+    return rng_->next();
+  }
+  return lo + rng_->below(span + 1);
+}
+
+std::size_t Gen::length(std::size_t lo, std::size_t hi) {
+  assert(lo <= hi);
+  const double span = static_cast<double>(hi - lo);
+  const std::size_t ceil_now =
+      lo + static_cast<std::size_t>(std::ceil(span * size()));
+  return static_cast<std::size_t>(in_range(lo, std::max(lo, ceil_now)));
+}
+
+std::vector<std::uint64_t> Gen::distinct_below(std::uint64_t n,
+                                               std::size_t k) {
+  std::vector<std::uint64_t> out = rng_->sample_without_replacement(n, k);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace nbx::check

@@ -1,0 +1,64 @@
+// gen.hpp — seeded, size-driven random case generation.
+//
+// Property tests draw their inputs through a Gen: a thin view over the
+// repo's deterministic Rng plus a *size* in [0, 1] that grows over a run
+// (case 0 is tiny, the last case is as large as the property allows).
+// Early cases exercise degenerate shapes — empty streams, single
+// percents, one-bit words — which both finds boundary bugs first and
+// keeps shrunk counterexamples small.
+//
+// Everything is a pure function of (Rng state, size): re-seeding the Rng
+// with a recorded case seed regenerates the exact case, which is what
+// makes soak failures replayable before shrinking even starts.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace nbx::check {
+
+/// Generation context handed to a property's `generate` function.
+class Gen {
+ public:
+  Gen(Rng& rng, double size) : rng_(&rng), size_(size < 0 ? 0 : size) {}
+
+  [[nodiscard]] Rng& rng() { return *rng_; }
+  /// Case size in [0, 1]; scales collection lengths and value ranges.
+  [[nodiscard]] double size() const { return size_ > 1 ? 1 : size_; }
+
+  /// Uniform in [lo, hi] (inclusive); requires lo <= hi.
+  std::uint64_t in_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform in [0, bound); requires bound >= 1.
+  std::uint64_t below(std::uint64_t bound) { return rng_->below(bound); }
+
+  std::uint64_t u64() { return rng_->next(); }
+  std::uint8_t byte() { return static_cast<std::uint8_t>(rng_->next()); }
+  bool boolean(double p = 0.5) { return rng_->bernoulli(p); }
+
+  /// A size-driven collection length: uniform in [lo, ceil], where the
+  /// ceiling grows linearly with size() from lo to hi. Requires lo <= hi.
+  std::size_t length(std::size_t lo, std::size_t hi);
+
+  /// One element of a non-empty sequence, uniformly.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[below(items.size())];
+  }
+  template <typename T>
+  T pick(std::initializer_list<T> items) {
+    return items.begin()[below(items.size())];
+  }
+
+  /// `k` distinct values from [0, n), ascending. Requires k <= n.
+  std::vector<std::uint64_t> distinct_below(std::uint64_t n, std::size_t k);
+
+ private:
+  Rng* rng_;
+  double size_;
+};
+
+}  // namespace nbx::check

@@ -1,0 +1,357 @@
+#include "check/json_value.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace nbx::check {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<std::uint64_t> JsonValue::as_u64() const {
+  if (kind_ != Kind::kNumber || string_.empty() || string_[0] == '-') {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(string_.c_str(), &end, 10);
+  if (errno != 0 || end != string_.c_str() + string_.size()) {
+    return std::nullopt;  // overflow, or a fractional/exponent lexeme
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<std::int64_t> JsonValue::as_i64() const {
+  if (kind_ != Kind::kNumber || string_.empty()) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(string_.c_str(), &end, 10);
+  if (errno != 0 || end != string_.c_str() + string_.size()) {
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<double> JsonValue::as_double() const {
+  if (kind_ != Kind::kNumber) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(string_.c_str(), &end);
+  if (errno != 0 || end != string_.c_str() + string_.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+/// Recursive-descent parser over the whole document. Depth-limited so a
+/// malicious repro file cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run(std::string* error) {
+    JsonValue v;
+    if (!parse_value(v, 0)) {
+      if (error != nullptr) {
+        *error = "at byte " + std::to_string(pos_) + ": " + reason_;
+      }
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "at byte " + std::to_string(pos_) +
+                 ": trailing characters after document";
+      }
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string reason_;
+
+  bool fail(std::string reason) {
+    if (reason_.empty()) {
+      reason_ = std::move(reason);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool consume(char c) {
+    if (at_end() || text_[pos_] != c) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return fail(std::string("expected '") + std::string(lit) + "'");
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) {
+      return fail("nesting too deep");
+    }
+    skip_ws();
+    if (at_end()) {
+      return fail("unexpected end of input");
+    }
+    switch (peek()) {
+      case 'n':
+        out.kind_ = JsonValue::Kind::kNull;
+        return consume_literal("null");
+      case 't':
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = true;
+        return consume_literal("true");
+      case 'f':
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = false;
+        return consume_literal("false");
+      case '"':
+        out.kind_ = JsonValue::Kind::kString;
+        return parse_string(out.string_);
+      case '[':
+        return parse_array(out, depth);
+      case '{':
+        return parse_object(out, depth);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    out.kind_ = JsonValue::Kind::kArray;
+    consume('[');
+    skip_ws();
+    if (consume(']')) {
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      if (!parse_value(item, depth + 1)) {
+        return false;
+      }
+      out.items_.push_back(std::move(item));
+      skip_ws();
+      if (consume(']')) {
+        return true;
+      }
+      if (!consume(',')) {
+        return fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    out.kind_ = JsonValue::Kind::kObject;
+    consume('{');
+    skip_ws();
+    if (consume('}')) {
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') {
+        return fail("expected object key string");
+      }
+      std::string key;
+      if (!parse_string(key)) {
+        return false;
+      }
+      skip_ws();
+      if (!consume(':')) {
+        return fail("expected ':' after object key");
+      }
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) {
+        return false;
+      }
+      out.members_.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (consume('}')) {
+        return true;
+      }
+      if (!consume(',')) {
+        return fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    consume('"');
+    out.clear();
+    while (true) {
+      if (at_end()) {
+        return fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) {
+        return fail("unterminated escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out += e;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(cp)) {
+            return false;
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (at_end()) {
+        return fail("truncated \\u escape");
+      }
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return fail("bad hex digit in \\u escape");
+      }
+    }
+    return true;
+  }
+
+  // Basic-plane code point to UTF-8 (surrogate pairs are not combined —
+  // repro files are ASCII in practice).
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (consume('-') && at_end()) {
+      return fail("lone '-' is not a number");
+    }
+    if (at_end() || peek() < '0' || peek() > '9') {
+      return fail("expected a value");
+    }
+    if (peek() == '0') {
+      ++pos_;
+      if (!at_end() && peek() >= '0' && peek() <= '9') {
+        return fail("leading zeros are not allowed");
+      }
+    } else {
+      while (!at_end() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+      }
+    }
+    if (consume('.')) {
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail("digits required after decimal point");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+      }
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) {
+        ++pos_;
+      }
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail("digits required in exponent");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+      }
+    }
+    out.kind_ = JsonValue::Kind::kNumber;
+    out.string_ = std::string(text_.substr(start, pos_ - start));
+    return true;
+  }
+};
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text,
+                                          std::string* error) {
+  return JsonParser(text).run(error);
+}
+
+}  // namespace nbx::check

@@ -1,0 +1,85 @@
+// json_value.hpp — a minimal read-side JSON document model.
+//
+// The repo emits JSON everywhere (obs/json, sim/bench_json) but until
+// nbxcheck never had to *read* any: counterexample replay does. A
+// JsonValue is an immutable parsed document; numbers keep their source
+// lexeme so 64-bit seeds survive the trip through a repro file without
+// being squeezed through a double.
+//
+// Deliberately small: no writer (repro serialization hand-rolls its JSON
+// like every other emitter here), no streaming, documents are expected to
+// be the few hundred bytes of a minimized counterexample.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nbx::check {
+
+/// One parsed JSON value. Object member order is preserved (repro files
+/// are written and diffed by humans).
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  /// Returns nullopt on any syntax error; `error`, when non-null,
+  /// receives a byte offset + reason for diagnostics.
+  static std::optional<JsonValue> parse(std::string_view text,
+                                        std::string* error = nullptr);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Value accessors; each requires the matching kind.
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+
+  /// The number's source lexeme, e.g. "13129664871889695161".
+  [[nodiscard]] const std::string& number_lexeme() const { return string_; }
+  /// Number conversions; nullopt when the lexeme does not fit the type
+  /// exactly (u64/i64) or the value is not a number.
+  [[nodiscard]] std::optional<std::uint64_t> as_u64() const;
+  [[nodiscard]] std::optional<std::int64_t> as_i64() const;
+  [[nodiscard]] std::optional<double> as_double() const;
+
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }
+
+  /// Object members in document order.
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  members() const {
+    return members_;
+  }
+  /// First member named `key`, or null when absent / not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string string_;  // string value, or number lexeme
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  friend class JsonParser;
+};
+
+}  // namespace nbx::check

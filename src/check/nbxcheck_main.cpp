@@ -1,0 +1,305 @@
+// nbxcheck_main.cpp — the nbxcheck property-testing front-end.
+//
+// Modes:
+//   nbxcheck                         run every oracle family (smoke depth)
+//   nbxcheck --cases 5000            deeper run, same determinism
+//   nbxcheck --property decode-t-error --seed 7
+//   nbxcheck --soak --seconds 600    rounds of fresh seeds until time is up
+//   nbxcheck --replay file.json...   re-execute serialized counterexamples
+//   nbxcheck --list                  print the family names
+//
+// Exit codes: 0 = all properties held (for --replay: no case still
+// fails), 1 = a property failed (a repro file was written) or a replayed
+// case still reproduces, 2 = usage or file error.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/oracles.hpp"
+#include "check/property.hpp"
+#include "check/repro.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using nbx::CliArgs;
+using nbx::check::CheckConfig;
+using nbx::check::Failure;
+using nbx::check::Property;
+using nbx::check::ReplayOutcome;
+using nbx::check::Repro;
+using nbx::check::RunStats;
+
+void print_usage(std::ostream& os) {
+  os << "usage: nbxcheck [--property NAME] [--cases N] [--seed S]\n"
+        "                [--max-shrink N] [--repro-dir DIR]\n"
+        "       nbxcheck --soak [--seconds N] [flags as above]\n"
+        "       nbxcheck --replay FILE [FILE...]\n"
+        "       nbxcheck --list\n"
+        "\n"
+        "  --property NAME   run one family (see --list); default: all\n"
+        "  --cases N         cases per family; default: per-family smoke "
+        "depth\n"
+        "  --seed S          run seed (default 2026)\n"
+        "  --max-shrink N    shrink step budget per failure (default "
+        "2000)\n"
+        "  --repro-dir DIR   where failures are serialized (default "
+        "check/repro); empty disables\n"
+        "  --soak            repeat with fresh derived seeds until "
+        "--seconds elapse\n"
+        "  --seconds N       soak duration (default 30)\n"
+        "  --replay          re-execute repro files given as positional "
+        "args\n"
+        "  --json            append one machine-readable summary line\n";
+}
+
+std::vector<Property> select_properties(const std::string& only,
+                                        std::string* error) {
+  if (only.empty()) {
+    return nbx::check::oracle_properties();
+  }
+  std::optional<Property> p = nbx::check::oracle_property_by_name(only);
+  if (!p.has_value()) {
+    *error = "unknown property '" + only + "' (see --list)";
+    return {};
+  }
+  std::vector<Property> out;
+  out.push_back(std::move(*p));
+  return out;
+}
+
+struct FamilyReport {
+  std::string property;
+  std::size_t cases = 0;
+  std::size_t shrink_steps = 0;
+  bool failed = false;
+};
+
+/// Runs one family once and prints the human-readable verdict. Returns
+/// the failure, if any (already serialized into repro_dir).
+std::optional<Failure> run_family(const Property& p, const CheckConfig& cfg,
+                                  const std::string& repro_dir,
+                                  FamilyReport* report) {
+  RunStats stats;
+  std::string repro_path;
+  std::optional<Failure> failure =
+      nbx::check::run_with_repro(p, cfg, repro_dir, &repro_path, &stats);
+  report->property = p.name();
+  report->cases = stats.cases;
+  report->shrink_steps = stats.shrink_steps;
+  report->failed = failure.has_value();
+  if (!failure.has_value()) {
+    std::cout << "  ok   " << p.name() << "  (" << stats.cases
+              << " cases, seed " << cfg.seed << ")\n";
+    return std::nullopt;
+  }
+  std::cout << "  FAIL " << p.name() << "  case " << failure->case_index
+            << " (case_seed " << failure->case_seed << ", "
+            << failure->shrink_steps << " shrink steps)\n"
+            << "       " << failure->message << "\n"
+            << "       case: " << failure->case_json << "\n";
+  if (!repro_path.empty()) {
+    std::cout << "       repro written: " << repro_path << "\n"
+              << "       replay with: nbxcheck --replay " << repro_path
+              << "\n";
+  }
+  return failure;
+}
+
+void print_json_summary(const std::vector<FamilyReport>& reports,
+                        std::uint64_t seed, int exit_code) {
+  std::cout << "{\"nbxcheck\": {\"seed\": " << seed
+            << ", \"exit\": " << exit_code << ", \"families\": [";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const FamilyReport& r = reports[i];
+    std::cout << (i == 0 ? "" : ", ") << "{\"property\": \""
+              << nbx::json_escape(r.property) << "\", \"cases\": " << r.cases
+              << ", \"shrink_steps\": " << r.shrink_steps
+              << ", \"failed\": " << (r.failed ? "true" : "false") << "}";
+  }
+  std::cout << "]}}\n";
+}
+
+int run_mode(const std::vector<Property>& properties, const CliArgs& args,
+             std::uint64_t seed, const std::string& repro_dir,
+             bool json_summary) {
+  CheckConfig cfg;
+  cfg.seed = seed;
+  cfg.max_shrink_steps = static_cast<std::size_t>(
+      args.get_int("max-shrink", 2000));
+  const std::int64_t cases = args.get_int("cases", 0);
+  std::vector<FamilyReport> reports;
+  bool any_failed = false;
+  for (const Property& p : properties) {
+    cfg.cases = cases > 0
+                    ? static_cast<std::size_t>(cases)
+                    : nbx::check::default_smoke_cases(p.name());
+    FamilyReport report;
+    any_failed |= run_family(p, cfg, repro_dir, &report).has_value();
+    reports.push_back(report);
+  }
+  const int exit_code = any_failed ? 1 : 0;
+  if (json_summary) {
+    print_json_summary(reports, seed, exit_code);
+  }
+  return exit_code;
+}
+
+int soak_mode(const std::vector<Property>& properties, const CliArgs& args,
+              std::uint64_t base_seed, const std::string& repro_dir,
+              bool json_summary) {
+  const double seconds = args.get_double("seconds", 30.0);
+  CheckConfig cfg;
+  cfg.max_shrink_steps =
+      static_cast<std::size_t>(args.get_int("max-shrink", 2000));
+  const std::int64_t cases = args.get_int("cases", 0);
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  std::vector<FamilyReport> totals;
+  for (const Property& p : properties) {
+    FamilyReport t;
+    t.property = p.name();
+    totals.push_back(t);
+  }
+  std::uint64_t round = 0;
+  bool any_failed = false;
+  while (elapsed() < seconds && !any_failed) {
+    // Every round draws a fresh run seed derived from the base seed, so
+    // a soak covers new ground each round yet any failure's case_seed
+    // still pins the exact case.
+    cfg.seed = nbx::derive_seed({base_seed, 0x736f616bULL /*"soak"*/, round});
+    std::cout << "soak round " << round << " (seed " << cfg.seed << ", "
+              << static_cast<std::uint64_t>(elapsed()) << "s elapsed)\n";
+    for (std::size_t i = 0; i < properties.size(); ++i) {
+      cfg.cases = cases > 0
+                      ? static_cast<std::size_t>(cases)
+                      : nbx::check::default_smoke_cases(
+                            properties[i].name());
+      FamilyReport report;
+      any_failed |=
+          run_family(properties[i], cfg, repro_dir, &report).has_value();
+      totals[i].cases += report.cases;
+      totals[i].shrink_steps += report.shrink_steps;
+      totals[i].failed |= report.failed;
+      if (any_failed) {
+        break;
+      }
+    }
+    ++round;
+  }
+  std::cout << (any_failed ? "soak: FAILED after " : "soak: clean after ")
+            << round << " round(s), "
+            << static_cast<std::uint64_t>(elapsed()) << "s\n";
+  const int exit_code = any_failed ? 1 : 0;
+  if (json_summary) {
+    print_json_summary(totals, base_seed, exit_code);
+  }
+  return exit_code;
+}
+
+int replay_mode(const CliArgs& args) {
+  // CliArgs binds the token after --replay as the flag's value; accept it
+  // as the first file so `--replay a.json b.json` works as expected.
+  std::vector<std::string> files;
+  if (!args.get("replay").empty()) {
+    files.push_back(args.get("replay"));
+  }
+  files.insert(files.end(), args.positional().begin(),
+               args.positional().end());
+  if (files.empty()) {
+    std::cerr << "nbxcheck --replay: no repro files given\n";
+    return 2;
+  }
+  int exit_code = 0;
+  for (const std::string& file : files) {
+    std::string error;
+    std::optional<Repro> repro = nbx::check::load_repro(file, &error);
+    if (!repro.has_value()) {
+      std::cerr << "error: " << error << "\n";
+      exit_code = 2;
+      continue;
+    }
+    std::optional<Property> p =
+        nbx::check::oracle_property_by_name(repro->property);
+    if (!p.has_value()) {
+      std::cerr << "error: " << file << ": no such property '"
+                << repro->property << "'\n";
+      exit_code = 2;
+      continue;
+    }
+    const ReplayOutcome outcome = p->replay(repro->case_value);
+    if (!outcome.loaded) {
+      std::cerr << "error: " << file << ": " << outcome.load_error << "\n";
+      exit_code = 2;
+      continue;
+    }
+    if (outcome.failure.has_value()) {
+      std::cout << "REPRODUCED " << file << " [" << repro->property
+                << "]\n           " << *outcome.failure << "\n";
+      if (exit_code == 0) {
+        exit_code = 1;
+      }
+    } else {
+      std::cout << "pass       " << file << " [" << repro->property
+                << "] — case no longer fails (fixed? delete the file)\n";
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::vector<std::string> known = {
+      "property", "cases",   "seed", "max-shrink", "repro-dir",
+      "soak",     "seconds", "replay", "list",     "json",
+      "help"};
+  const std::vector<std::string> unknown = args.unknown_flags(known);
+  if (!unknown.empty()) {
+    for (const std::string& f : unknown) {
+      std::cerr << "unknown flag: --" << f << "\n";
+    }
+    print_usage(std::cerr);
+    return 2;
+  }
+  if (args.has("help")) {
+    print_usage(std::cout);
+    return 0;
+  }
+  if (args.has("list")) {
+    for (const Property& p : nbx::check::oracle_properties()) {
+      std::cout << p.name() << "\n";
+    }
+    return 0;
+  }
+  if (args.has("replay")) {
+    return replay_mode(args);
+  }
+
+  std::string error;
+  const std::vector<Property> properties =
+      select_properties(args.get("property"), &error);
+  if (properties.empty()) {
+    std::cerr << "error: " << error << "\n";
+    return 2;
+  }
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  const std::string repro_dir =
+      args.has("repro-dir") ? args.get("repro-dir") : "check/repro";
+  const bool json_summary = args.has("json");
+  if (args.has("soak")) {
+    return soak_mode(properties, args, seed, repro_dir, json_summary);
+  }
+  return run_mode(properties, args, seed, repro_dir, json_summary);
+}

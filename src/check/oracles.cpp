@@ -1,0 +1,956 @@
+#include "check/oracles.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#include "alu/alu_factory.hpp"
+#include "alu/cmos_core_alu.hpp"
+#include "coding/hamming.hpp"
+#include "coding/hsiao.hpp"
+#include "coding/majority.hpp"
+#include "coding/reed_solomon.hpp"
+#include "common/bitvec.hpp"
+#include "common/types.hpp"
+#include "fault/mask_generator.hpp"
+#include "lut/coded_lut.hpp"
+#include "lut/truth_table.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "sim/trial_engine.hpp"
+
+namespace nbx::check {
+namespace {
+
+// ---------------------------------------------------------------- shared
+
+/// Full-precision double rendering for failure messages (json_double is
+/// used for the serialized case itself).
+std::string show(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+const JsonValue* require(const JsonValue& doc, const char* key,
+                         JsonValue::Kind kind) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr || v->kind() != kind) {
+    return nullptr;
+  }
+  return v;
+}
+
+/// All case documents carry a "family" tag so a repro file replayed
+/// against the wrong property is rejected at load instead of producing a
+/// confusing verdict.
+bool family_matches(const JsonValue& doc, const char* name) {
+  const JsonValue* fam = require(doc, "family", JsonValue::Kind::kString);
+  return fam != nullptr && fam->as_string() == name;
+}
+
+std::optional<Opcode> opcode_by_name(const std::string& name) {
+  for (Opcode op : kAllOpcodes) {
+    if (opcode_name(op) == name) {
+      return op;
+    }
+  }
+  return std::nullopt;
+}
+
+// ------------------------------------------------- engine-differential
+
+constexpr const char* kEngineName = "engine-differential";
+
+/// Percent pool for generated sweeps: the low-rate half of the paper
+/// sweep. High percentages add runtime without adding scheduling
+/// diversity (the differential contract is about execution paths, not
+/// fault physics).
+const std::vector<double> kPercentPool = {0.0, 0.05, 0.1, 0.5, 1.0,
+                                          2.0, 3.0,  5.0, 10.0};
+
+struct EngineCase {
+  std::string alu;
+  std::vector<double> percents;
+  int trials = 1;
+  std::uint64_t seed = 0;
+  std::string policy = "round";  // round | floor | bernoulli | burst
+  std::size_t burst_length = 1;
+  std::string scope = "all";  // all | datapath
+  std::size_t datapath_sites = 0;
+  unsigned lanes = 2;    // batched-engine lanes for the batched variants
+  unsigned threads = 2;  // pool width for the threaded variants
+};
+
+std::optional<FaultCountPolicy> parse_policy(const std::string& s) {
+  if (s == "round") return FaultCountPolicy::kRoundNearest;
+  if (s == "floor") return FaultCountPolicy::kFloor;
+  if (s == "bernoulli") return FaultCountPolicy::kBernoulli;
+  if (s == "burst") return FaultCountPolicy::kBurst;
+  return std::nullopt;
+}
+
+EngineCase generate_engine_case(Gen& g) {
+  const std::vector<AluSpec>& specs = all_specs();
+  const AluSpec& spec = specs[g.below(specs.size())];
+  EngineCase c;
+  c.alu = spec.name;
+  const std::size_t n_percents = g.length(1, 3);
+  for (std::uint64_t i :
+       g.distinct_below(kPercentPool.size(), n_percents)) {
+    c.percents.push_back(kPercentPool[i]);
+  }
+  c.trials = static_cast<int>(g.in_range(1, 2));
+  c.seed = g.u64();
+  c.policy = g.pick({std::string("round"), std::string("floor"),
+                     std::string("bernoulli"), std::string("burst")});
+  c.burst_length = c.policy == "burst" ? g.in_range(1, 4) : 1;
+  if (g.boolean(0.3)) {
+    c.scope = "datapath";
+    c.datapath_sites = g.in_range(1, spec.expected_sites);
+  }
+  c.lanes = static_cast<unsigned>(g.in_range(1, 64));
+  c.threads = static_cast<unsigned>(g.in_range(2, 4));
+  return c;
+}
+
+std::string engine_case_json(const EngineCase& c) {
+  std::ostringstream os;
+  os << "{\"family\": \"" << kEngineName << "\", \"alu\": \""
+     << json_escape(c.alu) << "\", \"percents\": [";
+  for (std::size_t i = 0; i < c.percents.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << json_double(c.percents[i]);
+  }
+  os << "], \"trials\": " << c.trials << ", \"seed\": " << c.seed
+     << ", \"policy\": \"" << c.policy
+     << "\", \"burst_length\": " << c.burst_length << ", \"scope\": \""
+     << c.scope << "\", \"datapath_sites\": " << c.datapath_sites
+     << ", \"lanes\": " << c.lanes << ", \"threads\": " << c.threads
+     << "}";
+  return os.str();
+}
+
+std::optional<EngineCase> engine_case_from_json(const JsonValue& doc) {
+  if (!family_matches(doc, kEngineName)) {
+    return std::nullopt;
+  }
+  const JsonValue* alu = require(doc, "alu", JsonValue::Kind::kString);
+  const JsonValue* percents =
+      require(doc, "percents", JsonValue::Kind::kArray);
+  const JsonValue* trials = require(doc, "trials", JsonValue::Kind::kNumber);
+  const JsonValue* seed = require(doc, "seed", JsonValue::Kind::kNumber);
+  const JsonValue* policy = require(doc, "policy", JsonValue::Kind::kString);
+  const JsonValue* burst =
+      require(doc, "burst_length", JsonValue::Kind::kNumber);
+  const JsonValue* scope = require(doc, "scope", JsonValue::Kind::kString);
+  const JsonValue* dp =
+      require(doc, "datapath_sites", JsonValue::Kind::kNumber);
+  const JsonValue* lanes = require(doc, "lanes", JsonValue::Kind::kNumber);
+  const JsonValue* threads =
+      require(doc, "threads", JsonValue::Kind::kNumber);
+  if (alu == nullptr || percents == nullptr || trials == nullptr ||
+      seed == nullptr || policy == nullptr || burst == nullptr ||
+      scope == nullptr || dp == nullptr || lanes == nullptr ||
+      threads == nullptr) {
+    return std::nullopt;
+  }
+  EngineCase c;
+  c.alu = alu->as_string();
+  for (const JsonValue& p : percents->items()) {
+    if (!p.is_number()) {
+      return std::nullopt;
+    }
+    c.percents.push_back(p.as_double().value_or(0.0));
+  }
+  c.trials = static_cast<int>(trials->as_i64().value_or(1));
+  c.seed = seed->as_u64().value_or(0);
+  c.policy = policy->as_string();
+  c.burst_length =
+      static_cast<std::size_t>(burst->as_u64().value_or(1));
+  c.scope = scope->as_string();
+  c.datapath_sites = static_cast<std::size_t>(dp->as_u64().value_or(0));
+  c.lanes = static_cast<unsigned>(lanes->as_u64().value_or(1));
+  c.threads = static_cast<unsigned>(threads->as_u64().value_or(2));
+  return c;
+}
+
+std::optional<std::string> compare_points(
+    const std::vector<DataPoint>& base, const std::vector<DataPoint>& got,
+    const char* variant) {
+  auto fail = [&](std::size_t i, const char* field, const std::string& b,
+                  const std::string& g) {
+    std::ostringstream os;
+    os << variant << " diverges from scalar-serial baseline at point " << i
+       << ": " << field << " " << g << " != " << b;
+    return os.str();
+  };
+  if (got.size() != base.size()) {
+    std::ostringstream os;
+    os << variant << " returned " << got.size() << " points, baseline "
+       << base.size();
+    return os.str();
+  }
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const DataPoint& b = base[i];
+    const DataPoint& g = got[i];
+    if (g.alu != b.alu) {
+      return fail(i, "alu", b.alu, g.alu);
+    }
+    if (g.fault_percent != b.fault_percent) {
+      return fail(i, "fault_percent", show(b.fault_percent),
+                  show(g.fault_percent));
+    }
+    if (g.mean_percent_correct != b.mean_percent_correct) {
+      return fail(i, "mean_percent_correct", show(b.mean_percent_correct),
+                  show(g.mean_percent_correct));
+    }
+    if (g.stddev != b.stddev) {
+      return fail(i, "stddev", show(b.stddev), show(g.stddev));
+    }
+    if (g.ci95 != b.ci95) {
+      return fail(i, "ci95", show(b.ci95), show(g.ci95));
+    }
+    if (g.samples != b.samples) {
+      return fail(i, "samples", std::to_string(b.samples),
+                  std::to_string(g.samples));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> run_engine_case(const EngineCase& c) {
+  const std::unique_ptr<IAlu> alu = make_alu(c.alu);
+  if (alu == nullptr) {
+    return "invalid case: unknown alu '" + c.alu + "'";
+  }
+  const std::optional<FaultCountPolicy> policy = parse_policy(c.policy);
+  if (!policy.has_value()) {
+    return "invalid case: unknown policy '" + c.policy + "'";
+  }
+  if (c.scope != "all" && c.scope != "datapath") {
+    return "invalid case: unknown scope '" + c.scope + "'";
+  }
+  if (c.percents.empty() || c.trials < 1 || c.lanes < 1 ||
+      c.burst_length < 1) {
+    return "invalid case: empty percents or non-positive knob";
+  }
+  if (c.scope == "datapath" &&
+      (c.datapath_sites < 1 || c.datapath_sites > alu->fault_sites())) {
+    return "invalid case: datapath_sites out of [1, fault_sites]";
+  }
+
+  SweepSpec spec;
+  spec.percents = c.percents;
+  spec.trials_per_workload = c.trials;
+  spec.seed = c.seed;
+  spec.policy = *policy;
+  spec.burst_length = c.burst_length;
+  spec.scope = c.scope == "datapath" ? InjectionScope::kDatapathOnly
+                                     : InjectionScope::kAll;
+  spec.datapath_sites = c.scope == "datapath" ? c.datapath_sites : 0;
+
+  const std::vector<std::vector<Instruction>> streams =
+      paper_streams(c.seed);
+
+  const auto engine = [](unsigned threads, unsigned lanes) {
+    ParallelConfig par;
+    par.threads = threads;
+    par.batch_lanes = lanes;
+    return TrialEngine(par);
+  };
+
+  // Baseline: scalar trials, serial schedule.
+  const std::vector<DataPoint> base =
+      engine(1, 0).sweep(*alu, streams, spec);
+
+  struct Variant {
+    const char* name;
+    unsigned threads;
+    unsigned lanes;
+  };
+  const Variant variants[] = {
+      {"scalar-threaded", c.threads, 0},
+      {"batched-serial", 1, c.lanes},
+      {"batched-threaded", c.threads, c.lanes},
+  };
+  for (const Variant& v : variants) {
+    if (std::optional<std::string> msg = compare_points(
+            base, engine(v.threads, v.lanes).sweep(*alu, streams, spec),
+            v.name)) {
+      return msg;
+    }
+  }
+
+  // Anatomy variants: points must still match the plain baseline
+  // (accounting is passive), and the counters themselves must be
+  // bit-identical scalar-vs-batched under different schedules.
+  const SweepAnatomy scalar_anatomy =
+      engine(1, 0).sweep_anatomy(*alu, streams, spec);
+  if (std::optional<std::string> msg = compare_points(
+          base, scalar_anatomy.points, "anatomy-scalar-serial")) {
+    return msg;
+  }
+  const SweepAnatomy batched_anatomy =
+      engine(c.threads, c.lanes).sweep_anatomy(*alu, streams, spec);
+  if (std::optional<std::string> msg = compare_points(
+          base, batched_anatomy.points, "anatomy-batched-threaded")) {
+    return msg;
+  }
+  if (scalar_anatomy.metrics.size() != batched_anatomy.metrics.size()) {
+    return "anatomy metrics count differs scalar vs batched";
+  }
+  for (std::size_t i = 0; i < scalar_anatomy.metrics.size(); ++i) {
+    if (!(scalar_anatomy.metrics[i] == batched_anatomy.metrics[i])) {
+      std::ostringstream os;
+      os << "anatomy counters diverge scalar vs batched at percent index "
+         << i << " (" << show(spec.percents[i]) << "%)";
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<EngineCase> shrink_engine_case(const EngineCase& c) {
+  std::vector<EngineCase> out;
+  if (c.percents.size() > 1) {
+    for (std::size_t i = 0; i < c.percents.size(); ++i) {
+      EngineCase s = c;
+      s.percents.erase(s.percents.begin() + static_cast<std::ptrdiff_t>(i));
+      out.push_back(std::move(s));
+    }
+  }
+  if (c.trials > 1) {
+    EngineCase s = c;
+    s.trials = 1;
+    out.push_back(std::move(s));
+  }
+  if (c.policy != "round") {
+    EngineCase s = c;
+    s.policy = "round";
+    s.burst_length = 1;
+    out.push_back(std::move(s));
+  }
+  if (c.scope != "all") {
+    EngineCase s = c;
+    s.scope = "all";
+    s.datapath_sites = 0;
+    out.push_back(std::move(s));
+  }
+  if (c.lanes > 1) {
+    EngineCase s = c;
+    s.lanes = 1;
+    out.push_back(std::move(s));
+  }
+  if (c.threads > 2) {
+    EngineCase s = c;
+    s.threads = 2;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// ------------------------------------------------------- alu-vs-cmos
+
+constexpr const char* kAluName = "alu-vs-cmos";
+
+struct AluInstr {
+  Opcode op = Opcode::kAnd;
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+};
+
+struct AluCase {
+  std::string alu;
+  std::vector<AluInstr> instrs;
+};
+
+/// ALU construction (especially the space-redundant variants) is the
+/// expensive part of an alu-vs-cmos case, and the shrinker re-runs the
+/// same ALU dozens of times — so instances are cached per name.
+const IAlu* cached_alu(const std::string& name) {
+  static std::mutex mu;
+  static std::map<std::string, std::unique_ptr<IAlu>> cache;
+  const std::scoped_lock lock(mu);
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, make_alu(name)).first;
+  }
+  return it->second.get();
+}
+
+AluCase generate_alu_case(Gen& g) {
+  const std::vector<AluSpec>& specs = all_specs();
+  AluCase c;
+  c.alu = specs[g.below(specs.size())].name;
+  const std::size_t n = g.length(1, 32);
+  c.instrs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    AluInstr instr;
+    instr.op = kAllOpcodes[g.below(4)];
+    instr.a = g.byte();
+    instr.b = g.byte();
+    c.instrs.push_back(instr);
+  }
+  return c;
+}
+
+std::optional<std::string> run_alu_case(const AluCase& c) {
+  const IAlu* alu = cached_alu(c.alu);
+  if (alu == nullptr) {
+    return "invalid case: unknown alu '" + c.alu + "'";
+  }
+  static const CmosCoreAlu cmos;
+  for (std::size_t i = 0; i < c.instrs.size(); ++i) {
+    const AluInstr& in = c.instrs[i];
+    const std::uint8_t golden = golden_alu(in.op, in.a, in.b);
+    const std::uint8_t gate = cmos.eval(in.op, in.a, in.b, {}, nullptr);
+    const AluOutput out = alu->compute(in.op, in.a, in.b, {}, nullptr);
+    std::ostringstream os;
+    os << "instr " << i << " (" << opcode_name(in.op) << " "
+       << int{in.a} << ", " << int{in.b} << "): ";
+    if (gate != golden) {
+      os << "cmos netlist " << int{gate} << " != golden_alu "
+         << int{golden};
+      return os.str();
+    }
+    if (out.value != golden) {
+      os << c.alu << " value " << int{out.value} << " != golden_alu "
+         << int{golden} << " under zero faults";
+      return os.str();
+    }
+    if (!out.valid) {
+      os << c.alu << " reported invalid result under zero faults";
+      return os.str();
+    }
+    if (out.disagreement) {
+      os << c.alu << " reported replica disagreement under zero faults";
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::string alu_case_json(const AluCase& c) {
+  std::ostringstream os;
+  os << "{\"family\": \"" << kAluName << "\", \"alu\": \""
+     << json_escape(c.alu) << "\", \"instrs\": [";
+  for (std::size_t i = 0; i < c.instrs.size(); ++i) {
+    const AluInstr& in = c.instrs[i];
+    os << (i == 0 ? "" : ", ") << "[\"" << opcode_name(in.op) << "\", "
+       << int{in.a} << ", " << int{in.b} << "]";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::optional<AluCase> alu_case_from_json(const JsonValue& doc) {
+  if (!family_matches(doc, kAluName)) {
+    return std::nullopt;
+  }
+  const JsonValue* alu = require(doc, "alu", JsonValue::Kind::kString);
+  const JsonValue* instrs = require(doc, "instrs", JsonValue::Kind::kArray);
+  if (alu == nullptr || instrs == nullptr) {
+    return std::nullopt;
+  }
+  AluCase c;
+  c.alu = alu->as_string();
+  for (const JsonValue& triple : instrs->items()) {
+    if (triple.kind() != JsonValue::Kind::kArray ||
+        triple.items().size() != 3) {
+      return std::nullopt;
+    }
+    const std::vector<JsonValue>& t = triple.items();
+    if (!t[0].is_string() || !t[1].is_number() || !t[2].is_number()) {
+      return std::nullopt;
+    }
+    const std::optional<Opcode> op = opcode_by_name(t[0].as_string());
+    const std::optional<std::uint64_t> a = t[1].as_u64();
+    const std::optional<std::uint64_t> b = t[2].as_u64();
+    if (!op.has_value() || !a.has_value() || *a > 255 || !b.has_value() ||
+        *b > 255) {
+      return std::nullopt;
+    }
+    c.instrs.push_back({*op, static_cast<std::uint8_t>(*a),
+                        static_cast<std::uint8_t>(*b)});
+  }
+  return c;
+}
+
+std::vector<AluCase> shrink_alu_case(const AluCase& c) {
+  std::vector<AluCase> out;
+  const std::size_t n = c.instrs.size();
+  // Most aggressive first: halves, then single drops, then operand zeroing.
+  if (n > 1) {
+    AluCase first = c;
+    first.instrs.resize(n / 2);
+    out.push_back(std::move(first));
+    AluCase second = c;
+    second.instrs.erase(second.instrs.begin(),
+                        second.instrs.begin() +
+                            static_cast<std::ptrdiff_t>(n / 2));
+    out.push_back(std::move(second));
+    for (std::size_t i = 0; i < n; ++i) {
+      AluCase s = c;
+      s.instrs.erase(s.instrs.begin() + static_cast<std::ptrdiff_t>(i));
+      out.push_back(std::move(s));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (c.instrs[i].a != 0) {
+      AluCase s = c;
+      s.instrs[i].a = 0;
+      out.push_back(std::move(s));
+    }
+    if (c.instrs[i].b != 0) {
+      AluCase s = c;
+      s.instrs[i].b = 0;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------- decode-t-error
+
+constexpr const char* kDecodeName = "decode-t-error";
+
+/// For the three information codes, `data_bits` is the word width and
+/// `flips` are stored-bit positions in [data | checks] order. For the
+/// TMR layouts, `data_bits` is the (power-of-two) table size and `flips`
+/// index the triplicated store: kTmr keeps the copies as three blocks
+/// (entry = pos % n), kTmrInterleaved keeps the three copies of each
+/// entry adjacent (entry = pos / 3).
+struct DecodeCase {
+  std::string code;  // hamming | hsiao | rs | tmr | tmr-interleaved
+  std::size_t data_bits = 1;
+  std::string data;  // MSB-first bit string, length data_bits
+  std::vector<std::size_t> flips;
+};
+
+const char* hamming_status_name(HammingStatus s) {
+  switch (s) {
+    case HammingStatus::kNoError:
+      return "kNoError";
+    case HammingStatus::kCorrected:
+      return "kCorrected";
+    case HammingStatus::kUncorrectable:
+      return "kUncorrectable";
+  }
+  return "?";
+}
+
+const char* hsiao_status_name(HsiaoStatus s) {
+  switch (s) {
+    case HsiaoStatus::kNoError:
+      return "kNoError";
+    case HsiaoStatus::kCorrected:
+      return "kCorrected";
+    case HsiaoStatus::kDoubleDetected:
+      return "kDoubleDetected";
+    case HsiaoStatus::kUncorrectable:
+      return "kUncorrectable";
+  }
+  return "?";
+}
+
+const char* rs_status_name(RsStatus s) {
+  switch (s) {
+    case RsStatus::kNoError:
+      return "kNoError";
+    case RsStatus::kCorrected:
+      return "kCorrected";
+    case RsStatus::kUncorrectable:
+      return "kUncorrectable";
+  }
+  return "?";
+}
+
+std::string flips_string(const std::vector<std::size_t>& flips) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < flips.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << flips[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+/// Fills `data` with `bits` random bits (bits <= 64 by construction).
+std::string random_word(Gen& g, std::size_t bits) {
+  BitVec v(bits);
+  v.deposit(0, bits, g.u64());
+  return v.to_string();
+}
+
+DecodeCase generate_decode_case(Gen& g) {
+  DecodeCase c;
+  c.code = g.pick({std::string("hamming"), std::string("hsiao"),
+                   std::string("rs"), std::string("tmr"),
+                   std::string("tmr-interleaved")});
+  if (c.code == "hamming") {
+    c.data_bits = g.length(1, 57);
+    const HammingCode code(c.data_bits);
+    if (g.in_range(0, 1) == 1) {
+      c.flips.push_back(g.below(code.codeword_bits()));
+    }
+  } else if (c.code == "hsiao") {
+    c.data_bits = g.length(1, 57);
+    const HsiaoCode code(c.data_bits);
+    const std::size_t n_flips = g.in_range(0, 2);
+    for (std::uint64_t p : g.distinct_below(code.codeword_bits(), n_flips)) {
+      c.flips.push_back(static_cast<std::size_t>(p));
+    }
+  } else if (c.code == "rs") {
+    c.data_bits = 4 * g.length(1, 13);
+    const std::size_t symbols = c.data_bits / 4 + 2;
+    const std::size_t n_flips = g.in_range(0, 4);
+    if (n_flips > 0) {
+      // All flips inside ONE codeword symbol: parity symbols s in {0, 1}
+      // live at check bits [4s, 4s+4) (stored positions data_bits + ...),
+      // data symbol i at data bits [4i, 4i+4).
+      const std::size_t s = g.below(symbols);
+      for (std::uint64_t off : g.distinct_below(4, n_flips)) {
+        const std::size_t bit = static_cast<std::size_t>(off);
+        c.flips.push_back(s < 2 ? c.data_bits + 4 * s + bit
+                                : 4 * (s - 2) + bit);
+      }
+    }
+  } else {
+    const int k = static_cast<int>(g.length(1, kMaxLutInputs));
+    c.data_bits = std::size_t{1} << k;
+    const std::size_t n = c.data_bits;
+    const std::size_t n_flips = g.length(0, std::min<std::size_t>(n, 6));
+    const bool interleaved = c.code == "tmr-interleaved";
+    for (std::uint64_t entry : g.distinct_below(n, n_flips)) {
+      const std::size_t copy = g.below(3);
+      c.flips.push_back(interleaved
+                            ? static_cast<std::size_t>(entry) * 3 + copy
+                            : copy * n + static_cast<std::size_t>(entry));
+    }
+  }
+  c.data = random_word(g, c.data_bits);
+  return c;
+}
+
+std::optional<std::string> run_info_code_case(const DecodeCase& c) {
+  std::unique_ptr<HammingCode> hamming;
+  std::unique_ptr<HsiaoCode> hsiao;
+  std::unique_ptr<Rs16Code> rs;
+  std::size_t check_bits = 0;
+  std::size_t max_flips = 0;
+  if (c.code == "hamming") {
+    hamming = std::make_unique<HammingCode>(c.data_bits);
+    check_bits = hamming->check_bits();
+    max_flips = 1;
+  } else if (c.code == "hsiao") {
+    hsiao = std::make_unique<HsiaoCode>(c.data_bits);
+    check_bits = hsiao->check_bits();
+    max_flips = 2;
+  } else {
+    if (c.data_bits % 4 != 0 || c.data_bits < 4 || c.data_bits > 52) {
+      return "invalid case: rs data_bits must be a multiple of 4 in [4,52]";
+    }
+    rs = std::make_unique<Rs16Code>(c.data_bits);
+    check_bits = rs->check_bits();
+    max_flips = 4;
+  }
+  if (c.flips.size() > max_flips) {
+    return "invalid case: too many flips for " + c.code;
+  }
+  const std::size_t codeword_bits = c.data_bits + check_bits;
+  for (std::size_t p : c.flips) {
+    if (p >= codeword_bits) {
+      return "invalid case: flip position out of codeword";
+    }
+  }
+  if (rs != nullptr && !c.flips.empty()) {
+    // All flips must hit one codeword symbol.
+    auto symbol_of = [&](std::size_t p) {
+      return p < c.data_bits ? 2 + p / 4 : (p - c.data_bits) / 4;
+    };
+    const std::size_t s0 = symbol_of(c.flips[0]);
+    for (std::size_t p : c.flips) {
+      if (symbol_of(p) != s0) {
+        return "invalid case: rs flips span multiple symbols";
+      }
+    }
+  }
+
+  const BitVec data = BitVec::from_string(c.data);
+  if (data.size() != c.data_bits) {
+    return "invalid case: data string length != data_bits";
+  }
+  const BitVec checks = hamming != nullptr
+                            ? hamming->generate_check_bits(data)
+                        : hsiao != nullptr
+                            ? hsiao->generate_check_bits(data)
+                            : rs->generate_check_bits(data);
+
+  BitVec faulted_data = data;
+  BitVec faulted_checks = checks;
+  for (std::size_t p : c.flips) {
+    if (p < c.data_bits) {
+      faulted_data.flip(p);
+    } else {
+      faulted_checks.flip(p - c.data_bits);
+    }
+  }
+  const BitVec pre_decode_data = faulted_data;
+
+  std::ostringstream os;
+  os << c.code << "(" << c.data_bits << ") data=" << c.data
+     << " flips=" << flips_string(c.flips) << ": ";
+  if (hamming != nullptr) {
+    const HammingStatus st =
+        hamming->detect_and_correct(faulted_data, faulted_checks);
+    const HammingStatus want = c.flips.empty() ? HammingStatus::kNoError
+                                               : HammingStatus::kCorrected;
+    if (st != want) {
+      os << "status " << hamming_status_name(st) << ", expected "
+         << hamming_status_name(want);
+      return os.str();
+    }
+    if (!(faulted_data == data)) {
+      os << "data not restored after <=1-bit error: got "
+         << faulted_data.to_string();
+      return os.str();
+    }
+  } else if (hsiao != nullptr) {
+    const HsiaoStatus st =
+        hsiao->detect_and_correct(faulted_data, faulted_checks);
+    const HsiaoStatus want = c.flips.empty() ? HsiaoStatus::kNoError
+                             : c.flips.size() == 1
+                                 ? HsiaoStatus::kCorrected
+                                 : HsiaoStatus::kDoubleDetected;
+    if (st != want) {
+      os << "status " << hsiao_status_name(st) << ", expected "
+         << hsiao_status_name(want);
+      return os.str();
+    }
+    if (c.flips.size() <= 1) {
+      if (!(faulted_data == data)) {
+        os << "data not restored after <=1-bit error: got "
+           << faulted_data.to_string();
+        return os.str();
+      }
+    } else if (!(faulted_data == pre_decode_data)) {
+      // SEC-DED contract: a detected double must never be "corrected".
+      os << "decoder modified data on a detected double error: got "
+         << faulted_data.to_string();
+      return os.str();
+    }
+  } else {
+    const RsStatus st = rs->detect_and_correct(faulted_data, faulted_checks);
+    const RsStatus want =
+        c.flips.empty() ? RsStatus::kNoError : RsStatus::kCorrected;
+    if (st != want) {
+      os << "status " << rs_status_name(st) << ", expected "
+         << rs_status_name(want);
+      return os.str();
+    }
+    if (!(faulted_data == data)) {
+      os << "data not restored after single-symbol error: got "
+         << faulted_data.to_string();
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> run_tmr_case(const DecodeCase& c) {
+  const std::size_t n = c.data_bits;
+  if (n < 2 || (n & (n - 1)) != 0 ||
+      n > (std::size_t{1} << kMaxLutInputs)) {
+    return "invalid case: tmr table size must be a power of two in [2, " +
+           std::to_string(std::size_t{1} << kMaxLutInputs) + "]";
+  }
+  const bool interleaved = c.code == "tmr-interleaved";
+  std::vector<bool> entry_hit(n, false);
+  for (std::size_t p : c.flips) {
+    if (p >= 3 * n) {
+      return "invalid case: flip position out of the triplicated store";
+    }
+    const std::size_t entry = interleaved ? p / 3 : p % n;
+    if (entry_hit[entry]) {
+      return "invalid case: two flips on copies of the same entry";
+    }
+    entry_hit[entry] = true;
+  }
+  const BitVec tt = BitVec::from_string(c.data);
+  if (tt.size() != n) {
+    return "invalid case: data string length != table size";
+  }
+  const CodedLut lut(tt, interleaved ? LutCoding::kTmrInterleaved
+                                     : LutCoding::kTmr);
+  BitVec mask(lut.fault_sites());
+  for (std::size_t p : c.flips) {
+    mask.flip(p);
+  }
+  LutAccessStats stats;
+  for (std::size_t addr = 0; addr < n; ++addr) {
+    const bool got = lut.read(static_cast<std::uint32_t>(addr),
+                              MaskView(mask, 0, mask.size()), &stats);
+    if (got != tt.get(addr)) {
+      std::ostringstream os;
+      os << c.code << "(" << n << ") data=" << c.data
+         << " flips=" << flips_string(c.flips) << ": majority vote at addr "
+         << addr << " returned " << got << ", golden " << tt.get(addr)
+         << " (one faulted copy must never win)";
+      return os.str();
+    }
+  }
+  if (stats.tmr_disagreements != c.flips.size()) {
+    std::ostringstream os;
+    os << c.code << "(" << n << ") flips=" << flips_string(c.flips)
+       << ": tmr_disagreements " << stats.tmr_disagreements
+       << " over one full read pass, expected one per flipped entry ("
+       << c.flips.size() << ")";
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> run_decode_case(const DecodeCase& c) {
+  if (c.code == "tmr" || c.code == "tmr-interleaved") {
+    return run_tmr_case(c);
+  }
+  if (c.code == "hamming" || c.code == "hsiao" || c.code == "rs") {
+    return run_info_code_case(c);
+  }
+  return "invalid case: unknown code '" + c.code + "'";
+}
+
+std::string decode_case_json(const DecodeCase& c) {
+  std::ostringstream os;
+  os << "{\"family\": \"" << kDecodeName << "\", \"code\": \"" << c.code
+     << "\", \"data_bits\": " << c.data_bits << ", \"data\": \"" << c.data
+     << "\", \"flips\": [";
+  for (std::size_t i = 0; i < c.flips.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << c.flips[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::optional<DecodeCase> decode_case_from_json(const JsonValue& doc) {
+  if (!family_matches(doc, kDecodeName)) {
+    return std::nullopt;
+  }
+  const JsonValue* code = require(doc, "code", JsonValue::Kind::kString);
+  const JsonValue* bits =
+      require(doc, "data_bits", JsonValue::Kind::kNumber);
+  const JsonValue* data = require(doc, "data", JsonValue::Kind::kString);
+  const JsonValue* flips = require(doc, "flips", JsonValue::Kind::kArray);
+  if (code == nullptr || bits == nullptr || data == nullptr ||
+      flips == nullptr) {
+    return std::nullopt;
+  }
+  DecodeCase c;
+  c.code = code->as_string();
+  const std::optional<std::uint64_t> n = bits->as_u64();
+  if (!n.has_value() || *n == 0 || *n > 4096) {
+    return std::nullopt;
+  }
+  c.data_bits = static_cast<std::size_t>(*n);
+  c.data = data->as_string();
+  for (char ch : c.data) {
+    if (ch != '0' && ch != '1') {
+      return std::nullopt;
+    }
+  }
+  for (const JsonValue& f : flips->items()) {
+    const std::optional<std::uint64_t> p = f.as_u64();
+    if (!p.has_value()) {
+      return std::nullopt;
+    }
+    c.flips.push_back(static_cast<std::size_t>(*p));
+  }
+  return c;
+}
+
+std::vector<DecodeCase> shrink_decode_case(const DecodeCase& c) {
+  std::vector<DecodeCase> out;
+  for (std::size_t i = 0; i < c.flips.size(); ++i) {
+    DecodeCase s = c;
+    s.flips.erase(s.flips.begin() + static_cast<std::ptrdiff_t>(i));
+    out.push_back(std::move(s));
+  }
+  if (c.data.find('1') != std::string::npos) {
+    DecodeCase s = c;
+    s.data.assign(c.data.size(), '0');
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+Property engine_differential_property() {
+  PropertyDef<EngineCase> def;
+  def.name = kEngineName;
+  def.generate = generate_engine_case;
+  def.run = run_engine_case;
+  def.shrink = shrink_engine_case;
+  def.to_json = engine_case_json;
+  def.from_json = engine_case_from_json;
+  return Property::make(std::move(def));
+}
+
+Property alu_vs_cmos_property() {
+  PropertyDef<AluCase> def;
+  def.name = kAluName;
+  def.generate = generate_alu_case;
+  def.run = run_alu_case;
+  def.shrink = shrink_alu_case;
+  def.to_json = alu_case_json;
+  def.from_json = alu_case_from_json;
+  return Property::make(std::move(def));
+}
+
+Property decode_t_error_property() {
+  PropertyDef<DecodeCase> def;
+  def.name = kDecodeName;
+  def.generate = generate_decode_case;
+  def.run = run_decode_case;
+  def.shrink = shrink_decode_case;
+  def.to_json = decode_case_json;
+  def.from_json = decode_case_from_json;
+  return Property::make(std::move(def));
+}
+
+std::vector<Property> oracle_properties() {
+  std::vector<Property> out;
+  out.push_back(engine_differential_property());
+  out.push_back(alu_vs_cmos_property());
+  out.push_back(decode_t_error_property());
+  return out;
+}
+
+std::optional<Property> oracle_property_by_name(std::string_view name) {
+  for (Property& p : oracle_properties()) {
+    if (p.name() == name) {
+      return std::move(p);
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t default_smoke_cases(std::string_view property_name) {
+  if (property_name == kEngineName) {
+    return 24;
+  }
+  if (property_name == kAluName) {
+    return 80;
+  }
+  if (property_name == kDecodeName) {
+    return 120;
+  }
+  return 50;
+}
+
+}  // namespace nbx::check

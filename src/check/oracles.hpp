@@ -1,0 +1,53 @@
+// oracles.hpp — the differential-oracle property families.
+//
+// The paper's argument is statistical, so the statistics machinery gets
+// the strongest oracle treatment we can afford: rather than pinning a
+// handful of hand-picked goldens, three families of *generated* cases
+// cross-examine independent implementations of the same contract:
+//
+//   engine-differential — a generated SweepSpec (ALU, percents, trials,
+//       seed, fault policy, scope, burst) must produce bit-identical
+//       DataPoints through every execution path of the TrialEngine:
+//       scalar serial, batched lanes, thread pool, and the anatomy
+//       variants (whose counters must also agree scalar-vs-batched).
+//
+//   alu-vs-cmos — generated (op, a, b) instruction streams under zero
+//       faults: every catalogued ALU, the gate-level CMOS reference
+//       netlist, and the behavioural golden_alu must all agree, and the
+//       module layer must report no disagreement/invalid flags.
+//
+//   decode-t-error — generated codewords with generated <= t-error
+//       masks: hamming (t=1) and rs (one symbol) must restore the data
+//       exactly; hsiao must restore at t=1 and refuse to touch the word
+//       on a detected double; TMR LUT reads must return the golden bit
+//       whenever at most one copy of each entry is hit.
+//
+// Failures shrink and serialize through check/property.hpp; replay is
+// dispatched by property name (see oracle_property_by_name).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "check/property.hpp"
+
+namespace nbx::check {
+
+Property engine_differential_property();
+Property alu_vs_cmos_property();
+Property decode_t_error_property();
+
+/// The three oracle families, in reporting order.
+std::vector<Property> oracle_properties();
+
+/// Looks up one family by its name (replay dispatch).
+std::optional<Property> oracle_property_by_name(std::string_view name);
+
+/// Per-family case count for the bounded check_smoke run. The totals
+/// across oracle_properties() exceed 200 cases while staying well under
+/// the 5-second smoke budget.
+std::size_t default_smoke_cases(std::string_view property_name);
+
+}  // namespace nbx::check

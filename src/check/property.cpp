@@ -1,0 +1,29 @@
+#include "check/property.hpp"
+
+namespace nbx::check {
+
+std::optional<Failure> Property::run_cases(const CheckConfig& cfg,
+                                           RunStats* stats) const {
+  for (std::size_t i = 0; i < cfg.cases; ++i) {
+    const std::uint64_t seed = case_seed(cfg.seed, i);
+    Rng rng(seed);
+    // Size ramps 0 -> 1 across the run; a single-case run goes straight
+    // to full size (soak rounds with cases=1 should not stay tiny).
+    const double size =
+        cfg.cases <= 1 ? 1.0
+                       : static_cast<double>(i) /
+                             static_cast<double>(cfg.cases - 1);
+    if (stats != nullptr) {
+      ++stats->cases;
+    }
+    std::optional<Failure> failure = run_case_(rng, size, cfg, stats);
+    if (failure.has_value()) {
+      failure->case_seed = seed;
+      failure->case_index = i;
+      return failure;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace nbx::check

@@ -1,0 +1,171 @@
+// property.hpp — the nbxcheck property runner.
+//
+// A property is a named quadruple over some case type T:
+//
+//   generate : Gen -> T                    (seeded, size-driven)
+//   run      : T -> optional<message>      (nullopt = pass)
+//   shrink   : T -> [T]                    (smaller candidates, best first)
+//   to_json / from_json                    (counterexample round-trip)
+//
+// Property::make erases T so the CLI and the test harness can hold a
+// heterogeneous list. Execution is deterministic end to end: case i of a
+// run is generated from seed derive_seed({run seed, fnv1a64(name), i}),
+// so a Failure records everything needed to regenerate the raw case, and
+// the serialized (shrunk) case replays without any generation at all.
+//
+// Shrinking is greedy: repeatedly take the first shrink candidate that
+// still fails, until no candidate fails or the step budget runs out.
+// Candidate lists should therefore be ordered most-aggressive first
+// (drop half the stream before dropping one element).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/gen.hpp"
+#include "check/json_value.hpp"
+#include "common/rng.hpp"
+
+namespace nbx::check {
+
+/// Knobs for one property run.
+struct CheckConfig {
+  std::size_t cases = 100;
+  std::uint64_t seed = 2026;
+  /// Total run() invocations the shrinker may spend per failure.
+  std::size_t max_shrink_steps = 2000;
+};
+
+/// A minimized counterexample, ready to serialize as a repro file.
+struct Failure {
+  std::string property;
+  std::uint64_t case_seed = 0;  ///< regenerates the *unshrunk* case
+  std::size_t case_index = 0;
+  std::size_t shrink_steps = 0;
+  std::string message;    ///< the oracle's diagnosis of the shrunk case
+  std::string case_json;  ///< the shrunk case, serialized
+};
+
+/// Tally of what a run did (reported by the CLI).
+struct RunStats {
+  std::size_t cases = 0;
+  std::size_t shrink_steps = 0;
+};
+
+/// The full definition of a property over case type T. All five
+/// functions must be supplied.
+template <typename T>
+struct PropertyDef {
+  std::string name;
+  std::function<T(Gen&)> generate;
+  std::function<std::optional<std::string>(const T&)> run;
+  std::function<std::vector<T>(const T&)> shrink;
+  std::function<std::string(const T&)> to_json;
+  /// Parse a serialized case; nullopt when the document does not encode
+  /// a case of this property (replay reports the reason separately).
+  std::function<std::optional<T>(const JsonValue&)> from_json;
+};
+
+/// Outcome of replaying one serialized case.
+struct ReplayOutcome {
+  bool loaded = false;          ///< case parsed into this property's T
+  std::string load_error;       ///< why not, when !loaded
+  std::optional<std::string> failure;  ///< run() verdict when loaded
+};
+
+/// A type-erased property.
+class Property {
+ public:
+  template <typename T>
+  static Property make(PropertyDef<T> def) {
+    Property p;
+    p.name_ = def.name;
+    p.run_case_ = [def](Rng& rng, double size, const CheckConfig& cfg,
+                        RunStats* stats) -> std::optional<Failure> {
+      Gen gen(rng, size);
+      const T initial = def.generate(gen);
+      std::optional<std::string> msg = def.run(initial);
+      if (!msg.has_value()) {
+        return std::nullopt;
+      }
+      // Greedy shrink: first still-failing candidate wins each round.
+      T best = initial;
+      std::string best_msg = *msg;
+      std::size_t steps = 0;
+      bool progressed = true;
+      while (progressed && steps < cfg.max_shrink_steps) {
+        progressed = false;
+        for (T& candidate : def.shrink(best)) {
+          ++steps;
+          std::optional<std::string> m = def.run(candidate);
+          if (m.has_value()) {
+            best = std::move(candidate);
+            best_msg = std::move(*m);
+            progressed = true;
+            break;
+          }
+          if (steps >= cfg.max_shrink_steps) {
+            break;
+          }
+        }
+      }
+      if (stats != nullptr) {
+        stats->shrink_steps += steps;
+      }
+      Failure f;
+      f.property = def.name;
+      f.shrink_steps = steps;
+      f.message = best_msg;
+      f.case_json = def.to_json(best);
+      return f;
+    };
+    p.replay_ = [def](const JsonValue& doc) -> ReplayOutcome {
+      ReplayOutcome out;
+      std::optional<T> c = def.from_json(doc);
+      if (!c.has_value()) {
+        out.load_error = "case does not decode as property '" + def.name +
+                         "' (wrong or missing fields)";
+        return out;
+      }
+      out.loaded = true;
+      out.failure = def.run(*c);
+      return out;
+    };
+    return p;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Runs cfg.cases generated cases. Stops at (and shrinks) the first
+  /// failure. `stats` (optional) tallies cases executed + shrink steps.
+  [[nodiscard]] std::optional<Failure> run_cases(const CheckConfig& cfg,
+                                                 RunStats* stats = nullptr)
+      const;
+
+  /// Derives the seed of case `index` of a run (exposed for tests and
+  /// for reporting: a Failure's case_seed comes from here).
+  [[nodiscard]] std::uint64_t case_seed(std::uint64_t run_seed,
+                                        std::size_t index) const {
+    return derive_seed({run_seed, fnv1a64(name_), index});
+  }
+
+  /// Re-executes one serialized case (the "case" object of a repro
+  /// file). Pure replay — no generation, no shrinking.
+  [[nodiscard]] ReplayOutcome replay(const JsonValue& case_doc) const {
+    return replay_(case_doc);
+  }
+
+ private:
+  std::string name_;
+  std::function<std::optional<Failure>(Rng&, double, const CheckConfig&,
+                                       RunStats*)>
+      run_case_;
+  std::function<ReplayOutcome(const JsonValue&)> replay_;
+};
+
+}  // namespace nbx::check

@@ -1,0 +1,168 @@
+#include "check/repro.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace nbx::check {
+namespace {
+
+// Re-serializes a parsed JsonValue (used to embed the already-parsed
+// case object of a Failure, which arrives as a JSON string instead).
+void write_value(std::ostream& os, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      os << "null";
+      return;
+    case JsonValue::Kind::kBool:
+      os << (v.as_bool() ? "true" : "false");
+      return;
+    case JsonValue::Kind::kNumber:
+      os << v.number_lexeme();
+      return;
+    case JsonValue::Kind::kString:
+      os << '"' << json_escape(v.as_string()) << '"';
+      return;
+    case JsonValue::Kind::kArray: {
+      os << '[';
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) {
+          os << ", ";
+        }
+        first = false;
+        write_value(os, item);
+      }
+      os << ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, value] : v.members()) {
+        if (!first) {
+          os << ", ";
+        }
+        first = false;
+        os << '"' << json_escape(key) << "\": ";
+        write_value(os, value);
+      }
+      os << '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string repro_json(const Failure& f) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"nbxcheck\": " << kReproVersion << ",\n";
+  os << "  \"property\": \"" << json_escape(f.property) << "\",\n";
+  os << "  \"case_seed\": " << f.case_seed << ",\n";
+  os << "  \"case_index\": " << f.case_index << ",\n";
+  os << "  \"shrink_steps\": " << f.shrink_steps << ",\n";
+  os << "  \"message\": \"" << json_escape(f.message) << "\",\n";
+  os << "  \"case\": " << f.case_json << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::optional<std::string> write_repro(const Failure& f,
+                                       const std::string& dir,
+                                       std::string* error) {
+  namespace fs = std::filesystem;
+  std::ostringstream name;
+  name << f.property << "-" << std::hex << f.case_seed << ".json";
+  const fs::path path = fs::path(dir) / name.str();
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "cannot open " + path.string() + " for writing";
+    }
+    return std::nullopt;
+  }
+  out << repro_json(f);
+  out.close();
+  if (!out) {
+    if (error != nullptr) {
+      *error = "short write to " + path.string();
+    }
+    return std::nullopt;
+  }
+  return path.string();
+}
+
+std::optional<Repro> load_repro(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot read " + path;
+    }
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string parse_error;
+  std::optional<JsonValue> doc = JsonValue::parse(buf.str(), &parse_error);
+  if (!doc.has_value()) {
+    if (error != nullptr) {
+      *error = path + ": " + parse_error;
+    }
+    return std::nullopt;
+  }
+  const JsonValue* version = doc->find("nbxcheck");
+  if (version == nullptr || version->as_i64() != kReproVersion) {
+    if (error != nullptr) {
+      *error = path + ": missing or unsupported \"nbxcheck\" version";
+    }
+    return std::nullopt;
+  }
+  const JsonValue* property = doc->find("property");
+  const JsonValue* case_value = doc->find("case");
+  if (property == nullptr || !property->is_string() ||
+      case_value == nullptr) {
+    if (error != nullptr) {
+      *error = path + ": missing \"property\" or \"case\"";
+    }
+    return std::nullopt;
+  }
+  Repro repro;
+  repro.property = property->as_string();
+  repro.case_value = *case_value;
+  if (const JsonValue* seed = doc->find("case_seed")) {
+    repro.case_seed = seed->as_u64().value_or(0);
+  }
+  if (const JsonValue* message = doc->find("message")) {
+    if (message->is_string()) {
+      repro.message = message->as_string();
+    }
+  }
+  return repro;
+}
+
+std::optional<Failure> run_with_repro(const Property& property,
+                                      const CheckConfig& cfg,
+                                      const std::string& repro_dir,
+                                      std::string* repro_path,
+                                      RunStats* stats) {
+  std::optional<Failure> failure = property.run_cases(cfg, stats);
+  if (failure.has_value() && !repro_dir.empty()) {
+    std::string error;
+    std::optional<std::string> path =
+        write_repro(*failure, repro_dir, &error);
+    if (repro_path != nullptr) {
+      *repro_path = path.value_or("(unwritable: " + error + ")");
+    }
+  } else if (repro_path != nullptr) {
+    repro_path->clear();
+  }
+  return failure;
+}
+
+}  // namespace nbx::check

@@ -1,0 +1,63 @@
+// repro.hpp — counterexample files and deterministic replay.
+//
+// When a property fails, the runner writes the *shrunk* case to a small
+// JSON file under the repro directory (check/repro/ by convention):
+//
+//   {
+//     "nbxcheck": 1,
+//     "property": "decode-t-error",
+//     "case_seed": 13129664871889695161,
+//     "case_index": 41,
+//     "message": "hamming: data not restored ...",
+//     "case": { ...property-specific fields... }
+//   }
+//
+// `nbxcheck --replay file.json` re-executes the "case" object through
+// the named property — no generation, no randomness — so a failure found
+// in an overnight soak on one machine reproduces verbatim in CI. Repro
+// files for open bugs are committed under check/repro/ and replayed by
+// scripts/replay_repros.sh.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "check/json_value.hpp"
+#include "check/property.hpp"
+
+namespace nbx::check {
+
+/// Repro file schema version.
+inline constexpr int kReproVersion = 1;
+
+/// A parsed repro file.
+struct Repro {
+  std::string property;
+  std::uint64_t case_seed = 0;
+  std::string message;   ///< the message recorded at capture time
+  JsonValue case_value;  ///< the "case" object, fed to Property::replay
+};
+
+/// Serializes a Failure as a repro document (the file contents).
+std::string repro_json(const Failure& f);
+
+/// Writes `f` to `<dir>/<property>-<case_seed hex>.json`, creating the
+/// directory if needed. Returns the path, or nullopt (with `error` set)
+/// when the filesystem refuses.
+std::optional<std::string> write_repro(const Failure& f,
+                                       const std::string& dir,
+                                       std::string* error = nullptr);
+
+/// Reads and validates a repro file. Returns nullopt with `error` set on
+/// I/O errors, JSON syntax errors, or schema violations.
+std::optional<Repro> load_repro(const std::string& path, std::string* error);
+
+/// Runs one property and, on failure, writes the repro into `repro_dir`
+/// (when non-empty). `repro_path` (optional) receives the written path.
+std::optional<Failure> run_with_repro(const Property& property,
+                                      const CheckConfig& cfg,
+                                      const std::string& repro_dir,
+                                      std::string* repro_path = nullptr,
+                                      RunStats* stats = nullptr);
+
+}  // namespace nbx::check

@@ -41,6 +41,35 @@ std::vector<Instruction> make_binary_stream(const Bitmap& a,
 /// Golden result of a two-image op.
 Bitmap apply_golden_binary(const Bitmap& a, const Bitmap& b, Opcode op);
 
+/// Result of decoding a serialized instruction stream.
+enum class StreamDecodeStatus : std::uint8_t {
+  kOk,
+  kTruncated,       ///< fewer bytes than the header promises
+  kBadMagic,        ///< not an NBXS blob
+  kBadVersion,      ///< future/unknown format version
+  kBadOpcode,       ///< a record's opcode field is not a defined opcode
+  kBadGolden,       ///< a record's golden byte != golden_alu(op, a, b)
+  kBadChecksum,     ///< payload checksum mismatch
+  kTrailingBytes,   ///< well-formed stream followed by extra bytes
+};
+
+/// Human-readable status name ("kOk", "kTruncated", ...).
+std::string_view stream_decode_status_name(StreamDecodeStatus s);
+
+/// Serializes a stream as the NBXS wire format (paper §3.2.1's data
+/// packets, flattened): magic "NBXS", version byte, u32 LE record count,
+/// then 6 bytes per record (u16 LE id, opcode byte, a, b, golden),
+/// terminated by a one-byte XOR checksum over the payload. Every valid
+/// stream round-trips through decode_stream bit-exactly.
+std::vector<std::uint8_t> encode_stream(
+    const std::vector<Instruction>& stream);
+
+/// Parses an NBXS blob. On kOk, `out` holds the decoded stream;
+/// any other status leaves `out` empty — corrupt or truncated input is
+/// rejected whole, never partially applied.
+StreamDecodeStatus decode_stream(const std::vector<std::uint8_t>& bytes,
+                                 std::vector<Instruction>* out);
+
 /// Reassembles computed results (paired by instruction id) into a bitmap
 /// with the same dimensions as `reference`. Missing ids keep the
 /// reference's pixel value. Returns the number of ids applied.

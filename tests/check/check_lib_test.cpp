@@ -1,0 +1,300 @@
+// check_lib_test.cpp — unit tests for the nbxcheck machinery itself:
+// the generator layer, the JSON reader, the shrinking property runner
+// and the repro round-trip. The oracle families get their own file
+// (oracles_test.cpp); this one tests the harness with synthetic
+// properties whose failure sets are known exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/gen.hpp"
+#include "check/json_value.hpp"
+#include "check/property.hpp"
+#include "check/repro.hpp"
+#include "common/rng.hpp"
+
+namespace nbx::check {
+namespace {
+
+// ------------------------------------------------------------------ Gen
+
+TEST(Gen, IsAPureFunctionOfSeedAndSize) {
+  const auto draw = [](std::uint64_t seed) {
+    Rng rng(seed);
+    Gen g(rng, 0.7);
+    std::vector<std::uint64_t> out;
+    out.push_back(g.in_range(3, 9));
+    out.push_back(g.below(100));
+    out.push_back(g.u64());
+    out.push_back(g.length(1, 40));
+    out.push_back(g.boolean(0.5) ? 1 : 0);
+    for (std::uint64_t v : g.distinct_below(50, 5)) {
+      out.push_back(v);
+    }
+    return out;
+  };
+  EXPECT_EQ(draw(42), draw(42));
+  EXPECT_NE(draw(42), draw(43));
+}
+
+TEST(Gen, InRangeIsInclusiveAndLengthIsSizeDriven) {
+  Rng rng(7);
+  Gen tiny(rng, 0.0);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = tiny.in_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    // At size 0 the length ceiling collapses to the floor.
+    EXPECT_EQ(tiny.length(2, 100), 2u);
+  }
+  Gen full(rng, 1.0);
+  std::size_t max_seen = 0;
+  for (int i = 0; i < 500; ++i) {
+    max_seen = std::max(max_seen, full.length(2, 20));
+  }
+  EXPECT_GT(max_seen, 10u);  // full size must reach the upper region
+  EXPECT_LE(max_seen, 20u);
+}
+
+TEST(Gen, DistinctBelowIsSortedAndDistinct) {
+  Rng rng(11);
+  Gen g(rng, 1.0);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<std::uint64_t> v = g.distinct_below(20, 7);
+    ASSERT_EQ(v.size(), 7u);
+    for (std::size_t j = 1; j < v.size(); ++j) {
+      EXPECT_LT(v[j - 1], v[j]);
+    }
+    EXPECT_LT(v.back(), 20u);
+  }
+}
+
+// ------------------------------------------------------------ JsonValue
+
+TEST(JsonValue, ParsesDocumentsAndPreservesNumberLexemes) {
+  std::string error;
+  const auto doc = JsonValue::parse(
+      R"({"seed": 13129664871889695161, "pi": 3.25, "neg": -7,)"
+      R"( "s": "a\"bA", "arr": [1, 2], "t": true, "n": null})",
+      &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("seed")->as_u64(), 13129664871889695161ULL);
+  // Too big for i64 — the typed accessor refuses rather than truncates.
+  EXPECT_FALSE(doc->find("seed")->as_i64().has_value());
+  EXPECT_EQ(doc->find("pi")->as_double(), 3.25);
+  EXPECT_EQ(doc->find("neg")->as_i64(), -7);
+  EXPECT_FALSE(doc->find("neg")->as_u64().has_value());
+  EXPECT_EQ(doc->find("s")->as_string(), "a\"bA");
+  ASSERT_TRUE(doc->find("arr")->is_array());
+  EXPECT_EQ(doc->find("arr")->items().size(), 2u);
+  EXPECT_TRUE(doc->find("t")->as_bool());
+  EXPECT_TRUE(doc->find("n")->is_null());
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(JsonValue, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "{\"a\": }", "[1,]", "{\"a\": 1} trailing", "nul",
+        "\"unterminated", "{\"a\" 1}", "01", "1e", "--1"}) {
+    std::string error;
+    EXPECT_FALSE(JsonValue::parse(bad, &error).has_value())
+        << "accepted: " << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(JsonValue, RejectsPathologicalNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(JsonValue::parse(deep).has_value());
+}
+
+// ------------------------------------------------- Property + shrinking
+
+/// A synthetic property over int that fails for values >= threshold,
+/// shrinking by decrement — the minimal counterexample is exactly the
+/// threshold.
+Property threshold_property(int threshold) {
+  PropertyDef<int> def;
+  def.name = "threshold";
+  def.generate = [](Gen& g) { return static_cast<int>(g.in_range(0, 100)); };
+  def.run = [threshold](const int& v) -> std::optional<std::string> {
+    if (v >= threshold) {
+      return "value " + std::to_string(v) + " >= " +
+             std::to_string(threshold);
+    }
+    return std::nullopt;
+  };
+  def.shrink = [](const int& v) {
+    std::vector<int> out;
+    if (v > 0) {
+      out.push_back(v / 2);  // aggressive first
+      out.push_back(v - 1);
+    }
+    return out;
+  };
+  def.to_json = [](const int& v) { return std::to_string(v); };
+  def.from_json = [](const JsonValue& doc) -> std::optional<int> {
+    const std::optional<std::int64_t> v = doc.as_i64();
+    if (!v.has_value()) {
+      return std::nullopt;
+    }
+    return static_cast<int>(*v);
+  };
+  return Property::make(std::move(def));
+}
+
+TEST(Property, ShrinksGreedilyToTheMinimalCounterexample) {
+  const Property p = threshold_property(37);
+  CheckConfig cfg;
+  cfg.cases = 200;
+  RunStats stats;
+  const std::optional<Failure> f = p.run_cases(cfg, &stats);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->case_json, "37");  // fully shrunk
+  EXPECT_EQ(f->property, "threshold");
+  EXPECT_GT(f->shrink_steps, 0u);
+  // The recorded case seed regenerates the original failing case.
+  EXPECT_EQ(f->case_seed, p.case_seed(cfg.seed, f->case_index));
+  // Stats stop at the failing case.
+  EXPECT_EQ(stats.cases, f->case_index + 1);
+}
+
+TEST(Property, RunsAreDeterministic) {
+  const Property p = threshold_property(37);
+  CheckConfig cfg;
+  cfg.cases = 200;
+  const std::optional<Failure> a = p.run_cases(cfg);
+  const std::optional<Failure> b = p.run_cases(cfg);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->case_index, b->case_index);
+  EXPECT_EQ(a->case_seed, b->case_seed);
+  EXPECT_EQ(a->case_json, b->case_json);
+  EXPECT_EQ(a->message, b->message);
+}
+
+TEST(Property, ShrinkBudgetIsRespected) {
+  const Property p = threshold_property(1);
+  CheckConfig cfg;
+  cfg.cases = 50;
+  cfg.max_shrink_steps = 3;
+  RunStats stats;
+  const std::optional<Failure> f = p.run_cases(cfg, &stats);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_LE(f->shrink_steps, 3u);
+}
+
+TEST(Property, PassingPropertyRunsEveryCase) {
+  const Property p = threshold_property(101);  // unreachable
+  CheckConfig cfg;
+  cfg.cases = 64;
+  RunStats stats;
+  EXPECT_FALSE(p.run_cases(cfg, &stats).has_value());
+  EXPECT_EQ(stats.cases, 64u);
+  EXPECT_EQ(stats.shrink_steps, 0u);
+}
+
+TEST(Property, ReplayExecutesWithoutGeneration) {
+  const Property p = threshold_property(10);
+  const auto fail_doc = JsonValue::parse("55");
+  ASSERT_TRUE(fail_doc.has_value());
+  const ReplayOutcome bad = p.replay(*fail_doc);
+  EXPECT_TRUE(bad.loaded);
+  ASSERT_TRUE(bad.failure.has_value());
+  EXPECT_NE(bad.failure->find("55"), std::string::npos);
+
+  const auto pass_doc = JsonValue::parse("3");
+  const ReplayOutcome good = p.replay(*pass_doc);
+  EXPECT_TRUE(good.loaded);
+  EXPECT_FALSE(good.failure.has_value());
+
+  const auto wrong_doc = JsonValue::parse("\"not an int\"");
+  const ReplayOutcome wrong = p.replay(*wrong_doc);
+  EXPECT_FALSE(wrong.loaded);
+  EXPECT_FALSE(wrong.load_error.empty());
+}
+
+// ---------------------------------------------------------------- repro
+
+TEST(Repro, WriteLoadReplayRoundTrip) {
+  const Property p = threshold_property(37);
+  CheckConfig cfg;
+  cfg.cases = 200;
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "nbxcheck_repro_test";
+  std::filesystem::remove_all(dir);
+
+  std::string repro_path;
+  const std::optional<Failure> f =
+      run_with_repro(p, cfg, dir.string(), &repro_path);
+  ASSERT_TRUE(f.has_value());
+  ASSERT_FALSE(repro_path.empty());
+  ASSERT_TRUE(std::filesystem::exists(repro_path));
+
+  std::string error;
+  const std::optional<Repro> repro = load_repro(repro_path, &error);
+  ASSERT_TRUE(repro.has_value()) << error;
+  EXPECT_EQ(repro->property, "threshold");
+  EXPECT_EQ(repro->case_seed, f->case_seed);
+  EXPECT_EQ(repro->message, f->message);
+
+  const ReplayOutcome outcome = p.replay(repro->case_value);
+  EXPECT_TRUE(outcome.loaded);
+  ASSERT_TRUE(outcome.failure.has_value());
+  EXPECT_EQ(*outcome.failure, f->message);  // verbatim reproduction
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Repro, LoadRejectsMissingAndMalformedFiles) {
+  std::string error;
+  EXPECT_FALSE(load_repro("/nonexistent/nope.json", &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "nbxcheck_repro_bad";
+  std::filesystem::create_directories(dir);
+  const auto write = [&](const char* name, const char* text) {
+    std::ofstream(dir / name) << text;
+    return (dir / name).string();
+  };
+  EXPECT_FALSE(load_repro(write("syntax.json", "{oops"), &error)
+                   .has_value());
+  EXPECT_FALSE(
+      load_repro(write("noversion.json", R"({"property": "x"})"), &error)
+          .has_value());
+  EXPECT_FALSE(load_repro(write("nocase.json",
+                                R"({"nbxcheck": 1, "property": "x"})"),
+                          &error)
+                   .has_value());
+  EXPECT_FALSE(load_repro(write("badversion.json",
+                                R"({"nbxcheck": 999, "property": "x",)"
+                                R"( "case": 1})"),
+                          &error)
+                   .has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Repro, PassingRunWritesNothing) {
+  const Property p = threshold_property(101);
+  CheckConfig cfg;
+  cfg.cases = 16;
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "nbxcheck_repro_none";
+  std::filesystem::remove_all(dir);
+  std::string repro_path = "sentinel";
+  EXPECT_FALSE(
+      run_with_repro(p, cfg, dir.string(), &repro_path).has_value());
+  EXPECT_TRUE(repro_path.empty());
+  EXPECT_FALSE(std::filesystem::exists(dir));
+}
+
+}  // namespace
+}  // namespace nbx::check

@@ -1,0 +1,156 @@
+// goldens.hpp — the single registry of pinned simulation goldens.
+//
+// Every numeric golden the test suite pins lives here, once. The test
+// files (tests/sim/seed_golden_test.cpp, tests/grid/*_golden_test.cpp,
+// tests/goldens/goldens_schema_test.cpp) assert *against this registry*,
+// never against loose literals, so:
+//
+//   * a deliberate re-pin (e.g. a reseeding) is a one-file diff with an
+//     obvious review surface;
+//   * the same golden checked through two code paths (scalar vs batched,
+//     hand-rolled loop vs TrialEngine) cannot drift apart in the test
+//     sources themselves;
+//   * the schema test can fingerprint the whole registry, so an
+//     accidental edit fails loudly even if no simulation test happens to
+//     read the touched entry.
+//
+// If a PR changes these values ON PURPOSE, re-pin them here (and the
+// fingerprint in goldens_schema_test.cpp) and say so in the PR
+// description — every BENCH_*.json figure shifts with them.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace nbx::goldens {
+
+// ------------------------------------------------ seed-derivation chain
+
+/// derive_seed({1, 2, 3}) — the counter-based split primitive.
+inline constexpr std::uint64_t kDeriveSeed123 = 8157911895043981667ULL;
+/// fnv1a64("aluss") — the ALU-name hash feeding trial seeds.
+inline constexpr std::uint64_t kFnv1a64Aluss = 13125456046766443269ULL;
+/// MaskGenerator::trial_seed(2026, fnv1a64("aluss"), 2.0, 0, 0).
+inline constexpr std::uint64_t kTrialSeedAluss2Pct = 13129664871889695161ULL;
+
+// ------------------------------------------- single-ALU reference point
+
+/// The documented reference configuration: aluss at 2% faults, master
+/// seed 2026, the paper's 5-trials-per-workload protocol over the two
+/// paper workloads. Must hold bit-identically on the serial, threaded
+/// and batched engine paths.
+struct ReferencePoint {
+  const char* alu;
+  double fault_percent;
+  std::uint64_t seed;
+  int trials_per_workload;
+  double mean_percent_correct;
+  double stddev;
+  double ci95;
+  std::size_t samples;
+};
+
+inline constexpr ReferencePoint kAlussAt2Pct = {
+    "aluss", 2.0, 2026, 5,
+    98.90625, 0.75475920553070042, 0.53988469906198522, 10};
+
+// --------------------------------------------- grid failover schedules
+
+/// One pinned bench_failover outcome: 3x3 grid, 16x8 random image
+/// (seed 11), reverse-video op, kill schedule as named. Checked both
+/// through ControlProcessor directly and through the engine's grid
+/// backend (run_grid_trials).
+struct FailoverGolden {
+  const char* name;
+  double percent_correct;
+  std::size_t results_missing;
+  std::size_t words_salvaged;
+  std::size_t words_lost;
+  std::size_t cells_disabled;
+  std::size_t instructions_computed;
+  const char* alive_map;  ///< row-major, '#' alive, 'x' disabled
+};
+
+/// Three router-alive kills at cycles 4/6/8, watchdog every 16 cycles:
+/// every outstanding word is rehomed.
+inline constexpr FailoverGolden kThreeKillsWatchdogOn = {
+    "3-kills/wd-on", 100.0, 0, 45, 0, 3, 128, "##x#x#x##"};
+
+/// Two dead-router kills at cycle 4: the victims' blocks are
+/// unreachable, nothing salvageable.
+inline constexpr FailoverGolden kTwoDeadRouters = {
+    "2-dead-routers", 46.875, 68, 0, 30, 2, 106, "####x#x##"};
+
+// ------------------------------------------------ multi-cell TMR sweep
+
+/// bench_grid's accuracy sweep shape: 2x2 TMR cells, the paper test
+/// image, the hue-shift op, at increasing ALU fault rates.
+struct GridSweepGolden {
+  double fault_percent;
+  double percent_correct;
+};
+
+inline constexpr GridSweepGolden kMultiCellTmrSweep[] = {
+    {0.0, 100.0},
+    {2.0, 100.0},
+    {5.0, 98.4375},
+};
+inline constexpr std::size_t kMultiCellTmrSweepSize = 3;
+/// Every cell of the 2x2 grid survives at every swept rate.
+inline constexpr const char* kMultiCellAliveMap = "####";
+
+// ------------------------------------------------------- registry view
+
+/// One registry entry rendered for the schema test: a stable name and a
+/// canonical string rendering of the value.
+struct Entry {
+  std::string name;
+  std::string value;
+};
+
+/// The whole registry in declaration order. The schema test iterates
+/// this to validate shapes and to fingerprint the values; keep it in
+/// sync when adding goldens.
+inline std::vector<Entry> all_entries() {
+  const auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+  const auto dbl = [](double v) {
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+  };
+  const auto failover = [&](const FailoverGolden& f) {
+    std::ostringstream os;
+    os << dbl(f.percent_correct) << "/" << f.results_missing << "/"
+       << f.words_salvaged << "/" << f.words_lost << "/"
+       << f.cells_disabled << "/" << f.instructions_computed << "/"
+       << f.alive_map;
+    return os.str();
+  };
+  std::vector<Entry> out;
+  out.push_back({"seed.derive_seed_123", u64(kDeriveSeed123)});
+  out.push_back({"seed.fnv1a64_aluss", u64(kFnv1a64Aluss)});
+  out.push_back({"seed.trial_seed_aluss_2pct", u64(kTrialSeedAluss2Pct)});
+  {
+    std::ostringstream os;
+    os << kAlussAt2Pct.alu << "@" << dbl(kAlussAt2Pct.fault_percent)
+       << "%/seed" << kAlussAt2Pct.seed << ": "
+       << dbl(kAlussAt2Pct.mean_percent_correct) << "/"
+       << dbl(kAlussAt2Pct.stddev) << "/" << dbl(kAlussAt2Pct.ci95) << "/"
+       << kAlussAt2Pct.samples;
+    out.push_back({"point.aluss_2pct", os.str()});
+  }
+  out.push_back({"failover.three_kills_wd_on",
+                 failover(kThreeKillsWatchdogOn)});
+  out.push_back({"failover.two_dead_routers", failover(kTwoDeadRouters)});
+  for (std::size_t i = 0; i < kMultiCellTmrSweepSize; ++i) {
+    out.push_back({"grid_sweep.tmr_2x2_" + dbl(kMultiCellTmrSweep[i].fault_percent) + "pct",
+                   dbl(kMultiCellTmrSweep[i].percent_correct)});
+  }
+  out.push_back({"grid_sweep.alive_map", kMultiCellAliveMap});
+  return out;
+}
+
+}  // namespace nbx::goldens

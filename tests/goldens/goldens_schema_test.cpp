@@ -1,0 +1,116 @@
+// goldens_schema_test.cpp — validates the golden registry itself.
+//
+// The simulation tests assert that the code reproduces the registry;
+// this test asserts that the registry is well-formed and unchanged:
+// names are unique and stable, shapes are internally consistent (alive
+// maps match disabled counts, sample counts match the paper protocol),
+// and a pinned fingerprint over every entry makes ANY value edit loud —
+// even one no simulation test happens to read.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "common/rng.hpp"
+#include "fault/mask_generator.hpp"
+#include "goldens.hpp"
+
+namespace nbx {
+namespace {
+
+TEST(GoldensSchema, NamesAreUniqueAndWellFormed) {
+  std::set<std::string> seen;
+  for (const goldens::Entry& e : goldens::all_entries()) {
+    EXPECT_FALSE(e.name.empty());
+    EXPECT_FALSE(e.value.empty()) << e.name;
+    EXPECT_TRUE(seen.insert(e.name).second) << "duplicate: " << e.name;
+    for (char c : e.name) {
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)) != 0 ||
+                  std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+                  c == '.' || c == '_')
+          << "bad char '" << c << "' in " << e.name;
+    }
+  }
+}
+
+TEST(GoldensSchema, SeedChainEntriesMatchTheRealDerivations) {
+  // The registry's seed-chain constants must be what the code actually
+  // derives — the registry documents reality, it does not define it.
+  EXPECT_EQ(goldens::kDeriveSeed123, derive_seed({1, 2, 3}));
+  EXPECT_EQ(goldens::kFnv1a64Aluss, fnv1a64("aluss"));
+  EXPECT_EQ(goldens::kTrialSeedAluss2Pct,
+            MaskGenerator::trial_seed(2026, fnv1a64("aluss"), 2.0,
+                                      /*workload=*/0, /*trial=*/0));
+}
+
+TEST(GoldensSchema, ReferencePointShapeIsConsistent) {
+  const goldens::ReferencePoint& p = goldens::kAlussAt2Pct;
+  EXPECT_STREQ(p.alu, "aluss");
+  // Two paper workloads x trials_per_workload samples per point.
+  EXPECT_EQ(p.samples, 2u * static_cast<std::size_t>(p.trials_per_workload));
+  EXPECT_GE(p.mean_percent_correct, 0.0);
+  EXPECT_LE(p.mean_percent_correct, 100.0);
+  EXPECT_GE(p.stddev, 0.0);
+  EXPECT_GE(p.ci95, 0.0);
+}
+
+void expect_alive_map_consistent(const goldens::FailoverGolden& f,
+                                 std::size_t cells) {
+  ASSERT_EQ(std::string(f.alive_map).size(), cells) << f.name;
+  std::size_t disabled = 0;
+  for (char c : std::string(f.alive_map)) {
+    ASSERT_TRUE(c == '#' || c == 'x') << f.name;
+    disabled += c == 'x' ? 1 : 0;
+  }
+  EXPECT_EQ(disabled, f.cells_disabled) << f.name;
+  EXPECT_GE(f.percent_correct, 0.0);
+  EXPECT_LE(f.percent_correct, 100.0);
+}
+
+TEST(GoldensSchema, FailoverGoldensAreInternallyConsistent) {
+  expect_alive_map_consistent(goldens::kThreeKillsWatchdogOn, 9);
+  expect_alive_map_consistent(goldens::kTwoDeadRouters, 9);
+  // Salvage accounting: a fully salvaged run misses nothing; a dead-
+  // router run misses at least its lost words.
+  EXPECT_EQ(goldens::kThreeKillsWatchdogOn.results_missing, 0u);
+  EXPECT_GE(goldens::kTwoDeadRouters.results_missing,
+            goldens::kTwoDeadRouters.words_lost);
+}
+
+TEST(GoldensSchema, GridSweepIsMonotoneAndBounded) {
+  double prev_pct = -1.0;
+  double prev_correct = 101.0;
+  for (const goldens::GridSweepGolden& g : goldens::kMultiCellTmrSweep) {
+    EXPECT_GT(g.fault_percent, prev_pct) << "percents must ascend";
+    EXPECT_LE(g.percent_correct, prev_correct)
+        << "accuracy must not improve with more faults";
+    EXPECT_GE(g.percent_correct, 0.0);
+    EXPECT_LE(g.percent_correct, 100.0);
+    prev_pct = g.fault_percent;
+    prev_correct = g.percent_correct;
+  }
+  EXPECT_EQ(std::string(goldens::kMultiCellAliveMap), "####");
+}
+
+TEST(GoldensSchema, RegistryFingerprintIsPinned) {
+  // FNV-1a over "name=value\n" for every entry, in declaration order.
+  // An intentional re-pin updates this constant in the same diff as the
+  // golden it re-pins; an accidental edit fails here even if nothing
+  // else reads the entry.
+  std::string canonical;
+  for (const goldens::Entry& e : goldens::all_entries()) {
+    canonical += e.name;
+    canonical += '=';
+    canonical += e.value;
+    canonical += '\n';
+  }
+  // To update after an INTENTIONAL golden change: run this test, copy
+  // the printed canonical form's hash, and record why in the PR.
+  EXPECT_EQ(fnv1a64(canonical), 783857206377313724ULL)
+      << "canonical form:\n"
+      << canonical;
+}
+
+}  // namespace
+}  // namespace nbx

@@ -7,11 +7,25 @@
 
 #include <string>
 
+#include "goldens.hpp"
 #include "grid/control_processor.hpp"
 #include "workload/image_ops.hpp"
 
 namespace nbx {
 namespace {
+
+// Asserts one run against its registry entry (tests/goldens.hpp).
+void expect_matches_golden(const GridRunReport& report,
+                           const std::string& alive,
+                           const goldens::FailoverGolden& g) {
+  EXPECT_EQ(report.percent_correct, g.percent_correct) << g.name;
+  EXPECT_EQ(report.results_missing, g.results_missing) << g.name;
+  EXPECT_EQ(report.watchdog.words_salvaged, g.words_salvaged) << g.name;
+  EXPECT_EQ(report.watchdog.words_lost, g.words_lost) << g.name;
+  EXPECT_EQ(report.watchdog.cells_disabled, g.cells_disabled) << g.name;
+  EXPECT_EQ(report.instructions_computed, g.instructions_computed) << g.name;
+  EXPECT_EQ(alive, g.alive_map) << g.name;
+}
 
 const std::vector<CellId> kVictims = {CellId{1, 1}, CellId{2, 0},
                                       CellId{0, 2}, CellId{1, 0}};
@@ -47,14 +61,9 @@ TEST(FailoverGolden, ThreeKillsWatchdogOnSalvagesEverything) {
   (void)cp.run_image_op(bench_image(), reverse_video_op(), opt, &report);
 
   // With routers alive the watchdog rescues every outstanding word:
-  // full accuracy, 45 words rehomed, all three victims disabled.
-  EXPECT_EQ(report.percent_correct, 100.0);
-  EXPECT_EQ(report.results_missing, 0u);
-  EXPECT_EQ(report.watchdog.words_salvaged, 45u);
-  EXPECT_EQ(report.watchdog.words_lost, 0u);
-  EXPECT_EQ(report.watchdog.cells_disabled, 3u);
-  EXPECT_EQ(report.instructions_computed, 128u);
-  EXPECT_EQ(alive_map(grid), "##x#x#x##");
+  // full accuracy, every word rehomed, all three victims disabled.
+  expect_matches_golden(report, alive_map(grid),
+                        goldens::kThreeKillsWatchdogOn);
 }
 
 TEST(FailoverGolden, TwoDeadRouterKillsLoseOnlyTheirBlocks) {
@@ -70,15 +79,9 @@ TEST(FailoverGolden, TwoDeadRouterKillsLoseOnlyTheirBlocks) {
   (void)cp.run_image_op(bench_image(), reverse_video_op(), opt, &report);
 
   // Dead routers make the victims' memories unreachable: their blocks
-  // are lost (30 unfinished words), nothing can be salvaged, and the
-  // two cells killed at cycle 4 stop after 106 of 128 ops.
-  EXPECT_EQ(report.percent_correct, 46.875);
-  EXPECT_EQ(report.results_missing, 68u);
-  EXPECT_EQ(report.watchdog.words_salvaged, 0u);
-  EXPECT_EQ(report.watchdog.words_lost, 30u);
-  EXPECT_EQ(report.watchdog.cells_disabled, 2u);
-  EXPECT_EQ(report.instructions_computed, 106u);
-  EXPECT_EQ(alive_map(grid), "####x#x##");
+  // are lost, nothing can be salvaged, and the two cells killed at
+  // cycle 4 stop partway through the stream.
+  expect_matches_golden(report, alive_map(grid), goldens::kTwoDeadRouters);
 }
 
 }  // namespace

@@ -15,11 +15,27 @@
 #include <string>
 #include <vector>
 
+#include "goldens.hpp"
 #include "grid/grid_trials.hpp"
 #include "workload/image_ops.hpp"
 
 namespace nbx {
 namespace {
+
+// Asserts one engine-backed run against its registry entry
+// (tests/goldens.hpp) — the same entries failover_golden_test.cpp checks
+// through ControlProcessor directly.
+void expect_matches_golden(const GridTrialResult& r,
+                           const goldens::FailoverGolden& g) {
+  EXPECT_EQ(r.report.percent_correct, g.percent_correct) << g.name;
+  EXPECT_EQ(r.report.results_missing, g.results_missing) << g.name;
+  EXPECT_EQ(r.report.watchdog.words_salvaged, g.words_salvaged) << g.name;
+  EXPECT_EQ(r.report.watchdog.words_lost, g.words_lost) << g.name;
+  EXPECT_EQ(r.report.watchdog.cells_disabled, g.cells_disabled) << g.name;
+  EXPECT_EQ(r.report.instructions_computed, g.instructions_computed)
+      << g.name;
+  EXPECT_EQ(r.alive_map, g.alive_map) << g.name;
+}
 
 const std::vector<CellId> kVictims = {CellId{1, 1}, CellId{2, 0},
                                       CellId{0, 2}, CellId{1, 0}};
@@ -50,14 +66,8 @@ TEST(GridTrials, FailoverGoldenHoldsThroughTheEngine) {
   const auto results = run_grid_trials(TrialEngine{}, {failover_spec()});
   ASSERT_EQ(results.size(), 1u);
   const GridTrialResult& r = results[0];
-  EXPECT_EQ(r.label, "3-kills/wd-on");
-  EXPECT_EQ(r.report.percent_correct, 100.0);
-  EXPECT_EQ(r.report.results_missing, 0u);
-  EXPECT_EQ(r.report.watchdog.words_salvaged, 45u);
-  EXPECT_EQ(r.report.watchdog.words_lost, 0u);
-  EXPECT_EQ(r.report.watchdog.cells_disabled, 3u);
-  EXPECT_EQ(r.report.instructions_computed, 128u);
-  EXPECT_EQ(r.alive_map, "##x#x#x##");
+  EXPECT_EQ(r.label, goldens::kThreeKillsWatchdogOn.name);
+  expect_matches_golden(r, goldens::kThreeKillsWatchdogOn);
   EXPECT_EQ(r.control_corrupted, 0u);
 }
 
@@ -76,20 +86,16 @@ TEST(GridTrials, DeadRouterGoldenHoldsThroughTheEngine) {
   const auto results = run_grid_trials(TrialEngine{}, {spec});
   ASSERT_EQ(results.size(), 1u);
   const GridTrialResult& r = results[0];
-  EXPECT_EQ(r.report.percent_correct, 46.875);
-  EXPECT_EQ(r.report.results_missing, 68u);
-  EXPECT_EQ(r.report.watchdog.words_salvaged, 0u);
-  EXPECT_EQ(r.report.watchdog.words_lost, 30u);
-  EXPECT_EQ(r.report.watchdog.cells_disabled, 2u);
-  EXPECT_EQ(r.report.instructions_computed, 106u);
-  EXPECT_EQ(r.alive_map, "####x#x##");
+  expect_matches_golden(r, goldens::kTwoDeadRouters);
 }
 
 // bench_grid's accuracy sweep shape: 2x2 TMR cells at increasing ALU
-// fault rates, the paper test image, the hue-shift op.
+// fault rates, the paper test image, the hue-shift op. The rates come
+// from the registry so the pinned-golden test below stays index-aligned.
 std::vector<GridTrialSpec> accuracy_specs() {
   std::vector<GridTrialSpec> specs;
-  for (const double pct : {0.0, 2.0, 5.0}) {
+  for (const goldens::GridSweepGolden& g : goldens::kMultiCellTmrSweep) {
+    const double pct = g.fault_percent;
     GridTrialSpec spec;
     spec.label = "2x2-tmr@" + std::to_string(pct);
     spec.cell.alu_coding = LutCoding::kTmr;
@@ -125,17 +131,19 @@ TEST(GridTrials, MultiCellSweepIsBitIdenticalAcrossThreads) {
 }
 
 TEST(GridTrials, MultiCellSweepGoldenIsPinned) {
-  // Captured from the configuration above; a deliberate reseeding must
-  // re-pin these and say so in the PR description.
+  // Registry entries captured from the configuration above; a deliberate
+  // reseeding must re-pin tests/goldens.hpp and say so in the PR
+  // description.
   const auto results =
       run_grid_trials(TrialEngine{ParallelConfig{8, 0}}, accuracy_specs());
-  ASSERT_EQ(results.size(), 3u);
-  EXPECT_EQ(results[0].report.percent_correct, 100.0);     // fault-free
-  EXPECT_EQ(results[1].report.percent_correct, 100.0);     // 2%, all masked
-  EXPECT_EQ(results[2].report.percent_correct, 98.4375);   // 5% TMR
-  for (const GridTrialResult& r : results) {
-    EXPECT_EQ(r.alive_map, "####") << r.label;
-    EXPECT_EQ(r.report.results_missing, 0u) << r.label;
+  ASSERT_EQ(results.size(), goldens::kMultiCellTmrSweepSize);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].report.percent_correct,
+              goldens::kMultiCellTmrSweep[i].percent_correct)
+        << results[i].label;
+    EXPECT_EQ(results[i].alive_map, goldens::kMultiCellAliveMap)
+        << results[i].label;
+    EXPECT_EQ(results[i].report.results_missing, 0u) << results[i].label;
   }
 }
 

@@ -17,60 +17,69 @@
 
 #include "alu/alu_factory.hpp"
 #include "fault/mask_generator.hpp"
+#include "goldens.hpp"
 #include "sim/bench_json.hpp"
 #include "sim/experiment.hpp"
 
 namespace nbx {
 namespace {
 
+// All pinned values live in the registry (tests/goldens.hpp); this file
+// only asserts that the simulator reproduces them.
+const goldens::ReferencePoint& kRef = goldens::kAlussAt2Pct;
+
 TEST(SeedGolden, DeriveSeedChainIsPinned) {
   // The counter-based split primitive itself.
-  EXPECT_EQ(derive_seed({1, 2, 3}), 8157911895043981667ULL);
-  EXPECT_EQ(fnv1a64("aluss"), 13125456046766443269ULL);
-  EXPECT_EQ(MaskGenerator::trial_seed(2026, fnv1a64("aluss"), 2.0,
+  EXPECT_EQ(derive_seed({1, 2, 3}), goldens::kDeriveSeed123);
+  EXPECT_EQ(fnv1a64("aluss"), goldens::kFnv1a64Aluss);
+  EXPECT_EQ(MaskGenerator::trial_seed(kRef.seed, fnv1a64(kRef.alu),
+                                      kRef.fault_percent,
                                       /*workload=*/0, /*trial=*/0),
-            13129664871889695161ULL);
+            goldens::kTrialSeedAluss2Pct);
 }
 
 TEST(SeedGolden, AlussAtTwoPercentUnderSeed2026) {
-  const auto alu = make_alu("aluss");
-  const auto streams = paper_streams(2026);
-  const DataPoint p = run_data_point(*alu, streams, 2.0, 5, 2026);
-  EXPECT_EQ(p.samples, 10u);
-  EXPECT_DOUBLE_EQ(p.mean_percent_correct, 98.90625);
-  EXPECT_DOUBLE_EQ(p.stddev, 0.75475920553070042);
-  EXPECT_DOUBLE_EQ(p.ci95, 0.53988469906198522);
+  const auto alu = make_alu(kRef.alu);
+  const auto streams = paper_streams(kRef.seed);
+  const DataPoint p = run_data_point(*alu, streams, kRef.fault_percent,
+                                     kRef.trials_per_workload, kRef.seed);
+  EXPECT_EQ(p.samples, kRef.samples);
+  EXPECT_DOUBLE_EQ(p.mean_percent_correct, kRef.mean_percent_correct);
+  EXPECT_DOUBLE_EQ(p.stddev, kRef.stddev);
+  EXPECT_DOUBLE_EQ(p.ci95, kRef.ci95);
 }
 
 TEST(SeedGolden, ParallelPathReproducesTheGoldenPoint) {
   // The pinned value must hold on the thread pool too, not just the
   // serial fold.
-  const auto alu = make_alu("aluss");
-  const auto streams = paper_streams(2026);
+  const auto alu = make_alu(kRef.alu);
+  const auto streams = paper_streams(kRef.seed);
   const DataPoint p =
-      run_data_point(*alu, streams, 2.0, 5, 2026,
+      run_data_point(*alu, streams, kRef.fault_percent,
+                     kRef.trials_per_workload, kRef.seed,
                      FaultCountPolicy::kRoundNearest, InjectionScope::kAll,
                      0, 1, ParallelConfig{4, 0});
-  EXPECT_DOUBLE_EQ(p.mean_percent_correct, 98.90625);
-  EXPECT_DOUBLE_EQ(p.stddev, 0.75475920553070042);
+  EXPECT_DOUBLE_EQ(p.mean_percent_correct, kRef.mean_percent_correct);
+  EXPECT_DOUBLE_EQ(p.stddev, kRef.stddev);
 }
 
 TEST(SeedGolden, BatchedEngineReproducesTheGoldenPoint) {
   // The bit-parallel engine at 64 lanes must land on the same pinned
   // numbers: per-trial seeds are reused verbatim, lanes only change the
   // packing. EXPECT_EQ (not DOUBLE_EQ) — bit-identical is the contract.
-  const auto alu = make_alu("aluss");
-  const auto streams = paper_streams(2026);
+  const auto alu = make_alu(kRef.alu);
+  const auto streams = paper_streams(kRef.seed);
   ParallelConfig par;
   par.batch_lanes = 64;
   const DataPoint p =
-      run_data_point_batched(*alu, streams, 2.0, 5, 2026,
+      run_data_point_batched(*alu, streams, kRef.fault_percent,
+                             kRef.trials_per_workload, kRef.seed,
                              FaultCountPolicy::kRoundNearest,
                              InjectionScope::kAll, 0, 1, par);
-  EXPECT_EQ(p.samples, 10u);
-  EXPECT_EQ(p.mean_percent_correct, 98.90625);
-  EXPECT_EQ(p.stddev, 0.75475920553070042);
-  EXPECT_EQ(p.ci95, 0.53988469906198522);
+  EXPECT_EQ(p.samples, kRef.samples);
+  EXPECT_EQ(p.mean_percent_correct, kRef.mean_percent_correct);
+  EXPECT_EQ(p.stddev, kRef.stddev);
+  EXPECT_EQ(p.ci95, kRef.ci95);
 }
 
 TEST(SeedGolden, BenchBatchJsonSchema) {

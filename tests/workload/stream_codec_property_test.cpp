@@ -1,0 +1,151 @@
+// stream_codec_property_test.cpp — property tests for the NBXS
+// instruction-stream wire format, generated through the nbxcheck Gen
+// (seeded, size-driven — the same generator layer the oracle families
+// use). Two obligations:
+//
+//   * total round-trip: every encodable stream decodes back bit-exactly;
+//   * total rejection: truncation, bit corruption anywhere, trailing
+//     bytes and forged headers are refused whole — `out` stays empty.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "check/gen.hpp"
+#include "common/rng.hpp"
+#include "workload/instruction_stream.hpp"
+
+namespace nbx {
+namespace {
+
+using check::Gen;
+
+std::vector<Instruction> generated_stream(Gen& g) {
+  const std::size_t n = g.length(0, 64);
+  std::vector<Instruction> stream;
+  stream.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Instruction ins;
+    // Ids need not be dense or unique on the wire.
+    ins.id = static_cast<std::uint16_t>(g.u64());
+    ins.op = kAllOpcodes[g.below(4)];
+    ins.a = g.byte();
+    ins.b = g.byte();
+    ins.golden = golden_alu(ins.op, ins.a, ins.b);
+    stream.push_back(ins);
+  }
+  return stream;
+}
+
+bool same_stream(const std::vector<Instruction>& a,
+                 const std::vector<Instruction>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].op != b[i].op || a[i].a != b[i].a ||
+        a[i].b != b[i].b || a[i].golden != b[i].golden) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(StreamCodecProperty, EncodeDecodeRoundTripsBitExactly) {
+  Rng rng(derive_seed({2026, fnv1a64("codec-roundtrip")}));
+  for (int i = 0; i < 200; ++i) {
+    Gen g(rng, i / 199.0);
+    const std::vector<Instruction> stream = generated_stream(g);
+    std::vector<Instruction> decoded;
+    const auto status = decode_stream(encode_stream(stream), &decoded);
+    ASSERT_EQ(status, StreamDecodeStatus::kOk)
+        << stream_decode_status_name(status) << " for " << stream.size()
+        << " records";
+    EXPECT_TRUE(same_stream(stream, decoded)) << stream.size() << " records";
+  }
+}
+
+TEST(StreamCodecProperty, EveryTruncationIsRejectedWhole) {
+  Rng rng(derive_seed({2026, fnv1a64("codec-truncate")}));
+  Gen g(rng, 0.5);
+  const std::vector<std::uint8_t> bytes =
+      encode_stream(generated_stream(g));
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> short_bytes(bytes.begin(),
+                                          bytes.begin() +
+                                              static_cast<std::ptrdiff_t>(cut));
+    std::vector<Instruction> out;
+    EXPECT_NE(decode_stream(short_bytes, &out), StreamDecodeStatus::kOk)
+        << "accepted a " << cut << "-byte prefix of " << bytes.size();
+    EXPECT_TRUE(out.empty()) << "partial decode at cut " << cut;
+  }
+}
+
+TEST(StreamCodecProperty, EverySingleBitCorruptionIsRejected) {
+  // With a whole-payload checksum plus per-record semantic validation,
+  // no single-bit flip anywhere in the blob may decode as kOk. (A magic
+  // or count flip is caught structurally; a payload flip breaks the
+  // checksum; a checksum flip breaks itself.)
+  Rng rng(derive_seed({2026, fnv1a64("codec-corrupt")}));
+  Gen g(rng, 0.4);
+  const std::vector<std::uint8_t> bytes =
+      encode_stream(generated_stream(g));
+  for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    std::vector<std::uint8_t> corrupt = bytes;
+    corrupt[bit / 8] = static_cast<std::uint8_t>(corrupt[bit / 8] ^
+                                                 (1u << (bit % 8)));
+    std::vector<Instruction> out;
+    EXPECT_NE(decode_stream(corrupt, &out), StreamDecodeStatus::kOk)
+        << "accepted a flip of bit " << bit;
+    EXPECT_TRUE(out.empty());
+  }
+}
+
+TEST(StreamCodecProperty, SpecificRejectionsAreClassified) {
+  Rng rng(derive_seed({2026, fnv1a64("codec-classify")}));
+  Gen g(rng, 0.5);
+  const std::vector<std::uint8_t> bytes =
+      encode_stream(generated_stream(g));
+  std::vector<Instruction> out;
+
+  std::vector<std::uint8_t> bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(decode_stream(bad_magic, &out), StreamDecodeStatus::kBadMagic);
+
+  std::vector<std::uint8_t> bad_version = bytes;
+  bad_version[4] = 99;
+  EXPECT_EQ(decode_stream(bad_version, &out),
+            StreamDecodeStatus::kBadVersion);
+
+  std::vector<std::uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_EQ(decode_stream(trailing, &out),
+            StreamDecodeStatus::kTrailingBytes);
+
+  EXPECT_EQ(decode_stream({}, &out), StreamDecodeStatus::kTruncated);
+}
+
+TEST(StreamCodecProperty, ForgedGoldenIsRejectedEvenWithFixedChecksum) {
+  // A blob whose checksum is recomputed after tampering still fails on
+  // the semantic check: golden must equal golden_alu(op, a, b).
+  std::vector<Instruction> stream(1);
+  stream[0].op = Opcode::kXor;
+  stream[0].a = 0x0f;
+  stream[0].b = 0xf0;
+  stream[0].golden = golden_alu(stream[0].op, stream[0].a, stream[0].b);
+  std::vector<std::uint8_t> bytes = encode_stream(stream);
+  const std::size_t golden_at = 4 + 1 + 4 + 5;  // header + record offset 5
+  bytes[golden_at] = static_cast<std::uint8_t>(bytes[golden_at] ^ 0x01);
+  // Re-forge the checksum so only the semantic layer can object.
+  std::uint8_t sum = 0;
+  for (std::size_t i = 9; i + 1 < bytes.size(); ++i) {
+    sum = static_cast<std::uint8_t>(sum ^ bytes[i]);
+  }
+  bytes.back() = sum;
+  std::vector<Instruction> out;
+  EXPECT_EQ(decode_stream(bytes, &out), StreamDecodeStatus::kBadGolden);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace nbx
