@@ -31,7 +31,7 @@ constexpr SharedFlag kSharedFlags[] = {
     {kThreads, "threads", "--threads N",
      "worker threads (0 = all hardware threads)"},
     {kLanes, "lanes", "--lanes N",
-     "bit-parallel batch lanes (0 = scalar engine, max 64)"},
+     "bit-parallel batch lanes (0 = scalar engine, max 512)"},
     {kTrials, "trials", "--trials N", "trials per workload per point"},
     {kSeed, "seed", "--seed N", "master RNG seed"},
     {kAlus, "alus", "--alus a,b,c", "comma-separated Table-2 ALU names"},

@@ -8,8 +8,16 @@
 //   engine-differential — a generated SweepSpec (ALU, percents, trials,
 //       seed, fault policy, scope, burst) must produce bit-identical
 //       DataPoints through every execution path of the TrialEngine:
-//       scalar serial, batched lanes, thread pool, and the anatomy
-//       variants (whose counters must also agree scalar-vs-batched).
+//       scalar serial, batched lanes (1..512, single- and multi-word),
+//       thread pool, and the anatomy variants (whose counters must also
+//       agree scalar-vs-batched).
+//
+//   simd-differential — a generated SweepSpec run through the wide lane
+//       engine at a generated lane count (1..512) under EVERY
+//       compiled-in + CPU-supported SIMD dispatch tier, forced one at a
+//       time via simd::ScopedTierOverride: each tier's DataPoints and
+//       anatomy counters must be bit-identical to the scalar trial
+//       engine's (hence every tier pairwise identical too).
 //
 //   alu-vs-cmos — generated (op, a, b) instruction streams under zero
 //       faults: every catalogued ALU, the gate-level CMOS reference
@@ -36,10 +44,11 @@
 namespace nbx::check {
 
 Property engine_differential_property();
+Property simd_differential_property();
 Property alu_vs_cmos_property();
 Property decode_t_error_property();
 
-/// The three oracle families, in reporting order.
+/// The oracle families, in reporting order.
 std::vector<Property> oracle_properties();
 
 /// Looks up one family by its name (replay dispatch).

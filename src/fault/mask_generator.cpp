@@ -99,11 +99,25 @@ void MaskGenerator::generate(Rng& rng, BatchBitVec& mask,
   // mirroring the scalar harness's scratch-then-copy. The lane's leading
   // segment must be clear on entry — it doubles as Floyd's chosen-set.
   assert(mask.sites() >= sites_);
-  assert(lane < kMaxBatchLanes);
+  assert(lane < mask.lane_words() * kLanesPerWord);
+  generate(rng, mask.row(0) + lane / kLanesPerWord, mask.lane_words(),
+           std::uint64_t{1} << (lane % kLanesPerWord));
+}
+
+void MaskGenerator::generate(Rng& rng, std::uint64_t* lane_word,
+                             std::size_t stride,
+                             std::uint64_t lane_bit) const {
   generate_into(
-      rng, [&mask, lane](std::size_t i) { mask.set(i, lane, true); },
-      [&mask, lane](std::size_t i) { mask.flip(i, lane); },
-      [&mask, lane](std::size_t i) { return mask.get(i, lane); });
+      rng,
+      [lane_word, stride, lane_bit](std::size_t i) {
+        lane_word[i * stride] |= lane_bit;
+      },
+      [lane_word, stride, lane_bit](std::size_t i) {
+        lane_word[i * stride] ^= lane_bit;
+      },
+      [lane_word, stride, lane_bit](std::size_t i) {
+        return (lane_word[i * stride] & lane_bit) != 0;
+      });
 }
 
 BitVec MaskGenerator::generate(Rng& rng) const {

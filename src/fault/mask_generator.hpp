@@ -71,6 +71,17 @@ class MaskGenerator {
   /// the batched analogue of the scalar per-mask clear.
   void generate(Rng& rng, BatchBitVec& mask, unsigned lane) const;
 
+  /// Raw lane-column writer for the SIMD lane engine's hot loop: writes
+  /// a fresh mask into the bit `lane_bit` of words lane_word[i * stride]
+  /// for sites i in [0, sites()). `lane_word` points at the lane's word
+  /// inside site row 0 of a site-major multi-word batch (see
+  /// BatchBitVec::row), `stride` is the row width in words. Consumes
+  /// `rng` exactly like the scalar generate() — same draws, same order —
+  /// and, like the BatchBitVec overload, requires the lane's leading
+  /// segment to be clear on entry.
+  void generate(Rng& rng, std::uint64_t* lane_word, std::size_t stride,
+                std::uint64_t lane_bit) const;
+
   /// Counter-based per-trial seed derivation shared by the serial and
   /// parallel experiment harnesses. The seed is a pure function of
   /// (master seed, ALU-name hash, fault-percent bit pattern, workload

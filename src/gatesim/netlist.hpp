@@ -59,6 +59,15 @@ class Signal {
 /// numbered in creation order (node i occupies mask bit i).
 class Netlist {
  public:
+  /// One gate of the DAG. Public so lane-sliced evaluators outside this
+  /// class (the SIMD lane engine's templated evaluate; see
+  /// src/simd/lane_engine_inl.hpp) can walk the structure via gates().
+  struct Gate {
+    GateOp op;
+    std::vector<Signal> fanin;
+    std::string name;
+  };
+
   /// Declares a primary input; `name` is for debugging/netlist dumps.
   Signal add_input(std::string name);
 
@@ -110,6 +119,11 @@ class Netlist {
       Signal s, const std::uint64_t* input_words,
       const std::vector<std::uint64_t>& nodes) const;
 
+  /// The gate DAG in topological (creation/site) order — gate i's output
+  /// is node i and fault site i. Read-only structural view for external
+  /// lane-sliced evaluators.
+  [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+
   /// Per-operator gate counts (debugging / area accounting).
   struct GateCounts {
     std::size_t buf = 0;
@@ -128,12 +142,6 @@ class Netlist {
   void dump(std::ostream& os) const;
 
  private:
-  struct Gate {
-    GateOp op;
-    std::vector<Signal> fanin;
-    std::string name;
-  };
-
   std::vector<std::string> inputs_;
   std::vector<Gate> gates_;
 

@@ -45,6 +45,35 @@ class BatchLut {
   [[nodiscard]] int inputs() const { return k_; }
   [[nodiscard]] std::size_t fault_sites() const { return sites_; }
 
+  // ------------------------------------------------------------------
+  // Table views for the SIMD lane engine (src/simd/lane_engine_inl.hpp):
+  // the wide kernels re-run the same decode algorithms at 128/256/512
+  // lanes and consume these derived constants instead of rebuilding
+  // them per tier. Broadcast leaves are all-zero/all-one 64-bit words;
+  // a wide lane vector splats them across its lane words.
+  [[nodiscard]] const CodedLut& coded() const { return *lut_; }
+  [[nodiscard]] LutCoding coding() const { return coding_; }
+  [[nodiscard]] std::size_t table_bits() const { return n_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& golden_leaves() const {
+    return golden_;
+  }
+  [[nodiscard]] std::size_t check_bits() const { return r_; }
+  [[nodiscard]] const std::vector<std::vector<std::uint32_t>>&
+  syndrome_sites() const {
+    return syndrome_sites_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::uint64_t>>& pos_leaves()
+      const {
+    return pos_leaves_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& is_data_leaves() const {
+    return is_data_leaves_;
+  }
+  /// Segment-relative stored-bit site of TMR copy `copy` of table entry
+  /// `entry` under this LUT's triplication layout.
+  [[nodiscard]] std::size_t tmr_site(std::size_t copy,
+                                     std::size_t entry) const;
+
   /// Reads all lanes at once. `addr_bits` points at inputs() lane words
   /// (bit L of addr_bits[j] = address bit j of lane L). `mask` is the
   /// whole-ALU batched fault mask with this LUT's segment starting at
@@ -78,8 +107,6 @@ class BatchLut {
   // position? Indexed by the lane-sliced syndrome via the same mux tree.
   std::vector<std::uint64_t> is_data_leaves_;
 
-  [[nodiscard]] std::size_t tmr_site(std::size_t copy,
-                                     std::size_t entry) const;
   [[nodiscard]] std::uint64_t read_tmr(const std::uint64_t* addr_bits,
                                        const BatchBitVec* mask,
                                        std::size_t offset,

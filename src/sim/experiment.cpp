@@ -48,7 +48,9 @@ DataPoint run_data_point_batched(
     const ParallelConfig& par) {
   ParallelConfig batched = par;
   if (batched.batch_lanes == 0) {
-    batched.batch_lanes = kMaxBatchLanes;
+    // The historical full-batch default: one 64-lane word per group
+    // (kMaxBatchLanes now means 512; the shim keeps its old behavior).
+    batched.batch_lanes = kLanesPerWord;
   }
   return TrialEngine(batched).point(
       alu, streams,

@@ -4,8 +4,10 @@
 #include <bit>
 #include <cassert>
 
-#include "alu/batch_alu.hpp"
 #include "common/batch_bitvec.hpp"
+#include "simd/lane_engine.hpp"
+#include "simd/simd_dispatch.hpp"
+#include "simd/wide_mirror.hpp"
 #include "workload/image_ops.hpp"
 
 namespace nbx {
@@ -25,8 +27,18 @@ TrialResult run_trial(const IAlu& alu,
   const MaskGenerator gen(inject_sites, cfg.fault_percent, cfg.policy,
                           cfg.burst_length);
 
-  BitVec mask(total_sites);
-  BitVec scratch(inject_sites);
+  // Per-worker scalar arena: generate() clears/resizes as needed, so a
+  // steady-state trial over the same ALU allocates nothing (the scalar
+  // analogue of the wide backend's WideArena; see
+  // tests/audit/alloc_audit_test.cpp).
+  thread_local BitVec mask;
+  thread_local BitVec scratch;
+  if (mask.size() != total_sites) {
+    mask = BitVec(total_sites);
+  }
+  if (scratch.size() != inject_sites) {
+    scratch = BitVec(inject_sites);
+  }
   TrialResult res;
   res.instructions = stream.size();
   if (anatomy != nullptr) {
@@ -88,10 +100,6 @@ TrialResult run_trial(const IAlu& alu,
 
 namespace {
 
-inline std::uint64_t popcnt(std::uint64_t w) {
-  return static_cast<std::uint64_t>(std::popcount(w));
-}
-
 // The scalar sweep backend: one item = one (percent, workload, trial)
 // cell of the grid, indexed [percent][workload][trial] flattened. Every
 // cell's RNG seed is a pure function of its coordinates
@@ -130,17 +138,30 @@ struct ScalarSweepBackend {
   }
 };
 
+/// The per-worker wide-engine arena. thread_local so the thread pool's
+/// workers each reuse their own scratch across every lane group they
+/// run: after the first group of a run, the hot path allocates nothing
+/// (tests/audit/alloc_audit_test.cpp counts).
+simd::WideArena& wide_arena() {
+  thread_local simd::WideArena arena;
+  return arena;
+}
+
 // The bit-parallel sweep backend: one item = one *lane group* — up to
 // batch_lanes trials of one (percent, workload) cell packed into the
-// lanes of one BatchBitVec. Every lane keeps its own Rng seeded with the
-// exact scalar trial seed and the shared mask-generation core consumes
-// it draw-for-draw like the scalar path, so each lane regenerates its
-// trial's mask stream verbatim; the batched ALU then computes all lanes
-// at once. Same sample vector, same flat [percent][workload][trial]
-// order, bit-identical values.
-struct BatchedSweepBackend {
+// lanes of one BatchBitVec (1..8 lane words per site, i.e. up to 512
+// lanes). Every lane keeps its own Rng seeded with the exact scalar
+// trial seed and the shared mask-generation core consumes it
+// draw-for-draw like the scalar path, so each lane regenerates its
+// trial's mask stream verbatim; the SIMD lane engine (src/simd/) then
+// computes all lanes at once on the dispatch tier resolved once per
+// run. Same sample vector, same flat [percent][workload][trial] order,
+// bit-identical values on every tier and every width.
+struct WideSweepBackend {
   const IAlu& alu;
-  const BatchAlu& batch;
+  const simd::WideMirror& mirror;
+  simd::SimdTier tier;
+  std::size_t lane_words;
   const std::vector<std::vector<Instruction>>& streams;
   const SweepSpec& spec;
   std::uint64_t alu_hash;
@@ -165,61 +186,45 @@ struct BatchedSweepBackend {
     const std::size_t first_trial = group * lanes;
     const auto in_group = static_cast<unsigned>(
         std::min<std::size_t>(lanes, trials - first_trial));
-    const std::uint64_t active = lane_mask_for(in_group);
     const std::vector<Instruction>& stream = streams[w];
 
     const MaskGenerator gen(inject_sites, spec.percents[pi], spec.policy,
                             spec.burst_length);
-    std::vector<Rng> rngs;
-    rngs.reserve(in_group);
+
+    // Shape this worker's arena: reshape/resize never shrink capacity,
+    // so in steady state none of this allocates.
+    simd::WideArena& ar = wide_arena();
+    ar.mask.reshape(total_sites, lane_words);
+    ar.rngs.clear();
+    if (ar.rngs.capacity() < in_group) {
+      ar.rngs.reserve(lanes);
+    }
     for (unsigned l = 0; l < in_group; ++l) {
-      rngs.emplace_back(MaskGenerator::trial_seed(
+      ar.rngs.emplace_back(MaskGenerator::trial_seed(
           spec.seed, alu_hash, spec.percents[pi], w, first_trial + l));
     }
+    if (ar.incorrect.size() < in_group) {
+      ar.incorrect.resize(lanes);
+    }
+    std::fill_n(ar.incorrect.begin(), in_group, 0u);
+    const std::size_t node_words =
+        mirror.max_netlist_nodes() * lane_words;
+    if (ar.nodes.size() < node_words) {
+      ar.nodes.resize(node_words);
+    }
 
-    obs::Counters* oc =
-        per_group != nullptr ? &(*per_group)[item] : nullptr;
-    BatchBitVec mask(total_sites);
-    BatchAluOutput out;
-    ModuleStats stats;
-    if (oc != nullptr) {
-      stats.obs = oc;
-      stats.lut.obs = oc;
-    }
-    std::uint32_t incorrect[kMaxBatchLanes] = {};
-    for (const Instruction& ins : stream) {
-      mask.clear_all();
-      for (unsigned l = 0; l < in_group; ++l) {
-        gen.generate(rngs[l], mask, l);
-      }
-      if (oc != nullptr) {
-        oc->injection.masks_generated += in_group;
-        std::uint64_t flipped = 0;
-        for (std::size_t s = 0; s < inject_sites; ++s) {
-          flipped += popcnt(mask.word(s) & active);
-        }
-        oc->injection.faults_injected += flipped;
-      }
-      batch.compute(ins.op, ins.a, ins.b, &mask, active, out, &stats);
-      std::uint64_t wrong = 0;
-      for (unsigned bit = 0; bit < 8; ++bit) {
-        wrong |= out.value[bit] ^ lane_broadcast((ins.golden >> bit) & 1u);
-      }
-      for (std::uint64_t rest = wrong & active; rest != 0;
-           rest &= rest - 1) {
-        ++incorrect[std::countr_zero(rest)];
-      }
-      if (oc != nullptr) {
-        // Lane-sliced version of run_trial's end-to-end classification.
-        auto& e = oc->end_to_end;
-        const std::uint64_t flagged = out.disagreement | ~out.valid;
-        e.instructions += in_group;
-        e.caught_errors += popcnt(wrong & flagged & active);
-        e.silent_corruptions += popcnt(wrong & ~flagged & active);
-        e.false_alarms += popcnt(~wrong & flagged & active);
-        e.correct += popcnt(~wrong & ~flagged & active);
-      }
-    }
+    simd::WideGroupJob job;
+    job.mirror = &mirror;
+    job.gen = &gen;
+    job.stream = stream.data();
+    job.stream_len = stream.size();
+    job.in_group = in_group;
+    job.total_sites = total_sites;
+    job.inject_sites = inject_sites;
+    job.anatomy = per_group != nullptr ? &(*per_group)[item] : nullptr;
+    job.arena = &ar;
+    simd::run_wide_group(tier, lane_words, job);
+
     const std::size_t base = cell * trials + first_trial;
     for (unsigned l = 0; l < in_group; ++l) {
       // Same arithmetic as run_trial's percent_correct, so the doubles
@@ -228,7 +233,8 @@ struct BatchedSweepBackend {
           stream.empty()
               ? 100.0
               : 100.0 *
-                    static_cast<double>(stream.size() - incorrect[l]) /
+                    static_cast<double>(stream.size() -
+                                        ar.incorrect[l]) /
                     static_cast<double>(stream.size());
     }
   }
@@ -271,6 +277,7 @@ std::vector<double> run_grid(
 
   const unsigned lanes =
       std::min(std::max(engine.parallel().batch_lanes, 1u), kMaxBatchLanes);
+  const std::size_t lane_words = lane_words_for(lanes);
   const std::size_t groups_per_cell =
       trials == 0 ? 0 : (trials + lanes - 1) / lanes;
   const std::size_t cells = spec.percents.size() * workloads;
@@ -281,26 +288,32 @@ std::vector<double> run_grid(
                                        : total_sites;
   assert(inject_sites <= total_sites);
 
-  // One read-only batched mirror shared by all worker threads
-  // (BatchAlu::compute keeps its scratch on the stack).
-  const std::unique_ptr<BatchAlu> batch = BatchAlu::create(alu);
+  // The dispatch tier is resolved exactly once per run, before workers
+  // start (set_tier_override / NBX_SIMD_TIER are not read concurrently);
+  // the structural mirror is read-only and shared by all worker threads
+  // (each worker's scratch lives in its thread_local WideArena).
+  const simd::SimdTier tier = simd::active_tier();
+  const std::unique_ptr<simd::WideMirror> mirror =
+      simd::WideMirror::create(alu);
   std::vector<obs::Counters> per_group;
   if (anatomy != nullptr) {
     per_group.resize(total_groups);
   }
-  BatchedSweepBackend backend{alu,
-                              *batch,
-                              streams,
-                              spec,
-                              alu_hash,
-                              trials,
-                              lanes,
-                              groups_per_cell,
-                              total_groups,
-                              total_sites,
-                              inject_sites,
-                              samples,
-                              anatomy != nullptr ? &per_group : nullptr};
+  WideSweepBackend backend{alu,
+                           *mirror,
+                           tier,
+                           lane_words,
+                           streams,
+                           spec,
+                           alu_hash,
+                           trials,
+                           lanes,
+                           groups_per_cell,
+                           total_groups,
+                           total_sites,
+                           inject_sites,
+                           samples,
+                           anatomy != nullptr ? &per_group : nullptr};
   engine.execute(backend);
   if (anatomy != nullptr) {
     anatomy->assign(spec.percents.size(), obs::Counters{});

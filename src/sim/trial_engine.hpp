@@ -94,12 +94,16 @@ struct ParallelConfig {
   unsigned threads = 1;   ///< total worker threads; 1 = serial, 0 = all
                           ///< hardware threads
   std::size_t chunking = 0;  ///< trials per work unit; 0 = auto
-  /// Trials packed per bit-parallel batch (see alu/batch_alu.hpp):
-  /// 0 = scalar engine (default); 1..64 = batched engine with that many
-  /// lanes per group. Any value yields bit-identical results — lanes
-  /// reuse the scalar per-trial seeds verbatim — so this is purely a
-  /// throughput knob. Composes with `threads`: the work unit becomes a
-  /// lane group instead of a single trial.
+  /// Trials packed per bit-parallel batch (see src/simd/):
+  /// 0 = scalar engine (default); 1..512 = SIMD-wide lane engine with
+  /// that many lanes per group (rounded up internally to a whole
+  /// 64/128/256/512-bit site row; the SIMD dispatch tier is CPUID-
+  /// resolved per run, overridable via NBX_SIMD_TIER or
+  /// simd::set_tier_override). Any value on any tier yields
+  /// bit-identical results — lanes reuse the scalar per-trial seeds
+  /// verbatim — so this is purely a throughput knob. Composes with
+  /// `threads`: the work unit becomes a lane group instead of a single
+  /// trial.
   unsigned batch_lanes = 0;
   /// Optional stage profiler (not owned): when set, the engine times
   /// each work item under its backend's stage name ("trial" scalar,

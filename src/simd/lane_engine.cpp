@@ -1,0 +1,47 @@
+#include "simd/lane_engine.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace nbx::simd {
+
+// Tier TU entry points. Referenced explicitly (never self-registered)
+// so a static-library link always pulls in exactly the compiled tiers.
+const LaneKernels& scalar_kernels();
+#if defined(NBX_HAVE_AVX2)
+const LaneKernels& avx2_kernels();
+#endif
+#if defined(NBX_HAVE_AVX512)
+const LaneKernels& avx512_kernels();
+#endif
+
+const LaneKernels& kernels_for(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      break;
+    case SimdTier::kAvx2:
+#if defined(NBX_HAVE_AVX2)
+      return avx2_kernels();
+#else
+      break;
+#endif
+    case SimdTier::kAvx512:
+#if defined(NBX_HAVE_AVX512)
+      return avx512_kernels();
+#else
+      break;
+#endif
+  }
+  return scalar_kernels();
+}
+
+void run_wide_group(SimdTier tier, std::size_t lane_words,
+                    const WideGroupJob& job) {
+  assert(lane_words == 1 || lane_words == 2 || lane_words == 4 ||
+         lane_words == 8);
+  const auto slot = static_cast<std::size_t>(
+      std::countr_zero(static_cast<unsigned>(lane_words)));
+  kernels_for(tier).run_group[slot](job);
+}
+
+}  // namespace nbx::simd

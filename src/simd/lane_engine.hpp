@@ -1,0 +1,27 @@
+// lane_engine.hpp — the dispatch entry of the SIMD-wide lane engine.
+//
+// The trial engine resolves a dispatch tier once per run (active_tier()),
+// picks a lane-word width W from the requested lane count
+// (lane_words_for), and then calls run_wide_group once per lane group.
+// Everything tier-specific lives behind that one call.
+#pragma once
+
+#include <cstddef>
+
+#include "simd/lane_kernels.hpp"
+#include "simd/simd_dispatch.hpp"
+
+namespace nbx::simd {
+
+/// The kernel table of a compiled-in tier. `tier` must satisfy
+/// tier_compiled(); callers get there via active_tier(), which never
+/// names a tier that is not compiled in and CPU-supported.
+const LaneKernels& kernels_for(SimdTier tier);
+
+/// Runs one lane group (job.in_group trials) at `lane_words` words per
+/// site row on the given tier. lane_words must be 1, 2, 4 or 8 and the
+/// job's arena must be pre-shaped by the caller (see trial_engine.cpp).
+void run_wide_group(SimdTier tier, std::size_t lane_words,
+                    const WideGroupJob& job);
+
+}  // namespace nbx::simd

@@ -1,0 +1,64 @@
+// lane_kernels.hpp — the ABI between the lane-engine dispatcher and the
+// per-tier kernel translation units.
+//
+// Each dispatch tier (scalar / AVX2 / AVX-512) compiles the SAME
+// templated group-trial kernel (lane_engine_inl.hpp) in its own
+// namespace with its own -m flags; what crosses the TU boundary is this
+// plain-data job description plus a table of function pointers, one per
+// lane-word width W in {1, 2, 4, 8}. One indirect call per lane group is
+// the entire dispatch overhead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/batch_bitvec.hpp"
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "fault/mask_generator.hpp"
+#include "obs/counters.hpp"
+#include "workload/instruction_stream.hpp"
+
+namespace nbx::simd {
+
+class WideMirror;
+
+/// Reusable per-worker scratch (the arena): one thread_local instance
+/// per worker thread, sized on first use and reused for every lane
+/// group after — the batched hot path performs zero heap allocations in
+/// steady state (enforced by tests/audit/alloc_audit_test.cpp).
+struct WideArena {
+  BatchBitVec mask;                  ///< total_sites x lanes fault mask
+  std::vector<Rng> rngs;             ///< one per lane in the group
+  std::vector<std::uint32_t> incorrect;  ///< per-lane wrong-result count
+  std::vector<std::uint64_t> nodes;  ///< netlist node words (W per node)
+  BitVec lane_mask;                  ///< scalar fallback lane extraction
+};
+
+/// Everything one lane-group trial needs, flattened. The kernel runs the
+/// whole instruction stream for the group: per instruction it clears the
+/// mask, regenerates every lane's mask from its Rng (identical draws to
+/// the scalar engine — the bit-identity contract), evaluates the mirror,
+/// and scores lanes against the golden results.
+struct WideGroupJob {
+  const WideMirror* mirror = nullptr;
+  const MaskGenerator* gen = nullptr;  ///< bound to inject_sites
+  const Instruction* stream = nullptr;
+  std::size_t stream_len = 0;
+  unsigned in_group = 0;      ///< active lanes, 1 .. 64 * lane_words
+  std::size_t total_sites = 0;
+  std::size_t inject_sites = 0;
+  obs::Counters* anatomy = nullptr;  ///< null = anatomy off
+  WideArena* arena = nullptr;  ///< mask/rngs sized by the caller;
+                               ///< incorrect[] is the kernel's output
+};
+
+/// Per-tier kernel table: run_group[log2(W)] executes one lane group at
+/// W lane words. Exactly the entries a tier TU instantiated.
+struct LaneKernels {
+  using RunGroupFn = void (*)(const WideGroupJob&);
+  RunGroupFn run_group[4] = {};  // W = 1, 2, 4, 8
+};
+
+}  // namespace nbx::simd

@@ -1,0 +1,141 @@
+#include "simd/simd_dispatch.hpp"
+
+#include <cstdlib>
+
+namespace nbx::simd {
+
+namespace {
+
+std::optional<SimdTier>& override_slot() {
+  static std::optional<SimdTier> slot;
+  return slot;
+}
+
+/// CPUID probe, evaluated once. On non-x86 targets the builtin is
+/// unavailable; everything above scalar reports unsupported there.
+bool cpu_has(SimdTier tier) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (tier) {
+    case SimdTier::kScalar:
+      return true;
+    case SimdTier::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case SimdTier::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0;
+  }
+  return false;
+#else
+  return tier == SimdTier::kScalar;
+#endif
+}
+
+}  // namespace
+
+std::string_view tier_name(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+std::optional<SimdTier> parse_tier(std::string_view name) {
+  if (name == "scalar") {
+    return SimdTier::kScalar;
+  }
+  if (name == "avx2") {
+    return SimdTier::kAvx2;
+  }
+  if (name == "avx512") {
+    return SimdTier::kAvx512;
+  }
+  return std::nullopt;
+}
+
+bool tier_compiled(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return true;
+    case SimdTier::kAvx2:
+#if defined(NBX_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case SimdTier::kAvx512:
+#if defined(NBX_HAVE_AVX512)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool tier_supported(SimdTier tier) {
+  if (!tier_compiled(tier)) {
+    return false;
+  }
+  static const bool has[kTierCount] = {cpu_has(SimdTier::kScalar),
+                                       cpu_has(SimdTier::kAvx2),
+                                       cpu_has(SimdTier::kAvx512)};
+  return has[static_cast<std::size_t>(tier)];
+}
+
+SimdTier best_tier() {
+  if (tier_supported(SimdTier::kAvx512)) {
+    return SimdTier::kAvx512;
+  }
+  if (tier_supported(SimdTier::kAvx2)) {
+    return SimdTier::kAvx2;
+  }
+  return SimdTier::kScalar;
+}
+
+namespace {
+
+/// Clamp a requested tier down to the best supported tier <= it.
+SimdTier clamp_down(SimdTier requested) {
+  SimdTier t = requested;
+  while (t != SimdTier::kScalar && !tier_supported(t)) {
+    t = static_cast<SimdTier>(static_cast<std::uint8_t>(t) - 1);
+  }
+  return t;
+}
+
+}  // namespace
+
+SimdTier active_tier() {
+  if (override_slot().has_value()) {
+    return clamp_down(*override_slot());
+  }
+  // Read the environment each call (not cached) so tests can pin
+  // NBX_SIMD_TIER with setenv between runs; active_tier() is consulted
+  // once per engine run, never in a hot loop.
+  if (const char* env = std::getenv("NBX_SIMD_TIER")) {
+    if (const std::optional<SimdTier> t = parse_tier(env)) {
+      return clamp_down(*t);
+    }
+  }
+  return best_tier();
+}
+
+void set_tier_override(std::optional<SimdTier> tier) {
+  override_slot() = tier;
+}
+
+ScopedTierOverride::ScopedTierOverride(SimdTier tier)
+    : previous_(override_slot()) {
+  set_tier_override(tier);
+}
+
+ScopedTierOverride::~ScopedTierOverride() { set_tier_override(previous_); }
+
+}  // namespace nbx::simd

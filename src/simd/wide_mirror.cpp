@@ -1,0 +1,107 @@
+#include "simd/wide_mirror.hpp"
+
+#include <algorithm>
+
+#include "alu/cmos_core_alu.hpp"
+#include "alu/lut_core_alu.hpp"
+#include "alu/module_alu.hpp"
+#include "alu/voter.hpp"
+
+namespace nbx::simd {
+
+namespace {
+
+/// Fills `out` from a recognized core; false on anything else.
+bool mirror_core(const CoreAlu& core, WideMirror::Core& out) {
+  out.sites = core.fault_sites();
+  if (const auto* lut = dynamic_cast<const LutCoreAlu*>(&core)) {
+    out.kind = WideMirror::PartKind::kLut;
+    out.block.luts.reserve(LutCoreAlu::kLutCount);
+    out.block.offsets.reserve(LutCoreAlu::kLutCount);
+    for (std::size_t i = 0; i < LutCoreAlu::kLutCount; ++i) {
+      out.block.luts.emplace_back(lut->lut_at(i));
+      out.block.offsets.push_back(lut->lut_offset(i));
+    }
+    return true;
+  }
+  if (const auto* cmos = dynamic_cast<const CmosCoreAlu*>(&core)) {
+    out.kind = WideMirror::PartKind::kCmos;
+    out.netlist = &cmos->netlist();
+    for (std::size_t i = 0; i < 8; ++i) {
+      out.result[i] = cmos->result_signal(i);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool mirror_voter(const IVoter& voter, WideMirror::Voter& out) {
+  out.sites = voter.fault_sites();
+  if (const auto* lut = dynamic_cast<const LutVoter*>(&voter)) {
+    out.kind = WideMirror::PartKind::kLut;
+    out.block.luts.reserve(LutVoter::kLutCount);
+    out.block.offsets.reserve(LutVoter::kLutCount);
+    for (std::size_t i = 0; i < LutVoter::kLutCount; ++i) {
+      out.block.luts.emplace_back(lut->lut_at(i));
+      out.block.offsets.push_back(lut->lut_offset(i));
+    }
+    return true;
+  }
+  if (const auto* cmos = dynamic_cast<const CmosVoter*>(&voter)) {
+    out.kind = WideMirror::PartKind::kCmos;
+    out.netlist = &cmos->netlist();
+    for (std::size_t i = 0; i < 8; ++i) {
+      out.majority[i] = cmos->majority_signal(i);
+    }
+    out.error = cmos->error_signal();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::unique_ptr<WideMirror> WideMirror::create(const IAlu& alu) {
+  auto m = std::make_unique<WideMirror>();
+  m->alu_ = &alu;
+  bool ok = true;
+  if (const auto* single = dynamic_cast<const SingleAlu*>(&alu)) {
+    m->level_ = Level::kSingle;
+    m->cores_.resize(1);
+    ok = mirror_core(single->core(), m->cores_[0]);
+  } else if (const auto* space =
+                 dynamic_cast<const SpaceRedundantAlu*>(&alu)) {
+    m->level_ = Level::kSpace;
+    m->cores_.resize(3);
+    for (std::size_t i = 0; i < 3; ++i) {
+      ok = ok && mirror_core(space->core(i), m->cores_[i]);
+    }
+    m->has_voter_ = ok && mirror_voter(space->voter(), m->voter_);
+    ok = ok && m->has_voter_;
+  } else if (const auto* time = dynamic_cast<const TimeRedundantAlu*>(&alu)) {
+    m->level_ = Level::kTime;
+    m->cores_.resize(1);
+    ok = mirror_core(time->core(), m->cores_[0]);
+    m->has_voter_ = ok && mirror_voter(time->voter(), m->voter_);
+    ok = ok && m->has_voter_;
+  } else {
+    ok = false;
+  }
+  if (!ok) {
+    m->fallback_ = true;
+    m->cores_.clear();
+    m->has_voter_ = false;
+    return m;
+  }
+  for (const Core& c : m->cores_) {
+    if (c.netlist != nullptr) {
+      m->max_nodes_ = std::max(m->max_nodes_, c.netlist->node_count());
+    }
+  }
+  if (m->has_voter_ && m->voter_.netlist != nullptr) {
+    m->max_nodes_ = std::max(m->max_nodes_, m->voter_.netlist->node_count());
+  }
+  return m;
+}
+
+}  // namespace nbx::simd

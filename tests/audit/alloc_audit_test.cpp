@@ -1,0 +1,141 @@
+// alloc_audit_test.cpp — steady-state heap discipline of the wide lane
+// engine.
+//
+// The batched backend's throughput story depends on the per-worker
+// arena (src/simd/lane_kernels.hpp): after a warm-up group has sized the
+// thread-local buffers, running more trials must allocate NOTHING —
+// every lane group reuses the same mask matrix, RNG array, scorer and
+// netlist scratch. This binary replaces the global operator new/delete
+// pair with a counting shim and asserts that two engine runs differing
+// ONLY in trial count perform exactly the same number of heap
+// allocations; any per-trial or per-group allocation would make the
+// longer run allocate more. It lives in its own test binary
+// (test_audit) so the counting allocator cannot perturb any other
+// suite.
+//
+// threads is pinned to 1: the audit targets the trial path, not the
+// thread pool's one-off queue setup.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "alu/alu_factory.hpp"
+#include "sim/trial_engine.hpp"
+
+// GCC pattern-matches std::free against the replaced operator new and
+// reports a mismatched pair; the pairing is correct by construction in
+// this file (every replaced new allocates with malloc/aligned_alloc).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(al);
+  const std::size_t padded = (n + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, padded != 0 ? padded : a)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace nbx {
+namespace {
+
+std::uint64_t allocations_during_sweep(const IAlu& alu,
+                                       const std::vector<std::vector<Instruction>>& streams,
+                                       unsigned lanes, int trials) {
+  ParallelConfig par;
+  par.threads = 1;  // serial execute: no pool setup in the window
+  par.batch_lanes = lanes;
+  SweepSpec spec;
+  spec.percents = {2.0};
+  spec.trials_per_workload = trials;
+  spec.seed = 20260808;
+  const TrialEngine engine(par);
+  const std::uint64_t before =
+      g_allocations.load(std::memory_order_relaxed);
+  const std::vector<DataPoint> points = engine.sweep(alu, streams, spec);
+  const std::uint64_t after =
+      g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].samples, static_cast<std::size_t>(trials) * 2);
+  return after - before;
+}
+
+void expect_zero_per_trial_allocations(unsigned lanes) {
+  const auto alu = make_alu("aluss");
+  const auto streams = paper_streams(2026);
+  // Warm-up: sizes the thread-local arena (mask matrix, RNG array,
+  // scorer, netlist scratch) and any lazy per-ALU statics. Uses the
+  // larger trial count so nothing needs to grow during measurement.
+  (void)allocations_during_sweep(*alu, streams, lanes, 96);
+  // Two measured runs differ only in trial count — 96 trials spans two
+  // lane groups per workload at 64 lanes, so both per-trial AND
+  // per-group allocations would break the equality.
+  const std::uint64_t short_run =
+      allocations_during_sweep(*alu, streams, lanes, 32);
+  const std::uint64_t long_run =
+      allocations_during_sweep(*alu, streams, lanes, 96);
+  EXPECT_EQ(short_run, long_run)
+      << "lanes=" << lanes << ": the 96-trial run allocated "
+      << long_run << " times vs " << short_run
+      << " for 32 trials — some allocation scales with trials";
+}
+
+TEST(AllocAudit, WideEngineSteadyStateAllocatesNothingAt64Lanes) {
+  expect_zero_per_trial_allocations(64);
+}
+
+TEST(AllocAudit, WideEngineSteadyStateAllocatesNothingAt512Lanes) {
+  expect_zero_per_trial_allocations(512);
+}
+
+TEST(AllocAudit, CountingAllocatorIsLive) {
+  // Meta-check: the audit is vacuous if the replacement operator new is
+  // not actually the one being linked.
+  const std::uint64_t before =
+      g_allocations.load(std::memory_order_relaxed);
+  auto* p = new std::vector<int>(1000);
+  delete p;
+  EXPECT_GT(g_allocations.load(std::memory_order_relaxed), before);
+}
+
+}  // namespace
+}  // namespace nbx

@@ -1,4 +1,4 @@
-// oracles_test.cpp — gtest wrapper around the three differential-oracle
+// oracles_test.cpp — gtest wrapper around the differential-oracle
 // families. This is what check_smoke runs in tier 1: a bounded number of
 // generated cases per family (well over 200 in total), exactly the
 // default depth of the nbxcheck CLI, plus replay-dispatch and
@@ -33,6 +33,10 @@ TEST(OracleSmoke, EngineDifferentialHolds) {
   run_family_clean(engine_differential_property());
 }
 
+TEST(OracleSmoke, SimdDifferentialHolds) {
+  run_family_clean(simd_differential_property());
+}
+
 TEST(OracleSmoke, AluVsCmosHolds) { run_family_clean(alu_vs_cmos_property()); }
 
 TEST(OracleSmoke, DecodeTErrorHolds) {
@@ -40,7 +44,7 @@ TEST(OracleSmoke, DecodeTErrorHolds) {
 }
 
 TEST(OracleSmoke, SmokeDepthCoversAtLeastTwoHundredCases) {
-  // The tier-1 budget promised in docs/TESTING.md: the three families'
+  // The tier-1 budget promised in docs/TESTING.md: the families'
   // default depths sum to >= 200 generated cases.
   std::size_t total = 0;
   for (const Property& p : oracle_properties()) {
@@ -55,7 +59,7 @@ TEST(OracleRegistry, NamesResolveAndAreUnique) {
     names.push_back(p.name());
     EXPECT_TRUE(oracle_property_by_name(p.name()).has_value()) << p.name();
   }
-  EXPECT_EQ(names.size(), 3u);
+  EXPECT_EQ(names.size(), 4u);
   for (std::size_t i = 0; i < names.size(); ++i) {
     for (std::size_t j = i + 1; j < names.size(); ++j) {
       EXPECT_NE(names[i], names[j]);

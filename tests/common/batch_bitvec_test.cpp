@@ -53,12 +53,63 @@ TEST(BatchBitVec, ExtractLaneIsTheTranspose) {
     m.word(s) = rng.next();
   }
   BitVec lane_bits(40);
-  for (unsigned lane = 0; lane < kMaxBatchLanes; lane += 13) {
+  for (unsigned lane = 0; lane < kLanesPerWord; lane += 13) {
     m.extract_lane(lane, 0, lane_bits);
     for (std::size_t s = 0; s < m.sites(); ++s) {
       EXPECT_EQ(lane_bits.get(s), m.get(s, lane));
     }
   }
+}
+
+TEST(BatchBitVec, MultiWordRowsAddressEveryLane) {
+  // Eight lane words = the full 512-lane row. Bits land in the right
+  // word of the right row, and extract_lane transposes across words.
+  BatchBitVec m(7, kMaxLaneWords);
+  EXPECT_EQ(m.lane_words(), kMaxLaneWords);
+  for (unsigned lane = 0; lane < kMaxBatchLanes; lane += 61) {
+    m.set(3, lane, true);
+    EXPECT_TRUE(m.get(3, lane));
+    EXPECT_FALSE(m.get(2, lane));
+    EXPECT_EQ(m.row(3)[lane / kLanesPerWord],
+              std::uint64_t{1} << (lane % kLanesPerWord));
+    m.set(3, lane, false);
+    EXPECT_EQ(m.row(3)[lane / kLanesPerWord], 0u);
+  }
+  m.flip(6, 511);
+  EXPECT_TRUE(m.get(6, 511));
+  BitVec lane_bits(7);
+  m.extract_lane(511, 0, lane_bits);
+  EXPECT_TRUE(lane_bits.get(6));
+  EXPECT_FALSE(lane_bits.get(5));
+}
+
+TEST(BatchBitVec, ReshapeRedimensionsAndZeroes) {
+  BatchBitVec m(4, 2);
+  m.set(3, 100, true);
+  m.reshape(10, 4);
+  EXPECT_EQ(m.sites(), 10u);
+  EXPECT_EQ(m.lane_words(), 4u);
+  for (std::size_t s = 0; s < m.sites(); ++s) {
+    for (unsigned lane = 0; lane < 4 * kLanesPerWord; lane += 17) {
+      EXPECT_FALSE(m.get(s, lane));
+    }
+  }
+  // Shrinking reshape reuses capacity and still zeroes.
+  m.set(9, 255, true);
+  m.reshape(2, 1);
+  EXPECT_EQ(m.sites(), 2u);
+  EXPECT_EQ(m.word(1), 0u);
+}
+
+TEST(BatchBitVec, LaneWordsForRoundsUpToAWholeRegister) {
+  EXPECT_EQ(lane_words_for(1), 1u);
+  EXPECT_EQ(lane_words_for(64), 1u);
+  EXPECT_EQ(lane_words_for(65), 2u);
+  EXPECT_EQ(lane_words_for(128), 2u);
+  EXPECT_EQ(lane_words_for(129), 4u);
+  EXPECT_EQ(lane_words_for(256), 4u);
+  EXPECT_EQ(lane_words_for(257), 8u);
+  EXPECT_EQ(lane_words_for(kMaxBatchLanes), 8u);
 }
 
 TEST(BatchBitVec, ExtractLaneHonoursOffset) {

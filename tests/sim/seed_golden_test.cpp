@@ -103,6 +103,7 @@ TEST(SeedGolden, BenchBatchJsonSchema) {
   r.metrics.emplace_back("batched_trials_per_second", 2560.0);
   r.extra.emplace_back("mode", "full");
   r.extra.emplace_back("bit_identical", "yes");
+  r.extra.emplace_back("simd_tier", "avx2");
   DataPoint p;
   p.alu = "aluss";
   p.fault_percent = 2.0;
@@ -119,7 +120,8 @@ TEST(SeedGolden, BenchBatchJsonSchema) {
         "\"scalar_seconds_aluss\"", "\"batched_seconds_aluss\"",
         "\"speedup_aluss\": 4", "\"min_speedup\": 4",
         "\"scalar_trials_per_second\"", "\"batched_trials_per_second\"",
-        "\"bit_identical\": \"yes\"", "\"alu\": \"aluss\"",
+        "\"bit_identical\": \"yes\"", "\"simd_tier\": \"avx2\"",
+        "\"alu\": \"aluss\"",
         "\"mean_percent_correct\": 98.90625"}) {
     EXPECT_NE(out.find(key), std::string::npos) << "missing " << key;
   }

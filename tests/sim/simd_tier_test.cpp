@@ -1,0 +1,185 @@
+// simd_tier_test.cpp — forced-dispatch bit-identity per SIMD tier.
+//
+// The wide lane engine compiles its kernels once per dispatch tier
+// (scalar / AVX2 / AVX-512) and picks one at runtime; the contract is
+// that the pick is invisible in every number. These tests pin the tier
+// two ways — the NBX_SIMD_TIER environment variable (the user-facing
+// knob) for the seed golden, simd::ScopedTierOverride (the programmatic
+// knob) for the decode-coverage differential — and require:
+//
+//   * the batched seed golden (aluss @ 2%, seed 2026, 5 trials =
+//     98.90625) holds verbatim on every tier, at one lane word (64) and
+//     the full eight-word width (512);
+//   * every catalogued ALU — covering every decode path: uncoded,
+//     Hamming, TMR, Hsiao, ideal-Hamming, interleaved TMR,
+//     Reed-Solomon, the gate-level TMR read path and the CMOS netlist —
+//     produces DataPoints and anatomy counters bit-identical to the
+//     scalar trial engine under every tier.
+//
+// Tiers the binary or the CPU cannot run are GTEST_SKIPped (visible in
+// the log), never silently passed: a green run on an AVX-512 machine
+// certifies all three tiers, a green run elsewhere says which were
+// exercised.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "alu/alu_factory.hpp"
+#include "goldens.hpp"
+#include "sim/experiment.hpp"
+#include "simd/simd_dispatch.hpp"
+
+namespace nbx {
+namespace {
+
+const goldens::ReferencePoint& kRef = goldens::kAlussAt2Pct;
+
+// Pins NBX_SIMD_TIER for the scope of one test body and restores the
+// previous value on exit, so tests cannot leak a tier into each other.
+class EnvTierPin {
+ public:
+  explicit EnvTierPin(std::string_view tier) {
+    const char* prev = std::getenv("NBX_SIMD_TIER");
+    had_previous_ = prev != nullptr;
+    if (had_previous_) {
+      previous_ = prev;
+    }
+    setenv("NBX_SIMD_TIER", std::string(tier).c_str(), /*overwrite=*/1);
+  }
+  ~EnvTierPin() {
+    if (had_previous_) {
+      setenv("NBX_SIMD_TIER", previous_.c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv("NBX_SIMD_TIER");
+    }
+  }
+  EnvTierPin(const EnvTierPin&) = delete;
+  EnvTierPin& operator=(const EnvTierPin&) = delete;
+
+ private:
+  bool had_previous_ = false;
+  std::string previous_;
+};
+
+void expect_golden_at_lanes(unsigned lanes) {
+  const auto alu = make_alu(kRef.alu);
+  const auto streams = paper_streams(kRef.seed);
+  ParallelConfig par;
+  par.batch_lanes = lanes;
+  const DataPoint p = run_data_point_batched(
+      *alu, streams, kRef.fault_percent, kRef.trials_per_workload,
+      kRef.seed, FaultCountPolicy::kRoundNearest, InjectionScope::kAll, 0,
+      1, par);
+  // EXPECT_EQ, not DOUBLE_EQ: bit-identical is the contract.
+  EXPECT_EQ(p.samples, kRef.samples) << "lanes=" << lanes;
+  EXPECT_EQ(p.mean_percent_correct, kRef.mean_percent_correct)
+      << "lanes=" << lanes;
+  EXPECT_EQ(p.stddev, kRef.stddev) << "lanes=" << lanes;
+  EXPECT_EQ(p.ci95, kRef.ci95) << "lanes=" << lanes;
+}
+
+// Forces `tier` through the environment variable (exercising the parse
+// path users hit) and re-runs the pinned seed golden at a single lane
+// word and at the full 512-lane width.
+void run_forced_tier_golden(simd::SimdTier tier) {
+  if (!simd::tier_supported(tier)) {
+    GTEST_SKIP() << "tier '" << simd::tier_name(tier)
+                 << "' not compiled in or not supported by this CPU";
+  }
+  EnvTierPin pin(simd::tier_name(tier));
+  ASSERT_EQ(simd::active_tier(), tier)
+      << "NBX_SIMD_TIER pin did not take effect";
+  expect_golden_at_lanes(64);
+  expect_golden_at_lanes(512);
+}
+
+TEST(SimdTier, ScalarTierReproducesSeedGolden) {
+  run_forced_tier_golden(simd::SimdTier::kScalar);
+}
+
+TEST(SimdTier, Avx2TierReproducesSeedGolden) {
+  run_forced_tier_golden(simd::SimdTier::kAvx2);
+}
+
+TEST(SimdTier, Avx512TierReproducesSeedGolden) {
+  run_forced_tier_golden(simd::SimdTier::kAvx512);
+}
+
+// Every catalogued ALU — every bit-level decode path and both module
+// organisations — run through the wide engine under a forced tier must
+// match the scalar trial engine point-for-point and counter-for-counter.
+void run_decode_coverage(simd::SimdTier tier) {
+  if (!simd::tier_supported(tier)) {
+    GTEST_SKIP() << "tier '" << simd::tier_name(tier)
+                 << "' not compiled in or not supported by this CPU";
+  }
+  SweepSpec spec;
+  spec.percents = {2.0};
+  spec.trials_per_workload = 2;
+  spec.seed = 20260808;
+  const auto streams = paper_streams(spec.seed);
+
+  const simd::ScopedTierOverride forced(tier);
+  for (const AluSpec& s : all_specs()) {
+    const auto alu = make_alu(s.name);
+    ASSERT_NE(alu, nullptr) << s.name;
+
+    ParallelConfig scalar_cfg;  // batch_lanes = 0: the scalar oracle
+    const SweepAnatomy base =
+        TrialEngine(scalar_cfg).sweep_anatomy(*alu, streams, spec);
+
+    ParallelConfig wide_cfg;
+    wide_cfg.batch_lanes = 96;  // ragged two-word group: 64 + 32 lanes
+    const SweepAnatomy wide =
+        TrialEngine(wide_cfg).sweep_anatomy(*alu, streams, spec);
+
+    ASSERT_EQ(wide.points.size(), base.points.size()) << s.name;
+    for (std::size_t i = 0; i < base.points.size(); ++i) {
+      EXPECT_EQ(wide.points[i].mean_percent_correct,
+                base.points[i].mean_percent_correct)
+          << s.name << " tier=" << simd::tier_name(tier);
+      EXPECT_EQ(wide.points[i].stddev, base.points[i].stddev) << s.name;
+      EXPECT_EQ(wide.points[i].samples, base.points[i].samples) << s.name;
+    }
+    ASSERT_EQ(wide.metrics.size(), base.metrics.size()) << s.name;
+    for (std::size_t i = 0; i < base.metrics.size(); ++i) {
+      EXPECT_TRUE(wide.metrics[i] == base.metrics[i])
+          << s.name << " anatomy diverged, tier="
+          << simd::tier_name(tier);
+    }
+  }
+}
+
+TEST(SimdTier, ScalarTierDecodesEveryAluLikeTheScalarEngine) {
+  run_decode_coverage(simd::SimdTier::kScalar);
+}
+
+TEST(SimdTier, Avx2TierDecodesEveryAluLikeTheScalarEngine) {
+  run_decode_coverage(simd::SimdTier::kAvx2);
+}
+
+TEST(SimdTier, Avx512TierDecodesEveryAluLikeTheScalarEngine) {
+  run_decode_coverage(simd::SimdTier::kAvx512);
+}
+
+TEST(SimdTier, UnsupportedEnvRequestClampsDownNeverUp) {
+  // Asking for a tier the machine cannot run must clamp to the best
+  // supported tier at or below the request — and the result must still
+  // be the pinned golden (dispatch never changes numbers).
+  EnvTierPin pin("avx512");
+  const simd::SimdTier active = simd::active_tier();
+  EXPECT_TRUE(simd::tier_supported(active));
+  EXPECT_LE(static_cast<int>(active),
+            static_cast<int>(simd::SimdTier::kAvx512));
+  expect_golden_at_lanes(64);
+}
+
+TEST(SimdTier, GarbageEnvValueFallsBackToBestTier) {
+  EnvTierPin pin("not-a-tier");
+  EXPECT_EQ(simd::active_tier(), simd::best_tier());
+  expect_golden_at_lanes(64);
+}
+
+}  // namespace
+}  // namespace nbx
