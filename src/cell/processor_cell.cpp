@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "coding/majority.hpp"
+#include "fault/remap.hpp"
 
 namespace nbx {
 
@@ -32,8 +33,29 @@ ProcessorCell::ProcessorCell(CellId id, const CellConfig& config)
       alu_mask_gen_(0, 0.0),
       rng_(config.seed ^ (static_cast<std::uint64_t>(id.packed()) << 32)) {
   alu_golden_bits_ = alu_.golden_storage();
-  alu_defects_ = DefectMap::manufacture(alu_.fault_sites(),
-                                        config.alu_defect_density, rng_);
+  // The manufactured fabric is the logical fault-site window plus any
+  // spare pool; with neither spares nor remap this is exactly the
+  // historical manufacture call (same sites, same rng draws).
+  alu_defects_ = DefectMap::manufacture(
+      alu_.fault_sites() + config.alu_spare_sites,
+      config.alu_defect_density, rng_);
+  manufactured_defects_ = alu_defects_.defect_count();
+  if (config.alu_spare_sites > 0 || config.remap_defects) {
+    RemapPlan plan;
+    if (config.remap_defects) {
+      plan = remap_around_defects(alu_defects_, alu_.fault_sites());
+      remap_feasible_ = plan.feasible;
+      remap_spares_used_ = plan.spares_used;
+    } else {
+      // Oblivious placement: storage sits on the leading window and the
+      // spare pool is dead weight.
+      plan.logical_to_physical.resize(alu_.fault_sites());
+      for (std::size_t i = 0; i < plan.logical_to_physical.size(); ++i) {
+        plan.logical_to_physical[i] = static_cast<std::uint32_t>(i);
+      }
+    }
+    alu_defects_ = remap_logical_defects(alu_defects_, plan);
+  }
   alu_mask_gen_ =
       MaskGenerator(alu_.fault_sites(), config.alu_fault_percent);
   alu_mask_ = BitVec(alu_.fault_sites());

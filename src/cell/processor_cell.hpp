@@ -53,6 +53,17 @@ struct CellConfig {
   double memory_upsets_per_cycle = 0.0;  ///< expected SEUs per cycle
   double alu_defect_density = 0.0;  ///< stuck-at density of the cell's
                                     ///< LUT fabric, fixed at manufacture
+  /// Spare storage sites manufactured beyond the ALU's logical fault
+  /// sites (same defect density). With `remap_defects` they give the
+  /// placement step somewhere to move storage that landed on bad fabric.
+  std::size_t alu_spare_sites = 0;
+  /// Defect-aware placement (fault/remap.hpp, Lawson & Wolpert): route
+  /// the ALU's logical storage around known-defective sites using the
+  /// spare pool. A feasible plan leaves the cell effectively defect-free;
+  /// an infeasible one (spares exhausted) leaves the residue in place and
+  /// is reported via remap_feasible() so wafer salvage can condemn the
+  /// cell instead of computing on known-bad storage.
+  bool remap_defects = false;
   std::size_t memory_words = CellMemory::kDefaultWords;
   std::uint64_t error_threshold = 1000;  ///< §2.3 self-disable threshold
   /// When true, bit-level TMR disagreements observed inside the cell's
@@ -127,6 +138,21 @@ class ProcessorCell {
   /// True when nothing is buffered in this cell's queues or assemblers.
   [[nodiscard]] bool quiescent() const;
 
+  /// The *effective* defect map the ALU experiences after any remap —
+  /// empty for a feasible defect-aware placement.
+  [[nodiscard]] const DefectMap& alu_defects() const { return alu_defects_; }
+  /// Defects manufactured into the cell's physical fabric (logical +
+  /// spare sites), before any remap.
+  [[nodiscard]] std::size_t manufactured_defects() const {
+    return manufactured_defects_;
+  }
+  /// False when remap_defects was requested but the spare pool could not
+  /// absorb every defective logical site (§2.3 salvage candidates).
+  [[nodiscard]] bool remap_feasible() const { return remap_feasible_; }
+  [[nodiscard]] std::size_t remap_spares_used() const {
+    return remap_spares_used_;
+  }
+
   /// Attaches an event trace sink (may be null to detach). Not owned.
   void set_trace(TraceSink* sink) { trace_ = sink; }
 
@@ -141,11 +167,14 @@ class ProcessorCell {
   CellMemory memory_;
   ControlLogic control_;
   LutCoreAlu alu_;
-  DefectMap alu_defects_;     // manufactured once per cell
+  DefectMap alu_defects_;     // manufactured once per cell; post-remap
   BitVec alu_golden_bits_;    // golden LUT storage, for defect overlay
   MaskGenerator alu_mask_gen_;
   BitVec alu_mask_;
   Rng rng_;
+  std::size_t manufactured_defects_ = 0;
+  bool remap_feasible_ = true;
+  std::size_t remap_spares_used_ = 0;
 
   std::array<PacketAssembler, kPortCount> assemblers_;
   std::array<std::deque<std::uint8_t>, kPortCount> in_flits_;

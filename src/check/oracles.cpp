@@ -1,6 +1,8 @@
 #include "check/oracles.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <iomanip>
 #include <map>
@@ -16,8 +18,12 @@
 #include "coding/majority.hpp"
 #include "coding/reed_solomon.hpp"
 #include "common/bitvec.hpp"
+#include "common/rng.hpp"
 #include "common/types.hpp"
+#include "fault/defect_map.hpp"
 #include "fault/mask_generator.hpp"
+#include "fault/remap.hpp"
+#include "fault/scenario.hpp"
 #include "lut/coded_lut.hpp"
 #include "lut/truth_table.hpp"
 #include "obs/counters.hpp"
@@ -583,6 +589,465 @@ std::vector<SimdCase> shrink_simd_case(const SimdCase& c) {
   return out;
 }
 
+// --------------------------------------------- scenario-differential
+
+constexpr const char* kScenarioName = "scenario-differential";
+
+/// A generated FaultScenario — wear-out rate schedule plus 2-D burst
+/// geometry — checked two ways in one case. First the generator laws
+/// directly: the schedule anchors at the base rate, ramps monotonically
+/// to clamp(base * end_factor), and stays in [0, 100]; every burst flip
+/// lands inside a declared L×R strike neighbourhood (anchors replayed
+/// from a twin Rng); a remap plan is injective and, when feasible,
+/// never reads a known-defective site. Then the differential: the
+/// scenario sweep must be bit-identical through scalar-serial,
+/// scalar-threaded, every forced SIMD tier at the generated lane count,
+/// and the threaded wide engine — and when the schedule degenerates to
+/// i.i.d. (constant kind or end_factor == 1) with 1-D bursts, it must
+/// reproduce the default-scenario sweep bitwise, seeds and all.
+struct ScenarioCase {
+  std::string alu;
+  std::vector<double> percents;
+  int trials = 1;
+  std::uint64_t seed = 0;
+  std::string policy = "round";  // round | floor | bernoulli | burst
+  std::size_t burst_length = 1;
+  std::size_t burst_rows = 1;
+  std::size_t burst_row_stride = 0;  // 0 = historical 1-D runs
+  std::string schedule = "constant";  // constant | linear | weibull
+  double end_factor = 1.0;
+  double shape = 1.0;
+  unsigned lanes = 2;    // 1..512 wide-engine lanes
+  unsigned threads = 2;  // pool width for the threaded variants
+};
+
+std::optional<RateScheduleKind> parse_schedule(const std::string& s) {
+  if (s == "constant") return RateScheduleKind::kConstant;
+  if (s == "linear") return RateScheduleKind::kLinear;
+  if (s == "weibull") return RateScheduleKind::kWeibull;
+  return std::nullopt;
+}
+
+ScenarioCase generate_scenario_case(Gen& g) {
+  const std::vector<AluSpec>& specs = all_specs();
+  ScenarioCase c;
+  c.alu = specs[g.below(specs.size())].name;
+  const std::size_t n_percents = g.length(1, 2);
+  for (std::uint64_t i :
+       g.distinct_below(kPercentPool.size(), n_percents)) {
+    c.percents.push_back(kPercentPool[i]);
+  }
+  // Schedules only vary with the trial index, so most cases carry enough
+  // trials for the ramp to actually move; a few spill past the first
+  // 64-lane word so per-lane generators cross word boundaries.
+  c.trials = static_cast<int>(g.boolean(0.2) ? g.in_range(65, 110)
+                                             : g.in_range(2, 8));
+  c.seed = g.u64();
+  c.policy = g.pick({std::string("round"), std::string("floor"),
+                     std::string("bernoulli"), std::string("burst")});
+  if (c.policy == "burst") {
+    c.burst_length = g.in_range(1, 4);
+    if (g.boolean(0.6)) {
+      c.burst_rows = g.in_range(1, 3);
+      c.burst_row_stride = g.pick({std::size_t{4}, std::size_t{8},
+                                   std::size_t{16}, std::size_t{24}});
+    }
+  }
+  c.schedule = g.pick({std::string("constant"), std::string("linear"),
+                       std::string("weibull")});
+  // end_factor 1.0 on a non-constant kind is the deliberate edge case:
+  // the scheduled path must still reproduce the i.i.d. sweep bitwise.
+  c.end_factor = g.pick({0.0, 0.5, 1.0, 2.0, 6.0});
+  c.shape = c.schedule == "weibull" ? g.pick({0.5, 2.0, 3.0}) : 1.0;
+  c.lanes = static_cast<unsigned>(g.in_range(1, 512));
+  c.threads = static_cast<unsigned>(g.pick({2u, 4u, 8u}));
+  return c;
+}
+
+std::string scenario_case_json(const ScenarioCase& c) {
+  std::ostringstream os;
+  os << "{\"family\": \"" << kScenarioName << "\", \"alu\": \""
+     << json_escape(c.alu) << "\", \"percents\": [";
+  for (std::size_t i = 0; i < c.percents.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << json_double(c.percents[i]);
+  }
+  os << "], \"trials\": " << c.trials << ", \"seed\": " << c.seed
+     << ", \"policy\": \"" << c.policy
+     << "\", \"burst_length\": " << c.burst_length
+     << ", \"burst_rows\": " << c.burst_rows
+     << ", \"burst_row_stride\": " << c.burst_row_stride
+     << ", \"schedule\": \"" << c.schedule
+     << "\", \"end_factor\": " << json_double(c.end_factor)
+     << ", \"shape\": " << json_double(c.shape)
+     << ", \"lanes\": " << c.lanes << ", \"threads\": " << c.threads
+     << "}";
+  return os.str();
+}
+
+std::optional<ScenarioCase> scenario_case_from_json(const JsonValue& doc) {
+  if (!family_matches(doc, kScenarioName)) {
+    return std::nullopt;
+  }
+  const JsonValue* alu = require(doc, "alu", JsonValue::Kind::kString);
+  const JsonValue* percents =
+      require(doc, "percents", JsonValue::Kind::kArray);
+  const JsonValue* trials = require(doc, "trials", JsonValue::Kind::kNumber);
+  const JsonValue* seed = require(doc, "seed", JsonValue::Kind::kNumber);
+  const JsonValue* policy = require(doc, "policy", JsonValue::Kind::kString);
+  const JsonValue* burst =
+      require(doc, "burst_length", JsonValue::Kind::kNumber);
+  const JsonValue* rows =
+      require(doc, "burst_rows", JsonValue::Kind::kNumber);
+  const JsonValue* stride =
+      require(doc, "burst_row_stride", JsonValue::Kind::kNumber);
+  const JsonValue* schedule =
+      require(doc, "schedule", JsonValue::Kind::kString);
+  const JsonValue* ef =
+      require(doc, "end_factor", JsonValue::Kind::kNumber);
+  const JsonValue* shape = require(doc, "shape", JsonValue::Kind::kNumber);
+  const JsonValue* lanes = require(doc, "lanes", JsonValue::Kind::kNumber);
+  const JsonValue* threads =
+      require(doc, "threads", JsonValue::Kind::kNumber);
+  if (alu == nullptr || percents == nullptr || trials == nullptr ||
+      seed == nullptr || policy == nullptr || burst == nullptr ||
+      rows == nullptr || stride == nullptr || schedule == nullptr ||
+      ef == nullptr || shape == nullptr || lanes == nullptr ||
+      threads == nullptr) {
+    return std::nullopt;
+  }
+  ScenarioCase c;
+  c.alu = alu->as_string();
+  for (const JsonValue& p : percents->items()) {
+    if (!p.is_number()) {
+      return std::nullopt;
+    }
+    c.percents.push_back(p.as_double().value_or(0.0));
+  }
+  c.trials = static_cast<int>(trials->as_i64().value_or(1));
+  c.seed = seed->as_u64().value_or(0);
+  c.policy = policy->as_string();
+  c.burst_length =
+      static_cast<std::size_t>(burst->as_u64().value_or(1));
+  c.burst_rows = static_cast<std::size_t>(rows->as_u64().value_or(1));
+  c.burst_row_stride =
+      static_cast<std::size_t>(stride->as_u64().value_or(0));
+  c.schedule = schedule->as_string();
+  c.end_factor = ef->as_double().value_or(1.0);
+  c.shape = shape->as_double().value_or(1.0);
+  c.lanes = static_cast<unsigned>(lanes->as_u64().value_or(1));
+  c.threads = static_cast<unsigned>(threads->as_u64().value_or(2));
+  return c;
+}
+
+/// The generator-law half of a scenario case: pure checks on the
+/// schedule curve, the burst neighbourhood, and the remap plan, no
+/// engine involved. Counterexamples here shrink exactly like
+/// differential ones.
+std::optional<std::string> scenario_laws(const ScenarioCase& c,
+                                         const IAlu& alu,
+                                         const RateSchedule& sched) {
+  const auto trials = static_cast<std::size_t>(c.trials);
+  for (const double base : c.percents) {
+    // Trial 0 is the base rate, bit-for-bit: this is what keeps trial
+    // seeds (and therefore every pinned golden) unmoved at the start of
+    // a wear-out ramp.
+    if (std::bit_cast<std::uint64_t>(sched.at(base, 0, trials)) !=
+        std::bit_cast<std::uint64_t>(base)) {
+      return "schedule law: at(" + show(base) + ", 0, n) != base bitwise";
+    }
+    const bool constant = sched.kind == RateScheduleKind::kConstant ||
+                          sched.end_factor == 1.0;
+    const bool up = constant || sched.end_factor >= 1.0;
+    double prev = base;
+    for (std::size_t t = 1; t < trials; ++t) {
+      const double r = sched.at(base, t, trials);
+      if (r < 0.0 || r > 100.0) {
+        return "schedule law: rate " + show(r) + " escapes [0, 100] at trial " +
+               std::to_string(t);
+      }
+      if (up ? r < prev : r > prev) {
+        std::ostringstream os;
+        os << "schedule law: not monotone at trial " << t << " (base "
+           << show(base) << "): " << show(r) << (up ? " < " : " > ")
+           << show(prev);
+        return os.str();
+      }
+      prev = r;
+    }
+    if (trials > 1) {
+      const double want =
+          constant ? base : std::clamp(base * sched.end_factor, 0.0, 100.0);
+      const double got = sched.at(base, trials - 1, trials);
+      if (std::fabs(got - want) > 1e-9 * (1.0 + std::fabs(want))) {
+        return "schedule law: endpoint " + show(got) +
+               " misses clamp(base*end_factor) = " + show(want);
+      }
+    }
+  }
+
+  const std::size_t sites = alu.fault_sites();
+  if (c.policy == "burst" && !c.percents.empty()) {
+    const MaskGenerator gen(sites, c.percents.back(),
+                            FaultCountPolicy::kBurst, c.burst_length,
+                            c.burst_rows, c.burst_row_stride);
+    if (const std::size_t strikes = gen.strikes_per_computation();
+        strikes > 0) {
+      // Replay the strike anchors from a twin Rng: every flipped site
+      // must sit inside some declared L-columns-by-R-rows neighbourhood
+      // (clipped at the row edge and the end of the site space).
+      Rng draw(derive_seed({c.seed, 0xb1}));
+      Rng replay(derive_seed({c.seed, 0xb1}));
+      const BitVec mask = gen.generate(draw);
+      BitVec allowed(sites);
+      const std::size_t stride = c.burst_row_stride;
+      for (std::size_t s = 0; s < strikes; ++s) {
+        const auto anchor = static_cast<std::size_t>(replay.below(sites));
+        if (stride == 0) {
+          for (std::size_t i = 0;
+               i < c.burst_length && anchor + i < sites; ++i) {
+            allowed.set(anchor + i, true);
+          }
+          continue;
+        }
+        const std::size_t row = anchor / stride;
+        const std::size_t col = anchor % stride;
+        for (std::size_t r = 0; r < c.burst_rows; ++r) {
+          for (std::size_t k = 0;
+               k < c.burst_length && col + k < stride; ++k) {
+            const std::size_t site = (row + r) * stride + col + k;
+            if (site < sites) {
+              allowed.set(site, true);
+            }
+          }
+        }
+      }
+      for (std::size_t i = 0; i < sites; ++i) {
+        if (mask.get(i) && !allowed.get(i)) {
+          return "burst law: flipped site " + std::to_string(i) +
+                 " lies outside every declared strike neighbourhood";
+        }
+      }
+    }
+  }
+
+  // Remap law on a part manufactured from the case seed: the plan is
+  // injective, and a feasible plan leaves zero logical defects — a
+  // remapped placement never reads a known-defective site.
+  {
+    Rng rng(derive_seed({c.seed, 0x5e}));
+    const DefectMap physical =
+        DefectMap::manufacture(sites + sites / 8 + 1, 0.03, rng);
+    const RemapPlan plan = remap_around_defects(physical, sites);
+    if (plan.logical_to_physical.size() != sites) {
+      return "remap law: plan covers " +
+             std::to_string(plan.logical_to_physical.size()) +
+             " logical sites, expected " + std::to_string(sites);
+    }
+    std::vector<char> seen(physical.sites(), 0);
+    for (std::size_t i = 0; i < sites; ++i) {
+      const std::uint32_t p = plan.logical_to_physical[i];
+      if (p >= physical.sites()) {
+        return "remap law: logical " + std::to_string(i) +
+               " maps outside the physical site space";
+      }
+      if (seen[p] != 0) {
+        return "remap law: physical site " + std::to_string(p) +
+               " backs two logical sites (plan not injective)";
+      }
+      seen[p] = 1;
+      if (plan.feasible && physical.is_defective(p)) {
+        return "remap law: feasible plan reads known-defective physical "
+               "site " + std::to_string(p);
+      }
+    }
+    const DefectMap residual = remap_logical_defects(physical, plan);
+    if (plan.feasible && residual.defect_count() != 0) {
+      return "remap law: feasible plan left " +
+             std::to_string(residual.defect_count()) + " logical defects";
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> run_scenario_case(const ScenarioCase& c) {
+  const std::unique_ptr<IAlu> alu = make_alu(c.alu);
+  if (alu == nullptr) {
+    return "invalid case: unknown alu '" + c.alu + "'";
+  }
+  const std::optional<FaultCountPolicy> policy = parse_policy(c.policy);
+  if (!policy.has_value()) {
+    return "invalid case: unknown policy '" + c.policy + "'";
+  }
+  const std::optional<RateScheduleKind> kind = parse_schedule(c.schedule);
+  if (!kind.has_value()) {
+    return "invalid case: unknown schedule '" + c.schedule + "'";
+  }
+  if (c.percents.empty() || c.trials < 1 || c.lanes < 1 ||
+      c.lanes > kMaxBatchLanes || c.burst_length < 1 || c.burst_rows < 1) {
+    return "invalid case: empty percents or knob out of range";
+  }
+  if (c.burst_rows > 1 && c.burst_row_stride == 0) {
+    return "invalid case: burst_rows > 1 requires a row stride";
+  }
+  if (!(c.end_factor >= 0.0) || !(c.shape > 0.0)) {
+    return "invalid case: end_factor must be >= 0 and shape > 0";
+  }
+
+  SweepSpec spec;
+  spec.percents = c.percents;
+  spec.trials_per_workload = c.trials;
+  spec.seed = c.seed;
+  spec.policy = *policy;
+  spec.burst_length = c.burst_length;
+  spec.scenario.schedule.kind = *kind;
+  spec.scenario.schedule.end_factor = c.end_factor;
+  spec.scenario.schedule.shape = c.shape;
+  spec.scenario.burst_rows = c.burst_rows;
+  spec.scenario.burst_row_stride = c.burst_row_stride;
+
+  if (std::optional<std::string> msg =
+          scenario_laws(c, *alu, spec.scenario.schedule)) {
+    return msg;
+  }
+
+  const std::vector<std::vector<Instruction>> streams =
+      paper_streams(c.seed);
+
+  const auto engine = [](unsigned threads, unsigned lanes) {
+    ParallelConfig par;
+    par.threads = threads;
+    par.batch_lanes = lanes;
+    return TrialEngine(par);
+  };
+  const auto compare_anatomy = [&](const SweepAnatomy& base,
+                                   const SweepAnatomy& got,
+                                   const std::string& variant)
+      -> std::optional<std::string> {
+    if (std::optional<std::string> msg =
+            compare_points(base.points, got.points, variant.c_str())) {
+      return msg;
+    }
+    if (base.metrics.size() != got.metrics.size()) {
+      return variant + ": anatomy metrics count differs from baseline";
+    }
+    for (std::size_t i = 0; i < base.metrics.size(); ++i) {
+      if (!(base.metrics[i] == got.metrics[i])) {
+        std::ostringstream os;
+        os << variant
+           << ": anatomy counters (incl. scenario) diverge at percent "
+              "index "
+           << i << " (" << show(spec.percents[i]) << "%)";
+        return os.str();
+      }
+    }
+    return std::nullopt;
+  };
+
+  // Baseline: scalar trials, serial schedule, anatomy on (the scenario
+  // counters ride the comparison).
+  const SweepAnatomy base = engine(1, 0).sweep_anatomy(*alu, streams, spec);
+
+  // An i.i.d.-degenerate schedule with 1-D bursts IS today's fault
+  // model: it must reproduce the default-scenario sweep bit-for-bit —
+  // same trial seeds, same points, same non-scenario counters.
+  if (spec.scenario.is_iid() && c.burst_row_stride == 0) {
+    SweepSpec plain = spec;
+    plain.scenario = FaultScenario{};
+    const SweepAnatomy iid =
+        engine(1, 0).sweep_anatomy(*alu, streams, plain);
+    if (std::optional<std::string> msg = compare_points(
+            iid.points, base.points, "iid-degenerate-schedule")) {
+      return msg;
+    }
+  }
+
+  if (std::optional<std::string> msg = compare_anatomy(
+          base, engine(c.threads, 0).sweep_anatomy(*alu, streams, spec),
+          "scalar-" + std::to_string(c.threads) + "-threads")) {
+    return msg;
+  }
+
+  const simd::SimdTier tiers[] = {simd::SimdTier::kScalar,
+                                  simd::SimdTier::kAvx2,
+                                  simd::SimdTier::kAvx512};
+  for (const simd::SimdTier tier : tiers) {
+    if (!simd::tier_supported(tier)) {
+      continue;
+    }
+    const simd::ScopedTierOverride forced(tier);
+    std::string variant = "wide-";
+    variant += simd::tier_name(tier);
+    variant += "@" + std::to_string(c.lanes) + "-lanes";
+    if (std::optional<std::string> msg = compare_anatomy(
+            base, engine(1, c.lanes).sweep_anatomy(*alu, streams, spec),
+            variant)) {
+      return msg;
+    }
+  }
+
+  return compare_anatomy(
+      base, engine(c.threads, c.lanes).sweep_anatomy(*alu, streams, spec),
+      "wide-threaded@" + std::to_string(c.lanes) + "-lanes");
+}
+
+std::vector<ScenarioCase> shrink_scenario_case(const ScenarioCase& c) {
+  std::vector<ScenarioCase> out;
+  if (c.percents.size() > 1) {
+    for (std::size_t i = 0; i < c.percents.size(); ++i) {
+      ScenarioCase s = c;
+      s.percents.erase(s.percents.begin() + static_cast<std::ptrdiff_t>(i));
+      out.push_back(std::move(s));
+    }
+  }
+  if (c.trials > 2) {
+    ScenarioCase s = c;
+    s.trials = 2;
+    out.push_back(std::move(s));
+  }
+  if (c.policy != "round") {
+    ScenarioCase s = c;
+    s.policy = "round";
+    s.burst_length = 1;
+    s.burst_rows = 1;
+    s.burst_row_stride = 0;
+    out.push_back(std::move(s));
+  }
+  if (c.burst_row_stride > 0) {
+    ScenarioCase s = c;
+    s.burst_rows = 1;
+    s.burst_row_stride = 0;
+    out.push_back(std::move(s));
+  }
+  if (c.schedule != "constant") {
+    ScenarioCase s = c;
+    s.schedule = "constant";
+    s.end_factor = 1.0;
+    s.shape = 1.0;
+    out.push_back(std::move(s));
+  }
+  if (c.end_factor != 1.0) {
+    ScenarioCase s = c;
+    s.end_factor = 1.0;
+    out.push_back(std::move(s));
+  }
+  if (c.lanes > 64) {
+    ScenarioCase s = c;
+    s.lanes = 64;
+    out.push_back(std::move(s));
+  }
+  if (c.lanes > 1) {
+    ScenarioCase s = c;
+    s.lanes = 1;
+    out.push_back(std::move(s));
+  }
+  if (c.threads > 2) {
+    ScenarioCase s = c;
+    s.threads = 2;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 // ------------------------------------------------------- alu-vs-cmos
 
 constexpr const char* kAluName = "alu-vs-cmos";
@@ -1141,6 +1606,17 @@ Property simd_differential_property() {
   return Property::make(std::move(def));
 }
 
+Property scenario_differential_property() {
+  PropertyDef<ScenarioCase> def;
+  def.name = kScenarioName;
+  def.generate = generate_scenario_case;
+  def.run = run_scenario_case;
+  def.shrink = shrink_scenario_case;
+  def.to_json = scenario_case_json;
+  def.from_json = scenario_case_from_json;
+  return Property::make(std::move(def));
+}
+
 Property alu_vs_cmos_property() {
   PropertyDef<AluCase> def;
   def.name = kAluName;
@@ -1167,6 +1643,7 @@ std::vector<Property> oracle_properties() {
   std::vector<Property> out;
   out.push_back(engine_differential_property());
   out.push_back(simd_differential_property());
+  out.push_back(scenario_differential_property());
   out.push_back(alu_vs_cmos_property());
   out.push_back(decode_t_error_property());
   return out;
@@ -1187,6 +1664,9 @@ std::size_t default_smoke_cases(std::string_view property_name) {
   }
   if (property_name == kSimdName) {
     return 16;
+  }
+  if (property_name == kScenarioName) {
+    return 12;
   }
   if (property_name == kAluName) {
     return 80;

@@ -2,7 +2,7 @@
 //
 // The paper's argument is statistical, so the statistics machinery gets
 // the strongest oracle treatment we can afford: rather than pinning a
-// handful of hand-picked goldens, three families of *generated* cases
+// handful of hand-picked goldens, five families of *generated* cases
 // cross-examine independent implementations of the same contract:
 //
 //   engine-differential — a generated SweepSpec (ALU, percents, trials,
@@ -18,6 +18,19 @@
 //       time via simd::ScopedTierOverride: each tier's DataPoints and
 //       anatomy counters must be bit-identical to the scalar trial
 //       engine's (hence every tier pairwise identical too).
+//
+//   scenario-differential — a generated FaultScenario (wear-out rate
+//       schedule: constant/linear/weibull toward base*end_factor, plus
+//       2-D burst geometry) must be bit-identical through scalar serial,
+//       scalar threaded, every forced SIMD tier at a generated lane
+//       count, and the threaded wide engine — scenario counters
+//       included; an i.i.d.-degenerate schedule must reproduce the
+//       default-scenario sweep bitwise. The same case also checks the
+//       generator laws directly: schedule anchored at the base rate,
+//       monotone to clamp(base*end_factor), in [0, 100]; burst flips
+//       inside their declared L×R neighbourhood (anchors replayed from a
+//       twin Rng); remap plans injective and never reading a
+//       known-defective site when feasible.
 //
 //   alu-vs-cmos — generated (op, a, b) instruction streams under zero
 //       faults: every catalogued ALU, the gate-level CMOS reference
@@ -45,6 +58,7 @@ namespace nbx::check {
 
 Property engine_differential_property();
 Property simd_differential_property();
+Property scenario_differential_property();
 Property alu_vs_cmos_property();
 Property decode_t_error_property();
 

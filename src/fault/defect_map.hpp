@@ -5,7 +5,13 @@
 // defects" (abstract), but its evaluation injects only transients. This
 // module supplies the other half: a DefectMap is fixed at "manufacture
 // time" and marks storage cells stuck at 0 or 1 for the lifetime of the
-// part.
+// part. The FaultScenario layer (fault/scenario.hpp) and the wafer-scale
+// study (grid/wafer_study.hpp) combine the two — manufactured defect
+// maps under the grid failover machinery with transient overlays on top
+// — restoring the abstract's permanent+transient claim end to end; the
+// defect-aware remap pass (fault/remap.hpp) then places storage around
+// the known defects and measures what placement recovers. DESIGN.md
+// ("Fault scenarios") walks the whole argument.
 //
 // Semantics differ from transient faults in two ways:
 //   * persistence — the same cells are wrong on every computation;

@@ -8,11 +8,16 @@ namespace nbx {
 
 MaskGenerator::MaskGenerator(std::size_t sites, double fault_percent,
                              FaultCountPolicy policy,
-                             std::size_t burst_length)
+                             std::size_t burst_length, std::size_t burst_rows,
+                             std::size_t burst_row_stride)
     : sites_(sites), fault_percent_(fault_percent), policy_(policy),
-      burst_length_(burst_length) {
+      burst_length_(burst_length), burst_rows_(burst_rows),
+      burst_row_stride_(burst_row_stride) {
   assert(fault_percent >= 0.0 && fault_percent <= 100.0);
   assert(burst_length >= 1);
+  assert(burst_rows >= 1);
+  // A multi-row neighbourhood is only meaningful against a row geometry.
+  assert(burst_rows == 1 || burst_row_stride > 0);
 }
 
 std::size_t MaskGenerator::faults_per_computation() const {
@@ -26,6 +31,19 @@ std::size_t MaskGenerator::faults_per_computation() const {
       return static_cast<std::size_t>(std::llround(exact));
   }
   return 0;  // unreachable
+}
+
+std::size_t MaskGenerator::strikes_per_computation() const {
+  if (policy_ != FaultCountPolicy::kBurst) {
+    return 0;
+  }
+  const std::size_t rows = burst_row_stride_ > 0 ? burst_rows_ : 1;
+  const std::size_t area = burst_length_ * rows;
+  if (area <= 1) {
+    return 0;  // 1×1 neighbourhood degenerates to uniform sampling
+  }
+  const std::size_t k = faults_per_computation();
+  return k == 0 ? 0 : (k + area - 1) / area;
 }
 
 // The one generation algorithm, templated over the bit sink so the
@@ -49,15 +67,41 @@ void MaskGenerator::generate_into(Rng& rng, const SetBit& set_bit,
   if (k == 0) {
     return;
   }
-  if (policy_ == FaultCountPolicy::kBurst && burst_length_ > 1) {
-    // Deliver ~k flips as ceil(k / L) strikes of L contiguous sites.
-    // Strike starts are uniform; runs truncate at the end of the site
-    // space and may overlap (overlaps model coincident strikes).
-    const std::size_t strikes = (k + burst_length_ - 1) / burst_length_;
+  if (const std::size_t strikes = strikes_per_computation(); strikes > 0) {
+    // Deliver ~k flips as ceil(k / area) strikes of an L×R neighbourhood.
+    // Strike anchors are uniform (one below(sites) draw per strike in
+    // both geometries, so a 1-D spec consumes the Rng exactly as it
+    // always has); runs may overlap (overlaps model coincident strikes).
+    if (burst_row_stride_ == 0) {
+      // Historical 1-D semantics, bit-for-bit: the run truncates at the
+      // end of the site space.
+      for (std::size_t s = 0; s < strikes; ++s) {
+        const auto start = static_cast<std::size_t>(rng.below(sites_));
+        for (std::size_t i = 0; i < burst_length_ && start + i < sites_;
+             ++i) {
+          set_bit(start + i);
+        }
+      }
+      return;
+    }
+    // 2-D neighbourhood over the site space viewed as rows of
+    // burst_row_stride_ sites: the strike covers burst_length_ columns ×
+    // burst_rows_ rows down-and-right of the anchor, clipping at the row
+    // edge (a strike never wraps into the next row's unrelated storage)
+    // and at the end of the site space.
     for (std::size_t s = 0; s < strikes; ++s) {
-      const auto start = static_cast<std::size_t>(rng.below(sites_));
-      for (std::size_t i = 0; i < burst_length_ && start + i < sites_; ++i) {
-        set_bit(start + i);
+      const auto anchor = static_cast<std::size_t>(rng.below(sites_));
+      const std::size_t anchor_row = anchor / burst_row_stride_;
+      const std::size_t anchor_col = anchor % burst_row_stride_;
+      for (std::size_t r = 0; r < burst_rows_; ++r) {
+        const std::size_t row_base = (anchor_row + r) * burst_row_stride_;
+        for (std::size_t c = 0;
+             c < burst_length_ && anchor_col + c < burst_row_stride_; ++c) {
+          const std::size_t site = row_base + anchor_col + c;
+          if (site < sites_) {
+            set_bit(site);
+          }
+        }
       }
     }
     return;

@@ -31,7 +31,12 @@ enum class FaultCountPolicy : std::uint8_t {
   kBurst,         ///< k total flips delivered as contiguous runs of
                   ///< `burst_length` sites — models spatially correlated
                   ///< upsets (one particle strike disturbing neighbouring
-                  ///< nanocells) instead of the paper's uniform model
+                  ///< nanocells) instead of the paper's uniform model.
+                  ///< With a nonzero `burst_row_stride` the run generalizes
+                  ///< to a 2-D `burst_length` × `burst_rows` neighbourhood
+                  ///< over the site space viewed as rows of `stride` sites
+                  ///< (LUT rows / grid coordinates); runs clip at row edges
+                  ///< instead of wrapping into unrelated storage.
 };
 
 /// Generates fresh uniformly random fault masks over a fixed site space.
@@ -39,19 +44,35 @@ class MaskGenerator {
  public:
   /// `sites` — number of fault-injection points (Table 2 column 2);
   /// `fault_percent` — the paper's x-axis value, in [0, 100];
-  /// `burst_length` — contiguous run per strike (kBurst only, >= 1).
+  /// `burst_length` — contiguous run per strike (kBurst only, >= 1);
+  /// `burst_rows` — neighbourhood height per strike (kBurst only, >= 1);
+  /// `burst_row_stride` — sites per row for the 2-D neighbourhood view;
+  /// 0 keeps the historical 1-D run semantics bit-for-bit.
   MaskGenerator(std::size_t sites, double fault_percent,
                 FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
-                std::size_t burst_length = 1);
+                std::size_t burst_length = 1, std::size_t burst_rows = 1,
+                std::size_t burst_row_stride = 0);
 
   [[nodiscard]] std::size_t sites() const { return sites_; }
   [[nodiscard]] double fault_percent() const { return fault_percent_; }
   [[nodiscard]] FaultCountPolicy policy() const { return policy_; }
   [[nodiscard]] std::size_t burst_length() const { return burst_length_; }
+  [[nodiscard]] std::size_t burst_rows() const { return burst_rows_; }
+  [[nodiscard]] std::size_t burst_row_stride() const {
+    return burst_row_stride_;
+  }
 
   /// Deterministic fault count per computation for the counting policies;
   /// for kBernoulli this is the *expected* count rounded to nearest.
   [[nodiscard]] std::size_t faults_per_computation() const;
+
+  /// Number of correlated strikes delivered per computation: ceil(k /
+  /// neighbourhood area) when the kBurst strike path is active, 0 for
+  /// every other policy (and for the degenerate 1×1 neighbourhood, which
+  /// falls back to uniform sampling). Deterministic — the scalar and wide
+  /// engines account scenario strike counters from this without touching
+  /// any Rng.
+  [[nodiscard]] std::size_t strikes_per_computation() const;
 
   /// Generates a fresh mask into `mask` (resized/cleared as needed).
   /// Fault positions are uniform without replacement.
@@ -99,6 +120,8 @@ class MaskGenerator {
   double fault_percent_;
   FaultCountPolicy policy_;
   std::size_t burst_length_;
+  std::size_t burst_rows_;
+  std::size_t burst_row_stride_;
 
   // Shared generation core: both public overloads funnel through this so
   // their Rng consumption cannot diverge (defined in the .cpp; only the

@@ -1,0 +1,50 @@
+#include "fault/remap.hpp"
+
+#include <cassert>
+
+namespace nbx {
+
+RemapPlan remap_around_defects(const DefectMap& defects,
+                               std::size_t logical_bits) {
+  assert(logical_bits <= defects.sites());
+  RemapPlan plan;
+  plan.logical_to_physical.resize(logical_bits);
+  std::size_t next_spare = logical_bits;
+  const std::size_t physical = defects.sites();
+  for (std::size_t i = 0; i < logical_bits; ++i) {
+    if (!defects.is_defective(i)) {
+      plan.logical_to_physical[i] = static_cast<std::uint32_t>(i);
+      continue;
+    }
+    while (next_spare < physical && defects.is_defective(next_spare)) {
+      ++next_spare;
+    }
+    if (next_spare == physical) {
+      // Spares exhausted: the site stays in place, on known-bad storage.
+      plan.logical_to_physical[i] = static_cast<std::uint32_t>(i);
+      plan.feasible = false;
+      continue;
+    }
+    plan.logical_to_physical[i] = static_cast<std::uint32_t>(next_spare);
+    ++next_spare;
+    ++plan.spares_used;
+  }
+  return plan;
+}
+
+DefectMap remap_logical_defects(const DefectMap& physical,
+                                const RemapPlan& plan) {
+  const std::size_t logical_bits = plan.logical_to_physical.size();
+  assert(logical_bits <= physical.sites());
+  DefectMap logical(logical_bits);
+  for (std::size_t i = 0; i < logical_bits; ++i) {
+    const std::size_t p = plan.logical_to_physical[i];
+    if (const auto flip = physical.forced_flip(p, false)) {
+      // forced_flip(site, golden=0) reads the stuck polarity directly.
+      logical.add(i, *flip ? DefectKind::kStuckAt1 : DefectKind::kStuckAt0);
+    }
+  }
+  return logical;
+}
+
+}  // namespace nbx

@@ -1,0 +1,57 @@
+// remap.hpp — defect-aware placement of module storage.
+//
+// Lawson & Wolpert's "Adaptive Programming of Unconventional
+// Nano-Architectures" (PAPERS.md): a manufactured part ships with a known
+// defect map, and the configuration step places work *around* the
+// defective cells instead of on top of them. Here the "part" is a cell's
+// ALU storage: its physical site space is the logical fault-site window
+// plus a tail of spare sites, and remap_around_defects computes an
+// injective logical→physical placement that never reads a known-defective
+// site (when enough healthy spares exist). ProcessorCell consumes the
+// plan to clear its effective defect overlay; the wafer study's paired
+// sweep measures the reliability recovered versus oblivious placement.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fault/defect_map.hpp"
+
+namespace nbx {
+
+/// An injective logical→physical storage placement around known defects.
+struct RemapPlan {
+  /// logical_to_physical[i] is the physical site backing logical site i.
+  /// Healthy logical sites stay in place (identity); defective ones move
+  /// to spare sites. Infeasible residues (spares exhausted) stay identity
+  /// — on a known-bad site — and clear `feasible`.
+  std::vector<std::uint32_t> logical_to_physical;
+  std::size_t spares_used = 0;
+  bool feasible = true;
+
+  /// True when logical site i was moved off its identity position.
+  [[nodiscard]] bool moved(std::size_t i) const {
+    return logical_to_physical[i] != i;
+  }
+};
+
+/// Places `logical_bits` storage sites onto the physical site space of
+/// `defects` (whose sites() = logical_bits + spares; the tail past
+/// `logical_bits` is the spare pool). Greedy first-fit: each defective
+/// logical site takes the next healthy spare. Laws (pinned by the
+/// scenario-generators check family and tests/fault/scenario_test.cpp):
+/// the plan is injective; every mapping is within the physical space;
+/// when `feasible`, no mapped physical site is defective.
+[[nodiscard]] RemapPlan remap_around_defects(const DefectMap& defects,
+                                             std::size_t logical_bits);
+
+/// Applies a plan to a physical defect map, producing the *logical* map a
+/// module actually experiences: logical site i is defective iff its
+/// backing physical site is. A feasible plan therefore yields an empty
+/// map; the identity plan restricts the physical map to its leading
+/// window.
+[[nodiscard]] DefectMap remap_logical_defects(const DefectMap& physical,
+                                              const RemapPlan& plan);
+
+}  // namespace nbx

@@ -1,0 +1,37 @@
+#include "fault/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nbx {
+
+double RateSchedule::at(double base_percent, std::size_t trial_index,
+                        std::size_t trials) const {
+  assert(trials == 0 || trial_index < trials);
+  if (kind == RateScheduleKind::kConstant || end_factor == 1.0) {
+    // Identity by construction: return the caller's bit pattern untouched
+    // so trial seeds (which hash the rate's bits) match the i.i.d. model.
+    return base_percent;
+  }
+  const double frac =
+      trials <= 1 ? 0.0
+                  : static_cast<double>(trial_index) /
+                        static_cast<double>(trials - 1);
+  double ramp = frac;
+  if (kind == RateScheduleKind::kWeibull) {
+    assert(shape > 0.0);
+    ramp = std::pow(frac, shape);
+  }
+  // frac == 0 gives ramp == 0 and an exact `base_percent` (x + 0*x == x),
+  // so the first trial is always pristine regardless of schedule shape.
+  const double rate = base_percent + (end_factor - 1.0) * ramp * base_percent;
+  return std::clamp(rate, 0.0, 100.0);
+}
+
+bool FaultScenario::is_iid() const {
+  return schedule.kind == RateScheduleKind::kConstant ||
+         schedule.end_factor == 1.0;
+}
+
+}  // namespace nbx

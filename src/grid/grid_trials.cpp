@@ -1,5 +1,6 @@
 #include "grid/grid_trials.hpp"
 
+#include <algorithm>
 #include <mutex>
 
 namespace nbx {
@@ -38,6 +39,9 @@ struct GridTrialBackend {
     if (spec.trace != nullptr) {
       grid.attach_trace(spec.trace);
     }
+    if (spec.condemn_infeasible_remaps) {
+      out.cells_condemned = condemn_infeasible(grid, spec.min_live_cells);
+    }
     ControlProcessor cp(grid, spec.cp_seed);
     out.output = cp.run_image_op(spec.image, spec.op, spec.options,
                                  &out.report);
@@ -45,11 +49,47 @@ struct GridTrialBackend {
     out.control_corrupted = 0;
     for (ProcessorCell* c : grid.all_cells()) {
       out.control_corrupted += c->control().corrupted_decisions();
+      out.manufactured_defects += c->manufactured_defects();
+      out.effective_defects += c->alu_defects().defect_count();
     }
     if (progress != nullptr) {
       const std::lock_guard<std::mutex> lock(progress_mu);
       progress->tick();
     }
+  }
+
+  /// Pre-run salvage: force-fail (router surviving) cells whose remap
+  /// plan could not clear their defects, worst manufactured-defect count
+  /// first, never dropping below `min_live`. Deterministic: candidates
+  /// sort by (defect count desc, cell order asc).
+  static std::size_t condemn_infeasible(NanoBoxGrid& grid,
+                                        std::size_t min_live) {
+    std::vector<ProcessorCell*> candidates;
+    std::size_t live = 0;
+    for (ProcessorCell* c : grid.all_cells()) {
+      if (!c->alive()) {
+        continue;
+      }
+      ++live;
+      if (!c->remap_feasible()) {
+        candidates.push_back(c);
+      }
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const ProcessorCell* a, const ProcessorCell* b) {
+                       return a->manufactured_defects() >
+                              b->manufactured_defects();
+                     });
+    std::size_t condemned = 0;
+    for (ProcessorCell* c : candidates) {
+      if (live <= std::max<std::size_t>(min_live, 1)) {
+        break;
+      }
+      c->force_fail(/*router_survives=*/true);
+      --live;
+      ++condemned;
+    }
+    return condemned;
   }
 };
 

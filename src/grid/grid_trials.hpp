@@ -37,6 +37,15 @@ struct GridTrialSpec {
   /// run (not owned). TraceSink is not thread-safe: only set this when
   /// the engine runs with threads <= 1, or give every spec its own sink.
   TraceSink* trace = nullptr;
+  /// Wafer-salvage condemnation (fault/remap.hpp): before the run,
+  /// cells whose defect-aware remap came up infeasible are force-failed
+  /// (router surviving, §2.3) worst-defect-first, so the control
+  /// processor distributes the workload over the salvageable part only.
+  /// Requires cell.remap_defects; at least `min_live_cells` cells are
+  /// always left running (set it to ceil(stream / memory capacity) so
+  /// the workload still fits).
+  bool condemn_infeasible_remaps = false;
+  std::size_t min_live_cells = 1;
 };
 
 /// Outcome of one grid trial.
@@ -48,6 +57,12 @@ struct GridTrialResult {
   /// Control-logic decisions corrupted by injected control faults,
   /// summed over every cell (bench_control_faults' end-to-end metric).
   std::uint64_t control_corrupted = 0;
+  /// Defects manufactured into the cells' fabric (pre-remap), summed.
+  std::uint64_t manufactured_defects = 0;
+  /// Effective (post-remap) defects the cells actually compute on.
+  std::uint64_t effective_defects = 0;
+  /// Cells condemned before the run by condemn_infeasible_remaps.
+  std::size_t cells_condemned = 0;
 };
 
 /// Row-major alive map of a grid, '#' = alive, 'x' = disabled — the

@@ -1,0 +1,81 @@
+#include "grid/wafer_study.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "workload/image_ops.hpp"
+
+namespace nbx {
+
+WaferStudy run_wafer_study(const TrialEngine& engine, const WaferSpec& spec,
+                           obs::ProgressReporter* progress) {
+  Rng image_rng(spec.image_seed);
+  const Bitmap image = Bitmap::random(8, 8, image_rng);
+  const PixelOp op = reverse_video_op();
+  // Never condemn below the cell count the workload needs to fit.
+  const std::size_t capacity = std::max<std::size_t>(spec.cell.memory_words,
+                                                     1);
+  const std::size_t pixels =
+      static_cast<std::size_t>(image.width()) * image.height();
+  const std::size_t min_live = (pixels + capacity - 1) / capacity;
+
+  std::vector<GridTrialSpec> trials;
+  trials.reserve(spec.wafers);
+  for (std::size_t w = 0; w < spec.wafers; ++w) {
+    GridTrialSpec t;
+    t.label = "wafer-" + std::to_string(w);
+    t.rows = spec.rows;
+    t.cols = spec.cols;
+    t.cell = spec.cell;
+    // Each wafer is an independently manufactured part: its cells'
+    // defect maps (and every other cell RNG stream) derive from the
+    // wafer index, counter-style, so the population is identical for
+    // every thread count and for paired oblivious/remap re-runs.
+    t.cell.seed = derive_seed({spec.seed, static_cast<std::uint64_t>(w)});
+    t.image = image;
+    t.op = op;
+    t.options = spec.options;
+    t.condemn_infeasible_remaps = spec.condemn_infeasible;
+    t.min_live_cells = min_live;
+    trials.push_back(std::move(t));
+  }
+
+  const std::vector<GridTrialResult> results =
+      run_grid_trials(engine, trials, progress);
+
+  WaferStudy study;
+  study.wafers.reserve(results.size());
+  std::size_t good = 0;
+  double sum_correct = 0.0;
+  double sum_manufactured = 0.0;
+  double sum_effective = 0.0;
+  double sum_disabled = 0.0;
+  for (const GridTrialResult& r : results) {
+    WaferOutcome o;
+    o.percent_correct = r.report.percent_correct;
+    o.manufactured_defects = r.manufactured_defects;
+    o.effective_defects = r.effective_defects;
+    o.cells_condemned = r.cells_condemned;
+    o.cells_disabled = static_cast<std::size_t>(
+        std::count(r.alive_map.begin(), r.alive_map.end(), 'x'));
+    o.salvaged_words = r.report.watchdog.words_salvaged;
+    o.good = o.percent_correct >= spec.yield_threshold;
+    good += o.good ? 1 : 0;
+    sum_correct += o.percent_correct;
+    sum_manufactured += static_cast<double>(o.manufactured_defects);
+    sum_effective += static_cast<double>(o.effective_defects);
+    sum_disabled += static_cast<double>(o.cells_disabled);
+    study.wafers.push_back(o);
+  }
+  if (!study.wafers.empty()) {
+    const auto n = static_cast<double>(study.wafers.size());
+    study.yield = static_cast<double>(good) / n;
+    study.mean_percent_correct = sum_correct / n;
+    study.mean_manufactured_defects = sum_manufactured / n;
+    study.mean_effective_defects = sum_effective / n;
+    study.mean_cells_disabled = sum_disabled / n;
+  }
+  return study;
+}
+
+}  // namespace nbx

@@ -1,0 +1,79 @@
+// wafer_study.hpp — wafer-scale defect-map Monte Carlo through failover.
+//
+// The paper's abstract promises a system that tolerates "both permanent
+// and transient failures"; §2.3 sketches the mechanism (self-disabling
+// cells, watchdog salvage) but the evaluation never manufactures a
+// defective part. run_wafer_study closes the loop: it manufactures many
+// independent "wafers" — grids whose cells carry their own stuck-at
+// DefectMaps (plus an optional transient overlay) — pushes each through
+// the full control-processor / watchdog failover machinery via
+// run_grid_trials, and reduces the outcomes to yield and salvage
+// distributions. With CellConfig.remap_defects (fault/remap.hpp) the
+// same seeds re-run under defect-aware placement, so a paired study
+// measures the reliability recovered versus oblivious placement —
+// bench_wafer's headline metric.
+//
+// Determinism: wafer w's cells seed from derive_seed({spec.seed, w}),
+// each wafer is one TrialEngine work item, and outcomes fold in wafer
+// order — bit-identical for every thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid_trials.hpp"
+#include "obs/progress.hpp"
+
+namespace nbx {
+
+/// One wafer-population experiment.
+struct WaferSpec {
+  std::size_t wafers = 32;  ///< independently manufactured grids
+  std::size_t rows = 3;
+  std::size_t cols = 3;
+  /// Per-cell configuration: alu_defect_density is the wafer's defect
+  /// process, alu_spare_sites/remap_defects select defect-aware
+  /// placement, alu_fault_percent adds the transient overlay. The seed
+  /// field is overridden per wafer.
+  CellConfig cell;
+  std::uint64_t seed = 2026;      ///< wafer population master seed
+  std::uint64_t image_seed = 11;  ///< workload image seed (8x8 random)
+  /// A wafer counts toward yield when its end-to-end percent_correct
+  /// reaches this threshold.
+  double yield_threshold = 100.0;
+  /// Condemn cells whose remap came up infeasible before the run
+  /// (GridTrialSpec.condemn_infeasible_remaps).
+  bool condemn_infeasible = false;
+  GridRunOptions options;  ///< cycle budgets / watchdog, shared by wafers
+};
+
+/// One manufactured wafer's outcome.
+struct WaferOutcome {
+  double percent_correct = 0.0;
+  std::uint64_t manufactured_defects = 0;  ///< pre-remap, all cells
+  std::uint64_t effective_defects = 0;     ///< post-remap residue
+  std::size_t cells_condemned = 0;         ///< infeasible-remap salvage
+  std::size_t cells_disabled = 0;          ///< dead in the final alive map
+  std::uint64_t salvaged_words = 0;        ///< watchdog salvage traffic
+  bool good = false;  ///< percent_correct >= yield_threshold
+};
+
+/// The study: per-wafer outcomes in manufacture order plus distribution
+/// summaries.
+struct WaferStudy {
+  std::vector<WaferOutcome> wafers;
+  double yield = 0.0;  ///< fraction of wafers that are `good`
+  double mean_percent_correct = 0.0;
+  double mean_manufactured_defects = 0.0;
+  double mean_effective_defects = 0.0;
+  double mean_cells_disabled = 0.0;
+};
+
+/// Runs the whole wafer population through the engine (one grid trial
+/// per wafer, profiler stage "grid_trial"); `progress` ticks per wafer.
+[[nodiscard]] WaferStudy run_wafer_study(
+    const TrialEngine& engine, const WaferSpec& spec,
+    obs::ProgressReporter* progress = nullptr);
+
+}  // namespace nbx

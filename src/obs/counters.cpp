@@ -41,7 +41,11 @@ void write_counters_json(std::ostream& os, const Counters& c) {
      << ",\"correct\":" << c.end_to_end.correct
      << ",\"silent_corruptions\":" << c.end_to_end.silent_corruptions
      << ",\"caught_errors\":" << c.end_to_end.caught_errors
-     << ",\"false_alarms\":" << c.end_to_end.false_alarms << "}}";
+     << ",\"false_alarms\":" << c.end_to_end.false_alarms << "}";
+  os << ",\"scenario\":{\"scheduled_trials\":"
+     << c.scenario.scheduled_trials
+     << ",\"wear_adjusted_trials\":" << c.scenario.wear_adjusted_trials
+     << ",\"burst_strikes\":" << c.scenario.burst_strikes << "}}";
 }
 
 std::string counters_json(const Counters& c) {

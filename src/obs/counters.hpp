@@ -138,6 +138,28 @@ struct EndToEndCounters {
                          const EndToEndCounters&) = default;
 };
 
+/// FaultScenario attribution (fault/scenario.hpp): how much of the
+/// injected volume came from the correlated/aging overlays rather than
+/// the paper's i.i.d. model. Accounted by the sweep backends from the
+/// trial coordinates alone (pure arithmetic, no RNG), so scalar and wide
+/// totals are bit-identical by construction.
+struct ScenarioCounters {
+  std::uint64_t scheduled_trials = 0;  // trials under a non-identity
+                                       // rate schedule
+  std::uint64_t wear_adjusted_trials = 0;  // trials whose effective rate
+                                           // differed from the base rate
+  std::uint64_t burst_strikes = 0;  // correlated strikes delivered
+
+  ScenarioCounters& operator+=(const ScenarioCounters& o) {
+    scheduled_trials += o.scheduled_trials;
+    wear_adjusted_trials += o.wear_adjusted_trials;
+    burst_strikes += o.burst_strikes;
+    return *this;
+  }
+  friend bool operator==(const ScenarioCounters&,
+                         const ScenarioCounters&) = default;
+};
+
 /// The full anatomy for one accumulation scope (a trial, a lane group,
 /// a data point, a whole sweep — merge scopes with +=).
 struct Counters {
@@ -145,6 +167,7 @@ struct Counters {
   std::array<CodeLayerCounters, kCodeLayerCount> code;
   ModuleLayerCounters module_level;
   EndToEndCounters end_to_end;
+  ScenarioCounters scenario;
 
   CodeLayerCounters& at(CodeLayer layer) {
     return code[static_cast<std::size_t>(layer)];
@@ -158,6 +181,7 @@ struct Counters {
     for (std::size_t i = 0; i < kCodeLayerCount; ++i) code[i] += o.code[i];
     module_level += o.module_level;
     end_to_end += o.end_to_end;
+    scenario += o.scenario;
     return *this;
   }
   friend bool operator==(const Counters&, const Counters&) = default;
@@ -167,8 +191,8 @@ struct Counters {
 
 /// Writes one Counters as a single-line JSON object (no newline):
 /// {"injection":{...},"code":{"hamming":{...},...},"module":{...},
-///  "e2e":{...}}. Suitable both for embedding in a larger document and
-/// as one JSONL record.
+///  "e2e":{...},"scenario":{...}}. Suitable both for embedding in a
+/// larger document and as one JSONL record.
 void write_counters_json(std::ostream& os, const Counters& c);
 
 /// Convenience: write_counters_json into a string.

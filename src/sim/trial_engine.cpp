@@ -25,7 +25,8 @@ TrialResult run_trial(const IAlu& alu,
   // kAll scope this is exactly "a given fraction of the fault injection
   // points" (§4).
   const MaskGenerator gen(inject_sites, cfg.fault_percent, cfg.policy,
-                          cfg.burst_length);
+                          cfg.burst_length, cfg.burst_rows,
+                          cfg.burst_row_stride);
 
   // Per-worker scalar arena: generate() clears/resizes as needed, so a
   // steady-state trial over the same ALU allocates nothing (the scalar
@@ -100,6 +101,26 @@ TrialResult run_trial(const IAlu& alu,
 
 namespace {
 
+// Scenario-attributed accounting for one trial — pure arithmetic over
+// the trial's coordinates (no Rng, no simulation state), evaluated by
+// the scalar and wide backends from the same inputs so their totals are
+// bit-identical by construction.
+void account_scenario(obs::Counters& c, const SweepSpec& spec,
+                      double base_percent, double effective_percent,
+                      const MaskGenerator& gen, std::size_t instructions) {
+  auto& s = c.scenario;
+  if (!spec.scenario.is_iid()) {
+    ++s.scheduled_trials;
+    if (std::bit_cast<std::uint64_t>(effective_percent) !=
+        std::bit_cast<std::uint64_t>(base_percent)) {
+      ++s.wear_adjusted_trials;
+    }
+  }
+  s.burst_strikes +=
+      static_cast<std::uint64_t>(gen.strikes_per_computation()) *
+      static_cast<std::uint64_t>(instructions);
+}
+
 // The scalar sweep backend: one item = one (percent, workload, trial)
 // cell of the grid, indexed [percent][workload][trial] flattened. Every
 // cell's RNG seed is a pure function of its coordinates
@@ -123,18 +144,33 @@ struct ScalarSweepBackend {
     const std::size_t pi = i / per_percent;
     const std::size_t w = (i % per_percent) / trials;
     const std::size_t t = i % trials;
+    // The scenario's rate schedule maps (base percent, trial index) to
+    // this trial's effective rate; the effective rate seeds the trial by
+    // bit pattern, so a constant schedule reproduces the i.i.d. model's
+    // seeds — and therefore its results — exactly.
+    const double effective =
+        spec.scenario.schedule.at(spec.percents[pi], t, trials);
     TrialConfig cfg;
-    cfg.fault_percent = spec.percents[pi];
+    cfg.fault_percent = effective;
     cfg.policy = spec.policy;
     cfg.burst_length = spec.burst_length;
     cfg.scope = spec.scope;
     cfg.datapath_sites = spec.datapath_sites;
-    Rng rng(MaskGenerator::trial_seed(spec.seed, alu_hash,
-                                      spec.percents[pi], w, t));
-    samples[i] =
-        run_trial(alu, streams[w], cfg, rng,
-                  per_item != nullptr ? &(*per_item)[i] : nullptr)
-            .percent_correct;
+    cfg.burst_rows = spec.scenario.burst_rows;
+    cfg.burst_row_stride = spec.scenario.burst_row_stride;
+    Rng rng(MaskGenerator::trial_seed(spec.seed, alu_hash, effective, w, t));
+    obs::Counters* sink = per_item != nullptr ? &(*per_item)[i] : nullptr;
+    samples[i] = run_trial(alu, streams[w], cfg, rng, sink).percent_correct;
+    if (sink != nullptr) {
+      const std::size_t inject_sites =
+          spec.scope == InjectionScope::kDatapathOnly ? spec.datapath_sites
+                                                      : alu.fault_sites();
+      const MaskGenerator gen(inject_sites, effective, spec.policy,
+                              spec.burst_length, spec.scenario.burst_rows,
+                              spec.scenario.burst_row_stride);
+      account_scenario(*sink, spec, spec.percents[pi], effective, gen,
+                       streams[w].size());
+    }
   }
 };
 
@@ -189,7 +225,8 @@ struct WideSweepBackend {
     const std::vector<Instruction>& stream = streams[w];
 
     const MaskGenerator gen(inject_sites, spec.percents[pi], spec.policy,
-                            spec.burst_length);
+                            spec.burst_length, spec.scenario.burst_rows,
+                            spec.scenario.burst_row_stride);
 
     // Shape this worker's arena: reshape/resize never shrink capacity,
     // so in steady state none of this allocates.
@@ -199,9 +236,27 @@ struct WideSweepBackend {
     if (ar.rngs.capacity() < in_group) {
       ar.rngs.reserve(lanes);
     }
+    // Under a wear-out schedule each lane is a different trial index and
+    // therefore runs at its own effective rate: per-lane generators (the
+    // i.i.d. fast path keeps the single shared generator and a null
+    // job.gens). Seeds always hash the lane's *effective* rate — exactly
+    // what the scalar backend does — so every tier and width reproduces
+    // the scalar mask streams verbatim.
+    const bool iid = spec.scenario.is_iid();
+    ar.gens.clear();
+    if (!iid && ar.gens.capacity() < in_group) {
+      ar.gens.reserve(lanes);
+    }
     for (unsigned l = 0; l < in_group; ++l) {
+      const double effective = spec.scenario.schedule.at(
+          spec.percents[pi], first_trial + l, trials);
       ar.rngs.emplace_back(MaskGenerator::trial_seed(
-          spec.seed, alu_hash, spec.percents[pi], w, first_trial + l));
+          spec.seed, alu_hash, effective, w, first_trial + l));
+      if (!iid) {
+        ar.gens.emplace_back(inject_sites, effective, spec.policy,
+                             spec.burst_length, spec.scenario.burst_rows,
+                             spec.scenario.burst_row_stride);
+      }
     }
     if (ar.incorrect.size() < in_group) {
       ar.incorrect.resize(lanes);
@@ -216,6 +271,7 @@ struct WideSweepBackend {
     simd::WideGroupJob job;
     job.mirror = &mirror;
     job.gen = &gen;
+    job.gens = iid ? nullptr : ar.gens.data();
     job.stream = stream.data();
     job.stream_len = stream.size();
     job.in_group = in_group;
@@ -224,6 +280,15 @@ struct WideSweepBackend {
     job.anatomy = per_group != nullptr ? &(*per_group)[item] : nullptr;
     job.arena = &ar;
     simd::run_wide_group(tier, lane_words, job);
+
+    if (job.anatomy != nullptr) {
+      for (unsigned l = 0; l < in_group; ++l) {
+        const double effective = spec.scenario.schedule.at(
+            spec.percents[pi], first_trial + l, trials);
+        account_scenario(*job.anatomy, spec, spec.percents[pi], effective,
+                         iid ? gen : ar.gens[l], stream.size());
+      }
+    }
 
     const std::size_t base = cell * trials + first_trial;
     for (unsigned l = 0; l < in_group; ++l) {

@@ -41,6 +41,7 @@
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/mask_generator.hpp"
+#include "fault/scenario.hpp"
 #include "fault/sweep.hpp"
 #include "obs/counters.hpp"
 #include "obs/profiler.hpp"
@@ -62,6 +63,8 @@ struct TrialConfig {
   /// Sites eligible for injection when scope == kDatapathOnly (leading
   /// segment of the mask). Ignored for kAll.
   std::size_t datapath_sites = 0;
+  std::size_t burst_rows = 1;        ///< 2-D strike height (kBurst only)
+  std::size_t burst_row_stride = 0;  ///< sites per row; 0 = 1-D strikes
 };
 
 /// Result of one trial (one workload, one pass over its instructions).
@@ -148,6 +151,12 @@ struct SweepSpec {
   InjectionScope scope = InjectionScope::kAll;
   std::size_t datapath_sites = 0;  ///< used when scope == kDatapathOnly
   std::size_t burst_length = 1;    ///< used by FaultCountPolicy::kBurst
+  /// Correlated/aging overlay (fault/scenario.hpp). The default scenario
+  /// is the paper's i.i.d. model: trial t's rate is schedule.at(percent,
+  /// t, trials) and enters the counter-based trial seed by bit pattern,
+  /// so a constant schedule reproduces historical results exactly and
+  /// every schedule is bit-identical across threads × lanes × SIMD tiers.
+  FaultScenario scenario;
 };
 
 /// A unit of schedulable work: a flat item space whose bodies are pure

@@ -739,8 +739,13 @@ void run_group_impl(const WideGroupJob& job) {
   for (std::size_t n = 0; n < job.stream_len; ++n) {
     const Instruction& ins = job.stream[n];
     mask.clear_all();
+    // job.gens selects a per-lane generator under a wear-out rate
+    // schedule (each lane runs at its own effective rate); the i.i.d.
+    // path shares one generator across the group.
     for (unsigned l = 0; l < in_group; ++l) {
-      job.gen->generate(ar.rngs[l], mask, l);
+      const MaskGenerator& gen =
+          job.gens != nullptr ? job.gens[l] : *job.gen;
+      gen.generate(ar.rngs[l], mask, l);
     }
     if (oc != nullptr) {
       oc->injection.masks_generated += in_group;

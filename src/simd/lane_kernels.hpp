@@ -34,6 +34,9 @@ struct WideArena {
   std::vector<std::uint32_t> incorrect;  ///< per-lane wrong-result count
   std::vector<std::uint64_t> nodes;  ///< netlist node words (W per node)
   BitVec lane_mask;                  ///< scalar fallback lane extraction
+  std::vector<MaskGenerator> gens;   ///< per-lane generators (wear-out
+                                     ///< schedules only; empty when the
+                                     ///< group shares WideGroupJob::gen)
 };
 
 /// Everything one lane-group trial needs, flattened. The kernel runs the
@@ -44,6 +47,12 @@ struct WideArena {
 struct WideGroupJob {
   const WideMirror* mirror = nullptr;
   const MaskGenerator* gen = nullptr;  ///< bound to inject_sites
+  /// Per-lane generators (gens[l] for lane l), or null when every lane
+  /// shares `gen`. Non-null under a FaultScenario rate schedule, where
+  /// each lane is a different trial index running at its own effective
+  /// rate; lane l still consumes rngs[l] draw-for-draw like the scalar
+  /// engine, so bit-identity holds per tier and width.
+  const MaskGenerator* gens = nullptr;
   const Instruction* stream = nullptr;
   std::size_t stream_len = 0;
   unsigned in_group = 0;      ///< active lanes, 1 .. 64 * lane_words

@@ -37,6 +37,10 @@ TEST(OracleSmoke, SimdDifferentialHolds) {
   run_family_clean(simd_differential_property());
 }
 
+TEST(OracleSmoke, ScenarioDifferentialHolds) {
+  run_family_clean(scenario_differential_property());
+}
+
 TEST(OracleSmoke, AluVsCmosHolds) { run_family_clean(alu_vs_cmos_property()); }
 
 TEST(OracleSmoke, DecodeTErrorHolds) {
@@ -59,7 +63,7 @@ TEST(OracleRegistry, NamesResolveAndAreUnique) {
     names.push_back(p.name());
     EXPECT_TRUE(oracle_property_by_name(p.name()).has_value()) << p.name();
   }
-  EXPECT_EQ(names.size(), 4u);
+  EXPECT_EQ(names.size(), 5u);
   for (std::size_t i = 0; i < names.size(); ++i) {
     for (std::size_t j = i + 1; j < names.size(); ++j) {
       EXPECT_NE(names[i], names[j]);

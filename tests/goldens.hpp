@@ -56,6 +56,59 @@ inline constexpr ReferencePoint kAlussAt2Pct = {
     "aluss", 2.0, 2026, 5,
     98.90625, 0.75475920553070042, 0.53988469906198522, 10};
 
+// --------------------------------------------- wear-out scheduled point
+
+/// The scheduled counterpart of kAlussAt2Pct: the same reference
+/// configuration under a linear wear-out ramp from the 2% base rate to
+/// 3x base (end_factor 3.0) across each workload's trial indices. Trial
+/// 0 reuses the i.i.d. trial seed bit-for-bit (the schedule anchors at
+/// the base rate); later trials re-derive their seeds from the drifted
+/// effective rate. Pinned on the scalar engine and required to hold
+/// bit-identically on the threaded and wide (all SIMD tiers) paths.
+struct WearOutPoint {
+  const char* alu;
+  double base_percent;
+  double end_factor;  ///< linear schedule, shape 1
+  std::uint64_t seed;
+  int trials_per_workload;
+  double mean_percent_correct;
+  double stddev;
+  double ci95;
+  std::size_t samples;
+};
+
+inline constexpr WearOutPoint kAlussWearLinear3x = {
+    "aluss", 2.0, 3.0, 2026, 5,
+    94.84375, 4.3607157685280153, 3.1192514157296207, 10};
+
+// ------------------------------------------------ wafer-study snapshot
+
+/// One pinned wafer-study distribution (grid/wafer_study.hpp): 8 wafers
+/// of 3x3 TMR-coded cells manufactured at 2% stuck-at defect density
+/// with an eighth of the logical fabric as spares, a 0.5% transient
+/// overlay, master seed 2026, yield threshold 95% — both arms of the
+/// paired placement sweep from the SAME manufacture seeds. The remap
+/// arm runs defect-aware placement (fault/remap.hpp) with infeasible
+/// cells condemned up front; the oblivious arm computes on its defects.
+struct WaferStudyGolden {
+  std::size_t wafers;
+  double defect_density;
+  /// Oblivious placement arm.
+  double oblivious_yield;
+  double oblivious_mean_percent_correct;
+  /// Defect-aware placement arm (same seeds).
+  double remap_yield;
+  double remap_mean_percent_correct;
+  double mean_manufactured_defects;     ///< identical in both arms
+  double remap_mean_effective_defects;  ///< post-placement residue
+};
+
+inline constexpr WaferStudyGolden kWaferTmr2PctDensity = {
+    8, 0.02,
+    1.0, 99.4140625,
+    1.0, 100.0,
+    316.0, 0.0};
+
 // --------------------------------------------- grid failover schedules
 
 /// One pinned bench_failover outcome: 3x3 grid, 16x8 random image
@@ -141,6 +194,29 @@ inline std::vector<Entry> all_entries() {
        << dbl(kAlussAt2Pct.stddev) << "/" << dbl(kAlussAt2Pct.ci95) << "/"
        << kAlussAt2Pct.samples;
     out.push_back({"point.aluss_2pct", os.str()});
+  }
+  {
+    std::ostringstream os;
+    os << kAlussWearLinear3x.alu << "@"
+       << dbl(kAlussWearLinear3x.base_percent) << "pct_x"
+       << dbl(kAlussWearLinear3x.end_factor) << "/seed"
+       << kAlussWearLinear3x.seed << ": "
+       << dbl(kAlussWearLinear3x.mean_percent_correct) << "/"
+       << dbl(kAlussWearLinear3x.stddev) << "/"
+       << dbl(kAlussWearLinear3x.ci95) << "/"
+       << kAlussWearLinear3x.samples;
+    out.push_back({"point.aluss_wear_linear3x", os.str()});
+  }
+  {
+    const WaferStudyGolden& w = kWaferTmr2PctDensity;
+    std::ostringstream os;
+    os << w.wafers << "x3x3@" << dbl(w.defect_density) << ": obliv "
+       << dbl(w.oblivious_yield) << "/"
+       << dbl(w.oblivious_mean_percent_correct) << ", remap "
+       << dbl(w.remap_yield) << "/" << dbl(w.remap_mean_percent_correct)
+       << ", defects " << dbl(w.mean_manufactured_defects) << "->"
+       << dbl(w.remap_mean_effective_defects);
+    out.push_back({"wafer.tmr_2pct_density", os.str()});
   }
   out.push_back({"failover.three_kills_wd_on",
                  failover(kThreeKillsWatchdogOn)});

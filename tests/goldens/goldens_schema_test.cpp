@@ -55,6 +55,40 @@ TEST(GoldensSchema, ReferencePointShapeIsConsistent) {
   EXPECT_GE(p.ci95, 0.0);
 }
 
+TEST(GoldensSchema, WearOutPointShapeIsConsistent) {
+  const goldens::WearOutPoint& p = goldens::kAlussWearLinear3x;
+  EXPECT_STREQ(p.alu, "aluss");
+  EXPECT_EQ(p.samples, 2u * static_cast<std::size_t>(p.trials_per_workload));
+  // A wear-out ramp, not an i.i.d. sweep in disguise.
+  EXPECT_GT(p.end_factor, 1.0);
+  EXPECT_GE(p.mean_percent_correct, 0.0);
+  EXPECT_LE(p.mean_percent_correct, 100.0);
+  EXPECT_GE(p.stddev, 0.0);
+  // Drifting the tail trials of every workload above the base rate can
+  // only hurt: the scheduled mean sits at or below the i.i.d. point.
+  EXPECT_LE(p.mean_percent_correct,
+            goldens::kAlussAt2Pct.mean_percent_correct);
+}
+
+TEST(GoldensSchema, WaferStudyGoldenIsInternallyConsistent) {
+  const goldens::WaferStudyGolden& w = goldens::kWaferTmr2PctDensity;
+  EXPECT_GE(w.oblivious_yield, 0.0);
+  EXPECT_LE(w.oblivious_yield, 1.0);
+  EXPECT_GE(w.remap_yield, 0.0);
+  EXPECT_LE(w.remap_yield, 1.0);
+  EXPECT_GE(w.oblivious_mean_percent_correct, 0.0);
+  EXPECT_LE(w.oblivious_mean_percent_correct, 100.0);
+  EXPECT_GE(w.remap_mean_percent_correct, 0.0);
+  EXPECT_LE(w.remap_mean_percent_correct, 100.0);
+  // The whole point of the paired sweep: defect-aware placement never
+  // loses to oblivious placement from the same manufacture seeds, and
+  // the spare pool absorbs defects rather than inventing them.
+  EXPECT_GE(w.remap_mean_percent_correct,
+            w.oblivious_mean_percent_correct);
+  EXPECT_GE(w.remap_yield, w.oblivious_yield);
+  EXPECT_LE(w.remap_mean_effective_defects, w.mean_manufactured_defects);
+}
+
 void expect_alive_map_consistent(const goldens::FailoverGolden& f,
                                  std::size_t cells) {
   ASSERT_EQ(std::string(f.alive_map).size(), cells) << f.name;
@@ -107,7 +141,10 @@ TEST(GoldensSchema, RegistryFingerprintIsPinned) {
   }
   // To update after an INTENTIONAL golden change: run this test, copy
   // the printed canonical form's hash, and record why in the PR.
-  EXPECT_EQ(fnv1a64(canonical), 783857206377313724ULL)
+  // Updated once when the fault-scenario layer pinned two NEW entries
+  // (point.aluss_wear_linear3x, wafer.tmr_2pct_density); every
+  // pre-existing entry was verified byte-identical.
+  EXPECT_EQ(fnv1a64(canonical), 16048837851692790952ULL)
       << "canonical form:\n"
       << canonical;
 }
