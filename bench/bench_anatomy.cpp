@@ -24,7 +24,9 @@
 
 #include "alu/alu_factory.hpp"
 #include "bench/bench_cli.hpp"
+#include "bench/bench_registry.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "fault/sweep.hpp"
 #include "sim/bench_json.hpp"
 #include "sim/trial_engine.hpp"
@@ -57,10 +59,12 @@ int main(int argc, char** argv) {
       "outcomes, module votes and the silent/caught split, with the\n"
       "counters verified bit-identical across engine configurations.",
       bench::kThreads | bench::kTrials | bench::kSeed | bench::kAlus |
-          bench::kSmoke | bench::kOut | bench::kMetricsOut);
+          bench::kSmoke | bench::kOut | bench::kMetricsOut |
+          bench::kRegistry);
   if (cli.done()) {
     return cli.status();
   }
+  bench::ScopedBenchRegistry bench_registry(cli, "anatomy");
   const bool smoke = cli.smoke();
   const int trials = cli.trials(smoke ? 2 : kPaperTrialsPerWorkload);
   const std::uint64_t seed = cli.seed(2026);
@@ -193,17 +197,61 @@ int main(int argc, char** argv) {
             << fmt_double(overhead_pct, 2) << "% ("
             << (overhead_ok ? "within" : "ABOVE") << " the 5% budget)\n";
 
+  // ------------------------------------------------------------------
+  // Metrics registry: same discipline as the sink — attaching the
+  // process-wide MetricsRegistry must leave the numbers bit-identical
+  // and cost < 5% on the same best-of-5 protocol.
+  // ------------------------------------------------------------------
+  const std::vector<DataPoint> points_off =
+      engines[0].sweep(*aluss, streams, oh_spec);
+  double best_reg = 1e100;
+  std::vector<DataPoint> points_reg;
+  {
+    obs::MetricsRegistry registry;
+    const obs::ScopedMetricsRegistry attach(&registry);
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto t_reg = std::chrono::steady_clock::now();
+      points_reg = engines[0].sweep(*aluss, streams, oh_spec);
+      best_reg = std::min(best_reg, seconds_since(t_reg));
+    }
+  }
+  bool registry_identical = points_reg.size() == points_off.size();
+  for (std::size_t i = 0; registry_identical && i < points_off.size(); ++i) {
+    registry_identical =
+        points_off[i].mean_percent_correct ==
+            points_reg[i].mean_percent_correct &&
+        points_off[i].stddev == points_reg[i].stddev &&
+        points_off[i].samples == points_reg[i].samples;
+  }
+  const double registry_overhead_pct =
+      best_off > 0.0 ? (best_reg / best_off - 1.0) * 100.0 : 0.0;
+  const bool registry_ok = registry_overhead_pct < 5.0;
+  std::cout << "Registry overhead (aluss @ 2%, best of 5): off "
+            << fmt_double(best_off * 1e3, 2) << " ms, attached "
+            << fmt_double(best_reg * 1e3, 2) << " ms -> "
+            << fmt_double(registry_overhead_pct, 2) << "% ("
+            << (registry_ok ? "within" : "ABOVE") << " the 5% budget), "
+            << "results "
+            << (registry_identical ? "bit-identical" : "MISMATCH") << "\n";
+
   report.trials = names.size() * percents.size() * streams.size() *
                   static_cast<std::size_t>(trials);
   report.wall_seconds = wall;
   report.metrics.emplace_back("overhead_percent", overhead_pct);
   report.metrics.emplace_back("sink_off_seconds", best_off);
   report.metrics.emplace_back("sink_on_seconds", best_on);
+  report.metrics.emplace_back("registry_overhead_percent",
+                              registry_overhead_pct);
+  report.metrics.emplace_back("registry_on_seconds", best_reg);
   report.extra.emplace_back("mode", smoke ? "smoke" : "paper");
   report.extra.emplace_back("counters_deterministic",
                             deterministic ? "yes" : "NO");
   report.extra.emplace_back("overhead_within_5pct",
                             overhead_ok ? "yes" : "NO");
+  report.extra.emplace_back("registry_identical",
+                            registry_identical ? "yes" : "NO");
+  report.extra.emplace_back("registry_within_5pct",
+                            registry_ok ? "yes" : "NO");
   for (std::size_t i = 0; i < names.size(); ++i) {
     report.sweeps.push_back({names[i], std::move(anatomies[i].points),
                              std::move(anatomies[i].metrics)});
@@ -232,5 +280,5 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "\nWrote " << path << "\n";
-  return deterministic ? 0 : 1;
+  return deterministic && registry_identical ? 0 : 1;
 }

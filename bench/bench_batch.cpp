@@ -18,6 +18,7 @@
 
 #include "alu/alu_factory.hpp"
 #include "bench/bench_cli.hpp"
+#include "bench/bench_registry.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/bench_json.hpp"
 #include "sim/trial_engine.hpp"
@@ -46,11 +47,12 @@ int main(int argc, char** argv) {
       "Scalar vs bit-parallel batched engine on one data point, verified\n"
       "bit-identical, with speedup and throughput recorded.",
       bench::kThreads | bench::kLanes | bench::kTrials | bench::kSeed |
-          bench::kAlus | bench::kSmoke | bench::kOut,
+          bench::kAlus | bench::kSmoke | bench::kOut | bench::kRegistry,
       {{"--percent P", "fault percentage of the data point (default 2)"}});
   if (cli.done()) {
     return cli.status();
   }
+  bench::ScopedBenchRegistry bench_registry(cli, "batch");
   const bool smoke = cli.smoke();
   const unsigned threads =
       static_cast<unsigned>(cli.args().get_int("threads", 1));
@@ -99,6 +101,7 @@ int main(int argc, char** argv) {
   report.bench = "batch";
   report.seed = seed;
   report.threads = resolve_threads(threads);
+  report.lanes = lanes;
   report.trials_per_workload = trials;
   report.metrics.emplace_back("lanes", static_cast<double>(lanes));
   report.metrics.emplace_back("fault_percent", percent);

@@ -47,6 +47,14 @@ constexpr SharedFlag kSharedFlags[] = {
      "write a chrome://tracing timeline to PATH"},
     {kTraceCap, "trace-cap", "--trace-cap N",
      "cap the trace ring buffer at N events"},
+    {kRegistry, "registry-out", "--registry-out PATH",
+     "write Prometheus text exposition of runtime metrics at exit"},
+    {kRegistry, "registry-jsonl", "--registry-jsonl PATH",
+     "stream periodic metric snapshots as JSONL to PATH"},
+    {kRegistry, "registry-interval", "--registry-interval SECS",
+     "snapshot interval for --registry-jsonl (default 1.0)"},
+    {kProfileOut, "profile-out", "--profile-out PATH",
+     "write per-stage profile JSON (count/total/quantiles) to PATH"},
 };
 
 /// "--cells N" -> "cells" (what CliArgs keys on).
@@ -155,6 +163,22 @@ std::string BenchCli::trace_out() const { return args_.get("trace-out"); }
 std::size_t BenchCli::trace_cap(std::size_t fallback) const {
   return static_cast<std::size_t>(
       args_.get_int("trace-cap", static_cast<std::int64_t>(fallback)));
+}
+
+std::string BenchCli::registry_out() const {
+  return args_.get("registry-out");
+}
+
+std::string BenchCli::registry_jsonl() const {
+  return args_.get("registry-jsonl");
+}
+
+double BenchCli::registry_interval(double fallback) const {
+  return args_.get_double("registry-interval", fallback);
+}
+
+std::string BenchCli::profile_out() const {
+  return args_.get("profile-out");
 }
 
 }  // namespace nbx::bench

@@ -42,6 +42,9 @@ enum BenchFlag : std::uint32_t {
   kMetricsOut = 1u << 9,  ///< --metrics-out PATH
   kTraceOut = 1u << 10,   ///< --trace-out PATH
   kTraceCap = 1u << 11,   ///< --trace-cap N
+  kRegistry = 1u << 12,   ///< --registry-out / --registry-jsonl /
+                          ///< --registry-interval
+  kProfileOut = 1u << 13,  ///< --profile-out PATH
 };
 
 /// A bench-specific flag for the help text, e.g. {"--cells N", "grid
@@ -86,6 +89,10 @@ class BenchCli {
   [[nodiscard]] std::string metrics_out() const;
   [[nodiscard]] std::string trace_out() const;
   [[nodiscard]] std::size_t trace_cap(std::size_t fallback) const;
+  [[nodiscard]] std::string registry_out() const;
+  [[nodiscard]] std::string registry_jsonl() const;
+  [[nodiscard]] double registry_interval(double fallback = 1.0) const;
+  [[nodiscard]] std::string profile_out() const;
 
   /// The underlying parser, for bench-specific flags.
   [[nodiscard]] const CliArgs& args() const { return args_; }

@@ -1,0 +1,58 @@
+#include "bench/bench_registry.hpp"
+
+#include <iostream>
+
+namespace nbx::bench {
+
+ScopedBenchRegistry::ScopedBenchRegistry(const BenchCli& cli,
+                                         std::string bench_name)
+    : bench_(std::move(bench_name)),
+      out_path_(cli.registry_out()),
+      start_(std::chrono::steady_clock::now()) {
+  const std::string jsonl_path = cli.registry_jsonl();
+  if (out_path_.empty() && jsonl_path.empty()) {
+    return;  // inert: obs::metrics() stays null
+  }
+  registry_ = std::make_unique<obs::MetricsRegistry>();
+  registry_->gauge("bench_info", {{"bench", bench_}}).set(1.0);
+  if (!jsonl_path.empty()) {
+    jsonl_ = std::make_unique<std::ofstream>(jsonl_path);
+    if (!*jsonl_) {
+      std::cerr << "warning: cannot open '" << jsonl_path
+                << "' for registry JSONL; streaming disabled\n";
+      jsonl_.reset();
+    } else {
+      streamer_ = std::make_unique<obs::SnapshotStreamer>(
+          *registry_, *jsonl_, cli.registry_interval());
+    }
+  }
+  attach_ = std::make_unique<obs::ScopedMetricsRegistry>(registry_.get());
+}
+
+ScopedBenchRegistry::~ScopedBenchRegistry() {
+  if (registry_ == nullptr) {
+    return;
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count();
+  registry_->gauge("bench_wall_seconds", {{"bench", bench_}}).set(wall);
+  if (streamer_ != nullptr) {
+    streamer_->stop();  // final JSONL record sees bench_wall_seconds
+    streamer_.reset();
+  }
+  jsonl_.reset();
+  if (!out_path_.empty()) {
+    std::ofstream os(out_path_);
+    if (!os) {
+      std::cerr << "warning: cannot open '" << out_path_
+                << "' for registry exposition\n";
+    } else {
+      registry_->write_prometheus(os);
+    }
+  }
+  attach_.reset();  // detach before the registry dies
+}
+
+}  // namespace nbx::bench

@@ -1,0 +1,47 @@
+// bench_registry.hpp — RAII metrics-registry wiring for the benches.
+//
+// A bench that accepts bench::kRegistry constructs one of these right
+// after flag parsing; when the user passed --registry-out and/or
+// --registry-jsonl it creates a MetricsRegistry, installs it as the
+// process-wide obs::metrics() hook (so ThreadPool / TrialEngine /
+// wafer_study instrumentation lights up), optionally starts the
+// periodic JSONL snapshot streamer, and on destruction writes the
+// Prometheus exposition file and detaches. Without either flag it does
+// nothing at all — the bench runs with the metrics hook null, exactly
+// as before.
+#pragma once
+
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "bench/bench_cli.hpp"
+#include "obs/metrics.hpp"
+
+namespace nbx::bench {
+
+class ScopedBenchRegistry {
+ public:
+  /// Reads --registry-out / --registry-jsonl / --registry-interval from
+  /// `cli`; inert when neither output flag was given.
+  ScopedBenchRegistry(const BenchCli& cli, std::string bench_name);
+  ~ScopedBenchRegistry();
+  ScopedBenchRegistry(const ScopedBenchRegistry&) = delete;
+  ScopedBenchRegistry& operator=(const ScopedBenchRegistry&) = delete;
+
+  [[nodiscard]] bool enabled() const { return registry_ != nullptr; }
+  /// The attached registry, or null when inert.
+  [[nodiscard]] obs::MetricsRegistry* registry() { return registry_.get(); }
+
+ private:
+  std::string bench_;
+  std::string out_path_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<std::ofstream> jsonl_;
+  std::unique_ptr<obs::SnapshotStreamer> streamer_;
+  std::unique_ptr<obs::ScopedMetricsRegistry> attach_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nbx::bench

@@ -34,6 +34,7 @@
 
 #include "alu/alu_factory.hpp"
 #include "bench/bench_cli.hpp"
+#include "bench/bench_registry.hpp"
 #include "common/batch_bitvec.hpp"
 #include "sim/bench_json.hpp"
 #include "sim/table_render.hpp"
@@ -92,13 +93,14 @@ int main(int argc, char** argv) {
       "relative to the same-run scalar engine; --gate enforces the\n"
       "committed perf floors (machine-relative ratios).",
       bench::kTrials | bench::kSeed | bench::kAlus | bench::kSmoke |
-          bench::kOut,
+          bench::kOut | bench::kRegistry,
       {{"--percent P",
         "fault percentage (default 0.1; low = evaluation-dominated)"},
        {"--gate PATH", "enforce perf floors from PATH (exit 1 below floor)"}});
   if (cli.done()) {
     return cli.status();
   }
+  bench::ScopedBenchRegistry bench_registry(cli, "simd");
   const bool smoke = cli.smoke();
   const int trials = cli.trials(smoke ? 512 : 2048);
   const double percent = cli.args().get_double("percent", 0.1);

@@ -16,13 +16,16 @@
 // reports points done / trials-per-second / ETA on stderr.
 // --metrics-out streams one JSONL record per (alu, fault%) point;
 // --trace-out writes a chrome://tracing file of the parallel pass's
-// per-stage timings.
+// per-stage timings. --registry-out/--registry-jsonl attach the runtime
+// metrics registry (Prometheus exposition at exit / periodic JSONL);
+// --profile-out writes the per-stage quantile profile as JSON.
 #include <chrono>
 #include <fstream>
 #include <iostream>
 
 #include "alu/alu_factory.hpp"
 #include "bench/bench_cli.hpp"
+#include "bench/bench_registry.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/sweep.hpp"
 #include "obs/profiler.hpp"
@@ -63,10 +66,12 @@ int main(int argc, char** argv) {
       "with the two passes verified bit-identical.",
       bench::kThreads | bench::kTrials | bench::kSeed | bench::kAlus |
           bench::kSmoke | bench::kProgress | bench::kSkipSerial |
-          bench::kOut | bench::kMetricsOut | bench::kTraceOut);
+          bench::kOut | bench::kMetricsOut | bench::kTraceOut |
+          bench::kRegistry | bench::kProfileOut);
   if (cli.done()) {
     return cli.status();
   }
+  bench::ScopedBenchRegistry bench_registry(cli, "sweep");
   const bool smoke = cli.smoke();
   const bool skip_serial = cli.skip_serial();
   const bool want_progress = cli.progress();
@@ -181,6 +186,15 @@ int main(int argc, char** argv) {
         "speedup",
         parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0);
   }
+  // Per-stage latency quantiles from the profiler's log2 histograms.
+  for (const obs::StageProfile& s : profiler.stages()) {
+    report.metrics.emplace_back(s.name + "_p50_seconds",
+                                s.hist.p50_seconds());
+    report.metrics.emplace_back(s.name + "_p95_seconds",
+                                s.hist.p95_seconds());
+    report.metrics.emplace_back(s.name + "_p99_seconds",
+                                s.hist.p99_seconds());
+  }
   report.extra.emplace_back("mode", smoke ? "smoke" : "paper");
   report.extra.emplace_back("bit_identical",
                             skip_serial ? "unverified"
@@ -233,6 +247,16 @@ int main(int argc, char** argv) {
     }
     profiler.write_chrome_trace(tos);
     std::cout << "Wrote " << trace_out << " (chrome://tracing format)\n";
+  }
+  if (const std::string profile_out = cli.profile_out();
+      !profile_out.empty()) {
+    std::ofstream pos(profile_out);
+    if (!pos) {
+      std::cerr << "error: cannot open '" << profile_out << "'\n";
+      return 1;
+    }
+    profiler.write_profile_json(pos);
+    std::cout << "Wrote " << profile_out << "\n";
   }
 
   const std::string path = save_bench_json(report, cli.out());

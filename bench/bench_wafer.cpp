@@ -25,6 +25,7 @@
 
 #include "alu/lut_core_alu.hpp"
 #include "bench/bench_cli.hpp"
+#include "bench/bench_registry.hpp"
 #include "common/thread_pool.hpp"
 #include "grid/wafer_study.hpp"
 #include "sim/bench_json.hpp"
@@ -47,11 +48,13 @@ int main(int argc, char** argv) {
       "salvage distributions per defect density, with the paired\n"
       "defect-aware remap run reporting the reliability recovered over\n"
       "oblivious placement.",
-      bench::kThreads | bench::kSeed | bench::kSmoke | bench::kOut,
+      bench::kThreads | bench::kSeed | bench::kSmoke | bench::kOut |
+          bench::kRegistry,
       {{"--wafers N", "wafers per (density, placement) population"}});
   if (cli.done()) {
     return cli.status();
   }
+  bench::ScopedBenchRegistry bench_registry(cli, "wafer");
   const bool smoke = cli.smoke();
   const std::uint64_t seed = cli.seed(2026);
   const unsigned threads = cli.threads();

@@ -4,10 +4,22 @@
 
 namespace nbx {
 
-CliArgs::CliArgs(int argc, const char* const* argv) {
+CliArgs::CliArgs(int argc, const char* const* argv)
+    : CliArgs(argc, argv, {}) {}
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 const std::vector<std::string>& boolean_flags) {
   if (argc > 0) {
     program_ = argv[0];
   }
+  const auto is_boolean = [&](const std::string& name) {
+    for (const std::string& b : boolean_flags) {
+      if (b == name) {
+        return true;
+      }
+    }
+    return false;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -21,8 +33,9 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
       continue;
     }
     // `--key value` when the next token is not itself a flag; bare
-    // boolean otherwise.
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    // boolean otherwise. Declared boolean flags never take a value.
+    if (!is_boolean(body) && i + 1 < argc &&
+        std::string(argv[i + 1]).rfind("--", 0) != 0) {
       flags_[body] = argv[i + 1];
       ++i;
     } else {

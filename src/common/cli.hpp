@@ -19,6 +19,12 @@ class CliArgs {
   /// Parses argv. Unknown flags are retained (validate() reports them).
   CliArgs(int argc, const char* const* argv);
 
+  /// Like the two-argument form, but flags named in `boolean_flags`
+  /// never consume the following token as a value — required when a
+  /// bare flag can precede a positional argument ("--gate FILE.json").
+  CliArgs(int argc, const char* const* argv,
+          const std::vector<std::string>& boolean_flags);
+
   /// The program name (argv[0]).
   [[nodiscard]] const std::string& program() const { return program_; }
 

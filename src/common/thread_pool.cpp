@@ -1,6 +1,9 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.hpp"
 
 namespace nbx {
 
@@ -31,16 +34,32 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::drain() {
+void ThreadPool::drain(bool is_worker) {
+  // Metrics path: only read the clock and count chunks when a registry
+  // resolved handles for this job; one local tally, one add at the end.
+  const bool instrumented = chunks_metric_ != nullptr;
+  const auto t0 = instrumented ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
+  std::uint64_t local_chunks = 0;
   while (true) {
     const std::size_t begin = next_.fetch_add(chunk_);
     if (begin >= n_) {
-      return;
+      break;
     }
+    ++local_chunks;
     const std::size_t end = std::min(begin + chunk_, n_);
     for (std::size_t i = begin; i < end; ++i) {
       (*body_)(i);
     }
+  }
+  if (instrumented && local_chunks > 0) {
+    chunks_metric_->add(local_chunks);
+    if (is_worker) {
+      steals_metric_->add(local_chunks);
+    }
+    const auto busy = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - t0);
+    busy_us_metric_->add(static_cast<std::uint64_t>(busy.count()));
   }
 }
 
@@ -55,7 +74,7 @@ void ThreadPool::worker_loop() {
       }
       seen = epoch_;
     }
-    drain();
+    drain(/*is_worker=*/true);
     {
       std::lock_guard<std::mutex> lk(mu_);
       ++finished_;
@@ -70,6 +89,11 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
     return;
   }
   if (workers_.empty()) {
+    if (obs::MetricsRegistry* reg = obs::metrics()) {
+      reg->counter("threadpool_parallel_for_total").increment();
+      reg->counter("threadpool_items_total").add(n);
+      reg->gauge("threadpool_threads").set(1.0);
+    }
     for (std::size_t i = 0; i < n; ++i) {
       body(i);
     }
@@ -78,6 +102,22 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
   if (chunk == 0) {
     chunk = std::max<std::size_t>(1, n / (4 * thread_count()));
   }
+  // Resolve metric handles for this job if a registry is attached; one
+  // pointer test when detached, nothing else.
+  obs::MetricCounter* chunks_metric = nullptr;
+  obs::MetricCounter* steals_metric = nullptr;
+  obs::MetricCounter* busy_metric = nullptr;
+  obs::MetricsRegistry* const reg = obs::metrics();
+  if (reg != nullptr) {
+    chunks_metric = &reg->counter("threadpool_chunks_total");
+    steals_metric = &reg->counter("threadpool_steals_total");
+    busy_metric = &reg->counter("threadpool_busy_microseconds_total");
+    reg->counter("threadpool_parallel_for_total").increment();
+    reg->counter("threadpool_items_total").add(n);
+    reg->gauge("threadpool_threads").set(thread_count());
+    reg->gauge("threadpool_queue_depth")
+        .set(static_cast<double>((n + chunk - 1) / chunk));
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
     body_ = &body;
@@ -85,15 +125,24 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
     chunk_ = chunk;
     next_.store(0);
     finished_ = 0;
+    chunks_metric_ = chunks_metric;
+    steals_metric_ = steals_metric;
+    busy_us_metric_ = busy_metric;
     ++epoch_;
   }
   wake_cv_.notify_all();
-  drain();  // the caller participates
+  drain(/*is_worker=*/false);  // the caller participates
   std::unique_lock<std::mutex> lk(mu_);
   // Wait for every worker to have finished the epoch (not just for the
   // counter to be exhausted) so `body` cannot dangle.
   done_cv_.wait(lk, [&] { return finished_ == workers_.size(); });
   body_ = nullptr;
+  if (reg != nullptr) {
+    reg->gauge("threadpool_queue_depth").set(0.0);
+  }
+  chunks_metric_ = nullptr;
+  steals_metric_ = nullptr;
+  busy_us_metric_ = nullptr;
 }
 
 }  // namespace nbx

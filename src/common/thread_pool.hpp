@@ -21,6 +21,10 @@
 
 namespace nbx {
 
+namespace obs {
+class MetricCounter;
+}  // namespace obs
+
 /// Resolves a requested thread count: 0 means "all hardware threads"
 /// (at least 1); anything else is returned unchanged.
 unsigned resolve_threads(unsigned requested);
@@ -51,7 +55,9 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  void drain();  ///< grab chunks until the current job is exhausted
+  /// Grab chunks until the current job is exhausted. is_worker marks
+  /// calls from spawned workers (for the steals metric) vs the caller.
+  void drain(bool is_worker);
 
   std::vector<std::thread> workers_;
 
@@ -67,6 +73,13 @@ class ThreadPool {
   std::size_t n_ = 0;
   std::size_t chunk_ = 1;
   std::atomic<std::size_t> next_{0};
+
+  // Metric handles, resolved per parallel_for when a registry is
+  // attached (null otherwise — the zero-overhead-off switch). Valid for
+  // the duration of one job, like body_.
+  obs::MetricCounter* chunks_metric_ = nullptr;
+  obs::MetricCounter* steals_metric_ = nullptr;
+  obs::MetricCounter* busy_us_metric_ = nullptr;
 };
 
 }  // namespace nbx

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "workload/image_ops.hpp"
 
 namespace nbx {
@@ -74,6 +75,19 @@ WaferStudy run_wafer_study(const TrialEngine& engine, const WaferSpec& spec,
     study.mean_manufactured_defects = sum_manufactured / n;
     study.mean_effective_defects = sum_effective / n;
     study.mean_cells_disabled = sum_disabled / n;
+  }
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    const std::vector<obs::MetricLabel> labels{
+        {"scheme", spec.cell.remap_defects ? "remap" : "oblivious"}};
+    reg->counter("wafer_wafers_total", labels).add(study.wafers.size());
+    reg->counter("wafer_good_wafers_total", labels).add(good);
+    reg->counter("wafer_manufactured_defects_total", labels)
+        .add(static_cast<std::uint64_t>(sum_manufactured));
+    reg->counter("wafer_effective_defects_total", labels)
+        .add(static_cast<std::uint64_t>(sum_effective));
+    reg->gauge("wafer_last_yield", labels).set(study.yield);
+    reg->gauge("wafer_last_mean_percent_correct", labels)
+        .set(study.mean_percent_correct);
   }
   return study;
 }

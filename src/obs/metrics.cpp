@@ -1,0 +1,440 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace nbx::obs {
+
+namespace {
+
+/// Each thread gets a stable slot index on first use; shards are the
+/// slot modulo the shard count, so the pool's handful of workers land on
+/// distinct cache lines with high probability.
+std::size_t shard_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot % kMetricShards;
+}
+
+void atomic_add_double(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+
+}  // namespace
+
+// ----------------------------------------------------------- counters
+
+void MetricCounter::add(std::uint64_t n) noexcept {
+  shards_[shard_slot()].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t MetricCounter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// ------------------------------------------------------------- gauges
+
+void MetricGauge::set(double v) noexcept {
+  v_.store(v, std::memory_order_relaxed);
+}
+
+void MetricGauge::add(double v) noexcept { atomic_add_double(v_, v); }
+
+double MetricGauge::value() const noexcept {
+  return v_.load(std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------- histograms
+
+std::size_t MetricHistogram::bucket_of(double v) noexcept {
+  if (!(v >= 2.0)) {  // also catches NaN and negatives
+    return 0;
+  }
+  std::size_t b = 0;
+  for (auto w = static_cast<std::uint64_t>(std::min(v, 9.2e18)); w > 1;
+       w >>= 1) {
+    ++b;
+  }
+  return std::min(b, kBuckets - 1);
+}
+
+void MetricHistogram::observe(double v) noexcept {
+  Shard& s = shards_[shard_slot()];
+  s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(s.sum, v);
+  // Min/max start at +/-infinity — identity elements, so every CAS is
+  // correct without a first-observation special case.
+  atomic_min_double(min_, v);
+  atomic_max_double(max_, v);
+}
+
+MetricHistogram::Data MetricHistogram::data() const noexcept {
+  Data d;
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      d.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    d.count += s.count.load(std::memory_order_relaxed);
+    d.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  const double mn = min_.load(std::memory_order_relaxed);
+  const double mx = max_.load(std::memory_order_relaxed);
+  d.min = d.count == 0 || std::isinf(mn) ? 0.0 : mn;
+  d.max = d.count == 0 || std::isinf(mx) ? 0.0 : mx;
+  return d;
+}
+
+double MetricHistogram::Data::quantile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const auto b = static_cast<double>(buckets[i]);
+    if (b > 0.0 && cum + b >= target) {
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+      const double hi = std::ldexp(1.0, static_cast<int>(i) + 1);
+      const double frac = b > 0.0 ? (target - cum) / b : 0.0;
+      return std::clamp(lo + frac * (hi - lo), min, max);
+    }
+    cum += b;
+  }
+  return max;
+}
+
+// ----------------------------------------------------------- registry
+
+struct MetricsRegistry::Entry {
+  MetricSnapshot::Kind kind;
+  std::string name;
+  std::vector<MetricLabel> labels;  // canonical (key-sorted)
+  MetricCounter counter;
+  MetricGauge gauge;
+  MetricHistogram histogram;
+};
+
+namespace {
+
+/// Prometheus metric-name vocabulary; anything else becomes '_'.
+std::string sanitize_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void canonicalize(std::vector<MetricLabel>& labels) {
+  std::stable_sort(labels.begin(), labels.end(),
+                   [](const MetricLabel& a, const MetricLabel& b) {
+                     return a.key < b.key;
+                   });
+}
+
+/// name{k="v",...} — the deterministic series key used by both
+/// exporters and the snapshot sort.
+std::string series_key(const std::string& name,
+                       const std::vector<MetricLabel>& labels) {
+  std::string out = name;
+  if (!labels.empty()) {
+    out += '{';
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i != 0) {
+        out += ',';
+      }
+      out += labels[i].key;
+      out += "=\"";
+      out += json_escape(labels[i].value);
+      out += '"';
+    }
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    MetricSnapshot::Kind kind, std::string_view name,
+    std::vector<MetricLabel> labels) {
+  std::string clean = sanitize_name(name);
+  canonicalize(labels);
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (e->kind == kind && e->name == clean && e->labels == labels) {
+      return *e;
+    }
+  }
+  auto e = std::make_unique<Entry>();
+  e->kind = kind;
+  e->name = std::move(clean);
+  e->labels = std::move(labels);
+  entries_.push_back(std::move(e));
+  return *entries_.back();
+}
+
+MetricCounter& MetricsRegistry::counter(std::string_view name,
+                                        std::vector<MetricLabel> labels) {
+  return find_or_create(MetricSnapshot::Kind::kCounter, name,
+                        std::move(labels))
+      .counter;
+}
+
+MetricGauge& MetricsRegistry::gauge(std::string_view name,
+                                    std::vector<MetricLabel> labels) {
+  return find_or_create(MetricSnapshot::Kind::kGauge, name,
+                        std::move(labels))
+      .gauge;
+}
+
+MetricHistogram& MetricsRegistry::histogram(std::string_view name,
+                                            std::vector<MetricLabel> labels) {
+  return find_or_create(MetricSnapshot::Kind::kHistogram, name,
+                        std::move(labels))
+      .histogram;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) {
+      MetricSnapshot s;
+      s.name = e->name;
+      s.labels = e->labels;
+      s.kind = e->kind;
+      switch (e->kind) {
+        case MetricSnapshot::Kind::kCounter:
+          s.counter_value = e->counter.value();
+          break;
+        case MetricSnapshot::Kind::kGauge:
+          s.gauge_value = e->gauge.value();
+          break;
+        case MetricSnapshot::Kind::kHistogram:
+          s.histogram = e->histogram.data();
+          break;
+      }
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              if (a.name != b.name) {
+                return a.name < b.name;
+              }
+              return series_key(a.name, a.labels) <
+                     series_key(b.name, b.labels);
+            });
+  return out;
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  const std::vector<MetricSnapshot> snap = snapshot();
+  std::string last_family;
+  for (const MetricSnapshot& m : snap) {
+    const std::string family = "nbx_" + m.name;
+    if (family != last_family) {
+      const char* type = m.kind == MetricSnapshot::Kind::kCounter
+                             ? "counter"
+                             : m.kind == MetricSnapshot::Kind::kGauge
+                                   ? "gauge"
+                                   : "histogram";
+      os << "# TYPE " << family << " " << type << "\n";
+      last_family = family;
+    }
+    const std::string key = series_key(family, m.labels);
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        os << key << " " << m.counter_value << "\n";
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        os << key << " " << json_double(m.gauge_value) << "\n";
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        // Cumulative le-buckets over the occupied log2 range, then the
+        // canonical +Inf/_sum/_count triple.
+        std::size_t top = 0;
+        for (std::size_t i = 0; i < MetricHistogram::kBuckets; ++i) {
+          if (m.histogram.buckets[i] != 0) {
+            top = i + 1;
+          }
+        }
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < top; ++i) {
+          cum += m.histogram.buckets[i];
+          std::vector<MetricLabel> le = m.labels;
+          le.push_back({"le", json_double(std::ldexp(
+                                  1.0, static_cast<int>(i) + 1))});
+          os << series_key(family + "_bucket", le) << " " << cum << "\n";
+        }
+        std::vector<MetricLabel> inf = m.labels;
+        inf.push_back({"le", "+Inf"});
+        os << series_key(family + "_bucket", inf) << " "
+           << m.histogram.count << "\n";
+        os << series_key(family + "_sum", m.labels) << " "
+           << json_double(m.histogram.sum) << "\n";
+        os << series_key(family + "_count", m.labels) << " "
+           << m.histogram.count << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const std::vector<MetricSnapshot> snap = snapshot();
+  const auto write_group = [&](MetricSnapshot::Kind kind, const char* title,
+                               bool first_group) {
+    if (!first_group) {
+      os << ",";
+    }
+    os << "\"" << title << "\":{";
+    bool first = true;
+    for (const MetricSnapshot& m : snap) {
+      if (m.kind != kind) {
+        continue;
+      }
+      if (!first) {
+        os << ",";
+      }
+      first = false;
+      os << "\"" << json_escape(series_key(m.name, m.labels)) << "\":";
+      switch (kind) {
+        case MetricSnapshot::Kind::kCounter:
+          os << m.counter_value;
+          break;
+        case MetricSnapshot::Kind::kGauge:
+          os << json_double(m.gauge_value);
+          break;
+        case MetricSnapshot::Kind::kHistogram: {
+          const MetricHistogram::Data& h = m.histogram;
+          os << "{\"count\":" << h.count << ",\"sum\":" << json_double(h.sum)
+             << ",\"min\":" << json_double(h.min)
+             << ",\"max\":" << json_double(h.max)
+             << ",\"p50\":" << json_double(h.quantile(0.50))
+             << ",\"p95\":" << json_double(h.quantile(0.95))
+             << ",\"p99\":" << json_double(h.quantile(0.99)) << "}";
+          break;
+        }
+      }
+    }
+    os << "}";
+  };
+  os << "{";
+  write_group(MetricSnapshot::Kind::kCounter, "counters", true);
+  write_group(MetricSnapshot::Kind::kGauge, "gauges", false);
+  write_group(MetricSnapshot::Kind::kHistogram, "histograms", false);
+  os << "}";
+}
+
+std::string MetricsRegistry::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+// ------------------------------------------------- process-wide hook
+
+MetricsRegistry* metrics() noexcept {
+  return g_metrics.load(std::memory_order_acquire);
+}
+
+void set_metrics(MetricsRegistry* registry) noexcept {
+  g_metrics.store(registry, std::memory_order_release);
+}
+
+// --------------------------------------------------------- streaming
+
+SnapshotStreamer::SnapshotStreamer(const MetricsRegistry& registry,
+                                   std::ostream& os, double interval_seconds)
+    : registry_(registry),
+      os_(os),
+      interval_seconds_(std::max(interval_seconds, 0.01)),
+      start_(std::chrono::steady_clock::now()),
+      thread_([this] {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!stop_) {
+          cv_.wait_for(
+              lock, std::chrono::duration<double>(interval_seconds_),
+              [this] { return stop_; });
+          if (stop_) {
+            break;
+          }
+          lock.unlock();
+          emit();
+          lock.lock();
+        }
+      }) {}
+
+SnapshotStreamer::~SnapshotStreamer() { stop(); }
+
+void SnapshotStreamer::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      return;
+    }
+    stop_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  emit();  // final record: short runs still get one snapshot
+}
+
+void SnapshotStreamer::emit() {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count();
+  std::ostringstream line;
+  line << "{\"elapsed_seconds\":" << json_double(elapsed) << ",\"metrics\":";
+  registry_.write_json(line);
+  line << "}\n";
+  os_ << line.str();
+  os_.flush();
+  written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace nbx::obs

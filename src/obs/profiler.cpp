@@ -1,6 +1,7 @@
 #include "obs/profiler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 
@@ -34,6 +35,27 @@ DurationHistogram& DurationHistogram::operator+=(const DurationHistogram& o) {
   count += o.count;
   total_seconds += o.total_seconds;
   return *this;
+}
+
+double DurationHistogram::quantile_seconds(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const auto b = static_cast<double>(buckets[i]);
+    if (b > 0.0 && cum + b >= target) {
+      // Bucket i spans [2^i, 2^(i+1)) microseconds (bucket 0 starts
+      // at 0); interpolate linearly within it.
+      const double lo_us = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+      const double hi_us = std::ldexp(1.0, static_cast<int>(i) + 1);
+      const double frac = (target - cum) / b;
+      const double est = (lo_us + frac * (hi_us - lo_us)) * 1e-6;
+      return std::clamp(est, min_seconds, max_seconds);
+    }
+    cum += b;
+  }
+  return max_seconds;
 }
 
 Profiler::Profiler(bool capture_events)
@@ -94,6 +116,26 @@ void Profiler::write_summary(std::ostream& os) const {
                   s.hist.min_seconds, s.hist.max_seconds);
     os << line;
   }
+}
+
+void Profiler::write_profile_json(std::ostream& os) const {
+  const auto snapshot = stages();
+  os << "{\"stages\":[";
+  bool first = true;
+  for (const StageProfile& s : snapshot) {
+    if (!first) os << ",";
+    first = false;
+    const DurationHistogram& h = s.hist;
+    os << "{\"name\":\"" << json_escape(s.name) << "\",\"count\":" << h.count
+       << ",\"total_seconds\":" << json_double(h.total_seconds)
+       << ",\"mean_seconds\":" << json_double(h.mean_seconds())
+       << ",\"min_seconds\":" << json_double(h.min_seconds)
+       << ",\"max_seconds\":" << json_double(h.max_seconds)
+       << ",\"p50_seconds\":" << json_double(h.p50_seconds())
+       << ",\"p95_seconds\":" << json_double(h.p95_seconds())
+       << ",\"p99_seconds\":" << json_double(h.p99_seconds()) << "}";
+  }
+  os << "]}\n";
 }
 
 void Profiler::write_chrome_trace(std::ostream& os) const {

@@ -45,6 +45,16 @@ struct DurationHistogram {
   double mean_seconds() const {
     return count == 0 ? 0.0 : total_seconds / static_cast<double>(count);
   }
+
+  /// Interpolated quantile (q in [0,1]) in seconds, estimated from the
+  /// log2 microsecond buckets by linear interpolation inside the bucket
+  /// holding the q-th sample, clamped to the observed [min, max]. 0 when
+  /// the histogram is empty.
+  double quantile_seconds(double q) const;
+
+  double p50_seconds() const { return quantile_seconds(0.50); }
+  double p95_seconds() const { return quantile_seconds(0.95); }
+  double p99_seconds() const { return quantile_seconds(0.99); }
 };
 
 /// One named stage and its accumulated timings.
@@ -80,6 +90,12 @@ class Profiler {
   /// Chrome-trace JSON ({"traceEvents":[...]}): load in chrome://tracing
   /// or Perfetto. Without capture_events the event array is empty.
   void write_chrome_trace(std::ostream& os) const;
+
+  /// Machine-readable per-stage summary, one JSON object:
+  /// {"stages":[{"name":...,"count":...,"total_seconds":...,
+  ///   "mean_seconds":...,"min_seconds":...,"max_seconds":...,
+  ///   "p50_seconds":...,"p95_seconds":...,"p99_seconds":...},...]}
+  void write_profile_json(std::ostream& os) const;
 
  private:
   std::uint32_t tid_of(std::thread::id id);

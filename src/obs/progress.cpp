@@ -1,5 +1,6 @@
 #include "obs/progress.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 
@@ -8,6 +9,23 @@ namespace nbx::obs {
 namespace {
 constexpr double kMinPrintIntervalSeconds = 0.2;
 }  // namespace
+
+std::string format_duration(double seconds) {
+  if (!std::isfinite(seconds) || seconds < 0.0) return "?";
+  char buf[32];
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof buf, "%.1fs", seconds);
+  } else if (seconds < 3600.0) {
+    const auto m = static_cast<int>(seconds / 60.0);
+    const auto s = static_cast<int>(seconds - m * 60.0);
+    std::snprintf(buf, sizeof buf, "%dm%02ds", m, s);
+  } else {
+    const auto h = static_cast<int>(seconds / 3600.0);
+    const auto m = static_cast<int>((seconds - h * 3600.0) / 60.0);
+    std::snprintf(buf, sizeof buf, "%dh%02dm", h, m);
+  }
+  return buf;
+}
 
 ProgressReporter::ProgressReporter(std::ostream& os, std::string label,
                                    std::size_t total_units,
@@ -30,6 +48,22 @@ void ProgressReporter::finish() {
   if (printed_) os_ << "\n";
 }
 
+double ProgressReporter::fraction_done() const {
+  if (total_ == 0) return 0.0;
+  const double f =
+      static_cast<double>(done_) / static_cast<double>(total_);
+  return f > 1.0 ? 1.0 : f;
+}
+
+double ProgressReporter::eta_seconds() const {
+  if (done_ == 0 || total_ <= done_) return 0.0;
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+  return elapsed * static_cast<double>(total_ - done_) /
+         static_cast<double>(done_);
+}
+
 void ProgressReporter::print(bool force) {
   const auto now = std::chrono::steady_clock::now();
   const double since_last =
@@ -42,16 +76,12 @@ void ProgressReporter::print(bool force) {
   const double trials_done =
       static_cast<double>(done_) * static_cast<double>(trials_per_unit_);
   const double rate = elapsed > 0.0 ? trials_done / elapsed : 0.0;
-  const double remaining =
-      done_ > 0 && total_ >= done_
-          ? elapsed * static_cast<double>(total_ - done_) /
-                static_cast<double>(done_)
-          : 0.0;
 
   char line[160];
   std::snprintf(line, sizeof line,
-                "\r%s: %zu/%zu points | %.0f trials/s | ETA %.1fs   ",
-                label_.c_str(), done_, total_, rate, remaining);
+                "\r%s: %zu/%zu points (%3.0f%%) | %.0f trials/s | ETA %s   ",
+                label_.c_str(), done_, total_, fraction_done() * 100.0, rate,
+                format_duration(eta_seconds()).c_str());
   os_ << line;
   os_.flush();
 }

@@ -1,7 +1,7 @@
 // progress.hpp — throttled stderr progress line for long sweeps.
 //
-// Prints "\r<label>: done/total points | N trials/s | ETA 12.3s" at
-// most a few times a second so multi-minute benches aren't silent.
+// Prints "\r<label>: done/total points (42%) | N trials/s | ETA 1m23s"
+// at most a few times a second so multi-minute benches aren't silent.
 // Purely cosmetic: it never touches the simulation or its RNG.
 #pragma once
 
@@ -12,6 +12,11 @@
 #include <string>
 
 namespace nbx::obs {
+
+/// Humanizes a non-negative duration for progress lines: "12.3s" under
+/// a minute, "4m07s" under an hour, "2h05m" beyond. Negative or
+/// non-finite values render as "?".
+std::string format_duration(double seconds);
 
 class ProgressReporter {
  public:
@@ -30,6 +35,13 @@ class ProgressReporter {
   void finish();
 
   std::size_t done() const { return done_; }
+
+  /// Fraction complete in [0,1]; 0 for a zero-total reporter.
+  double fraction_done() const;
+
+  /// Current ETA estimate in seconds: elapsed * remaining / done.
+  /// 0 until the first tick (no completed work to extrapolate from).
+  double eta_seconds() const;
 
  private:
   void print(bool force);

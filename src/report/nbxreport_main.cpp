@@ -1,0 +1,120 @@
+// nbxreport — compare bench JSON artifacts and gate regressions.
+//
+//   nbxreport [options] BASE.json CANDIDATE.json [MORE.json...]
+//
+// The first file is the baseline; every later file is compared against
+// it in order. With three or more files the renderings concatenate (one
+// section per candidate) and --gate fails if ANY comparison fails.
+//
+// Options:
+//   --format md|json        output format (default md)
+//   --out PATH              write the report to PATH instead of stdout
+//   --gate                  exit 1 when a comparison fails the gate
+//   --max-slowdown-pct X    throughput tolerance (default 5.0)
+//   --allow-result-drift    permit mean/stddev/samples drift
+//
+// Exit codes: 0 ok (gate passed or not requested), 1 gate failed,
+// 2 usage or load error.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "report/report.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: nbxreport [options] BASE.json CANDIDATE.json [MORE.json...]\n"
+    "\n"
+    "Compares bench JSON artifacts (sim/bench_json schema) against the\n"
+    "first file and renders the deltas.\n"
+    "\n"
+    "options:\n"
+    "  --format md|json        output format (default md)\n"
+    "  --out PATH              write report to PATH (default stdout)\n"
+    "  --gate                  exit 1 when a comparison fails the gate\n"
+    "  --max-slowdown-pct X    throughput tolerance in percent (default 5)\n"
+    "  --allow-result-drift    permit result drift on aligned points\n"
+    "  --help                  this text\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const nbx::CliArgs cli(argc, argv,
+                         {"gate", "allow-result-drift", "help"});
+  if (cli.has("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const std::vector<std::string> unknown = cli.unknown_flags(
+      {"format", "out", "gate", "max-slowdown-pct", "allow-result-drift",
+       "help"});
+  if (!unknown.empty()) {
+    std::cerr << "error: unknown flag --" << unknown.front() << "\n"
+              << kUsage;
+    return 2;
+  }
+  const std::vector<std::string>& files = cli.positional();
+  if (files.size() < 2) {
+    std::cerr << "error: need at least 2 bench JSON files\n" << kUsage;
+    return 2;
+  }
+  const std::string format = cli.get("format", "md");
+  if (format != "md" && format != "json") {
+    std::cerr << "error: --format must be md or json\n";
+    return 2;
+  }
+
+  nbx::report::GateOptions gate;
+  gate.max_slowdown_percent = cli.get_double("max-slowdown-pct", 5.0);
+  gate.allow_result_drift = cli.has("allow-result-drift");
+
+  std::vector<nbx::report::LoadedBench> benches;
+  for (const std::string& path : files) {
+    std::string error;
+    std::optional<nbx::report::LoadedBench> b =
+        nbx::report::load_bench(path, &error);
+    if (!b) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+    benches.push_back(std::move(*b));
+  }
+
+  std::ofstream out_file;
+  std::ostream* os = &std::cout;
+  const std::string out_path = cli.get("out");
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) {
+      std::cerr << "error: cannot open '" << out_path << "' for writing\n";
+      return 2;
+    }
+    os = &out_file;
+  }
+
+  bool all_pass = true;
+  for (std::size_t i = 1; i < benches.size(); ++i) {
+    const nbx::report::Comparison c =
+        nbx::report::compare(benches.front(), benches[i], gate);
+    all_pass = all_pass && c.gate_pass();
+    if (format == "md") {
+      nbx::report::write_markdown(*os, c);
+    } else {
+      nbx::report::write_json(*os, c);
+    }
+  }
+  os->flush();
+  if (!all_pass) {
+    std::cerr << "nbxreport: gate FAILED\n";
+    if (cli.has("gate")) {
+      return 1;
+    }
+  } else if (cli.has("gate")) {
+    std::cerr << "nbxreport: gate passed\n";
+  }
+  return 0;
+}

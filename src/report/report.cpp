@@ -1,0 +1,330 @@
+#include "report/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "check/json_value.hpp"
+#include "obs/json.hpp"
+
+namespace nbx::report {
+
+namespace {
+
+using check::JsonValue;
+
+double num_or(const JsonValue* v, double fallback) {
+  if (v == nullptr || !v->is_number()) {
+    return fallback;
+  }
+  return v->as_double().value_or(fallback);
+}
+
+std::uint64_t u64_or(const JsonValue* v, std::uint64_t fallback) {
+  if (v == nullptr || !v->is_number()) {
+    return fallback;
+  }
+  return v->as_u64().value_or(fallback);
+}
+
+std::string str_or(const JsonValue* v, const std::string& fallback) {
+  if (v == nullptr || !v->is_string()) {
+    return fallback;
+  }
+  return v->as_string();
+}
+
+std::string point_key(const std::string& alu,
+                      const std::string& fault_percent) {
+  return alu + " @ " + fault_percent + "%";
+}
+
+std::string fmt(double v) { return nbx::json_double(v); }
+
+}  // namespace
+
+std::optional<LoadedBench> load_bench(const std::string& path,
+                                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open '" + path + "'";
+    }
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string parse_error;
+  const std::optional<JsonValue> doc =
+      JsonValue::parse(buf.str(), &parse_error);
+  if (!doc || !doc->is_object()) {
+    if (error != nullptr) {
+      *error = path + ": " +
+               (parse_error.empty() ? "not a JSON object" : parse_error);
+    }
+    return std::nullopt;
+  }
+
+  LoadedBench b;
+  b.path = path;
+  b.bench = str_or(doc->find("bench"), "");
+  if (b.bench.empty()) {
+    if (error != nullptr) {
+      *error = path + ": missing \"bench\" field (not a bench document?)";
+    }
+    return std::nullopt;
+  }
+  b.seed = u64_or(doc->find("seed"), 0);
+  b.threads = static_cast<unsigned>(u64_or(doc->find("threads"), 0));
+  b.trials = u64_or(doc->find("trials"), 0);
+  b.wall_seconds = num_or(doc->find("wall_seconds"), 0.0);
+  b.trials_per_second = num_or(doc->find("trials_per_second"), 0.0);
+
+  if (const JsonValue* metrics = doc->find("metrics");
+      metrics != nullptr && metrics->is_object()) {
+    for (const auto& [name, v] : metrics->members()) {
+      if (v.is_number()) {
+        b.metrics.emplace_back(name, v.as_double().value_or(0.0));
+      }
+    }
+  }
+  if (const JsonValue* manifest = doc->find("manifest");
+      manifest != nullptr && manifest->is_object()) {
+    for (const auto& [name, v] : manifest->members()) {
+      b.manifest.emplace_back(
+          name, v.is_string() ? v.as_string()
+                              : v.is_number() ? v.number_lexeme() : "");
+    }
+  }
+  if (const JsonValue* sweeps = doc->find("sweeps");
+      sweeps != nullptr && sweeps->is_array()) {
+    for (const JsonValue& sweep : sweeps->items()) {
+      const std::string alu = str_or(sweep.find("alu"), "?");
+      const JsonValue* points = sweep.find("points");
+      if (points == nullptr || !points->is_array()) {
+        continue;
+      }
+      for (const JsonValue& p : points->items()) {
+        LoadedPoint lp;
+        lp.alu = alu;
+        const JsonValue* pct = p.find("fault_percent");
+        lp.fault_percent =
+            pct != nullptr && pct->is_number() ? pct->number_lexeme() : "?";
+        lp.mean_percent_correct =
+            num_or(p.find("mean_percent_correct"), 0.0);
+        lp.stddev = num_or(p.find("stddev"), 0.0);
+        lp.samples = u64_or(p.find("samples"), 0);
+        b.points.push_back(std::move(lp));
+      }
+    }
+  }
+  return b;
+}
+
+double Comparison::throughput_delta_percent() const {
+  if (base_tps <= 0.0) {
+    return 0.0;
+  }
+  return 100.0 * (cand_tps / base_tps - 1.0);
+}
+
+Comparison compare(const LoadedBench& base, const LoadedBench& cand,
+                   const GateOptions& gate) {
+  Comparison c;
+  c.base_path = base.path;
+  c.cand_path = cand.path;
+  c.base_tps = base.trials_per_second;
+  c.cand_tps = cand.trials_per_second;
+
+  if (base.bench != cand.bench) {
+    c.violations.push_back("bench name mismatch: base is \"" + base.bench +
+                           "\", candidate is \"" + cand.bench + "\"");
+  } else {
+    c.bench = base.bench;
+  }
+
+  // Align points by (alu, fault_percent-lexeme).
+  for (const LoadedPoint& bp : base.points) {
+    const auto it = std::find_if(
+        cand.points.begin(), cand.points.end(), [&](const LoadedPoint& cp) {
+          return cp.alu == bp.alu && cp.fault_percent == bp.fault_percent;
+        });
+    if (it == cand.points.end()) {
+      c.only_in_base.push_back(point_key(bp.alu, bp.fault_percent));
+      continue;
+    }
+    PointDelta d;
+    d.alu = bp.alu;
+    d.fault_percent = bp.fault_percent;
+    d.base_mean = bp.mean_percent_correct;
+    d.cand_mean = it->mean_percent_correct;
+    d.base_stddev = bp.stddev;
+    d.cand_stddev = it->stddev;
+    d.base_samples = bp.samples;
+    d.cand_samples = it->samples;
+    if (d.drifted() && !gate.allow_result_drift) {
+      c.violations.push_back(
+          "result drift at " + point_key(d.alu, d.fault_percent) +
+          ": mean " + fmt(d.base_mean) + " -> " + fmt(d.cand_mean) +
+          ", stddev " + fmt(d.base_stddev) + " -> " + fmt(d.cand_stddev) +
+          ", samples " + std::to_string(d.base_samples) + " -> " +
+          std::to_string(d.cand_samples));
+    }
+    c.points.push_back(std::move(d));
+  }
+  for (const LoadedPoint& cp : cand.points) {
+    const bool in_base = std::any_of(
+        base.points.begin(), base.points.end(), [&](const LoadedPoint& bp) {
+          return bp.alu == cp.alu && bp.fault_percent == cp.fault_percent;
+        });
+    if (!in_base) {
+      c.only_in_cand.push_back(point_key(cp.alu, cp.fault_percent));
+    }
+  }
+  if (!c.only_in_base.empty()) {
+    c.violations.push_back(
+        std::to_string(c.only_in_base.size()) +
+        " data point(s) missing from the candidate (first: " +
+        c.only_in_base.front() + ")");
+  }
+
+  // Shared scalar metrics (informational).
+  for (const auto& [name, bv] : base.metrics) {
+    for (const auto& [cname, cv] : cand.metrics) {
+      if (name == cname) {
+        c.metrics.push_back(MetricDelta{name, bv, cv});
+        break;
+      }
+    }
+  }
+
+  // Manifest context differences (informational, never gated — they
+  // explain regressions rather than constitute them).
+  for (const auto& [key, bv] : base.manifest) {
+    for (const auto& [ck, cv] : cand.manifest) {
+      if (key == ck && bv != cv && key != "timestamp_utc") {
+        c.manifest_diffs.push_back(key + ": " + bv + " -> " + cv);
+        break;
+      }
+    }
+  }
+
+  // Throughput gate.
+  if (c.base_tps > 0.0 && c.cand_tps > 0.0) {
+    const double floor = c.base_tps * (1.0 - gate.max_slowdown_percent / 100.0);
+    if (c.cand_tps < floor) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "throughput regression: %.0f -> %.0f trials/s "
+                    "(%+.1f%%, tolerance -%.1f%%)",
+                    c.base_tps, c.cand_tps, c.throughput_delta_percent(),
+                    gate.max_slowdown_percent);
+      c.violations.emplace_back(buf);
+    }
+  }
+  return c;
+}
+
+void write_markdown(std::ostream& os, const Comparison& c) {
+  os << "# nbxreport: " << (c.bench.empty() ? "(mismatched benches)" : c.bench)
+     << "\n\n";
+  os << "- base: `" << c.base_path << "`\n";
+  os << "- candidate: `" << c.cand_path << "`\n";
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "- throughput: %.0f -> %.0f trials/s (%+.2f%%)\n", c.base_tps,
+                c.cand_tps, c.throughput_delta_percent());
+  os << buf;
+  os << "- verdict: " << (c.gate_pass() ? "**PASS**" : "**FAIL**") << "\n\n";
+
+  if (!c.violations.empty()) {
+    os << "## Violations\n\n";
+    for (const std::string& v : c.violations) {
+      os << "- " << v << "\n";
+    }
+    os << "\n";
+  }
+  if (!c.points.empty()) {
+    os << "## Aligned points\n\n";
+    os << "| alu | fault % | base mean | cand mean | drift |\n";
+    os << "|-----|---------|-----------|-----------|-------|\n";
+    for (const PointDelta& d : c.points) {
+      os << "| " << d.alu << " | " << d.fault_percent << " | "
+         << fmt(d.base_mean) << " | " << fmt(d.cand_mean) << " | "
+         << (d.drifted() ? "YES" : "-") << " |\n";
+    }
+    os << "\n";
+  }
+  if (!c.only_in_base.empty() || !c.only_in_cand.empty()) {
+    os << "## Unaligned points\n\n";
+    for (const std::string& k : c.only_in_base) {
+      os << "- only in base: " << k << "\n";
+    }
+    for (const std::string& k : c.only_in_cand) {
+      os << "- only in candidate: " << k << "\n";
+    }
+    os << "\n";
+  }
+  if (!c.metrics.empty()) {
+    os << "## Metrics\n\n";
+    os << "| metric | base | cand |\n";
+    os << "|--------|------|------|\n";
+    for (const MetricDelta& m : c.metrics) {
+      os << "| " << m.name << " | " << fmt(m.base) << " | " << fmt(m.cand)
+         << " |\n";
+    }
+    os << "\n";
+  }
+  if (!c.manifest_diffs.empty()) {
+    os << "## Manifest differences\n\n";
+    for (const std::string& d : c.manifest_diffs) {
+      os << "- " << d << "\n";
+    }
+    os << "\n";
+  }
+}
+
+void write_json(std::ostream& os, const Comparison& c) {
+  const auto string_array = [&](const std::vector<std::string>& v) {
+    os << "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      os << (i ? "," : "") << "\"" << nbx::json_escape(v[i]) << "\"";
+    }
+    os << "]";
+  };
+  os << "{\"bench\":\"" << nbx::json_escape(c.bench) << "\"";
+  os << ",\"base\":\"" << nbx::json_escape(c.base_path) << "\"";
+  os << ",\"candidate\":\"" << nbx::json_escape(c.cand_path) << "\"";
+  os << ",\"base_trials_per_second\":" << fmt(c.base_tps);
+  os << ",\"cand_trials_per_second\":" << fmt(c.cand_tps);
+  os << ",\"throughput_delta_percent\":" << fmt(c.throughput_delta_percent());
+  os << ",\"gate_pass\":" << (c.gate_pass() ? "true" : "false");
+  os << ",\"violations\":";
+  string_array(c.violations);
+  os << ",\"only_in_base\":";
+  string_array(c.only_in_base);
+  os << ",\"only_in_candidate\":";
+  string_array(c.only_in_cand);
+  os << ",\"points\":[";
+  for (std::size_t i = 0; i < c.points.size(); ++i) {
+    const PointDelta& d = c.points[i];
+    os << (i ? "," : "") << "{\"alu\":\"" << nbx::json_escape(d.alu)
+       << "\",\"fault_percent\":" << d.fault_percent
+       << ",\"base_mean\":" << fmt(d.base_mean)
+       << ",\"cand_mean\":" << fmt(d.cand_mean)
+       << ",\"drift\":" << (d.drifted() ? "true" : "false") << "}";
+  }
+  os << "],\"metrics\":[";
+  for (std::size_t i = 0; i < c.metrics.size(); ++i) {
+    const MetricDelta& m = c.metrics[i];
+    os << (i ? "," : "") << "{\"name\":\"" << nbx::json_escape(m.name)
+       << "\",\"base\":" << fmt(m.base) << ",\"cand\":" << fmt(m.cand)
+       << "}";
+  }
+  os << "],\"manifest_diffs\":";
+  string_array(c.manifest_diffs);
+  os << "}\n";
+}
+
+}  // namespace nbx::report

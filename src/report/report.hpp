@@ -1,0 +1,118 @@
+// report.hpp — bench-over-bench comparison and the regression gate.
+//
+// nbxreport turns a pile of BENCH_*.json files into a decision: did
+// this run regress against that one? The library half loads bench
+// documents (schema: sim/bench_json.cpp), aligns their sweep points by
+// (alu, fault_percent) key, computes throughput and result deltas, and
+// renders markdown or JSON. The gate half turns the deltas into a
+// verdict: result drift is always a violation (the simulator is
+// deterministic — identical configs must produce identical numbers),
+// throughput may regress up to a threshold.
+//
+// Alignment keys use the fault_percent *lexeme* from the JSON, not a
+// re-serialized double, so "2.0" and "2" from different writers never
+// silently collide or split.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nbx::report {
+
+/// One sweep data point as loaded from a bench document.
+struct LoadedPoint {
+  std::string alu;
+  std::string fault_percent;  ///< source lexeme — the alignment key
+  double mean_percent_correct = 0.0;
+  double stddev = 0.0;
+  std::uint64_t samples = 0;
+};
+
+/// One parsed BENCH_*.json document, flattened to what comparison needs.
+struct LoadedBench {
+  std::string path;
+  std::string bench;
+  std::uint64_t seed = 0;
+  unsigned threads = 0;
+  std::uint64_t trials = 0;
+  double wall_seconds = 0.0;
+  double trials_per_second = 0.0;
+  std::vector<std::pair<std::string, double>> metrics;
+  std::vector<std::pair<std::string, std::string>> manifest;  ///< flat k=v
+  std::vector<LoadedPoint> points;
+};
+
+/// Parses one bench JSON document. Returns nullopt and sets `error` on
+/// syntax errors or missing required fields.
+std::optional<LoadedBench> load_bench(const std::string& path,
+                                      std::string* error);
+
+/// Gate thresholds.
+struct GateOptions {
+  /// Maximum tolerated throughput loss, percent of the baseline's
+  /// trials/s. Candidates slower than (1 - x/100) * base fail.
+  double max_slowdown_percent = 5.0;
+  /// Permit mean/stddev/samples drift on aligned points (for comparing
+  /// intentionally different configurations). Off by default: identical
+  /// configs must be bit-identical.
+  bool allow_result_drift = false;
+};
+
+/// One aligned point's delta.
+struct PointDelta {
+  std::string alu;
+  std::string fault_percent;
+  double base_mean = 0.0;
+  double cand_mean = 0.0;
+  double base_stddev = 0.0;
+  double cand_stddev = 0.0;
+  std::uint64_t base_samples = 0;
+  std::uint64_t cand_samples = 0;
+  [[nodiscard]] bool drifted() const {
+    return base_mean != cand_mean || base_stddev != cand_stddev ||
+           base_samples != cand_samples;
+  }
+};
+
+/// One named scalar metric's delta (metrics present in both files).
+struct MetricDelta {
+  std::string name;
+  double base = 0.0;
+  double cand = 0.0;
+};
+
+/// Base-vs-candidate comparison result.
+struct Comparison {
+  std::string base_path;
+  std::string cand_path;
+  std::string bench;  ///< shared bench name ("" when they disagree)
+  double base_tps = 0.0;
+  double cand_tps = 0.0;
+  std::vector<PointDelta> points;           ///< aligned by (alu, percent)
+  std::vector<std::string> only_in_base;    ///< keys missing from cand
+  std::vector<std::string> only_in_cand;    ///< keys missing from base
+  std::vector<MetricDelta> metrics;
+  /// Manifest keys whose values differ (informational, never gated).
+  std::vector<std::string> manifest_diffs;
+  /// Human-readable gate violations; empty = gate passes.
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool gate_pass() const { return violations.empty(); }
+  /// cand_tps / base_tps - 1, in percent (positive = faster).
+  [[nodiscard]] double throughput_delta_percent() const;
+};
+
+/// Compares candidate against base under `gate`.
+Comparison compare(const LoadedBench& base, const LoadedBench& cand,
+                   const GateOptions& gate);
+
+/// Renders one comparison as markdown (tables + verdict).
+void write_markdown(std::ostream& os, const Comparison& c);
+
+/// Renders one comparison as a JSON object.
+void write_json(std::ostream& os, const Comparison& c);
+
+}  // namespace nbx::report

@@ -41,6 +41,14 @@ void write_bench_json(std::ostream& os, const BenchReport& r) {
   os << "  \"wall_seconds\": " << json_double(r.wall_seconds) << ",\n";
   os << "  \"trials_per_second\": " << json_double(r.trials_per_second())
      << ",\n";
+  // Every writer funnels through here, so every BENCH_*.json carries a
+  // manifest — capture one now unless the caller pinned its own.
+  const RunManifest manifest = r.manifest.captured
+                                   ? r.manifest
+                                   : RunManifest::capture(r.threads, r.lanes);
+  os << "  \"manifest\": ";
+  write_manifest_json(os, manifest, "  ");
+  os << ",\n";
   os << "  \"metrics\": {";
   for (std::size_t i = 0; i < r.metrics.size(); ++i) {
     os << (i ? ", " : "") << "\"" << json_escape(r.metrics[i].first)

@@ -18,6 +18,7 @@
 #include "obs/counters.hpp"
 #include "obs/json.hpp"
 #include "sim/experiment.hpp"
+#include "sim/manifest.hpp"
 
 namespace nbx {
 
@@ -37,12 +38,17 @@ struct BenchReport {
   std::string bench;             ///< short name, e.g. "sweep", "fig7"
   std::uint64_t seed = 0;
   unsigned threads = 1;          ///< resolved worker-thread count
+  unsigned lanes = 0;            ///< batch lanes (0 = scalar backend)
   int trials_per_workload = 0;
   std::size_t trials = 0;        ///< total trials executed
   double wall_seconds = 0.0;
   std::vector<std::pair<std::string, double>> metrics;  ///< named scalars
   std::vector<std::pair<std::string, std::string>> extra;  ///< string tags
   std::vector<SweepRecord> sweeps;
+  /// Run provenance. Leave default-constructed and write_bench_json
+  /// captures one automatically (threads/lanes from the fields above);
+  /// set it explicitly to pin a specific context.
+  RunManifest manifest;
 
   /// trials / wall_seconds (0 when the clock read 0).
   [[nodiscard]] double trials_per_second() const;

@@ -4,7 +4,10 @@
 #include <bit>
 #include <cassert>
 
+#include <string>
+
 #include "common/batch_bitvec.hpp"
+#include "obs/metrics.hpp"
 #include "simd/lane_engine.hpp"
 #include "simd/simd_dispatch.hpp"
 #include "simd/wide_mirror.hpp"
@@ -337,6 +340,12 @@ std::vector<double> run_grid(
         (*anatomy)[i / per_percent] += per_item[i];
       }
     }
+    if (obs::MetricsRegistry* reg = obs::metrics()) {
+      const std::vector<obs::MetricLabel> labels{
+          {"backend", "scalar"}, {"simd_tier", "scalar"}, {"lanes", "0"}};
+      reg->counter("engine_trials_total", labels).add(samples.size());
+      reg->counter("engine_runs_total", labels).increment();
+    }
     return samples;
   }
 
@@ -386,6 +395,28 @@ std::vector<double> run_grid(
     for (std::size_t i = 0; i < total_groups; ++i) {
       (*anatomy)[i / groups_per_percent] += per_group[i];
     }
+  }
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    const std::vector<obs::MetricLabel> labels{
+        {"backend", "wide"},
+        {"simd_tier", std::string(simd::tier_name(tier))},
+        {"lanes", std::to_string(lanes)}};
+    reg->counter("engine_trials_total", labels).add(samples.size());
+    reg->counter("engine_runs_total", labels).increment();
+    reg->counter("engine_lane_groups_total", labels).add(total_groups);
+    reg->counter("engine_lane_slots_total", labels)
+        .add(total_groups * lanes);
+    // Occupancy: active lane slots / provisioned lane slots, in percent.
+    if (total_groups > 0) {
+      reg->gauge("engine_lane_occupancy_percent", labels)
+          .set(100.0 * static_cast<double>(samples.size()) /
+               static_cast<double>(total_groups * lanes));
+    }
+    // The calling thread participates in the pool, so its arena is a
+    // representative worker footprint.
+    reg->gauge("engine_arena_bytes", labels)
+        .set(static_cast<double>(wide_arena().bytes()));
+    reg->gauge("engine_simd_tier").set(static_cast<double>(tier));
   }
   return samples;
 }

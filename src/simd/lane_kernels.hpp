@@ -37,6 +37,18 @@ struct WideArena {
   std::vector<MaskGenerator> gens;   ///< per-lane generators (wear-out
                                      ///< schedules only; empty when the
                                      ///< group shares WideGroupJob::gen)
+
+  /// Approximate resident size of this arena's buffers, for the
+  /// engine_arena_bytes gauge. Capacities, not sizes — the arena never
+  /// shrinks, so this is what the worker actually holds.
+  [[nodiscard]] std::size_t bytes() const {
+    return mask.sites() * mask.lane_words() * sizeof(std::uint64_t) +
+           rngs.capacity() * sizeof(Rng) +
+           incorrect.capacity() * sizeof(std::uint32_t) +
+           nodes.capacity() * sizeof(std::uint64_t) +
+           (lane_mask.size() + 7) / 8 +
+           gens.capacity() * sizeof(MaskGenerator);
+  }
 };
 
 /// Everything one lane-group trial needs, flattened. The kernel runs the

@@ -23,6 +23,7 @@
 #include <new>
 
 #include "alu/alu_factory.hpp"
+#include "obs/metrics.hpp"
 #include "sim/trial_engine.hpp"
 
 // GCC pattern-matches std::free against the replaced operator new and
@@ -125,6 +126,48 @@ TEST(AllocAudit, WideEngineSteadyStateAllocatesNothingAt64Lanes) {
 
 TEST(AllocAudit, WideEngineSteadyStateAllocatesNothingAt512Lanes) {
   expect_zero_per_trial_allocations(512);
+}
+
+TEST(AllocAudit, MetricsHotPathAllocatesNothing) {
+  // The sharded metric primitives must be pure arithmetic after the
+  // handle is resolved: registration may allocate, add()/observe() must
+  // not — they run inside every trial when a registry is attached.
+  obs::MetricsRegistry reg;
+  obs::MetricCounter& c = reg.counter("audit_total", {{"backend", "x"}});
+  obs::MetricGauge& g = reg.gauge("audit_gauge");
+  obs::MetricHistogram& h = reg.histogram("audit_hist");
+  c.add(1);  // fault in this thread's shard slot
+  const std::uint64_t before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    c.increment();
+    g.add(1.0);
+    h.observe(static_cast<double>(i));
+  }
+  (void)c.value();
+  const std::uint64_t after =
+      g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "metric updates allocated " << (after - before) << " times";
+}
+
+TEST(AllocAudit, AttachedRegistrySteadyStateAllocationIsTrialInvariant) {
+  // With a registry attached, the engine resolves its handles per run
+  // (a constant number of registrations) but the per-trial path must
+  // stay allocation-free — the same invariant as the detached audit
+  // above, now with instrumentation live.
+  const auto alu = make_alu("aluss");
+  const auto streams = paper_streams(2026);
+  obs::MetricsRegistry reg;
+  const obs::ScopedMetricsRegistry attach(&reg);
+  (void)allocations_during_sweep(*alu, streams, 64, 96);  // warm-up
+  const std::uint64_t short_run =
+      allocations_during_sweep(*alu, streams, 64, 32);
+  const std::uint64_t long_run =
+      allocations_during_sweep(*alu, streams, 64, 96);
+  EXPECT_EQ(short_run, long_run)
+      << "attached-registry runs allocated " << long_run << " vs "
+      << short_run << " — some metric allocation scales with trials";
 }
 
 TEST(AllocAudit, CountingAllocatorIsLive) {

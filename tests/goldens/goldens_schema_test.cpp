@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "fault/mask_generator.hpp"
 #include "goldens.hpp"
+#include "sim/manifest.hpp"
 
 namespace nbx {
 namespace {
@@ -147,6 +148,10 @@ TEST(GoldensSchema, RegistryFingerprintIsPinned) {
   EXPECT_EQ(fnv1a64(canonical), 16048837851692790952ULL)
       << "canonical form:\n"
       << canonical;
+  // The run-provenance manifest advertises the same fingerprint in
+  // every BENCH_*.json; the manifest's claim and this suite's claim
+  // must be the same constant (re-pin both in one diff).
+  EXPECT_EQ(fnv1a64(canonical), kGoldenRegistryFingerprint);
 }
 
 }  // namespace

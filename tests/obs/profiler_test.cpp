@@ -48,6 +48,52 @@ TEST(DurationHistogramTest, AddAndMergeTrackMoments) {
   EXPECT_DOUBLE_EQ(h.min_seconds, before.min_seconds);
 }
 
+TEST(DurationHistogramTest, QuantilesAreOrderedAndClamped) {
+  DurationHistogram h;
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.5), 0.0) << "empty -> 0";
+  // 100 observations spread over [100µs, 10ms).
+  for (int i = 0; i < 100; ++i) {
+    h.add(100e-6 + i * 99e-6);
+  }
+  const double p50 = h.p50_seconds();
+  const double p95 = h.p95_seconds();
+  const double p99 = h.p99_seconds();
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, h.min_seconds);
+  EXPECT_LE(p99, h.max_seconds);
+  // Log2-bucket interpolation: p50 lands in the right half-decade.
+  EXPECT_GT(p50, 1e-3);
+  EXPECT_LT(p50, 10e-3);
+}
+
+TEST(DurationHistogramTest, SingleObservationQuantilesCollapse) {
+  DurationHistogram h;
+  h.add(0.005);
+  // min == max clamps every quantile onto the only observation.
+  EXPECT_DOUBLE_EQ(h.p50_seconds(), 0.005);
+  EXPECT_DOUBLE_EQ(h.p99_seconds(), 0.005);
+}
+
+TEST(ProfilerTest, ProfileJsonCarriesQuantiles) {
+  Profiler prof;
+  const std::size_t stage = prof.stage_index("trial");
+  prof.record(stage, 0.0, 0.002);
+  prof.record(stage, 0.002, 0.004);
+  std::ostringstream os;
+  prof.write_profile_json(os);
+  const std::string out = os.str();
+  for (const char* key :
+       {"\"stages\"", "\"trial\"", "\"count\"", "\"total_seconds\"",
+        "\"mean_seconds\"", "\"p50_seconds\"", "\"p95_seconds\"",
+        "\"p99_seconds\""}) {
+    EXPECT_NE(out.find(key), std::string::npos)
+        << "missing " << key << " in " << out;
+  }
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+}
+
 TEST(ProfilerTest, StagesAreCreatedOnceAndAccumulate) {
   Profiler prof;
   const std::size_t a = prof.stage_index("trial");

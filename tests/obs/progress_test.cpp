@@ -1,0 +1,59 @@
+// progress_test.cpp — duration humanizer and ProgressReporter ETA math.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "obs/progress.hpp"
+
+namespace nbx::obs {
+namespace {
+
+TEST(Progress, FormatDurationBands) {
+  EXPECT_EQ(format_duration(0.0), "0.0s");
+  EXPECT_EQ(format_duration(12.34), "12.3s");
+  EXPECT_EQ(format_duration(59.99), "60.0s");
+  EXPECT_EQ(format_duration(60.0), "1m00s");
+  EXPECT_EQ(format_duration(247.0), "4m07s");
+  EXPECT_EQ(format_duration(3599.0), "59m59s");
+  EXPECT_EQ(format_duration(3600.0), "1h00m");
+  EXPECT_EQ(format_duration(7500.0), "2h05m");
+}
+
+TEST(Progress, FormatDurationRejectsGarbage) {
+  EXPECT_EQ(format_duration(-1.0), "?");
+  EXPECT_EQ(format_duration(std::numeric_limits<double>::quiet_NaN()), "?");
+  EXPECT_EQ(format_duration(std::numeric_limits<double>::infinity()), "?");
+}
+
+TEST(Progress, FractionAndEtaAccessors) {
+  std::ostringstream os;
+  ProgressReporter reporter(os, "test", 10, 100);
+  EXPECT_DOUBLE_EQ(reporter.fraction_done(), 0.0);
+  EXPECT_DOUBLE_EQ(reporter.eta_seconds(), 0.0)
+      << "no completed work -> no extrapolation";
+  reporter.tick(5);
+  EXPECT_DOUBLE_EQ(reporter.fraction_done(), 0.5);
+  EXPECT_GE(reporter.eta_seconds(), 0.0);
+  reporter.tick(5);
+  EXPECT_DOUBLE_EQ(reporter.fraction_done(), 1.0);
+  EXPECT_DOUBLE_EQ(reporter.eta_seconds(), 0.0) << "done -> zero remaining";
+  reporter.finish();
+  EXPECT_EQ(reporter.done(), 10u);
+  // The final line carries percent and an ETA rendering.
+  EXPECT_NE(os.str().find("100%"), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("ETA"), std::string::npos) << os.str();
+}
+
+TEST(Progress, ZeroTotalReporterIsSafe) {
+  std::ostringstream os;
+  ProgressReporter reporter(os, "empty", 0, 0);
+  EXPECT_DOUBLE_EQ(reporter.fraction_done(), 0.0);
+  EXPECT_DOUBLE_EQ(reporter.eta_seconds(), 0.0);
+  reporter.finish();  // never ticked: no output
+  EXPECT_TRUE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace nbx::obs

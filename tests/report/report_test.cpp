@@ -1,0 +1,190 @@
+// report_test.cpp — the nbxreport library: bench loading, point
+// alignment, the regression gate, and both renderings.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "check/json_value.hpp"
+#include "report/report.hpp"
+#include "sim/bench_json.hpp"
+
+namespace nbx::report {
+namespace {
+
+/// A canonical two-point bench document written through the real
+/// writer, so the loader is tested against the schema as produced.
+BenchReport make_report(double wall_seconds) {
+  BenchReport r;
+  r.bench = "sweep";
+  r.seed = 2026;
+  r.threads = 4;
+  r.trials_per_workload = 64;
+  r.trials = 1280;
+  r.wall_seconds = wall_seconds;
+  r.metrics.emplace_back("lane_occupancy_percent", 100.0);
+  SweepRecord rec;
+  rec.alu = "aluss";
+  rec.points.push_back({"aluss", 0.0, 100.0, 0.0, 0.0, 640});
+  rec.points.push_back({"aluss", 2.0, 98.90625, 7.4, 0.6, 640});
+  r.sweeps.push_back(std::move(rec));
+  return r;
+}
+
+/// Writes `r` to a unique temp path and loads it back.
+LoadedBench write_and_load(const BenchReport& r, const std::string& tag) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "nbxreport_" + tag + ".json";
+  {
+    std::ofstream os(path);
+    write_bench_json(os, r);
+  }
+  std::string error;
+  std::optional<LoadedBench> loaded = load_bench(path, &error);
+  EXPECT_TRUE(loaded.has_value()) << error;
+  return loaded.value_or(LoadedBench{});
+}
+
+TEST(Report, LoadBenchParsesTheRealWriterSchema) {
+  const LoadedBench b = write_and_load(make_report(0.5), "load");
+  EXPECT_EQ(b.bench, "sweep");
+  EXPECT_EQ(b.seed, 2026u);
+  EXPECT_EQ(b.threads, 4u);
+  EXPECT_EQ(b.trials, 1280u);
+  EXPECT_DOUBLE_EQ(b.wall_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(b.trials_per_second, 2560.0);
+  ASSERT_EQ(b.points.size(), 2u);
+  EXPECT_EQ(b.points[0].alu, "aluss");
+  EXPECT_EQ(b.points[0].fault_percent, "0");
+  EXPECT_DOUBLE_EQ(b.points[1].mean_percent_correct, 98.90625);
+  EXPECT_EQ(b.points[1].samples, 640u);
+  ASSERT_FALSE(b.metrics.empty());
+  EXPECT_EQ(b.metrics[0].first, "lane_occupancy_percent");
+  // The embedded manifest is flattened to key=value pairs.
+  bool saw_git = false;
+  for (const auto& [k, v] : b.manifest) {
+    saw_git = saw_git || k == "git_describe";
+  }
+  EXPECT_TRUE(saw_git);
+}
+
+TEST(Report, LoadBenchReportsMissingFile) {
+  std::string error;
+  EXPECT_FALSE(load_bench("/nonexistent/nope.json", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Report, IdenticalRunsPassTheGate) {
+  const LoadedBench base = write_and_load(make_report(0.5), "base");
+  const LoadedBench cand = write_and_load(make_report(0.5), "cand");
+  const Comparison c = compare(base, cand, GateOptions{});
+  EXPECT_TRUE(c.gate_pass()) << (c.violations.empty()
+                                     ? ""
+                                     : c.violations.front());
+  EXPECT_DOUBLE_EQ(c.throughput_delta_percent(), 0.0);
+  ASSERT_EQ(c.points.size(), 2u);
+  EXPECT_FALSE(c.points[0].drifted());
+  EXPECT_TRUE(c.only_in_base.empty());
+  EXPECT_TRUE(c.only_in_cand.empty());
+}
+
+TEST(Report, TenPercentSlowdownFailsDefaultGate) {
+  const LoadedBench base = write_and_load(make_report(0.5), "fastbase");
+  // Same results, 10% lower throughput (wall clock 1/0.9 longer).
+  const LoadedBench cand =
+      write_and_load(make_report(0.5 / 0.9), "slowcand");
+  const Comparison c = compare(base, cand, GateOptions{});
+  EXPECT_FALSE(c.gate_pass());
+  ASSERT_EQ(c.violations.size(), 1u);
+  EXPECT_NE(c.violations[0].find("throughput regression"),
+            std::string::npos)
+      << c.violations[0];
+  EXPECT_NEAR(c.throughput_delta_percent(), -10.0, 0.2);
+
+  // A looser tolerance admits the same pair.
+  GateOptions loose;
+  loose.max_slowdown_percent = 15.0;
+  EXPECT_TRUE(compare(base, cand, loose).gate_pass());
+}
+
+TEST(Report, ResultDriftFailsUnlessAllowed) {
+  const LoadedBench base = write_and_load(make_report(0.5), "driftbase");
+  BenchReport drifted_report = make_report(0.5);
+  drifted_report.sweeps[0].points[1].mean_percent_correct = 98.75;
+  const LoadedBench cand = write_and_load(drifted_report, "driftcand");
+
+  const Comparison strict = compare(base, cand, GateOptions{});
+  EXPECT_FALSE(strict.gate_pass());
+  bool saw_drift = false;
+  for (const std::string& v : strict.violations) {
+    saw_drift = saw_drift || v.find("drift") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_drift) << "expected a drift violation";
+
+  GateOptions permissive;
+  permissive.allow_result_drift = true;
+  const Comparison loose = compare(base, cand, permissive);
+  EXPECT_TRUE(loose.gate_pass());
+  // The drift is still visible in the deltas, just not gated.
+  bool drift_reported = false;
+  for (const PointDelta& p : loose.points) {
+    drift_reported = drift_reported || p.drifted();
+  }
+  EXPECT_TRUE(drift_reported);
+}
+
+TEST(Report, MissingPointsAreViolations) {
+  const LoadedBench base = write_and_load(make_report(0.5), "fullbase");
+  BenchReport truncated = make_report(0.5);
+  truncated.sweeps[0].points.pop_back();
+  const LoadedBench cand = write_and_load(truncated, "shortcand");
+  const Comparison c = compare(base, cand, GateOptions{});
+  EXPECT_FALSE(c.gate_pass());
+  ASSERT_EQ(c.only_in_base.size(), 1u);
+  EXPECT_EQ(c.points.size(), 1u);
+}
+
+TEST(Report, BenchNameMismatchIsAViolation) {
+  const LoadedBench base = write_and_load(make_report(0.5), "namebase");
+  BenchReport other = make_report(0.5);
+  other.bench = "wafer";
+  const LoadedBench cand = write_and_load(other, "namecand");
+  const Comparison c = compare(base, cand, GateOptions{});
+  EXPECT_FALSE(c.gate_pass());
+}
+
+TEST(Report, MarkdownRendersVerdictAndTables) {
+  const LoadedBench base = write_and_load(make_report(0.5), "mdbase");
+  const LoadedBench cand = write_and_load(make_report(0.5), "mdcand");
+  std::ostringstream os;
+  write_markdown(os, compare(base, cand, GateOptions{}));
+  const std::string md = os.str();
+  EXPECT_NE(md.find("**PASS**"), std::string::npos) << md;
+  EXPECT_NE(md.find("| alu |"), std::string::npos);
+  EXPECT_NE(md.find("aluss"), std::string::npos);
+
+  std::ostringstream fail_os;
+  const LoadedBench slow = write_and_load(make_report(1.0), "mdslow");
+  write_markdown(fail_os, compare(base, slow, GateOptions{}));
+  EXPECT_NE(fail_os.str().find("**FAIL**"), std::string::npos);
+}
+
+TEST(Report, JsonRenderingParsesAndCarriesTheVerdict) {
+  const LoadedBench base = write_and_load(make_report(0.5), "jsbase");
+  const LoadedBench slow = write_and_load(make_report(1.0), "jsslow");
+  std::ostringstream os;
+  write_json(os, compare(base, slow, GateOptions{}));
+  std::string error;
+  const auto doc = check::JsonValue::parse(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error << " in " << os.str();
+  const check::JsonValue* pass = doc->find("gate_pass");
+  ASSERT_NE(pass, nullptr);
+  ASSERT_NE(doc->find("violations"), nullptr);
+  ASSERT_NE(doc->find("points"), nullptr);
+}
+
+}  // namespace
+}  // namespace nbx::report
