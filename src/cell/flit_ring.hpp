@@ -1,0 +1,63 @@
+// flit_ring.hpp — fixed-capacity flit queue for the cell's bus ports.
+//
+// The per-port flit queues are bounded by construction: a bus delivers
+// at most one flit per cycle and the cell drains one per cycle, so
+// occupancy never exceeds a few packets (shift-out can momentarily hold
+// the cell's own result packet plus forwarded traffic from below). A
+// fixed ring of 64 bytes — six packets plus slack — replaces the former
+// std::deque so the steady-state cell step performs zero heap
+// allocations (tests/audit/alloc_audit_test.cpp holds the line).
+//
+// Overflow is a modelled fault, not UB: a push into a full ring drops
+// the flit and reports it, and the owning cell counts it in
+// stats().dropped_ring_overflow (the downstream assembler then discards
+// the mangled frame on its checksum).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace nbx {
+
+/// Bounded byte FIFO with deque-flavoured naming.
+class FlitRing {
+ public:
+  /// Six 10-flit packets plus slack; static_assert in the cell layer
+  /// keeps this a multiple of nothing — it just has to exceed the worst
+  /// bounded occupancy with margin.
+  static constexpr std::size_t kCapacity = 64;
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == kCapacity; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Appends one flit. Returns false (dropping the flit) when full.
+  bool push_back(std::uint8_t flit) {
+    if (full()) {
+      return false;
+    }
+    buf_[(head_ + size_) % kCapacity] = flit;
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] std::uint8_t front() const { return buf_[head_]; }
+
+  void pop_front() {
+    head_ = (head_ + 1) % kCapacity;
+    --size_;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::array<std::uint8_t, kCapacity> buf_{};
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace nbx

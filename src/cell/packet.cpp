@@ -11,8 +11,8 @@ std::uint8_t flags_byte(const Packet& p) {
 }
 }  // namespace
 
-std::vector<std::uint8_t> encode_packet(const Packet& p) {
-  std::vector<std::uint8_t> flits(kPacketFlits, 0);
+std::array<std::uint8_t, kPacketFlits> encode_packet_flits(const Packet& p) {
+  std::array<std::uint8_t, kPacketFlits> flits{};
   flits[0] = kStartMarker;
   flits[1] = p.dest.packed();
   flits[2] = static_cast<std::uint8_t>(p.instr_id >> 8);
@@ -28,6 +28,11 @@ std::vector<std::uint8_t> encode_packet(const Packet& p) {
   }
   flits[9] = csum;
   return flits;
+}
+
+std::vector<std::uint8_t> encode_packet(const Packet& p) {
+  const auto flits = encode_packet_flits(p);
+  return std::vector<std::uint8_t>(flits.begin(), flits.end());
 }
 
 std::optional<Packet> PacketAssembler::push(std::uint8_t flit) {

@@ -20,6 +20,7 @@
 //   9  checksum: XOR of flits 1..8
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -78,6 +79,10 @@ struct Packet {
 inline constexpr std::size_t kPacketFlits = 10;
 /// Start-of-packet marker value.
 inline constexpr std::uint8_t kStartMarker = 0xA5;
+
+/// Serializes a packet to its 10 flits without allocating — the form
+/// the cell's steady-state forwarding path uses (see flit_ring.hpp).
+std::array<std::uint8_t, kPacketFlits> encode_packet_flits(const Packet& p);
 
 /// Serializes a packet to its 10 flits.
 std::vector<std::uint8_t> encode_packet(const Packet& p);

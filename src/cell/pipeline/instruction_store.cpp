@@ -1,0 +1,102 @@
+#include "cell/pipeline/instruction_store.hpp"
+
+#include <cassert>
+
+namespace nbx {
+
+namespace {
+
+// Field layout within one record copy, LSB-first.
+constexpr std::size_t kIdLo = 0;
+constexpr std::size_t kOpLo = 16;
+constexpr std::size_t kALo = 19;
+constexpr std::size_t kBLo = 27;
+
+}  // namespace
+
+void InstructionStore::load(const std::vector<Instruction>& program,
+                            LutCoding coding, double defect_density,
+                            Rng& rng) {
+  count_ = program.size();
+  copies_ = coding == LutCoding::kTmr ? 3 : 1;
+  const std::size_t total = count_ * kRecordBits * copies_;
+  bits_ = BitVec(total);
+  mask_ = BitVec(record_sites());
+  goldens_.resize(count_);
+  record_defect_flips_.assign(count_, 0);
+
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Instruction& ins = program[i];
+    goldens_[i] = ins.golden;
+    std::uint64_t word = 0;
+    word |= static_cast<std::uint64_t>(ins.id) << kIdLo;
+    word |= (static_cast<std::uint64_t>(ins.op) & 0x7u) << kOpLo;
+    word |= static_cast<std::uint64_t>(ins.a) << kALo;
+    word |= static_cast<std::uint64_t>(ins.b) << kBLo;
+    for (std::size_t c = 0; c < copies_; ++c) {
+      bits_.deposit((i * copies_ + c) * kRecordBits, kRecordBits, word);
+    }
+  }
+
+  // Manufacture stuck-at defects over the whole fabric and bake them
+  // in: a stuck cell reads as its stuck value on every fetch.
+  const DefectMap map = DefectMap::manufacture(total, defect_density, rng);
+  defects_ = map.defect_count();
+  stuck_sites_ = BitVec(total);
+  if (defects_ != 0) {
+    for (std::size_t s = 0; s < total; ++s) {
+      if (!map.is_defective(s)) {
+        continue;
+      }
+      stuck_sites_.set(s, true);
+      if (const auto flip = map.forced_flip(s, bits_.get(s));
+          flip.has_value() && *flip) {
+        bits_.flip(s);
+        ++record_defect_flips_[s / (kRecordBits * copies_)];
+      }
+    }
+  }
+}
+
+FetchedRecord InstructionStore::fetch(std::size_t pc,
+                                      const MaskGenerator& gen, Rng& rng,
+                                      std::uint64_t* bit_faults) {
+  assert(pc < count_);
+  assert(gen.sites() == record_sites());
+  gen.generate(rng, mask_);
+  const std::size_t base = pc * record_sites();
+  if (defects_ != 0) {
+    // Defect dominance: a stuck cell cannot also flip transiently, so
+    // transient hits landing on defective sites are absorbed.
+    for (std::size_t i = 0; i < record_sites(); ++i) {
+      if (mask_.get(i) && stuck_sites_.get(base + i)) {
+        mask_.set(i, false);
+      }
+    }
+  }
+  if (bit_faults != nullptr) {
+    *bit_faults += mask_.popcount() + record_defect_flips_[pc];
+  }
+
+  // Per-bit majority over the (possibly corrupted) copies.
+  std::uint64_t voted = 0;
+  for (std::size_t bit = 0; bit < kRecordBits; ++bit) {
+    unsigned ones = 0;
+    for (std::size_t c = 0; c < copies_; ++c) {
+      const std::size_t local = c * kRecordBits + bit;
+      ones += (bits_.get(base + local) ^ mask_.get(local)) ? 1u : 0u;
+    }
+    if (ones * 2 > copies_) {
+      voted |= std::uint64_t{1} << bit;
+    }
+  }
+
+  FetchedRecord rec;
+  rec.instr_id = static_cast<std::uint16_t>((voted >> kIdLo) & 0xFFFFu);
+  rec.op_bits = static_cast<std::uint8_t>((voted >> kOpLo) & 0x7u);
+  rec.a = static_cast<std::uint8_t>((voted >> kALo) & 0xFFu);
+  rec.b = static_cast<std::uint8_t>((voted >> kBLo) & 0xFFu);
+  return rec;
+}
+
+}  // namespace nbx

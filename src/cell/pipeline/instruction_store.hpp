@@ -1,0 +1,97 @@
+// instruction_store.hpp — the pipelined cell's faultable program memory.
+//
+// A cell program is an NBXS instruction stream (workload/
+// instruction_stream.hpp) loaded into nanodevice storage: 35 bits per
+// record (u16 id, 3-bit opcode, two 8-bit operands) in one or three
+// copies depending on the store coding. Like every other nanodevice
+// fabric in the library the store suffers both permanent stuck-at
+// defects (fixed at load via a DefectMap) and per-fetch transient
+// flips (a fresh MaskGenerator mask per fetch, paper §4 semantics).
+// TMR-coded stores vote the three copies bit-by-bit at fetch time.
+//
+// The golden result bytes of the stream are NOT stored in the faultable
+// fabric: they are scoring metadata, not architectural state, and a
+// fault must never be able to grade its own homework.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "fault/defect_map.hpp"
+#include "fault/mask_generator.hpp"
+#include "lut/coded_lut.hpp"
+#include "workload/instruction_stream.hpp"
+
+namespace nbx {
+
+/// One record as read out of the (possibly faulted) store. Fields are
+/// raw: `op_bits` may decode to an undefined opcode after faults — the
+/// decode stage is responsible for flushing those.
+struct FetchedRecord {
+  std::uint16_t instr_id = 0;
+  std::uint8_t op_bits = 0;  ///< 3-bit opcode field, unvalidated
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+};
+
+/// Faultable storage for one cell program.
+class InstructionStore {
+ public:
+  /// Stored bits per record copy: id(16) + op(3) + a(8) + b(8).
+  static constexpr std::size_t kRecordBits = 35;
+
+  InstructionStore() = default;
+
+  /// Loads `program` into fresh fabric. `coding` kTmr keeps three
+  /// copies per record; anything else one. Stuck-at defects are
+  /// manufactured over every stored bit at `defect_density` using `rng`
+  /// and baked into the fabric (they corrupt every subsequent fetch).
+  void load(const std::vector<Instruction>& program, LutCoding coding,
+            double defect_density, Rng& rng);
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t copies() const { return copies_; }
+  /// Transient fault sites exposed per fetch (one record, all copies).
+  [[nodiscard]] std::size_t record_sites() const {
+    return kRecordBits * copies_;
+  }
+  /// Total stored bits (defectable fabric size).
+  [[nodiscard]] std::size_t total_bits() const { return bits_.size(); }
+  [[nodiscard]] std::size_t defect_count() const { return defects_; }
+
+  /// Reads record `pc` under a fresh transient mask drawn from `gen`
+  /// (bound to record_sites()), votes the copies when coded, and
+  /// returns the raw fields. Adds the number of flipped bits seen by
+  /// this fetch (transient + defect-forced) to `*bit_faults` when
+  /// non-null.
+  [[nodiscard]] FetchedRecord fetch(std::size_t pc,
+                                    const MaskGenerator& gen, Rng& rng,
+                                    std::uint64_t* bit_faults);
+
+  /// Golden result bytes of the loaded stream, by program index.
+  [[nodiscard]] const std::vector<std::uint8_t>& goldens() const {
+    return goldens_;
+  }
+
+  /// Test hook: flips one stored bit (models a stuck bit that escaped
+  /// manufacture screening). Deterministic misdecode tests use this to
+  /// plant an invalid opcode without relying on random masks.
+  void corrupt_bit(std::size_t bit) { bits_.flip(bit); }
+
+ private:
+  std::size_t count_ = 0;
+  std::size_t copies_ = 1;
+  std::size_t defects_ = 0;
+  BitVec bits_;         // stored (post-defect) record bits
+  BitVec stuck_sites_;  // defective-site bitmap: stuck cells absorb
+                        // transient hits (defect dominance)
+  BitVec mask_;         // per-fetch transient scratch
+  std::vector<std::uint16_t> record_defect_flips_;  // per-record, at load
+  std::vector<std::uint8_t> goldens_;
+};
+
+}  // namespace nbx

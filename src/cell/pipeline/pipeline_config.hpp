@@ -1,0 +1,126 @@
+// pipeline_config.hpp — per-stage configuration of the pipelined cell.
+//
+// Paper §7 future work 3 asks what happens when the NanoBox cell grows
+// from an ALU control loop into a real processor. The pipelined cell
+// answers the question the architecture was built around: *which
+// stage's unreliability hurts end-to-end accuracy most?* Each of the
+// four stages (fetch / decode / execute / writeback) carries its own
+// fault rate, wear schedule (fault/scenario.hpp) and — where the stage
+// owns storage fabric — defect density, so a sweep can stress one stage
+// at a time while the others stay ideal.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fault/scenario.hpp"
+#include "lut/coded_lut.hpp"
+
+namespace nbx {
+
+/// The four pipeline stages, in program order.
+enum class PipeStage : std::uint8_t {
+  kFetch = 0,
+  kDecode = 1,
+  kExecute = 2,
+  kWriteback = 3,
+};
+
+inline constexpr std::size_t kPipeStageCount = 4;
+
+/// Every stage, for iteration (sweeps, metrics labels, tests).
+inline constexpr std::array<PipeStage, kPipeStageCount> kAllPipeStages = {
+    PipeStage::kFetch, PipeStage::kDecode, PipeStage::kExecute,
+    PipeStage::kWriteback};
+
+/// Stage name for metrics labels and bench tables. No default: adding a
+/// stage without naming it is a compile error (-Werror=switch).
+constexpr std::string_view pipe_stage_name(PipeStage s) {
+  switch (s) {
+    case PipeStage::kFetch:
+      return "fetch";
+    case PipeStage::kDecode:
+      return "decode";
+    case PipeStage::kExecute:
+      return "execute";
+    case PipeStage::kWriteback:
+      return "writeback";
+  }
+  return "?";
+}
+
+/// Fault knobs of one pipeline stage. The transient rate follows the
+/// same percent-of-sites convention as the ALU sweeps; the wear
+/// schedule reuses fault/scenario.hpp verbatim so a pipelined trial
+/// population ages exactly like an ALU trial population.
+struct StageFaultConfig {
+  double fault_percent = 0.0;  ///< % of the stage's sites flipped per use
+  RateSchedule schedule;       ///< wear across a trial population
+  /// Stuck-at density of the stage's storage fabric, fixed at
+  /// manufacture. Only stages that own storage honour it (fetch: the
+  /// instruction store; execute: the ALU's LUT fabric).
+  double defect_density = 0.0;
+
+  /// The rate this stage runs at for trial `trial` of `trials`
+  /// (RateSchedule::at — identical to the engine's wear resolution).
+  [[nodiscard]] double effective_percent(std::size_t trial,
+                                         std::size_t trials) const {
+    return schedule.at(fault_percent, trial, trials);
+  }
+};
+
+/// Full configuration of a cell's program pipeline.
+struct PipelineConfig {
+  /// Architectural register count (micro-op fields address 8).
+  std::size_t registers = 8;
+  /// Forward the execute/writeback result to a dependent decode
+  /// (distance-1 RAW). Off = the dependent instruction stalls one cycle.
+  bool forwarding = true;
+  /// The execute stage's ALU, by Table-2 catalogue name. The pipeline
+  /// drives it through the IAlu interface, so any catalogued
+  /// bit/module-level combination works. "aluns" = uncoded module,
+  /// TMR-bit LUT fabric — the NanoBox default cell fabric.
+  std::string execute_alu = "aluns";
+  /// Instruction-store protection: kTmr keeps three copies of every
+  /// record and majority-votes each bit at fetch; anything else keeps
+  /// one unprotected copy.
+  LutCoding store_coding = LutCoding::kTmr;
+  /// Decoded control-word protection: kTmr triplicates the 14-bit
+  /// control word and votes per bit; anything else decodes one copy.
+  LutCoding decode_coding = LutCoding::kTmr;
+
+  StageFaultConfig fetch;
+  StageFaultConfig decode;
+  StageFaultConfig execute;
+  StageFaultConfig writeback;
+
+  /// Wear-schedule coordinates of this cell's run within its trial
+  /// population (RateSchedule::at(base, trial_index, trials)).
+  std::size_t trial_index = 0;
+  std::size_t trials = 1;
+
+  std::uint64_t seed = 7;
+
+  [[nodiscard]] const StageFaultConfig& stage(PipeStage s) const {
+    switch (s) {
+      case PipeStage::kFetch:
+        return fetch;
+      case PipeStage::kDecode:
+        return decode;
+      case PipeStage::kExecute:
+        return execute;
+      case PipeStage::kWriteback:
+        return writeback;
+    }
+    return fetch;
+  }
+  [[nodiscard]] StageFaultConfig& stage(PipeStage s) {
+    return const_cast<StageFaultConfig&>(
+        static_cast<const PipelineConfig*>(this)->stage(s));
+  }
+};
+
+}  // namespace nbx

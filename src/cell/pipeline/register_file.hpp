@@ -1,0 +1,60 @@
+// register_file.hpp — the pipelined cell's small triplicated register
+// file.
+//
+// Same protection idiom as the cell memory's triplicated fields
+// (memory_word.hpp): every architectural register keeps three 8-bit
+// copies; reads majority-vote bitwise, clean writes refresh all three.
+// The writeback stage writes each copy independently so writeback-stage
+// faults can corrupt a single copy without the other two — which the
+// vote then outvotes, exactly like a masked ALU fault.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nbx {
+
+/// Triplicated architectural registers of the cell pipeline.
+class RegisterFile {
+ public:
+  explicit RegisterFile(std::size_t count) : regs_(count) {}
+
+  [[nodiscard]] std::size_t size() const { return regs_.size(); }
+
+  /// Bitwise majority over the three copies (same expression as
+  /// MemoryWord::voted_result).
+  [[nodiscard]] std::uint8_t read(std::size_t r) const {
+    const auto& c = regs_[r];
+    return static_cast<std::uint8_t>((c[0] & c[1]) | (c[0] & c[2]) |
+                                     (c[1] & c[2]));
+  }
+
+  /// Clean write: refreshes all three copies.
+  void write(std::size_t r, std::uint8_t v) { regs_[r] = {v, v, v}; }
+
+  /// Faulted-writeback path: writes one copy only.
+  void write_copy(std::size_t r, std::size_t copy, std::uint8_t v) {
+    regs_[r][copy] = v;
+  }
+
+  /// True when the three copies of `r` are not bit-identical (a masked
+  /// writeback fault is latent in the register).
+  [[nodiscard]] bool has_disagreement(std::size_t r) const {
+    const auto& c = regs_[r];
+    return !(c[0] == c[1] && c[1] == c[2]);
+  }
+
+  /// Zeroes every register (program load).
+  void reset() {
+    for (auto& c : regs_) {
+      c = {0, 0, 0};
+    }
+  }
+
+ private:
+  std::vector<std::array<std::uint8_t, 3>> regs_;
+};
+
+}  // namespace nbx

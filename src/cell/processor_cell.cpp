@@ -3,7 +3,6 @@
 #include <cassert>
 
 #include "coding/majority.hpp"
-#include "fault/remap.hpp"
 
 namespace nbx {
 
@@ -26,39 +25,15 @@ Port port_for(RouteDecision d) {
 
 ProcessorCell::ProcessorCell(CellId id, const CellConfig& config)
     : id_(id), config_(config), memory_(config.memory_words),
-      control_(config.control_coding, config.control_fault_percent,
-               config.seed ^ 0xC0117201u),
-      alu_(config.alu_coding),
-      alu_defects_(0),
-      alu_mask_gen_(0, 0.0),
+      decode_(config.control_coding, config.control_fault_percent,
+              config.seed ^ 0xC0117201u),
+      execute_(config.alu_coding),
       rng_(config.seed ^ (static_cast<std::uint64_t>(id.packed()) << 32)) {
-  alu_golden_bits_ = alu_.golden_storage();
-  // The manufactured fabric is the logical fault-site window plus any
-  // spare pool; with neither spares nor remap this is exactly the
-  // historical manufacture call (same sites, same rng draws).
-  alu_defects_ = DefectMap::manufacture(
-      alu_.fault_sites() + config.alu_spare_sites,
-      config.alu_defect_density, rng_);
-  manufactured_defects_ = alu_defects_.defect_count();
-  if (config.alu_spare_sites > 0 || config.remap_defects) {
-    RemapPlan plan;
-    if (config.remap_defects) {
-      plan = remap_around_defects(alu_defects_, alu_.fault_sites());
-      remap_feasible_ = plan.feasible;
-      remap_spares_used_ = plan.spares_used;
-    } else {
-      // Oblivious placement: storage sits on the leading window and the
-      // spare pool is dead weight.
-      plan.logical_to_physical.resize(alu_.fault_sites());
-      for (std::size_t i = 0; i < plan.logical_to_physical.size(); ++i) {
-        plan.logical_to_physical[i] = static_cast<std::uint32_t>(i);
-      }
-    }
-    alu_defects_ = remap_logical_defects(alu_defects_, plan);
-  }
-  alu_mask_gen_ =
-      MaskGenerator(alu_.fault_sites(), config.alu_fault_percent);
-  alu_mask_ = BitVec(alu_.fault_sites());
+  // Manufacture the execute stage's fabric from the cell RNG — the
+  // exact draw sequence of the historical monolithic constructor.
+  execute_.manufacture(config.alu_defect_density, config.alu_spare_sites,
+                       config.remap_defects, rng_);
+  execute_.set_fault_percent(config.alu_fault_percent);
 }
 
 void ProcessorCell::set_mode(CellMode m) {
@@ -74,7 +49,9 @@ void ProcessorCell::receive_flit(Port from, std::uint8_t flit) {
   if (!alive_ && !router_survives_) {
     return;  // completely dead cell: the bus drives into nothing
   }
-  in_flits_[static_cast<std::size_t>(from)].push_back(flit);
+  if (!in_flits_[static_cast<std::size_t>(from)].push_back(flit)) {
+    ++stats_.dropped_ring_overflow;
+  }
 }
 
 std::optional<std::uint8_t> ProcessorCell::pop_output(Port to) {
@@ -145,6 +122,15 @@ void ProcessorCell::process_incoming() {
   }
 }
 
+void ProcessorCell::queue_flits(
+    FlitRing& q, const std::array<std::uint8_t, kPacketFlits>& flits) {
+  for (const std::uint8_t f : flits) {
+    if (!q.push_back(f)) {
+      ++stats_.dropped_ring_overflow;
+    }
+  }
+}
+
 void ProcessorCell::handle_packet(Port from, const Packet& p) {
   // Dead-but-salvageable cells still route traffic around themselves;
   // they no longer accept work.
@@ -152,15 +138,14 @@ void ProcessorCell::handle_packet(Port from, const Packet& p) {
     // §3.2.3: incoming result packets (necessarily from below) are passed
     // straight up, taking priority over the cell's own packets.
     (void)from;
-    const auto flits = encode_packet(p);
-    auto& up = out_flits_[static_cast<std::size_t>(Port::kTop)];
-    up.insert(up.end(), flits.begin(), flits.end());
+    queue_flits(out_flits_[static_cast<std::size_t>(Port::kTop)],
+                encode_packet_flits(p));
     ++stats_.packets_forwarded;
     trace_event(TraceEvent::kPacketForwarded, p.instr_id);
     return;
   }
   const RouteDecision d =
-      alive_ ? control_.route(id_, p.dest) : golden_route(id_, p.dest);
+      alive_ ? decode_.route(id_, p.dest) : golden_route(id_, p.dest);
   if (d == RouteDecision::kKeepHere) {
     if (!alive_) {
       return;  // disabled cell: traffic for it is already rerouted by the
@@ -197,24 +182,16 @@ void ProcessorCell::store_instruction(const Packet& p) {
 }
 
 void ProcessorCell::forward_packet(const Packet& p, RouteDecision d) {
-  const auto flits = encode_packet(p);
-  auto& q = out_flits_[static_cast<std::size_t>(port_for(d))];
-  q.insert(q.end(), flits.begin(), flits.end());
+  queue_flits(out_flits_[static_cast<std::size_t>(port_for(d))],
+              encode_packet_flits(p));
   ++stats_.packets_forwarded;
   trace_event(TraceEvent::kPacketForwarded, p.instr_id);
 }
 
 std::uint8_t ProcessorCell::compute_pass(Opcode op, std::uint8_t a,
                                          std::uint8_t b) {
-  // A fresh transient-fault mask per ALU pass (paper §4), with the
-  // cell's manufacturing defects overlaid on top (stuck cells dominate).
-  alu_mask_gen_.generate(rng_, alu_mask_);
-  if (alu_defects_.defect_count() != 0) {
-    alu_defects_.impose(alu_golden_bits_, alu_mask_);
-  }
   ModuleStats stats;
-  const std::uint8_t r = alu_.eval(
-      op, a, b, MaskView(alu_mask_, 0, alu_mask_.size()), &stats);
+  const std::uint8_t r = execute_.pass(op, a, b, rng_, &stats);
   if (stats.lut.tmr_disagreements != 0) {
     stats_.masked_alu_faults += stats.lut.tmr_disagreements;
     if (config_.count_masked_faults) {
@@ -225,18 +202,19 @@ std::uint8_t ProcessorCell::compute_pass(Opcode op, std::uint8_t a,
 }
 
 void ProcessorCell::step_compute() {
-  // §3.2.2: the ALU control cycles through memory one word per visit,
-  // wrapping forever while compute mode lasts.
+  // The degenerate 1-deep pipeline (§3.2.2): fetch scans one word,
+  // decode runs the aluctrl gate, execute produces the three result
+  // copies, writeback retires the word — the same draws in the same
+  // order as the historical monolithic pass.
   if (memory_.capacity() == 0) {
     return;
   }
-  MemoryWord& w = memory_.word(scan_ptr_);
-  scan_ptr_ = (scan_ptr_ + 1) % memory_.capacity();
+  MemoryWord& w = fetch_.scan(memory_, scan_ptr_);
   if (w.has_internal_disagreement()) {
     ++stats_.memory_disagreements;
     note_error();
   }
-  if (!control_.should_compute(w)) {
+  if (!decode_.should_compute(w)) {
     return;
   }
   // Three copies of the result are generated (module-level redundancy);
@@ -244,7 +222,7 @@ void ProcessorCell::step_compute() {
   for (std::size_t i = 0; i < 3; ++i) {
     w.result[i] = compute_pass(w.op, w.operand1, w.operand2);
   }
-  w.set_pending(false);
+  writeback_.retire(w);
   ++stats_.instructions_computed;
   trace_event(TraceEvent::kComputed, w.instr_id);
 }
@@ -259,9 +237,8 @@ void ProcessorCell::emit_result_packet(MemoryWord& w) {
   p.operand1 = w.operand1;
   p.operand2 = w.operand2;
   p.result = w.voted_result();
-  const auto flits = encode_packet(p);
-  auto& up = out_flits_[static_cast<std::size_t>(Port::kTop)];
-  up.insert(up.end(), flits.begin(), flits.end());
+  queue_flits(out_flits_[static_cast<std::size_t>(Port::kTop)],
+              encode_packet_flits(p));
   w.set_valid(false);  // the slot is free once its result left the cell
   ++stats_.results_emitted;
   trace_event(TraceEvent::kResultEmitted, p.instr_id);
@@ -291,6 +268,22 @@ void ProcessorCell::force_fail(bool router_survives) {
   router_survives_ = router_survives;
 }
 
+bool ProcessorCell::load_program(const std::vector<Instruction>& program) {
+  PipelineConfig cfg = config_.pipeline;
+  // Per-cell derived seed: deterministic in (cell seed, pipeline seed,
+  // cell id), independent of the cell's other RNG streams.
+  cfg.seed = derive_seed({config_.seed, config_.pipeline.seed,
+                          static_cast<std::uint64_t>(id_.packed())});
+  pipeline_ = std::make_unique<CellPipeline>(cfg, id_);
+  pipeline_->set_trace(trace_);
+  return pipeline_->load(program);
+}
+
+PipelineRunResult ProcessorCell::run_program(std::size_t max_cycles) {
+  assert(pipeline_ != nullptr && "load_program first");
+  return pipeline_->run(max_cycles);
+}
+
 std::vector<MemoryWord> ProcessorCell::salvage_words() {
   std::vector<MemoryWord> out;
   if (!router_survives_) {
@@ -301,6 +294,14 @@ std::vector<MemoryWord> ProcessorCell::salvage_words() {
     if (w.valid()) {
       out.push_back(w);
       w.set_valid(false);
+    }
+  }
+  if (pipeline_ != nullptr) {
+    // §2.3 extended to the program pipeline: in-flight instructions are
+    // handed to the neighbours along with the memory words.
+    for (const MemoryWord& w : pipeline_->salvage_words()) {
+      out.push_back(w);
+      trace_event(TraceEvent::kWordSalvaged, w.instr_id);
     }
   }
   return out;

@@ -6,10 +6,20 @@
 // neighbour bus, advances its mode FSM (shift-in / compute / shift-out,
 // §3.2), and emits at most one flit per bus.
 //
+// Since the pipeline refactor the cell is a thin owner of the four
+// pipeline stages (cell/pipeline/stages.hpp): the historical
+// single-instruction compute pass is the degenerate 1-deep pipeline —
+// fetch scans the memory, decode runs the aluctrl gate, execute runs
+// the three module-redundancy passes, writeback retires the word — and
+// is bit-identical to the pre-refactor monolithic pass. load_program()
+// arms the full 4-deep program pipeline (cell/pipeline/
+// cell_pipeline.hpp) on top of the same cell.
+//
 // Fault knobs (all default off, i.e. ideal behaviour):
 //   * ALU datapath faults    — fraction of LUT bits flipped per pass;
 //   * control-logic faults   — future-work extension, see control_logic.hpp;
 //   * memory upsets          — expected persistent bit flips per cycle;
+//   * per-stage pipeline faults — CellConfig::pipeline, program mode only;
 //   * error threshold        — §2.3: a cell whose accumulated error count
 //     exceeds the threshold stops its heartbeat so the watchdog can
 //     disable it and salvage its outstanding work.
@@ -17,19 +27,19 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
 
-#include "alu/lut_core_alu.hpp"
 #include "cell/cell_memory.hpp"
-#include "cell/control_logic.hpp"
+#include "cell/flit_ring.hpp"
 #include "cell/packet.hpp"
+#include "cell/pipeline/cell_pipeline.hpp"
+#include "cell/pipeline/pipeline_config.hpp"
+#include "cell/pipeline/stages.hpp"
 #include "cell/trace.hpp"
 #include "common/rng.hpp"
 #include "fault/defect_map.hpp"
-#include "fault/mask_generator.hpp"
 
 namespace nbx {
 
@@ -74,6 +84,9 @@ struct CellConfig {
   std::uint64_t scrub_interval = 0;  ///< cycles between memory scrubs of
                                      ///< the triplicated fields (0 = off)
   std::uint64_t seed = 7;
+  /// Program-pipeline configuration, used only by load_program(); the
+  /// defaults leave the legacy single-instruction path untouched.
+  PipelineConfig pipeline;
 };
 
 /// Cell telemetry.
@@ -88,6 +101,7 @@ struct CellStats {
   std::uint64_t scrub_repairs = 0;
   std::uint64_t masked_alu_faults = 0;  ///< TMR disagreements inside passes
   std::uint64_t dropped_full_memory = 0;
+  std::uint64_t dropped_ring_overflow = 0;  ///< flits lost to a full ring
   std::uint64_t errors = 0;  ///< accumulated toward the error threshold
 };
 
@@ -125,7 +139,8 @@ class ProcessorCell {
   /// the cell memory will be sent to the surrounding processor cells so
   /// that they can finish any outstanding computations" (§2.3). Words
   /// already computed keep their results and are shifted out by the
-  /// adopting neighbour; pending ones get recomputed there.
+  /// adopting neighbour; pending ones get recomputed there. A loaded
+  /// program pipeline contributes its in-flight instructions too.
   std::vector<MemoryWord> salvage_words();
 
   /// Direct memory access for the control processor / tests.
@@ -133,28 +148,50 @@ class ProcessorCell {
   [[nodiscard]] CellMemory& memory() { return memory_; }
 
   [[nodiscard]] const CellStats& stats() const { return stats_; }
-  [[nodiscard]] const ControlLogic& control() const { return control_; }
+  [[nodiscard]] const ControlLogic& control() const {
+    return decode_.control();
+  }
 
   /// True when nothing is buffered in this cell's queues or assemblers.
   [[nodiscard]] bool quiescent() const;
 
   /// The *effective* defect map the ALU experiences after any remap —
   /// empty for a feasible defect-aware placement.
-  [[nodiscard]] const DefectMap& alu_defects() const { return alu_defects_; }
+  [[nodiscard]] const DefectMap& alu_defects() const {
+    return execute_.defects();
+  }
   /// Defects manufactured into the cell's physical fabric (logical +
   /// spare sites), before any remap.
   [[nodiscard]] std::size_t manufactured_defects() const {
-    return manufactured_defects_;
+    return execute_.manufactured_defects();
   }
   /// False when remap_defects was requested but the spare pool could not
   /// absorb every defective logical site (§2.3 salvage candidates).
-  [[nodiscard]] bool remap_feasible() const { return remap_feasible_; }
+  [[nodiscard]] bool remap_feasible() const {
+    return execute_.remap_feasible();
+  }
   [[nodiscard]] std::size_t remap_spares_used() const {
-    return remap_spares_used_;
+    return execute_.remap_spares_used();
+  }
+
+  /// Arms the 4-deep program pipeline with `program` (NBXS stream),
+  /// configured by CellConfig::pipeline with a per-cell derived seed.
+  /// Returns false when the configured execute ALU is unknown.
+  bool load_program(const std::vector<Instruction>& program);
+  /// Runs the loaded program to completion (see CellPipeline::run).
+  PipelineRunResult run_program(std::size_t max_cycles = 0);
+  [[nodiscard]] CellPipeline* pipeline() { return pipeline_.get(); }
+  [[nodiscard]] const CellPipeline* pipeline() const {
+    return pipeline_.get();
   }
 
   /// Attaches an event trace sink (may be null to detach). Not owned.
-  void set_trace(TraceSink* sink) { trace_ = sink; }
+  void set_trace(TraceSink* sink) {
+    trace_ = sink;
+    if (pipeline_ != nullptr) {
+      pipeline_->set_trace(sink);
+    }
+  }
 
  private:
   CellId id_;
@@ -165,20 +202,17 @@ class ProcessorCell {
   std::uint64_t heartbeat_ = 0;
 
   CellMemory memory_;
-  ControlLogic control_;
-  LutCoreAlu alu_;
-  DefectMap alu_defects_;     // manufactured once per cell; post-remap
-  BitVec alu_golden_bits_;    // golden LUT storage, for defect overlay
-  MaskGenerator alu_mask_gen_;
-  BitVec alu_mask_;
+  FetchStage fetch_;
+  DecodeStage decode_;      // owns the ControlLogic
+  ExecuteStage execute_;    // owns the ALU + defect/mask machinery
+  WritebackStage writeback_;
   Rng rng_;
-  std::size_t manufactured_defects_ = 0;
-  bool remap_feasible_ = true;
-  std::size_t remap_spares_used_ = 0;
+
+  std::unique_ptr<CellPipeline> pipeline_;  // armed by load_program()
 
   std::array<PacketAssembler, kPortCount> assemblers_;
-  std::array<std::deque<std::uint8_t>, kPortCount> in_flits_;
-  std::array<std::deque<std::uint8_t>, kPortCount> out_flits_;
+  std::array<FlitRing, kPortCount> in_flits_;
+  std::array<FlitRing, kPortCount> out_flits_;
 
   std::size_t scan_ptr_ = 0;       // compute-mode memory scan position
   std::size_t shift_out_ptr_ = 0;  // next own word to emit in shift-out
@@ -197,6 +231,7 @@ class ProcessorCell {
   void handle_packet(Port from, const Packet& p);
   void store_instruction(const Packet& p);
   void forward_packet(const Packet& p, RouteDecision d);
+  void queue_flits(FlitRing& q, const std::array<std::uint8_t, kPacketFlits>& flits);
   void step_compute();
   void step_shift_out();
   void emit_result_packet(MemoryWord& w);

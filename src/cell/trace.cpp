@@ -22,6 +22,18 @@ std::string_view trace_event_name(TraceEvent e) {
       return "cell-disabled";
     case TraceEvent::kWordSalvaged:
       return "word-salvaged";
+    case TraceEvent::kStageFetch:
+      return "stage-fetch";
+    case TraceEvent::kStageDecode:
+      return "stage-decode";
+    case TraceEvent::kStageExecute:
+      return "stage-execute";
+    case TraceEvent::kStageWriteback:
+      return "stage-writeback";
+    case TraceEvent::kPipelineStall:
+      return "pipeline-stall";
+    case TraceEvent::kPipelineFlush:
+      return "pipeline-flush";
   }
   return "?";
 }

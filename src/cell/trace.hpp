@@ -32,16 +32,25 @@ enum class TraceEvent : std::uint8_t {
   kResultEmitted,   ///< a result packet left its cell
   kCellDisabled,    ///< the watchdog disabled a cell (id unused)
   kWordSalvaged,    ///< a memory word moved to a neighbour
+  kStageFetch,      ///< pipeline fetched an instruction record
+  kStageDecode,     ///< pipeline decoded a control word
+  kStageExecute,    ///< pipeline execute stage produced a value
+  kStageWriteback,  ///< pipeline retired an instruction
+  kPipelineStall,   ///< decode stalled on a RAW hazard (forwarding off)
+  kPipelineFlush,   ///< decode squashed a corrupted instruction
 };
 
 /// Every TraceEvent kind, for iteration (summaries, round-trip tests).
 /// Keep in sync with the enum; trace_event_name's no-default switch
 /// turns a forgotten case into a compile error.
-inline constexpr std::array<TraceEvent, 7> kAllTraceEvents = {
+inline constexpr std::array<TraceEvent, 13> kAllTraceEvents = {
     TraceEvent::kModeChange,      TraceEvent::kPacketStored,
     TraceEvent::kPacketForwarded, TraceEvent::kComputed,
     TraceEvent::kResultEmitted,   TraceEvent::kCellDisabled,
-    TraceEvent::kWordSalvaged};
+    TraceEvent::kWordSalvaged,    TraceEvent::kStageFetch,
+    TraceEvent::kStageDecode,     TraceEvent::kStageExecute,
+    TraceEvent::kStageWriteback,  TraceEvent::kPipelineStall,
+    TraceEvent::kPipelineFlush};
 
 /// Human-readable event name.
 std::string_view trace_event_name(TraceEvent e);

@@ -13,6 +13,7 @@
 
 #include "alu/alu_factory.hpp"
 #include "alu/cmos_core_alu.hpp"
+#include "cell/processor_cell.hpp"
 #include "coding/hamming.hpp"
 #include "coding/hsiao.hpp"
 #include "coding/majority.hpp"
@@ -30,6 +31,7 @@
 #include "obs/json.hpp"
 #include "sim/trial_engine.hpp"
 #include "simd/simd_dispatch.hpp"
+#include "workload/instruction_stream.hpp"
 
 namespace nbx::check {
 namespace {
@@ -1582,6 +1584,388 @@ std::vector<DecodeCase> shrink_decode_case(const DecodeCase& c) {
   return out;
 }
 
+// ------------------------------------------- pipeline-differential
+
+constexpr const char* kPipelineName = "pipeline-differential";
+
+/// A generated cell program checked against the pipelined cell's own
+/// architectural contracts. Mode "program" drives the 4-deep
+/// CellPipeline: under zero faults every instruction must retire, in
+/// program order, with the fault-free reference value; flipping
+/// forwarding must change timing only (never a retired value, never
+/// making the forwarded run slower); and a faulted run replayed after
+/// reset() must be bit-identical, counters included. Mode "legacy"
+/// drives the full ProcessorCell flit/mode machinery: a zero-fault cell
+/// must round-trip every instruction packet to a result packet carrying
+/// golden_alu, and two identically-configured faulted cells fed the same
+/// flits must emit identical packets.
+struct PipelineCase {
+  std::string mode;  // legacy | program
+  std::string alu;   // execute-stage ALU (program mode only)
+  std::size_t length = 1;
+  std::uint64_t seed = 0;
+  std::size_t registers = 8;
+  bool forwarding = true;
+  double fetch_percent = 0.0;
+  double decode_percent = 0.0;
+  double execute_percent = 0.0;
+  double writeback_percent = 0.0;
+};
+
+PipelineCase generate_pipeline_case(Gen& g) {
+  PipelineCase c;
+  c.mode = g.pick({std::string("legacy"), std::string("program")});
+  const std::vector<AluSpec>& specs = all_specs();
+  c.alu = specs[g.below(specs.size())].name;
+  // Legacy programs must fit the cell's 32-word memory in one shift-in.
+  c.length = g.length(1, c.mode == "legacy" ? 16 : 48);
+  c.seed = g.u64();
+  c.registers = static_cast<std::size_t>(g.in_range(2, 8));
+  c.forwarding = g.boolean();
+  const auto rate = [&g]() -> double {
+    return kPercentPool[g.below(kPercentPool.size())];
+  };
+  if (g.boolean(0.7)) {
+    c.fetch_percent = rate();
+    c.decode_percent = rate();
+    c.execute_percent = rate();
+    c.writeback_percent = rate();
+  }
+  return c;
+}
+
+std::string pipeline_case_json(const PipelineCase& c) {
+  std::ostringstream os;
+  os << "{\"family\": \"" << kPipelineName << "\", \"mode\": \"" << c.mode
+     << "\", \"alu\": \"" << json_escape(c.alu)
+     << "\", \"length\": " << c.length << ", \"seed\": " << c.seed
+     << ", \"registers\": " << c.registers << ", \"forwarding\": "
+     << (c.forwarding ? "true" : "false")
+     << ", \"fetch_percent\": " << json_double(c.fetch_percent)
+     << ", \"decode_percent\": " << json_double(c.decode_percent)
+     << ", \"execute_percent\": " << json_double(c.execute_percent)
+     << ", \"writeback_percent\": " << json_double(c.writeback_percent)
+     << "}";
+  return os.str();
+}
+
+std::optional<PipelineCase> pipeline_case_from_json(const JsonValue& doc) {
+  if (!family_matches(doc, kPipelineName)) {
+    return std::nullopt;
+  }
+  const JsonValue* mode = require(doc, "mode", JsonValue::Kind::kString);
+  const JsonValue* alu = require(doc, "alu", JsonValue::Kind::kString);
+  const JsonValue* length = require(doc, "length", JsonValue::Kind::kNumber);
+  const JsonValue* seed = require(doc, "seed", JsonValue::Kind::kNumber);
+  const JsonValue* registers =
+      require(doc, "registers", JsonValue::Kind::kNumber);
+  const JsonValue* forwarding = doc.find("forwarding");
+  const JsonValue* fp =
+      require(doc, "fetch_percent", JsonValue::Kind::kNumber);
+  const JsonValue* dp =
+      require(doc, "decode_percent", JsonValue::Kind::kNumber);
+  const JsonValue* ep =
+      require(doc, "execute_percent", JsonValue::Kind::kNumber);
+  const JsonValue* wp =
+      require(doc, "writeback_percent", JsonValue::Kind::kNumber);
+  if (mode == nullptr || alu == nullptr || length == nullptr ||
+      seed == nullptr || registers == nullptr || forwarding == nullptr ||
+      forwarding->kind() != JsonValue::Kind::kBool || fp == nullptr ||
+      dp == nullptr || ep == nullptr || wp == nullptr) {
+    return std::nullopt;
+  }
+  PipelineCase c;
+  c.mode = mode->as_string();
+  c.alu = alu->as_string();
+  c.length = static_cast<std::size_t>(length->as_u64().value_or(1));
+  c.seed = seed->as_u64().value_or(0);
+  c.registers = static_cast<std::size_t>(registers->as_u64().value_or(8));
+  c.forwarding = forwarding->as_bool();
+  c.fetch_percent = fp->as_double().value_or(0.0);
+  c.decode_percent = dp->as_double().value_or(0.0);
+  c.execute_percent = ep->as_double().value_or(0.0);
+  c.writeback_percent = wp->as_double().value_or(0.0);
+  return c;
+}
+
+/// The generated NBXS program of a pipeline case — a pure function of
+/// the case seed, so replayed cases rebuild it exactly.
+std::vector<Instruction> pipeline_case_program(const PipelineCase& c) {
+  Rng rng(derive_seed({c.seed, fnv1a64("pipeline-case-program")}));
+  return random_stream(c.length, rng);
+}
+
+std::optional<std::string> retired_mismatch(
+    const std::vector<RetiredOp>& base, const std::vector<RetiredOp>& got,
+    const char* variant) {
+  if (got.size() != base.size()) {
+    return std::string(variant) + " retired " + std::to_string(got.size()) +
+           " instructions, baseline " + std::to_string(base.size());
+  }
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (got[i].index != base[i].index ||
+        got[i].instr_id != base[i].instr_id ||
+        got[i].value != base[i].value) {
+      std::ostringstream os;
+      os << variant << " diverges at retirement " << i << ": (index "
+         << got[i].index << ", id " << got[i].instr_id << ", value "
+         << int{got[i].value} << ") != baseline (index " << base[i].index
+         << ", id " << base[i].instr_id << ", value "
+         << int{base[i].value} << ")";
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> run_program_pipeline_case(const PipelineCase& c) {
+  const std::vector<Instruction> program = pipeline_case_program(c);
+
+  PipelineConfig ideal;
+  ideal.registers = c.registers;
+  ideal.forwarding = c.forwarding;
+  ideal.execute_alu = c.alu;
+  ideal.seed = c.seed;
+  CellPipeline pipe(ideal, CellId{1, 2});
+  if (!pipe.load(program)) {
+    return "invalid case: unknown execute alu '" + c.alu + "'";
+  }
+  const PipelineRunResult res = pipe.run();
+  std::ostringstream os;
+  os << "program[" << program.size() << "] alu=" << c.alu << " regs="
+     << c.registers << (c.forwarding ? " fwd" : " no-fwd") << ": ";
+  if (!res.completed) {
+    os << "zero-fault run hit the cycle bound with work in flight";
+    return os.str();
+  }
+  const std::vector<std::uint8_t> ref =
+      CellPipeline::reference_results(program, c.registers);
+  if (pipe.retired().size() != program.size()) {
+    os << "zero-fault run retired " << pipe.retired().size() << " of "
+       << program.size() << " instructions";
+    return os.str();
+  }
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const RetiredOp& r = pipe.retired()[i];
+    if (r.index != i || r.value != ref[i]) {
+      os << "zero-fault retirement " << i << " is (index " << r.index
+         << ", value " << int{r.value} << "), reference (index " << i
+         << ", value " << int{ref[i]} << ")";
+      return os.str();
+    }
+  }
+  if (res.correct != program.size() || res.percent_correct != 100.0) {
+    os << "zero-fault scoring counted " << res.correct << "/"
+       << program.size() << " correct";
+    return os.str();
+  }
+
+  // Forwarding is a timing optimisation only: flipping it must not move
+  // any retired value, and the forwarded schedule never runs slower.
+  PipelineConfig flipped = ideal;
+  flipped.forwarding = !ideal.forwarding;
+  CellPipeline other(flipped, CellId{1, 2});
+  if (!other.load(program)) {
+    return "invalid case: unknown execute alu '" + c.alu + "'";
+  }
+  (void)other.run();
+  if (std::optional<std::string> msg = retired_mismatch(
+          pipe.retired(), other.retired(), "forwarding-flipped")) {
+    os << *msg;
+    return os.str();
+  }
+  const std::uint64_t fwd_cycles =
+      ideal.forwarding ? pipe.counters().cycles : other.counters().cycles;
+  const std::uint64_t stall_cycles =
+      ideal.forwarding ? other.counters().cycles : pipe.counters().cycles;
+  if (fwd_cycles > stall_cycles) {
+    os << "forwarding ran " << fwd_cycles << " cycles, stalling only "
+       << stall_cycles;
+    return os.str();
+  }
+
+  // Faulted determinism: reset() re-arms the per-stage RNG streams, so
+  // an identical re-run must be bit-identical — retired list, per-stage
+  // fault counters, everything.
+  PipelineConfig faulted = ideal;
+  faulted.fetch.fault_percent = c.fetch_percent;
+  faulted.decode.fault_percent = c.decode_percent;
+  faulted.execute.fault_percent = c.execute_percent;
+  faulted.writeback.fault_percent = c.writeback_percent;
+  CellPipeline noisy(faulted, CellId{1, 2});
+  if (!noisy.load(program)) {
+    return "invalid case: unknown execute alu '" + c.alu + "'";
+  }
+  (void)noisy.run();
+  const std::vector<RetiredOp> first = noisy.retired();
+  const obs::PipelineCounters counters = noisy.counters();
+  noisy.reset();
+  (void)noisy.run();
+  if (std::optional<std::string> msg = retired_mismatch(
+          first, noisy.retired(), "faulted-replay")) {
+    os << *msg;
+    return os.str();
+  }
+  if (!(noisy.counters() == counters)) {
+    os << "faulted replay moved the pipeline counters";
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+/// Shift-in → compute → shift-out round trip of one legacy cell:
+/// returns the result packets it emits toward the control processor.
+std::vector<Packet> run_legacy_cell(const CellConfig& cfg,
+                                    const std::vector<Instruction>& program) {
+  ProcessorCell cell(CellId{0, 0}, cfg);
+  cell.set_mode(CellMode::kShiftIn);
+  for (const Instruction& in : program) {
+    Packet p;
+    p.kind = PacketKind::kInstruction;
+    p.dest = CellId{0, 0};
+    p.instr_id = in.id;
+    p.op = in.op;
+    p.operand1 = in.a;
+    p.operand2 = in.b;
+    for (std::uint8_t f : encode_packet_flits(p)) {
+      cell.receive_flit(Port::kTop, f);
+      cell.step();
+    }
+  }
+  cell.set_mode(CellMode::kCompute);
+  for (std::size_t i = 0; i < cell.memory().capacity() + 8; ++i) {
+    cell.step();
+  }
+  cell.set_mode(CellMode::kShiftOut);
+  PacketAssembler rx;
+  std::vector<Packet> results;
+  const std::size_t budget = (program.size() + 2) * (kPacketFlits + 2);
+  for (std::size_t i = 0; i < budget; ++i) {
+    cell.step();
+    if (const std::optional<std::uint8_t> f = cell.pop_output(Port::kTop)) {
+      if (const std::optional<Packet> p = rx.push(*f)) {
+        results.push_back(*p);
+      }
+    }
+  }
+  return results;
+}
+
+std::optional<std::string> run_legacy_pipeline_case(const PipelineCase& c) {
+  const std::vector<Instruction> program = pipeline_case_program(c);
+
+  // Zero faults: every instruction packet round-trips to a result packet
+  // carrying the behavioural golden, in storage order.
+  CellConfig ideal;
+  ideal.seed = c.seed;
+  const std::vector<Packet> clean = run_legacy_cell(ideal, program);
+  std::ostringstream os;
+  os << "legacy[" << program.size() << "]: ";
+  if (clean.size() != program.size()) {
+    os << "zero-fault cell emitted " << clean.size() << " results for "
+       << program.size() << " instructions";
+    return os.str();
+  }
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const Instruction& in = program[i];
+    const Packet& out = clean[i];
+    if (out.kind != PacketKind::kResult || out.instr_id != in.id ||
+        out.result != golden_alu(in.op, in.a, in.b)) {
+      os << "instr " << i << " (" << opcode_name(in.op) << " " << int{in.a}
+         << ", " << int{in.b} << "): result packet (id " << out.instr_id
+         << ", value " << int{out.result} << ") != golden (id " << in.id
+         << ", value " << int{golden_alu(in.op, in.a, in.b)} << ")";
+      return os.str();
+    }
+  }
+
+  // Faulted determinism: two identically-configured cells fed the same
+  // flits must emit identical packets — the degenerate 1-deep pipeline
+  // draws its fault masks from the cell seed alone.
+  CellConfig faulted = ideal;
+  faulted.alu_fault_percent = c.execute_percent;
+  faulted.memory_upsets_per_cycle = c.fetch_percent / 100.0;
+  const std::vector<Packet> a = run_legacy_cell(faulted, program);
+  const std::vector<Packet> b = run_legacy_cell(faulted, program);
+  if (a.size() != b.size()) {
+    os << "faulted twin cells emitted " << a.size() << " vs " << b.size()
+       << " packets";
+    return os.str();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) {
+      os << "faulted twin cells diverge at packet " << i << " (id "
+         << a[i].instr_id << " vs " << b[i].instr_id << ", value "
+         << int{a[i].result} << " vs " << int{b[i].result} << ")";
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> run_pipeline_case(const PipelineCase& c) {
+  if (c.length < 1 || (c.mode == "legacy" && c.length > 16) ||
+      c.length > 4096) {
+    return "invalid case: length out of range for mode '" + c.mode + "'";
+  }
+  if (c.registers < 2 || c.registers > 8) {
+    return "invalid case: registers out of [2, 8]";
+  }
+  const double rates[] = {c.fetch_percent, c.decode_percent,
+                          c.execute_percent, c.writeback_percent};
+  for (const double r : rates) {
+    if (!(r >= 0.0) || r > 100.0) {
+      return "invalid case: stage percent out of [0, 100]";
+    }
+  }
+  if (c.mode == "program") {
+    return run_program_pipeline_case(c);
+  }
+  if (c.mode == "legacy") {
+    return run_legacy_pipeline_case(c);
+  }
+  return "invalid case: unknown mode '" + c.mode + "'";
+}
+
+std::vector<PipelineCase> shrink_pipeline_case(const PipelineCase& c) {
+  std::vector<PipelineCase> out;
+  if (c.length > 1) {
+    PipelineCase s = c;
+    s.length = c.length / 2;
+    out.push_back(std::move(s));
+    PipelineCase one = c;
+    one.length = 1;
+    out.push_back(std::move(one));
+  }
+  const auto zero = [&out, &c](double PipelineCase::* field) {
+    if (c.*field != 0.0) {
+      PipelineCase s = c;
+      s.*field = 0.0;
+      out.push_back(std::move(s));
+    }
+  };
+  zero(&PipelineCase::fetch_percent);
+  zero(&PipelineCase::decode_percent);
+  zero(&PipelineCase::execute_percent);
+  zero(&PipelineCase::writeback_percent);
+  if (!c.forwarding) {
+    PipelineCase s = c;
+    s.forwarding = true;
+    out.push_back(std::move(s));
+  }
+  if (c.registers != 8) {
+    PipelineCase s = c;
+    s.registers = 8;
+    out.push_back(std::move(s));
+  }
+  if (c.alu != "aluns") {
+    PipelineCase s = c;
+    s.alu = "aluns";
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 }  // namespace
 
 Property engine_differential_property() {
@@ -1639,11 +2023,23 @@ Property decode_t_error_property() {
   return Property::make(std::move(def));
 }
 
+Property pipeline_differential_property() {
+  PropertyDef<PipelineCase> def;
+  def.name = kPipelineName;
+  def.generate = generate_pipeline_case;
+  def.run = run_pipeline_case;
+  def.shrink = shrink_pipeline_case;
+  def.to_json = pipeline_case_json;
+  def.from_json = pipeline_case_from_json;
+  return Property::make(std::move(def));
+}
+
 std::vector<Property> oracle_properties() {
   std::vector<Property> out;
   out.push_back(engine_differential_property());
   out.push_back(simd_differential_property());
   out.push_back(scenario_differential_property());
+  out.push_back(pipeline_differential_property());
   out.push_back(alu_vs_cmos_property());
   out.push_back(decode_t_error_property());
   return out;
@@ -1667,6 +2063,9 @@ std::size_t default_smoke_cases(std::string_view property_name) {
   }
   if (property_name == kScenarioName) {
     return 12;
+  }
+  if (property_name == kPipelineName) {
+    return 16;
   }
   if (property_name == kAluName) {
     return 80;

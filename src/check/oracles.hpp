@@ -2,7 +2,7 @@
 //
 // The paper's argument is statistical, so the statistics machinery gets
 // the strongest oracle treatment we can afford: rather than pinning a
-// handful of hand-picked goldens, five families of *generated* cases
+// handful of hand-picked goldens, six families of *generated* cases
 // cross-examine independent implementations of the same contract:
 //
 //   engine-differential — a generated SweepSpec (ALU, percents, trials,
@@ -32,6 +32,18 @@
 //       twin Rng); remap plans injective and never reading a
 //       known-defective site when feasible.
 //
+//   pipeline-differential — a generated NBXS program through the
+//       pipelined cell. Mode "program": under zero faults the 4-deep
+//       CellPipeline must retire every instruction in order with the
+//       architectural reference value, flipping forwarding must change
+//       timing only (and never make forwarding slower), and a faulted
+//       run replayed after reset() must be bit-identical, per-stage
+//       counters included. Mode "legacy": the ProcessorCell's
+//       shift-in/compute/shift-out machinery must round-trip every
+//       instruction packet to a golden_alu result packet under zero
+//       faults, and identically-seeded faulted twin cells must emit
+//       identical packets.
+//
 //   alu-vs-cmos — generated (op, a, b) instruction streams under zero
 //       faults: every catalogued ALU, the gate-level CMOS reference
 //       netlist, and the behavioural golden_alu must all agree, and the
@@ -59,6 +71,7 @@ namespace nbx::check {
 Property engine_differential_property();
 Property simd_differential_property();
 Property scenario_differential_property();
+Property pipeline_differential_property();
 Property alu_vs_cmos_property();
 Property decode_t_error_property();
 

@@ -42,9 +42,13 @@ struct GridTrialBackend {
     if (spec.condemn_infeasible_remaps) {
       out.cells_condemned = condemn_infeasible(grid, spec.min_live_cells);
     }
-    ControlProcessor cp(grid, spec.cp_seed);
-    out.output = cp.run_image_op(spec.image, spec.op, spec.options,
-                                 &out.report);
+    if (!spec.program.empty()) {
+      run_program_trial(spec, grid, out);
+    } else {
+      ControlProcessor cp(grid, spec.cp_seed);
+      out.output = cp.run_image_op(spec.image, spec.op, spec.options,
+                                   &out.report);
+    }
     out.alive_map = grid_alive_map(grid);
     out.control_corrupted = 0;
     for (ProcessorCell* c : grid.all_cells()) {
@@ -56,6 +60,36 @@ struct GridTrialBackend {
       const std::lock_guard<std::mutex> lock(progress_mu);
       progress->tick();
     }
+  }
+
+  /// Program-driven trial: every live cell loads the NBXS stream into
+  /// its 4-deep pipeline and runs it; per-stage counters sum across the
+  /// grid and percent-correct is scored against the architectural
+  /// reference, pooled over all (cell, instruction) pairs. Each cell's
+  /// pipeline seeds from (cell seed, pipeline seed, cell id), so the
+  /// trial stays a pure function of its spec.
+  static void run_program_trial(const GridTrialSpec& spec,
+                                NanoBoxGrid& grid, GridTrialResult& out) {
+    out.program_mode = true;
+    std::size_t total = 0;
+    std::size_t correct = 0;
+    for (ProcessorCell* c : grid.all_cells()) {
+      if (!c->alive()) {
+        continue;
+      }
+      if (!c->load_program(spec.program)) {
+        continue;  // unknown execute ALU: config error surfaces as 0 cells
+      }
+      const PipelineRunResult r = c->run_program(spec.program_max_cycles);
+      ++out.program_cells;
+      out.pipeline += c->pipeline()->counters();
+      total += r.program_length;
+      correct += r.correct;
+    }
+    out.pipeline_percent_correct =
+        total == 0 ? 100.0
+                   : 100.0 * static_cast<double>(correct) /
+                         static_cast<double>(total);
   }
 
   /// Pre-run salvage: force-fail (router surviving) cells whose remap

@@ -17,9 +17,11 @@
 #include <vector>
 
 #include "grid/control_processor.hpp"
+#include "obs/counters.hpp"
 #include "obs/progress.hpp"
 #include "sim/trial_engine.hpp"
 #include "workload/image_ops.hpp"
+#include "workload/instruction_stream.hpp"
 
 namespace nbx {
 
@@ -46,6 +48,15 @@ struct GridTrialSpec {
   /// the workload still fits).
   bool condemn_infeasible_remaps = false;
   std::size_t min_live_cells = 1;
+  /// Program-driven trial: when non-empty the image workload is skipped
+  /// and every live cell instead loads this NBXS stream into its 4-deep
+  /// program pipeline (CellConfig::pipeline) and runs it to completion.
+  /// The result aggregates per-stage pipeline counters and the fraction
+  /// of retired instructions matching the architectural reference.
+  std::vector<Instruction> program;
+  /// Cycle budget per cell for the program run (0 = CellPipeline's
+  /// default of 2 * program length + 16).
+  std::size_t program_max_cycles = 0;
 };
 
 /// Outcome of one grid trial.
@@ -63,6 +74,13 @@ struct GridTrialResult {
   std::uint64_t effective_defects = 0;
   /// Cells condemned before the run by condemn_infeasible_remaps.
   std::size_t cells_condemned = 0;
+  /// Program-mode results (spec.program non-empty): pipeline counters
+  /// summed over all live cells, and the percent of retired instructions
+  /// whose values match the fault-free architectural reference.
+  bool program_mode = false;
+  obs::PipelineCounters pipeline;
+  double pipeline_percent_correct = 100.0;
+  std::size_t program_cells = 0;  ///< live cells that ran the program
 };
 
 /// Row-major alive map of a grid, '#' = alive, 'x' = disabled — the

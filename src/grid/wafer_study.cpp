@@ -38,6 +38,8 @@ WaferStudy run_wafer_study(const TrialEngine& engine, const WaferSpec& spec,
     t.options = spec.options;
     t.condemn_infeasible_remaps = spec.condemn_infeasible;
     t.min_live_cells = min_live;
+    t.program = spec.program;
+    t.program_max_cycles = spec.program_max_cycles;
     trials.push_back(std::move(t));
   }
 
@@ -53,7 +55,8 @@ WaferStudy run_wafer_study(const TrialEngine& engine, const WaferSpec& spec,
   double sum_disabled = 0.0;
   for (const GridTrialResult& r : results) {
     WaferOutcome o;
-    o.percent_correct = r.report.percent_correct;
+    o.percent_correct =
+        r.program_mode ? r.pipeline_percent_correct : r.report.percent_correct;
     o.manufactured_defects = r.manufactured_defects;
     o.effective_defects = r.effective_defects;
     o.cells_condemned = r.cells_condemned;

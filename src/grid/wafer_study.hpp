@@ -46,6 +46,12 @@ struct WaferSpec {
   /// (GridTrialSpec.condemn_infeasible_remaps).
   bool condemn_infeasible = false;
   GridRunOptions options;  ///< cycle budgets / watchdog, shared by wafers
+  /// Program-driven wafers (GridTrialSpec.program): when non-empty each
+  /// wafer's live cells run this NBXS stream through their pipelines
+  /// instead of the image workload, and outcomes score the pipeline's
+  /// percent-correct against the architectural reference.
+  std::vector<Instruction> program;
+  std::size_t program_max_cycles = 0;
 };
 
 /// One manufactured wafer's outcome.

@@ -198,4 +198,73 @@ void write_counters_json(std::ostream& os, const Counters& c);
 /// Convenience: write_counters_json into a string.
 std::string counters_json(const Counters& c);
 
+// ----------------------------------------------------------------------
+// Pipelined-cell anatomy (src/cell/pipeline). A separate top-level
+// counter set rather than a Counters member: the ALU-sweep anatomy JSON
+// and its differential tests are pinned, and pipeline events only exist
+// where a cell runs a program.
+
+/// Stage index space of the cell pipeline, in program order
+/// (fetch=0, decode=1, execute=2, writeback=3 — cell/pipeline/
+/// pipeline_config.hpp owns the enum; obs stays cell-agnostic).
+inline constexpr std::size_t kPipelineStageCount = 4;
+
+/// Stable stage name for index `i` ("fetch", "decode", "execute",
+/// "writeback") used as JSON keys and metric labels.
+std::string_view pipeline_stage_label(std::size_t i);
+
+/// Per-stage tallies.
+struct PipelineStageCounters {
+  std::uint64_t ops = 0;         // instructions that used the stage
+  std::uint64_t bit_faults = 0;  // injected flips seen at the stage
+                                 // (transient + defect-forced)
+
+  PipelineStageCounters& operator+=(const PipelineStageCounters& o) {
+    ops += o.ops;
+    bit_faults += o.bit_faults;
+    return *this;
+  }
+  friend bool operator==(const PipelineStageCounters&,
+                         const PipelineStageCounters&) = default;
+};
+
+/// Anatomy of one pipelined program run (merge runs with +=).
+struct PipelineCounters {
+  std::uint64_t cycles = 0;
+  std::uint64_t retired = 0;   // instructions that committed a result
+  std::uint64_t stalls = 0;    // decode held for a RAW hazard
+  std::uint64_t bubbles = 0;   // empty execute slots
+  std::uint64_t forwards = 0;  // EX/WB value forwarded to decode
+  std::uint64_t flushes = 0;   // instructions squashed on misdecode
+  std::array<PipelineStageCounters, kPipelineStageCount> stage{};
+
+  PipelineStageCounters& at(std::size_t i) { return stage[i]; }
+  const PipelineStageCounters& at(std::size_t i) const { return stage[i]; }
+
+  PipelineCounters& operator+=(const PipelineCounters& o) {
+    cycles += o.cycles;
+    retired += o.retired;
+    stalls += o.stalls;
+    bubbles += o.bubbles;
+    forwards += o.forwards;
+    flushes += o.flushes;
+    for (std::size_t i = 0; i < kPipelineStageCount; ++i) {
+      stage[i] += o.stage[i];
+    }
+    return *this;
+  }
+  friend bool operator==(const PipelineCounters&,
+                         const PipelineCounters&) = default;
+
+  void reset() { *this = PipelineCounters{}; }
+};
+
+/// Writes one PipelineCounters as a single-line JSON object:
+/// {"cycles":...,"retired":...,...,"stage":{"fetch":{...},...}}.
+void write_pipeline_counters_json(std::ostream& os,
+                                  const PipelineCounters& c);
+
+/// Convenience: write_pipeline_counters_json into a string.
+std::string pipeline_counters_json(const PipelineCounters& c);
+
 }  // namespace nbx::obs

@@ -28,7 +28,7 @@ struct SweepRecord {
   std::vector<DataPoint> points;
   /// Optional fault anatomy, parallel to `points` (index i holds the
   /// aggregated counters behind points[i], as produced by
-  /// run_sweep_anatomy). Leave empty to omit the per-point "metrics"
+  /// TrialEngine::sweep_anatomy). Leave empty to omit the per-point "metrics"
   /// block from the JSON.
   std::vector<obs::Counters> point_metrics;
 };

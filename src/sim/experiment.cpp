@@ -1,96 +1,9 @@
-// The TU that owns the deprecated run_* shims: each forwards to a
-// TrialEngine built from its arguments. Kept for source compatibility;
-// see sim/trial_engine.hpp for the engine itself.
-#define NBX_ALLOW_ENGINE_SHIMS
+// Manufacturing-defect experiments (sim/experiment.hpp).
 #include "sim/experiment.hpp"
 
-#include "common/batch_bitvec.hpp"
 #include "fault/defect_map.hpp"
 
 namespace nbx {
-
-namespace {
-
-SweepSpec make_spec(std::vector<double> percents, int trials_per_workload,
-                    std::uint64_t seed, FaultCountPolicy policy,
-                    InjectionScope scope, std::size_t datapath_sites,
-                    std::size_t burst_length) {
-  SweepSpec spec;
-  spec.percents = std::move(percents);
-  spec.trials_per_workload = trials_per_workload;
-  spec.seed = seed;
-  spec.policy = policy;
-  spec.scope = scope;
-  spec.datapath_sites = datapath_sites;
-  spec.burst_length = burst_length;
-  return spec;
-}
-
-}  // namespace
-
-DataPoint run_data_point(
-    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
-    double fault_percent, int trials_per_workload, std::uint64_t seed,
-    FaultCountPolicy policy, InjectionScope scope,
-    std::size_t datapath_sites, std::size_t burst_length,
-    const ParallelConfig& par) {
-  return TrialEngine(par).point(
-      alu, streams,
-      make_spec({fault_percent}, trials_per_workload, seed, policy, scope,
-                datapath_sites, burst_length));
-}
-
-DataPoint run_data_point_batched(
-    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
-    double fault_percent, int trials_per_workload, std::uint64_t seed,
-    FaultCountPolicy policy, InjectionScope scope,
-    std::size_t datapath_sites, std::size_t burst_length,
-    const ParallelConfig& par) {
-  ParallelConfig batched = par;
-  if (batched.batch_lanes == 0) {
-    // The historical full-batch default: one 64-lane word per group
-    // (kMaxBatchLanes now means 512; the shim keeps its old behavior).
-    batched.batch_lanes = kLanesPerWord;
-  }
-  return TrialEngine(batched).point(
-      alu, streams,
-      make_spec({fault_percent}, trials_per_workload, seed, policy, scope,
-                datapath_sites, burst_length));
-}
-
-std::vector<DataPoint> run_sweep(
-    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
-    const std::vector<double>& percents, int trials_per_workload,
-    std::uint64_t seed, FaultCountPolicy policy, InjectionScope scope,
-    std::size_t datapath_sites, const ParallelConfig& par) {
-  return TrialEngine(par).sweep(
-      alu, streams,
-      make_spec(percents, trials_per_workload, seed, policy, scope,
-                datapath_sites, /*burst_length=*/1));
-}
-
-SweepAnatomy run_sweep_anatomy(
-    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
-    const std::vector<double>& percents, int trials_per_workload,
-    std::uint64_t seed, FaultCountPolicy policy, InjectionScope scope,
-    std::size_t datapath_sites, const ParallelConfig& par) {
-  return TrialEngine(par).sweep_anatomy(
-      alu, streams,
-      make_spec(percents, trials_per_workload, seed, policy, scope,
-                datapath_sites, /*burst_length=*/1));
-}
-
-AnatomyPoint run_data_point_anatomy(
-    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
-    double fault_percent, int trials_per_workload, std::uint64_t seed,
-    FaultCountPolicy policy, InjectionScope scope,
-    std::size_t datapath_sites, std::size_t burst_length,
-    const ParallelConfig& par) {
-  return TrialEngine(par).point_anatomy(
-      alu, streams,
-      make_spec({fault_percent}, trials_per_workload, seed, policy, scope,
-                datapath_sites, burst_length));
-}
 
 TrialResult run_defect_trial(const IAlu& alu,
                              const std::vector<Instruction>& stream,

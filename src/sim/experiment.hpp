@@ -7,11 +7,8 @@
 // of the two workloads (ten samples). A *sweep* evaluates an ALU at the
 // paper's eighteen fault percentages.
 //
-// The execution core lives in sim/trial_engine.hpp (TrialEngine); the
-// run_data_point*/run_sweep* free functions below are source-compat
-// shims that forward to an engine built from their arguments. They are
-// deprecated: new call sites should construct a TrialEngine (and a
-// SweepSpec) directly —
+// The execution core lives in sim/trial_engine.hpp (TrialEngine): build
+// an engine and a SweepSpec directly —
 //
 //   TrialEngine engine(par);
 //   auto points = engine.sweep(alu, streams,
@@ -21,79 +18,13 @@
 //
 // which gives sweeps and points the full composition (threads x lanes x
 // anatomy x profiler x progress) without a per-variant entry point.
-// Defining NBX_ALLOW_ENGINE_SHIMS before including this header (done by
-// the shim TU and the differential tests) suppresses the deprecation.
+// (The historical run_data_point*/run_sweep* forwarding shims are gone;
+// this header now holds only the manufacturing-defect experiments.)
 #pragma once
 
 #include "sim/trial_engine.hpp"
 
-#if defined(NBX_ALLOW_ENGINE_SHIMS)
-#define NBX_ENGINE_SHIM
-#else
-#define NBX_ENGINE_SHIM                                                     \
-  [[deprecated("forwarding shim: use nbx::TrialEngine "                     \
-               "(sim/trial_engine.hpp) instead")]]
-#endif
-
 namespace nbx {
-
-/// Computes one data point the paper's way: for each workload, run
-/// `trials_per_workload` independently seeded trials; average all samples.
-NBX_ENGINE_SHIM DataPoint run_data_point(
-    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
-    double fault_percent, int trials_per_workload, std::uint64_t seed,
-    FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
-    InjectionScope scope = InjectionScope::kAll,
-    std::size_t datapath_sites = 0, std::size_t burst_length = 1,
-    const ParallelConfig& par = {});
-
-/// run_data_point via the bit-parallel batched engine: identical
-/// signature and bit-identical output, with trials packed 64 (or
-/// par.batch_lanes, if nonzero) to a lane group. run_data_point itself
-/// also takes the batched path whenever par.batch_lanes >= 1.
-NBX_ENGINE_SHIM DataPoint run_data_point_batched(
-    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
-    double fault_percent, int trials_per_workload, std::uint64_t seed,
-    FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
-    InjectionScope scope = InjectionScope::kAll,
-    std::size_t datapath_sites = 0, std::size_t burst_length = 1,
-    const ParallelConfig& par = {});
-
-/// A full sweep of one ALU across fault percentages. With par.threads
-/// != 1 every (percent, workload, trial) cell of the sweep runs
-/// concurrently; the output is bit-identical to the serial path.
-NBX_ENGINE_SHIM std::vector<DataPoint> run_sweep(
-    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
-    const std::vector<double>& percents, int trials_per_workload,
-    std::uint64_t seed,
-    FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
-    InjectionScope scope = InjectionScope::kAll,
-    std::size_t datapath_sites = 0,
-    const ParallelConfig& par = {});
-
-/// run_sweep with the anatomy sink attached to every trial. The points
-/// are bit-identical to run_sweep's (accounting is passive), and the
-/// counters themselves are bit-identical across threads and batch_lanes:
-/// they are pure integer sums over a fixed trial population, merged in
-/// deterministic per-percent order.
-NBX_ENGINE_SHIM SweepAnatomy run_sweep_anatomy(
-    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
-    const std::vector<double>& percents, int trials_per_workload,
-    std::uint64_t seed,
-    FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
-    InjectionScope scope = InjectionScope::kAll,
-    std::size_t datapath_sites = 0,
-    const ParallelConfig& par = {});
-
-/// run_data_point with the anatomy sink attached (same determinism
-/// contract as run_sweep_anatomy).
-NBX_ENGINE_SHIM AnatomyPoint run_data_point_anatomy(
-    const IAlu& alu, const std::vector<std::vector<Instruction>>& streams,
-    double fault_percent, int trials_per_workload, std::uint64_t seed,
-    FaultCountPolicy policy = FaultCountPolicy::kRoundNearest,
-    InjectionScope scope = InjectionScope::kAll,
-    std::size_t datapath_sites = 0, std::size_t burst_length = 1,
-    const ParallelConfig& par = {});
 
 // ---------------------------------------------------------------------
 // Manufacturing-defect experiments (extension; the paper motivates
@@ -126,5 +57,3 @@ DataPoint run_defect_point(const IAlu& alu,
                            std::uint64_t seed);
 
 }  // namespace nbx
-
-#undef NBX_ENGINE_SHIM

@@ -25,9 +25,6 @@
 // bit-identical. The single-ALU sweep backends (scalar and batched) live
 // behind sweep()/point(); system-level grid simulation reuses the same
 // engine through grid/grid_trials.hpp.
-//
-// The historical run_data_point*/run_sweep* free functions are
-// deprecated shims over this class (sim/experiment.hpp).
 #pragma once
 
 #include <concepts>

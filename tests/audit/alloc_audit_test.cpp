@@ -23,8 +23,10 @@
 #include <new>
 
 #include "alu/alu_factory.hpp"
+#include "cell/processor_cell.hpp"
 #include "obs/metrics.hpp"
 #include "sim/trial_engine.hpp"
+#include "workload/instruction_stream.hpp"
 
 // GCC pattern-matches std::free against the replaced operator new and
 // reports a mismatched pair; the pairing is correct by construction in
@@ -168,6 +170,96 @@ TEST(AllocAudit, AttachedRegistrySteadyStateAllocationIsTrialInvariant) {
   EXPECT_EQ(short_run, long_run)
       << "attached-registry runs allocated " << long_run << " vs "
       << short_run << " — some metric allocation scales with trials";
+}
+
+// Drives one full shift-in / compute / shift-out round: the instruction
+// packet arrives flit-by-flit on the top bus, the cell scans its memory
+// and computes the stored word, then emits the result packet, which the
+// harness drains from every port. Exactly the grid's per-cell cadence.
+void drive_cell_round(ProcessorCell& cell,
+                      const std::array<std::uint8_t, kPacketFlits>& flits) {
+  cell.set_mode(CellMode::kShiftIn);
+  for (std::uint8_t f : flits) {
+    cell.receive_flit(Port::kTop, f);
+    cell.step();
+  }
+  cell.set_mode(CellMode::kCompute);
+  for (int i = 0; i < 40; ++i) {
+    cell.step();
+  }
+  cell.set_mode(CellMode::kShiftOut);
+  for (int i = 0; i < 24; ++i) {
+    cell.step();
+    for (std::size_t p = 0; p < kPortCount; ++p) {
+      while (cell.pop_output(static_cast<Port>(p)).has_value()) {
+      }
+    }
+  }
+}
+
+TEST(AllocAudit, CellStepSteadyStateAllocatesNothing) {
+  // The cycle-level cell model must be heap-silent once warm: flits move
+  // through fixed FlitRings, packets encode via encode_packet_flits, the
+  // assembler buffer and every fault-mask scratch are sized on first
+  // use. Warm-up runs two full rounds (first sizes the buffers, second
+  // proves the sizing is stable), then an identical third round must
+  // allocate exactly zero times.
+  CellConfig cfg;
+  cfg.alu_fault_percent = 2.0;  // mask generation live in the window
+  ProcessorCell cell(CellId{0, 0}, cfg);
+  Packet p;
+  p.kind = PacketKind::kInstruction;
+  p.dest = CellId{0, 0};
+  p.instr_id = 7;
+  p.op = Opcode::kXor;
+  p.operand1 = 0x5A;
+  p.operand2 = 0xF0;
+  const auto flits = encode_packet_flits(p);
+  drive_cell_round(cell, flits);
+  drive_cell_round(cell, flits);
+  const std::uint64_t before =
+      g_allocations.load(std::memory_order_relaxed);
+  drive_cell_round(cell, flits);
+  const std::uint64_t after =
+      g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "a warm shift-in/compute/shift-out round allocated "
+      << (after - before) << " times";
+  // The measured round did real work: stored, computed and emitted.
+  EXPECT_EQ(cell.stats().results_emitted, 3u);
+  EXPECT_EQ(cell.stats().instructions_computed, 3u);
+}
+
+TEST(AllocAudit, PipelinedCellCycleLoopAllocatesNothing) {
+  // The 4-deep program pipeline's clock is the same story: store fabric,
+  // per-stage mask scratch and the retired-op vector are all sized by
+  // load() plus one warm run; reset() re-arms without freeing, and the
+  // re-seeded second run is bit-identical to the first, so its retired
+  // list fits the warmed capacity exactly.
+  PipelineConfig cfg;
+  cfg.fetch.fault_percent = 1.0;
+  cfg.decode.fault_percent = 0.5;
+  cfg.execute.fault_percent = 2.0;
+  cfg.writeback.fault_percent = 0.5;
+  CellPipeline pipe(cfg, CellId{1, 2});
+  Rng rng(20260808);
+  const std::vector<Instruction> program = random_stream(48, rng);
+  ASSERT_TRUE(pipe.load(program));
+  const auto spin = [&pipe] {
+    pipe.reset();
+    while (pipe.cycle()) {
+    }
+  };
+  spin();  // warm-up
+  const std::uint64_t before =
+      g_allocations.load(std::memory_order_relaxed);
+  spin();
+  const std::uint64_t after =
+      g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "a warm pipeline run allocated " << (after - before) << " times";
+  EXPECT_FALSE(pipe.retired().empty());
+  EXPECT_GT(pipe.counters().cycles, program.size());
 }
 
 TEST(AllocAudit, CountingAllocatorIsLive) {

@@ -1,0 +1,116 @@
+// flit_ring_test.cpp — the bounded per-port flit queue (flit_ring.hpp).
+//
+// FlitRing replaced the cell's std::deque so the steady-state step is
+// allocation-free (tests/audit/alloc_audit_test.cpp). These tests pin
+// the FIFO semantics the cell relies on: strict ordering, capacity as a
+// hard drop boundary (overflow is a modelled fault, not UB), clear()
+// re-arming, and index wraparound across many fill/drain rounds.
+#include "cell/flit_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cell/packet.hpp"
+#include "cell/processor_cell.hpp"
+
+namespace nbx {
+namespace {
+
+TEST(FlitRingTest, StartsEmpty) {
+  FlitRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.full());
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(FlitRingTest, FifoOrder) {
+  FlitRing ring;
+  for (std::uint8_t f = 0; f < 10; ++f) {
+    EXPECT_TRUE(ring.push_back(f));
+  }
+  EXPECT_EQ(ring.size(), 10u);
+  for (std::uint8_t f = 0; f < 10; ++f) {
+    EXPECT_EQ(ring.front(), f);
+    ring.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(FlitRingTest, PushIntoFullRingDropsAndReportsIt) {
+  FlitRing ring;
+  for (std::size_t i = 0; i < FlitRing::kCapacity; ++i) {
+    EXPECT_TRUE(ring.push_back(static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_TRUE(ring.full());
+  EXPECT_FALSE(ring.push_back(0xEE));
+  EXPECT_EQ(ring.size(), FlitRing::kCapacity);
+  // The stored contents are untouched by the rejected push.
+  EXPECT_EQ(ring.front(), 0u);
+}
+
+TEST(FlitRingTest, ClearReArmsTheRing) {
+  FlitRing ring;
+  for (std::size_t i = 0; i < FlitRing::kCapacity; ++i) {
+    (void)ring.push_back(0x11);
+  }
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(ring.push_back(0x22));
+  EXPECT_EQ(ring.front(), 0x22);
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(FlitRingTest, WrapsAroundAcrossManyRounds) {
+  // Push/pop in unequal bursts so head_ crosses the array boundary many
+  // times; the byte sequence must come out exactly as it went in.
+  FlitRing ring;
+  std::vector<std::uint8_t> sent;
+  std::vector<std::uint8_t> received;
+  std::uint8_t next = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 7; ++i) {
+      if (ring.push_back(next)) {
+        sent.push_back(next);
+      }
+      ++next;
+    }
+    for (int i = 0; i < 5 && !ring.empty(); ++i) {
+      received.push_back(ring.front());
+      ring.pop_front();
+    }
+  }
+  while (!ring.empty()) {
+    received.push_back(ring.front());
+    ring.pop_front();
+  }
+  EXPECT_EQ(received, sent);
+}
+
+TEST(FlitRingTest, CapacityHoldsSixPackets) {
+  // The sizing contract from the header: at least six 10-flit packets.
+  static_assert(FlitRing::kCapacity >= 6 * kPacketFlits);
+  SUCCEED();
+}
+
+TEST(FlitRingTest, CellCountsOverflowDrops) {
+  // End to end: a bus spraying flits faster than the cell drains them
+  // hits the ring boundary, and the cell reports every dropped flit in
+  // stats().dropped_ring_overflow instead of growing a queue.
+  ProcessorCell cell(CellId{0, 0}, CellConfig{});
+  const std::size_t burst = FlitRing::kCapacity + 17;
+  for (std::size_t i = 0; i < burst; ++i) {
+    cell.receive_flit(Port::kLeft, 0x00);  // never a start marker
+  }
+  EXPECT_EQ(cell.stats().dropped_ring_overflow,
+            burst - FlitRing::kCapacity);
+  // Draining via step() frees slots for new traffic.
+  cell.step();
+  cell.receive_flit(Port::kLeft, 0x00);
+  EXPECT_EQ(cell.stats().dropped_ring_overflow,
+            burst - FlitRing::kCapacity);
+}
+
+}  // namespace
+}  // namespace nbx

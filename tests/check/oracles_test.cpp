@@ -41,6 +41,10 @@ TEST(OracleSmoke, ScenarioDifferentialHolds) {
   run_family_clean(scenario_differential_property());
 }
 
+TEST(OracleSmoke, PipelineDifferentialHolds) {
+  run_family_clean(pipeline_differential_property());
+}
+
 TEST(OracleSmoke, AluVsCmosHolds) { run_family_clean(alu_vs_cmos_property()); }
 
 TEST(OracleSmoke, DecodeTErrorHolds) {
@@ -63,7 +67,7 @@ TEST(OracleRegistry, NamesResolveAndAreUnique) {
     names.push_back(p.name());
     EXPECT_TRUE(oracle_property_by_name(p.name()).has_value()) << p.name();
   }
-  EXPECT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.size(), 6u);
   for (std::size_t i = 0; i < names.size(); ++i) {
     for (std::size_t j = i + 1; j < names.size(); ++j) {
       EXPECT_NE(names[i], names[j]);
@@ -100,6 +104,16 @@ TEST(OracleReplay, KnownGoodCasesReplayAsPasses) {
        R"( "percents": [2], "trials": 1, "seed": 7, "policy": "round",)"
        R"( "burst_length": 1, "scope": "all", "datapath_sites": 0,)"
        R"( "lanes": 3, "threads": 2})"},
+      {"pipeline-differential",
+       R"({"family": "pipeline-differential", "mode": "program",)"
+       R"( "alu": "aluns", "length": 12, "seed": 11, "registers": 4,)"
+       R"( "forwarding": false, "fetch_percent": 2, "decode_percent": 0,)"
+       R"( "execute_percent": 5, "writeback_percent": 0.5})"},
+      {"pipeline-differential",
+       R"({"family": "pipeline-differential", "mode": "legacy",)"
+       R"( "alu": "aluns", "length": 6, "seed": 3, "registers": 8,)"
+       R"( "forwarding": true, "fetch_percent": 0, "decode_percent": 0,)"
+       R"( "execute_percent": 2, "writeback_percent": 0})"},
   };
   for (const auto& c : cases) {
     const std::optional<Property> p = oracle_property_by_name(c.property);

@@ -154,6 +154,44 @@ inline constexpr std::size_t kMultiCellTmrSweepSize = 3;
 /// Every cell of the 2x2 grid survives at every swept rate.
 inline constexpr const char* kMultiCellAliveMap = "####";
 
+// --------------------------------------------- pipelined-cell goldens
+
+/// The RAW hazard chain program (tests/cell/pipeline_test.cpp): four
+/// instructions where each of the last three reads the register its
+/// predecessor writes (distance-1 RAW). Forwarding resolves all three
+/// hazards for free; stalling pays one cycle each. Both schedules must
+/// retire the same values — ff, 3c, ff, 00.
+struct PipelineRawGolden {
+  bool forwarding;
+  std::uint64_t cycles;
+  std::uint64_t stalls;
+  std::uint64_t bubbles;
+  std::uint64_t forwards;
+  const char* retired_values;  ///< hex bytes in retirement order
+};
+
+inline constexpr PipelineRawGolden kPipelineRawForwarding = {
+    true, 7, 0, 0, 3, "ff-3c-ff-00"};
+inline constexpr PipelineRawGolden kPipelineRawStalling = {
+    false, 10, 3, 3, 0, "ff-3c-ff-00"};
+
+/// One pinned faulted pipeline run guarding the per-stage RNG streams:
+/// 32 random instructions (stream seed 2026), UNCODED instruction store
+/// at 5% fetch faults, default pipeline seed, cell (1,1). Any reordering
+/// of the stage draw sequence moves these numbers.
+struct PipelineFaultedGolden {
+  double fetch_percent;
+  std::size_t retired;
+  std::size_t correct;
+  std::uint64_t flushes;
+  std::uint64_t cycles;
+  std::uint64_t fetch_bit_faults;
+  double percent_correct;
+};
+
+inline constexpr PipelineFaultedGolden kPipelineFetch5PctUncoded = {
+    5.0, 27, 7, 5, 35, 64, 21.875};
+
 // ------------------------------------------------------- registry view
 
 /// One registry entry rendered for the schema test: a stable name and a
@@ -226,6 +264,23 @@ inline std::vector<Entry> all_entries() {
                    dbl(kMultiCellTmrSweep[i].percent_correct)});
   }
   out.push_back({"grid_sweep.alive_map", kMultiCellAliveMap});
+  const auto raw = [&](const PipelineRawGolden& p) {
+    std::ostringstream os;
+    os << (p.forwarding ? "fwd" : "stall") << ": " << p.cycles << "/"
+       << p.stalls << "/" << p.bubbles << "/" << p.forwards << "/"
+       << p.retired_values;
+    return os.str();
+  };
+  out.push_back({"pipeline.raw_forwarding", raw(kPipelineRawForwarding)});
+  out.push_back({"pipeline.raw_stalling", raw(kPipelineRawStalling)});
+  {
+    const PipelineFaultedGolden& p = kPipelineFetch5PctUncoded;
+    std::ostringstream os;
+    os << "fetch@" << dbl(p.fetch_percent) << "pct/none: " << p.retired
+       << "/" << p.correct << "/" << p.flushes << "/" << p.cycles << "/"
+       << p.fetch_bit_faults << "/" << dbl(p.percent_correct);
+    out.push_back({"pipeline.fetch_5pct_uncoded", os.str()});
+  }
   return out;
 }
 

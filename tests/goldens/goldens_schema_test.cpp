@@ -143,9 +143,11 @@ TEST(GoldensSchema, RegistryFingerprintIsPinned) {
   // To update after an INTENTIONAL golden change: run this test, copy
   // the printed canonical form's hash, and record why in the PR.
   // Updated once when the fault-scenario layer pinned two NEW entries
-  // (point.aluss_wear_linear3x, wafer.tmr_2pct_density); every
-  // pre-existing entry was verified byte-identical.
-  EXPECT_EQ(fnv1a64(canonical), 16048837851692790952ULL)
+  // (point.aluss_wear_linear3x, wafer.tmr_2pct_density), and once when
+  // the cell pipeline pinned three NEW entries (pipeline.raw_forwarding,
+  // pipeline.raw_stalling, pipeline.fetch_5pct_uncoded); every
+  // pre-existing entry was verified byte-identical both times.
+  EXPECT_EQ(fnv1a64(canonical), 13829800972187870810ULL)
       << "canonical form:\n"
       << canonical;
   // The run-provenance manifest advertises the same fingerprint in

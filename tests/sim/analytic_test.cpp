@@ -64,8 +64,9 @@ TEST(Analytic, FirstOrderTracksSimulationForUncodedAlu) {
   const auto streams = paper_streams();
   for (const double pct : {0.5, 1.0, 2.0, 3.0, 5.0}) {
     const double predicted = predict_first_order(*alu, streams[0], pct);
-    const DataPoint simulated =
-        run_data_point(*alu, streams, pct, 10, 99);
+    const DataPoint simulated = TrialEngine{}.point(
+        *alu, streams,
+        {.percents = {pct}, .trials_per_workload = 10, .seed = 99});
     EXPECT_NEAR(predicted, simulated.mean_percent_correct, 8.0)
         << "at " << pct << "%";
   }
@@ -76,8 +77,9 @@ TEST(Analytic, FirstOrderTracksSimulationForCmosAlu) {
   const auto streams = paper_streams();
   for (const double pct : {0.5, 1.0, 2.0}) {
     const double predicted = predict_first_order(*alu, streams[0], pct);
-    const DataPoint simulated =
-        run_data_point(*alu, streams, pct, 10, 99);
+    const DataPoint simulated = TrialEngine{}.point(
+        *alu, streams,
+        {.percents = {pct}, .trials_per_workload = 10, .seed = 99});
     EXPECT_NEAR(predicted, simulated.mean_percent_correct, 10.0)
         << "at " << pct << "%";
   }
@@ -91,8 +93,9 @@ TEST(Analytic, TmrPairModelTracksSimulation) {
     // matching what the simulated data point averages.
     const double predicted = 0.5 * (predict_tmr_stream(1536, streams[0], pct) +
                                     predict_tmr_stream(1536, streams[1], pct));
-    const DataPoint simulated =
-        run_data_point(*alu, streams, pct, 10, 99);
+    const DataPoint simulated = TrialEngine{}.point(
+        *alu, streams,
+        {.percents = {pct}, .trials_per_workload = 10, .seed = 99});
     EXPECT_NEAR(predicted, simulated.mean_percent_correct, 8.0)
         << "at " << pct << "%";
   }

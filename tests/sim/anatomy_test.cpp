@@ -14,9 +14,9 @@ obs::Counters anatomy_at(const std::string& alu_name, double percent,
                          int trials, const ParallelConfig& par) {
   const auto alu = make_alu(alu_name);
   const auto streams = paper_streams(2026);
-  const SweepAnatomy a = run_sweep_anatomy(
-      *alu, streams, {percent}, trials, 2026, FaultCountPolicy::kRoundNearest,
-      InjectionScope::kAll, 0, par);
+  const SweepAnatomy a = TrialEngine(par).sweep_anatomy(
+      *alu, streams,
+      {.percents = {percent}, .trials_per_workload = trials, .seed = 2026});
   return a.metrics.front();
 }
 
@@ -49,28 +49,34 @@ TEST(Anatomy, AttachingTheSinkNeverMovesTheGolden) {
   // the anatomy sink attached: accounting must be purely passive.
   const auto alu = make_alu("aluss");
   const auto streams = paper_streams(2026);
-  const AnatomyPoint with_sink =
-      run_data_point_anatomy(*alu, streams, 2.0, 5, 2026);
+  const AnatomyPoint with_sink = TrialEngine{}.point_anatomy(
+      *alu, streams,
+      {.percents = {2.0}, .trials_per_workload = 5, .seed = 2026});
   EXPECT_EQ(with_sink.point.samples, 10u);
   EXPECT_DOUBLE_EQ(with_sink.point.mean_percent_correct, 98.90625);
   EXPECT_DOUBLE_EQ(with_sink.point.stddev, 0.75475920553070042);
   EXPECT_DOUBLE_EQ(with_sink.point.ci95, 0.53988469906198522);
 
   // And the whole point must be bit-identical to the sink-free run.
-  const DataPoint bare = run_data_point(*alu, streams, 2.0, 5, 2026);
+  const DataPoint bare = TrialEngine{}.point(
+      *alu, streams,
+      {.percents = {2.0}, .trials_per_workload = 5, .seed = 2026});
   EXPECT_EQ(with_sink.point.mean_percent_correct, bare.mean_percent_correct);
   EXPECT_EQ(with_sink.point.stddev, bare.stddev);
   EXPECT_EQ(with_sink.point.ci95, bare.ci95);
 }
 
-TEST(Anatomy, SweepPointsMatchPlainRunSweep) {
+TEST(Anatomy, SweepAnatomyPointsMatchPlainSweep) {
   const auto alu = make_alu("aluts");
   const auto streams = paper_streams(2026);
   const std::vector<double> percents = {0.0, 2.0, 10.0};
-  const SweepAnatomy a =
-      run_sweep_anatomy(*alu, streams, percents, 2, 2026);
+  SweepSpec spec;
+  spec.percents = percents;
+  spec.trials_per_workload = 2;
+  spec.seed = 2026;
+  const SweepAnatomy a = TrialEngine{}.sweep_anatomy(*alu, streams, spec);
   const std::vector<DataPoint> plain =
-      run_sweep(*alu, streams, percents, 2, 2026);
+      TrialEngine{}.sweep(*alu, streams, spec);
   ASSERT_EQ(a.points.size(), plain.size());
   ASSERT_EQ(a.metrics.size(), plain.size());
   for (std::size_t i = 0; i < plain.size(); ++i) {

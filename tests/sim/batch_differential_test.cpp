@@ -1,7 +1,7 @@
 // batch_differential_test.cpp — the batched engine's lockdown: for every
 // Table-2 ALU, at several fault percentages, for lane counts 1, 7 and
-// 64, run_data_point_batched must reproduce the scalar run_data_point
-// BIT FOR BIT (mean, stddev, CI — all doubles exactly equal).
+// 64, the batched TrialEngine must reproduce the scalar engine BIT FOR
+// BIT (mean, stddev, CI — all doubles exactly equal).
 //
 // This is the PR's hard gate: the batched engine reuses the scalar
 // per-trial seeds verbatim and the shared mask-generation core consumes
@@ -34,6 +34,19 @@ class BatchDifferential : public ::testing::Test {
     return s;
   }
 
+  static DataPoint point_at(const IAlu& alu, const SweepSpec& spec,
+                            const ParallelConfig& par = {}) {
+    return TrialEngine(par).point(alu, streams(), spec);
+  }
+
+  static SweepSpec spec_at(double percent) {
+    SweepSpec spec;
+    spec.percents = {percent};
+    spec.trials_per_workload = kTrialsPerWorkload;
+    spec.seed = kSeed;
+    return spec;
+  }
+
   static void expect_identical(const DataPoint& scalar,
                                const DataPoint& batched,
                                const std::string& context) {
@@ -49,15 +62,12 @@ class BatchDifferential : public ::testing::Test {
     const auto alu = make_alu(name);
     ASSERT_NE(alu, nullptr) << name;
     for (const double percent : kPercents) {
-      const DataPoint scalar = run_data_point(
-          *alu, streams(), percent, kTrialsPerWorkload, kSeed);
+      const SweepSpec spec = spec_at(percent);
+      const DataPoint scalar = point_at(*alu, spec);
       for (const unsigned lanes : kLaneCounts) {
         ParallelConfig par;
         par.batch_lanes = lanes;
-        const DataPoint batched = run_data_point_batched(
-            *alu, streams(), percent, kTrialsPerWorkload, kSeed,
-            FaultCountPolicy::kRoundNearest, InjectionScope::kAll, 0, 1,
-            par);
+        const DataPoint batched = point_at(*alu, spec, par);
         expect_identical(scalar, batched,
                          name + " @ " + std::to_string(percent) + "% x " +
                              std::to_string(lanes) + " lanes");
@@ -87,14 +97,12 @@ TEST_F(BatchDifferential, TableTwoRowsAreExactlyTheTwelveTested) {
 TEST_F(BatchDifferential, BatchedComposesWithThreadPool) {
   // threads x batch_lanes together must still be bit-identical.
   const auto alu = make_alu("aluss");
-  const DataPoint scalar =
-      run_data_point(*alu, streams(), 2.0, kTrialsPerWorkload, kSeed);
+  const SweepSpec spec = spec_at(2.0);
+  const DataPoint scalar = point_at(*alu, spec);
   ParallelConfig par;
   par.threads = 4;
   par.batch_lanes = 7;
-  const DataPoint batched = run_data_point_batched(
-      *alu, streams(), 2.0, kTrialsPerWorkload, kSeed,
-      FaultCountPolicy::kRoundNearest, InjectionScope::kAll, 0, 1, par);
+  const DataPoint batched = point_at(*alu, spec, par);
   expect_identical(scalar, batched, "aluss threaded+batched");
 }
 
@@ -105,16 +113,13 @@ TEST_F(BatchDifferential, BatchedHonoursDatapathOnlyScope) {
   // Datapath = the three TMR-coded core passes; voter + storage spared.
   const std::size_t datapath = 3 * make_alu("aluns")->fault_sites();
   ASSERT_LT(datapath, alu->fault_sites());
-  const DataPoint scalar = run_data_point(
-      *alu, streams(), 5.0, kTrialsPerWorkload, kSeed,
-      FaultCountPolicy::kRoundNearest, InjectionScope::kDatapathOnly,
-      datapath);
+  SweepSpec spec = spec_at(5.0);
+  spec.scope = InjectionScope::kDatapathOnly;
+  spec.datapath_sites = datapath;
+  const DataPoint scalar = point_at(*alu, spec);
   ParallelConfig par;
   par.batch_lanes = 64;
-  const DataPoint batched = run_data_point_batched(
-      *alu, streams(), 5.0, kTrialsPerWorkload, kSeed,
-      FaultCountPolicy::kRoundNearest, InjectionScope::kDatapathOnly,
-      datapath, 1, par);
+  const DataPoint batched = point_at(*alu, spec, par);
   expect_identical(scalar, batched, "aluts datapath-only");
 }
 
@@ -125,14 +130,13 @@ TEST_F(BatchDifferential, BatchedHonoursAlternativePolicies) {
         FaultCountPolicy::kBurst}) {
     const std::size_t burst =
         policy == FaultCountPolicy::kBurst ? 4 : 1;
-    const DataPoint scalar =
-        run_data_point(*alu, streams(), 3.0, kTrialsPerWorkload, kSeed,
-                       policy, InjectionScope::kAll, 0, burst);
+    SweepSpec spec = spec_at(3.0);
+    spec.policy = policy;
+    spec.burst_length = burst;
+    const DataPoint scalar = point_at(*alu, spec);
     ParallelConfig par;
     par.batch_lanes = 64;
-    const DataPoint batched = run_data_point_batched(
-        *alu, streams(), 3.0, kTrialsPerWorkload, kSeed, policy,
-        InjectionScope::kAll, 0, burst, par);
+    const DataPoint batched = point_at(*alu, spec, par);
     expect_identical(scalar, batched,
                      "alunh policy " +
                          std::to_string(static_cast<int>(policy)));

@@ -37,8 +37,10 @@ TEST(Experiment, DataPointAveragesTenSamples) {
   // 5 trials x 2 workloads = 10 samples per plotted point (§4/§5).
   const auto alu = make_alu("alunn");
   const auto streams = paper_streams();
-  const DataPoint p = run_data_point(*alu, streams, 1.0,
-                                     kPaperTrialsPerWorkload, 42);
+  const DataPoint p = TrialEngine{}.point(
+      *alu, streams,
+      {.percents = {1.0}, .trials_per_workload = kPaperTrialsPerWorkload,
+       .seed = 42});
   EXPECT_EQ(p.samples, 10u);
   EXPECT_EQ(p.alu, "alunn");
   EXPECT_EQ(p.fault_percent, 1.0);
@@ -49,21 +51,27 @@ TEST(Experiment, DataPointAveragesTenSamples) {
 TEST(Experiment, DataPointCarriesConfidenceInterval) {
   const auto alu = make_alu("alunn");
   const auto streams = paper_streams();
-  const DataPoint p = run_data_point(*alu, streams, 3.0, 5, 42);
+  const DataPoint p = TrialEngine{}.point(
+      *alu, streams,
+      {.percents = {3.0}, .trials_per_workload = 5, .seed = 42});
   // 10 noisy samples: the CI half-width is positive and consistent with
   // the reported stddev (t_{9} = 2.262).
   EXPECT_GT(p.stddev, 0.0);
   EXPECT_NEAR(p.ci95, 2.262 * p.stddev / std::sqrt(10.0), 1e-9);
   // A zero-fault point has zero spread and zero CI.
-  const DataPoint clean = run_data_point(*alu, streams, 0.0, 5, 42);
+  const DataPoint clean = TrialEngine{}.point(
+      *alu, streams,
+      {.percents = {0.0}, .trials_per_workload = 5, .seed = 42});
   EXPECT_EQ(clean.ci95, 0.0);
 }
 
 TEST(Experiment, DataPointsAreDeterministic) {
   const auto alu = make_alu("aluns");
   const auto streams = paper_streams();
-  const DataPoint a = run_data_point(*alu, streams, 3.0, 5, 7);
-  const DataPoint b = run_data_point(*alu, streams, 3.0, 5, 7);
+  const SweepSpec spec{
+      .percents = {3.0}, .trials_per_workload = 5, .seed = 7};
+  const DataPoint a = TrialEngine{}.point(*alu, streams, spec);
+  const DataPoint b = TrialEngine{}.point(*alu, streams, spec);
   EXPECT_EQ(a.mean_percent_correct, b.mean_percent_correct);
   EXPECT_EQ(a.stddev, b.stddev);
 }
@@ -72,7 +80,9 @@ TEST(Experiment, SweepProducesOnePointPerPercent) {
   const auto alu = make_alu("alunn");
   const auto streams = paper_streams();
   const std::vector<double> percents = {0.0, 1.0, 10.0};
-  const auto points = run_sweep(*alu, streams, percents, 2, 1);
+  const auto points = TrialEngine{}.sweep(
+      *alu, streams,
+      {.percents = percents, .trials_per_workload = 2, .seed = 1});
   ASSERT_EQ(points.size(), 3u);
   EXPECT_EQ(points[0].fault_percent, 0.0);
   EXPECT_DOUBLE_EQ(points[0].mean_percent_correct, 100.0);
@@ -96,13 +106,14 @@ TEST(Experiment, DatapathOnlyScopeSparesTheVoter) {
   const auto alu = make_alu("alusn");
   const auto streams = paper_streams();
   const std::size_t datapath = 3 * 512;
-  const DataPoint full = run_data_point(*alu, streams, 8.0, 5, 3,
-                                        FaultCountPolicy::kRoundNearest,
-                                        InjectionScope::kAll);
-  const DataPoint spared = run_data_point(*alu, streams, 8.0, 5, 3,
-                                          FaultCountPolicy::kRoundNearest,
-                                          InjectionScope::kDatapathOnly,
-                                          datapath);
+  SweepSpec spec;
+  spec.percents = {8.0};
+  spec.trials_per_workload = 5;
+  spec.seed = 3;
+  const DataPoint full = TrialEngine{}.point(*alu, streams, spec);
+  spec.scope = InjectionScope::kDatapathOnly;
+  spec.datapath_sites = datapath;
+  const DataPoint spared = TrialEngine{}.point(*alu, streams, spec);
   EXPECT_GE(spared.mean_percent_correct, full.mean_percent_correct - 3.0);
 }
 

@@ -1,6 +1,6 @@
 // parallel_determinism_test.cpp — the lockdown for the parallel sweep
-// engine: whatever the thread count or chunking, run_sweep and
-// run_data_point must produce bit-identical DataPoints to the serial
+// engine: whatever the thread count or chunking, TrialEngine::sweep and
+// TrialEngine::point must produce bit-identical DataPoints to the serial
 // path. Any change that threads RNG state between trials, reorders the
 // statistics fold, or races on shared buffers fails here.
 #include <gtest/gtest.h>
@@ -35,13 +35,12 @@ TEST(ParallelDeterminism, SweepIsThreadCountInvariant) {
   const std::vector<double> percents = smoke_sweep();
   for (const char* name : {"alunn", "aluss"}) {
     const auto alu = make_alu(name);
-    const auto serial = run_sweep(*alu, streams, percents, 3, 99);
+    const SweepSpec spec{
+        .percents = percents, .trials_per_workload = 3, .seed = 99};
+    const auto serial = TrialEngine{}.sweep(*alu, streams, spec);
     for (const unsigned threads : {1u, 2u, 8u}) {
       const ParallelConfig par{threads, 0};
-      const auto parallel =
-          run_sweep(*alu, streams, percents, 3, 99,
-                    FaultCountPolicy::kRoundNearest, InjectionScope::kAll,
-                    0, par);
+      const auto parallel = TrialEngine{par}.sweep(*alu, streams, spec);
       expect_identical(serial, parallel,
                        std::string(name) + " @ " +
                            std::to_string(threads) + " threads");
@@ -53,13 +52,12 @@ TEST(ParallelDeterminism, ChunkingDoesNotChangeResults) {
   const auto alu = make_alu("aluns");
   const auto streams = paper_streams();
   const std::vector<double> percents = {1.0, 5.0};
-  const auto serial = run_sweep(*alu, streams, percents, 4, 7);
+  const SweepSpec spec{
+      .percents = percents, .trials_per_workload = 4, .seed = 7};
+  const auto serial = TrialEngine{}.sweep(*alu, streams, spec);
   for (const std::size_t chunk : {1u, 3u, 100u}) {
     const ParallelConfig par{4, chunk};
-    const auto parallel =
-        run_sweep(*alu, streams, percents, 4, 7,
-                  FaultCountPolicy::kRoundNearest, InjectionScope::kAll, 0,
-                  par);
+    const auto parallel = TrialEngine{par}.sweep(*alu, streams, spec);
     expect_identical(serial, parallel,
                      "chunk " + std::to_string(chunk));
   }
@@ -68,12 +66,11 @@ TEST(ParallelDeterminism, ChunkingDoesNotChangeResults) {
 TEST(ParallelDeterminism, DataPointMatchesSerial) {
   const auto alu = make_alu("alunh");
   const auto streams = paper_streams();
-  const DataPoint serial = run_data_point(*alu, streams, 3.0, 5, 42);
+  const SweepSpec spec{
+      .percents = {3.0}, .trials_per_workload = 5, .seed = 42};
+  const DataPoint serial = TrialEngine{}.point(*alu, streams, spec);
   const ParallelConfig par{8, 1};
-  const DataPoint parallel =
-      run_data_point(*alu, streams, 3.0, 5, 42,
-                     FaultCountPolicy::kRoundNearest, InjectionScope::kAll,
-                     0, 1, par);
+  const DataPoint parallel = TrialEngine{par}.point(*alu, streams, spec);
   EXPECT_EQ(serial.mean_percent_correct, parallel.mean_percent_correct);
   EXPECT_EQ(serial.stddev, parallel.stddev);
   EXPECT_EQ(serial.ci95, parallel.ci95);
@@ -87,10 +84,13 @@ TEST(ParallelDeterminism, SweepPointEqualsStandaloneDataPoint) {
   const auto alu = make_alu("alunn");
   const auto streams = paper_streams();
   const std::vector<double> percents = {0.0, 2.0, 10.0};
-  const auto sweep = run_sweep(*alu, streams, percents, 3, 11);
+  const auto sweep = TrialEngine{}.sweep(
+      *alu, streams,
+      {.percents = percents, .trials_per_workload = 3, .seed = 11});
   for (std::size_t i = 0; i < percents.size(); ++i) {
-    const DataPoint alone =
-        run_data_point(*alu, streams, percents[i], 3, 11);
+    const DataPoint alone = TrialEngine{}.point(
+        *alu, streams,
+        {.percents = {percents[i]}, .trials_per_workload = 3, .seed = 11});
     EXPECT_EQ(sweep[i].mean_percent_correct, alone.mean_percent_correct)
         << percents[i];
     EXPECT_EQ(sweep[i].stddev, alone.stddev) << percents[i];

@@ -41,8 +41,10 @@ TEST(SeedGolden, DeriveSeedChainIsPinned) {
 TEST(SeedGolden, AlussAtTwoPercentUnderSeed2026) {
   const auto alu = make_alu(kRef.alu);
   const auto streams = paper_streams(kRef.seed);
-  const DataPoint p = run_data_point(*alu, streams, kRef.fault_percent,
-                                     kRef.trials_per_workload, kRef.seed);
+  const DataPoint p = TrialEngine{}.point(
+      *alu, streams,
+      {.percents = {kRef.fault_percent},
+       .trials_per_workload = kRef.trials_per_workload, .seed = kRef.seed});
   EXPECT_EQ(p.samples, kRef.samples);
   EXPECT_DOUBLE_EQ(p.mean_percent_correct, kRef.mean_percent_correct);
   EXPECT_DOUBLE_EQ(p.stddev, kRef.stddev);
@@ -54,11 +56,10 @@ TEST(SeedGolden, ParallelPathReproducesTheGoldenPoint) {
   // serial fold.
   const auto alu = make_alu(kRef.alu);
   const auto streams = paper_streams(kRef.seed);
-  const DataPoint p =
-      run_data_point(*alu, streams, kRef.fault_percent,
-                     kRef.trials_per_workload, kRef.seed,
-                     FaultCountPolicy::kRoundNearest, InjectionScope::kAll,
-                     0, 1, ParallelConfig{4, 0});
+  const DataPoint p = TrialEngine{ParallelConfig{4, 0}}.point(
+      *alu, streams,
+      {.percents = {kRef.fault_percent},
+       .trials_per_workload = kRef.trials_per_workload, .seed = kRef.seed});
   EXPECT_DOUBLE_EQ(p.mean_percent_correct, kRef.mean_percent_correct);
   EXPECT_DOUBLE_EQ(p.stddev, kRef.stddev);
 }
@@ -71,11 +72,10 @@ TEST(SeedGolden, BatchedEngineReproducesTheGoldenPoint) {
   const auto streams = paper_streams(kRef.seed);
   ParallelConfig par;
   par.batch_lanes = 64;
-  const DataPoint p =
-      run_data_point_batched(*alu, streams, kRef.fault_percent,
-                             kRef.trials_per_workload, kRef.seed,
-                             FaultCountPolicy::kRoundNearest,
-                             InjectionScope::kAll, 0, 1, par);
+  const DataPoint p = TrialEngine{par}.point(
+      *alu, streams,
+      {.percents = {kRef.fault_percent},
+       .trials_per_workload = kRef.trials_per_workload, .seed = kRef.seed});
   EXPECT_EQ(p.samples, kRef.samples);
   EXPECT_EQ(p.mean_percent_correct, kRef.mean_percent_correct);
   EXPECT_EQ(p.stddev, kRef.stddev);

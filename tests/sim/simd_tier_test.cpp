@@ -67,10 +67,10 @@ void expect_golden_at_lanes(unsigned lanes) {
   const auto streams = paper_streams(kRef.seed);
   ParallelConfig par;
   par.batch_lanes = lanes;
-  const DataPoint p = run_data_point_batched(
-      *alu, streams, kRef.fault_percent, kRef.trials_per_workload,
-      kRef.seed, FaultCountPolicy::kRoundNearest, InjectionScope::kAll, 0,
-      1, par);
+  const DataPoint p = TrialEngine{par}.point(
+      *alu, streams,
+      {.percents = {kRef.fault_percent},
+       .trials_per_workload = kRef.trials_per_workload, .seed = kRef.seed});
   // EXPECT_EQ, not DOUBLE_EQ: bit-identical is the contract.
   EXPECT_EQ(p.samples, kRef.samples) << "lanes=" << lanes;
   EXPECT_EQ(p.mean_percent_correct, kRef.mean_percent_correct)

@@ -2,14 +2,12 @@
 //
 // Two suites:
 //
-//   EngineShimDifferential — for every Table-2 ALU at several fault
+//   EngineDifferential — for every Table-2 ALU at several fault
 //   percentages, the engine must produce the same DataPoints BIT FOR
-//   BIT across every (threads x batch_lanes) composition, the anatomy
-//   counters must be equal across all of them, and every deprecated
-//   forwarding shim (run_data_point, run_data_point_batched, run_sweep,
-//   run_sweep_anatomy, run_data_point_anatomy) must reproduce the
-//   engine exactly. This is the refactor's hard gate: the shims are
-//   thin forwards, so any divergence is a real behaviour change.
+//   BIT across every (threads x batch_lanes) composition, and the
+//   anatomy counters must be equal across all of them. This is the
+//   refactor's hard gate: backend selection is an implementation
+//   detail, so any divergence is a real behaviour change.
 //
 //   TrialEngineSmoke — the fast cross-backend slice (scalar, batched,
 //   anatomy, grid, custom backend) registered as the `engine_smoke`
@@ -29,7 +27,7 @@
 namespace nbx {
 namespace {
 
-class EngineShimDifferential : public ::testing::Test {
+class EngineDifferential : public ::testing::Test {
  protected:
   static constexpr double kPercents[] = {0.5, 2.0, 10.0};
   static constexpr int kTrialsPerWorkload = 5;
@@ -93,42 +91,6 @@ class EngineShimDifferential : public ::testing::Test {
       }
     }
 
-    // Every deprecated shim must forward to the same numbers.
-    expect_matches_engine(ref,
-                          run_sweep(*alu, streams(), spec.percents,
-                                    kTrialsPerWorkload, kSeed),
-                          name + " run_sweep shim");
-    const SweepAnatomy shim_anatomy = run_sweep_anatomy(
-        *alu, streams(), spec.percents, kTrialsPerWorkload, kSeed);
-    expect_matches_engine(ref, shim_anatomy.points,
-                          name + " run_sweep_anatomy shim");
-    for (std::size_t i = 0; i < ref.metrics.size(); ++i) {
-      EXPECT_TRUE(shim_anatomy.metrics[i] == ref.metrics[i])
-          << name << " run_sweep_anatomy shim counters @ "
-          << spec.percents[i] << "%";
-    }
-    for (std::size_t i = 0; i < ref.points.size(); ++i) {
-      const double pct = spec.percents[i];
-      const std::string at = name + " @ " + std::to_string(pct) + "% ";
-      expect_identical(ref.points[i],
-                       run_data_point(*alu, streams(), pct,
-                                      kTrialsPerWorkload, kSeed),
-                       at + "run_data_point shim");
-      ParallelConfig par;
-      par.batch_lanes = 64;
-      expect_identical(ref.points[i],
-                       run_data_point_batched(
-                           *alu, streams(), pct, kTrialsPerWorkload, kSeed,
-                           FaultCountPolicy::kRoundNearest,
-                           InjectionScope::kAll, 0, 1, par),
-                       at + "run_data_point_batched shim");
-      const AnatomyPoint anat = run_data_point_anatomy(
-          *alu, streams(), pct, kTrialsPerWorkload, kSeed);
-      expect_identical(ref.points[i], anat.point,
-                       at + "run_data_point_anatomy shim");
-      EXPECT_TRUE(anat.counters == ref.metrics[i])
-          << at << "run_data_point_anatomy shim counters";
-    }
   }
 
   static void expect_matches_engine(const SweepAnatomy& ref,
@@ -142,45 +104,52 @@ class EngineShimDifferential : public ::testing::Test {
 };
 
 // One test per Table-2 row so a regression names the failing ALU.
-TEST_F(EngineShimDifferential, Aluncmos) { run_alu("aluncmos"); }
-TEST_F(EngineShimDifferential, Alunh) { run_alu("alunh"); }
-TEST_F(EngineShimDifferential, Alunn) { run_alu("alunn"); }
-TEST_F(EngineShimDifferential, Aluns) { run_alu("aluns"); }
-TEST_F(EngineShimDifferential, Aluscmos) { run_alu("aluscmos"); }
-TEST_F(EngineShimDifferential, Alush) { run_alu("alush"); }
-TEST_F(EngineShimDifferential, Alusn) { run_alu("alusn"); }
-TEST_F(EngineShimDifferential, Aluss) { run_alu("aluss"); }
-TEST_F(EngineShimDifferential, Alutcmos) { run_alu("alutcmos"); }
-TEST_F(EngineShimDifferential, Aluth) { run_alu("aluth"); }
-TEST_F(EngineShimDifferential, Alutn) { run_alu("alutn"); }
-TEST_F(EngineShimDifferential, Aluts) { run_alu("aluts"); }
+TEST_F(EngineDifferential, Aluncmos) { run_alu("aluncmos"); }
+TEST_F(EngineDifferential, Alunh) { run_alu("alunh"); }
+TEST_F(EngineDifferential, Alunn) { run_alu("alunn"); }
+TEST_F(EngineDifferential, Aluns) { run_alu("aluns"); }
+TEST_F(EngineDifferential, Aluscmos) { run_alu("aluscmos"); }
+TEST_F(EngineDifferential, Alush) { run_alu("alush"); }
+TEST_F(EngineDifferential, Alusn) { run_alu("alusn"); }
+TEST_F(EngineDifferential, Aluss) { run_alu("aluss"); }
+TEST_F(EngineDifferential, Alutcmos) { run_alu("alutcmos"); }
+TEST_F(EngineDifferential, Aluth) { run_alu("aluth"); }
+TEST_F(EngineDifferential, Alutn) { run_alu("alutn"); }
+TEST_F(EngineDifferential, Aluts) { run_alu("aluts"); }
 
-TEST_F(EngineShimDifferential, PointShimsHonourScopeAndPolicy) {
-  // The non-default knobs must travel through the shims unchanged.
+TEST_F(EngineDifferential, PointHonoursScopeAndPolicy) {
+  // The non-default knobs must change the outcome (they are live) and
+  // stay bit-identical between scalar and batched backends.
   const auto alu = make_alu("aluts");
   const std::size_t datapath = 3 * make_alu("aluns")->fault_sites();
   SweepSpec spec;
   spec.percents = {5.0};
   spec.trials_per_workload = kTrialsPerWorkload;
   spec.seed = kSeed;
+  const TrialEngine engine;
+  ParallelConfig par;
+  par.batch_lanes = 64;
+  const TrialEngine batched{par};
+  const DataPoint baseline = engine.point(*alu, streams(), spec);
+
   spec.scope = InjectionScope::kDatapathOnly;
   spec.datapath_sites = datapath;
-  const TrialEngine engine;
-  expect_identical(engine.point(*alu, streams(), spec),
-                   run_data_point(*alu, streams(), 5.0, kTrialsPerWorkload,
-                                  kSeed, FaultCountPolicy::kRoundNearest,
-                                  InjectionScope::kDatapathOnly, datapath),
-                   "aluts datapath-only shim");
+  const DataPoint datapath_only = engine.point(*alu, streams(), spec);
+  EXPECT_NE(baseline.mean_percent_correct,
+            datapath_only.mean_percent_correct)
+      << "datapath-only scope must move the numbers";
+  expect_identical(datapath_only, batched.point(*alu, streams(), spec),
+                   "aluts datapath-only scalar vs batched");
 
   spec.scope = InjectionScope::kAll;
   spec.datapath_sites = 0;
   spec.policy = FaultCountPolicy::kBurst;
   spec.burst_length = 4;
-  expect_identical(engine.point(*alu, streams(), spec),
-                   run_data_point(*alu, streams(), 5.0, kTrialsPerWorkload,
-                                  kSeed, FaultCountPolicy::kBurst,
-                                  InjectionScope::kAll, 0, 4),
-                   "aluts burst shim");
+  const DataPoint burst = engine.point(*alu, streams(), spec);
+  EXPECT_NE(baseline.mean_percent_correct, burst.mean_percent_correct)
+      << "burst policy must move the numbers";
+  expect_identical(burst, batched.point(*alu, streams(), spec),
+                   "aluts burst scalar vs batched");
 }
 
 // ---------------------------------------------------------------------
