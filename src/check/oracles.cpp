@@ -2042,6 +2042,7 @@ std::vector<Property> oracle_properties() {
   out.push_back(pipeline_differential_property());
   out.push_back(alu_vs_cmos_property());
   out.push_back(decode_t_error_property());
+  out.push_back(serve_differential_property());
   return out;
 }
 
@@ -2072,6 +2073,9 @@ std::size_t default_smoke_cases(std::string_view property_name) {
   }
   if (property_name == kDecodeName) {
     return 120;
+  }
+  if (property_name == "serve-differential") {
+    return 12;
   }
   return 50;
 }

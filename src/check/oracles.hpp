@@ -2,7 +2,7 @@
 //
 // The paper's argument is statistical, so the statistics machinery gets
 // the strongest oracle treatment we can afford: rather than pinning a
-// handful of hand-picked goldens, six families of *generated* cases
+// handful of hand-picked goldens, seven families of *generated* cases
 // cross-examine independent implementations of the same contract:
 //
 //   engine-differential — a generated SweepSpec (ALU, percents, trials,
@@ -49,6 +49,16 @@
 //       netlist, and the behavioural golden_alu must all agree, and the
 //       module layer must report no disagreement/invalid flags.
 //
+//   serve-differential — a generated SweepSpec rendered to the nbxd wire
+//       format and submitted to a live in-process SweepService (generated
+//       worker count and shard granularity) must return bytes identical
+//       to the canonical rendering of a direct scalar TrialEngine run
+//       (points AND anatomy counters); resubmitting must hit the
+//       content-addressed cache — identical bytes, exactly one computed
+//       job; and a truncated/bit-flipped/garbage copy of the payload must
+//       always yield a structured JSON response (truncation/garbage a
+//       status:"error" one), never a crash.
+//
 //   decode-t-error — generated codewords with generated <= t-error
 //       masks: hamming (t=1) and rs (one symbol) must restore the data
 //       exactly; hsiao must restore at t=1 and refuse to touch the word
@@ -74,6 +84,7 @@ Property scenario_differential_property();
 Property pipeline_differential_property();
 Property alu_vs_cmos_property();
 Property decode_t_error_property();
+Property serve_differential_property();
 
 /// The oracle families, in reporting order.
 std::vector<Property> oracle_properties();

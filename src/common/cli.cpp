@@ -107,4 +107,30 @@ std::vector<std::string> CliArgs::unknown_flags(
   return out;
 }
 
+std::string CliArgs::unknown_flag_message(
+    const std::vector<std::string>& known) const {
+  std::string out;
+  for (const std::string& f : unknown_flags(known)) {
+    if (!out.empty()) {
+      out += "; ";
+    }
+    out += "unknown flag '--" + f + "'";
+  }
+  return out;
+}
+
+std::string CliArgs::invalid_number_message(const std::string& name,
+                                            bool as_double) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return {};
+  }
+  const bool ok =
+      as_double ? get_double(name).has_value() : get_int(name).has_value();
+  if (ok) {
+    return {};
+  }
+  return "invalid value for --" + name + ": '" + it->second + "'";
+}
+
 }  // namespace nbx

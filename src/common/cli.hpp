@@ -58,6 +58,21 @@ class CliArgs {
   [[nodiscard]] std::vector<std::string> unknown_flags(
       const std::vector<std::string>& known) const;
 
+  /// The canonical exit-2 diagnostic for unknown flags: one
+  /// "unknown flag '--name'" clause per offender, "; "-joined. Empty
+  /// when every flag is known — callers print and exit 2 iff non-empty,
+  /// and the offending flag is always named.
+  [[nodiscard]] std::string unknown_flag_message(
+      const std::vector<std::string>& known) const;
+
+  /// The canonical exit-2 diagnostic for a present flag whose value is
+  /// not a number: "invalid value for --name: 'text'". Empty when the
+  /// flag is absent or its value parses as the requested type (int by
+  /// default, double with `as_double`). Catches the silent-fallback
+  /// trap where `--threads abc` used to behave like an absent flag.
+  [[nodiscard]] std::string invalid_number_message(
+      const std::string& name, bool as_double = false) const;
+
  private:
   std::string program_;
   std::map<std::string, std::string> flags_;  // name -> value ("" if bare)

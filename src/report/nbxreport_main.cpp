@@ -49,12 +49,11 @@ int main(int argc, char** argv) {
     std::cout << kUsage;
     return 0;
   }
-  const std::vector<std::string> unknown = cli.unknown_flags(
+  const std::string bad_flags = cli.unknown_flag_message(
       {"format", "out", "gate", "max-slowdown-pct", "allow-result-drift",
        "help"});
-  if (!unknown.empty()) {
-    std::cerr << "error: unknown flag --" << unknown.front() << "\n"
-              << kUsage;
+  if (!bad_flags.empty()) {
+    std::cerr << "error: " << bad_flags << "\n" << kUsage;
     return 2;
   }
   const std::vector<std::string>& files = cli.positional();

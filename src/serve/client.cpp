@@ -1,0 +1,126 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "serve/wire.hpp"
+
+namespace nbx::serve {
+
+namespace {
+
+bool set_error(std::string* error, const std::string& why) {
+  if (error != nullptr) {
+    *error = why;
+  }
+  return false;
+}
+
+bool write_all(int fd, const char* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a daemon that went away mid-request must surface as
+    // a failed request, not a SIGPIPE killing the whole client process.
+    const ssize_t w = send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_all(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = read(fd, buf + got, n - got);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+ServeClient::~ServeClient() { close(); }
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+bool ServeClient::connect(const std::string& socket_path,
+                          std::string* error) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return set_error(error, "socket path empty or too long for AF_UNIX");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return set_error(error, std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string why =
+        std::string("connect ") + socket_path + ": " + std::strerror(errno);
+    close();
+    return set_error(error, why);
+  }
+  return true;
+}
+
+void ServeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ServeClient::request(std::string_view payload, std::string& response,
+                          std::string* error) {
+  if (fd_ < 0) {
+    return set_error(error, "not connected");
+  }
+  char header[kFrameHeaderBytes];
+  encode_frame_header(header, static_cast<std::uint32_t>(payload.size()));
+  if (!write_all(fd_, header, kFrameHeaderBytes) ||
+      !write_all(fd_, payload.data(), payload.size())) {
+    return set_error(error, "short write (connection lost?)");
+  }
+  if (!read_all(fd_, header, kFrameHeaderBytes)) {
+    return set_error(error, "no response frame (connection closed)");
+  }
+  const std::uint32_t len = decode_frame_header(header);
+  if (len == 0 || len > kMaxFramePayload) {
+    return set_error(error, "response frame length out of range");
+  }
+  response.resize(len);
+  if (!read_all(fd_, response.data(), len)) {
+    return set_error(error, "truncated response frame");
+  }
+  return true;
+}
+
+}  // namespace nbx::serve

@@ -1,0 +1,37 @@
+// client.hpp — a minimal blocking nbxd client: one unix-socket
+// connection, sequential framed request/response. Used by the nbxq CLI,
+// the bench_serve load generator, the integration tests, and the soak
+// script's probe loop.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace nbx::serve {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+
+  /// Connects to the daemon's unix socket. False (with reason) on
+  /// failure.
+  bool connect(const std::string& socket_path, std::string* error = nullptr);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends one payload as a frame and reads exactly one response frame
+  /// into `response` (replaced). False on any transport error.
+  bool request(std::string_view payload, std::string& response,
+               std::string* error = nullptr);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace nbx::serve

@@ -1,0 +1,171 @@
+// nbxq — the nbxd query client.
+//
+// Builds one request (sweep by default; --ping / --stats for the other
+// kinds), sends it over the daemon's unix socket and prints the raw
+// response payload (one JSON object) to stdout. With --repeat N the
+// same sweep is sent N times and the responses are verified
+// byte-identical — a one-flag probe of the content-addressed cache.
+//
+// Exit codes: 0 response ok, 1 server said error/shed (or responses
+// diverged), 2 usage, 3 transport failure.
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "serve/client.hpp"
+#include "serve/wire.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> items;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      items.push_back(item);
+    }
+  }
+  return items;
+}
+
+constexpr const char kUsage[] =
+    "Usage: nbxq --socket PATH [flags]\n"
+    "  --socket PATH        daemon unix socket (required)\n"
+    "  --ping               liveness probe instead of a sweep\n"
+    "  --stats              service counters instead of a sweep\n"
+    "  --alu NAME           Table-2 ALU name (default aluss)\n"
+    "  --percents a,b,c     fault percentages (default 2)\n"
+    "  --trials N           trials per workload (default 5)\n"
+    "  --seed N             sweep seed (default 2026)\n"
+    "  --policy NAME        round|floor|bernoulli|burst (default round)\n"
+    "  --scope NAME         all|datapath (default all)\n"
+    "  --datapath-sites N   eligible sites for scope datapath\n"
+    "  --burst-length N     burst length (policy burst)\n"
+    "  --schedule NAME      constant|linear|weibull (default constant)\n"
+    "  --end-factor X       schedule endpoint rate multiplier\n"
+    "  --shape X            weibull shape\n"
+    "  --burst-rows N       2-D strike height\n"
+    "  --burst-row-stride N sites per row (0 = 1-D strikes)\n"
+    "  --repeat N           send the sweep N times, verify identical "
+    "bytes\n"
+    "  --quiet              print only the (first) response payload\n"
+    "  --help               print this message\n";
+
+bool response_ok(const std::string& payload) {
+  // Cheap status probe without a full parse: responses are canonical
+  // single-line JSON rendered by wire.cpp.
+  return payload.find("\"status\":\"ok\"") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const nbx::CliArgs args(argc, argv, {"ping", "stats", "quiet", "help"});
+  if (args.has("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const std::string bad_flags = args.unknown_flag_message(
+      {"socket", "ping", "stats", "alu", "percents", "trials", "seed",
+       "policy", "scope", "datapath-sites", "burst-length", "schedule",
+       "end-factor", "shape", "burst-rows", "burst-row-stride", "repeat",
+       "quiet", "help"});
+  if (!bad_flags.empty()) {
+    std::cerr << "nbxq: " << bad_flags << "\n" << kUsage;
+    return 2;
+  }
+  for (const char* numeric : {"trials", "seed", "datapath-sites",
+                              "burst-length", "burst-rows",
+                              "burst-row-stride", "repeat"}) {
+    const std::string bad = args.invalid_number_message(numeric);
+    if (!bad.empty()) {
+      std::cerr << "nbxq: " << bad << "\n" << kUsage;
+      return 2;
+    }
+  }
+  const std::string socket_path = args.get("socket");
+  if (socket_path.empty()) {
+    std::cerr << "nbxq: --socket PATH is required\n" << kUsage;
+    return 2;
+  }
+
+  std::string payload;
+  long long repeat = 1;
+  if (args.has("ping")) {
+    payload = nbx::serve::render_ping_request();
+  } else if (args.has("stats")) {
+    payload = nbx::serve::render_stats_request();
+  } else {
+    nbx::serve::SweepRequest req;
+    req.alu = args.get("alu", "aluss");
+    for (const std::string& p : split_csv(args.get("percents", "2"))) {
+      req.spec.percents.push_back(std::strtod(p.c_str(), nullptr));
+    }
+    req.spec.trials_per_workload =
+        static_cast<int>(args.get_int("trials", 5));
+    req.spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+    req.spec.datapath_sites =
+        static_cast<std::size_t>(args.get_int("datapath-sites", 0));
+    req.spec.burst_length =
+        static_cast<std::size_t>(args.get_int("burst-length", 1));
+    req.spec.scenario.burst_rows =
+        static_cast<std::size_t>(args.get_int("burst-rows", 1));
+    req.spec.scenario.burst_row_stride =
+        static_cast<std::size_t>(args.get_int("burst-row-stride", 0));
+    req.spec.scenario.schedule.end_factor =
+        args.get_double("end-factor", 1.0);
+    req.spec.scenario.schedule.shape = args.get_double("shape", 1.0);
+    const auto policy = nbx::serve::policy_from_name(
+        args.get("policy", "round"));
+    const auto scope = nbx::serve::scope_from_name(args.get("scope", "all"));
+    const auto schedule = nbx::serve::schedule_from_name(
+        args.get("schedule", "constant"));
+    if (!policy.has_value() || !scope.has_value() ||
+        !schedule.has_value()) {
+      std::cerr << "nbxq: unknown --policy/--scope/--schedule name\n";
+      return 2;
+    }
+    req.spec.policy = *policy;
+    req.spec.scope = *scope;
+    req.spec.scenario.schedule.kind = *schedule;
+    std::string rendered = nbx::serve::render_sweep_request(req);
+    std::string perror;
+    if (!nbx::serve::parse_request(rendered, &perror).has_value()) {
+      std::cerr << "nbxq: bad sweep flags: " << perror << "\n";
+      return 2;
+    }
+    payload = std::move(rendered);
+    repeat = std::max<long long>(1, args.get_int("repeat", 1));
+  }
+
+  nbx::serve::ServeClient client;
+  std::string error;
+  if (!client.connect(socket_path, &error)) {
+    std::cerr << "nbxq: " << error << "\n";
+    return 3;
+  }
+  std::string first;
+  std::string response;
+  for (long long i = 0; i < repeat; ++i) {
+    if (!client.request(payload, response, &error)) {
+      std::cerr << "nbxq: " << error << "\n";
+      return 3;
+    }
+    if (i == 0) {
+      first = response;
+      std::cout << response << "\n";
+    } else if (response != first) {
+      std::cerr << "nbxq: response " << (i + 1)
+                << " differs from the first (cache determinism "
+                   "violation)\n";
+      return 1;
+    }
+  }
+  if (repeat > 1 && !args.has("quiet")) {
+    std::cerr << "nbxq: " << repeat << " identical responses\n";
+  }
+  return response_ok(first) ? 0 : 1;
+}

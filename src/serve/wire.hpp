@@ -1,0 +1,114 @@
+// wire.hpp — the nbxd wire protocol: frames, requests, responses,
+// fingerprints.
+//
+// One frame = a 4-byte little-endian u32 payload length followed by that
+// many bytes of UTF-8 JSON (a single object). Requests are parsed with
+// the strict check::JsonValue reader — it preserves u64 lexemes (seeds
+// survive untruncated) and rejects trailing garbage, so any truncated or
+// malformed payload fails cleanly into a structured error response
+// instead of a crash. Responses are hand-rolled single-line JSON through
+// the shared obs/json primitives (json_escape, json_double), which makes
+// them canonical: the same SweepRecord always renders to the same bytes,
+// the property the content-addressed cache and the serve-differential
+// check family both lean on.
+//
+// The request fingerprint is FNV-1a (the repo's one hash) streamed over
+// the *parsed, canonicalized* request — field order and formatting of
+// the incoming JSON cannot matter — mixed with seed_chain_fingerprint()
+// and kGoldenRegistryFingerprint, so a cache entry can never outlive the
+// arithmetic or the goldens that defined it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sim/bench_json.hpp"
+#include "sim/trial_engine.hpp"
+
+namespace nbx::serve {
+
+/// Wire-protocol version, embedded in every response ("nbxd" key) and in
+/// every request fingerprint.
+inline constexpr std::uint32_t kWireVersion = 1;
+
+/// Frame header: payload byte count as little-endian u32.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Hard payload cap; larger (or zero-length) frames are protocol errors.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 20;
+
+/// What a client asked for.
+enum class RequestKind : std::uint8_t {
+  kSweep,  ///< run (or fetch) one SweepSpec evaluation
+  kPing,   ///< liveness probe
+  kStats,  ///< service counters snapshot
+};
+
+/// A sweep request: one ALU by Table-2 name plus the full SweepSpec.
+/// Workload streams are not part of the request — the service always
+/// evaluates the paper's two streams over the image derived from
+/// spec.seed (paper_streams(spec.seed)), matching the differential
+/// oracle families.
+struct SweepRequest {
+  std::string alu;
+  SweepSpec spec;
+
+  [[nodiscard]] bool operator==(const SweepRequest&) const = default;
+};
+
+/// A parsed request of any kind.
+struct ParsedRequest {
+  RequestKind kind = RequestKind::kPing;
+  SweepRequest sweep;  ///< meaningful iff kind == kSweep
+};
+
+/// Parses one request payload. Returns nullopt (with a human-readable
+/// reason in `error`) on any syntax error, unknown kind, missing or
+/// ill-typed field, or out-of-range knob. Never throws.
+std::optional<ParsedRequest> parse_request(std::string_view payload,
+                                           std::string* error = nullptr);
+
+/// Renders the canonical JSON payload for a sweep request (the client
+/// side of parse_request; round-trips exactly).
+std::string render_sweep_request(const SweepRequest& req);
+std::string render_ping_request();
+std::string render_stats_request();
+
+/// Appends the canonical "ok" response for one evaluated sweep:
+/// {"nbxd":1,"status":"ok","fingerprint":...,"alu":...,"points":[...],
+///  "anatomy":[...]}. Deterministic bytes — this is the cached value.
+void render_ok_response(std::string& out, std::uint64_t fingerprint,
+                        const SweepRecord& record);
+
+/// Appends {"nbxd":1,"status":"error","error":"..."}.
+void render_error_response(std::string& out, std::string_view message);
+
+/// Appends {"nbxd":1,"status":"shed","retry_after_ms":N} — the
+/// admission-control load-shed response.
+void render_shed_response(std::string& out, std::uint32_t retry_after_ms);
+
+/// The wire-format name <-> enum maps, shared by parse_request, the
+/// canonical renderers and the CLIs (nullopt for unknown names).
+[[nodiscard]] std::optional<FaultCountPolicy> policy_from_name(
+    std::string_view s);
+[[nodiscard]] std::optional<InjectionScope> scope_from_name(
+    std::string_view s);
+[[nodiscard]] std::optional<RateScheduleKind> schedule_from_name(
+    std::string_view s);
+
+/// Content address of a sweep request: FNV-1a over the canonicalized
+/// request fields + wire version + seed_chain_fingerprint() +
+/// kGoldenRegistryFingerprint. Pure function of the parsed request;
+/// allocation-free after the first call (the seed-chain probe is cached).
+[[nodiscard]] std::uint64_t request_fingerprint(const SweepRequest& req);
+
+/// Appends header + payload as one frame.
+void append_frame(std::string& out, std::string_view payload);
+
+/// Encodes/decodes the 4-byte little-endian length header.
+void encode_frame_header(char* bytes, std::uint32_t payload_len);
+[[nodiscard]] std::uint32_t decode_frame_header(const char* bytes);
+
+}  // namespace nbx::serve

@@ -25,6 +25,8 @@
 #include "alu/alu_factory.hpp"
 #include "cell/processor_cell.hpp"
 #include "obs/metrics.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
 #include "sim/trial_engine.hpp"
 #include "workload/instruction_stream.hpp"
 
@@ -260,6 +262,46 @@ TEST(AllocAudit, PipelinedCellCycleLoopAllocatesNothing) {
       << "a warm pipeline run allocated " << (after - before) << " times";
   EXPECT_FALSE(pipe.retired().empty());
   EXPECT_GT(pipe.counters().cycles, program.size());
+}
+
+TEST(AllocAudit, ServeCacheHitPathAllocatesNothing) {
+  // The nbxd steady state is "many designers, few distinct specs":
+  // almost every request is a cache hit, so the hit path is the
+  // service's hot loop. After the first request has computed and cached
+  // the rendered response (and one hit has faulted in any lazy statics),
+  // serving the same spec again must be pure lookup-and-append — zero
+  // heap allocations per request, with the response buffer's capacity
+  // amortized by the caller exactly as a connection loop would.
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  serve::SweepService service(cfg);
+  serve::SweepRequest req;
+  req.alu = "aluss";
+  req.spec.percents = {2.0};
+  req.spec.trials_per_workload = 2;
+  req.spec.seed = 20260808;
+
+  std::string out;
+  ASSERT_EQ(service.serve(req, out), serve::SweepService::Status::kOk);
+  const std::string expected = out;
+  out.clear();
+  ASSERT_EQ(service.serve(req, out), serve::SweepService::Status::kOk);
+  ASSERT_EQ(out, expected);
+
+  const std::uint64_t before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    out.clear();  // keeps capacity: the realistic reuse pattern
+    service.serve(req, out);
+  }
+  const std::uint64_t after =
+      g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "1000 cache-hit requests allocated " << (after - before)
+      << " times — the hit path is not allocation-free";
+  EXPECT_EQ(out, expected);
+  EXPECT_GE(service.stats().hits, 1001u);
+  EXPECT_EQ(service.stats().jobs_computed, 1u);
 }
 
 TEST(AllocAudit, CountingAllocatorIsLive) {

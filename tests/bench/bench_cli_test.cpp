@@ -50,6 +50,57 @@ TEST(BenchCli, UnknownFlagIsDoneWithStatusTwo) {
   EXPECT_EQ(cli.status(), 2);
 }
 
+TEST(BenchCli, UnknownFlagDiagnosticNamesTheOffendingFlag) {
+  // Exit-2 diagnostics must say WHICH flag was rejected — "unknown
+  // flag" alone sends the user diffing their command line against
+  // --help by eye.
+  const BenchCli cli = make_cli({"--bogus", "3", "--threads", "2"},
+                                kThreads);
+  EXPECT_TRUE(cli.done());
+  EXPECT_EQ(cli.status(), 2);
+  EXPECT_NE(cli.error().find("--bogus"), std::string::npos)
+      << "diagnostic was: " << cli.error();
+  // The accepted flag is not blamed.
+  EXPECT_EQ(cli.error().find("--threads"), std::string::npos);
+}
+
+TEST(BenchCli, EveryUnknownFlagIsNamedWhenSeveralAreGiven) {
+  const BenchCli cli =
+      make_cli({"--bogus", "3", "--also-bad", "x"}, kThreads);
+  EXPECT_TRUE(cli.done());
+  EXPECT_EQ(cli.status(), 2);
+  EXPECT_NE(cli.error().find("--bogus"), std::string::npos);
+  EXPECT_NE(cli.error().find("--also-bad"), std::string::npos);
+}
+
+TEST(BenchCli, UnparsableNumericValueIsRejectedNotDefaulted) {
+  // Historically `--threads abc` fell back silently to the default —
+  // the worst failure mode for a perf gate, where a typo'd thread count
+  // changes what the bench measures without any visible sign.
+  const BenchCli cli = make_cli({"--threads", "abc"}, kThreads);
+  EXPECT_TRUE(cli.done());
+  EXPECT_EQ(cli.status(), 2);
+  EXPECT_NE(cli.error().find("--threads"), std::string::npos)
+      << "diagnostic was: " << cli.error();
+  EXPECT_NE(cli.error().find("abc"), std::string::npos)
+      << "diagnostic was: " << cli.error();
+}
+
+TEST(BenchCli, NumericValidationOnlyCoversAcceptedFlags) {
+  // --lanes is not in this bench's accepted set, so its (bad) value is
+  // reported as an unknown flag, not an invalid number.
+  const BenchCli bad_lanes = make_cli({"--lanes", "abc"}, kThreads);
+  EXPECT_TRUE(bad_lanes.done());
+  EXPECT_EQ(bad_lanes.status(), 2);
+  EXPECT_NE(bad_lanes.error().find("unknown flag '--lanes'"),
+            std::string::npos)
+      << "diagnostic was: " << bad_lanes.error();
+  // And a well-formed value sails through with no error recorded.
+  const BenchCli good = make_cli({"--threads", "4"}, kThreads);
+  EXPECT_FALSE(good.done());
+  EXPECT_TRUE(good.error().empty());
+}
+
 TEST(BenchCli, SharedFlagOutsideTheAcceptedSetIsRejected) {
   // --lanes is a real shared flag, but this bench only takes --threads.
   const BenchCli cli = make_cli({"--lanes", "64"}, kThreads);

@@ -67,7 +67,7 @@ TEST(OracleRegistry, NamesResolveAndAreUnique) {
     names.push_back(p.name());
     EXPECT_TRUE(oracle_property_by_name(p.name()).has_value()) << p.name();
   }
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 7u);
   for (std::size_t i = 0; i < names.size(); ++i) {
     for (std::size_t j = i + 1; j < names.size(); ++j) {
       EXPECT_NE(names[i], names[j]);

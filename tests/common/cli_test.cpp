@@ -75,5 +75,30 @@ TEST(Cli, UnknownFlagDetection) {
   EXPECT_TRUE(args.unknown_flags({"alu", "sweep", "oops"}).empty());
 }
 
+TEST(Cli, UnknownFlagMessageNamesEveryOffender) {
+  const CliArgs args = parse({"p", "--alu", "x", "--oops", "--worse", "y"});
+  const std::string msg = args.unknown_flag_message({"alu"});
+  EXPECT_NE(msg.find("unknown flag '--oops'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unknown flag '--worse'"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("--alu"), std::string::npos) << msg;
+  EXPECT_TRUE(
+      args.unknown_flag_message({"alu", "oops", "worse"}).empty());
+}
+
+TEST(Cli, InvalidNumberMessageNamesFlagAndValue) {
+  const CliArgs args =
+      parse({"p", "--n", "4x2", "--x", "zz", "--ok", "7"});
+  const std::string int_msg = args.invalid_number_message("n");
+  EXPECT_NE(int_msg.find("--n"), std::string::npos) << int_msg;
+  EXPECT_NE(int_msg.find("4x2"), std::string::npos) << int_msg;
+  const std::string dbl_msg = args.invalid_number_message("x", true);
+  EXPECT_NE(dbl_msg.find("--x"), std::string::npos) << dbl_msg;
+  EXPECT_NE(dbl_msg.find("zz"), std::string::npos) << dbl_msg;
+  // Valid values and absent flags produce no message — absence is the
+  // caller's fallback case, not an error.
+  EXPECT_TRUE(args.invalid_number_message("ok").empty());
+  EXPECT_TRUE(args.invalid_number_message("absent").empty());
+}
+
 }  // namespace
 }  // namespace nbx

@@ -1,0 +1,363 @@
+// serve_test.cpp — end-to-end integration of the nbxd serving stack:
+// a real Server on a real unix socket, concurrent ServeClients, and the
+// service's cache/coalescing/shedding counters.
+//
+// The contract under test (docs/SERVING.md):
+//   * responses for the same spec are byte-identical across clients and
+//     across time, and equal to the canonical rendering of a direct
+//     scalar TrialEngine run;
+//   * each unique fingerprint is computed exactly once — duplicates are
+//     cache hits or coalesced followers, never second computations;
+//   * a full queue sheds with a structured retry-after response instead
+//     of blocking or crashing;
+//   * malformed frames (garbage payloads, zero-length and oversized
+//     headers) get structured errors — the connection may close, the
+//     daemon never dies;
+//   * stop() drains: every request accepted before shutdown receives its
+//     complete response, and the socket path is unlinked for the next
+//     bind (the soak script's restart-under-load loop leans on this).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "alu/alu_factory.hpp"
+#include "check/json_value.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+#include "sim/trial_engine.hpp"
+
+namespace nbx::serve {
+namespace {
+
+std::string temp_socket_path(const char* tag) {
+  // AF_UNIX paths are length-capped (~108 bytes); /tmp + pid + tag stays
+  // far below it and unique per test process.
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "/tmp/nbx_%s_%d.sock", tag,
+                static_cast<int>(::getpid()));
+  return std::string(buf);
+}
+
+SweepRequest small_request(std::uint64_t seed, int trials = 2) {
+  SweepRequest req;
+  req.alu = "aluss";
+  req.spec.percents = {2.0};
+  req.spec.trials_per_workload = trials;
+  req.spec.seed = seed;
+  return req;
+}
+
+std::string status_of(const std::string& payload) {
+  const auto doc = check::JsonValue::parse(payload);
+  if (!doc.has_value() || !doc->is_object()) {
+    return "";
+  }
+  const check::JsonValue* status = doc->find("status");
+  return status != nullptr && status->is_string() ? status->as_string()
+                                                  : "";
+}
+
+TEST(ServeSmoke, ConcurrentClientsAreByteIdenticalAndComputeOnce) {
+  ServerConfig cfg;
+  cfg.socket_path = temp_socket_path("conc");
+  cfg.service.workers = 2;
+  Server server(cfg);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // Four distinct specs, each requested by two clients concurrently.
+  constexpr int kDistinct = 4;
+  constexpr int kClients = 2 * kDistinct;
+  std::vector<std::string> payloads;
+  for (int i = 0; i < kDistinct; ++i) {
+    payloads.push_back(
+        render_sweep_request(small_request(9000 + i)));
+  }
+  std::vector<std::string> responses(kClients);
+  std::vector<bool> transported(kClients, false);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ServeClient client;
+      std::string err;
+      if (!client.connect(server.socket_path(), &err)) {
+        return;
+      }
+      transported[c] = client.request(payloads[c % kDistinct],
+                                      responses[c], &err);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(transported[c]) << "client " << c << " transport failed";
+    EXPECT_EQ(status_of(responses[c]), "ok") << responses[c];
+    EXPECT_EQ(responses[c], responses[c % kDistinct])
+        << "same-spec responses diverged for client " << c;
+  }
+
+  // Exactly one computation per unique fingerprint; every duplicate was
+  // a hit or a coalesced follower.
+  const ServiceStats stats = server.service().stats();
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.jobs_computed, static_cast<std::uint64_t>(kDistinct));
+  EXPECT_EQ(stats.misses, static_cast<std::uint64_t>(kDistinct));
+  EXPECT_EQ(stats.hits + stats.coalesced,
+            static_cast<std::uint64_t>(kClients - kDistinct));
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+
+  // The served bytes equal the canonical rendering of a direct scalar
+  // engine run — the daemon is the engine.
+  const SweepRequest req = small_request(9000);
+  const auto alu = make_alu(req.alu);
+  ASSERT_NE(alu, nullptr);
+  TrialEngine engine{ParallelConfig{}};
+  const SweepAnatomy direct =
+      engine.sweep_anatomy(*alu, paper_streams(req.spec.seed), req.spec);
+  SweepRecord record;
+  record.alu = req.alu;
+  record.points = direct.points;
+  record.point_metrics = direct.metrics;
+  std::string expected;
+  render_ok_response(expected, request_fingerprint(req), record);
+  EXPECT_EQ(responses[0], expected);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ServeSmoke, DuplicatesInFlightCoalesceToOneComputation) {
+  // One worker and a heavy job at the head of the queue: the duplicate
+  // submissions below must arrive while their leader is still queued,
+  // so they coalesce onto its Flight instead of recomputing.
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.max_queue = 16;
+  SweepService service(cfg);
+
+  const std::string blocker =
+      render_sweep_request(small_request(1, /*trials=*/800));
+  const std::string dup =
+      render_sweep_request(small_request(2, /*trials=*/400));
+
+  std::atomic<int> done{0};
+  std::thread blocker_thread([&] {
+    std::string out;
+    service.handle(blocker, out);
+    done.fetch_add(1);
+  });
+  while (service.stats().misses < 1) {
+    std::this_thread::yield();
+  }
+  std::thread leader_thread([&] {
+    std::string out;
+    service.handle(dup, out);
+    done.fetch_add(1);
+  });
+  while (service.stats().misses < 2) {
+    std::this_thread::yield();
+  }
+  // The leader is queued behind the running blocker; every duplicate
+  // fired now joins its flight.
+  constexpr int kFollowers = 3;
+  std::vector<std::string> follower_out(kFollowers);
+  std::vector<std::thread> followers;
+  for (int i = 0; i < kFollowers; ++i) {
+    followers.emplace_back(
+        [&, i] { service.handle(dup, follower_out[i]); });
+  }
+  for (std::thread& t : followers) {
+    t.join();
+  }
+  blocker_thread.join();
+  leader_thread.join();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.jobs_computed, 2u)
+      << "a duplicate was recomputed instead of coalesced";
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits + stats.coalesced,
+            static_cast<std::uint64_t>(kFollowers));
+  for (int i = 1; i < kFollowers; ++i) {
+    EXPECT_EQ(follower_out[i], follower_out[0]);
+  }
+  EXPECT_EQ(status_of(follower_out[0]), "ok");
+}
+
+TEST(ServeSmoke, FullQueueShedsWithRetryAfter) {
+  // max_queue = 0 makes every would-be computation shed deterministically.
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.max_queue = 0;
+  cfg.retry_after_ms = 125;
+  SweepService service(cfg);
+  std::string out;
+  const SweepService::Status st = service.serve(small_request(7), out);
+  EXPECT_EQ(st, SweepService::Status::kShed);
+  EXPECT_EQ(status_of(out), "shed");
+  EXPECT_NE(out.find("\"retry_after_ms\":125"), std::string::npos) << out;
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.jobs_computed, 0u);
+}
+
+TEST(ServeSmoke, PingStatsAndMalformedFramesOverTheSocket) {
+  ServerConfig cfg;
+  cfg.socket_path = temp_socket_path("mal");
+  Server server(cfg);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  ServeClient client;
+  ASSERT_TRUE(client.connect(server.socket_path(), &error)) << error;
+  std::string response;
+
+  ASSERT_TRUE(client.request(render_ping_request(), response, &error))
+      << error;
+  EXPECT_EQ(status_of(response), "ok");
+  EXPECT_NE(response.find("\"kind\":\"pong\""), std::string::npos);
+
+  ASSERT_TRUE(client.request(render_stats_request(), response, &error))
+      << error;
+  EXPECT_EQ(status_of(response), "ok");
+  EXPECT_NE(response.find("\"requests\":"), std::string::npos);
+
+  // Garbage payload in a well-formed frame: structured error, and the
+  // connection keeps serving.
+  ASSERT_TRUE(client.request("\x01\xff not json at all", response, &error))
+      << error;
+  EXPECT_EQ(status_of(response), "error");
+  ASSERT_TRUE(client.request(render_ping_request(), response, &error))
+      << error;
+  EXPECT_EQ(status_of(response), "ok");
+
+  // Unknown request kind and a sweep with an out-of-range knob: errors.
+  ASSERT_TRUE(client.request("{\"kind\":\"evaluate\"}", response, &error));
+  EXPECT_EQ(status_of(response), "error");
+  ASSERT_TRUE(client.request(
+      "{\"kind\":\"sweep\",\"alu\":\"aluss\",\"percents\":[2.0],"
+      "\"trials\":0,\"seed\":1}",
+      response, &error));
+  EXPECT_EQ(status_of(response), "error");
+
+  // A zero-length frame is a protocol error: the server answers with a
+  // structured error and closes the connection — the daemon survives
+  // and accepts the next client.
+  client.close();
+  ASSERT_TRUE(client.connect(server.socket_path(), &error)) << error;
+  ASSERT_TRUE(client.request("", response, &error)) << error;
+  EXPECT_EQ(status_of(response), "error");
+  ServeClient again;
+  ASSERT_TRUE(again.connect(server.socket_path(), &error)) << error;
+  ASSERT_TRUE(again.request(render_ping_request(), response, &error))
+      << error;
+  EXPECT_EQ(status_of(response), "ok");
+
+  server.stop();
+}
+
+TEST(ServeSmoke, StopDrainsInFlightRequestsAndFreesTheSocketPath) {
+  const std::string path = temp_socket_path("drain");
+  auto server = std::make_unique<Server>([&] {
+    ServerConfig cfg;
+    cfg.socket_path = path;
+    cfg.service.workers = 2;
+    return cfg;
+  }());
+  std::string error;
+  ASSERT_TRUE(server->start(&error)) << error;
+
+  // A client hammers sweeps until the server goes away. Every response
+  // it does receive must be complete and well-formed — a drain that cut
+  // a frame in half would surface as an unparsable response here.
+  std::atomic<bool> mid_frame_corruption{false};
+  std::atomic<int> completed{0};
+  std::thread hammer([&] {
+    ServeClient client;
+    std::string err;
+    if (!client.connect(path, &err)) {
+      return;
+    }
+    for (std::uint64_t seed = 0;; ++seed) {
+      std::string out;
+      if (!client.request(render_sweep_request(small_request(seed)), out,
+                          &err)) {
+        return;  // transport closed by shutdown: expected
+      }
+      if (status_of(out) != "ok") {
+        mid_frame_corruption.store(true);
+      }
+      completed.fetch_add(1);
+    }
+  });
+  while (completed.load() < 3) {
+    std::this_thread::yield();
+  }
+  server->stop();
+  hammer.join();
+  EXPECT_FALSE(mid_frame_corruption.load())
+      << "a drained response arrived incomplete or malformed";
+  EXPECT_GE(completed.load(), 3);
+
+  // The path is free again: a second server binds and serves, and the
+  // first server's cache obviously does not survive the restart — but
+  // the recomputed bytes are identical (content addressing).
+  server = std::make_unique<Server>([&] {
+    ServerConfig cfg;
+    cfg.socket_path = path;
+    return cfg;
+  }());
+  ASSERT_TRUE(server->start(&error)) << error;
+  ServeClient client;
+  ASSERT_TRUE(client.connect(path, &error)) << error;
+  std::string first;
+  std::string second;
+  ASSERT_TRUE(client.request(render_sweep_request(small_request(0)), first,
+                             &error))
+      << error;
+  ASSERT_TRUE(client.request(render_sweep_request(small_request(0)),
+                             second, &error))
+      << error;
+  EXPECT_EQ(status_of(first), "ok");
+  EXPECT_EQ(first, second);
+  server->stop();
+}
+
+TEST(ServeSmoke, CacheSurvivesReconnectsWithinOneDaemon) {
+  ServerConfig cfg;
+  cfg.socket_path = temp_socket_path("cache");
+  Server server(cfg);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const std::string payload = render_sweep_request(small_request(42));
+  std::string first;
+  {
+    ServeClient client;
+    ASSERT_TRUE(client.connect(server.socket_path(), &error)) << error;
+    ASSERT_TRUE(client.request(payload, first, &error)) << error;
+  }
+  std::string second;
+  {
+    ServeClient client;
+    ASSERT_TRUE(client.connect(server.socket_path(), &error)) << error;
+    ASSERT_TRUE(client.request(payload, second, &error)) << error;
+  }
+  EXPECT_EQ(first, second);
+  const ServiceStats stats = server.service().stats();
+  EXPECT_EQ(stats.jobs_computed, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace nbx::serve
